@@ -1,0 +1,63 @@
+"""ABL-HYBRID -- the hybrid-mapping trade DESIGN.md calls out.
+
+Section 5.2.2 picks 90% SWRs by looking at lifetime alone; Section 5.3.2
+computes storage at that point alone.  This ablation puts the two axes
+together: for SWR shares from all-dynamic (0%) to all-region-mapped
+(100%), it reports the BPA lifetime (averaged across the paper's
+wear-levelers) *and* the mapping storage, exposing the Pareto argument
+behind the paper's choice -- 90% keeps ~99% of the attainable lifetime at
+~15% of the line-level mapping cost.
+"""
+
+import pytest
+
+from repro.core.overhead import mapping_overhead_report, paper_overhead_geometry
+from repro.sim.experiments import swr_fraction_sweep
+from repro.util.stats import geometric_mean
+from repro.util.tables import render_table
+
+SWR_SHARES = (0.0, 0.2, 0.6, 0.8, 0.9, 1.0)
+
+
+def run_hybrid_trade(config):
+    sweeps = swr_fraction_sweep(config, swr_fractions=SWR_SHARES)
+    geometry = paper_overhead_geometry()
+    points = []
+    for index, share in enumerate(SWR_SHARES):
+        lifetimes = [series[index][1].normalized_lifetime for series in sweeps.values()]
+        overhead = mapping_overhead_report(geometry, config.spare_fraction, share)
+        points.append(
+            (
+                share,
+                geometric_mean(lifetimes),
+                overhead.hybrid_mib,
+                overhead.reduction,
+            )
+        )
+    return points
+
+
+def test_abl_hybrid_mapping(benchmark, experiment_config, emit_table):
+    points = benchmark(run_hybrid_trade, experiment_config)
+
+    table = render_table(
+        ["SWR share", "BPA lifetime (gmean)", "mapping (MB)", "saving vs line-level"],
+        [
+            [f"{share:.0%}", lifetime, storage, reduction]
+            for share, lifetime, storage, reduction in points
+        ],
+        title="ABL-HYBRID: lifetime vs mapping storage across the SWR share",
+    )
+    emit_table("abl_hybrid_mapping", table)
+
+    by_share = {share: (lifetime, storage) for share, lifetime, storage, _ in points}
+
+    # Storage falls monotonically as more of the spare space is region-mapped.
+    storages = [storage for _, _, storage, _ in points]
+    assert storages == sorted(storages, reverse=True)
+
+    # The paper's operating point: 90% keeps >=90% of the best lifetime...
+    best_lifetime = max(lifetime for _, lifetime, _, _ in points)
+    assert by_share[0.9][0] >= 0.90 * best_lifetime
+    # ...at <=20% of the all-dynamic mapping cost.
+    assert by_share[0.9][1] <= 0.20 * by_share[0.0][1]

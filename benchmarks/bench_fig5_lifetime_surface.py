@@ -1,0 +1,42 @@
+"""FIG5 -- Figure 5 / Section 4.3: analytic lifetime comparison surface.
+
+Regenerates the Max-WE vs PCD/PS vs PS-worst surfaces over the paper's
+grid (0.1 <= p <= 0.3, 10 <= q <= 100) and checks the figure's claims:
+Max-WE dominates everywhere, and the Section 4.3 spot values at
+(p=0.1, q=50) are 38.1% / 22.2% / 20.8%.
+"""
+
+import pytest
+
+from repro.analysis.surfaces import lifetime_surface
+from repro.util.tables import render_table
+
+PAPER_SPOT = {"max-we": 0.381, "pcd-ps": 0.222, "ps-worst": 0.208}
+
+
+def test_fig5_lifetime_surface(benchmark, emit_table):
+    surface = benchmark(lifetime_surface)
+
+    rows = []
+    for i, p in enumerate(surface.p_values):
+        for j, q in enumerate(surface.q_values):
+            rows.append(
+                [
+                    f"{p:.2f}",
+                    f"{q:.0f}",
+                    float(surface.maxwe[i, j]),
+                    float(surface.pcd_ps[i, j]),
+                    float(surface.ps_worst[i, j]),
+                ]
+            )
+    table = render_table(
+        ["p", "q", "max-we", "pcd-ps", "ps-worst"],
+        rows,
+        title="FIG5: normalized analytic lifetimes (Eq. 6-8) on the paper grid",
+    )
+    emit_table("fig5_lifetime_surface", table)
+
+    assert surface.maxwe_dominates()
+    spot = surface.at(0.1, 50.0)
+    for scheme, expected in PAPER_SPOT.items():
+        assert spot[scheme] == pytest.approx(expected, abs=0.001)

@@ -1,0 +1,62 @@
+"""FIG6 -- Figure 6 / Section 5.2.1: lifetime under UAA vs spare capacity.
+
+Regenerates the sweep behind the paper's first parameter choice.  Paper
+series (percent of ideal): 0% -> 4.1, 1% -> 14.0, 10% -> 43.1,
+20% -> 57.9, 30% -> 74.1, 40% -> 86.9, 50% -> 87.4.  Shape requirements:
+monotone increase, steep early gains, diminishing returns past ~30%.
+"""
+
+import pytest
+
+from repro.sim.experiments import spare_fraction_sweep
+from repro.util.asciiplot import line_plot
+from repro.util.tables import render_table
+
+PAPER_SERIES = {
+    0.0: 0.041,
+    0.01: 0.14,
+    0.1: 0.431,
+    0.2: 0.579,
+    0.3: 0.741,
+    0.4: 0.869,
+    0.5: 0.874,
+}
+
+
+def test_fig6_spare_sweep(benchmark, experiment_config, emit_table):
+    sweep = benchmark(spare_fraction_sweep, experiment_config)
+    measured = {fraction: result.normalized_lifetime for fraction, result in sweep}
+
+    fractions = sorted(measured)
+    table = render_table(
+        ["spare %", "measured", "paper"],
+        [
+            [f"{fraction:.0%}", measured[fraction], PAPER_SERIES[fraction]]
+            for fraction in fractions
+        ],
+        title="FIG6: Max-WE lifetime under UAA vs spare-line capacity",
+    )
+    plot = line_plot(
+        fractions,
+        {
+            "measured": [measured[fraction] for fraction in fractions],
+            "paper": [PAPER_SERIES[fraction] for fraction in fractions],
+        },
+        title="FIG6 curve (o = measured, x = paper)",
+    )
+    emit_table("fig6_spare_sweep", table + "\n\n" + plot)
+
+    # Shape: monotone increasing with diminishing returns.
+    ordered = [measured[fraction] for fraction in sorted(measured)]
+    assert ordered == sorted(ordered)
+    assert (measured[0.2] - measured[0.1]) > (measured[0.5] - measured[0.4])
+
+    # Factor bands around the paper's series.
+    assert measured[0.0] == pytest.approx(PAPER_SERIES[0.0], abs=0.006)
+    assert 0.33 <= measured[0.1] <= 0.48       # paper 43.1 (analytic 38.1)
+    assert 0.50 <= measured[0.2] <= 0.70       # paper 57.9
+    assert 0.65 <= measured[0.3] <= 0.85       # paper 74.1
+    assert 0.78 <= measured[0.5] <= 0.95       # paper 87.4
+
+    # The paper's takeaway: 10% spares buys roughly a 10x lifetime.
+    assert measured[0.1] / measured[0.0] == pytest.approx(10.0, rel=0.15)

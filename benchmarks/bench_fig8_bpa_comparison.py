@@ -1,0 +1,56 @@
+"""FIG8 -- Figure 8 / Section 5.3.1: sparing schemes under BPA.
+
+Regenerates the head-to-head bar chart: Max-WE vs PCD/PS vs PS-worst
+under the Birthday Paradox Attack across the four wear-leveling
+baselines, summarized by the geometric mean.  Paper gmeans: Max-WE 47.4%,
+PCD/PS 41.2%, PS-worst 25.6% -- i.e. Max-WE beats PCD/PS by 14.8% and
+PS-worst by 85.0%.
+"""
+
+import pytest
+
+from repro.sim.experiments import bpa_scheme_comparison
+from repro.util.asciiplot import bar_chart
+from repro.util.stats import geometric_mean
+from repro.util.tables import render_table
+
+PAPER_GMEANS = {"max-we": 0.474, "pcd-ps": 0.412, "ps-worst": 0.256}
+
+
+def test_fig8_bpa_comparison(benchmark, experiment_config, emit_table):
+    comparison = benchmark(bpa_scheme_comparison, experiment_config)
+    wearlevelers = list(next(iter(comparison.values())).keys())
+
+    gmeans = {}
+    rows = []
+    for name, row in comparison.items():
+        lifetimes = [row[wl].normalized_lifetime for wl in wearlevelers]
+        gmeans[name] = geometric_mean(lifetimes)
+        rows.append([name] + lifetimes + [gmeans[name], PAPER_GMEANS[name]])
+    table = render_table(
+        ["scheme"] + wearlevelers + ["gmean", "paper gmean"],
+        rows,
+        title="FIG8: sparing schemes under BPA (10% spares, 90% SWRs)",
+    )
+    chart = bar_chart(
+        {f"{name} (gmean)": value for name, value in gmeans.items()},
+        title="FIG8 gmeans",
+    )
+    emit_table("fig8_bpa_comparison", table + "\n\n" + chart)
+
+    # Who wins: Max-WE > PCD/PS > PS-worst, per wear-leveler and in gmean.
+    assert gmeans["max-we"] > gmeans["pcd-ps"] > gmeans["ps-worst"]
+    for wl in wearlevelers:
+        assert (
+            comparison["max-we"][wl].normalized_lifetime
+            >= 0.9 * comparison["pcd-ps"][wl].normalized_lifetime
+        )
+        assert (
+            comparison["max-we"][wl].normalized_lifetime
+            > comparison["ps-worst"][wl].normalized_lifetime
+        )
+
+    # Factor bands around the paper's gmeans.
+    assert gmeans["max-we"] == pytest.approx(PAPER_GMEANS["max-we"], abs=0.06)
+    assert gmeans["pcd-ps"] == pytest.approx(PAPER_GMEANS["pcd-ps"], abs=0.09)
+    assert gmeans["ps-worst"] == pytest.approx(PAPER_GMEANS["ps-worst"], abs=0.09)

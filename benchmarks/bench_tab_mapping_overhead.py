@@ -1,0 +1,56 @@
+"""TAB-OVH -- Sections 4.4 and 5.3.2: mapping-table storage overhead.
+
+Paper numbers for a 1 GB NVM with 2048 regions, 10% spares, 90% SWRs:
+Max-WE hybrid mapping about 0.16 MB versus about 1.1 MB for traditional
+all-line-level mapping -- 15% of the traditional cost (an 85% reduction)
+and 0.016% of the device capacity.
+"""
+
+import pytest
+
+from repro.core.overhead import mapping_overhead_report, paper_overhead_geometry
+from repro.util.tables import render_table
+
+
+def run_overhead():
+    geometry = paper_overhead_geometry()
+    sweep = {
+        swr: mapping_overhead_report(geometry, 0.1, swr)
+        for swr in (0.0, 0.5, 0.9, 1.0)
+    }
+    return sweep
+
+
+def test_tab_mapping_overhead(benchmark, emit_table):
+    sweep = benchmark(run_overhead)
+    report = sweep[0.9]
+
+    rows = [
+        [
+            f"{swr:.0%}",
+            entry.hybrid_mib,
+            entry.line_level_mib,
+            entry.reduction,
+            entry.mapping_fraction_of_capacity,
+        ]
+        for swr, entry in sorted(sweep.items())
+    ]
+    table = render_table(
+        ["SWR share", "Max-WE (MB)", "line-level (MB)", "reduction", "of capacity"],
+        rows,
+        title=(
+            "TAB-OVH: mapping-table overhead, 1 GB / 2048 regions / 10% spares "
+            "(paper @90%: 0.16 MB vs 1.1 MB, 85%, 0.016%)"
+        ),
+    )
+    emit_table("tab_mapping_overhead", table)
+
+    assert report.hybrid_mib == pytest.approx(0.16, abs=0.01)
+    assert report.line_level_mib == pytest.approx(1.1, abs=0.01)
+    assert report.reduction == pytest.approx(0.85, abs=0.015)
+    assert report.mapping_fraction_of_capacity == pytest.approx(0.00016, abs=0.00003)
+
+    # More SWRs, more savings; 0% SWRs degenerates to line-level cost.
+    reductions = [sweep[swr].reduction for swr in (0.0, 0.5, 0.9, 1.0)]
+    assert reductions == sorted(reductions)
+    assert sweep[0.0].hybrid_bits == sweep[0.0].line_level_bits

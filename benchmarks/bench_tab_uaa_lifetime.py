@@ -1,0 +1,59 @@
+"""TAB-UAA -- Section 5.3.1's text table: lifetimes under UAA, 10% spares.
+
+Paper numbers (percent of ideal / improvement over no protection):
+no-protection 4.1% / 1X, PS-worst 28.5% / 6.9X, PCD-PS 30.6% / 7.4X,
+Max-WE 43.1% / 9.5X; and Max-WE beats PCD/PS by 40.7% and PS-worst by
+51.1%.  The analytic counterparts (the linear model the simulation is
+calibrated on) are 3.9 / 20.8 / 22.2 / 38.1.
+"""
+
+import pytest
+
+from repro.sim.experiments import uaa_scheme_comparison
+from repro.util.tables import render_table
+
+PAPER = {
+    "no-protection": (0.041, 1.0),
+    "ps-worst": (0.285, 6.9),
+    "pcd-ps": (0.306, 7.4),
+    "max-we": (0.431, 9.5),
+}
+
+
+def test_tab_uaa_lifetime(benchmark, experiment_config, emit_table):
+    results = benchmark(uaa_scheme_comparison, experiment_config)
+    baseline = results["no-protection"]
+
+    rows = []
+    for name in ("no-protection", "ps-worst", "pcd-ps", "max-we"):
+        lifetime = results[name].normalized_lifetime
+        factor = results[name].improvement_over(baseline)
+        paper_lifetime, paper_factor = PAPER[name]
+        rows.append([name, lifetime, factor, paper_lifetime, paper_factor])
+    table = render_table(
+        ["scheme", "measured", "improvement", "paper", "paper impr."],
+        rows,
+        title="TAB-UAA: lifetimes under UAA (Section 5.3.1, 10% spares)",
+    )
+    emit_table("tab_uaa_lifetime", table)
+
+    lifetimes = {name: r.normalized_lifetime for name, r in results.items()}
+
+    # The ladder and the improvement factors.
+    assert (
+        lifetimes["max-we"]
+        > lifetimes["pcd-ps"]
+        > lifetimes["ps-worst"]
+        > lifetimes["no-protection"]
+    )
+    assert results["max-we"].improvement_over(baseline) == pytest.approx(9.5, rel=0.1)
+    assert results["pcd-ps"].improvement_over(baseline) == pytest.approx(7.4, rel=0.3)
+    assert results["ps-worst"].improvement_over(baseline) == pytest.approx(6.9, rel=0.3)
+
+    # Max-WE's margins over the baselines (paper: +40.7% / +51.1%).
+    assert lifetimes["max-we"] / lifetimes["pcd-ps"] - 1.0 == pytest.approx(
+        0.407, abs=0.35
+    )
+    assert lifetimes["max-we"] / lifetimes["ps-worst"] - 1.0 == pytest.approx(
+        0.511, abs=0.4
+    )

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one figure or table of the paper's evaluation,
+asserts its shape claims, and *emits* the series: printed to the terminal
+(visible with ``pytest benchmarks/ -s`` and in failure reports) and saved
+under ``benchmarks/results/`` so EXPERIMENTS.md can be audited against
+fresh runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The paper's evaluation configuration (scaled; see DESIGN.md)."""
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def emit_table():
+    """Print a reproduction table and persist it under benchmarks/results/."""
+
+    def _emit(experiment_id: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(table + "\n")
+        print(f"\n{table}\n[saved to {path}]")
+
+    return _emit

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Online attack detection: catching UAA and BPA in the write stream.
+
+Extension demo: a controller-side classifier (see ``repro.detect``)
+watches a sliding window of write addresses and latches an alarm when the
+statistics match an attack signature -- UAA's sustained sequential sweep
+or BPA's single-address bursts -- while letting benign Zipf and hot/cold
+traffic through.  Detection complements Max-WE: the sparing scheme
+guarantees lifetime if the attack runs, the detector gives the OS a
+chance to kill it early.
+"""
+
+import itertools
+
+from repro.attacks import (
+    BirthdayParadoxAttack,
+    HotColdWorkload,
+    RepeatedAddressAttack,
+    UniformAddressAttack,
+    ZipfWorkload,
+)
+from repro.detect import AttackClassifier, WriteRateMonitor
+
+USER_LINES = 1 << 14
+WRITES = 16_384
+WINDOW = 1024
+
+
+def main() -> None:
+    workloads = {
+        "UAA sweep        ": UniformAddressAttack(random_data=False),
+        "BPA bursts       ": BirthdayParadoxAttack(burst_length=4096),
+        "repeated address ": RepeatedAddressAttack(target=99),
+        "Zipf (benign)    ": ZipfWorkload(exponent=1.1),
+        "hot/cold (benign)": HotColdWorkload(),
+    }
+
+    print(f"Streaming {WRITES} writes through a {WINDOW}-write window:\n")
+    for name, attack in workloads.items():
+        classifier = AttackClassifier(WriteRateMonitor(window=WINDOW))
+        for request in itertools.islice(attack.stream(USER_LINES, rng=1), WRITES):
+            classifier.observe(request.address)
+        if classifier.alarmed:
+            print(
+                f"  {name} ALARM after {classifier.alarmed_at} writes "
+                f"(verdict: {classifier.last_verdict.value})"
+            )
+        else:
+            print(f"  {name} clean (verdict: {classifier.last_verdict.value})")
+
+    print(
+        "\nBoth attacks latch the alarm within three windows; both benign\n"
+        "workloads pass. An attacker must slow below the detector's\n"
+        "thresholds to hide -- at which point Max-WE's lifetime guarantee\n"
+        "is doing its job anyway."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Defence tuning: choosing Max-WE's two parameters (paper Section 5.2).
+
+Reproduces the paper's parameter-setting methodology:
+
+1. sweep the spare-capacity percentage under UAA (Figure 6) -- more
+   spares always help, but user capacity shrinks; the paper picks 10%;
+2. sweep the SWR share of the spare space under BPA for each
+   wear-leveling scheme (Figure 7) -- more SWRs cost a little lifetime
+   but slash the mapping table; the paper picks 90%;
+3. show what 90% SWRs buys: the Section 5.3.2 mapping-overhead report.
+"""
+
+from repro.core.overhead import mapping_overhead_report, paper_overhead_geometry
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiments import spare_fraction_sweep, swr_fraction_sweep
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    config = ExperimentConfig()
+
+    print("Step 1 -- Figure 6: spare capacity under UAA")
+    rows = [
+        [f"{fraction:.0%}", result.normalized_lifetime]
+        for fraction, result in spare_fraction_sweep(config)
+    ]
+    print(render_table(["spare capacity", "normalized lifetime"], rows))
+    print("-> diminishing returns past ~10-20%; the paper standardizes on 10%.\n")
+
+    print("Step 2 -- Figure 7: SWR share under BPA, per wear-leveling scheme")
+    sweeps = swr_fraction_sweep(config)
+    fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
+    headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
+    rows = [
+        [name] + [result.normalized_lifetime for _, result in series]
+        for name, series in sweeps.items()
+    ]
+    print(render_table(headers, rows))
+    print(
+        "-> 90% SWRs costs only ~1% lifetime versus 0% for the endurance-aware\n"
+        "   schemes, so the paper trades it for mapping-table savings.\n"
+    )
+
+    print("Step 3 -- Section 5.3.2: what 90% SWRs buys in SRAM")
+    report = mapping_overhead_report(paper_overhead_geometry(), 0.1, 0.9)
+    print(f"  Max-WE hybrid mapping: {report.hybrid_mib:.2f} MB")
+    print(f"  all-line-level:        {report.line_level_mib:.2f} MB")
+    print(f"  reduction:             {report.reduction:.1%} (paper: 85.0%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Wear maps: *seeing* UAA damage with and without Max-WE.
+
+Drives the exact controller on a small bank until device failure under
+UAA twice -- unprotected, and under Max-WE -- then renders each bank's
+per-region utilization as an ASCII heatmap.  The unprotected device dies
+with most of the map dark (endurance stranded in strong regions: the
+paper's Figure 1 triangle); Max-WE's map burns much more evenly because
+the weakest regions were pre-positioned as sacrificial spares.
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.controller import MaxWEController
+from repro.core.maxwe import MaxWE
+from repro.device.bank import NVMBank
+from repro.device.errors import DeviceWornOutError
+from repro.device.inspect import BankInspector, wear_heatmap
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+
+REGIONS = 128
+LINES_PER_REGION = 2
+Q = 20.0
+
+
+def build_bank(seed=11):
+    model = LinearEnduranceModel.from_q(Q, e_low=200.0)
+    emap = linear_endurance_map(
+        REGIONS * LINES_PER_REGION, REGIONS, model, rng=seed
+    )
+    return NVMBank(emap)
+
+
+def attack_until_failure(controller):
+    attack = UniformAddressAttack(random_data=False)
+    stream = attack.stream(controller.user_lines, rng=1)
+    try:
+        for request in itertools.islice(stream, 50_000_000):
+            controller.write(request.address)
+    except DeviceWornOutError:
+        pass
+    return controller
+
+
+def unprotected_until_first_death(bank):
+    """Uniform writes straight at the bank until any line dies."""
+    writes = 0
+    order = np.arange(bank.lines)
+    while True:
+        for line in order:
+            if bank.write(int(line)):
+                return writes
+            writes += 1
+
+
+def main() -> None:
+    print(f"Device: {REGIONS} regions x {LINES_PER_REGION} lines, q = {Q:g}\n")
+
+    unprotected = build_bank()
+    unprotected_until_first_death(unprotected)
+    inspector = BankInspector(unprotected)
+    print(wear_heatmap(unprotected, columns=64, title="UNPROTECTED at failure:"))
+    print(
+        f"utilization {unprotected.utilization():.1%}, "
+        f"stranded endurance {inspector.stranded_endurance():,.0f} writes\n"
+    )
+
+    protected_bank = build_bank()
+    controller = MaxWEController(protected_bank, MaxWE(0.1, 0.9), rng=11)
+    attack_until_failure(controller)
+    inspector = BankInspector(protected_bank)
+    print(wear_heatmap(protected_bank, columns=64, title="MAX-WE (10% spares) at failure:"))
+    print(
+        f"utilization {protected_bank.utilization():.1%}, "
+        f"stranded endurance {inspector.stranded_endurance():,.0f} writes"
+    )
+    print(
+        "\nThe unprotected map is nearly dark -- one weak region died and\n"
+        "took the device with it. Max-WE's map glows much brighter: the\n"
+        "sacrificial weak regions and the matched pairs let the attack be\n"
+        "absorbed until a far larger share of total endurance was consumed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Section 3.3.2 live: defeating DRAM buffers and write-reduction codecs.
+
+Three executable demonstrations of the paper's vulnerability arguments:
+
+1. a DRAM LRU buffer absorbs a hot/cold workload but passes UAA through
+   untouched (uniform traffic has no reuse a buffer can exploit);
+2. Flip-N-Write saves cells on random benign data but an adversary
+   alternating 0x0000/0x5555 pins it at its worst case;
+3. frequent-pattern compression collapses redundant data but random
+   payloads come out *larger* than raw (prefix overhead, no savings).
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.attacks import UniformAddressAttack, HotColdWorkload
+from repro.attacks.patterns import FlipNWriteDefeatAttack
+from repro.writereduce import DRAMBuffer, FlipNWrite, FrequentPatternCompressor
+
+USER_LINES = 4096
+BUFFER_LINES = 256
+WRITES = 50_000
+
+
+def dram_buffer_demo() -> None:
+    print("1. DRAM buffer (capacity 256 lines, memory 4096 lines)")
+    for name, attack in (
+        ("hot/cold 90/10", HotColdWorkload()),
+        ("UAA sweep     ", UniformAddressAttack(random_data=False)),
+    ):
+        buffer = DRAMBuffer(BUFFER_LINES)
+        stream = attack.stream(USER_LINES, rng=1)
+        for request in itertools.islice(stream, WRITES):
+            buffer.write(request.address)
+        print(
+            f"   {name}: NVM write rate = {buffer.nvm_write_rate():.2f} "
+            f"(hit rate {buffer.hits / buffer.user_writes:.1%})"
+        )
+    print("   -> UAA's reuse distance is the whole memory; the buffer is inert.\n")
+
+
+def flip_n_write_demo() -> None:
+    print("2. Flip-N-Write (64-bit words)")
+    rng = np.random.default_rng(2)
+    benign = FlipNWrite()
+    for _ in range(WRITES // 10):
+        benign.write(int(rng.integers(0, 2**64, dtype=np.uint64)))
+
+    adversarial = FlipNWrite()
+    attack = FlipNWriteDefeatAttack()
+    stream = attack.stream(USER_LINES, rng=3)
+    for request in itertools.islice(stream, WRITES // 10):
+        assert request.data is not None
+        adversarial.write(request.data)
+
+    print(f"   benign random data: {benign.flips_per_write():5.1f} flips/write")
+    print(f"   0x0000/0x5555 attack: {adversarial.flips_per_write():5.1f} flips/write "
+          f"(worst case is {adversarial.worst_case_flips()})")
+    print("   -> the adversary pins the codec at its worst case every write.\n")
+
+
+def compression_demo() -> None:
+    print("3. Frequent-pattern compression (64-bit words)")
+    compressor = FrequentPatternCompressor()
+    rng = np.random.default_rng(4)
+    benign = [0, 0xFF, 42, 0x4242424242424242, 2**15 - 1] * 200
+    random_words = [int(v) for v in rng.integers(2**33, 2**64, size=1000, dtype=np.uint64)]
+    print(f"   benign mix:  {compressor.compression_ratio(benign):5.2f}x raw size")
+    print(f"   random data: {compressor.compression_ratio(random_words):5.2f}x raw size")
+    print("   -> incompressible payloads defeat compression-based reduction.")
+
+
+def main() -> None:
+    dram_buffer_demo()
+    flip_n_write_demo()
+    compression_demo()
+
+
+if __name__ == "__main__":
+    main()

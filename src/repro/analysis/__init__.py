@@ -1,0 +1,57 @@
+"""Closed-form lifetime analysis (paper Sections 3.1 and 4.3).
+
+Every equation of the paper's analysis, stated over the tractable linear
+endurance model: the ideal lifetime (Eq. 3), the lifetime under UAA
+(Eq. 4) and their ratio (Eq. 5), the Max-WE / PCD-PS / PS-worst lifetimes
+under UAA (Eq. 6-8), and the Figure 5 comparison surface over the spare
+fraction ``p`` and the variation degree ``q``.
+"""
+
+from repro.analysis.crossovers import (
+    break_even_q,
+    maxwe_advantage_peak,
+    spare_fraction_for_target,
+)
+from repro.analysis.lifetime import (
+    ideal_lifetime,
+    maxwe_lifetime,
+    maxwe_normalized,
+    pcd_ps_lifetime,
+    pcd_ps_normalized,
+    ps_worst_lifetime,
+    ps_worst_normalized,
+    uaa_fraction,
+    uaa_lifetime,
+)
+from repro.analysis.oracle import (
+    fractional_oracle_lifetime,
+    greedy_oracle_lifetime,
+)
+from repro.analysis.surfaces import LifetimeSurface, lifetime_surface
+from repro.analysis.walltime import (
+    WriteBandwidth,
+    device_lifetime_seconds,
+    format_duration,
+)
+
+__all__ = [
+    "break_even_q",
+    "maxwe_advantage_peak",
+    "spare_fraction_for_target",
+    "ideal_lifetime",
+    "maxwe_lifetime",
+    "maxwe_normalized",
+    "pcd_ps_lifetime",
+    "pcd_ps_normalized",
+    "ps_worst_lifetime",
+    "ps_worst_normalized",
+    "uaa_fraction",
+    "uaa_lifetime",
+    "fractional_oracle_lifetime",
+    "greedy_oracle_lifetime",
+    "LifetimeSurface",
+    "lifetime_surface",
+    "WriteBandwidth",
+    "device_lifetime_seconds",
+    "format_duration",
+]

@@ -1,0 +1,98 @@
+"""Crossover and design-point solvers over the closed-form model.
+
+The reproduction mandate cares about *where crossovers fall*; this module
+makes them first-class quantities instead of by-products of sweeps:
+
+* :func:`break_even_q` -- the variation degree below which reserving
+  spares loses to no protection (from Eq. 8 vs Eq. 5: a scheme with
+  ``p`` spares pays off only when ``(q - 1)(1 - p) >= 1``);
+* :func:`spare_fraction_for_target` -- inverse of Eq. 6: the spare
+  budget Max-WE needs to guarantee a target normalized lifetime at a
+  given variation degree (how the paper's "10% for 38-43%" generalizes);
+* :func:`maxwe_advantage_peak` -- the spare fraction maximizing Max-WE's
+  *margin* over PCD/PS, locating the regime where the scheme's design
+  matters most;
+* :func:`q_where_variation_helps_maxwe` -- the ``p = 1/4`` threshold
+  above which Eq. 6's normalized lifetime *increases* with variation
+  (the derivative's sign is that of ``4p - 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.lifetime import maxwe_normalized, pcd_ps_normalized
+from repro.util.validation import require_fraction
+
+
+def break_even_q(p: float) -> float:
+    """Variation degree at which ``p`` spares stop being a net loss.
+
+    Derived from PS-worst (Eq. 8) against no protection (Eq. 5):
+    ``(1 - p)(1 + p(q - 1)) >= 1  <=>  (q - 1)(1 - p) >= 1``, i.e.
+    ``q* = 1 + 1 / (1 - p)``.  Below ``q*`` the capacity surrendered to
+    spares exceeds what weak-line rescue recovers.
+    """
+    require_fraction(p, "p", inclusive=False)
+    return 1.0 + 1.0 / (1.0 - p)
+
+
+def spare_fraction_for_target(target: float, q: float) -> float:
+    """Smallest spare fraction giving Max-WE a target normalized lifetime.
+
+    Inverts Eq. 6 normalized, ``L(p) = (1 - p)(1 + 2p(q - 1)) · 2/(q+1)``,
+    by bisection on the increasing branch ``p ∈ [0, (2q - 3)/(4(q - 1))]``
+    (the quadratic's vertex).  Raises if the target exceeds the vertex
+    value -- no spare budget reaches it at this variation degree.
+    """
+    require_fraction(target, "target")
+    if q <= 1.0:
+        raise ValueError(f"q must be > 1 for a meaningful inversion, got {q}")
+    vertex = (2.0 * q - 3.0) / (4.0 * (q - 1.0))
+    vertex = min(max(vertex, 0.0), 0.99)
+    best = maxwe_normalized(vertex, q)
+    if target > best + 1e-12:
+        raise ValueError(
+            f"target {target:.1%} is unreachable at q = {q:g}; the Eq. 6 "
+            f"maximum is {best:.1%} at p = {vertex:.1%}"
+        )
+    if target <= maxwe_normalized(0.0, q):
+        # No protection already meets the target (low bar / low variation).
+        return 0.0
+    low, high = 0.0, vertex
+    for _ in range(100):
+        mid = 0.5 * (low + high)
+        if maxwe_normalized(mid, q) < target:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def maxwe_advantage_peak(q: float, grid: int = 2000) -> tuple[float, float]:
+    """Spare fraction maximizing Max-WE's margin over PCD/PS (Eq. 6 - Eq. 7).
+
+    Returns ``(p_peak, margin)``.  The margin vanishes at ``p -> 0`` (no
+    spares, nothing to allocate) and shrinks again at large ``p`` (any
+    allocation has plenty of slack), peaking in between -- the regime the
+    paper's 10% operating point sits near.
+    """
+    if q <= 1.0:
+        raise ValueError(f"q must be > 1, got {q}")
+    p_values = np.linspace(0.001, 0.5, grid)
+    margins = np.array(
+        [maxwe_normalized(p, q) - pcd_ps_normalized(p, q) for p in p_values]
+    )
+    index = int(np.argmax(margins))
+    return float(p_values[index]), float(margins[index])
+
+
+def q_where_variation_helps_maxwe() -> float:
+    """The spare fraction above which more variation *helps* Max-WE.
+
+    d/dq of Eq. 6 normalized has the sign of ``4p - 1``: above 25% spares
+    the weak-strong rescue harvests the spread faster than the ideal
+    baseline grows.  (A constant of the model, returned for discoverability
+    and tested against numeric differentiation.)
+    """
+    return 0.25

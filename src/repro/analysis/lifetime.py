@@ -1,0 +1,112 @@
+"""The paper's closed-form lifetime equations (Eq. 3-8).
+
+All formulas assume the Section 3.1 linear endurance model: ``N`` lines
+whose endurances fall linearly from ``EH`` to ``EL`` when sorted.  Each
+``*_normalized`` variant divides by the ideal lifetime (Eq. 3) and is
+stated in terms of the paper's two sweep parameters ``p = S / N`` (spare
+fraction) and ``q = EH / EL`` (variation degree), which is exactly how
+Figure 5 plots them.
+
+Spot values from Section 4.3 (reproduced in the tests): with ``p = 0.1``
+and ``q = 50``, Max-WE / PCD-PS / PS-worst achieve 38.1% / 22.2% / 20.8%
+of the ideal lifetime; Eq. 5 gives 3.9% for an unprotected device.
+"""
+
+from __future__ import annotations
+
+from repro.endurance.linear import LinearEnduranceModel
+from repro.util.validation import require_fraction, require_positive_int
+
+
+def ideal_lifetime(model: LinearEnduranceModel, lines: int) -> float:
+    """Eq. 3: ``N (EH - EL) / 2 + N EL`` -- the area under the diagonal."""
+    return model.ideal_lifetime(lines)
+
+
+def uaa_lifetime(model: LinearEnduranceModel, lines: int) -> float:
+    """Eq. 4: ``N EL`` -- every line absorbs the weakest line's endurance."""
+    return model.uaa_lifetime(lines)
+
+
+def uaa_fraction(q: float) -> float:
+    """Eq. 5: ``L_UAA / L_Ideal = 2 EL / (EH + EL) = 2 / (q + 1)``."""
+    if q < 1.0:
+        raise ValueError(f"q must be >= 1, got {q}")
+    return 2.0 / (q + 1.0)
+
+
+def maxwe_lifetime(model: LinearEnduranceModel, lines: int, spare_lines: int) -> float:
+    """Eq. 6: ``(N - S) * (EL + 2 S (EH - EL) / N)``.
+
+    The weakest ``S`` lines become spares and rescue the next-weakest
+    ``S``; the binding constraint is then the ``(2S + 1)``-th weakest
+    line's endurance, absorbed by each of the ``N - S`` working lines.
+    """
+    _check_spares(lines, spare_lines)
+    return (lines - spare_lines) * (
+        model.e_low
+        + 2.0 * spare_lines * (model.e_high - model.e_low) / lines
+    )
+
+
+def pcd_ps_lifetime(model: LinearEnduranceModel, lines: int, spare_lines: int) -> float:
+    """Eq. 7: ``S (N - S/2) (EH - EL) / N + N EL``.
+
+    PCD spreads traffic over all ``N`` lines and tolerates ``S`` deaths;
+    the paper uses it to approximate PS's average case as well (within 3%,
+    citing Ferreira et al.).
+    """
+    _check_spares(lines, spare_lines)
+    return (
+        spare_lines
+        * (lines - spare_lines / 2.0)
+        * (model.e_high - model.e_low)
+        / lines
+        + lines * model.e_low
+    )
+
+
+def ps_worst_lifetime(model: LinearEnduranceModel, lines: int, spare_lines: int) -> float:
+    """Eq. 8: ``(N - S) * (EL + S (EH - EL) / N)``.
+
+    The worst PS allocation wastes strong lines as spares, so the
+    ``(S + 1)``-th weakest line bounds the lifetime.
+    """
+    _check_spares(lines, spare_lines)
+    return (lines - spare_lines) * (
+        model.e_low + spare_lines * (model.e_high - model.e_low) / lines
+    )
+
+
+def maxwe_normalized(p: float, q: float) -> float:
+    """Eq. 6 / Eq. 3 in terms of ``(p, q)`` -- one point of Figure 5."""
+    _check_pq(p, q)
+    return (1.0 - p) * (1.0 + 2.0 * p * (q - 1.0)) * 2.0 / (q + 1.0)
+
+
+def pcd_ps_normalized(p: float, q: float) -> float:
+    """Eq. 7 / Eq. 3 in terms of ``(p, q)``."""
+    _check_pq(p, q)
+    return (p * (1.0 - p / 2.0) * (q - 1.0) + 1.0) * 2.0 / (q + 1.0)
+
+
+def ps_worst_normalized(p: float, q: float) -> float:
+    """Eq. 8 / Eq. 3 in terms of ``(p, q)``."""
+    _check_pq(p, q)
+    return (1.0 - p) * (1.0 + p * (q - 1.0)) * 2.0 / (q + 1.0)
+
+
+def _check_spares(lines: int, spare_lines: int) -> None:
+    require_positive_int(lines, "lines")
+    if not 0 <= spare_lines < lines:
+        raise ValueError(
+            f"spare_lines must be in [0, {lines}), got {spare_lines}"
+        )
+
+
+def _check_pq(p: float, q: float) -> None:
+    require_fraction(p, "p")
+    if p >= 1.0:
+        raise ValueError("p must leave room for user space")
+    if q < 1.0:
+        raise ValueError(f"q must be >= 1, got {q}")

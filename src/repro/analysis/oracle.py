@@ -1,0 +1,143 @@
+"""Offline-optimal spare allocation: how good could any scheme be?
+
+The paper compares Max-WE against deployed baselines; a reproduction can
+also ask how far the scheme sits from the *offline optimum* -- a
+clairvoyant allocator that knows every endurance value and the attack in
+advance.  Under UAA every working slot absorbs the same wear ``w``, so a
+device with ``S`` spares survives to ``w`` iff the slots can be
+provisioned so each one's chain (its own line plus the spares assigned to
+it over time) totals at least ``w``.  Two bounds bracket the optimum:
+
+* :func:`fractional_oracle_lifetime` -- spares may be split arbitrarily
+  across slots (an LP relaxation).  For a fixed ``w`` the best spare set
+  is the ``S`` lines with the largest *excess* ``max(0, e - w)``: a
+  working line can contribute at most ``w`` before the device-wide
+  failure point, so endurance above ``w`` is stranded unless the line is
+  harvested as a spare.  Feasibility is then a simple sum comparison,
+  and the optimal ``w`` falls out of a binary search.
+* :func:`greedy_oracle_lifetime` -- spares are integral (one spare serves
+  one slot at a time, chains allowed), assigned by a largest-deficit /
+  largest-spare greedy.  This is achievable by a real (if clairvoyant)
+  controller, so it lower-bounds the optimum that the fractional bound
+  upper-bounds.
+
+A structural insight falls out (exercised in the ABL-ORACLE bench): the
+*fractional* optimum harvests the **strongest** lines as spares, while
+every realistic one-line-per-rescue scheme -- including Max-WE -- does
+better reserving the **weakest** lines, because an integral rescue
+consumes a whole spare regardless of the deficit it fills.  Max-WE's
+weak-priority rule is the right answer under the integral constraint the
+hardware actually has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.endurance.emap import EnduranceMap
+from repro.util.validation import require_fraction
+
+#: Relative precision of the binary searches.
+_TOLERANCE = 1e-9
+
+
+def _spares_and_lines(emap: EnduranceMap, spare_fraction: float) -> tuple[int, int]:
+    require_fraction(spare_fraction, "spare_fraction")
+    total = emap.lines
+    spares = int(round(spare_fraction * total))
+    if spares >= total:
+        raise ValueError("spare_fraction must leave at least one working line")
+    return spares, total
+
+
+def fractional_oracle_lifetime(emap: EnduranceMap, spare_fraction: float) -> float:
+    """Normalized-lifetime upper bound with infinitely divisible spares.
+
+    Feasibility of wear level ``w``: every line contributes
+    ``min(e, w)`` as a worker; electing it a spare adds its excess
+    ``max(0, e - w)``.  With the ``S`` largest excesses harvested, the
+    device survives iff total supply covers the ``(N - S) * w`` demand.
+    """
+    spares, total = _spares_and_lines(emap, spare_fraction)
+    endurance = emap.line_endurance
+    workers = total - spares
+
+    def feasible(w: float) -> bool:
+        base = np.minimum(endurance, w).sum()
+        if spares > 0:
+            excess = np.maximum(endurance - w, 0.0)
+            bonus = np.sort(excess)[::-1][:spares].sum()
+        else:
+            bonus = 0.0
+        return base + bonus >= workers * w - _TOLERANCE
+
+    low, high = 0.0, float(endurance.sum()) / workers
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if feasible(mid):
+            low = mid
+        else:
+            high = mid
+    return workers * low / emap.total_endurance
+
+
+def greedy_oracle_lifetime(
+    emap: EnduranceMap,
+    spare_fraction: float,
+    *,
+    spare_selection: str = "weakest",
+) -> float:
+    """Achievable clairvoyant lifetime with integral spare chaining.
+
+    For a candidate wear level ``w``: working slots with ``e < w`` have a
+    deficit; the greedy covers the largest deficit first, chaining the
+    largest remaining spares onto it.  The binary search returns the
+    largest feasible ``w``.
+
+    Parameters
+    ----------
+    spare_selection:
+        Which lines form the pool: ``"weakest"`` (Max-WE's weak-priority)
+        or ``"strongest"`` (the fractional optimum's choice) -- exposing
+        the integral-versus-fractional inversion described in the module
+        docstring.
+    """
+    spares, total = _spares_and_lines(emap, spare_fraction)
+    if spare_selection not in ("weakest", "strongest"):
+        raise ValueError(
+            f"spare_selection must be 'weakest' or 'strongest', got {spare_selection!r}"
+        )
+    endurance = np.sort(emap.line_endurance)
+    if spares == 0:
+        pool = np.empty(0)
+        workers_endurance = endurance
+    elif spare_selection == "weakest":
+        pool = endurance[:spares]
+        workers_endurance = endurance[spares:]
+    else:
+        pool = endurance[total - spares :]
+        workers_endurance = endurance[: total - spares]
+    workers = workers_endurance.size
+
+    def feasible(w: float) -> bool:
+        deficits = np.sort(np.maximum(w - workers_endurance, 0.0))[::-1]
+        deficits = deficits[deficits > _TOLERANCE]
+        supply = np.sort(pool)[::-1]
+        index = 0
+        for deficit in deficits:
+            remaining = deficit
+            while remaining > _TOLERANCE:
+                if index >= supply.size:
+                    return False
+                remaining -= supply[index]
+                index += 1
+        return True
+
+    low, high = 0.0, float(endurance.sum()) / workers
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if feasible(mid):
+            low = mid
+        else:
+            high = mid
+    return workers * low / emap.total_endurance

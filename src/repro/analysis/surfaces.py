@@ -1,0 +1,100 @@
+"""The Figure 5 lifetime-comparison surface.
+
+Figure 5 plots the normalized analytic lifetimes of Max-WE, PCD/PS and
+PS-worst over the grid ``0.1 <= p <= 0.3``, ``10 <= q <= 100``, showing
+Max-WE dominating everywhere.  :func:`lifetime_surface` evaluates the
+three Eq. 6-8 surfaces on an arbitrary grid; the bench prints the series,
+and :meth:`LifetimeSurface.maxwe_dominates` asserts the paper's headline
+claim ("Max-WE always outperforms both PCD/PS and PS-worst").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.lifetime import (
+    maxwe_normalized,
+    pcd_ps_normalized,
+    ps_worst_normalized,
+)
+
+#: The paper's Figure 5 parameter ranges.
+FIG5_P_RANGE = (0.1, 0.3)
+FIG5_Q_RANGE = (10.0, 100.0)
+
+
+@dataclass(frozen=True)
+class LifetimeSurface:
+    """Normalized analytic lifetimes on a ``(p, q)`` grid.
+
+    Attributes
+    ----------
+    p_values, q_values:
+        Grid axes.
+    maxwe, pcd_ps, ps_worst:
+        2-D arrays indexed ``[p_index, q_index]``.
+    """
+
+    p_values: np.ndarray
+    q_values: np.ndarray
+    maxwe: np.ndarray
+    pcd_ps: np.ndarray
+    ps_worst: np.ndarray
+
+    def maxwe_dominates(self) -> bool:
+        """Whether Max-WE beats both baselines at every grid point."""
+        return bool(
+            np.all(self.maxwe >= self.pcd_ps) and np.all(self.maxwe >= self.ps_worst)
+        )
+
+    def at(self, p: float, q: float) -> dict[str, float]:
+        """Spot values at an exact grid point."""
+        p_matches = np.flatnonzero(np.isclose(self.p_values, p))
+        q_matches = np.flatnonzero(np.isclose(self.q_values, q))
+        if p_matches.size != 1 or q_matches.size != 1:
+            raise KeyError(f"({p}, {q}) is not a grid point")
+        i, j = int(p_matches[0]), int(q_matches[0])
+        return {
+            "max-we": float(self.maxwe[i, j]),
+            "pcd-ps": float(self.pcd_ps[i, j]),
+            "ps-worst": float(self.ps_worst[i, j]),
+        }
+
+
+def lifetime_surface(
+    p_values: Sequence[float] | None = None,
+    q_values: Sequence[float] | None = None,
+) -> LifetimeSurface:
+    """Evaluate the three Figure 5 surfaces on a grid.
+
+    Defaults to the paper's ranges: ``p`` from 0.1 to 0.3 in steps of
+    0.05, ``q`` from 10 to 100 in steps of 10.
+    """
+    if p_values is None:
+        p_values = np.round(np.arange(0.10, 0.3001, 0.05), 4)
+    if q_values is None:
+        q_values = np.arange(10.0, 100.01, 10.0)
+    p_array = np.asarray(p_values, dtype=float)
+    q_array = np.asarray(q_values, dtype=float)
+    if p_array.size == 0 or q_array.size == 0:
+        raise ValueError("grid axes must be non-empty")
+
+    shape = (p_array.size, q_array.size)
+    maxwe = np.empty(shape)
+    pcd = np.empty(shape)
+    worst = np.empty(shape)
+    for i, p in enumerate(p_array):
+        for j, q in enumerate(q_array):
+            maxwe[i, j] = maxwe_normalized(float(p), float(q))
+            pcd[i, j] = pcd_ps_normalized(float(p), float(q))
+            worst[i, j] = ps_worst_normalized(float(p), float(q))
+    return LifetimeSurface(
+        p_values=p_array,
+        q_values=q_array,
+        maxwe=maxwe,
+        pcd_ps=pcd,
+        ps_worst=worst,
+    )

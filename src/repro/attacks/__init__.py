@@ -1,0 +1,54 @@
+"""Attack models and reference workloads (paper Section 3).
+
+Every attack/workload is an :class:`~repro.attacks.base.AttackModel` that
+can describe itself two ways:
+
+* an :class:`~repro.attacks.base.AccessProfile` -- the stationary write
+  distribution over logical user lines plus a concentration descriptor,
+  consumed by the fluid (mean-field) lifetime simulator;
+* a per-write address :meth:`~repro.attacks.base.AttackModel.stream`,
+  consumed by the exact reference simulator and the write-reduction
+  experiments.
+
+Implemented models:
+
+* :class:`~repro.attacks.uaa.UniformAddressAttack` -- the paper's UAA:
+  one write to each line, sequentially, repeated forever (Section 3.1);
+* :class:`~repro.attacks.bpa.BirthdayParadoxAttack` -- BPA (Section 5):
+  bursts on randomly chosen addresses to defeat randomized wear-leveling;
+* :class:`~repro.attacks.repeated.RepeatedAddressAttack` -- the classic
+  single-address hammer that motivates wear-leveling in the first place;
+* :class:`~repro.attacks.patterns.FlipNWriteDefeatAttack` and
+  :class:`~repro.attacks.patterns.IncompressibleDataAttack` -- the
+  data-pattern adversaries of Section 3.3.2;
+* :class:`~repro.attacks.workloads.ZipfWorkload` and
+  :class:`~repro.attacks.workloads.HotColdWorkload` -- benign cold/hot
+  reference workloads against which wear-leveling *does* help.
+"""
+
+from repro.attacks.base import AccessProfile, AttackModel, WriteRequest
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.mixed import MixedTraffic
+from repro.attacks.patterns import FlipNWriteDefeatAttack, IncompressibleDataAttack
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.suite import WORKLOAD_NAMES, workload
+from repro.attacks.targeted import TargetedWeakLineAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.attacks.workloads import HotColdWorkload, ZipfWorkload
+
+__all__ = [
+    "AccessProfile",
+    "AttackModel",
+    "WriteRequest",
+    "BirthdayParadoxAttack",
+    "MixedTraffic",
+    "FlipNWriteDefeatAttack",
+    "IncompressibleDataAttack",
+    "RepeatedAddressAttack",
+    "WORKLOAD_NAMES",
+    "workload",
+    "TargetedWeakLineAttack",
+    "UniformAddressAttack",
+    "HotColdWorkload",
+    "ZipfWorkload",
+]

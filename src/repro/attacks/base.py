@@ -1,0 +1,113 @@
+"""Attack-model interface shared by the fluid and exact simulators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.util.rng import RandomState
+from repro.util.validation import require_fraction, require_positive_int
+
+#: Profile kinds understood by the wear-leveling fluid models.
+PROFILE_UNIFORM = "uniform"
+PROFILE_CONCENTRATED = "concentrated"
+PROFILE_SKEWED = "skewed"
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Stationary description of a write pattern over logical user lines.
+
+    Attributes
+    ----------
+    kind:
+        ``"uniform"`` -- every logical line is written at the same rate
+        (UAA); ``"concentrated"`` -- at any instant (almost) all writes
+        target a single logical line whose identity changes slowly relative
+        to wear-leveling remap intervals (BPA, repeated-address);
+        ``"skewed"`` -- a stable non-uniform distribution (Zipf etc.).
+    weights:
+        For ``"skewed"`` profiles, the relative per-logical-line write
+        rates (any positive scale).  ``None`` for uniform/concentrated.
+    hot_fraction:
+        For concentrated profiles, the fraction of writes in the hot burst
+        (the rest is uniform background noise an attacker may add to evade
+        detection); 1.0 for a pure attack.
+    """
+
+    kind: str
+    weights: Optional[np.ndarray] = None
+    hot_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PROFILE_UNIFORM, PROFILE_CONCENTRATED, PROFILE_SKEWED):
+            raise ValueError(f"unknown profile kind {self.kind!r}")
+        require_fraction(self.hot_fraction, "hot_fraction")
+        if self.kind == PROFILE_SKEWED:
+            if self.weights is None:
+                raise ValueError("skewed profiles require explicit weights")
+            weights = np.asarray(self.weights, dtype=float)
+            if weights.ndim != 1 or weights.size == 0:
+                raise ValueError("weights must be a non-empty 1-D array")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("weights must be non-negative with positive sum")
+            object.__setattr__(self, "weights", weights)
+        elif self.weights is not None:
+            raise ValueError(f"{self.kind} profiles must not carry weights")
+
+    def logical_rates(self, user_lines: int) -> np.ndarray:
+        """Normalized per-logical-line write rates (sums to 1).
+
+        For concentrated profiles this is the *time-averaged* rate: the hot
+        target moves over the whole space in the long run, so the average
+        is uniform -- the concentration matters to wear-leveling dynamics,
+        not to the long-run marginal.
+        """
+        require_positive_int(user_lines, "user_lines")
+        if self.kind == PROFILE_SKEWED:
+            weights = np.asarray(self.weights, dtype=float)
+            if weights.size != user_lines:
+                raise ValueError(
+                    f"profile has {weights.size} weights but device has {user_lines} user lines"
+                )
+            return weights / weights.sum()
+        return np.full(user_lines, 1.0 / user_lines)
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """One write in an exact-mode address stream.
+
+    Attributes
+    ----------
+    address:
+        Logical line address in ``[0, user_lines)``.
+    data:
+        Optional 64-bit payload pattern; only the write-reduction
+        experiments inspect it.
+    """
+
+    address: int
+    data: Optional[int] = None
+
+
+class AttackModel(ABC):
+    """A write-pattern generator with fluid and exact views."""
+
+    #: Short machine-readable name used in result tables.
+    name: str = "attack"
+
+    @abstractmethod
+    def profile(self, user_lines: int) -> AccessProfile:
+        """Stationary access profile over ``user_lines`` logical lines."""
+
+    @abstractmethod
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        """Infinite per-write address stream (exact simulation mode)."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return self.name

@@ -1,0 +1,110 @@
+"""Mixed traffic: an attack embedded in benign background load.
+
+A real attacker rarely owns the whole machine; their writes share the
+memory channel with legitimate workload traffic.  :class:`MixedTraffic`
+combines any two attack/workload models with an ``attack_share`` mixing
+ratio:
+
+* the exact stream interleaves the two streams Bernoulli(attack_share);
+* the fluid profile mixes the two stationary descriptions -- the mixture
+  of profiles is a skewed profile whose weights are the convex
+  combination of the components' long-run rates.  (A concentrated
+  component contributes its *time-averaged* uniform marginal to the
+  rates; the concentration information survives through the
+  ``hot_fraction`` so wear-levelers can still redistribute the moving
+  hot spot.)
+
+The EXT-MIX bench sweeps the share to answer the deployment question the
+paper leaves open: how much attack bandwidth does UAA need before the
+lifetime collapses from the benign baseline to the Section 5 numbers?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.attacks.base import (
+    PROFILE_CONCENTRATED,
+    PROFILE_SKEWED,
+    PROFILE_UNIFORM,
+    AccessProfile,
+    AttackModel,
+    WriteRequest,
+)
+from repro.util.rng import RandomState, derive_rng
+from repro.util.validation import require_fraction
+
+
+@dataclass(frozen=True)
+class MixedTraffic(AttackModel):
+    """A convex mixture of two write-pattern models.
+
+    Parameters
+    ----------
+    attack:
+        The malicious component.
+    background:
+        The benign component.
+    attack_share:
+        Fraction of writes belonging to the attack.
+    """
+
+    attack: AttackModel
+    background: AttackModel
+    attack_share: float = 0.5
+
+    name = "mixed"
+
+    def __post_init__(self) -> None:
+        require_fraction(self.attack_share, "attack_share")
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        """Convex combination of the two components' stationary rates."""
+        share = self.attack_share
+        if share == 0.0:
+            return self.background.profile(user_lines)
+        if share == 1.0:
+            return self.attack.profile(user_lines)
+
+        attack_profile = self.attack.profile(user_lines)
+        background_profile = self.background.profile(user_lines)
+
+        # Pure-uniform mixtures stay uniform; concentration is preserved
+        # proportionally through hot_fraction.
+        kinds = {attack_profile.kind, background_profile.kind}
+        if kinds == {PROFILE_UNIFORM}:
+            return AccessProfile(kind=PROFILE_UNIFORM)
+        if PROFILE_CONCENTRATED in kinds and PROFILE_SKEWED not in kinds:
+            hot = 0.0
+            if attack_profile.kind == PROFILE_CONCENTRATED:
+                hot += share * attack_profile.hot_fraction
+            if background_profile.kind == PROFILE_CONCENTRATED:
+                hot += (1.0 - share) * background_profile.hot_fraction
+            return AccessProfile(kind=PROFILE_CONCENTRATED, hot_fraction=hot)
+
+        rates = share * attack_profile.logical_rates(user_lines) + (
+            1.0 - share
+        ) * background_profile.logical_rates(user_lines)
+        return AccessProfile(kind=PROFILE_SKEWED, weights=rates)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        """Bernoulli interleaving of the two exact streams."""
+        mix_rng = derive_rng(rng, "mix")
+        attack_stream = self.attack.stream(user_lines, derive_rng(rng, "attack"))
+        background_stream = self.background.stream(
+            user_lines, derive_rng(rng, "background")
+        )
+        while True:
+            if mix_rng.random() < self.attack_share:
+                yield next(attack_stream)
+            else:
+                yield next(background_stream)
+
+    def describe(self) -> str:
+        return (
+            f"mixed traffic ({self.attack_share:.0%} {self.attack.describe()} + "
+            f"{1.0 - self.attack_share:.0%} {self.background.describe()})"
+        )

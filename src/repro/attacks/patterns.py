@@ -1,0 +1,102 @@
+"""Data-pattern adversaries (paper Section 3.3.2).
+
+Write-reduction techniques cut cell wear by exploiting data redundancy;
+Section 3.3.2 shows an adversary controls the data and can always present
+worst-case patterns:
+
+* Flip-N-Write halves worst-case bit flips by optionally storing the
+  complement -- but alternating ``0x0000...`` and ``0x5555...`` at one
+  address forces the maximum surviving flip count every write;
+* compression-based reduction is defeated by incompressible (random)
+  payloads.
+
+These attacks drive the :mod:`repro.writereduce` experiments (bench
+``EXT-WR``), which measure the per-write cell-wear these techniques
+actually deliver under attack versus under benign traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.attacks.base import (
+    PROFILE_CONCENTRATED,
+    AccessProfile,
+    AttackModel,
+    WriteRequest,
+)
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import require_positive_int
+
+#: The alternating patterns from the paper: 0x0000 and 0x5555 (64-bit wide).
+PATTERN_ZERO: int = 0x0000_0000_0000_0000
+PATTERN_5555: int = 0x5555_5555_5555_5555
+
+
+@dataclass(frozen=True)
+class FlipNWriteDefeatAttack(AttackModel):
+    """Alternate ``0x0000`` / ``0x5555`` at one address (Section 3.3.2).
+
+    Between these two patterns exactly half the bits differ, so
+    Flip-N-Write's flip-or-complement choice saves nothing: either
+    encoding flips half the word every write, its worst case.
+    """
+
+    target: int = 0
+
+    name = "flip-n-write-defeat"
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        require_positive_int(user_lines, "user_lines")
+        return AccessProfile(kind=PROFILE_CONCENTRATED, hot_fraction=1.0)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        require_positive_int(user_lines, "user_lines")
+        if self.target >= user_lines:
+            raise ValueError(
+                f"target {self.target} outside user space of {user_lines} lines"
+            )
+        toggle = False
+        while True:
+            yield WriteRequest(
+                address=self.target, data=PATTERN_5555 if toggle else PATTERN_ZERO
+            )
+            toggle = not toggle
+
+    def describe(self) -> str:
+        return "Flip-N-Write defeat (alternating 0x0000/0x5555)"
+
+
+@dataclass(frozen=True)
+class IncompressibleDataAttack(AttackModel):
+    """Uniform sweep carrying fresh random payloads every write.
+
+    Defeats compression-based write reduction: random data has no
+    exploitable redundancy, so the full line is written each time.  The
+    address pattern is UAA's uniform sweep, making this a strictly
+    stronger variant of the paper's headline attack against devices that
+    combine wear-out delay with compression.
+    """
+
+    name = "incompressible"
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        require_positive_int(user_lines, "user_lines")
+        from repro.attacks.base import PROFILE_UNIFORM
+
+        return AccessProfile(kind=PROFILE_UNIFORM)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        require_positive_int(user_lines, "user_lines")
+        generator = ensure_rng(rng)
+        address = 0
+        while True:
+            payload = int(generator.integers(0, 2**64, dtype=np.uint64))
+            yield WriteRequest(address=address, data=payload)
+            address = (address + 1) % user_lines
+
+    def describe(self) -> str:
+        return "incompressible-data uniform sweep"

@@ -1,0 +1,68 @@
+"""The classic repeated-address attack.
+
+The simplest malicious wear-out: hammer one logical address forever.
+Start-Gap-style wear-leveling was designed against exactly this (Qureshi
+et al., MICRO'09); the paper uses it as the motivating baseline that
+existing defences *do* handle, in contrast to UAA which they do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.attacks.base import (
+    PROFILE_CONCENTRATED,
+    AccessProfile,
+    AttackModel,
+    WriteRequest,
+)
+from repro.util.rng import RandomState
+from repro.util.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class RepeatedAddressAttack(AttackModel):
+    """Write one fixed logical address forever.
+
+    Parameters
+    ----------
+    target:
+        The hammered logical line (must be inside the user space when the
+        stream is instantiated).
+    """
+
+    target: int = 0
+
+    name = "repeated"
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError(f"target must be non-negative, got {self.target}")
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        """Concentrated: all writes on one (fixed) logical line.
+
+        Without wear-leveling the hot line never moves, which the fluid
+        simulator handles through the no-wear-leveling scheme pinning the
+        concentrated profile to a single physical line.
+        """
+        require_positive_int(user_lines, "user_lines")
+        if self.target >= user_lines:
+            raise ValueError(
+                f"target {self.target} outside user space of {user_lines} lines"
+            )
+        return AccessProfile(kind=PROFILE_CONCENTRATED, hot_fraction=1.0)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        """The degenerate stream: target, target, target, ..."""
+        require_positive_int(user_lines, "user_lines")
+        if self.target >= user_lines:
+            raise ValueError(
+                f"target {self.target} outside user space of {user_lines} lines"
+            )
+        while True:
+            yield WriteRequest(address=self.target)
+
+    def describe(self) -> str:
+        return f"repeated-address attack on line {self.target}"

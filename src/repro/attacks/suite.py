@@ -1,0 +1,90 @@
+"""A named suite of synthetic reference workloads.
+
+The paper's NVMsim "avoids reading memory requests from the workload
+files" by generating traffic; this suite provides the generated
+equivalents of the standard memory-workload archetypes so lifetime
+studies have benign baselines with recognizable names.  Every entry is
+built from the library's primitive generators with parameters chosen to
+mimic the archetype's write-locality signature:
+
+========================  ====================================================
+name                      signature
+========================  ====================================================
+``streaming``             sequential full-space sweeps (media/ETL buffers)
+``database``              strong hot/cold split: hot index pages, cold heap
+``journaling``            extreme concentration on a small circular log
+``scientific``            mild Zipf over a large working set (stencils)
+``web-cache``             classic Zipf(1.0) object popularity
+``virtual-machines``      mid-skew hot/cold from consolidated guests
+========================  ====================================================
+
+Use :func:`workload` to instantiate by name and :data:`WORKLOAD_NAMES`
+to iterate the suite (the EXT-BENIGN bench does both).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.attacks.base import AttackModel
+from repro.attacks.mixed import MixedTraffic
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.attacks.workloads import HotColdWorkload, ZipfWorkload
+
+
+def _streaming() -> AttackModel:
+    # Sequential sweeps are exactly UAA's pattern -- benign intent, same
+    # wear signature.  (Streaming rarely rewrites, so real deployments
+    # see far lower absolute rates; the *shape* is what matters here.)
+    return UniformAddressAttack(random_data=False)
+
+
+def _database() -> AttackModel:
+    return HotColdWorkload(hot_fraction_of_lines=0.05, hot_fraction_of_writes=0.95)
+
+
+def _journaling() -> AttackModel:
+    # A circular log is a concentrated writer over a tiny region; the
+    # single-address hammer is its limiting shape.
+    return RepeatedAddressAttack(target=0)
+
+
+def _scientific() -> AttackModel:
+    return ZipfWorkload(exponent=0.6)
+
+
+def _web_cache() -> AttackModel:
+    return ZipfWorkload(exponent=1.0)
+
+
+def _virtual_machines() -> AttackModel:
+    return MixedTraffic(
+        attack=HotColdWorkload(hot_fraction_of_lines=0.2, hot_fraction_of_writes=0.8),
+        background=ZipfWorkload(exponent=0.8),
+        attack_share=0.5,
+    )
+
+
+_FACTORIES: Dict[str, Callable[[], AttackModel]] = {
+    "streaming": _streaming,
+    "database": _database,
+    "journaling": _journaling,
+    "scientific": _scientific,
+    "web-cache": _web_cache,
+    "virtual-machines": _virtual_machines,
+}
+
+#: The suite's workload names, in documentation order.
+WORKLOAD_NAMES = tuple(_FACTORIES)
+
+
+def workload(name: str) -> AttackModel:
+    """Instantiate a suite workload by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,109 @@
+"""The endurance-aware targeted attack: the knowledge upper bound.
+
+Section 3.1 stresses that UAA needs *no* endurance information ("The
+attacker is unaware of the endurance distribution").  The complementary
+question -- what could an attacker do *with* the manufacture-time
+endurance map (leaked, or profiled by timing attacks) -- bounds the value
+of keeping that map secret.  :class:`TargetedWeakLineAttack` hammers the
+``target_fraction`` weakest lines directly:
+
+* against an unprotected, unleveled device it is devastating -- the
+  weakest line dies after exactly ``EL`` writes, a lifetime of
+  ``EL / (N * E_mean)`` (orders of magnitude below even UAA's
+  ``EL / E_mean``);
+* against randomized wear-leveling the knowledge evaporates: the attacker
+  addresses *logical* lines, the mapping is secret and re-randomized, so
+  the stationary wear collapses to the concentrated/BPA case -- which is
+  exactly why the paper's threat model can afford to give the defender
+  the endurance map but not the attacker the address map.
+
+The EXT-KNOWLEDGE bench quantifies both regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.attacks.base import (
+    PROFILE_SKEWED,
+    AccessProfile,
+    AttackModel,
+    WriteRequest,
+)
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import require_fraction, require_positive_int
+
+
+@dataclass(frozen=True)
+class TargetedWeakLineAttack(AttackModel):
+    """Concentrate writes on the known weakest logical lines.
+
+    Parameters
+    ----------
+    weak_line_ids:
+        Logical line ids the attacker believes are weakest (e.g. from a
+        leaked characterization file), as a tuple for hashability.
+    target_fraction:
+        Alternative to explicit ids: hammer the weakest
+        ``target_fraction`` of the logical space assuming logical order
+        equals endurance rank (the no-wear-leveling worst case).
+    """
+
+    weak_line_ids: tuple = ()
+    target_fraction: float = 0.01
+
+    name = "targeted"
+
+    def __post_init__(self) -> None:
+        require_fraction(self.target_fraction, "target_fraction")
+        if not self.weak_line_ids and self.target_fraction <= 0.0:
+            raise ValueError("either weak_line_ids or target_fraction must select lines")
+        if any(line < 0 for line in self.weak_line_ids):
+            raise ValueError("weak_line_ids must be non-negative")
+
+    def _targets(self, user_lines: int) -> np.ndarray:
+        if self.weak_line_ids:
+            targets = np.asarray(self.weak_line_ids, dtype=np.int64)
+            if targets.max() >= user_lines:
+                raise ValueError(
+                    f"target line {targets.max()} outside user space of {user_lines}"
+                )
+            return targets
+        count = max(1, int(round(self.target_fraction * user_lines)))
+        return np.arange(count, dtype=np.int64)
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        """Skewed profile: all mass on the targeted lines."""
+        require_positive_int(user_lines, "user_lines")
+        weights = np.zeros(user_lines)
+        weights[self._targets(user_lines)] = 1.0
+        return AccessProfile(kind=PROFILE_SKEWED, weights=weights)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        """Round-robin over the targeted lines."""
+        require_positive_int(user_lines, "user_lines")
+        generator = ensure_rng(rng)
+        targets = self._targets(user_lines)
+        index = int(generator.integers(0, targets.size))
+        while True:
+            yield WriteRequest(address=int(targets[index]))
+            index = (index + 1) % targets.size
+
+    @classmethod
+    def from_endurance_map(cls, emap, target_fraction: float = 0.01):
+        """Build the attack from a leaked endurance map.
+
+        Assumes the identity logical-to-physical mapping (no wear
+        leveling) -- the scenario where the leak is lethal.
+        """
+        count = max(1, int(round(target_fraction * emap.lines)))
+        weakest = tuple(int(line) for line in emap.weakest_lines(count))
+        return cls(weak_line_ids=weakest, target_fraction=target_fraction)
+
+    def describe(self) -> str:
+        if self.weak_line_ids:
+            return f"targeted attack on {len(self.weak_line_ids)} known weak lines"
+        return f"targeted attack on the weakest {self.target_fraction:.1%} of lines"

@@ -1,0 +1,99 @@
+"""The Uniform Address Attack (paper Section 3.1-3.2).
+
+UAA performs one write to each line of the whole memory, one by one, and
+repeats the loop until lines wear out.  The attacker needs *no* knowledge
+of the endurance distribution: uniform writes are automatically "perfect
+wear-leveling", which defeats every remapping defence while still killing
+the weakest lines first (Equation 4: ``L_UAA = N * EL``).
+
+``coverage`` models the OS-level implementation of Section 3.2: a
+malicious process can ``malloc`` nearly all physical memory, but the
+kernel's own footprint (~5% on the paper's 4 GB example) stays out of
+reach.  ``coverage=1.0`` is the idealized attack the evaluation uses;
+:mod:`repro.osmodel` computes realistic values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.attacks.base import (
+    PROFILE_SKEWED,
+    PROFILE_UNIFORM,
+    AccessProfile,
+    AttackModel,
+    WriteRequest,
+)
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import require_fraction
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UniformAddressAttack(AttackModel):
+    """Sequential uniform writes over the attackable address space.
+
+    Parameters
+    ----------
+    coverage:
+        Fraction of the logical user space the attacker can reach
+        (Section 3.2; 1.0 = whole space).
+    random_data:
+        Whether the exact-mode stream carries random payloads (the paper's
+        attacker writes random data so write-reduction encodings can't
+        help); payloads are only materialized when requested.
+    """
+
+    coverage: float = 1.0
+    random_data: bool = True
+
+    name = "uaa"
+
+    def __post_init__(self) -> None:
+        require_fraction(self.coverage, "coverage")
+        if self.coverage <= 0.0:
+            raise ValueError("coverage must be positive; a zero-coverage attack writes nothing")
+
+    def attackable_lines(self, user_lines: int) -> int:
+        """Number of logical lines the attacker can write."""
+        return max(1, int(round(self.coverage * user_lines)))
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        """Uniform over the attackable prefix of the logical space.
+
+        With full coverage this is the pure uniform profile; partial
+        coverage yields a skewed profile that is uniform on the reachable
+        lines and zero elsewhere, which wear-leveling *can* exploit --
+        quantifying how much the kernel's reserved memory buys back.
+        """
+        reachable = self.attackable_lines(user_lines)
+        if reachable >= user_lines:
+            return AccessProfile(kind=PROFILE_UNIFORM)
+        weights = np.zeros(user_lines)
+        weights[:reachable] = 1.0
+        return AccessProfile(kind=PROFILE_SKEWED, weights=weights)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        """Address stream: 0, 1, 2, ..., reachable-1, 0, 1, ... forever."""
+        reachable = self.attackable_lines(user_lines)
+        generator = ensure_rng(rng) if self.random_data else None
+        address = 0
+        while True:
+            data: Optional[int] = None
+            if generator is not None:
+                data = int(generator.integers(0, 2**64, dtype=np.uint64))
+            yield WriteRequest(address=address, data=data)
+            address += 1
+            if address >= reachable:
+                address = 0
+
+    def writes_per_sweep(self, user_lines: int) -> int:
+        """Writes in one full pass over the attackable space."""
+        return self.attackable_lines(user_lines)
+
+    def describe(self) -> str:
+        if self.coverage >= 1.0:
+            return "UAA (uniform sequential writes, full coverage)"
+        return f"UAA (uniform sequential writes, {self.coverage:.1%} coverage)"

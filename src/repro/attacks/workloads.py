@@ -1,0 +1,127 @@
+"""Benign reference workloads with cold/hot locality.
+
+The endurance-variation-aware wear-levelers the paper compares against
+(Section 2.2.1) were designed for workloads where data access *has*
+cold/hot structure -- the property UAA deliberately lacks.  These
+generators provide that structure so tests and examples can demonstrate
+the schemes working as designed before showing UAA defeating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.attacks.base import (
+    PROFILE_SKEWED,
+    AccessProfile,
+    AttackModel,
+    WriteRequest,
+)
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import require_fraction, require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class ZipfWorkload(AttackModel):
+    """Writes drawn from a Zipf distribution over logical lines.
+
+    Parameters
+    ----------
+    exponent:
+        Zipf skew ``s`` (rate of line ranked ``k`` is ``1 / k^s``);
+        typical memory traffic sits near ``s ~ 1``.
+    shuffle:
+        Permute which logical lines are hot (default) rather than making
+        low addresses hottest; controlled by the stream's rng.
+    """
+
+    exponent: float = 1.0
+    shuffle: bool = True
+
+    name = "zipf"
+
+    def __post_init__(self) -> None:
+        require_positive(self.exponent, "exponent")
+
+    def _weights(self, user_lines: int, rng: RandomState = None) -> np.ndarray:
+        ranks = np.arange(1, user_lines + 1, dtype=float)
+        weights = ranks**-self.exponent
+        if self.shuffle:
+            generator = ensure_rng(rng)
+            weights = generator.permutation(weights)
+        return weights
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        require_positive_int(user_lines, "user_lines")
+        # The profile is rank-based; physical placement of hot lines is the
+        # wear-leveler's concern, so an unshuffled weight vector is the
+        # canonical representation.
+        ranks = np.arange(1, user_lines + 1, dtype=float)
+        return AccessProfile(kind=PROFILE_SKEWED, weights=ranks**-self.exponent)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        require_positive_int(user_lines, "user_lines")
+        generator = ensure_rng(rng)
+        weights = self._weights(user_lines, generator)
+        probabilities = weights / weights.sum()
+        while True:
+            # Draw in batches for speed; yield individually.
+            batch = generator.choice(user_lines, size=4096, p=probabilities)
+            for address in batch:
+                yield WriteRequest(address=int(address))
+
+    def describe(self) -> str:
+        return f"Zipf workload (s={self.exponent})"
+
+
+@dataclass(frozen=True)
+class HotColdWorkload(AttackModel):
+    """A two-temperature workload: a hot set takes most writes.
+
+    Parameters
+    ----------
+    hot_fraction_of_lines:
+        Fraction of logical lines in the hot set.
+    hot_fraction_of_writes:
+        Fraction of writes landing on the hot set (e.g. the classic 90/10).
+    """
+
+    hot_fraction_of_lines: float = 0.1
+    hot_fraction_of_writes: float = 0.9
+
+    name = "hot-cold"
+
+    def __post_init__(self) -> None:
+        require_fraction(self.hot_fraction_of_lines, "hot_fraction_of_lines", inclusive=False)
+        require_fraction(self.hot_fraction_of_writes, "hot_fraction_of_writes", inclusive=False)
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        require_positive_int(user_lines, "user_lines")
+        hot_lines = max(1, int(round(self.hot_fraction_of_lines * user_lines)))
+        weights = np.full(
+            user_lines,
+            (1.0 - self.hot_fraction_of_writes) / max(user_lines - hot_lines, 1),
+        )
+        weights[:hot_lines] = self.hot_fraction_of_writes / hot_lines
+        return AccessProfile(kind=PROFILE_SKEWED, weights=weights)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        require_positive_int(user_lines, "user_lines")
+        generator = ensure_rng(rng)
+        hot_lines = max(1, int(round(self.hot_fraction_of_lines * user_lines)))
+        while True:
+            if generator.random() < self.hot_fraction_of_writes:
+                address = int(generator.integers(0, hot_lines))
+            else:
+                address = int(generator.integers(hot_lines, max(user_lines, hot_lines + 1)))
+                address = min(address, user_lines - 1)
+            yield WriteRequest(address=address)
+
+    def describe(self) -> str:
+        return (
+            f"hot/cold workload ({self.hot_fraction_of_writes:.0%} of writes on "
+            f"{self.hot_fraction_of_lines:.0%} of lines)"
+        )

@@ -1,0 +1,404 @@
+"""Command-line interface: ``python -m repro`` / ``repro-nvm``.
+
+Subcommands map one-to-one onto the paper's experiments:
+
+* ``analyze``      -- closed-form lifetimes (Eq. 3-8) for given p, q;
+* ``simulate``     -- one lifetime simulation (attack x WL x sparing);
+* ``sweep-spare``  -- Figure 6's spare-capacity sweep under UAA;
+* ``sweep-swr``    -- Figure 7's SWR-share sweep under BPA;
+* ``compare-uaa``  -- Section 5.3.1's UAA scheme comparison;
+* ``compare-bpa``  -- Figure 8's BPA scheme comparison;
+* ``overhead``     -- Section 5.3.2's mapping-table overhead report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.lifetime import (
+    maxwe_normalized,
+    pcd_ps_normalized,
+    ps_worst_normalized,
+    uaa_fraction,
+)
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.core.overhead import mapping_overhead_report, paper_overhead_geometry
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiments import (
+    bpa_scheme_comparison,
+    spare_fraction_sweep,
+    swr_fraction_sweep,
+    uaa_scheme_comparison,
+)
+from repro.sim.lifetime import simulate_lifetime
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+from repro.sparing.ps import PS
+from repro.util.stats import geometric_mean
+from repro.util.tables import render_table
+from repro.wearlevel import make_scheme
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--regions", type=int, default=2048, help="region count")
+    parser.add_argument(
+        "--lines-per-region", type=int, default=8, help="lines per region (scaled)"
+    )
+    parser.add_argument("--q", type=float, default=50.0, help="variation degree EH/EL")
+    parser.add_argument(
+        "--endurance-model",
+        choices=("linear", "zhang-li", "lognormal"),
+        default="linear",
+        help="endurance distribution family",
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="experiment seed")
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        regions=args.regions,
+        lines_per_region=args.lines_per_region,
+        q=args.q,
+        endurance_model=args.endurance_model,
+        seed=args.seed,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    rows = [
+        ["no-protection (Eq. 5)", uaa_fraction(args.q)],
+        ["ps-worst (Eq. 8)", ps_worst_normalized(args.p, args.q)],
+        ["pcd-ps (Eq. 7)", pcd_ps_normalized(args.p, args.q)],
+        ["max-we (Eq. 6)", maxwe_normalized(args.p, args.q)],
+    ]
+    print(
+        render_table(
+            ["scheme", "normalized lifetime"],
+            rows,
+            title=f"Closed-form lifetimes under UAA (p={args.p}, q={args.q})",
+        )
+    )
+    return 0
+
+
+def _make_attack(name: str):
+    if name == "uaa":
+        return UniformAddressAttack()
+    if name == "bpa":
+        return BirthdayParadoxAttack()
+    if name == "repeated":
+        return RepeatedAddressAttack()
+    raise ValueError(f"unknown attack {name!r}")
+
+
+def _make_sparing(name: str, p: float, swr: float):
+    if name == "none":
+        return NoSparing()
+    if name == "pcd":
+        return PCD(p)
+    if name == "ps":
+        return PS.average_case(p)
+    if name == "ps-worst":
+        return PS.worst_case(p)
+    if name == "max-we":
+        return MaxWE(p, swr)
+    raise ValueError(f"unknown sparing scheme {name!r}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    emap = config.make_emap()
+    wearleveler = (
+        make_scheme(args.wearlevel, lines_per_region=1)
+        if args.wearlevel != "none"
+        else make_scheme("none")
+    )
+    result = simulate_lifetime(
+        emap,
+        _make_attack(args.attack),
+        _make_sparing(args.sparing, args.p, args.swr),
+        wearleveler=wearleveler,
+        rng=config.seed,
+    )
+    print(f"attack:      {result.metadata['attack']}")
+    print(f"wear-level:  {result.metadata['wearleveler']}")
+    print(f"sparing:     {result.metadata['sparing']}")
+    print(f"lifetime:    {result.normalized_lifetime:.2%} of ideal")
+    print(f"deaths:      {result.deaths} ({result.replacements} replaced)")
+    print(f"failure:     {result.failure_reason}")
+    return 0
+
+
+def _cmd_sweep_spare(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    rows = [
+        [f"{fraction:.0%}", result.normalized_lifetime]
+        for fraction, result in spare_fraction_sweep(config)
+    ]
+    print(
+        render_table(
+            ["spare capacity", "normalized lifetime"],
+            rows,
+            title="Figure 6: Max-WE under UAA vs spare capacity",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_swr(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    sweeps = swr_fraction_sweep(config)
+    fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
+    headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
+    rows = [
+        [name] + [result.normalized_lifetime for _, result in series]
+        for name, series in sweeps.items()
+    ]
+    print(
+        render_table(
+            headers, rows, title="Figure 7: Max-WE under BPA vs SWR share of spares"
+        )
+    )
+    return 0
+
+
+def _cmd_compare_uaa(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    results = uaa_scheme_comparison(config)
+    baseline = results["no-protection"].normalized_lifetime
+    rows = [
+        [name, result.normalized_lifetime, result.normalized_lifetime / baseline]
+        for name, result in results.items()
+    ]
+    print(
+        render_table(
+            ["scheme", "normalized lifetime", "improvement (X)"],
+            rows,
+            title="Section 5.3.1: lifetimes under UAA (10% spares)",
+        )
+    )
+    return 0
+
+
+def _cmd_compare_bpa(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    comparison = bpa_scheme_comparison(config)
+    wearlevelers = list(next(iter(comparison.values())).keys())
+    headers = ["scheme"] + wearlevelers + ["gmean"]
+    rows = []
+    for name, row in comparison.items():
+        lifetimes = [row[wl].normalized_lifetime for wl in wearlevelers]
+        rows.append([name] + lifetimes + [geometric_mean(lifetimes)])
+    print(
+        render_table(
+            headers, rows, title="Figure 8: sparing schemes under BPA (90% SWRs)"
+        )
+    )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    geometry = paper_overhead_geometry()
+    report = mapping_overhead_report(geometry, args.p, args.swr)
+    print("Section 5.3.2: mapping-table overhead (1 GB, 2048 regions)")
+    print(f"  LMT:              {report.lmt_bits} bits")
+    print(f"  RMT:              {report.rmt_bits} bits")
+    print(f"  wear-out tags:    {report.tag_bits} bits")
+    print(f"  Max-WE total:     {report.hybrid_mib:.2f} MB")
+    print(f"  all-line-level:   {report.line_level_mib:.2f} MB")
+    print(f"  reduction:        {report.reduction:.1%}")
+    print(f"  share of device:  {report.mapping_fraction_of_capacity:.3%}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.sim.batch import run_batch
+
+    specs = _json.loads(open(args.specs).read())
+    batch = run_batch(specs, _config_from(args))
+    print(batch.to_table())
+    if args.output:
+        batch.to_json(args.output)
+        print(f"\narchive written to {args.output}")
+    return 0
+
+
+def _cmd_record_trace(args: argparse.Namespace) -> int:
+    from repro.trace.record import record_trace
+
+    trace = record_trace(
+        _make_attack(args.attack), args.user_lines, args.length, rng=args.seed
+    )
+    path = trace.save(args.output)
+    print(f"recorded {len(trace)} writes from {trace.source!r} to {path}")
+    return 0
+
+
+def _cmd_classify_trace(args: argparse.Namespace) -> int:
+    from repro.trace.format import WriteTrace
+    from repro.trace.stats import analyze_trace
+
+    trace = WriteTrace.load(args.trace)
+    stats = analyze_trace(trace)
+    print(f"trace:        {args.trace} ({len(trace)} writes, {trace.source!r})")
+    print(f"kind:         {stats.kind}")
+    print(f"uniformity:   {stats.uniformity:.2f} (1 = indistinguishable from uniform)")
+    print(f"burstiness:   {stats.burstiness:.2f}")
+    print(f"touched:      {stats.touched_lines}/{stats.user_lines} lines")
+    print(f"max share:    {stats.max_share:.2%}")
+    return 0
+
+
+def _cmd_replay_trace(args: argparse.Namespace) -> int:
+    from repro.trace.format import WriteTrace
+    from repro.trace.replay import TraceAttack
+
+    config = _config_from(args)
+    trace = WriteTrace.load(args.trace)
+    emap = config.make_emap()
+    sparing = _make_sparing(args.sparing, args.p, args.swr)
+    try:
+        result = simulate_lifetime(emap, TraceAttack(trace), sparing, rng=config.seed)
+    except ValueError as error:
+        print(
+            f"error: {error}\nadjust --regions/--lines-per-region/--p so the "
+            "device's user space matches the trace's address space"
+        )
+        return 1
+    print(f"trace:       {trace.source!r} ({len(trace)} writes, looped)")
+    print(f"sparing:     {result.metadata['sparing']}")
+    print(f"lifetime:    {result.normalized_lifetime:.2%} of ideal")
+    print(f"failure:     {result.failure_reason}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.report import generate_report
+
+    document = generate_report(_config_from(args), args.output)
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nvm",
+        description="Reproduction of the DAC'19 Max-WE spare-line replacement paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="closed-form lifetimes (Eq. 3-8)")
+    analyze.add_argument("--p", type=float, default=0.1, help="spare fraction")
+    analyze.add_argument("--q", type=float, default=50.0, help="variation degree")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    simulate = subparsers.add_parser("simulate", help="one lifetime simulation")
+    _add_config_arguments(simulate)
+    simulate.add_argument(
+        "--attack", choices=("uaa", "bpa", "repeated"), default="uaa"
+    )
+    simulate.add_argument(
+        "--wearlevel",
+        choices=("none", "start-gap", "tlsr", "pcm-s", "bwl", "wawl", "toss-up"),
+        default="none",
+    )
+    simulate.add_argument(
+        "--sparing",
+        choices=("none", "pcd", "ps", "ps-worst", "max-we"),
+        default="max-we",
+    )
+    simulate.add_argument("--p", type=float, default=0.1, help="spare fraction")
+    simulate.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep_spare = subparsers.add_parser("sweep-spare", help="Figure 6 sweep")
+    _add_config_arguments(sweep_spare)
+    sweep_spare.set_defaults(handler=_cmd_sweep_spare)
+
+    sweep_swr = subparsers.add_parser("sweep-swr", help="Figure 7 sweep")
+    _add_config_arguments(sweep_swr)
+    sweep_swr.set_defaults(handler=_cmd_sweep_swr)
+
+    compare_uaa = subparsers.add_parser("compare-uaa", help="Section 5.3.1 table")
+    _add_config_arguments(compare_uaa)
+    compare_uaa.set_defaults(handler=_cmd_compare_uaa)
+
+    compare_bpa = subparsers.add_parser("compare-bpa", help="Figure 8 comparison")
+    _add_config_arguments(compare_bpa)
+    compare_bpa.set_defaults(handler=_cmd_compare_bpa)
+
+    overhead = subparsers.add_parser("overhead", help="Section 5.3.2 overhead")
+    overhead.add_argument("--p", type=float, default=0.1, help="spare fraction")
+    overhead.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
+    overhead.set_defaults(handler=_cmd_overhead)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSON list of experiment specs"
+    )
+    batch.add_argument("specs", type=str, help="path to a JSON spec list")
+    _add_config_arguments(batch)
+    batch.add_argument(
+        "--output", type=str, default=None, help="also archive results as JSON"
+    )
+    batch.set_defaults(handler=_cmd_batch)
+
+    record = subparsers.add_parser("record-trace", help="record an attack to a file")
+    record.add_argument("--attack", choices=("uaa", "bpa", "repeated"), default="uaa")
+    record.add_argument("--user-lines", type=int, default=16384)
+    record.add_argument("--length", type=int, default=163840)
+    record.add_argument("--seed", type=int, default=2019)
+    record.add_argument("--output", type=str, required=True)
+    record.set_defaults(handler=_cmd_record_trace)
+
+    classify = subparsers.add_parser(
+        "classify-trace", help="classify a trace from its statistics"
+    )
+    classify.add_argument("trace", type=str, help="path to a .npz trace")
+    classify.set_defaults(handler=_cmd_classify_trace)
+
+    replay = subparsers.add_parser(
+        "replay-trace", help="run a lifetime simulation from a trace file"
+    )
+    replay.add_argument("trace", type=str, help="path to a .npz trace")
+    _add_config_arguments(replay)
+    replay.add_argument(
+        "--sparing",
+        choices=("none", "pcd", "ps", "ps-worst", "max-we"),
+        default="max-we",
+    )
+    replay.add_argument("--p", type=float, default=0.1, help="spare fraction")
+    replay.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
+    replay.set_defaults(handler=_cmd_replay_trace)
+
+    report = subparsers.add_parser(
+        "report", help="run the full evaluation and emit a Markdown report"
+    )
+    _add_config_arguments(report)
+    report.add_argument(
+        "--output", type=str, default=None, help="write the report to this path"
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Max-WE: the paper's spare-line replacement scheme (Section 4).
+
+Max-WE ("Maximize the Weak lines' Endurance") combines:
+
+* **weak-priority** spare selection -- the weakest regions become the
+  spare space instead of serving users
+  (:func:`~repro.core.allocation.plan_allocation`);
+* **weak-strong matching** -- the strongest spare regions are permanently
+  paired with the weakest remaining (user-facing) regions so every pair's
+  combined endurance is balanced and maximized;
+* a small pool of **additional spare regions** that dynamically rescue
+  wear-out lines outside the paired set;
+* **hybrid mapping** -- a region-level table (RMT) for the permanent
+  pairs and a line-level table (LMT) for the dynamic rescues, cutting
+  mapping storage by 85% versus all-line-level mapping
+  (:mod:`repro.core.mapping`, :mod:`repro.core.overhead`).
+
+:class:`~repro.core.maxwe.MaxWE` implements the sparing-scheme interface
+used by the lifetime simulator; :class:`~repro.core.controller.MaxWEController`
+implements the exact per-request translation datapath of Section 4.2.
+"""
+
+from repro.core.allocation import AllocationPlan, plan_allocation
+from repro.core.controller import MaxWEController
+from repro.core.mapping import LineMappingTable, RegionMappingTable
+from repro.core.maxwe import MaxWE
+from repro.core.overhead import (
+    MappingOverheadReport,
+    hybrid_mapping_bits,
+    line_level_mapping_bits,
+    mapping_overhead_report,
+)
+
+__all__ = [
+    "AllocationPlan",
+    "plan_allocation",
+    "MaxWEController",
+    "LineMappingTable",
+    "RegionMappingTable",
+    "MaxWE",
+    "MappingOverheadReport",
+    "hybrid_mapping_bits",
+    "line_level_mapping_bits",
+    "mapping_overhead_report",
+]

@@ -1,0 +1,189 @@
+"""The exact Max-WE memory-controller datapath (Section 4.2).
+
+:class:`MaxWEController` wires together a wear-leveling module, the hybrid
+mapping tables and an :class:`~repro.device.bank.NVMBank`, and services
+requests exactly as the paper describes:
+
+* a logical line address is first translated by the wear-leveling module
+  to a physical line address (``pla``);
+* if ``pla`` has an LMT entry, the access goes to the recorded spare line;
+* otherwise, if its region has an RMT entry and the line's wear-out tag is
+  set, the access goes to the matched SWR line (same intra-region offset);
+* otherwise the access uses ``pla`` directly.
+
+On a write that wears out its target, the replacement procedure runs and
+the remaining writes land on the replacement; when replacement fails the
+controller raises :class:`~repro.device.errors.DeviceWornOutError`.
+
+This is the reference implementation the fluid simulator is validated
+against; it is exact but per-write, so use it with small banks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.maxwe import MaxWE
+from repro.device.bank import NVMBank
+from repro.device.errors import DeviceWornOutError
+from repro.util.rng import RandomState
+from repro.wearlevel.base import WearLeveler
+from repro.wearlevel.none import NoWearLeveling
+
+
+class MaxWEController:
+    """Exact per-request controller for a Max-WE protected bank.
+
+    Parameters
+    ----------
+    bank:
+        The physical bank (endurance map defines regions).
+    scheme:
+        A Max-WE instance (or any configured-but-uninitialized one);
+        initialized here against the bank's endurance map.
+    wearleveler:
+        Wear-leveling module in front of the sparing layer; defaults to
+        the identity scheme.
+    rng:
+        Randomness seed shared by the scheme and the wear-leveler.
+    """
+
+    def __init__(
+        self,
+        bank: NVMBank,
+        scheme: Optional[MaxWE] = None,
+        wearleveler: Optional[WearLeveler] = None,
+        rng: RandomState = None,
+    ) -> None:
+        self._bank = bank
+        self._scheme = scheme if scheme is not None else MaxWE()
+        self._scheme.initialize(bank.endurance_map, rng)
+        self._backing = self._scheme.initial_backing
+        self._wl = wearleveler if wearleveler is not None else NoWearLeveling()
+        self._wl.attach(bank.endurance_map.line_endurance[self._backing], rng)
+        self._writes_served = 0
+        self._failure: Optional[str] = None
+        self._translation_counts = {"direct": 0, "rmt": 0, "lmt": 0}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def bank(self) -> NVMBank:
+        """The underlying physical bank."""
+        return self._bank
+
+    @property
+    def scheme(self) -> MaxWE:
+        """The Max-WE instance (mapping tables live here)."""
+        return self._scheme
+
+    @property
+    def user_lines(self) -> int:
+        """Logical capacity exposed to software."""
+        if isinstance(self._wl, NoWearLeveling):
+            return self._scheme.slots
+        # Schemes like Start-Gap sacrifice slots to their own machinery.
+        return getattr(self._wl, "logical_lines", self._scheme.slots)
+
+    @property
+    def writes_served(self) -> int:
+        """User writes completed so far."""
+        return self._writes_served
+
+    @property
+    def failed(self) -> bool:
+        """Whether the device has been declared worn out."""
+        return self._failure is not None
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        """Why the device failed, if it did."""
+        return self._failure
+
+    # ------------------------------------------------------------------
+    # Section 4.2 datapath
+    # ------------------------------------------------------------------
+
+    @property
+    def translation_counts(self) -> dict:
+        """How many translations resolved directly vs through RMT/LMT.
+
+        The paper keeps both tables in SRAM for low latency; these
+        counters show how rarely the table paths are even exercised --
+        translation overhead is paid only after wear-outs occur.
+        """
+        return dict(self._translation_counts)
+
+    def _slot_to_line(self, slot: int) -> int:
+        """Translate a physical slot through LMT, then RMT (paper order)."""
+        pla = int(self._backing[slot])
+        lmt = self._scheme.lmt
+        spare = lmt.lookup(pla)
+        if spare is not None:
+            self._translation_counts["lmt"] += 1
+            return spare
+        per = self._bank.endurance_map.lines_per_region
+        pra, offset = divmod(pla, per)
+        rmt = self._scheme.rmt
+        if pra in rmt and rmt.is_worn(pra, offset):
+            spare_region = rmt.spare_region_of(pra)
+            assert spare_region is not None
+            self._translation_counts["rmt"] += 1
+            return spare_region * per + offset
+        self._translation_counts["direct"] += 1
+        return pla
+
+    def read(self, logical: int) -> int:
+        """Translate a read; returns the physical line that would be accessed."""
+        self._check_alive()
+        slot = self._wl.translate(logical)
+        return self._slot_to_line(slot)
+
+    def write(self, logical: int) -> int:
+        """Service one user write; returns the physical line written.
+
+        Raises
+        ------
+        DeviceWornOutError
+            When a wear-out cannot be repaired.
+        """
+        self._check_alive()
+        slot = self._wl.translate(logical)
+        self._write_slot(slot, count=1)
+        self._writes_served += 1
+        # Wear-leveling side effects (remap data movement) also wear lines.
+        for side_slot, extra in self._wl.record_write(logical):
+            self._write_slot(side_slot, count=extra)
+        return self._slot_to_line(slot) if not self.failed else -1
+
+    def _write_slot(self, slot: int, count: int) -> None:
+        """Apply ``count`` writes to a slot, running replacement on wear-out."""
+        remaining = count
+        while remaining > 0:
+            line = self._slot_to_line(slot)
+            died = self._bank.write(line, 1)
+            remaining -= 1
+            if died:
+                self._handle_death(slot, line)
+
+    def _handle_death(self, slot: int, dead_line: int) -> None:
+        from repro.sparing.base import FailDevice, RemoveSlot, ReplaceWith
+
+        outcome = self._scheme.replace(slot, dead_line)
+        if isinstance(outcome, ReplaceWith):
+            return  # _slot_to_line picks up the new mapping via LMT/RMT.
+        if isinstance(outcome, RemoveSlot):  # pragma: no cover - Max-WE never removes
+            raise AssertionError("Max-WE does not degrade capacity")
+        assert isinstance(outcome, FailDevice)
+        self._failure = outcome.reason
+        raise DeviceWornOutError(outcome.reason, float(self._writes_served))
+
+    def _check_alive(self) -> None:
+        if self._failure is not None:
+            raise DeviceWornOutError(self._failure, float(self._writes_served))
+
+    def normalized_lifetime(self) -> float:
+        """Served writes over total endurance (defined once the device failed)."""
+        return self._writes_served / self._bank.total_endurance

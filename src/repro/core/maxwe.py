@@ -1,0 +1,244 @@
+"""Max-WE as a spare-line replacement scheme (Sections 4.1-4.2).
+
+:class:`MaxWE` plugs into the lifetime simulator through the
+:class:`~repro.sparing.base.SpareScheme` interface and implements the
+paper's replacement procedure:
+
+* a wear-out in an **RWR** line fails over to its permanently matched SWR
+  line (same intra-region offset), setting the RMT wear-out tag;
+* a wear-out anywhere else is rescued by the **strongest remaining line of
+  the additional spare regions**, recorded in the LMT; a rescued line may
+  be re-rescued (the old LMT entry is dropped first);
+* a wear-out of an SWR line already serving as a replacement falls
+  through to the additional pool (the Section 4.2 "otherwise" branch; see
+  the ``rwr_fallback_to_lmt`` parameter), and the device is worn out when
+  a rescue finds the additional pool empty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.allocation import AllocationPlan, plan_allocation
+from repro.core.mapping import LineMappingTable, RegionMappingTable
+from repro.sparing.base import FailDevice, Replacement, ReplaceWith, SpareScheme
+from repro.util.validation import require_fraction
+
+#: Slot backing states.
+_ORIGINAL = "original"
+_SWR_REPLACED = "swr-replaced"
+_LMT_REPLACED = "lmt-replaced"
+
+
+class MaxWE(SpareScheme):
+    """The paper's spare-line replacement scheme.
+
+    Parameters
+    ----------
+    spare_fraction:
+        Fraction ``p`` of capacity reserved as spare space (the paper
+        settles on 10% after the Figure 6 sweep).
+    swr_fraction:
+        Fraction ``q`` of the spare space used as permanent SWRs (90%
+        after the Figure 7 sweep).
+    spare_selection / matching:
+        Ablation knobs forwarded to
+        :func:`~repro.core.allocation.plan_allocation`; the paper's scheme
+        is ``("weak-priority", "weak-strong")``.
+    rwr_fallback_to_lmt:
+        When an RWR's dedicated SWR line dies, rescue it from the dynamic
+        pool instead of failing the device.  On by default: in the
+        Section 4.2 algorithm a dead SWR line's region is *not* among the
+        RMT's ``pra`` entries, so its replacement falls through to the
+        "otherwise" (additional-spare) branch.  Disable for the strictest
+        reading in which region-mapped slots get exactly one rescue.
+    region_metric:
+        Region endurance summary used for ranking.
+    """
+
+    name = "max-we"
+
+    def __init__(
+        self,
+        spare_fraction: float = 0.1,
+        swr_fraction: float = 0.9,
+        *,
+        spare_selection: str = "weak-priority",
+        matching: str = "weak-strong",
+        rwr_fallback_to_lmt: bool = True,
+        region_metric: str = "min",
+    ) -> None:
+        require_fraction(spare_fraction, "spare_fraction")
+        require_fraction(swr_fraction, "swr_fraction")
+        super().__init__(spare_fraction=spare_fraction)
+        self._swr_fraction = swr_fraction
+        self._spare_selection = spare_selection
+        self._matching = matching
+        self._rwr_fallback = rwr_fallback_to_lmt
+        self._region_metric = region_metric
+        self._plan: AllocationPlan | None = None
+        self._rmt: RegionMappingTable | None = None
+        self._lmt: LineMappingTable | None = None
+        self._pool: List[int] = []
+        self._slot_of_line: Dict[int, int] = {}
+        self._slot_state: Dict[int, str] = {}
+        self._slot_original_line: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def swr_fraction(self) -> float:
+        """Configured SWR share ``q`` of the spare space."""
+        return self._swr_fraction
+
+    @property
+    def plan(self) -> AllocationPlan:
+        """The static allocation plan (after :meth:`initialize`)."""
+        self._require_initialized()
+        assert self._plan is not None
+        return self._plan
+
+    @property
+    def rmt(self) -> RegionMappingTable:
+        """The region mapping table."""
+        self._require_initialized()
+        assert self._rmt is not None
+        return self._rmt
+
+    @property
+    def lmt(self) -> LineMappingTable:
+        """The line mapping table."""
+        self._require_initialized()
+        assert self._lmt is not None
+        return self._lmt
+
+    @property
+    def pool_remaining(self) -> int:
+        """Additional spare lines not yet handed out."""
+        self._require_initialized()
+        return len(self._pool)
+
+    def spare_lines(self, total_lines: int) -> int:
+        """Spare line count; region-rounded so roles align with regions."""
+        self._require_initialized()
+        assert self._plan is not None
+        assert self._emap is not None
+        return self._plan.spare_region_count * self._emap.lines_per_region
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+
+    def _build_backing(self) -> np.ndarray:
+        assert self._emap is not None and self._rng is not None
+        emap = self._emap
+        self._plan = plan_allocation(
+            emap,
+            self.spare_fraction,
+            self._swr_fraction,
+            spare_selection=self._spare_selection,
+            matching=self._matching,
+            region_metric=self._region_metric,
+            rng=self._rng,
+        )
+        per = emap.lines_per_region
+
+        self._rmt = RegionMappingTable(
+            pairs=zip(
+                (int(region) for region in self._plan.rwr_regions),
+                (int(region) for region in self._plan.swr_regions),
+            ),
+            lines_per_region=per,
+            total_regions=emap.regions,
+        )
+
+        # Additional pool: every line of the additional spare regions,
+        # strongest first (Section 4.2's allocation order).
+        pool_lines: List[int] = []
+        for region in self._plan.additional_regions:
+            start = int(region) * per
+            pool_lines.extend(range(start, start + per))
+        endurance = emap.line_endurance
+        pool_lines.sort(key=lambda line: -endurance[line])
+        self._pool = pool_lines
+        self._lmt = LineMappingTable(capacity=len(pool_lines), total_lines=emap.lines)
+
+        backing: List[int] = []
+        for region in self._plan.working_regions:
+            start = int(region) * per
+            backing.extend(range(start, start + per))
+        backing_array = np.asarray(backing, dtype=np.intp)
+        self._slot_of_line = {int(line): slot for slot, line in enumerate(backing_array)}
+        self._slot_state = {slot: _ORIGINAL for slot in range(backing_array.size)}
+        self._slot_original_line = {
+            slot: int(line) for slot, line in enumerate(backing_array)
+        }
+        return backing_array
+
+    @property
+    def min_user_slots(self) -> int:
+        """Max-WE never retires slots; every working line stays addressable."""
+        return self.slots
+
+    # ------------------------------------------------------------------
+    # Replacement (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def replace(self, slot: int, dead_line: int) -> Replacement:
+        self._require_initialized()
+        assert self._plan is not None and self._rmt is not None and self._lmt is not None
+        assert self._emap is not None
+        state = self._slot_state.get(slot)
+        if state is None:
+            raise KeyError(f"unknown slot {slot}")
+        per = self._emap.lines_per_region
+
+        if state == _ORIGINAL:
+            region = dead_line // per
+            offset = dead_line % per
+            spare_region = self._rmt.spare_region_of(region)
+            if spare_region is not None:
+                # RWR line: fail over to the matched SWR line.
+                self._rmt.mark_worn(region, offset)
+                replacement = spare_region * per + offset
+                self._slot_state[slot] = _SWR_REPLACED
+                return ReplaceWith(line=replacement)
+            return self._rescue_from_pool(slot, self._slot_original_line[slot])
+
+        if state == _LMT_REPLACED:
+            # Re-rescue: drop the stale entry, allocate a fresh spare line.
+            original = self._slot_original_line[slot]
+            if original in self._lmt:
+                self._lmt.remove(original)
+            return self._rescue_from_pool(slot, original)
+
+        # state == _SWR_REPLACED: the dedicated spare line died.
+        if self._rwr_fallback:
+            return self._rescue_from_pool(slot, self._slot_original_line[slot])
+        return FailDevice(
+            reason=(
+                f"SWR replacement line {dead_line} worn out; region-mapped slots "
+                "have no further rescue"
+            )
+        )
+
+    def _rescue_from_pool(self, slot: int, original_line: int) -> Replacement:
+        assert self._lmt is not None
+        if not self._pool:
+            return FailDevice(
+                reason="additional spare regions exhausted (Section 4.2 failure)"
+            )
+        spare = self._pool.pop(0)
+        self._lmt.insert(original_line, spare)
+        self._slot_state[slot] = _LMT_REPLACED
+        return ReplaceWith(line=spare)
+
+    def describe(self) -> str:
+        return (
+            f"Max-WE (p={self.spare_fraction:.0%}, SWRs={self._swr_fraction:.0%}, "
+            f"selection={self._spare_selection}, matching={self._matching})"
+        )

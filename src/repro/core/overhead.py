@@ -1,0 +1,146 @@
+"""Closed-form mapping-table overhead (Sections 4.4 and 5.3.2).
+
+For ``N`` lines, ``R`` regions, ``S = p * N`` spare lines of which
+fraction ``q`` is region-mapped (SWRs):
+
+* line-level LMT part: ``(1 - q) * S * log2(N)`` bits,
+* region-level RMT part: ``(q * S * R * log2(R)) / N`` bits,
+* wear-out tags: ``q * S`` bits,
+* traditional all-line-level mapping: ``S * log2(N)`` bits.
+
+The paper's 1 GB / 2048-region example with ``p = 10%``, ``q = 90%``
+yields about 0.16 MB for Max-WE versus about 1.1 MB for all-line-level
+mapping -- an 85% reduction.  (Back-solving those absolute numbers fixes
+the paper's line size at 256 B, i.e. ``N = 2^22``; see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.geometry import DeviceGeometry
+from repro.util.units import bits_to_mib, bits_required
+from repro.util.validation import require_fraction
+
+#: Line size that reproduces the paper's absolute megabyte figures.
+PAPER_OVERHEAD_LINE_BYTES: int = 256
+
+
+def line_level_mapping_bits(total_lines: int, spare_lines: int) -> int:
+    """Traditional all-line-level mapping: ``S * log2 N`` bits."""
+    if spare_lines < 0 or spare_lines > total_lines:
+        raise ValueError(f"spare_lines {spare_lines} out of range [0, {total_lines}]")
+    return spare_lines * bits_required(total_lines)
+
+
+def lmt_bits(total_lines: int, spare_lines: int, swr_fraction: float) -> int:
+    """LMT part of the hybrid: ``(1 - q) * S * log2 N`` bits."""
+    require_fraction(swr_fraction, "swr_fraction")
+    dynamic_lines = round((1.0 - swr_fraction) * spare_lines)
+    return dynamic_lines * bits_required(total_lines)
+
+
+def rmt_bits(
+    total_lines: int, regions: int, spare_lines: int, swr_fraction: float
+) -> int:
+    """RMT part of the hybrid: ``(q * S * R * log2 R) / N`` bits.
+
+    ``q * S * R / N`` is the SWR *region* count; each entry stores one
+    region address.
+    """
+    require_fraction(swr_fraction, "swr_fraction")
+    swr_regions = round(swr_fraction * spare_lines * regions / total_lines)
+    return swr_regions * bits_required(regions)
+
+
+def wear_out_tag_bits(spare_lines: int, swr_fraction: float) -> int:
+    """One wear-out tag bit per SWR line: ``q * S`` bits."""
+    require_fraction(swr_fraction, "swr_fraction")
+    return round(swr_fraction * spare_lines)
+
+
+def hybrid_mapping_bits(
+    total_lines: int,
+    regions: int,
+    spare_lines: int,
+    swr_fraction: float,
+    *,
+    include_tags: bool = True,
+) -> int:
+    """Total Max-WE mapping storage in bits."""
+    total = lmt_bits(total_lines, spare_lines, swr_fraction) + rmt_bits(
+        total_lines, regions, spare_lines, swr_fraction
+    )
+    if include_tags:
+        total += wear_out_tag_bits(spare_lines, swr_fraction)
+    return total
+
+
+@dataclass(frozen=True)
+class MappingOverheadReport:
+    """Side-by-side overhead comparison for one device configuration."""
+
+    geometry: DeviceGeometry
+    spare_fraction: float
+    swr_fraction: float
+    lmt_bits: int
+    rmt_bits: int
+    tag_bits: int
+    line_level_bits: int
+
+    @property
+    def hybrid_bits(self) -> int:
+        """Total Max-WE bits (LMT + RMT + tags)."""
+        return self.lmt_bits + self.rmt_bits + self.tag_bits
+
+    @property
+    def hybrid_mib(self) -> float:
+        """Max-WE storage in MiB."""
+        return bits_to_mib(self.hybrid_bits)
+
+    @property
+    def line_level_mib(self) -> float:
+        """All-line-level storage in MiB."""
+        return bits_to_mib(self.line_level_bits)
+
+    @property
+    def reduction(self) -> float:
+        """Fractional saving versus all-line-level mapping (the paper's 85%)."""
+        return 1.0 - self.hybrid_bits / self.line_level_bits
+
+    @property
+    def mapping_fraction_of_capacity(self) -> float:
+        """Mapping storage over device capacity (the abstract's 0.016%)."""
+        return self.hybrid_bits / 8.0 / self.geometry.capacity_bytes
+
+
+def mapping_overhead_report(
+    geometry: DeviceGeometry,
+    spare_fraction: float = 0.1,
+    swr_fraction: float = 0.9,
+) -> MappingOverheadReport:
+    """Compute the Section 5.3.2 overhead comparison for a device."""
+    require_fraction(spare_fraction, "spare_fraction")
+    require_fraction(swr_fraction, "swr_fraction")
+    total = geometry.total_lines
+    spare = round(spare_fraction * total)
+    return MappingOverheadReport(
+        geometry=geometry,
+        spare_fraction=spare_fraction,
+        swr_fraction=swr_fraction,
+        lmt_bits=lmt_bits(total, spare, swr_fraction),
+        rmt_bits=rmt_bits(total, geometry.regions, spare, swr_fraction),
+        tag_bits=wear_out_tag_bits(spare, swr_fraction),
+        line_level_bits=line_level_mapping_bits(total, spare),
+    )
+
+
+def paper_overhead_geometry() -> DeviceGeometry:
+    """The geometry that reproduces the paper's 0.16 MB / 1.1 MB figures."""
+    from repro.device.geometry import PAPER_CAPACITY_BYTES, PAPER_REGIONS
+
+    return DeviceGeometry(
+        total_lines=PAPER_CAPACITY_BYTES // PAPER_OVERHEAD_LINE_BYTES,
+        regions=PAPER_REGIONS,
+        line_bytes=PAPER_OVERHEAD_LINE_BYTES,
+    )

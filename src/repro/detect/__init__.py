@@ -1,0 +1,25 @@
+"""Online attack detection (extension beyond the paper).
+
+The paper defends against UAA *passively*: Max-WE maximizes what the
+weakest lines can absorb.  A memory controller can also try to *notice*
+the attack -- UAA's signature (a near-perfect uniform sweep sustained far
+past any benign working set) and BPA's (long single-address bursts) are
+both statistically loud.  This package provides a streaming classifier:
+
+* :class:`~repro.detect.monitor.WriteRateMonitor` -- sliding-window
+  address statistics (unique fraction, sequential-step fraction, repeat
+  fraction, max line share);
+* :class:`~repro.detect.monitor.AttackClassifier` -- window-level verdicts
+  (``benign`` / ``uniform-sweep`` / ``burst``) with configurable
+  thresholds and a hysteresis counter before raising an alarm.
+
+Detection does not replace Max-WE (an attacker who knows the detector can
+slow down below its thresholds -- at which point the paper's lifetime
+math is winning anyway); it gives the OS an early signal to throttle or
+kill the offending process.  The EXT-DETECT bench measures detection
+latency and false-positive rates on benign workloads.
+"""
+
+from repro.detect.monitor import AttackClassifier, Verdict, WindowStats, WriteRateMonitor
+
+__all__ = ["AttackClassifier", "Verdict", "WindowStats", "WriteRateMonitor"]

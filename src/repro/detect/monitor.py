@@ -1,0 +1,209 @@
+"""Sliding-window write-stream statistics and attack classification."""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Optional
+
+from repro.util.validation import require_fraction, require_positive_int
+
+
+class Verdict(str, Enum):
+    """Window-level classification."""
+
+    BENIGN = "benign"
+    UNIFORM_SWEEP = "uniform-sweep"
+    BURST = "burst"
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Statistics of one observation window.
+
+    Attributes
+    ----------
+    writes:
+        Window length.
+    unique_fraction:
+        Distinct addresses over window length -- near 1 for a uniform
+        sweep wider than the window, low for bursts.
+    sequential_fraction:
+        Fraction of consecutive pairs with address delta +1 -- the
+        signature of UAA's "one by one" scan (Section 3.1).
+    repeat_fraction:
+        Fraction of consecutive pairs with delta 0 -- the signature of a
+        single-address burst.
+    max_share:
+        Largest single address's share of the window.
+    """
+
+    writes: int
+    unique_fraction: float
+    sequential_fraction: float
+    repeat_fraction: float
+    max_share: float
+
+
+class WriteRateMonitor:
+    """Streaming window statistics over a write-address stream.
+
+    Parameters
+    ----------
+    window:
+        Observation window length in writes.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        require_positive_int(window, "window")
+        if window < 16:
+            raise ValueError(f"window must be >= 16 for stable statistics, got {window}")
+        self._window = window
+        self._addresses: Deque[int] = deque(maxlen=window)
+        self._counts: Counter[int] = Counter()
+        self._sequential = 0
+        self._repeats = 0
+        self._previous: Optional[int] = None
+        self._pair_deltas: Deque[int] = deque(maxlen=window)
+
+    @property
+    def window(self) -> int:
+        """Configured window length."""
+        return self._window
+
+    @property
+    def filled(self) -> bool:
+        """Whether a full window has been observed."""
+        return len(self._addresses) == self._window
+
+    def observe(self, address: int) -> None:
+        """Feed one write address."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        if len(self._addresses) == self._window:
+            oldest = self._addresses[0]
+            self._counts[oldest] -= 1
+            if self._counts[oldest] == 0:
+                del self._counts[oldest]
+            oldest_delta = self._pair_deltas[0]
+            if oldest_delta == 1:
+                self._sequential -= 1
+            elif oldest_delta == 0:
+                self._repeats -= 1
+        if self._previous is not None:
+            delta = address - self._previous
+            self._pair_deltas.append(delta)
+            if delta == 1:
+                self._sequential += 1
+            elif delta == 0:
+                self._repeats += 1
+        else:
+            self._pair_deltas.append(2**31)  # sentinel non-event
+        self._addresses.append(address)
+        self._counts[address] += 1
+        self._previous = address
+
+    def stats(self) -> WindowStats:
+        """Current window statistics.
+
+        Raises
+        ------
+        RuntimeError
+            Before any writes have been observed.
+        """
+        writes = len(self._addresses)
+        if writes == 0:
+            raise RuntimeError("no writes observed yet")
+        pairs = max(writes - 1, 1)
+        return WindowStats(
+            writes=writes,
+            unique_fraction=len(self._counts) / writes,
+            sequential_fraction=self._sequential / pairs,
+            repeat_fraction=self._repeats / pairs,
+            max_share=max(self._counts.values()) / writes,
+        )
+
+
+class AttackClassifier:
+    """Window-level attack verdicts with alarm hysteresis.
+
+    Parameters
+    ----------
+    monitor:
+        The statistics source (owned; feed writes through
+        :meth:`observe`).
+    sweep_sequential_threshold:
+        Sequential-pair fraction above which a window reads as a uniform
+        sweep (benign strided access rarely sustains > 0.5 over thousands
+        of writes; UAA is ~1.0).
+    burst_repeat_threshold:
+        Repeat-pair fraction above which a window reads as a burst.
+    alarm_windows:
+        Consecutive suspicious windows before :attr:`alarmed` latches
+        (hysteresis against transient benign bursts, e.g. a memset).
+    """
+
+    def __init__(
+        self,
+        monitor: Optional[WriteRateMonitor] = None,
+        *,
+        sweep_sequential_threshold: float = 0.8,
+        burst_repeat_threshold: float = 0.6,
+        alarm_windows: int = 3,
+    ) -> None:
+        require_fraction(sweep_sequential_threshold, "sweep_sequential_threshold")
+        require_fraction(burst_repeat_threshold, "burst_repeat_threshold")
+        require_positive_int(alarm_windows, "alarm_windows")
+        self._monitor = monitor if monitor is not None else WriteRateMonitor()
+        self._sweep_threshold = sweep_sequential_threshold
+        self._burst_threshold = burst_repeat_threshold
+        self._alarm_windows = alarm_windows
+        self._writes_in_window = 0
+        self._suspicious_streak = 0
+        self._alarmed_at: Optional[int] = None
+        self._total_writes = 0
+        self._last_verdict = Verdict.BENIGN
+
+    @property
+    def alarmed(self) -> bool:
+        """Whether the alarm has latched."""
+        return self._alarmed_at is not None
+
+    @property
+    def alarmed_at(self) -> Optional[int]:
+        """Write index at which the alarm latched (detection latency)."""
+        return self._alarmed_at
+
+    @property
+    def last_verdict(self) -> Verdict:
+        """Most recent window verdict."""
+        return self._last_verdict
+
+    def classify_window(self) -> Verdict:
+        """Verdict for the current window's statistics."""
+        stats = self._monitor.stats()
+        if stats.sequential_fraction >= self._sweep_threshold:
+            return Verdict.UNIFORM_SWEEP
+        if stats.repeat_fraction >= self._burst_threshold or stats.max_share >= 0.5:
+            return Verdict.BURST
+        return Verdict.BENIGN
+
+    def observe(self, address: int) -> Verdict:
+        """Feed one write; returns the verdict in force after it."""
+        self._monitor.observe(address)
+        self._total_writes += 1
+        self._writes_in_window += 1
+        if self._writes_in_window >= self._monitor.window:
+            self._writes_in_window = 0
+            self._last_verdict = self.classify_window()
+            if self._last_verdict is Verdict.BENIGN:
+                self._suspicious_streak = 0
+            else:
+                self._suspicious_streak += 1
+                if (
+                    self._suspicious_streak >= self._alarm_windows
+                    and self._alarmed_at is None
+                ):
+                    self._alarmed_at = self._total_writes
+        return self._last_verdict

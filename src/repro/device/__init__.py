@@ -1,0 +1,31 @@
+"""NVM device substrate.
+
+Models the physical NVM bank the paper evaluates: a 1 GB bank of 64 B
+lines grouped into 2048 equal-size regions, with per-line write endurance
+from :mod:`repro.endurance`.  The bank tracks cumulative wear per line,
+detects wear-out failures, and (optionally) models an ECP-style per-line
+error-correction budget that absorbs a configurable number of cell
+failures before a line is declared dead (Section 2.2.2's salvaging
+discussion).
+"""
+
+from repro.device.bank import NVMBank
+from repro.device.errors import (
+    AddressError,
+    DeviceWornOutError,
+    LineWornOutError,
+    ReproError,
+)
+from repro.device.faults import ECPBudget, FaultModel
+from repro.device.geometry import DeviceGeometry
+
+__all__ = [
+    "NVMBank",
+    "AddressError",
+    "DeviceWornOutError",
+    "LineWornOutError",
+    "ReproError",
+    "ECPBudget",
+    "FaultModel",
+    "DeviceGeometry",
+]

@@ -1,0 +1,208 @@
+"""The NVM bank: vectorised per-line wear state and failure detection.
+
+:class:`NVMBank` is the mutable heart of the device substrate.  It owns
+the per-line cumulative wear array, answers remaining-budget queries, and
+reports the *newly dead* lines after every wear application so that the
+sparing layer can trigger the replacement procedure of Section 4.2.
+
+Wear is measured in writes: one user write to a line adds 1 to its wear
+(remap swaps add their extra writes explicitly, reproducing Figure 2's
+accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.errors import AddressError, LineWornOutError
+from repro.device.faults import FaultModel
+from repro.device.geometry import DeviceGeometry
+from repro.endurance.emap import EnduranceMap
+
+
+class NVMBank:
+    """Mutable wear state for a physical NVM bank.
+
+    Parameters
+    ----------
+    emap:
+        The per-line endurance map (also fixes the region structure).
+    geometry:
+        Optional explicit geometry; defaults to one derived from ``emap``
+        with 64 B lines.
+    fault_model:
+        How nominal endurance translates to an effective wear budget
+        (e.g. :class:`~repro.device.faults.ECPBudget`).
+    """
+
+    def __init__(
+        self,
+        emap: EnduranceMap,
+        geometry: DeviceGeometry | None = None,
+        fault_model: FaultModel | None = None,
+    ) -> None:
+        self._emap = emap
+        if geometry is None:
+            geometry = DeviceGeometry(total_lines=emap.lines, regions=emap.regions)
+        if geometry.total_lines != emap.lines or geometry.regions != emap.regions:
+            raise ValueError(
+                f"geometry ({geometry.total_lines} lines / {geometry.regions} regions) "
+                f"does not match endurance map ({emap.lines} lines / {emap.regions} regions)"
+            )
+        self._geometry = geometry
+        self._fault_model = fault_model if fault_model is not None else FaultModel()
+        self._endurance = self._fault_model.effective_endurance(emap.line_endurance)
+        self._endurance.setflags(write=False)
+        self._bonus = np.zeros(emap.lines, dtype=float)  # salvage extensions
+        self._wear = np.zeros(emap.lines, dtype=float)
+        self._alive = np.ones(emap.lines, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        """The bank's shape."""
+        return self._geometry
+
+    @property
+    def endurance_map(self) -> EnduranceMap:
+        """The (nominal) endurance map the bank was built from."""
+        return self._emap
+
+    @property
+    def endurance(self) -> np.ndarray:
+        """Effective per-line wear budgets (read-only, excludes salvage bonus)."""
+        return self._endurance
+
+    def budget(self, line: int) -> float:
+        """Current total wear budget of a line, including salvage bonus."""
+        self._geometry.check_line(line)
+        return float(self._endurance[line] + self._bonus[line])
+
+    @property
+    def wear(self) -> np.ndarray:
+        """Cumulative per-line wear; treat as read-only outside tests."""
+        return self._wear
+
+    @property
+    def lines(self) -> int:
+        """Total physical line count."""
+        return self._emap.lines
+
+    @property
+    def total_endurance(self) -> float:
+        """Sum of effective wear budgets (the normalized-lifetime denominator)."""
+        return float(self._endurance.sum())
+
+    @property
+    def alive_count(self) -> int:
+        """Number of lines still serviceable."""
+        return int(self._alive.sum())
+
+    @property
+    def dead_count(self) -> int:
+        """Number of worn-out lines."""
+        return self.lines - self.alive_count
+
+    def is_alive(self, line: int) -> bool:
+        """Whether ``line`` can still absorb writes."""
+        self._geometry.check_line(line)
+        return bool(self._alive[line])
+
+    def dead_lines(self) -> np.ndarray:
+        """Ids of all worn-out lines."""
+        return np.flatnonzero(~self._alive)
+
+    def remaining(self, line: int | None = None) -> "float | np.ndarray":
+        """Remaining wear budget for one line, or the whole array."""
+        if line is None:
+            return np.maximum(self._endurance + self._bonus - self._wear, 0.0)
+        self._geometry.check_line(line)
+        return float(max(self.budget(line) - self._wear[line], 0.0))
+
+    def utilization(self) -> float:
+        """Fraction of total endurance consumed so far.
+
+        This is exactly the *normalized lifetime* metric at the moment the
+        device fails, provided every counted write landed on a line.
+        """
+        return float(self._wear.sum() / self.total_endurance)
+
+    # ------------------------------------------------------------------
+    # Wear application
+    # ------------------------------------------------------------------
+
+    def write(self, line: int, count: int = 1) -> bool:
+        """Apply ``count`` writes to one line; return ``True`` if it just died.
+
+        Raises
+        ------
+        LineWornOutError
+            If the line was already dead before this call -- the caller
+            (memory controller / sparing scheme) must redirect writes to a
+            replacement rather than hammer a failed line.
+        """
+        self._geometry.check_line(line)
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if not self._alive[line]:
+            raise LineWornOutError(line, float(self._wear[line]), self.budget(line))
+        self._wear[line] += count
+        if self._wear[line] >= self._endurance[line] + self._bonus[line]:
+            self._alive[line] = False
+            return True
+        return False
+
+    def apply_wear(self, lines: np.ndarray, amounts: "np.ndarray | float") -> np.ndarray:
+        """Vectorised wear application; returns the ids of newly dead lines.
+
+        ``lines`` may contain duplicates (their amounts accumulate).
+        Writes to already-dead lines are rejected, matching :meth:`write`.
+        """
+        lines = np.asarray(lines, dtype=np.intp)
+        if lines.size == 0:
+            return np.empty(0, dtype=np.intp)
+        if np.any(lines < 0) or np.any(lines >= self.lines):
+            raise AddressError("apply_wear received out-of-range line ids")
+        if np.any(~self._alive[lines]):
+            first = int(lines[~self._alive[lines]][0])
+            raise LineWornOutError(
+                first, float(self._wear[first]), float(self._endurance[first])
+            )
+        amounts = np.broadcast_to(np.asarray(amounts, dtype=float), lines.shape)
+        if np.any(amounts < 0):
+            raise ValueError("wear amounts must be non-negative")
+        was_alive = self._alive.copy()
+        np.add.at(self._wear, lines, amounts)
+        now_dead = self._wear >= self._endurance + self._bonus
+        newly_dead = np.flatnonzero(was_alive & now_dead)
+        self._alive[newly_dead] = False
+        return newly_dead
+
+    def salvage(self, line: int, extra_budget: float) -> None:
+        """Repair a worn line in place, extending its budget (Section 2.2.2).
+
+        Models error-correcting redundancy (ECP/PAYG) absorbing the line's
+        first cell failures: the line returns to service with
+        ``extra_budget`` additional wear headroom.
+        """
+        self._geometry.check_line(line)
+        if extra_budget <= 0:
+            raise ValueError(f"extra_budget must be positive, got {extra_budget}")
+        self._bonus[line] += extra_budget
+        if self._wear[line] < self._endurance[line] + self._bonus[line]:
+            self._alive[line] = True
+
+    def force_kill(self, line: int) -> None:
+        """Mark a line dead regardless of wear (fault-injection hook)."""
+        self._geometry.check_line(line)
+        self._wear[line] = max(self._wear[line], self._endurance[line] + self._bonus[line])
+        self._alive[line] = False
+
+    def reset(self) -> None:
+        """Return the bank to its pristine state."""
+        self._wear[:] = 0.0
+        self._bonus[:] = 0.0
+        self._alive[:] = True

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch the whole family; the device-lifetime exceptions additionally
+carry the state needed to compute lifetimes at the failure point.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all repro-library errors."""
+
+
+class AddressError(ReproError, IndexError):
+    """An address (line, region, slot) was outside its valid range."""
+
+
+class LineWornOutError(ReproError):
+    """A write targeted a line whose endurance is exhausted.
+
+    Raised by :class:`~repro.device.bank.NVMBank` in strict mode when a
+    caller writes a dead line without a replacement path.
+    """
+
+    def __init__(self, line: int, wear: float, endurance: float) -> None:
+        super().__init__(
+            f"line {line} is worn out (wear {wear:.0f} >= endurance {endurance:.0f})"
+        )
+        self.line = line
+        self.wear = wear
+        self.endurance = endurance
+
+
+class DeviceWornOutError(ReproError):
+    """The device can no longer service writes (paper Section 4.2).
+
+    Signalled when a wear-out failure cannot be repaired: the spare pool is
+    exhausted, a dedicated SWR replacement has itself died, or (for
+    no-protection devices) any line fails.
+    """
+
+    def __init__(self, reason: str, total_writes_served: float) -> None:
+        super().__init__(
+            f"device worn out after {total_writes_served:.0f} served writes: {reason}"
+        )
+        self.reason = reason
+        self.total_writes_served = total_writes_served
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment configuration is inconsistent or out of range."""

@@ -1,0 +1,142 @@
+"""Device geometry: capacity, line and region arithmetic.
+
+The paper's evaluation device is a 1 GB NVM bank consisting of 2048
+regions; main-memory NVM lines are 64 B (one cache line).  All address
+arithmetic between the three granularities (byte, line, region) lives
+here, including the bit widths that the mapping-table overhead formulas of
+Section 4.4 depend on (``log2 N`` bits per line address, ``log2 R`` per
+region address).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.errors import ConfigurationError
+from repro.util.units import GIB, bits_required, is_power_of_two
+
+#: The paper's evaluation bank capacity.
+PAPER_CAPACITY_BYTES: int = 1 * GIB
+
+#: The paper's evaluation region count.
+PAPER_REGIONS: int = 2048
+
+#: Main-memory NVM line size (one cache line).
+DEFAULT_LINE_BYTES: int = 64
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Shape of an NVM bank.
+
+    Parameters
+    ----------
+    total_lines:
+        Number of physical lines ``N``.
+    regions:
+        Number of equal-size regions ``R``; must divide ``total_lines``.
+    line_bytes:
+        Bytes per line (64 B for main-memory NVM).
+    """
+
+    total_lines: int
+    regions: int
+    line_bytes: int = DEFAULT_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.total_lines <= 0:
+            raise ConfigurationError(f"total_lines must be > 0, got {self.total_lines}")
+        if self.regions <= 0:
+            raise ConfigurationError(f"regions must be > 0, got {self.regions}")
+        if self.total_lines % self.regions != 0:
+            raise ConfigurationError(
+                f"regions ({self.regions}) must divide total_lines ({self.total_lines})"
+            )
+        if self.line_bytes <= 0:
+            raise ConfigurationError(f"line_bytes must be > 0, got {self.line_bytes}")
+
+    @classmethod
+    def paper_bank(cls) -> "DeviceGeometry":
+        """The paper's full-scale 1 GB / 2048-region / 64 B-line bank."""
+        total_lines = PAPER_CAPACITY_BYTES // DEFAULT_LINE_BYTES
+        return cls(total_lines=total_lines, regions=PAPER_REGIONS)
+
+    @classmethod
+    def scaled_bank(cls, lines_per_region: int, regions: int = PAPER_REGIONS) -> "DeviceGeometry":
+        """A reduced-scale bank keeping the paper's region count.
+
+        Normalized lifetime is scale-invariant in the number of lines per
+        region (property-tested), so experiments default to a bank small
+        enough to simulate full lifetimes in seconds.
+        """
+        return cls(total_lines=lines_per_region * regions, regions=regions)
+
+    @property
+    def lines_per_region(self) -> int:
+        """Lines in each region."""
+        return self.total_lines // self.regions
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total device capacity in bytes."""
+        return self.total_lines * self.line_bytes
+
+    @property
+    def line_address_bits(self) -> int:
+        """Bits per physical line address (``log2 N`` of Section 4.4)."""
+        return bits_required(self.total_lines)
+
+    @property
+    def region_address_bits(self) -> int:
+        """Bits per region address (``log2 R`` of Section 4.4)."""
+        return bits_required(self.regions)
+
+    @property
+    def intra_region_bits(self) -> int:
+        """Bits addressing a line within its region."""
+        return bits_required(self.lines_per_region)
+
+    def region_of(self, line: int) -> int:
+        """Region id owning physical line ``line``."""
+        self.check_line(line)
+        return line // self.lines_per_region
+
+    def line_offset(self, line: int) -> int:
+        """Offset of ``line`` within its region."""
+        self.check_line(line)
+        return line % self.lines_per_region
+
+    def line_of(self, region: int, offset: int) -> int:
+        """Physical line id for (region, intra-region offset)."""
+        self.check_region(region)
+        if not 0 <= offset < self.lines_per_region:
+            raise_address = f"offset {offset} out of range [0, {self.lines_per_region})"
+            from repro.device.errors import AddressError
+
+            raise AddressError(raise_address)
+        return region * self.lines_per_region + offset
+
+    def region_slice(self, region: int) -> slice:
+        """Slice of line ids owned by ``region``."""
+        self.check_region(region)
+        per = self.lines_per_region
+        return slice(region * per, (region + 1) * per)
+
+    def check_line(self, line: int) -> None:
+        """Raise :class:`AddressError` unless ``line`` is a valid line id."""
+        if not 0 <= line < self.total_lines:
+            from repro.device.errors import AddressError
+
+            raise AddressError(f"line {line} out of range [0, {self.total_lines})")
+
+    def check_region(self, region: int) -> None:
+        """Raise :class:`AddressError` unless ``region`` is a valid region id."""
+        if not 0 <= region < self.regions:
+            from repro.device.errors import AddressError
+
+            raise AddressError(f"region {region} out of range [0, {self.regions})")
+
+    @property
+    def is_power_of_two_sized(self) -> bool:
+        """Whether lines and regions are powers of two (hardware-friendly)."""
+        return is_power_of_two(self.total_lines) and is_power_of_two(self.regions)

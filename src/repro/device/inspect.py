@@ -1,0 +1,132 @@
+"""Device wear inspection: histograms, per-region summaries, wear maps.
+
+The questions an engineer asks a worn bank: where did the damage land,
+how much of each region's budget is spent, which regions are on the edge.
+:class:`BankInspector` answers them from an :class:`~repro.device.bank.NVMBank`
+snapshot, and :func:`wear_heatmap` renders the per-region utilization as
+an ASCII intensity map (used by the wear-map example to *show* the
+difference between uniform-attack wear with and without Max-WE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.bank import NVMBank
+from repro.util.validation import require_positive_int
+
+#: Intensity ramp for the heatmap, dark to bright.
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class RegionWearSummary:
+    """Wear accounting for one region.
+
+    Attributes
+    ----------
+    region:
+        Region id.
+    utilization:
+        Consumed fraction of the region's total budget.
+    dead_lines:
+        Worn-out lines in the region.
+    remaining:
+        Total remaining wear budget.
+    """
+
+    region: int
+    utilization: float
+    dead_lines: int
+    remaining: float
+
+
+class BankInspector:
+    """Read-only analytics over a bank's wear state."""
+
+    def __init__(self, bank: NVMBank) -> None:
+        self._bank = bank
+
+    @property
+    def bank(self) -> NVMBank:
+        """The inspected bank."""
+        return self._bank
+
+    def wear_histogram(self, bins: int = 10) -> "tuple[np.ndarray, np.ndarray]":
+        """Histogram of per-line utilization (wear / budget) in [0, 1].
+
+        Returns ``(counts, edges)`` as :func:`numpy.histogram` does.
+        """
+        require_positive_int(bins, "bins")
+        # budget = endurance + salvage bonus, recovered as wear + remaining.
+        budgets = self._bank.wear + self._bank.remaining()
+        utilization = np.divide(
+            self._bank.wear,
+            budgets,
+            out=np.ones_like(budgets),
+            where=budgets > 0,
+        )
+        return np.histogram(np.clip(utilization, 0.0, 1.0), bins=bins, range=(0.0, 1.0))
+
+    def region_summaries(self) -> "list[RegionWearSummary]":
+        """Per-region wear accounting, ascending region id."""
+        emap = self._bank.endurance_map
+        per = emap.lines_per_region
+        wear = self._bank.wear.reshape(emap.regions, per)
+        remaining = np.asarray(self._bank.remaining()).reshape(emap.regions, per)
+        budgets = wear + remaining
+        dead = (remaining <= 0.0).sum(axis=1)
+        summaries = []
+        for region in range(emap.regions):
+            budget = float(budgets[region].sum())
+            summaries.append(
+                RegionWearSummary(
+                    region=region,
+                    utilization=float(wear[region].sum()) / budget if budget else 1.0,
+                    dead_lines=int(dead[region]),
+                    remaining=float(remaining[region].sum()),
+                )
+            )
+        return summaries
+
+    def region_utilization(self) -> np.ndarray:
+        """Per-region consumed budget fraction as an array."""
+        return np.array([s.utilization for s in self.region_summaries()])
+
+    def stranded_endurance(self) -> float:
+        """Unused wear budget at this snapshot (the lifetime left behind).
+
+        For a failed device this is exactly what the scheme could not
+        harvest: ``1 - normalized_lifetime`` of the total, up to the
+        salvage bonuses.
+        """
+        return float(np.asarray(self._bank.remaining()).sum())
+
+
+def wear_heatmap(
+    bank: NVMBank,
+    *,
+    columns: int = 64,
+    title: str | None = None,
+) -> str:
+    """Render per-region utilization as an ASCII intensity map.
+
+    Regions are laid out row-major, ``columns`` per row; each cell's glyph
+    encodes its consumed-budget fraction from ``' '`` (fresh) to ``'@'``
+    (exhausted).
+    """
+    require_positive_int(columns, "columns")
+    utilization = BankInspector(bank).region_utilization()
+    glyph_count = len(HEAT_GLYPHS)
+    indices = np.minimum(
+        (utilization * glyph_count).astype(int), glyph_count - 1
+    )
+    lines = [title] if title else []
+    for start in range(0, indices.size, columns):
+        row = indices[start : start + columns]
+        lines.append("".join(HEAT_GLYPHS[index] for index in row))
+    legend = f"[{HEAT_GLYPHS}] = 0%..100% of region budget consumed"
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Endurance-variation models for NVM (paper Section 2.1).
+
+The paper derives per-region write endurance from the process-variation
+model of Zhang & Li (MICRO'09): the programming current of equal-size
+memory domains follows a normal distribution (Eq. 2), and endurance follows
+the power law ``E(I) = 1e8 * (I^2 * R * T)^-6`` (Eq. 1).  Section 3.1 then
+approximates the resulting distribution with a *tractable linear* model
+between the minimum endurance ``EL`` and maximum ``EH`` for the closed-form
+lifetime analysis.
+
+This package implements both:
+
+* :class:`~repro.endurance.powerlaw.PowerLawEnduranceModel` -- Eq. 1,
+* :class:`~repro.endurance.distribution.CurrentDistribution` and
+  :class:`~repro.endurance.distribution.ZhangLiModel` -- Eq. 2 over domains,
+* :class:`~repro.endurance.linear.LinearEnduranceModel` -- the Section 3.1
+  approximation used by all closed-form results,
+* :class:`~repro.endurance.emap.EnduranceMap` -- the concrete per-line
+  endurance array consumed by the device simulator, with region metrics,
+* generators for alternative distributions (lognormal, uniform) used in
+  robustness tests.
+"""
+
+from repro.endurance.distribution import CurrentDistribution, ZhangLiModel
+from repro.endurance.emap import EnduranceMap
+from repro.endurance.generators import (
+    lognormal_endurance_map,
+    uniform_endurance_map,
+    weibull_endurance_map,
+    zhang_li_endurance_map,
+)
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+from repro.endurance.metrics import (
+    coefficient_of_variation,
+    region_endurance,
+    sort_regions_by_endurance,
+    variation_ratio,
+)
+from repro.endurance.powerlaw import PowerLawEnduranceModel
+
+__all__ = [
+    "CurrentDistribution",
+    "ZhangLiModel",
+    "EnduranceMap",
+    "lognormal_endurance_map",
+    "uniform_endurance_map",
+    "weibull_endurance_map",
+    "zhang_li_endurance_map",
+    "LinearEnduranceModel",
+    "linear_endurance_map",
+    "coefficient_of_variation",
+    "region_endurance",
+    "sort_regions_by_endurance",
+    "variation_ratio",
+    "PowerLawEnduranceModel",
+]

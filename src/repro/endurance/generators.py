@@ -1,0 +1,144 @@
+"""Endurance-map generators.
+
+These compose the distribution models into concrete
+:class:`~repro.endurance.emap.EnduranceMap` instances for the simulator.
+:func:`zhang_li_endurance_map` is the paper's experimental setup (one
+Zhang-Li domain per region); the lognormal and uniform generators exist for
+robustness checks -- the evaluation's qualitative conclusions should not
+hinge on the exact distribution family, and tests exercise that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.endurance.distribution import ZhangLiModel
+from repro.endurance.emap import EnduranceMap
+from repro.util.rng import RandomState, derive_rng, ensure_rng
+from repro.util.validation import require_positive, require_positive_int
+
+
+def zhang_li_endurance_map(
+    lines: int,
+    regions: int,
+    *,
+    model: ZhangLiModel | None = None,
+    intra_region_sigma: float = 0.0,
+    deterministic: bool = False,
+    rng: RandomState = None,
+) -> EnduranceMap:
+    """Endurance map from the Zhang-Li process-variation model.
+
+    Each region is one Zhang-Li domain: all its lines share the domain
+    endurance (the paper treats region endurance as constant).  Setting
+    ``intra_region_sigma`` > 0 additionally applies per-line lognormal
+    jitter of that relative magnitude, which makes line-level rescue
+    mechanisms (Max-WE's LMT) observable in fine-grained experiments.
+
+    Parameters
+    ----------
+    lines, regions:
+        Device shape; ``regions`` must divide ``lines``.
+    model:
+        Zhang-Li model instance; defaults to the paper's parameters.
+    intra_region_sigma:
+        Relative lognormal sigma of per-line jitter within a region.
+    deterministic:
+        Use the noise-free quantile grid for domain endurances (regions are
+        then shuffled in physical space but their endurance multiset is
+        exactly the model's quantiles).
+    """
+    require_positive_int(lines, "lines")
+    require_positive_int(regions, "regions")
+    if lines % regions != 0:
+        raise ValueError(f"regions {regions} must divide lines {lines}")
+    if intra_region_sigma < 0:
+        raise ValueError(f"intra_region_sigma must be >= 0, got {intra_region_sigma}")
+
+    zl = model if model is not None else ZhangLiModel()
+    domain_rng = derive_rng(rng, "zhang-li-domains")
+    if deterministic:
+        domain_endurance = zl.deterministic_domain_endurances(regions)
+        domain_endurance = domain_rng.permutation(domain_endurance)
+    else:
+        domain_endurance = zl.domain_endurances(regions, domain_rng)
+
+    per_line = np.repeat(domain_endurance, lines // regions)
+    if intra_region_sigma > 0.0:
+        jitter_rng = derive_rng(rng, "zhang-li-intra")
+        jitter = jitter_rng.lognormal(
+            mean=-0.5 * intra_region_sigma**2, sigma=intra_region_sigma, size=lines
+        )
+        per_line = per_line * jitter
+    return EnduranceMap(per_line, regions)
+
+
+def lognormal_endurance_map(
+    lines: int,
+    regions: int,
+    *,
+    median: float = 1e8,
+    sigma: float = 0.8,
+    rng: RandomState = None,
+) -> EnduranceMap:
+    """Region endurances drawn from a lognormal distribution.
+
+    A common alternative endurance-variation family; used in robustness
+    tests to check that scheme *orderings* (Max-WE > PCD/PS > PS-worst) are
+    distribution-independent.
+    """
+    require_positive_int(lines, "lines")
+    require_positive_int(regions, "regions")
+    if lines % regions != 0:
+        raise ValueError(f"regions {regions} must divide lines {lines}")
+    require_positive(median, "median")
+    require_positive(sigma, "sigma")
+
+    generator = ensure_rng(rng)
+    region_endurance = median * generator.lognormal(mean=0.0, sigma=sigma, size=regions)
+    return EnduranceMap(np.repeat(region_endurance, lines // regions), regions)
+
+
+def weibull_endurance_map(
+    lines: int,
+    regions: int,
+    *,
+    scale: float = 1e8,
+    shape: float = 2.0,
+    rng: RandomState = None,
+) -> EnduranceMap:
+    """Region endurances drawn from a Weibull distribution.
+
+    Weibull lifetimes are the classic reliability-engineering family for
+    wear-out failure; ``shape < 1`` gives a heavy weak tail (infant
+    mortality), ``shape > 1`` concentrates around the scale.  Used in
+    robustness tests alongside the lognormal family.
+    """
+    require_positive_int(lines, "lines")
+    require_positive_int(regions, "regions")
+    if lines % regions != 0:
+        raise ValueError(f"regions {regions} must divide lines {lines}")
+    require_positive(scale, "scale")
+    require_positive(shape, "shape")
+
+    generator = ensure_rng(rng)
+    region_endurance = scale * generator.weibull(shape, size=regions)
+    # Guard the vanishing left tail: a literally-zero endurance line is
+    # unphysical (it would fail on its very first write at manufacture).
+    floor = scale * 1e-6
+    region_endurance = np.maximum(region_endurance, floor)
+    return EnduranceMap(np.repeat(region_endurance, lines // regions), regions)
+
+
+def uniform_endurance_map(lines: int, regions: int, endurance: float = 1e8) -> EnduranceMap:
+    """A variation-free map: every line endures exactly ``endurance`` writes.
+
+    Under this map UAA *is* perfect wear-leveling and the normalized
+    lifetime is 100% -- a key sanity anchor for the simulator.
+    """
+    require_positive_int(lines, "lines")
+    require_positive_int(regions, "regions")
+    if lines % regions != 0:
+        raise ValueError(f"regions {regions} must divide lines {lines}")
+    require_positive(endurance, "endurance")
+    return EnduranceMap(np.full(lines, float(endurance)), regions)

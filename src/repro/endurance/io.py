@@ -1,0 +1,46 @@
+"""Endurance-map serialization: chip characterization files.
+
+The paper notes "the endurance distribution parameters can be obtained at
+the manufacture time" -- i.e. an endurance map is an artifact that ships
+with (or is profiled from) a device.  These helpers round-trip
+:class:`~repro.endurance.emap.EnduranceMap` through compressed ``.npz``
+files so characterized maps can be archived, shared and re-simulated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.endurance.emap import EnduranceMap
+
+#: Current map file format version.
+FORMAT_VERSION: int = 1
+
+
+def save_endurance_map(emap: EnduranceMap, path: "str | Path") -> Path:
+    """Write a map to a compressed ``.npz`` file; returns the actual path."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        line_endurance=emap.line_endurance,
+        regions=np.int64(emap.regions),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_endurance_map(path: "str | Path") -> EnduranceMap:
+    """Read a map written by :func:`save_endurance_map`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported endurance-map format version {version} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        return EnduranceMap(
+            line_endurance=archive["line_endurance"].copy(),
+            regions=int(archive["regions"]),
+        )

@@ -1,0 +1,124 @@
+"""The tractable linear endurance approximation (paper Section 3.1).
+
+For the closed-form lifetime analysis the paper replaces the empirical
+endurance distribution with a linear one: when lines are sorted by
+endurance, endurance falls linearly from the maximum ``EH`` to the minimum
+``EL``.  All of Equations 3-8 are stated in terms of this model, so it is a
+first-class citizen here: the analytic module consumes
+:class:`LinearEnduranceModel` directly, and :func:`linear_endurance_map`
+materializes it as a concrete per-line map so simulation and analysis can
+be cross-validated on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.endurance.emap import EnduranceMap
+from repro.util.rng import RandomState, ensure_rng
+from repro.util.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class LinearEnduranceModel:
+    """Linearly distributed endurance between ``e_low`` and ``e_high``.
+
+    Parameters
+    ----------
+    e_low:
+        ``EL`` -- minimum line endurance.
+    e_high:
+        ``EH`` -- maximum line endurance.
+    """
+
+    e_low: float
+    e_high: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.e_low, "e_low")
+        require_positive(self.e_high, "e_high")
+        if self.e_high < self.e_low:
+            raise ValueError(
+                f"e_high ({self.e_high}) must be >= e_low ({self.e_low})"
+            )
+
+    @classmethod
+    def from_q(cls, q: float, e_low: float = 1.0) -> "LinearEnduranceModel":
+        """Build from the paper's variation degree ``q = EH / EL``."""
+        if q < 1.0:
+            raise ValueError(f"q must be >= 1, got {q}")
+        return cls(e_low=e_low, e_high=e_low * q)
+
+    @property
+    def q(self) -> float:
+        """Process-variation degree ``EH / EL``."""
+        return self.e_high / self.e_low
+
+    def line_endurances(self, lines: int) -> np.ndarray:
+        """``lines`` endurances spaced linearly from ``EH`` down to ``EL``.
+
+        The ordering is descending (strongest first) to mirror the paper's
+        Figure 1 axis; callers that need a spatial layout should shuffle or
+        use :func:`linear_endurance_map`.
+        """
+        require_positive_int(lines, "lines")
+        if lines == 1:
+            return np.array([(self.e_high + self.e_low) / 2.0])
+        return np.linspace(self.e_high, self.e_low, lines)
+
+    def ideal_lifetime(self, lines: int) -> float:
+        """Eq. 3: ``N * (EH - EL) / 2 + N * EL`` -- the area under the diagonal."""
+        require_positive_int(lines, "lines")
+        return lines * (self.e_high - self.e_low) / 2.0 + lines * self.e_low
+
+    def uaa_lifetime(self, lines: int) -> float:
+        """Eq. 4: ``N * EL`` -- the area under the EL horizontal."""
+        require_positive_int(lines, "lines")
+        return lines * self.e_low
+
+    def uaa_fraction(self) -> float:
+        """Eq. 5: ``L_UAA / L_Ideal = 2 EL / (EH + EL)``.
+
+        With ``EH = 50 EL`` this is the paper's 3.9% headline.
+        """
+        return 2.0 * self.e_low / (self.e_high + self.e_low)
+
+
+def linear_endurance_map(
+    lines: int,
+    regions: int,
+    model: LinearEnduranceModel,
+    *,
+    layout: str = "shuffled",
+    rng: RandomState = None,
+) -> EnduranceMap:
+    """Materialize a :class:`LinearEnduranceModel` as a concrete map.
+
+    Parameters
+    ----------
+    lines, regions:
+        Device shape; ``regions`` must divide ``lines``.
+    layout:
+        ``"shuffled"`` permutes whole *regions* randomly in physical space
+        (endurance still constant within a region, matching the paper's
+        region-endurance assumption); ``"ascending"`` / ``"descending"``
+        place regions in sorted physical order for deterministic tests.
+    """
+    require_positive_int(lines, "lines")
+    require_positive_int(regions, "regions")
+    if lines % regions != 0:
+        raise ValueError(f"regions {regions} must divide lines {lines}")
+
+    region_values = model.line_endurances(regions)  # descending EH..EL
+    if layout == "ascending":
+        region_values = region_values[::-1]
+    elif layout == "shuffled":
+        generator = ensure_rng(rng)
+        region_values = generator.permutation(region_values)
+    elif layout != "descending":
+        raise ValueError(f"unknown layout {layout!r}")
+
+    per_line = np.repeat(region_values, lines // regions)
+    return EnduranceMap(per_line, regions)

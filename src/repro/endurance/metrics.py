@@ -1,0 +1,59 @@
+"""Endurance-variation metrics.
+
+Free functions over :class:`~repro.endurance.emap.EnduranceMap` (or raw
+arrays) quantifying the degree of process variation -- the paper's ``q``
+ratio and the coefficient of variation -- plus the region ranking helper
+shared by Max-WE and the endurance-aware wear-levelers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.endurance.emap import EnduranceMap
+
+
+def variation_ratio(endurances: "np.ndarray | EnduranceMap") -> float:
+    """The paper's ``q = EH / EL`` over lines (or any endurance array)."""
+    array = _as_array(endurances)
+    return float(array.max() / array.min())
+
+
+def coefficient_of_variation(endurances: "np.ndarray | EnduranceMap") -> float:
+    """Std/mean of the endurance population."""
+    array = _as_array(endurances)
+    mean = array.mean()
+    if mean == 0:
+        raise ValueError("mean endurance is zero")
+    return float(array.std() / mean)
+
+
+def region_endurance(emap: EnduranceMap, metric: str = "min") -> np.ndarray:
+    """Per-region endurance metric (delegates to the map)."""
+    return emap.region_endurance(metric)
+
+
+def sort_regions_by_endurance(emap: EnduranceMap, metric: str = "min") -> np.ndarray:
+    """Region ids in ascending endurance order (weakest first)."""
+    return emap.rank_regions(metric)
+
+
+def endurance_percentile(
+    endurances: "np.ndarray | EnduranceMap", percentile: float
+) -> float:
+    """Endurance value at the given percentile of the line population."""
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    array = _as_array(endurances)
+    return float(np.percentile(array, percentile))
+
+
+def _as_array(endurances: "np.ndarray | EnduranceMap") -> np.ndarray:
+    if isinstance(endurances, EnduranceMap):
+        return endurances.line_endurance
+    array = np.asarray(endurances, dtype=float)
+    if array.size == 0:
+        raise ValueError("empty endurance array")
+    if np.any(array <= 0):
+        raise ValueError("endurances must be strictly positive")
+    return array

@@ -1,0 +1,29 @@
+"""OS memory model: the UAA attack vehicle (paper Section 3.2).
+
+The paper implements UAA as a userspace process on a compromised Linux
+system: ``malloc`` the whole physical memory, set ``swappiness`` to zero
+so the kernel only swaps at 100% utilization, then sweep writes over the
+allocation.  On the paper's 4 GB example the kernel itself holds only
+100-200 MB (< 5%), so the attacker reaches > 95% of physical memory.
+
+This package models exactly the pieces that determine attack *coverage*:
+
+* :class:`~repro.osmodel.memory.PhysicalMemory` -- page-granular physical
+  memory with a kernel reservation;
+* :class:`~repro.osmodel.memory.PageAllocator` -- first-touch allocation
+  with a swappiness policy deciding when pages spill to swap;
+* :class:`~repro.osmodel.attacker.MaliciousProcess` -- the Section 3.2
+  attacker; its :meth:`~repro.osmodel.attacker.MaliciousProcess.mount_attack`
+  returns a :class:`~repro.attacks.uaa.UniformAddressAttack` whose
+  coverage reflects what the process actually pinned.
+"""
+
+from repro.osmodel.attacker import MaliciousProcess
+from repro.osmodel.memory import PageAllocator, PhysicalMemory, SwapPolicy
+
+__all__ = [
+    "MaliciousProcess",
+    "PageAllocator",
+    "PhysicalMemory",
+    "SwapPolicy",
+]

@@ -1,0 +1,76 @@
+"""The Section 3.2 malicious process.
+
+Reproduces the paper's attack recipe step by step:
+
+1. compromise assumed -- the process is the only significant workload;
+2. set ``swappiness = 0`` so allocation stays resident until RAM is full;
+3. ``malloc`` the entire physical memory;
+4. sweep writes of random data over the allocation, forever.
+
+The deliverable of the model is the attack *coverage*: the fraction of
+physical memory the sweep actually wears, which parameterizes
+:class:`~repro.attacks.uaa.UniformAddressAttack`.  On the paper's 4 GB /
+150 MB-kernel example the coverage is above 95%, supporting the paper's
+claim that "malicious application can attack nearly all the physical
+main memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.osmodel.memory import (
+    PAGE_BYTES,
+    PageAllocator,
+    PhysicalMemory,
+    SwapPolicy,
+)
+
+
+@dataclass
+class MaliciousProcess:
+    """A userspace process mounting UAA through the OS allocator.
+
+    Parameters
+    ----------
+    memory:
+        The machine's physical memory.
+    swappiness:
+        The value the attacker writes to ``/proc/sys/vm/swappiness``
+        (0 in the paper's recipe).
+    """
+
+    memory: PhysicalMemory
+    swappiness: int = 0
+
+    def __post_init__(self) -> None:
+        self._allocator = PageAllocator(self.memory, SwapPolicy(self.swappiness))
+        self._resident_pages = 0
+
+    @property
+    def resident_pages(self) -> int:
+        """Physical pages pinned by the process."""
+        return self._resident_pages
+
+    def allocate_all_memory(self) -> int:
+        """Step 3: malloc everything; returns resident pages obtained."""
+        request_bytes = self.memory.total_pages * PAGE_BYTES
+        self._resident_pages = self._allocator.allocate(request_bytes)
+        return self._resident_pages
+
+    def coverage(self) -> float:
+        """Fraction of total physical memory the sweep will wear."""
+        return self._resident_pages / self.memory.total_pages
+
+    def mount_attack(self) -> UniformAddressAttack:
+        """Steps 2-4: return the UAA instance this process can mount.
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`allocate_all_memory`.
+        """
+        if self._resident_pages == 0:
+            raise RuntimeError("allocate_all_memory() must run before the attack")
+        return UniformAddressAttack(coverage=self.coverage(), random_data=True)

@@ -1,0 +1,151 @@
+"""Page-granular physical memory with kernel reservation and swap policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MIB
+from repro.util.validation import require_fraction, require_positive_int
+
+#: Standard page size.
+PAGE_BYTES: int = 4096
+
+#: The paper's kernel footprint estimate for a 4 GB machine (100-200 MB).
+DEFAULT_KERNEL_BYTES: int = 150 * MIB
+
+
+@dataclass(frozen=True)
+class SwapPolicy:
+    """The Linux ``swappiness`` knob, reduced to what matters here.
+
+    With ``swappiness = 0`` the kernel swaps only when memory utilization
+    reaches 100%, which is exactly what the attacker sets (Section 3.2):
+    every allocated page stays resident, so every write lands in NVM.
+
+    Parameters
+    ----------
+    swappiness:
+        0-100; higher values let the kernel swap earlier.  We model the
+        resident fraction of an over-subscribed allocation as falling
+        linearly with swappiness.
+    """
+
+    swappiness: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.swappiness <= 100:
+            raise ValueError(
+                f"swappiness must be in [0, 100], got {self.swappiness}"
+            )
+
+    def resident_fraction(self) -> float:
+        """Fraction of an all-of-RAM allocation that stays resident."""
+        return 1.0 - 0.5 * (self.swappiness / 100.0)
+
+
+class PhysicalMemory:
+    """Physical memory split into kernel-reserved and allocatable pages.
+
+    Parameters
+    ----------
+    total_bytes:
+        Physical RAM size.
+    kernel_bytes:
+        Kernel footprint (unreachable by userspace).
+    """
+
+    def __init__(
+        self, total_bytes: int, kernel_bytes: int = DEFAULT_KERNEL_BYTES
+    ) -> None:
+        require_positive_int(total_bytes, "total_bytes")
+        if kernel_bytes < 0 or kernel_bytes >= total_bytes:
+            raise ValueError(
+                f"kernel_bytes must be in [0, {total_bytes}), got {kernel_bytes}"
+            )
+        self._total_pages = total_bytes // PAGE_BYTES
+        self._kernel_pages = kernel_bytes // PAGE_BYTES
+
+    @property
+    def total_pages(self) -> int:
+        """All physical pages."""
+        return self._total_pages
+
+    @property
+    def kernel_pages(self) -> int:
+        """Pages pinned by the kernel."""
+        return self._kernel_pages
+
+    @property
+    def allocatable_pages(self) -> int:
+        """Pages userspace can reach."""
+        return self._total_pages - self._kernel_pages
+
+    @property
+    def kernel_fraction(self) -> float:
+        """Kernel share of physical memory (the paper's < 5%)."""
+        return self._kernel_pages / self._total_pages
+
+
+class PageAllocator:
+    """First-touch page allocator over a :class:`PhysicalMemory`.
+
+    Parameters
+    ----------
+    memory:
+        The physical memory being allocated from.
+    policy:
+        Swap policy in force.
+    """
+
+    def __init__(self, memory: PhysicalMemory, policy: SwapPolicy | None = None) -> None:
+        self._memory = memory
+        self._policy = policy if policy is not None else SwapPolicy()
+        self._allocated_pages = 0
+
+    @property
+    def memory(self) -> PhysicalMemory:
+        """The underlying physical memory."""
+        return self._memory
+
+    @property
+    def policy(self) -> SwapPolicy:
+        """The swap policy in force."""
+        return self._policy
+
+    @property
+    def allocated_pages(self) -> int:
+        """Pages currently handed to userspace."""
+        return self._allocated_pages
+
+    def allocate(self, bytes_requested: int) -> int:
+        """Allocate pages; returns the number of *resident* pages granted.
+
+        Requests beyond the allocatable space are granted virtually but
+        only the resident fraction dictated by the swap policy maps to
+        physical pages (the rest lives in swap).
+        """
+        require_positive_int(bytes_requested, "bytes_requested")
+        pages_requested = -(-bytes_requested // PAGE_BYTES)
+        available = self._memory.allocatable_pages - self._allocated_pages
+        resident = min(pages_requested, available)
+        if pages_requested > available:
+            # Over-subscription: the swap policy decides how much of the
+            # tail stays resident (with swappiness 0, nothing more fits,
+            # but nothing already resident is evicted either).
+            resident = int(resident * self._policy.resident_fraction()) if (
+                self._policy.swappiness > 0
+            ) else resident
+        self._allocated_pages += resident
+        return resident
+
+    def utilization(self) -> float:
+        """Allocated share of the allocatable space."""
+        if self._memory.allocatable_pages == 0:
+            raise ZeroDivisionError("no allocatable pages")
+        return self._allocated_pages / self._memory.allocatable_pages
+
+
+def coverage_of_allocation(memory: PhysicalMemory, resident_pages: int) -> float:
+    """Fraction of *total* physical memory a resident allocation can wear."""
+    require_fraction(resident_pages / max(memory.total_pages, 1), "resident share")
+    return resident_pages / memory.total_pages

@@ -1,0 +1,12 @@
+"""Experiment report generation.
+
+:func:`~repro.reporting.report.generate_report` reruns the paper's whole
+evaluation on a given configuration and renders a single self-contained
+Markdown document -- tables, ASCII figures, and paper-vs-measured deltas
+-- suitable for committing next to EXPERIMENTS.md or attaching to an
+issue.  The ``repro-nvm report`` CLI subcommand wraps it.
+"""
+
+from repro.reporting.report import ReportSection, generate_report
+
+__all__ = ["ReportSection", "generate_report"]

@@ -1,0 +1,29 @@
+"""Salvaging techniques (paper Section 2.2.2) and their limits under UAA.
+
+Salvaging corrects hard cell failures *inside* a line using reserved
+redundancy, instead of replacing whole lines.  The paper's related-work
+argument is that salvaging alone cannot resist UAA: the error-correction
+budget per line is small, attacked weak lines accumulate failures far
+faster than the budget grows, and the spare capacity is spent without
+regard for the endurance distribution.  This package makes the argument
+executable:
+
+* :class:`~repro.salvage.ecp.ECP` -- Error-Correcting Pointers
+  (Schechter et al., ISCA'10): n correction entries per line;
+* :class:`~repro.salvage.freep.FreeP` -- FREE-p-style fine-grained remap
+  (Yoon et al., HPCA'11): a worn line's traffic is absorbed by embedded
+  remap storage, modelled as a global pool of line-remaps taken from
+  capacity *without* endurance awareness;
+* :class:`~repro.salvage.payg.PayAsYouGo` -- PAYG (Qureshi, MICRO'11): a
+  shared global pool of correction entries allocated on demand, instead
+  of a fixed per-line budget.
+
+All three implement the sparing-scheme interface so the lifetime
+simulator can run them head-to-head with Max-WE (bench EXT-SALV).
+"""
+
+from repro.salvage.ecp import ECP
+from repro.salvage.freep import FreeP
+from repro.salvage.payg import PayAsYouGo
+
+__all__ = ["ECP", "FreeP", "PayAsYouGo"]

@@ -1,0 +1,46 @@
+"""FREE-p: fine-grained remapping of worn lines (Yoon et al., HPCA'11).
+
+FREE-p embeds the remap pointer for a worn-out line *inside* the dead
+line itself (its few surviving cells store a pointer), redirecting the
+line's traffic to a healthy page taken from OS-visible capacity.  Two
+consequences, both modelled here:
+
+* the replacement target is chosen by the OS without endurance awareness
+  -- the paper's critique ("the endurance differences of spare capacity
+  and working capacity are not distinguished"); we model the reserve as a
+  uniformly random sample of lines, allocated in random order;
+* capacity shrinks as remap targets are consumed; the device fails when
+  the reserve runs out.
+
+Lifetime-wise this makes FREE-p the fine-grained sibling of PS's average
+case, which is exactly how the paper groups them.
+"""
+
+from __future__ import annotations
+
+from repro.sparing.ps import PS
+
+
+class FreeP(PS):
+    """FREE-p as endurance-oblivious fine-grained line remapping.
+
+    Parameters
+    ----------
+    reserve_fraction:
+        Fraction of capacity the OS may consume as remap targets.
+    """
+
+    name = "free-p"
+
+    def __init__(self, reserve_fraction: float = 0.1) -> None:
+        super().__init__(
+            spare_fraction=reserve_fraction,
+            selection="random",
+            allocation="random",
+        )
+
+    def describe(self) -> str:
+        return (
+            f"FREE-p (fine-grained remap, {self.spare_fraction:.0%} "
+            "endurance-oblivious reserve)"
+        )

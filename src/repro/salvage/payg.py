@@ -1,0 +1,73 @@
+"""PAYG: Pay-As-You-Go error correction (Qureshi, MICRO'11).
+
+PAYG observes that a fixed per-line ECP budget is mostly wasted (strong
+lines never use theirs) and pools the correction entries globally,
+dispensing them to whichever line fails next.  That fixes ECP's
+*allocation* inefficiency but -- the paper's Section 2.2.2 critique --
+still "simply interprets process variation as non-uniform error rate
+without considering the endurance distribution": the pool drains into the
+weakest lines at full attack speed, and each entry still buys only a
+cell's worth of life.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparing.base import ExtendBudget, FailDevice, Replacement, SpareScheme
+from repro.util.validation import require_fraction, require_positive
+
+
+class PayAsYouGo(SpareScheme):
+    """Globally pooled correction entries.
+
+    Parameters
+    ----------
+    entries_per_line:
+        Pool size expressed as average correction entries per line (PAYG
+        provisions for the expected error count, far below ECP-6's
+        worst-case budget).
+    bonus_per_entry:
+        Extra wear headroom one entry buys, as a fraction of the failing
+        line's nominal endurance.
+    """
+
+    name = "payg"
+
+    def __init__(
+        self, entries_per_line: float = 1.0, bonus_per_entry: float = 0.01
+    ) -> None:
+        require_positive(entries_per_line, "entries_per_line")
+        require_fraction(bonus_per_entry, "bonus_per_entry")
+        super().__init__(spare_fraction=0.0)
+        self._entries_per_line = entries_per_line
+        self._bonus_per_entry = bonus_per_entry
+        self._pool = 0
+
+    @property
+    def pool_remaining(self) -> int:
+        """Correction entries left in the global pool."""
+        self._require_initialized()
+        return self._pool
+
+    def _build_backing(self) -> np.ndarray:
+        assert self._emap is not None
+        self._pool = int(round(self._entries_per_line * self._emap.lines))
+        return np.arange(self._emap.lines, dtype=np.intp)
+
+    def replace(self, slot: int, dead_line: int) -> Replacement:
+        """Dispense one pooled entry; the device fails when the pool is dry."""
+        self._require_initialized()
+        assert self._emap is not None
+        if self._pool <= 0:
+            return FailDevice(
+                reason=f"line {dead_line} failed with the PAYG pool exhausted"
+            )
+        self._pool -= 1
+        bonus = self._bonus_per_entry * float(self._emap.line_endurance[dead_line])
+        return ExtendBudget(wear=bonus)
+
+    def describe(self) -> str:
+        return (
+            f"PAYG salvaging ({self._entries_per_line:g} entries/line pooled)"
+        )

@@ -1,0 +1,46 @@
+"""Lifetime simulation (the paper's "NVMsim").
+
+The paper evaluates every scheme with a simulator that "generates the
+read/write requests according to the attack models" and reports the
+*normalized lifetime*: total writes served before the device fails,
+divided by the summed endurance of all memory lines.
+
+Two simulators are provided:
+
+* :class:`~repro.sim.lifetime.LifetimeSimulator` -- the fluid
+  (mean-field) engine.  Wear-leveling schemes contribute their stationary
+  wear distribution, sparing schemes handle deaths event-by-event, and
+  lifetimes are computed exactly under that stationary approximation in
+  ``O(deaths log slots)``.  This is what all benchmark figures use.
+* :class:`~repro.sim.reference.ReferenceSimulator` -- an exact per-write
+  simulator over a real :class:`~repro.device.bank.NVMBank` with real
+  wear-leveling mechanisms.  Slow, so used on small devices to validate
+  the fluid engine (see ``tests/sim/test_fluid_vs_reference.py``).
+
+:mod:`repro.sim.experiments` holds the paper's experiment configurations
+and the sweep drivers behind Figures 6-8.
+"""
+
+from repro.sim.config import ExperimentConfig, default_endurance_map
+from repro.sim.lifetime import LifetimeSimulator, simulate_lifetime
+from repro.sim.reference import ReferenceSimulator
+from repro.sim.result import SimulationResult
+from repro.sim.experiments import (
+    bpa_scheme_comparison,
+    spare_fraction_sweep,
+    swr_fraction_sweep,
+    uaa_scheme_comparison,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "default_endurance_map",
+    "LifetimeSimulator",
+    "simulate_lifetime",
+    "ReferenceSimulator",
+    "SimulationResult",
+    "bpa_scheme_comparison",
+    "spare_fraction_sweep",
+    "swr_fraction_sweep",
+    "uaa_scheme_comparison",
+]

@@ -1,0 +1,159 @@
+"""The paper's evaluation experiments as reusable sweep drivers.
+
+Each function reproduces one figure/table of Section 5:
+
+* :func:`spare_fraction_sweep` -- Figure 6: Max-WE lifetime under UAA
+  versus the spare-capacity percentage;
+* :func:`swr_fraction_sweep` -- Figure 7: lifetime under BPA versus the
+  SWR share of the spare space, per wear-leveling scheme;
+* :func:`bpa_scheme_comparison` -- Figure 8: Max-WE vs PCD/PS vs PS-worst
+  under BPA across wear-leveling schemes (plus the geometric mean);
+* :func:`uaa_scheme_comparison` -- Section 5.3.1's UAA numbers:
+  no-protection, Max-WE, PCD/PS, PS-worst at 10% spares.
+
+All drivers return plain data structures (lists/dicts of
+:class:`~repro.sim.result.SimulationResult`) so benchmarks, examples and
+tests can format them however they need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+from repro.sim.result import SimulationResult
+from repro.sparing.base import SpareScheme
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+from repro.sparing.ps import PS
+from repro.wearlevel import make_scheme
+from repro.wearlevel.base import WearLeveler
+
+#: Figure 6's x-axis: spare capacity as a percentage of total capacity.
+FIG6_SPARE_FRACTIONS: Tuple[float, ...] = (0.0, 0.01, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+#: Figure 7's x-axis: SWR capacity as a percentage of the spare capacity.
+FIG7_SWR_FRACTIONS: Tuple[float, ...] = (0.0, 0.2, 0.6, 0.8, 0.9, 1.0)
+
+#: Figure 7/8's wear-leveling baselines, in paper order.
+EVALUATED_WEAR_LEVELERS: Tuple[str, ...] = ("tlsr", "pcm-s", "bwl", "wawl")
+
+#: Sparing-scheme factories for the comparison figures, in paper order.
+SPARING_FACTORIES: Dict[str, Callable[[float, float], SpareScheme]] = {
+    "ps-worst": lambda p, q: PS.worst_case(p),
+    "pcd-ps": lambda p, q: PCD(p),
+    "max-we": lambda p, q: MaxWE(p, q),
+}
+
+
+def _make_wl(name: str) -> WearLeveler:
+    """Fluid-mode wear-leveler instance (line-granularity mapping)."""
+    return make_scheme(name, lines_per_region=1) if name != "none" else make_scheme(name)
+
+
+def spare_fraction_sweep(
+    config: ExperimentConfig | None = None,
+    fractions: Sequence[float] = FIG6_SPARE_FRACTIONS,
+) -> List[Tuple[float, SimulationResult]]:
+    """Figure 6: Max-WE under UAA across spare-capacity percentages.
+
+    The paper notes lifetime under UAA is independent of the wear-leveling
+    scheme (uniform traffic is permutation-invariant), so no wear-leveler
+    is varied here.  A zero fraction degenerates to the unprotected device.
+    """
+    config = config if config is not None else ExperimentConfig()
+    emap = config.make_emap()
+    results: List[Tuple[float, SimulationResult]] = []
+    for fraction in fractions:
+        sparing: SpareScheme
+        if fraction == 0.0:
+            sparing = NoSparing()
+        else:
+            sparing = MaxWE(fraction, config.swr_fraction)
+        result = simulate_lifetime(
+            emap, UniformAddressAttack(), sparing, rng=config.seed
+        )
+        results.append((fraction, result))
+    return results
+
+
+def swr_fraction_sweep(
+    config: ExperimentConfig | None = None,
+    swr_fractions: Sequence[float] = FIG7_SWR_FRACTIONS,
+    wearlevelers: Sequence[str] = EVALUATED_WEAR_LEVELERS,
+) -> Dict[str, List[Tuple[float, SimulationResult]]]:
+    """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
+    config = config if config is not None else ExperimentConfig()
+    emap = config.make_emap()
+    sweeps: Dict[str, List[Tuple[float, SimulationResult]]] = {}
+    for wl_name in wearlevelers:
+        series: List[Tuple[float, SimulationResult]] = []
+        for swr_fraction in swr_fractions:
+            result = simulate_lifetime(
+                emap,
+                BirthdayParadoxAttack(),
+                MaxWE(config.spare_fraction, swr_fraction),
+                wearleveler=_make_wl(wl_name),
+                rng=config.seed,
+            )
+            series.append((swr_fraction, result))
+        sweeps[wl_name] = series
+    return sweeps
+
+
+def bpa_scheme_comparison(
+    config: ExperimentConfig | None = None,
+    wearlevelers: Sequence[str] = EVALUATED_WEAR_LEVELERS,
+    sparing_names: Sequence[str] = ("ps-worst", "pcd-ps", "max-we"),
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Figure 8: sparing schemes under BPA across wear-levelers.
+
+    Returns ``{sparing_name: {wl_name: result}}``; apply
+    :func:`repro.util.stats.geometric_mean` over each inner dict's
+    normalized lifetimes for the paper's Gmean bars.
+    """
+    config = config if config is not None else ExperimentConfig()
+    emap = config.make_emap()
+    comparison: Dict[str, Dict[str, SimulationResult]] = {}
+    for sparing_name in sparing_names:
+        factory = SPARING_FACTORIES[sparing_name]
+        row: Dict[str, SimulationResult] = {}
+        for wl_name in wearlevelers:
+            result = simulate_lifetime(
+                emap,
+                BirthdayParadoxAttack(),
+                factory(config.spare_fraction, config.swr_fraction),
+                wearleveler=_make_wl(wl_name),
+                rng=config.seed,
+            )
+            row[wl_name] = result
+        comparison[sparing_name] = row
+    return comparison
+
+
+def uaa_scheme_comparison(
+    config: ExperimentConfig | None = None,
+) -> Dict[str, SimulationResult]:
+    """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
+
+    Returns results for ``no-protection``, ``ps-worst``, ``pcd-ps`` and
+    ``max-we``; the paper reports 4.1%, 28.5%, 30.6% and 43.1% of the
+    ideal lifetime respectively (9.5X / 7.4X / 6.9X improvements).
+    """
+    config = config if config is not None else ExperimentConfig()
+    emap = config.make_emap()
+    attack = UniformAddressAttack()
+    schemes: Dict[str, SpareScheme] = {
+        "no-protection": NoSparing(),
+        "ps-worst": PS.worst_case(config.spare_fraction),
+        "pcd-ps": PCD(config.spare_fraction),
+        "max-we": MaxWE(config.spare_fraction, config.swr_fraction),
+    }
+    return {
+        name: simulate_lifetime(emap, attack, scheme, rng=config.seed)
+        for name, scheme in schemes.items()
+    }

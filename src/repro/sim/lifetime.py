@@ -1,0 +1,216 @@
+"""The fluid (mean-field) lifetime engine.
+
+The engine advances a *virtual clock* tau under which the wear on the
+line backing slot ``i`` is ``u_i * tau``, where ``u_i`` is the slot's
+stationary wear weight from the wear-leveling scheme.  Death events are
+processed from a heap; replacements extend a slot's budget, capacity
+degradation removes slots.  User writes served are integrated as
+``eta * sum(u_alive) dtau`` where ``eta`` is the useful-write fraction
+(remap overhead discounts it).
+
+Why this is exact under stationarity: however capacity shrinks, relative
+wear rates between surviving slots are fixed by the stationary
+distribution, so expressing wear directly in tau (rather than in user-
+write time) linearizes every trajectory; the monotone map back to served
+writes is the integral above.  The exact per-write
+:class:`~repro.sim.reference.ReferenceSimulator` validates the
+approximation end to end in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import AttackModel
+from repro.device.faults import FaultModel
+from repro.endurance.emap import EnduranceMap
+from repro.sim.result import SimulationResult, TimelineEvent
+from repro.sparing.base import (
+    ExtendBudget,
+    FailDevice,
+    RemoveSlot,
+    ReplaceWith,
+    SpareScheme,
+)
+from repro.util.rng import RandomState, derive_rng
+from repro.wearlevel.base import WearLeveler
+from repro.wearlevel.none import NoWearLeveling
+
+
+class LifetimeSimulator:
+    """Fluid lifetime simulation of one device/attack/defence combination.
+
+    Parameters
+    ----------
+    emap:
+        Device endurance map.
+    attack:
+        Attack or workload model.
+    sparing:
+        Spare-line replacement scheme (fresh instance; initialized here).
+    wearleveler:
+        Wear-leveling scheme (fresh instance; attached here); defaults to
+        the identity scheme.
+    fault_model:
+        Optional fault model adjusting effective endurance (e.g. ECP).
+    rng:
+        Master seed; forked deterministically into per-component streams.
+    """
+
+    def __init__(
+        self,
+        emap: EnduranceMap,
+        attack: AttackModel,
+        sparing: SpareScheme,
+        wearleveler: Optional[WearLeveler] = None,
+        fault_model: Optional[FaultModel] = None,
+        rng: RandomState = None,
+        record_timeline: bool = True,
+        max_timeline_events: int = 100_000,
+    ) -> None:
+        self._emap = emap
+        self._attack = attack
+        self._sparing = sparing
+        self._wl = wearleveler if wearleveler is not None else NoWearLeveling()
+        self._fault_model = fault_model if fault_model is not None else FaultModel()
+        self._rng = rng
+        self._record_timeline = record_timeline
+        self._max_timeline_events = max_timeline_events
+
+    def run(self) -> SimulationResult:
+        """Simulate until device failure; returns the lifetime result."""
+        emap = self._emap
+        endurance = self._fault_model.effective_endurance(emap.line_endurance)
+        total_endurance = float(endurance.sum())
+
+        sparing_rng = derive_rng(self._rng, "sparing")
+        self._sparing.initialize(emap, sparing_rng)
+        backing = self._sparing.initial_backing
+        slots = backing.size
+        min_user_slots = min(self._sparing.min_user_slots, slots)
+
+        wl_rng = derive_rng(self._rng, "wearlevel")
+        self._wl.attach(endurance[backing], wl_rng)
+        profile = self._attack.profile(slots)
+        distribution = self._wl.wear_weights(profile)
+        weights = np.asarray(distribution.weights, dtype=float)
+        if weights.size != slots:
+            raise ValueError(
+                f"wear-leveler produced {weights.size} weights for {slots} slots"
+            )
+        eta = distribution.useful_fraction
+
+        budgets = endurance[backing].astype(float)
+        current_death: np.ndarray = np.full(slots, math.inf)
+        heap: list[tuple[float, int]] = []
+        for slot in range(slots):
+            if weights[slot] > 0.0:
+                v = budgets[slot] / weights[slot]
+                current_death[slot] = v
+                heap.append((v, slot))
+        heapq.heapify(heap)
+
+        alive = np.ones(slots, dtype=bool)
+        active_weight = float(weights.sum())
+        served = 0.0
+        v_now = 0.0
+        deaths = 0
+        replacements = 0
+        failure_reason = "no wear-prone traffic (simulation degenerate)"
+        timeline: list[TimelineEvent] = []
+
+        def record(slot: int, dead_line: int, action: str, replacement: int | None) -> None:
+            if self._record_timeline and len(timeline) < self._max_timeline_events:
+                timeline.append(
+                    TimelineEvent(
+                        writes_served=served,
+                        slot=slot,
+                        dead_line=dead_line,
+                        action=action,
+                        replacement_line=replacement,
+                    )
+                )
+
+        while heap:
+            v, slot = heapq.heappop(heap)
+            if not alive[slot] or v != current_death[slot]:
+                continue  # stale entry
+            served += (v - v_now) * active_weight * eta
+            v_now = v
+            deaths += 1
+            dead_line = int(backing[slot])
+
+            outcome = self._sparing.replace(slot, dead_line)
+            if isinstance(outcome, ReplaceWith):
+                replacements += 1
+                backing[slot] = outcome.line
+                extra = float(endurance[outcome.line])
+                new_death = v_now + extra / weights[slot]
+                current_death[slot] = new_death
+                heapq.heappush(heap, (new_death, slot))
+                record(slot, dead_line, "replaced", outcome.line)
+                continue
+            if isinstance(outcome, ExtendBudget):
+                replacements += 1
+                new_death = v_now + outcome.wear / weights[slot]
+                current_death[slot] = new_death
+                heapq.heappush(heap, (new_death, slot))
+                record(slot, dead_line, "extended", None)
+                continue
+            if isinstance(outcome, RemoveSlot):
+                alive[slot] = False
+                active_weight -= float(weights[slot])
+                current_death[slot] = math.inf
+                record(slot, dead_line, "removed", None)
+                live_count = int(alive.sum())
+                if live_count < min_user_slots:
+                    failure_reason = (
+                        f"capacity degraded below user capacity "
+                        f"({live_count} < {min_user_slots} slots)"
+                    )
+                    break
+                continue
+            assert isinstance(outcome, FailDevice)
+            failure_reason = outcome.reason
+            record(slot, dead_line, "device-failed", None)
+            break
+        else:
+            if deaths > 0:
+                failure_reason = "all wear-prone slots exhausted"
+
+        metadata = {
+            "attack": self._attack.describe(),
+            "wearleveler": self._wl.describe(),
+            "sparing": self._sparing.describe(),
+            "fault_model": self._fault_model.describe(),
+            "slots": slots,
+            "engine": "fluid",
+        }
+        return SimulationResult(
+            writes_served=served,
+            total_endurance=total_endurance,
+            deaths=deaths,
+            replacements=replacements,
+            failure_reason=failure_reason,
+            metadata=metadata,
+            timeline=tuple(timeline),
+        )
+
+
+def simulate_lifetime(
+    emap: EnduranceMap,
+    attack: AttackModel,
+    sparing: SpareScheme,
+    wearleveler: Optional[WearLeveler] = None,
+    fault_model: Optional[FaultModel] = None,
+    rng: RandomState = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`LifetimeSimulator`."""
+    simulator = LifetimeSimulator(
+        emap, attack, sparing, wearleveler, fault_model, rng
+    )
+    return simulator.run()

@@ -1,0 +1,168 @@
+"""The exact per-write reference simulator.
+
+Drives a real :class:`~repro.device.bank.NVMBank` with an attack's
+per-write address stream through a real wear-leveling mechanism and a
+sparing scheme, counting every write (including remap data movement)
+against per-line endurance.  It makes no stationarity assumption, so it
+validates the fluid engine -- at per-write cost, which restricts it to
+small banks (hundreds of lines, endurance in the thousands).
+
+Capacity-degrading schemes (PCD) are supported with the identity
+wear-leveler only: slot removal shrinks the logical space, which the
+region-permutation wear-levelers cannot re-index mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import AttackModel
+from repro.device.bank import NVMBank
+from repro.device.faults import FaultModel
+from repro.endurance.emap import EnduranceMap
+from repro.sim.result import SimulationResult
+from repro.sparing.base import (
+    ExtendBudget,
+    FailDevice,
+    RemoveSlot,
+    ReplaceWith,
+    SpareScheme,
+)
+from repro.util.rng import RandomState, derive_rng
+from repro.wearlevel.base import WearLeveler
+from repro.wearlevel.none import NoWearLeveling
+
+
+class ReferenceSimulator:
+    """Exact, per-write lifetime simulation.
+
+    Parameters mirror :class:`~repro.sim.lifetime.LifetimeSimulator`; an
+    additional ``max_writes`` guards against unbounded runs when a
+    configuration never fails.
+    """
+
+    def __init__(
+        self,
+        emap: EnduranceMap,
+        attack: AttackModel,
+        sparing: SpareScheme,
+        wearleveler: Optional[WearLeveler] = None,
+        fault_model: Optional[FaultModel] = None,
+        rng: RandomState = None,
+        max_writes: int = 50_000_000,
+    ) -> None:
+        if max_writes <= 0:
+            raise ValueError(f"max_writes must be positive, got {max_writes}")
+        self._emap = emap
+        self._attack = attack
+        self._sparing = sparing
+        self._wl = wearleveler if wearleveler is not None else NoWearLeveling()
+        self._fault_model = fault_model if fault_model is not None else FaultModel()
+        self._rng = rng
+        self._max_writes = max_writes
+
+    def run(self) -> SimulationResult:
+        """Simulate write by write until device failure (or the guard)."""
+        bank = NVMBank(self._emap, fault_model=self._fault_model)
+        sparing_rng = derive_rng(self._rng, "sparing")
+        self._sparing.initialize(self._emap, sparing_rng)
+        backing = self._sparing.initial_backing.copy()
+        slots = backing.size
+        min_user_slots = min(self._sparing.min_user_slots, slots)
+
+        wl_rng = derive_rng(self._rng, "wearlevel")
+        self._wl.attach(bank.endurance[backing], wl_rng)
+        removable = not isinstance(self._wl, NoWearLeveling)
+        alive_slots = list(range(slots))
+        slot_alive = np.ones(slots, dtype=bool)
+
+        user_lines = getattr(self._wl, "logical_lines", slots)
+        stream_rng = derive_rng(self._rng, "attack")
+        stream = self._attack.stream(user_lines, stream_rng)
+
+        served = 0
+        deaths = 0
+        replacements = 0
+        failure_reason = f"write guard reached ({self._max_writes} writes)"
+        failed = False
+
+        def write_slot(slot: int, count: int) -> bool:
+            """Apply writes to a slot's backing line; True if device failed."""
+            nonlocal deaths, replacements, failure_reason
+            for _ in range(count):
+                line = int(backing[slot])
+                if not bank.is_alive(line):
+                    # A replacement line independently died (can only
+                    # happen through fault injection); treat as failure.
+                    failure_reason = f"backing line {line} dead with no event"
+                    return True
+                if not bank.write(line, 1):
+                    continue
+                deaths += 1
+                outcome = self._sparing.replace(slot, line)
+                if isinstance(outcome, ReplaceWith):
+                    replacements += 1
+                    backing[slot] = outcome.line
+                elif isinstance(outcome, ExtendBudget):
+                    replacements += 1
+                    bank.salvage(line, outcome.wear)
+                elif isinstance(outcome, RemoveSlot):
+                    slot_alive[slot] = False
+                    alive_slots.remove(slot)
+                    if len(alive_slots) < min_user_slots:
+                        failure_reason = (
+                            f"capacity degraded below user capacity "
+                            f"({len(alive_slots)} < {min_user_slots} slots)"
+                        )
+                        return True
+                else:
+                    assert isinstance(outcome, FailDevice)
+                    failure_reason = outcome.reason
+                    return True
+            return False
+
+        for request in stream:
+            if served >= self._max_writes or failed:
+                break
+            if removable and len(alive_slots) < slots:
+                raise RuntimeError(
+                    "capacity-degrading schemes require the identity wear-leveler "
+                    "in the reference simulator"
+                )
+            if slot_alive.all():
+                slot = self._wl.translate(request.address)
+            else:
+                # Degraded mode (identity WL): fold the address onto the
+                # surviving slots.
+                slot = alive_slots[request.address % len(alive_slots)]
+            failed = write_slot(slot, 1)
+            if failed:
+                break
+            served += 1
+            for side_slot, extra in self._wl.record_write(request.address):
+                if not slot_alive[side_slot]:
+                    continue
+                failed = write_slot(side_slot, extra)
+                if failed:
+                    break
+            if failed:
+                break
+
+        metadata = {
+            "attack": self._attack.describe(),
+            "wearleveler": self._wl.describe(),
+            "sparing": self._sparing.describe(),
+            "fault_model": self._fault_model.describe(),
+            "slots": slots,
+            "engine": "reference",
+        }
+        return SimulationResult(
+            writes_served=float(served),
+            total_endurance=bank.total_endurance,
+            deaths=deaths,
+            replacements=replacements,
+            failure_reason=failure_reason,
+            metadata=metadata,
+        )

@@ -1,0 +1,180 @@
+"""Simulation results, failure timelines, and the normalized-lifetime metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One wear-out event in a simulation's failure timeline.
+
+    Attributes
+    ----------
+    writes_served:
+        User writes completed when the event occurred.
+    slot:
+        The affected user slot.
+    dead_line:
+        The physical line that wore out.
+    action:
+        What the sparing scheme did: ``"replaced"``, ``"extended"``,
+        ``"removed"`` or ``"device-failed"``.
+    replacement_line:
+        The new backing line for ``"replaced"`` events.
+    """
+
+    writes_served: float
+    slot: int
+    dead_line: int
+    action: str
+    replacement_line: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one lifetime simulation.
+
+    Attributes
+    ----------
+    writes_served:
+        User writes completed before the device failed.
+    total_endurance:
+        Summed effective endurance of every physical line (ideal lifetime
+        under perfect endurance-proportional wear).
+    deaths:
+        Line wear-out events before failure.
+    replacements:
+        Successful spare-line replacements.
+    failure_reason:
+        Why the device was declared worn out.
+    metadata:
+        Scheme/attack labels and configuration echoes for reporting.
+    """
+
+    writes_served: float
+    total_endurance: float
+    deaths: int
+    replacements: int
+    failure_reason: str
+    metadata: Mapping[str, object] = field(default_factory=dict)
+    timeline: Tuple[TimelineEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.writes_served < 0:
+            raise ValueError(f"writes_served must be >= 0, got {self.writes_served}")
+        if self.total_endurance <= 0:
+            raise ValueError(
+                f"total_endurance must be > 0, got {self.total_endurance}"
+            )
+
+    @property
+    def normalized_lifetime(self) -> float:
+        """The paper's metric: writes served / total endurance."""
+        return self.writes_served / self.total_endurance
+
+    def improvement_over(self, baseline: "SimulationResult | float") -> float:
+        """Lifetime ratio versus a baseline result (the paper's "9.5X")."""
+        reference = (
+            baseline.normalized_lifetime
+            if isinstance(baseline, SimulationResult)
+            else float(baseline)
+        )
+        if reference <= 0:
+            raise ValueError("baseline lifetime must be positive")
+        return self.normalized_lifetime / reference
+
+    def label(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Convenience metadata accessor."""
+        value = self.metadata.get(key, default)
+        return None if value is None else str(value)
+
+    def first_death_fraction(self) -> Optional[float]:
+        """When (as a lifetime fraction) the first wear-out occurred.
+
+        A small value with a long total lifetime indicates the defence
+        spent most of the device's life absorbing failures -- the
+        intended behaviour of a sparing scheme; ``None`` if nothing died.
+        """
+        if not self.timeline:
+            return None
+        if self.writes_served == 0:
+            return 0.0
+        return self.timeline[0].writes_served / self.writes_served
+
+    def deaths_by_action(self) -> Mapping[str, int]:
+        """Timeline event counts grouped by the sparing scheme's action."""
+        counts: dict[str, int] = {}
+        for event in self.timeline:
+            counts[event.action] = counts.get(event.action, 0) + 1
+        return counts
+
+    def __str__(self) -> str:
+        return (
+            f"SimulationResult(normalized={self.normalized_lifetime:.3%}, "
+            f"deaths={self.deaths}, replacements={self.replacements}, "
+            f"reason={self.failure_reason!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (experiment archiving)
+    # ------------------------------------------------------------------
+
+    def to_dict(self, *, include_timeline: bool = True) -> dict:
+        """Plain-JSON-serializable representation of this result."""
+        payload: dict = {
+            "writes_served": float(self.writes_served),
+            "total_endurance": float(self.total_endurance),
+            "normalized_lifetime": float(self.normalized_lifetime),
+            "deaths": self.deaths,
+            "replacements": self.replacements,
+            "failure_reason": self.failure_reason,
+            "metadata": {key: str(value) for key, value in self.metadata.items()},
+        }
+        if include_timeline:
+            payload["timeline"] = [
+                {
+                    "writes_served": float(event.writes_served),
+                    "slot": event.slot,
+                    "dead_line": event.dead_line,
+                    "action": event.action,
+                    "replacement_line": event.replacement_line,
+                }
+                for event in self.timeline
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``normalized_lifetime`` in the payload is redundant (derived) and
+        validated against the reconstructed value.
+        """
+        timeline = tuple(
+            TimelineEvent(
+                writes_served=event["writes_served"],
+                slot=event["slot"],
+                dead_line=event["dead_line"],
+                action=event["action"],
+                replacement_line=event.get("replacement_line"),
+            )
+            for event in payload.get("timeline", [])
+        )
+        result = cls(
+            writes_served=payload["writes_served"],
+            total_endurance=payload["total_endurance"],
+            deaths=payload["deaths"],
+            replacements=payload["replacements"],
+            failure_reason=payload["failure_reason"],
+            metadata=dict(payload.get("metadata", {})),
+            timeline=timeline,
+        )
+        recorded = payload.get("normalized_lifetime")
+        if recorded is not None and abs(recorded - result.normalized_lifetime) > 1e-9:
+            raise ValueError(
+                f"payload normalized_lifetime {recorded} is inconsistent with "
+                f"writes/endurance ({result.normalized_lifetime})"
+            )
+        return result

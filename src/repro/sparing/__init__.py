@@ -1,0 +1,43 @@
+"""Spare-line replacement schemes (paper Section 2.2.3 baselines).
+
+A sparing scheme decides (1) which physical lines are held back as spares,
+(2) which lines serve the user space, and (3) what happens when an
+in-service line wears out: replace it from the spare pool, degrade
+capacity, or declare the device dead.
+
+Implemented baselines:
+
+* :class:`~repro.sparing.none.NoSparing` -- unprotected device, fails at
+  the first wear-out;
+* :class:`~repro.sparing.pcd.PCD` -- Physical Capacity Degradation: all
+  lines start in service and capacity shrinks as lines die;
+* :class:`~repro.sparing.ps.PS` -- Physical Sparing: failed lines are
+  replaced from an excess-capacity pool, with selectable pool-selection
+  (random / weakest / strongest) and allocation-order policies covering
+  the paper's PS-average and PS-worst cases.
+
+The paper's contribution, Max-WE, implements the same interface in
+:mod:`repro.core`.
+"""
+
+from repro.sparing.base import (
+    FailDevice,
+    RemoveSlot,
+    Replacement,
+    ReplaceWith,
+    SpareScheme,
+)
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+from repro.sparing.ps import PS
+
+__all__ = [
+    "FailDevice",
+    "RemoveSlot",
+    "Replacement",
+    "ReplaceWith",
+    "SpareScheme",
+    "NoSparing",
+    "PCD",
+    "PS",
+]

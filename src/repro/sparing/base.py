@@ -1,0 +1,167 @@
+"""Sparing-scheme interface shared by the fluid and exact simulators.
+
+The lifetime engine drives a sparing scheme through three phases:
+
+1. :meth:`SpareScheme.initialize` with the device's endurance map --
+   the scheme partitions lines into the in-service set (slots) and its
+   spare pool;
+2. the engine applies wear to the lines backing each slot;
+3. on a backing line's death the engine calls :meth:`SpareScheme.replace`
+   and acts on the returned :class:`Replacement`:
+   :class:`ReplaceWith` (redirect the slot to a spare line),
+   :class:`RemoveSlot` (capacity degradation), or
+   :class:`FailDevice` (the write cannot be completed -- Section 4.2's
+   failure criterion).
+
+Device failure is also declared by the engine when the number of live
+slots drops below :attr:`SpareScheme.min_user_slots`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.endurance.emap import EnduranceMap
+from repro.util.rng import RandomState, derive_rng
+from repro.util.validation import require_fraction
+
+
+@dataclass(frozen=True)
+class ReplaceWith:
+    """Redirect the slot to spare line ``line``."""
+
+    line: int
+
+
+@dataclass(frozen=True)
+class RemoveSlot:
+    """Retire the slot; remaining traffic spreads over surviving slots."""
+
+
+@dataclass(frozen=True)
+class ExtendBudget:
+    """Repair the line in place, extending its wear budget by ``wear``.
+
+    This is the salvaging verb (Section 2.2.2): error-correcting
+    redundancy absorbs the first cell failures so the same line keeps
+    serving, with a little extra life.
+    """
+
+    wear: float
+
+    def __post_init__(self) -> None:
+        if self.wear <= 0:
+            raise ValueError(f"budget extension must be positive, got {self.wear}")
+
+
+@dataclass(frozen=True)
+class FailDevice:
+    """The replacement procedure failed; the device is worn out."""
+
+    reason: str
+
+
+Replacement = ReplaceWith | RemoveSlot | ExtendBudget | FailDevice
+
+
+class SpareScheme(ABC):
+    """Base class for spare-line replacement schemes.
+
+    Parameters
+    ----------
+    spare_fraction:
+        Fraction ``p = S / N`` of total lines held as spares (0 for
+        schemes without excess capacity).
+    """
+
+    #: Short machine-readable name used in result tables.
+    name: str = "sparing"
+
+    def __init__(self, spare_fraction: float = 0.0) -> None:
+        require_fraction(spare_fraction, "spare_fraction")
+        if spare_fraction >= 1.0:
+            raise ValueError("spare_fraction must leave room for user space")
+        self._spare_fraction = spare_fraction
+        self._emap: EnduranceMap | None = None
+        self._rng: np.random.Generator | None = None
+        self._backing: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def spare_fraction(self) -> float:
+        """Configured spare fraction ``p``."""
+        return self._spare_fraction
+
+    def spare_lines(self, total_lines: int) -> int:
+        """Spare line count ``S`` for a device of ``total_lines``."""
+        return int(round(self._spare_fraction * total_lines))
+
+    def initialize(self, emap: EnduranceMap, rng: RandomState = None) -> None:
+        """Partition the device and build the scheme's internal state."""
+        self._emap = emap
+        self._rng = derive_rng(rng, f"sparing-{self.name}")
+        self._backing = self._build_backing()
+        if self._backing.ndim != 1 or self._backing.size == 0:
+            raise ValueError("scheme produced an empty backing array")
+
+    @abstractmethod
+    def _build_backing(self) -> np.ndarray:
+        """Initial slot -> physical-line assignment (in-service lines)."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def emap(self) -> EnduranceMap:
+        """The endurance map the scheme was initialized with."""
+        self._require_initialized()
+        assert self._emap is not None
+        return self._emap
+
+    @property
+    def initial_backing(self) -> np.ndarray:
+        """Copy of the initial slot-to-line assignment."""
+        self._require_initialized()
+        assert self._backing is not None
+        return self._backing.copy()
+
+    @property
+    def slots(self) -> int:
+        """Number of slots initially in service."""
+        self._require_initialized()
+        assert self._backing is not None
+        return int(self._backing.size)
+
+    @property
+    def min_user_slots(self) -> int:
+        """Live slots required for the device to stay serviceable.
+
+        Defaults to the user capacity ``N - S``; schemes whose slots never
+        shrink fail through :class:`FailDevice` instead.
+        """
+        self._require_initialized()
+        assert self._emap is not None
+        return self._emap.lines - self.spare_lines(self._emap.lines)
+
+    def _require_initialized(self) -> None:
+        if self._emap is None:
+            raise RuntimeError(f"{type(self).__name__} used before initialize()")
+
+    # ------------------------------------------------------------------
+    # Replacement
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def replace(self, slot: int, dead_line: int) -> Replacement:
+        """React to the death of ``dead_line`` backing ``slot``."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return f"{self.name} (p={self._spare_fraction:.0%})"

@@ -1,0 +1,31 @@
+"""The unprotected baseline: no spare lines at all.
+
+Every physical line serves the user; the first wear-out failure is fatal.
+Under UAA this realizes Equation 4, ``L_UAA = N * EL`` -- the paper's
+4.1%-of-ideal headline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparing.base import FailDevice, Replacement, SpareScheme
+
+
+class NoSparing(SpareScheme):
+    """All lines in service, zero spares, fail on first death."""
+
+    name = "no-protection"
+
+    def __init__(self) -> None:
+        super().__init__(spare_fraction=0.0)
+
+    def _build_backing(self) -> np.ndarray:
+        assert self._emap is not None
+        return np.arange(self._emap.lines, dtype=np.intp)
+
+    def replace(self, slot: int, dead_line: int) -> Replacement:
+        return FailDevice(reason=f"line {dead_line} worn out and no spares exist")
+
+    def describe(self) -> str:
+        return "no protection (fails at first wear-out)"

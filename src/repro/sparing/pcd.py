@@ -1,0 +1,44 @@
+"""PCD: Physical Capacity Degradation (Ferreira et al., DATE'11).
+
+All physical lines start in service and the memory shrinks as lines die;
+the device fails once capacity drops below the guaranteed user capacity
+``N - S``.  Because every line (including the "slack") absorbs traffic
+from day one, the weak lines are diluted across the whole space -- under
+UAA the slack buys exactly the endurance of the ``S`` weakest lines plus
+the extra headroom of the ``(S+1)``-th (Equation 7's area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparing.base import RemoveSlot, Replacement, SpareScheme
+from repro.util.validation import require_fraction
+
+
+class PCD(SpareScheme):
+    """Capacity degradation with ``S`` lines of slack.
+
+    Parameters
+    ----------
+    spare_fraction:
+        Slack fraction ``p = S / N``; the device fails when more than
+        ``S`` lines have died.
+    """
+
+    name = "pcd"
+
+    def __init__(self, spare_fraction: float = 0.1) -> None:
+        require_fraction(spare_fraction, "spare_fraction")
+        super().__init__(spare_fraction=spare_fraction)
+
+    def _build_backing(self) -> np.ndarray:
+        assert self._emap is not None
+        return np.arange(self._emap.lines, dtype=np.intp)
+
+    def replace(self, slot: int, dead_line: int) -> Replacement:
+        """Dead lines are simply retired; the engine tracks capacity."""
+        return RemoveSlot()
+
+    def describe(self) -> str:
+        return f"PCD (capacity degradation, {self.spare_fraction:.0%} slack)"

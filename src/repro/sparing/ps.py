@@ -1,0 +1,140 @@
+"""PS: Physical Sparing (Ferreira et al., DATE'11).
+
+``S`` lines are held out of service as an excess-capacity pool; a failed
+in-service line is replaced by a pool line.  How the pool is *selected*
+and in what order it is *allocated* spans the paper's PS variants:
+
+* **PS (average case)** -- ``selection="random"``: the pool is a uniform
+  random sample; the paper approximates its lifetime by PCD's (within
+  3%, citing Ferreira et al.).
+* **PS-worst** -- ``selection="strongest"``: the pool wastes the
+  strongest lines as spares while the weakest lines keep serving users
+  (Equation 8: the ``(S+1)``-th weakest line bounds the lifetime).
+* ``selection="weakest"`` -- the weak-priority half of Max-WE *without*
+  the region pairing and hybrid mapping; used by the allocation ablation
+  (bench ABL-MATCH) to isolate how much each Max-WE ingredient buys.
+
+Allocation order (``allocation``): ``"strongest-first"`` (Max-WE's
+policy), ``"random"``, or ``"weakest-first"``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sparing.base import FailDevice, Replacement, ReplaceWith, SpareScheme
+from repro.util.validation import require_fraction
+
+#: Valid pool-selection policies.
+SELECTIONS = ("random", "weakest", "strongest")
+
+#: Valid pool-allocation orders.
+ALLOCATIONS = ("strongest-first", "random", "weakest-first")
+
+
+class PS(SpareScheme):
+    """Physical sparing with configurable pool selection and allocation.
+
+    Parameters
+    ----------
+    spare_fraction:
+        Pool fraction ``p = S / N``.
+    selection:
+        Which lines form the pool: ``"random"`` (PS average case),
+        ``"strongest"`` (PS-worst), or ``"weakest"`` (weak-priority).
+    allocation:
+        Order in which pool lines are handed out on failures.
+    """
+
+    name = "ps"
+
+    def __init__(
+        self,
+        spare_fraction: float = 0.1,
+        selection: str = "random",
+        allocation: str = "strongest-first",
+    ) -> None:
+        require_fraction(spare_fraction, "spare_fraction")
+        if selection not in SELECTIONS:
+            raise ValueError(f"selection must be one of {SELECTIONS}, got {selection!r}")
+        if allocation not in ALLOCATIONS:
+            raise ValueError(f"allocation must be one of {ALLOCATIONS}, got {allocation!r}")
+        super().__init__(spare_fraction=spare_fraction)
+        self._selection = selection
+        self._allocation = allocation
+        self._pool: List[int] = []
+
+    @classmethod
+    def average_case(cls, spare_fraction: float = 0.1) -> "PS":
+        """The paper's PS (average case): random pool selection."""
+        return cls(spare_fraction, selection="random", allocation="random")
+
+    @classmethod
+    def worst_case(cls, spare_fraction: float = 0.1) -> "PS":
+        """The paper's PS-worst: the strongest lines wasted as spares."""
+        return cls(spare_fraction, selection="strongest", allocation="random")
+
+    @property
+    def selection(self) -> str:
+        """Pool-selection policy."""
+        return self._selection
+
+    @property
+    def allocation(self) -> str:
+        """Pool-allocation order."""
+        return self._allocation
+
+    @property
+    def pool_remaining(self) -> int:
+        """Spare lines not yet handed out."""
+        self._require_initialized()
+        return len(self._pool)
+
+    def _build_backing(self) -> np.ndarray:
+        assert self._emap is not None and self._rng is not None
+        total = self._emap.lines
+        spares = self.spare_lines(total)
+        endurance = self._emap.line_endurance
+        order = np.lexsort((np.arange(total), endurance))  # ascending endurance
+        if self._selection == "weakest":
+            pool = order[:spares]
+        elif self._selection == "strongest":
+            pool = order[total - spares :]
+        else:
+            pool = self._rng.choice(total, size=spares, replace=False)
+
+        pool_set = set(int(line) for line in pool)
+        backing = np.array(
+            [line for line in range(total) if line not in pool_set], dtype=np.intp
+        )
+        self._pool = self._ordered_pool(list(pool_set))
+        return backing
+
+    def _ordered_pool(self, pool: List[int]) -> List[int]:
+        """Order the pool so allocation pops from the front."""
+        assert self._emap is not None and self._rng is not None
+        endurance = self._emap.line_endurance
+        if self._allocation == "strongest-first":
+            return sorted(pool, key=lambda line: -endurance[line])
+        if self._allocation == "weakest-first":
+            return sorted(pool, key=lambda line: endurance[line])
+        shuffled = list(pool)
+        self._rng.shuffle(shuffled)
+        return shuffled
+
+    def replace(self, slot: int, dead_line: int) -> Replacement:
+        """Hand out the next pool line; fail when the pool is dry."""
+        self._require_initialized()
+        if not self._pool:
+            return FailDevice(
+                reason=f"line {dead_line} worn out with the spare pool exhausted"
+            )
+        return ReplaceWith(line=self._pool.pop(0))
+
+    def describe(self) -> str:
+        return (
+            f"PS (p={self.spare_fraction:.0%}, pool={self._selection}, "
+            f"alloc={self._allocation})"
+        )

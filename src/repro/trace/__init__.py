@@ -1,0 +1,32 @@
+"""Write-trace infrastructure.
+
+The paper's NVMsim "generates the read/write requests according to the
+attack models, thus avoiding reading memory requests from the workload
+files" -- generation is faster, but trace files are how third parties
+audit an attack and how real workloads enter a lifetime study.  This
+package provides both directions:
+
+* :func:`~repro.trace.record.record_trace` captures any
+  :class:`~repro.attacks.base.AttackModel` into a
+  :class:`~repro.trace.format.WriteTrace`;
+* :class:`~repro.trace.format.WriteTrace` round-trips through compressed
+  ``.npz`` files;
+* :class:`~repro.trace.replay.TraceAttack` replays a trace as an attack
+  model: the exact simulator consumes it verbatim, and the fluid
+  simulator consumes the *empirical profile* that
+  :mod:`repro.trace.stats` classifies from the trace (uniform /
+  concentrated / skewed).
+"""
+
+from repro.trace.format import WriteTrace
+from repro.trace.record import record_trace
+from repro.trace.replay import TraceAttack
+from repro.trace.stats import TraceStats, analyze_trace
+
+__all__ = [
+    "WriteTrace",
+    "record_trace",
+    "TraceAttack",
+    "TraceStats",
+    "analyze_trace",
+]

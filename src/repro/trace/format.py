@@ -1,0 +1,123 @@
+"""The on-disk write-trace format.
+
+A :class:`WriteTrace` is a finite sequence of logical write addresses
+(optionally with 64-bit payloads) over a declared user address space.
+Traces serialize to compressed ``.npz`` with a format-version tag so
+future layouts stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.util.validation import require_positive_int
+
+#: Current trace file format version.
+FORMAT_VERSION: int = 1
+
+
+@dataclass(frozen=True)
+class WriteTrace:
+    """A recorded write stream.
+
+    Attributes
+    ----------
+    addresses:
+        1-D int64 array of logical line addresses, in ``[0, user_lines)``.
+    user_lines:
+        Size of the logical address space the trace was recorded against.
+    data:
+        Optional uint64 payload array aligned with ``addresses``.
+    source:
+        Free-form provenance label (e.g. the generating attack's
+        ``describe()``).
+    """
+
+    addresses: np.ndarray
+    user_lines: int
+    data: Optional[np.ndarray] = None
+    source: str = "unknown"
+
+    def __post_init__(self) -> None:
+        addresses = np.asarray(self.addresses, dtype=np.int64)
+        object.__setattr__(self, "addresses", addresses)
+        require_positive_int(self.user_lines, "user_lines")
+        if addresses.ndim != 1 or addresses.size == 0:
+            raise ValueError("addresses must be a non-empty 1-D array")
+        if addresses.min() < 0 or addresses.max() >= self.user_lines:
+            raise ValueError(
+                f"addresses must lie in [0, {self.user_lines}); "
+                f"found range [{addresses.min()}, {addresses.max()}]"
+            )
+        if self.data is not None:
+            data = np.asarray(self.data, dtype=np.uint64)
+            if data.shape != addresses.shape:
+                raise ValueError(
+                    f"data shape {data.shape} does not match addresses "
+                    f"shape {addresses.shape}"
+                )
+            object.__setattr__(self, "data", data)
+        addresses.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    @property
+    def has_data(self) -> bool:
+        """Whether the trace carries payloads."""
+        return self.data is not None
+
+    def histogram(self) -> np.ndarray:
+        """Writes per logical line over the whole trace."""
+        return np.bincount(self.addresses, minlength=self.user_lines).astype(float)
+
+    def slice(self, start: int, stop: int) -> "WriteTrace":
+        """A sub-trace over ``[start, stop)`` writes."""
+        if not 0 <= start < stop <= len(self):
+            raise ValueError(f"invalid slice [{start}, {stop}) of {len(self)} writes")
+        return WriteTrace(
+            addresses=self.addresses[start:stop].copy(),
+            user_lines=self.user_lines,
+            data=None if self.data is None else self.data[start:stop].copy(),
+            source=f"{self.source}[{start}:{stop}]",
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the trace to a compressed ``.npz`` file."""
+        path = Path(path)
+        payload: Mapping[str, object] = {
+            "format_version": np.int64(FORMAT_VERSION),
+            "addresses": self.addresses,
+            "user_lines": np.int64(self.user_lines),
+            "source": np.bytes_(self.source.encode()),
+        }
+        if self.data is not None:
+            payload = {**payload, "data": self.data}
+        np.savez_compressed(path, **payload)
+        # numpy appends .npz when missing; normalize the returned path.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "WriteTrace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            version = int(archive["format_version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format version {version} "
+                    f"(this build reads {FORMAT_VERSION})"
+                )
+            return cls(
+                addresses=archive["addresses"],
+                user_lines=int(archive["user_lines"]),
+                data=archive["data"] if "data" in archive.files else None,
+                source=bytes(archive["source"]).decode(),
+            )

@@ -1,0 +1,51 @@
+"""Recording attack models into traces."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.attacks.base import AttackModel
+from repro.trace.format import WriteTrace
+from repro.util.rng import RandomState
+from repro.util.validation import require_positive_int
+
+
+def record_trace(
+    attack: AttackModel,
+    user_lines: int,
+    length: int,
+    rng: RandomState = None,
+    *,
+    keep_data: bool = False,
+) -> WriteTrace:
+    """Capture ``length`` writes of ``attack`` into a :class:`WriteTrace`.
+
+    Parameters
+    ----------
+    attack:
+        Any attack/workload model.
+    user_lines:
+        Logical address space to record against.
+    length:
+        Number of writes to capture.
+    keep_data:
+        Also record payloads (zero-filled where the attack supplies none).
+    """
+    require_positive_int(user_lines, "user_lines")
+    require_positive_int(length, "length")
+
+    addresses = np.empty(length, dtype=np.int64)
+    data = np.zeros(length, dtype=np.uint64) if keep_data else None
+    stream = attack.stream(user_lines, rng)
+    for index, request in enumerate(itertools.islice(stream, length)):
+        addresses[index] = request.address
+        if data is not None and request.data is not None:
+            data[index] = request.data
+    return WriteTrace(
+        addresses=addresses,
+        user_lines=user_lines,
+        data=data,
+        source=attack.describe(),
+    )

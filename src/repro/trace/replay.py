@@ -1,0 +1,69 @@
+"""Replaying traces as attack models."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.attacks.base import AccessProfile, AttackModel, WriteRequest
+from repro.trace.format import WriteTrace
+from repro.trace.stats import empirical_profile
+from repro.util.rng import RandomState
+
+
+class TraceAttack(AttackModel):
+    """Replay a recorded trace as an attack model.
+
+    The exact simulator consumes the trace verbatim (looping when the
+    simulation outlives the recording -- standard practice for
+    finite-trace lifetime studies); the fluid simulator consumes the
+    trace's empirical profile.
+
+    Parameters
+    ----------
+    trace:
+        The recorded write trace.
+    loop:
+        Whether the stream restarts after the last write (default) or
+        stops, ending an exact simulation early.
+    """
+
+    name = "trace"
+
+    def __init__(self, trace: WriteTrace, loop: bool = True) -> None:
+        self._trace = trace
+        self._loop = loop
+
+    @property
+    def trace(self) -> WriteTrace:
+        """The trace being replayed."""
+        return self._trace
+
+    def profile(self, user_lines: int) -> AccessProfile:
+        if user_lines != self._trace.user_lines:
+            raise ValueError(
+                f"trace was recorded over {self._trace.user_lines} lines but the "
+                f"device exposes {user_lines}"
+            )
+        return empirical_profile(self._trace)
+
+    def stream(self, user_lines: int, rng: RandomState = None) -> Iterator[WriteRequest]:
+        if user_lines != self._trace.user_lines:
+            raise ValueError(
+                f"trace was recorded over {self._trace.user_lines} lines but the "
+                f"device exposes {user_lines}"
+            )
+        addresses = self._trace.addresses
+        data = self._trace.data
+        while True:
+            for index in range(addresses.size):
+                yield WriteRequest(
+                    address=int(addresses[index]),
+                    data=None if data is None else int(data[index]),
+                )
+            if not self._loop:
+                return
+
+    def describe(self) -> str:
+        return (
+            f"trace replay ({len(self._trace)} writes from {self._trace.source!r})"
+        )

@@ -1,0 +1,61 @@
+"""Shared utilities for the repro library.
+
+This package holds the small, dependency-free building blocks that every
+other subsystem uses:
+
+* :mod:`repro.util.rng` -- deterministic random-number-generator plumbing,
+* :mod:`repro.util.units` -- bit/byte and power-of-two arithmetic,
+* :mod:`repro.util.validation` -- argument-checking helpers,
+* :mod:`repro.util.stats` -- small statistics helpers (geometric mean, ...),
+* :mod:`repro.util.tables` -- plain-text table rendering for benchmarks,
+* :mod:`repro.util.events` -- lightweight counters and event logging.
+"""
+
+from repro.util.events import CounterSet, EventLog, SimEvent
+from repro.util.rng import RandomState, derive_rng, ensure_rng
+from repro.util.stats import geometric_mean, normalized, summarize
+from repro.util.tables import format_row, render_table
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    bits_to_bytes,
+    bits_to_mib,
+    bits_required,
+    bytes_to_human,
+    is_power_of_two,
+    log2_int,
+)
+from repro.util.validation import (
+    require_fraction,
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+__all__ = [
+    "CounterSet",
+    "EventLog",
+    "SimEvent",
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "geometric_mean",
+    "normalized",
+    "summarize",
+    "format_row",
+    "render_table",
+    "KIB",
+    "MIB",
+    "GIB",
+    "bits_to_bytes",
+    "bits_to_mib",
+    "bits_required",
+    "bytes_to_human",
+    "is_power_of_two",
+    "log2_int",
+    "require_fraction",
+    "require_in_range",
+    "require_positive",
+    "require_positive_int",
+]

@@ -1,0 +1,128 @@
+"""Terminal-friendly ASCII charts.
+
+The paper's figures are line/bar charts; with no plotting dependency in
+the environment, these renderers draw them as text so `pytest -s
+benchmarks/` and the examples can show the *curves*, not just tables.
+
+Two renderers:
+
+* :func:`bar_chart` -- horizontal bars with value labels (Figures 6-8);
+* :func:`line_plot` -- a character-grid multi-series plot (Figure 5
+  cross-sections, sweep curves).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to successive series in a line plot.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    max_value: float | None = None,
+    fmt: str = ".1%",
+    title: str | None = None,
+) -> str:
+    """Render labeled values as horizontal ASCII bars.
+
+    Parameters
+    ----------
+    values:
+        Label -> value (values must be non-negative).
+    width:
+        Bar width in characters for the largest value.
+    max_value:
+        Scale ceiling; defaults to the largest value.
+    fmt:
+        Format spec for the value labels.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    ceiling = max_value if max_value is not None else max(values.values())
+    if ceiling <= 0:
+        ceiling = 1.0
+    label_width = max(len(label) for label in values)
+
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(int(round(value / ceiling * width)), 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:{fmt}}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+    y_fmt: str = ".0%",
+) -> str:
+    """Render one or more series on a character grid.
+
+    Points are plotted at their nearest grid cell with a per-series glyph;
+    the legend maps glyphs to series names.  X positions are scaled by
+    value (not index), so uneven sweeps render proportionally.
+    """
+    if not series:
+        raise ValueError("line_plot needs at least one series")
+    if len(x_values) < 2:
+        raise ValueError("line_plot needs at least two x positions")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but there are "
+                f"{len(x_values)} x positions"
+            )
+    if height < 2 or width < 2:
+        raise ValueError("plot area must be at least 2x2")
+
+    x_low, x_high = min(x_values), max(x_values)
+    y_low = min(min(values) for values in series.values())
+    y_high = max(max(values) for values in series.values())
+    if x_high == x_low:
+        raise ValueError("x range is degenerate")
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in zip(x_values, values):
+            column = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+            grid[height - 1 - row][column] = glyph
+
+    y_labels = [f"{y_high:{y_fmt}}", f"{y_low:{y_fmt}}"]
+    margin = max(len(label) for label in y_labels) + 1
+
+    lines = [title] if title else []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_labels[0].rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_labels[1].rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin
+        + f" {x_low:g}".ljust(width // 2)
+        + f"{x_high:g}".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[index % len(SERIES_GLYPHS)]}={name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Small statistics helpers.
+
+The paper summarizes Figure 8 with a geometric mean across wear-leveling
+schemes ("Gmean"); :func:`geometric_mean` reproduces that reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises
+    ------
+    ValueError
+        If the input is empty or contains non-positive values (the
+        geometric mean is undefined there, and a zero lifetime reaching this
+        reduction indicates an upstream failure worth surfacing).
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("geometric_mean of an empty sequence is undefined")
+    if np.any(array <= 0.0):
+        raise ValueError(f"geometric_mean requires positive values, got {array!r}")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def normalized(value: float, reference: float) -> float:
+    """Return ``value / reference`` guarding against a zero reference."""
+    if reference == 0:
+        raise ZeroDivisionError("normalization reference is zero")
+    return value / reference
+
+
+def summarize(samples: Sequence[float]) -> Mapping[str, float]:
+    """Return min/mean/max/std of a sample sequence as a plain dict."""
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return {
+        "n": int(array.size),
+        "min": float(array.min()),
+        "mean": float(array.mean()),
+        "max": float(array.max()),
+        "std": float(array.std()),
+    }
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """Unsigned relative error ``|measured - expected| / |expected|``."""
+    if expected == 0:
+        raise ZeroDivisionError("expected value is zero; relative error undefined")
+    return abs(measured - expected) / abs(expected)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints every reproduced figure/table as an aligned
+text table with the paper's reference values alongside the measured ones.
+These helpers keep that output consistent across all benches without
+pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_row(cells: Iterable[object], widths: Sequence[int]) -> str:
+    """Format one row with per-column widths, right-aligning numbers."""
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+        if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+            parts.append(text.rjust(width))
+        else:
+            parts.append(text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Every row must have exactly ``len(headers)`` cells; ``float`` cells are
+    shown with 4 significant digits.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers: {row!r}"
+            )
+
+    def cell_text(cell: object) -> str:
+        return f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell_text(cell)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Bit/byte and power-of-two arithmetic.
+
+The paper reports mapping-table overheads in bits and megabytes and sizes
+devices in powers of two (1 GB bank, 2048 regions, 64 B lines).  These
+helpers keep that arithmetic explicit and bit-accurate so the overhead
+numbers in Section 5.3.2 can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def bits_required(count: int) -> int:
+    """Number of bits needed to address ``count`` distinct items.
+
+    This is ``ceil(log2(count))`` with the convention that a single item
+    needs 0 bits.  Used for mapping-table entry widths (``log2 N`` in the
+    paper's overhead formulas).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return (count - 1).bit_length()
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count to bytes (may be fractional)."""
+    return bits / 8.0
+
+
+def bits_to_mib(bits: float) -> float:
+    """Convert a bit count to mebibytes (the paper's "MB")."""
+    return bits / 8.0 / MIB
+
+
+def bytes_to_human(num_bytes: float) -> str:
+    """Render a byte count as a short human-readable string, e.g. ``"1.10MB"``."""
+    magnitude = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if magnitude < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{magnitude:.0f}{unit}"
+            return f"{magnitude:.2f}{unit}"
+        magnitude /= 1024.0
+    raise AssertionError("unreachable")

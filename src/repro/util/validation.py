@@ -1,0 +1,46 @@
+"""Argument-checking helpers.
+
+Small, uniform validators used across configuration dataclasses so that
+invalid experiment parameters fail fast with actionable messages instead of
+producing silently wrong lifetimes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def require_positive(value: Number, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_positive_int(value: int, name: str) -> None:
+    """Raise unless ``value`` is a strictly positive integer.
+
+    ``bool`` is rejected explicitly because it subclasses ``int`` and a
+    ``True`` region count is always a caller bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def require_fraction(value: Number, name: str, *, inclusive: bool = True) -> None:
+    """Raise unless ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if exclusive)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+
+
+def require_in_range(value: Number, name: str, low: Number, high: Number) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

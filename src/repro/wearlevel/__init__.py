@@ -1,0 +1,72 @@
+"""Wear-leveling schemes (paper Section 2.2.1 and the Section 5 baselines).
+
+The paper evaluates Max-WE on top of four wear-leveling schemes -- two
+traditional secure schemes (TLSR, PCM-S) and two endurance-variation-aware
+schemes (BWL, WAWL) -- and discusses Start-Gap and Toss-up WL in related
+work.  All six are implemented here from their published descriptions, at
+the paper's region granularity, with remap write-cost accounting that
+reproduces Figure 2 (a swap adds one write to the source line and two to
+the destination line).
+
+Each scheme provides the fluid stationary-distribution view used by the
+lifetime engine and an exact mechanism used by the reference simulator;
+see :mod:`repro.wearlevel.base` for the derivation rules.
+"""
+
+from repro.wearlevel.base import SwapOp, WearDistribution, WearLeveler
+from repro.wearlevel.bwl import BWL
+from repro.wearlevel.composite import CompositeWearLeveler
+from repro.wearlevel.none import NoWearLeveling
+from repro.wearlevel.pcms import PCMS
+from repro.wearlevel.security_refresh import TLSR
+from repro.wearlevel.startgap import StartGap
+from repro.wearlevel.tossup import TossUpWL
+from repro.wearlevel.wawl import WAWL
+
+#: The paper's Figure 7/8 wear-leveling baseline set, in paper order.
+PAPER_SCHEMES = ("tlsr", "pcm-s", "bwl", "wawl")
+
+
+def make_scheme(name: str, **kwargs) -> WearLeveler:
+    """Factory for wear-leveling schemes by table name.
+
+    Accepted names: ``none``, ``start-gap``, ``tlsr``, ``pcm-s``, ``bwl``,
+    ``wawl``, ``toss-up``.
+    """
+    registry = {
+        "none": NoWearLeveling,
+        "start-gap": StartGap,
+        "tlsr": TLSR,
+        "pcm-s": PCMS,
+        "bwl": BWL,
+        "wawl": WAWL,
+        "toss-up": TossUpWL,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown wear-leveling scheme {name!r}; choose from {sorted(registry)}"
+        ) from None
+    if name in ("none", "start-gap"):
+        # Line-granularity schemes take no region parameter; tolerate the
+        # uniform factory call signature.
+        kwargs.pop("lines_per_region", None)
+    return cls(**kwargs)
+
+
+__all__ = [
+    "SwapOp",
+    "WearDistribution",
+    "WearLeveler",
+    "BWL",
+    "CompositeWearLeveler",
+    "NoWearLeveling",
+    "PCMS",
+    "TLSR",
+    "StartGap",
+    "TossUpWL",
+    "WAWL",
+    "PAPER_SCHEMES",
+    "make_scheme",
+]

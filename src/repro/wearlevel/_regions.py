@@ -1,0 +1,117 @@
+"""Shared region-permutation machinery for region-granularity schemes.
+
+TLSR, PCM-S, BWL, WAWL and Toss-up WL all manage a permutation of
+equal-size regions over the in-service slots.  This module centralizes the
+mapping state, address translation, and the swap-cost accounting of
+Figure 2: exchanging the contents of two regions writes every line of both
+regions once (the triggering user write then lands on the new mapping and
+is accounted separately, which yields the figure's ``1 + 2`` split for the
+swapped pair).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.util.validation import require_positive_int
+from repro.wearlevel.base import SwapOp, WearLeveler
+
+
+class RegionMappedScheme(WearLeveler):
+    """A wear-leveler holding a logical-to-physical region permutation.
+
+    Parameters
+    ----------
+    lines_per_region:
+        Granularity of the mapping; the in-service slot count must be a
+        multiple of it.  1 gives line-granularity mapping.
+    """
+
+    def __init__(self, lines_per_region: int = 1) -> None:
+        super().__init__()
+        require_positive_int(lines_per_region, "lines_per_region")
+        self._lines_per_region = lines_per_region
+        self._perm: np.ndarray | None = None  # logical region -> physical region
+        self._user_writes: int = 0
+
+    # ------------------------------------------------------------------
+    # Region structure
+    # ------------------------------------------------------------------
+
+    @property
+    def lines_per_region(self) -> int:
+        """Mapping granularity in lines."""
+        return self._lines_per_region
+
+    @property
+    def region_count(self) -> int:
+        """Number of mapped regions (available after attach)."""
+        self._require_attached()
+        return self.slots // self._lines_per_region
+
+    def _on_attach(self) -> None:
+        if self.slots % self._lines_per_region != 0:
+            raise ValueError(
+                f"slot count {self.slots} is not a multiple of "
+                f"lines_per_region {self._lines_per_region}"
+            )
+        self._perm = np.arange(self.region_count, dtype=np.intp)
+        self._user_writes = 0
+
+    def region_endurance_metric(self) -> np.ndarray:
+        """Per-physical-region endurance metric (min over member lines)."""
+        self._require_attached()
+        grid = self.slot_endurance.reshape(self.region_count, self._lines_per_region)
+        return grid.min(axis=1)
+
+    # ------------------------------------------------------------------
+    # Translation and swaps
+    # ------------------------------------------------------------------
+
+    def translate(self, logical: int) -> int:
+        self._require_attached()
+        if not 0 <= logical < self.slots:
+            raise IndexError(f"logical address {logical} out of range [0, {self.slots})")
+        assert self._perm is not None
+        region, offset = divmod(logical, self._lines_per_region)
+        return int(self._perm[region]) * self._lines_per_region + offset
+
+    def _swap_logical_regions(self, region_a: int, region_b: int) -> List[SwapOp]:
+        """Exchange the physical hosts of two logical regions.
+
+        Returns the data-movement wear: one write per line on both sides
+        (Figure 2 accounting; the user write that triggered the swap is
+        applied by the caller after translation).
+        """
+        self._require_attached()
+        assert self._perm is not None
+        if region_a == region_b:
+            return []
+        phys_a = int(self._perm[region_a])
+        phys_b = int(self._perm[region_b])
+        self._perm[region_a], self._perm[region_b] = phys_b, phys_a
+        ops: List[SwapOp] = []
+        base_a = phys_a * self._lines_per_region
+        base_b = phys_b * self._lines_per_region
+        for offset in range(self._lines_per_region):
+            ops.append((base_a + offset, 1))
+            ops.append((base_b + offset, 1))
+        return ops
+
+    def logical_region_of_physical(self, physical_region: int) -> int:
+        """Inverse permutation lookup."""
+        self._require_attached()
+        assert self._perm is not None
+        matches = np.flatnonzero(self._perm == physical_region)
+        if matches.size != 1:
+            raise ValueError(f"physical region {physical_region} not mapped exactly once")
+        return int(matches[0])
+
+    @property
+    def permutation(self) -> np.ndarray:
+        """Copy of the current logical-to-physical region permutation."""
+        self._require_attached()
+        assert self._perm is not None
+        return self._perm.copy()

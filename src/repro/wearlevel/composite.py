@@ -1,0 +1,186 @@
+"""Composite wear-leveling: an intra-region scheme under an inter-region one.
+
+Deployed wear-levelers are commonly hierarchical -- Security Refresh's
+"two-level" design is the canonical example: a cheap algebraic scheme
+(Start-Gap) rotates lines *within* each region while a randomizing scheme
+shuffles whole regions.  :class:`CompositeWearLeveler` composes any two
+library schemes that way, giving the test suite a vehicle for checking
+that stationary models compose the way the mechanisms do.
+
+Composition rules:
+
+* translation chains: the outer scheme maps the logical region, the inner
+  scheme (one instance per region) maps the line within it;
+* remap side effects from both levels are merged, with inner-level slot
+  ids lifted into the outer scheme's current region frame;
+* the fluid stationary distribution multiplies: the outer scheme fixes
+  the per-region wear shares, the inner scheme shapes wear within each
+  region; useful fractions multiply (both levels' overheads apply).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.attacks.base import AccessProfile
+from repro.util.validation import require_positive_int
+from repro.wearlevel.base import SwapOp, WearDistribution, WearLeveler
+from repro.wearlevel._regions import RegionMappedScheme
+
+
+class CompositeWearLeveler(WearLeveler):
+    """An inner per-region scheme stacked under an outer region scheme.
+
+    Parameters
+    ----------
+    outer:
+        A region-granularity scheme (mapping whole regions).
+    inner_factory:
+        Zero-argument constructor for the per-region inner scheme; one
+        instance is created per region at attach time.
+    lines_per_region:
+        Region size; must match ``outer``'s granularity.
+    """
+
+    name = "composite"
+
+    def __init__(
+        self,
+        outer: RegionMappedScheme,
+        inner_factory: Callable[[], WearLeveler],
+        lines_per_region: int,
+    ) -> None:
+        super().__init__()
+        require_positive_int(lines_per_region, "lines_per_region")
+        if outer.lines_per_region != lines_per_region:
+            raise ValueError(
+                f"outer scheme maps {outer.lines_per_region}-line regions but "
+                f"the composite declares {lines_per_region}"
+            )
+        self._outer = outer
+        self._inner_factory = inner_factory
+        self._lines_per_region = lines_per_region
+        self._inner: List[WearLeveler] = []
+
+    @property
+    def outer(self) -> RegionMappedScheme:
+        """The inter-region scheme."""
+        return self._outer
+
+    @property
+    def inner(self) -> List[WearLeveler]:
+        """Per-region inner scheme instances (after attach)."""
+        self._require_attached()
+        return self._inner
+
+    @property
+    def logical_lines(self) -> int:
+        """Logical capacity: inner schemes may sacrifice slots (Start-Gap)."""
+        self._require_attached()
+        per_region = getattr(
+            self._inner[0], "logical_lines", self._lines_per_region
+        )
+        return per_region * len(self._inner)
+
+    def _on_attach(self) -> None:
+        assert self._slot_endurance is not None and self._rng is not None
+        if self.slots % self._lines_per_region != 0:
+            raise ValueError(
+                f"slot count {self.slots} is not a multiple of "
+                f"lines_per_region {self._lines_per_region}"
+            )
+        self._outer.attach(self._slot_endurance, self._rng)
+        regions = self.slots // self._lines_per_region
+        self._inner = []
+        for region in range(regions):
+            scheme = self._inner_factory()
+            start = region * self._lines_per_region
+            scheme.attach(
+                self._slot_endurance[start : start + self._lines_per_region],
+                self._rng,
+            )
+            self._inner.append(scheme)
+
+    # ------------------------------------------------------------------
+    # Fluid view
+    # ------------------------------------------------------------------
+
+    def wear_weights(self, profile: AccessProfile) -> WearDistribution:
+        """Outer region shares shaped by the inner within-region pattern."""
+        self._require_attached()
+        outer_dist = self._outer.wear_weights(profile)
+        per = self._lines_per_region
+        regions = self.slots // per
+
+        weights = np.empty(self.slots)
+        useful = outer_dist.useful_fraction
+        inner_useful_product = 1.0
+        for region in range(regions):
+            start = region * per
+            region_share = float(outer_dist.weights[start : start + per].sum())
+            inner_dist = self._inner[region].wear_weights(
+                self._region_profile(profile, start, per)
+            )
+            inner_weights = inner_dist.weights / inner_dist.weights.sum()
+            weights[start : start + per] = region_share * inner_weights
+            inner_useful_product = min(
+                inner_useful_product, inner_dist.useful_fraction
+            )
+        return WearDistribution(
+            weights=weights, useful_fraction=useful * inner_useful_product
+        )
+
+    @staticmethod
+    def _region_profile(profile: AccessProfile, start: int, per: int) -> AccessProfile:
+        """Restrict a device-wide profile to one region's slots."""
+        if profile.kind != "skewed":
+            return profile
+        assert profile.weights is not None
+        region_weights = np.asarray(profile.weights, dtype=float)[start : start + per]
+        if region_weights.sum() <= 0:
+            # The region receives no traffic; any in-region shape works.
+            return AccessProfile(kind="uniform")
+        return AccessProfile(kind="skewed", weights=region_weights)
+
+    # ------------------------------------------------------------------
+    # Exact view
+    # ------------------------------------------------------------------
+
+    def translate(self, logical: int) -> int:
+        self._require_attached()
+        per_logical = getattr(
+            self._inner[0], "logical_lines", self._lines_per_region
+        )
+        if not 0 <= logical < per_logical * len(self._inner):
+            raise IndexError(
+                f"logical address {logical} out of range "
+                f"[0, {per_logical * len(self._inner)})"
+            )
+        region, offset = divmod(logical, per_logical)
+        outer_line = self._outer.translate(region * self._lines_per_region)
+        physical_region = outer_line // self._lines_per_region
+        inner_offset = self._inner[region].translate(offset)
+        return physical_region * self._lines_per_region + inner_offset
+
+    def record_write(self, logical: int) -> List[SwapOp]:
+        self._require_attached()
+        per_logical = getattr(
+            self._inner[0], "logical_lines", self._lines_per_region
+        )
+        region, offset = divmod(logical, per_logical)
+        ops: List[SwapOp] = []
+        # Outer side effects arrive in physical slot coordinates already.
+        ops.extend(self._outer.record_write(region * self._lines_per_region))
+        # Inner side effects are region-local; lift them into the region's
+        # *current* physical frame.
+        outer_line = self._outer.translate(region * self._lines_per_region)
+        base = (outer_line // self._lines_per_region) * self._lines_per_region
+        for slot, extra in self._inner[region].record_write(offset):
+            ops.append((base + slot, extra))
+        return ops
+
+    def describe(self) -> str:
+        inner_name = self._inner_factory().name
+        return f"composite ({self._outer.name} over per-region {inner_name})"

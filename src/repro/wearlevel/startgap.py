@@ -1,0 +1,113 @@
+"""Start-Gap wear-leveling (Qureshi et al., MICRO'09).
+
+Start-Gap keeps one spare "gap" slot and two registers.  Every ``gap_interval``
+user writes, the line adjacent to the gap is copied into it and the gap
+moves one position; after the gap traverses the whole array the effective
+mapping has rotated by one.  Translation is pure register arithmetic --
+no mapping table -- which made it the canonical low-cost wear-leveler.
+
+The paper cites Start-Gap as a scheme that fails under malicious wear-out
+*without* endurance awareness (Section 2.2.1): its rotation spreads writes
+evenly across lines, so under endurance variation the weakest line still
+dies first, and under concentrated attack a physical line hosts the hot
+address for ``(slots + 1) * gap_interval`` consecutive writes -- long
+enough to kill weak lines outright.
+
+Fluid-model caveat: the stationary distribution below assumes the per-line
+burst ``(slots + 1) * gap_interval`` is small relative to line endurance;
+the exact reference simulator exhibits the burst-kill effect that breaks
+that assumption for large intervals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import AccessProfile
+from repro.util.validation import require_positive_int
+from repro.wearlevel.base import SwapOp, WearDistribution, WearLeveler
+
+#: Qureshi et al.'s recommended gap-movement interval.
+DEFAULT_GAP_INTERVAL: int = 100
+
+
+class StartGap(WearLeveler):
+    """Algebraic rotation wear-leveling with a single gap slot.
+
+    The gap slot is modelled *inside* the attached slot array: the scheme
+    serves ``slots - 1`` logical lines over ``slots`` physical slots.
+
+    Parameters
+    ----------
+    gap_interval:
+        User writes between gap movements (the paper's psi).
+    """
+
+    name = "start-gap"
+
+    def __init__(self, gap_interval: int = DEFAULT_GAP_INTERVAL) -> None:
+        super().__init__()
+        require_positive_int(gap_interval, "gap_interval")
+        self._gap_interval = gap_interval
+        self._start = 0
+        self._gap = 0
+        self._writes_since_move = 0
+
+    @property
+    def gap_interval(self) -> int:
+        """User writes between gap movements."""
+        return self._gap_interval
+
+    @property
+    def logical_lines(self) -> int:
+        """Logical capacity: one slot is sacrificed to the gap."""
+        return self.slots - 1
+
+    def _on_attach(self) -> None:
+        if self.slots < 2:
+            raise ValueError("Start-Gap needs at least 2 slots (1 line + the gap)")
+        self._start = 0
+        self._gap = self.slots - 1
+        self._writes_since_move = 0
+
+    def wear_weights(self, profile: AccessProfile) -> WearDistribution:
+        """Uniform stationary wear; gap copies add ``1/gap_interval`` overhead.
+
+        Rotation visits every physical slot equally for every logical line,
+        and the movement schedule is independent of traffic content, so the
+        overhead applies to uniform traffic too.
+        """
+        overhead = 1.0 / self._gap_interval
+        return self._stationary_weights(
+            profile,
+            bias_exponent=0.0,
+            overhead_uniform=overhead,
+            overhead_nonuniform=overhead,
+        )
+
+    def translate(self, logical: int) -> int:
+        self._require_attached()
+        if not 0 <= logical < self.logical_lines:
+            raise IndexError(
+                f"logical address {logical} out of range [0, {self.logical_lines})"
+            )
+        physical = (logical + self._start) % self.logical_lines
+        if physical >= self._gap:
+            physical += 1
+        return physical
+
+    def record_write(self, logical: int) -> List[SwapOp]:
+        """Advance the gap clock; moving the gap copies one line (1 write)."""
+        self._require_attached()
+        self._writes_since_move += 1
+        if self._writes_since_move < self._gap_interval:
+            return []
+        self._writes_since_move = 0
+        # The line just "below" the gap moves into the gap slot.
+        source = (self._gap - 1) % self.slots
+        destination = self._gap
+        self._gap = source
+        if self._gap == self.slots - 1:
+            # Gap wrapped: the whole array has rotated one position.
+            self._start = (self._start + 1) % self.logical_lines
+        return [(destination, 1)]

@@ -1,0 +1,115 @@
+"""Toss-up Wear Leveling (Zhang & Sun, DAC'17) -- related-work extension.
+
+TWL bonds each weak block with a strong block and randomly "tosses" every
+write between the two, with the coin weighted so that both members of a
+bond consume their endurance at the same *fractional* rate.  Within a
+bond the expected wear is therefore proportional to endurance (perfect
+pairwise leveling); across bonds there is no redistribution at all, which
+is the scheme's weakness under concentrated attack -- all the damage lands
+inside one bond.
+
+The paper lists TWL among the endurance-variation-aware schemes that UAA
+invalidates (Section 1); it is implemented here as an extension baseline
+for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.attacks.base import (
+    PROFILE_CONCENTRATED,
+    PROFILE_SKEWED,
+    PROFILE_UNIFORM,
+    AccessProfile,
+)
+from repro.wearlevel.base import SwapOp, WearDistribution
+from repro.wearlevel._regions import RegionMappedScheme
+
+
+class TossUpWL(RegionMappedScheme):
+    """Endurance-weighted random tossing between bonded region pairs.
+
+    Regions are bonded strongest-with-weakest by the endurance metric at
+    attach time.  Every write to a logical line lands on its own region or
+    the bonded partner with probability proportional to the two regions'
+    endurance -- Zhang & Sun's consistent-wear coin.
+    """
+
+    name = "toss-up"
+
+    def __init__(self, lines_per_region: int = 1) -> None:
+        super().__init__(lines_per_region)
+        self._partner: np.ndarray | None = None  # physical region -> bonded partner
+        self._strong_probability: np.ndarray | None = None
+
+    def _on_attach(self) -> None:
+        super()._on_attach()
+        metric = self.region_endurance_metric()
+        order = np.argsort(metric, kind="stable")
+        count = self.region_count
+        partner = np.arange(count, dtype=np.intp)
+        for index in range(count // 2):
+            weak = int(order[index])
+            strong = int(order[count - 1 - index])
+            partner[weak] = strong
+            partner[strong] = weak
+        self._partner = partner
+        total = metric + metric[partner]
+        self._strong_probability = metric / total
+
+    def bonded_partner(self, physical_region: int) -> int:
+        """The region bonded with ``physical_region`` (itself if unpaired)."""
+        self._require_attached()
+        assert self._partner is not None
+        return int(self._partner[physical_region])
+
+    def wear_weights(self, profile: AccessProfile) -> WearDistribution:
+        """Endurance-proportional wear within bonds; none across bonds."""
+        self._require_attached()
+        assert self._partner is not None
+        endurance = self.slot_endurance
+        count = self.slots
+        lpr = self.lines_per_region
+        # Per-slot endurance share within its bond.
+        region_of_slot = np.arange(count) // lpr
+        partner_slots = (
+            self._partner[region_of_slot] * lpr + (np.arange(count) % lpr)
+        )
+        share = endurance / (endurance + endurance[partner_slots])
+
+        if profile.kind == PROFILE_UNIFORM:
+            logical_rates = np.full(count, 1.0 / count)
+        elif profile.kind == PROFILE_SKEWED:
+            logical_rates = profile.logical_rates(count)
+        elif profile.kind == PROFILE_CONCENTRATED:
+            assert self._rng is not None
+            logical_rates = np.full(count, (1.0 - profile.hot_fraction) / count)
+            hot = int(self._rng.integers(0, count))
+            logical_rates[hot] += profile.hot_fraction
+        else:  # pragma: no cover
+            raise ValueError(f"unknown profile kind {profile.kind!r}")
+
+        # A logical line's traffic splits between its slot and the bonded
+        # slot according to the endurance-weighted coin.
+        weights = logical_rates * share
+        np.add.at(weights, partner_slots, logical_rates * (1.0 - share))
+        return WearDistribution(weights=weights, useful_fraction=1.0)
+
+    def translate(self, logical: int) -> int:
+        """Expected-case translation: toss the coin for this access."""
+        self._require_attached()
+        assert self._partner is not None and self._strong_probability is not None
+        assert self._rng is not None
+        physical = super().translate(logical)
+        region = physical // self.lines_per_region
+        if self._rng.random() < float(self._strong_probability[region]):
+            return physical
+        partner_region = int(self._partner[region])
+        return partner_region * self.lines_per_region + physical % self.lines_per_region
+
+    def record_write(self, logical: int) -> List[SwapOp]:
+        self._require_attached()
+        return []

@@ -1,0 +1,30 @@
+"""Write-reduction techniques and their attack surface (Section 3.3.2).
+
+The paper argues that wear-out delay techniques below the wear-leveling
+layer are also defeated by adversarial inputs:
+
+* :mod:`repro.writereduce.flipnwrite` -- Cho & Lee's Flip-N-Write codec,
+  which halves the worst-case bit flips for *benign* data but saves
+  nothing against alternating ``0x0000`` / ``0x5555`` patterns;
+* :mod:`repro.writereduce.compression` -- a frequent-pattern word
+  compressor that collapses redundant data but passes incompressible
+  (random) payloads through at full size;
+* :mod:`repro.writereduce.dram_buffer` -- a small LRU DRAM-side buffer
+  that absorbs hot-line traffic but is useless against UAA's uniform
+  sweep, whose reuse distance exceeds any realistic buffer capacity.
+
+Each component exposes wear metrics (cell flips per write, NVM writes per
+user write) that the EXT-WR bench compares under benign versus
+adversarial traffic.
+"""
+
+from repro.writereduce.compression import FrequentPatternCompressor
+from repro.writereduce.dram_buffer import DRAMBuffer
+from repro.writereduce.flipnwrite import FlipNWrite, hamming_distance
+
+__all__ = [
+    "FrequentPatternCompressor",
+    "DRAMBuffer",
+    "FlipNWrite",
+    "hamming_distance",
+]

@@ -1,0 +1,88 @@
+"""A DRAM-side LRU write buffer and its uniform-traffic worst case.
+
+NVM main memories commonly hide latency and wear behind a small DRAM
+last-level buffer that absorbs repeated writes to hot lines.  Section
+3.3.2 notes UAA's writes are uniform: every line's reuse distance equals
+the whole memory size, so any realistically sized buffer misses on
+essentially every access and the NVM sees the full attack stream.
+
+:class:`DRAMBuffer` is a write-back LRU cache over line addresses; the
+metric is the *NVM write rate* -- evicted dirty lines per user write --
+which approaches 0 for hot/cold traffic and 1 for UAA.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.util.validation import require_positive_int
+
+
+class DRAMBuffer:
+    """Write-back LRU buffer over line addresses.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Number of lines the buffer can hold.
+    """
+
+    def __init__(self, capacity_lines: int) -> None:
+        require_positive_int(capacity_lines, "capacity_lines")
+        self._capacity = capacity_lines
+        self._lines: OrderedDict[int, bool] = OrderedDict()  # address -> dirty
+        self._user_writes = 0
+        self._nvm_writes = 0
+        self._hits = 0
+
+    @property
+    def capacity_lines(self) -> int:
+        """Configured capacity."""
+        return self._capacity
+
+    @property
+    def user_writes(self) -> int:
+        """Writes offered to the buffer."""
+        return self._user_writes
+
+    @property
+    def nvm_writes(self) -> int:
+        """Dirty evictions that reached the NVM."""
+        return self._nvm_writes
+
+    @property
+    def hits(self) -> int:
+        """Writes absorbed by a resident line."""
+        return self._hits
+
+    def write(self, address: int) -> bool:
+        """Buffer one write; returns ``True`` if an NVM write was emitted."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        self._user_writes += 1
+        if address in self._lines:
+            self._hits += 1
+            self._lines.move_to_end(address)
+            self._lines[address] = True
+            return False
+        emitted = False
+        if len(self._lines) >= self._capacity:
+            _, dirty = self._lines.popitem(last=False)
+            if dirty:
+                self._nvm_writes += 1
+                emitted = True
+        self._lines[address] = True
+        return emitted
+
+    def flush(self) -> int:
+        """Write back every dirty line; returns the NVM writes emitted."""
+        emitted = sum(1 for dirty in self._lines.values() if dirty)
+        self._nvm_writes += emitted
+        self._lines.clear()
+        return emitted
+
+    def nvm_write_rate(self) -> float:
+        """NVM writes per user write so far (excluding a final flush)."""
+        if self._user_writes == 0:
+            raise ZeroDivisionError("no writes offered yet")
+        return self._nvm_writes / self._user_writes

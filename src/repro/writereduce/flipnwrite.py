@@ -1,0 +1,106 @@
+"""Flip-N-Write (Cho & Lee, MICRO'09) and its adversarial worst case.
+
+Flip-N-Write compares the incoming word with the currently stored word
+and writes either the word or its complement -- whichever flips fewer
+cells -- plus one flip-tag bit.  For any data this bounds the flipped
+cells to half the word width (plus the tag); for *random* benign data the
+expected flip count drops from ``w/2`` to roughly ``w/2 - sqrt(w)``-ish
+savings; but an adversary alternating ``0x0000...`` and ``0x5555...``
+forces exactly half the bits to differ every write, so the codec's choice
+is a coin toss between two equally bad encodings (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive_int
+
+#: Default word width in bits.
+DEFAULT_WORD_BITS: int = 64
+
+
+def hamming_distance(a: int, b: int, bits: int = DEFAULT_WORD_BITS) -> int:
+    """Number of differing bits between two ``bits``-wide words."""
+    require_positive_int(bits, "bits")
+    mask = (1 << bits) - 1
+    return ((a ^ b) & mask).bit_count()
+
+
+@dataclass
+class FlipNWrite:
+    """A Flip-N-Write encoded memory word.
+
+    Attributes
+    ----------
+    word_bits:
+        Width of the data word (the flip tag is accounted separately).
+    """
+
+    word_bits: int = DEFAULT_WORD_BITS
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.word_bits, "word_bits")
+        self._stored = 0  # raw cell contents
+        self._flipped = False  # current flip-tag state
+        self._total_cell_flips = 0
+        self._total_writes = 0
+
+    @property
+    def mask(self) -> int:
+        """Bit mask of the word width."""
+        return (1 << self.word_bits) - 1
+
+    @property
+    def logical_value(self) -> int:
+        """The value software observes (decoding the flip tag)."""
+        return (self._stored ^ self.mask) if self._flipped else self._stored
+
+    @property
+    def total_cell_flips(self) -> int:
+        """Cells flipped over the lifetime of this word."""
+        return self._total_cell_flips
+
+    @property
+    def total_writes(self) -> int:
+        """Logical writes served."""
+        return self._total_writes
+
+    def flips_per_write(self) -> float:
+        """Mean cells flipped per logical write (the wear metric)."""
+        if self._total_writes == 0:
+            raise ZeroDivisionError("no writes recorded yet")
+        return self._total_cell_flips / self._total_writes
+
+    def write(self, value: int) -> int:
+        """Store ``value``; returns the number of cells flipped.
+
+        Chooses between writing ``value`` or its complement, whichever
+        flips fewer cells; a change of the flip-tag bit counts as one
+        extra cell flip.
+        """
+        value &= self.mask
+        plain_flips = hamming_distance(self._stored, value, self.word_bits)
+        complement = value ^ self.mask
+        complement_flips = hamming_distance(self._stored, complement, self.word_bits)
+
+        if plain_flips + (1 if self._flipped else 0) <= complement_flips + (
+            0 if self._flipped else 1
+        ):
+            tag_flip = 1 if self._flipped else 0
+            self._stored = value
+            self._flipped = False
+            flips = plain_flips + tag_flip
+        else:
+            tag_flip = 0 if self._flipped else 1
+            self._stored = complement
+            self._flipped = True
+            flips = complement_flips + tag_flip
+
+        self._total_cell_flips += flips
+        self._total_writes += 1
+        return flips
+
+    def worst_case_flips(self) -> int:
+        """Upper bound on flips per write: half the word plus the tag."""
+        return self.word_bits // 2 + 1

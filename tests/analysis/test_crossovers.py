@@ -1,0 +1,110 @@
+"""Tests for the crossover and design-point solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.crossovers import (
+    break_even_q,
+    maxwe_advantage_peak,
+    q_where_variation_helps_maxwe,
+    spare_fraction_for_target,
+)
+from repro.analysis.lifetime import (
+    maxwe_normalized,
+    pcd_ps_normalized,
+    ps_worst_normalized,
+    uaa_fraction,
+)
+
+
+class TestBreakEvenQ:
+    def test_paper_operating_point(self):
+        # p = 0.1: q* = 1 + 1/0.9 ~ 2.11.
+        assert break_even_q(0.1) == pytest.approx(2.111, abs=0.001)
+
+    @given(st.floats(min_value=0.01, max_value=0.9))
+    @settings(max_examples=50)
+    def test_break_even_is_exact(self, p):
+        q_star = break_even_q(p)
+        # At q*, PS-worst exactly matches no protection...
+        assert ps_worst_normalized(p, q_star) == pytest.approx(
+            uaa_fraction(q_star), rel=1e-9
+        )
+        # ...above it sparing wins, below it loses.
+        assert ps_worst_normalized(p, q_star * 1.2) > uaa_fraction(q_star * 1.2)
+        assert ps_worst_normalized(p, 1.0 + 0.5 * (q_star - 1.0)) < uaa_fraction(
+            1.0 + 0.5 * (q_star - 1.0)
+        )
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            break_even_q(0.0)
+        with pytest.raises(ValueError):
+            break_even_q(1.0)
+
+
+class TestSpareFractionForTarget:
+    def test_paper_point_inverts(self):
+        """Eq. 6 gives 38.1% at p = 0.1, q = 50; the inverse recovers p."""
+        p = spare_fraction_for_target(0.381, 50.0)
+        assert p == pytest.approx(0.1, abs=0.002)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.6),
+        st.floats(min_value=5.0, max_value=200.0),
+    )
+    @settings(max_examples=50)
+    def test_round_trip(self, target, q):
+        try:
+            p = spare_fraction_for_target(target, q)
+        except ValueError:
+            return  # unreachable target at this q: legitimate
+        if p == 0.0:
+            # Target already met without spares.
+            assert maxwe_normalized(0.0, q) >= target
+        else:
+            assert maxwe_normalized(p, q) == pytest.approx(target, abs=1e-6)
+
+    def test_already_met_target_needs_no_spares(self):
+        assert spare_fraction_for_target(0.1, 5.0) == 0.0
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            spare_fraction_for_target(0.99, 5.0)
+
+    def test_more_ambitious_targets_need_more_spares(self):
+        cheap = spare_fraction_for_target(0.2, 50.0)
+        expensive = spare_fraction_for_target(0.5, 50.0)
+        assert expensive > cheap
+
+
+class TestAdvantagePeak:
+    def test_peak_is_interior_and_positive(self):
+        p_peak, margin = maxwe_advantage_peak(50.0)
+        assert 0.0 < p_peak < 0.5
+        assert margin > 0.1
+
+    def test_peak_beats_neighbours(self):
+        p_peak, margin = maxwe_advantage_peak(50.0)
+        for p in (p_peak * 0.5, min(p_peak * 1.5, 0.5)):
+            neighbour = maxwe_normalized(p, 50.0) - pcd_ps_normalized(p, 50.0)
+            assert margin >= neighbour - 1e-9
+
+    def test_paper_operating_point_near_peak_regime(self):
+        """The paper's 10% sits inside the high-margin band: the margin at
+        p = 0.1 is more than half the peak margin."""
+        p_peak, margin = maxwe_advantage_peak(50.0)
+        at_paper = maxwe_normalized(0.1, 50.0) - pcd_ps_normalized(0.1, 50.0)
+        assert at_paper > 0.5 * margin
+
+
+class TestVariationThreshold:
+    def test_threshold_value(self):
+        assert q_where_variation_helps_maxwe() == 0.25
+
+    @pytest.mark.parametrize("p,increasing", [(0.1, False), (0.3, True)])
+    def test_numeric_derivative_sign(self, p, increasing):
+        low = maxwe_normalized(p, 40.0)
+        high = maxwe_normalized(p, 60.0)
+        assert (high > low) == increasing

@@ -1,0 +1,141 @@
+"""Tests for the closed-form lifetime equations (Eq. 3-8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.lifetime import (
+    ideal_lifetime,
+    maxwe_lifetime,
+    maxwe_normalized,
+    pcd_ps_lifetime,
+    pcd_ps_normalized,
+    ps_worst_lifetime,
+    ps_worst_normalized,
+    uaa_fraction,
+    uaa_lifetime,
+)
+from repro.endurance.linear import LinearEnduranceModel
+
+
+class TestPaperSpotValues:
+    """Section 4.3: 'Assuming p = 0.1 and q = 50, Max-WE, PCD/PS and
+    PS-worst can achieve 38.1%, 22.2% and 20.8% of the ideal lifetime.'"""
+
+    def test_maxwe_381_percent(self):
+        assert maxwe_normalized(0.1, 50.0) == pytest.approx(0.381, abs=0.001)
+
+    def test_pcd_ps_222_percent(self):
+        assert pcd_ps_normalized(0.1, 50.0) == pytest.approx(0.222, abs=0.001)
+
+    def test_ps_worst_208_percent(self):
+        assert ps_worst_normalized(0.1, 50.0) == pytest.approx(0.208, abs=0.001)
+
+    def test_uaa_39_percent(self):
+        assert uaa_fraction(50.0) == pytest.approx(0.039, abs=0.001)
+
+
+class TestAbsoluteForms:
+    @pytest.fixture
+    def model(self):
+        return LinearEnduranceModel.from_q(50.0, e_low=10.0)
+
+    def test_eq3(self, model):
+        assert ideal_lifetime(model, 100) == pytest.approx(
+            100 * (500 - 10) / 2 + 100 * 10
+        )
+
+    def test_eq4(self, model):
+        assert uaa_lifetime(model, 100) == pytest.approx(1000.0)
+
+    def test_eq6(self, model):
+        expected = 90 * (10 + 2 * 10 * 490 / 100)
+        assert maxwe_lifetime(model, 100, 10) == pytest.approx(expected)
+
+    def test_eq7(self, model):
+        expected = 10 * 95 * 490 / 100 + 100 * 10
+        assert pcd_ps_lifetime(model, 100, 10) == pytest.approx(expected)
+
+    def test_eq8(self, model):
+        expected = 90 * (10 + 10 * 490 / 100)
+        assert ps_worst_lifetime(model, 100, 10) == pytest.approx(expected)
+
+    def test_spare_bounds(self, model):
+        with pytest.raises(ValueError):
+            maxwe_lifetime(model, 100, 100)
+        with pytest.raises(ValueError):
+            pcd_ps_lifetime(model, 100, -1)
+
+
+class TestNormalizedConsistency:
+    """The (p, q) forms must equal the absolute forms divided by Eq. 3."""
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_maxwe(self, p, q):
+        model = LinearEnduranceModel.from_q(q)
+        lines, spares = 10_000, int(p * 10_000)
+        p_exact = spares / lines
+        expected = maxwe_lifetime(model, lines, spares) / ideal_lifetime(model, lines)
+        assert maxwe_normalized(p_exact, q) == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_pcd(self, p, q):
+        model = LinearEnduranceModel.from_q(q)
+        lines, spares = 10_000, int(p * 10_000)
+        p_exact = spares / lines
+        expected = pcd_ps_lifetime(model, lines, spares) / ideal_lifetime(model, lines)
+        assert pcd_ps_normalized(p_exact, q) == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_ps_worst(self, p, q):
+        model = LinearEnduranceModel.from_q(q)
+        lines, spares = 10_000, int(p * 10_000)
+        p_exact = spares / lines
+        expected = ps_worst_lifetime(model, lines, spares) / ideal_lifetime(model, lines)
+        assert ps_worst_normalized(p_exact, q) == pytest.approx(expected, rel=1e-9)
+
+
+class TestStructuralProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=0.3),
+        st.floats(min_value=10.0, max_value=100.0),
+    )
+    def test_maxwe_dominates_baselines_on_fig5_range(self, p, q):
+        """Figure 5's claim holds on its own (p, q) range; outside it (tiny
+        q, huge p) PCD can edge ahead, which is why the paper scopes the
+        figure to 0.1 <= p <= 0.3 and 10 <= q <= 100."""
+        assert maxwe_normalized(p, q) >= ps_worst_normalized(p, q) - 1e-12
+        assert maxwe_normalized(p, q) >= pcd_ps_normalized(p, q) - 1e-12
+
+    @given(st.floats(min_value=3.0, max_value=500.0))
+    def test_all_schemes_beat_no_protection_with_real_variation(self, q):
+        """Sparing breaks even at (q - 1)(1 - p) >= 1 (about q = 2.1 for
+        p = 0.1); above that every scheme beats no protection."""
+        base = uaa_fraction(q)
+        for fn in (maxwe_normalized, pcd_ps_normalized, ps_worst_normalized):
+            assert fn(0.1, q) >= base - 1e-12
+
+    def test_sparing_wastes_capacity_without_variation(self):
+        """At q = 1 every line is equal, UAA is already ideal, and holding
+        back spares strictly loses lifetime -- sparing only pays when
+        there is variation to exploit."""
+        assert uaa_fraction(1.0) == pytest.approx(1.0)
+        assert maxwe_normalized(0.1, 1.0) == pytest.approx(0.9)
+        assert ps_worst_normalized(0.1, 1.0) == pytest.approx(0.9)
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            uaa_fraction(0.5)
+        with pytest.raises(ValueError):
+            maxwe_normalized(0.1, 0.5)
+        with pytest.raises(ValueError):
+            maxwe_normalized(1.0, 50.0)

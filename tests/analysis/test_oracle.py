@@ -1,0 +1,110 @@
+"""Tests for the offline-optimal oracle bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import (
+    fractional_oracle_lifetime,
+    greedy_oracle_lifetime,
+)
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.emap import EnduranceMap
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+
+
+def tiny_map(values):
+    return EnduranceMap(np.asarray(values, dtype=float), regions=len(values))
+
+
+class TestFractionalOracle:
+    def test_no_spares_is_weakest_line(self):
+        emap = tiny_map([1.0, 2.0, 4.0, 8.0])
+        # w* = min endurance; normalized = N*e_min / sum.
+        assert fractional_oracle_lifetime(emap, 0.0) == pytest.approx(
+            4 * 1.0 / 15.0, abs=1e-6
+        )
+
+    def test_uniform_map_pools_everything(self):
+        # 8 lines of 5.0, 2 spares: at w > 5 every line contributes its
+        # full 5 (workers as base, spares as excess), so feasibility caps
+        # at 6w = 40 -> w = 6.67 and the normalized lifetime is exactly 1.
+        emap = tiny_map([5.0] * 8)
+        assert fractional_oracle_lifetime(emap, 0.25) == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fractional_oracle_lifetime(tiny_map([1.0, 2.0]), 1.0)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=4, max_size=24),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dominates_greedy(self, values, p):
+        emap = tiny_map(values)
+        frac = fractional_oracle_lifetime(emap, p)
+        for selection in ("weakest", "strongest"):
+            greedy = greedy_oracle_lifetime(emap, p, spare_selection=selection)
+            assert frac >= greedy - 1e-6
+
+
+class TestGreedyOracle:
+    def test_hand_checked_example(self):
+        # Lines 1,2,10,10; one spare. Weakest pool = {1}; workers 2,10,10.
+        # w=3: deficit 1 covered by spare 1 -> feasible. w=3+eps: deficit
+        # 1+eps > 1 -> infeasible. So w*=3, L = 3*3/23.
+        emap = tiny_map([1.0, 2.0, 10.0, 10.0])
+        assert greedy_oracle_lifetime(emap, 0.25) == pytest.approx(
+            9.0 / 23.0, abs=1e-6
+        )
+
+    def test_strongest_pool_strands_weak_workers(self):
+        # Pool = {10}; workers 1,2,10: w* limited by worker 1 + spare 10 ->
+        # chains: deficit of worker 1 covered by 10: w <= 11, but worker 2
+        # has deficit w-2 and no spare left -> w <= 2. L = 3*2/23.
+        emap = tiny_map([1.0, 2.0, 10.0, 10.0])
+        assert greedy_oracle_lifetime(
+            emap, 0.25, spare_selection="strongest"
+        ) == pytest.approx(6.0 / 23.0, abs=1e-6)
+
+    def test_invalid_selection(self):
+        with pytest.raises(ValueError, match="spare_selection"):
+            greedy_oracle_lifetime(tiny_map([1.0, 2.0]), 0.5, spare_selection="random")
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=50.0), min_size=6, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weak_pool_beats_strong_pool_integrally(self, values):
+        """The integral inversion: weak-priority pooling dominates."""
+        emap = tiny_map(values)
+        weak = greedy_oracle_lifetime(emap, 0.2, spare_selection="weakest")
+        strong = greedy_oracle_lifetime(emap, 0.2, spare_selection="strongest")
+        assert weak >= strong - 1e-6
+
+
+class TestMaxWEOptimality:
+    def test_maxwe_achieves_the_integral_oracle(self):
+        """Max-WE's simulated UAA lifetime equals the clairvoyant integral
+        optimum for the weak-priority pool -- its allocation leaves nothing
+        on the table within its constraint class."""
+        config = ExperimentConfig()
+        emap = config.make_emap()
+        oracle = greedy_oracle_lifetime(emap, 0.1, spare_selection="weakest")
+        simulated = simulate_lifetime(
+            emap, UniformAddressAttack(), MaxWE(0.1, 0.9), rng=config.seed
+        ).normalized_lifetime
+        assert simulated == pytest.approx(oracle, rel=0.02)
+
+    def test_linear_model_oracle_matches_eq6_regime(self):
+        model = LinearEnduranceModel.from_q(50.0, e_low=10.0)
+        emap = linear_endurance_map(2048, 512, model, rng=1)
+        oracle = greedy_oracle_lifetime(emap, 0.1)
+        from repro.analysis.lifetime import maxwe_normalized
+
+        assert oracle == pytest.approx(maxwe_normalized(0.1, 50.0), rel=0.03)

@@ -1,0 +1,60 @@
+"""Tests for the Figure 5 lifetime surface."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.surfaces import lifetime_surface
+
+
+class TestDefaultGrid:
+    @pytest.fixture
+    def surface(self):
+        return lifetime_surface()
+
+    def test_grid_covers_paper_ranges(self, surface):
+        assert surface.p_values[0] == pytest.approx(0.1)
+        assert surface.p_values[-1] == pytest.approx(0.3)
+        assert surface.q_values[0] == 10.0
+        assert surface.q_values[-1] == 100.0
+
+    def test_maxwe_dominates_everywhere(self, surface):
+        """The paper: 'Max-WE always outperforms both PCD/PS and PS-worst'."""
+        assert surface.maxwe_dominates()
+
+    def test_spot_values_at_p01_q50(self, surface):
+        values = surface.at(0.1, 50.0)
+        assert values["max-we"] == pytest.approx(0.381, abs=0.001)
+        assert values["pcd-ps"] == pytest.approx(0.222, abs=0.001)
+        assert values["ps-worst"] == pytest.approx(0.208, abs=0.001)
+
+    def test_lifetime_rises_with_spares(self, surface):
+        # For fixed q, more spares -> more lifetime, all three schemes.
+        for grid in (surface.maxwe, surface.pcd_ps, surface.ps_worst):
+            assert np.all(np.diff(grid, axis=0) > 0)
+
+    def test_variation_trend_flips_at_p_quarter(self):
+        """d(Eq.6 normalized)/dq has the sign of 4p - 1: below 25% spares
+        more variation hurts, above it the weak-strong rescue gains more
+        from the spread than the ideal baseline does."""
+        small_p = lifetime_surface(p_values=[0.1], q_values=[10.0, 50.0, 100.0])
+        large_p = lifetime_surface(p_values=[0.3], q_values=[10.0, 50.0, 100.0])
+        assert np.all(np.diff(small_p.maxwe, axis=1) < 0)
+        assert np.all(np.diff(large_p.maxwe, axis=1) > 0)
+
+    def test_baselines_fall_with_variation(self, surface):
+        # PS-worst (p <= 0.3 < 1/2 analogue) decreases in q on the grid.
+        assert np.all(np.diff(surface.ps_worst, axis=1) < 0)
+
+    def test_missing_grid_point_rejected(self, surface):
+        with pytest.raises(KeyError):
+            surface.at(0.11, 50.0)
+
+
+class TestCustomGrid:
+    def test_custom_axes(self):
+        surface = lifetime_surface(p_values=[0.2], q_values=[25.0, 75.0])
+        assert surface.maxwe.shape == (1, 2)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            lifetime_surface(p_values=[], q_values=[10.0])

@@ -1,0 +1,53 @@
+"""Tests for the Birthday Paradox Attack."""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+
+
+class TestProfile:
+    def test_concentrated_kind(self):
+        profile = BirthdayParadoxAttack().profile(64)
+        assert profile.kind == "concentrated"
+        assert profile.hot_fraction == 1.0
+
+    def test_hot_fraction_carried(self):
+        profile = BirthdayParadoxAttack(hot_fraction=0.8).profile(64)
+        assert profile.hot_fraction == pytest.approx(0.8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BirthdayParadoxAttack(burst_length=0)
+        with pytest.raises(ValueError):
+            BirthdayParadoxAttack(hot_fraction=0.0)
+
+
+class TestStream:
+    def test_bursts_have_configured_length(self):
+        attack = BirthdayParadoxAttack(burst_length=8)
+        addresses = [r.address for r in itertools.islice(attack.stream(1024, rng=1), 64)]
+        for start in range(0, 64, 8):
+            burst = addresses[start : start + 8]
+            assert len(set(burst)) == 1
+
+    def test_targets_change_between_bursts(self):
+        attack = BirthdayParadoxAttack(burst_length=4)
+        addresses = [r.address for r in itertools.islice(attack.stream(2**20, rng=2), 64)]
+        targets = {addresses[i] for i in range(0, 64, 4)}
+        assert len(targets) > 8  # collisions vanish in a huge space
+
+    def test_background_traffic_interleaved(self):
+        attack = BirthdayParadoxAttack(burst_length=1000, hot_fraction=0.5)
+        addresses = [r.address for r in itertools.islice(attack.stream(2**16, rng=3), 1000)]
+        counts = Counter(addresses)
+        hot_count = counts.most_common(1)[0][1]
+        assert 350 < hot_count < 650  # ~half the writes hit the burst target
+
+    def test_deterministic_with_seed(self):
+        attack = BirthdayParadoxAttack(burst_length=4)
+        a = [r.address for r in itertools.islice(attack.stream(256, rng=5), 32)]
+        b = [r.address for r in itertools.islice(attack.stream(256, rng=5), 32)]
+        assert a == b

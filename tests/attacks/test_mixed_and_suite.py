@@ -1,0 +1,106 @@
+"""Tests for traffic mixing and the named workload suite."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.mixed import MixedTraffic
+from repro.attacks.suite import WORKLOAD_NAMES, workload
+from repro.attacks.uaa import UniformAddressAttack
+from repro.attacks.workloads import ZipfWorkload
+
+
+class TestMixedProfile:
+    def test_degenerate_shares(self):
+        mix0 = MixedTraffic(UniformAddressAttack(), ZipfWorkload(), attack_share=0.0)
+        assert mix0.profile(16).kind == "skewed"  # pure background
+        mix1 = MixedTraffic(UniformAddressAttack(), ZipfWorkload(), attack_share=1.0)
+        assert mix1.profile(16).kind == "uniform"  # pure attack
+
+    def test_uniform_plus_uniform_is_uniform(self):
+        mix = MixedTraffic(
+            UniformAddressAttack(), UniformAddressAttack(), attack_share=0.3
+        )
+        assert mix.profile(16).kind == "uniform"
+
+    def test_concentrated_component_scales_hot_fraction(self):
+        mix = MixedTraffic(
+            BirthdayParadoxAttack(), UniformAddressAttack(), attack_share=0.25
+        )
+        profile = mix.profile(16)
+        assert profile.kind == "concentrated"
+        assert profile.hot_fraction == pytest.approx(0.25)
+
+    def test_skewed_mixture_rates_are_convex(self):
+        zipf = ZipfWorkload(exponent=1.0)
+        mix = MixedTraffic(UniformAddressAttack(), zipf, attack_share=0.5)
+        rates = mix.profile(8).logical_rates(8)
+        expected = 0.5 * np.full(8, 1 / 8) + 0.5 * zipf.profile(8).logical_rates(8)
+        np.testing.assert_allclose(rates, expected)
+
+    def test_share_bounds(self):
+        with pytest.raises(ValueError):
+            MixedTraffic(UniformAddressAttack(), ZipfWorkload(), attack_share=1.5)
+
+
+class TestMixedStream:
+    def test_interleaving_ratio(self):
+        # Attack = sweep over [0, N); background = constant address 0.
+        from repro.attacks.repeated import RepeatedAddressAttack
+
+        mix = MixedTraffic(
+            UniformAddressAttack(random_data=False),
+            RepeatedAddressAttack(target=0),
+            attack_share=0.75,
+        )
+        addresses = [
+            r.address for r in itertools.islice(mix.stream(1 << 20, rng=1), 4000)
+        ]
+        background_hits = sum(1 for a in addresses if a == 0)
+        # ~25% background plus the sweep's rare own zeros.
+        assert 800 < background_hits < 1200
+
+    def test_deterministic(self):
+        mix = MixedTraffic(UniformAddressAttack(random_data=False), ZipfWorkload(), 0.5)
+        a = [r.address for r in itertools.islice(mix.stream(64, rng=7), 64)]
+        b = [r.address for r in itertools.islice(mix.stream(64, rng=7), 64)]
+        assert a == b
+
+    def test_describe_mentions_both(self):
+        mix = MixedTraffic(UniformAddressAttack(), ZipfWorkload(), 0.3)
+        text = mix.describe()
+        assert "30%" in text and "Zipf" in text
+
+
+class TestWorkloadSuite:
+    def test_all_names_instantiate(self):
+        for name in WORKLOAD_NAMES:
+            model = workload(name)
+            profile = model.profile(256)
+            assert profile.kind in ("uniform", "concentrated", "skewed")
+
+    def test_suite_covers_the_locality_spectrum(self):
+        kinds = {name: workload(name).profile(256).kind for name in WORKLOAD_NAMES}
+        assert kinds["streaming"] == "uniform"
+        assert kinds["journaling"] == "concentrated"
+        assert kinds["web-cache"] == "skewed"
+
+    def test_streams_produce_addresses(self):
+        for name in WORKLOAD_NAMES:
+            stream = workload(name).stream(256, rng=1)
+            addresses = [r.address for r in itertools.islice(stream, 64)]
+            assert all(0 <= a < 256 for a in addresses)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload("bitcoin-mining")
+
+    def test_database_hot_set_hotter_than_scientific(self):
+        """The database archetype concentrates far more mass in its top
+        5% of lines than the mild-Zipf scientific archetype."""
+        database = workload("database").profile(1000).logical_rates(1000)
+        scientific = workload("scientific").profile(1000).logical_rates(1000)
+        top = 50
+        assert np.sort(database)[::-1][:top].sum() > 2 * np.sort(scientific)[::-1][:top].sum()

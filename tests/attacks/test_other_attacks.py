@@ -1,0 +1,105 @@
+"""Tests for repeated-address, pattern, and workload generators."""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.attacks.patterns import (
+    PATTERN_5555,
+    PATTERN_ZERO,
+    FlipNWriteDefeatAttack,
+    IncompressibleDataAttack,
+)
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.workloads import HotColdWorkload, ZipfWorkload
+
+
+class TestRepeatedAddress:
+    def test_stream_is_constant(self):
+        attack = RepeatedAddressAttack(target=3)
+        addresses = {r.address for r in itertools.islice(attack.stream(8), 32)}
+        assert addresses == {3}
+
+    def test_target_outside_space_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            next(iter(RepeatedAddressAttack(target=8).stream(8)))
+
+    def test_profile_concentrated(self):
+        assert RepeatedAddressAttack().profile(8).kind == "concentrated"
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedAddressAttack(target=-1)
+
+
+class TestFlipNWriteDefeat:
+    def test_alternating_patterns(self):
+        attack = FlipNWriteDefeatAttack()
+        data = [r.data for r in itertools.islice(attack.stream(4), 6)]
+        assert data == [
+            PATTERN_ZERO,
+            PATTERN_5555,
+            PATTERN_ZERO,
+            PATTERN_5555,
+            PATTERN_ZERO,
+            PATTERN_5555,
+        ]
+
+    def test_single_address(self):
+        attack = FlipNWriteDefeatAttack(target=2)
+        addresses = {r.address for r in itertools.islice(attack.stream(4), 16)}
+        assert addresses == {2}
+
+    def test_half_the_bits_differ(self):
+        assert (PATTERN_ZERO ^ PATTERN_5555).bit_count() == 32
+
+
+class TestIncompressible:
+    def test_uniform_sweep_with_payloads(self):
+        attack = IncompressibleDataAttack()
+        requests = list(itertools.islice(attack.stream(4, rng=1), 8))
+        assert [r.address for r in requests] == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert all(r.data is not None for r in requests)
+
+    def test_profile_uniform(self):
+        assert IncompressibleDataAttack().profile(8).kind == "uniform"
+
+
+class TestZipf:
+    def test_profile_weights_decay(self):
+        profile = ZipfWorkload(exponent=1.0).profile(16)
+        assert profile.kind == "skewed"
+        rates = profile.logical_rates(16)
+        assert rates[0] > rates[1] > rates[15]
+
+    def test_stream_skew(self):
+        workload = ZipfWorkload(exponent=1.2, shuffle=False)
+        addresses = [r.address for r in itertools.islice(workload.stream(64, rng=1), 8192)]
+        counts = Counter(addresses)
+        assert counts[0] > counts[32] if 32 in counts else True
+        assert counts.most_common(1)[0][1] > 8192 / 64 * 3
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfWorkload(exponent=0.0)
+
+
+class TestHotCold:
+    def test_profile_mass_split(self):
+        workload = HotColdWorkload(hot_fraction_of_lines=0.1, hot_fraction_of_writes=0.9)
+        rates = workload.profile(100).logical_rates(100)
+        assert rates[:10].sum() == pytest.approx(0.9)
+        assert rates[10:].sum() == pytest.approx(0.1)
+
+    def test_stream_respects_split(self):
+        workload = HotColdWorkload()
+        addresses = [r.address for r in itertools.islice(workload.stream(100, rng=2), 10000)]
+        hot_hits = sum(1 for address in addresses if address < 10)
+        assert 8700 < hot_hits < 9300
+
+    def test_extreme_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            HotColdWorkload(hot_fraction_of_lines=0.0)
+        with pytest.raises(ValueError):
+            HotColdWorkload(hot_fraction_of_writes=1.0)

@@ -1,0 +1,51 @@
+"""Tests for the AccessProfile contract."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            AccessProfile(kind="bursty")
+
+    def test_skewed_requires_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            AccessProfile(kind="skewed")
+
+    def test_uniform_rejects_weights(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            AccessProfile(kind="uniform", weights=np.ones(4))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            AccessProfile(kind="skewed", weights=np.array([1.0, -1.0]))
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            AccessProfile(kind="skewed", weights=np.zeros(4))
+
+    def test_hot_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            AccessProfile(kind="concentrated", hot_fraction=1.5)
+
+
+class TestLogicalRates:
+    def test_uniform_rates(self):
+        rates = AccessProfile(kind="uniform").logical_rates(4)
+        np.testing.assert_allclose(rates, 0.25)
+
+    def test_concentrated_long_run_marginal_is_uniform(self):
+        rates = AccessProfile(kind="concentrated").logical_rates(8)
+        np.testing.assert_allclose(rates, 1.0 / 8)
+
+    def test_skewed_normalized(self):
+        profile = AccessProfile(kind="skewed", weights=np.array([3.0, 1.0]))
+        np.testing.assert_allclose(profile.logical_rates(2), [0.75, 0.25])
+
+    def test_skewed_size_mismatch_rejected(self):
+        profile = AccessProfile(kind="skewed", weights=np.array([1.0, 1.0]))
+        with pytest.raises(ValueError, match="weights"):
+            profile.logical_rates(3)

@@ -1,0 +1,88 @@
+"""Tests for the endurance-aware targeted attack."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.attacks.targeted import TargetedWeakLineAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+from repro.sparing.none import NoSparing
+from repro.wearlevel import make_scheme
+
+
+class TestConstruction:
+    def test_explicit_ids(self):
+        attack = TargetedWeakLineAttack(weak_line_ids=(3, 7))
+        profile = attack.profile(16)
+        rates = profile.logical_rates(16)
+        assert rates[3] == rates[7] == 0.5
+        assert rates.sum() == pytest.approx(1.0)
+
+    def test_fraction_selects_prefix(self):
+        attack = TargetedWeakLineAttack(target_fraction=0.25)
+        rates = attack.profile(16).logical_rates(16)
+        assert np.count_nonzero(rates) == 4
+
+    def test_from_endurance_map_picks_weakest(self):
+        from repro.endurance.emap import EnduranceMap
+
+        emap = EnduranceMap(np.array([5.0, 1.0, 3.0, 9.0]), regions=4)
+        attack = TargetedWeakLineAttack.from_endurance_map(emap, 0.5)
+        assert set(attack.weak_line_ids) == {1, 2}
+
+    def test_stream_round_robins_targets(self):
+        attack = TargetedWeakLineAttack(weak_line_ids=(2, 5))
+        addresses = {
+            r.address for r in itertools.islice(attack.stream(8, rng=1), 16)
+        }
+        assert addresses == {2, 5}
+
+    def test_out_of_space_rejected(self):
+        attack = TargetedWeakLineAttack(weak_line_ids=(9,))
+        with pytest.raises(ValueError, match="outside"):
+            attack.profile(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetedWeakLineAttack(weak_line_ids=(-1,))
+        with pytest.raises(ValueError):
+            TargetedWeakLineAttack(target_fraction=0.0)
+
+
+class TestKnowledgeRegimes:
+    """The security story: leaked endurance maps are lethal only without
+    randomized defence."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = ExperimentConfig(regions=512, lines_per_region=4)
+        return config, config.make_emap()
+
+    def test_leak_devastates_unprotected_device(self, setup):
+        config, emap = setup
+        targeted = TargetedWeakLineAttack.from_endurance_map(emap, 0.01)
+        with_leak = simulate_lifetime(emap, targeted, NoSparing(), rng=1)
+        without_leak = simulate_lifetime(emap, UniformAddressAttack(), NoSparing(), rng=1)
+        # The leak costs an order of magnitude on top of UAA's damage.
+        assert with_leak.normalized_lifetime < 0.1 * without_leak.normalized_lifetime
+
+    def test_randomized_defence_neutralizes_the_leak(self, setup):
+        config, emap = setup
+        targeted = TargetedWeakLineAttack(target_fraction=0.01)
+        defended = simulate_lifetime(
+            emap,
+            targeted,
+            MaxWE(0.1, 0.9),
+            wearleveler=make_scheme("wawl", lines_per_region=1),
+            rng=1,
+        )
+        undefended = simulate_lifetime(emap, targeted, NoSparing(), rng=1)
+        assert defended.normalized_lifetime > 100 * undefended.normalized_lifetime
+
+    def test_describe(self):
+        assert "weakest 1.0%" in TargetedWeakLineAttack(target_fraction=0.01).describe()
+        assert "2 known weak lines" in TargetedWeakLineAttack(weak_line_ids=(1, 2)).describe()

@@ -1,0 +1,62 @@
+"""Tests for the Uniform Address Attack."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.attacks.uaa import UniformAddressAttack
+
+
+class TestProfile:
+    def test_full_coverage_uniform(self):
+        assert UniformAddressAttack().profile(100).kind == "uniform"
+
+    def test_partial_coverage_skewed(self):
+        profile = UniformAddressAttack(coverage=0.5).profile(100)
+        assert profile.kind == "skewed"
+        rates = profile.logical_rates(100)
+        assert np.count_nonzero(rates) == 50
+
+    def test_zero_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            UniformAddressAttack(coverage=0.0)
+
+    def test_coverage_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            UniformAddressAttack(coverage=1.1)
+
+
+class TestStream:
+    def test_sequential_sweep(self):
+        attack = UniformAddressAttack(random_data=False)
+        addresses = [r.address for r in itertools.islice(attack.stream(4), 10)]
+        assert addresses == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_every_line_once_per_sweep(self):
+        attack = UniformAddressAttack(random_data=False)
+        sweep = [r.address for r in itertools.islice(attack.stream(16), 16)]
+        assert sorted(sweep) == list(range(16))
+
+    def test_partial_coverage_stays_in_prefix(self):
+        attack = UniformAddressAttack(coverage=0.25, random_data=False)
+        addresses = {r.address for r in itertools.islice(attack.stream(16), 32)}
+        assert addresses == {0, 1, 2, 3}
+
+    def test_random_data_payloads(self):
+        attack = UniformAddressAttack(random_data=True)
+        requests = list(itertools.islice(attack.stream(4, rng=1), 8))
+        assert all(r.data is not None for r in requests)
+        assert len({r.data for r in requests}) > 1
+
+    def test_no_data_when_disabled(self):
+        attack = UniformAddressAttack(random_data=False)
+        request = next(iter(attack.stream(4)))
+        assert request.data is None
+
+    def test_writes_per_sweep(self):
+        assert UniformAddressAttack().writes_per_sweep(128) == 128
+        assert UniformAddressAttack(coverage=0.5).writes_per_sweep(128) == 64
+
+    def test_describe_mentions_coverage(self):
+        assert "95" in UniformAddressAttack(coverage=0.95).describe()

@@ -1,0 +1,132 @@
+"""Tests for the exact Section 4.2 controller datapath."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import MaxWEController
+from repro.core.maxwe import MaxWE
+from repro.device.bank import NVMBank
+from repro.device.errors import DeviceWornOutError
+from repro.endurance.emap import EnduranceMap
+
+
+def make_controller(lines_per_region=2, **scheme_kwargs):
+    region_endurance = {2: 10.0, 3: 20.0, 5: 30.0, 1: 40.0, 6: 50.0, 0: 60.0, 4: 70.0}
+    endurance = np.empty(7 * lines_per_region)
+    for region, value in region_endurance.items():
+        endurance[region * lines_per_region : (region + 1) * lines_per_region] = value
+    bank = NVMBank(EnduranceMap(endurance, regions=7))
+    scheme = MaxWE(spare_fraction=3 / 7, swr_fraction=2 / 3, **scheme_kwargs)
+    return MaxWEController(bank, scheme, rng=1)
+
+
+class TestTranslation:
+    def test_reads_pass_through_initially(self):
+        controller = make_controller()
+        for logical in range(controller.user_lines):
+            physical = controller.read(logical)
+            assert physical == controller.scheme.initial_backing[logical]
+
+    def test_lmt_takes_precedence_over_identity(self):
+        controller = make_controller()
+        scheme = controller.scheme
+        # Manufacture an LMT entry via a real wear-out on region 0.
+        slot = scheme.initial_backing.tolist().index(0)
+        for _ in range(60):
+            controller.write(slot)
+        assert scheme.lmt.lookup(0) is not None
+        assert controller.read(slot) == scheme.lmt.lookup(0)
+
+    def test_rmt_worn_tag_redirects_to_swr_line(self):
+        controller = make_controller()
+        scheme = controller.scheme
+        # Region 1 (RWR, endurance 40) paired with SWR region 2.
+        slot = scheme.initial_backing.tolist().index(2)  # first line of region 1
+        for _ in range(40):
+            controller.write(slot)
+        assert scheme.rmt.is_worn(1, 0)
+        assert controller.read(slot) == 4  # region 2, offset 0
+
+
+class TestWritePath:
+    def test_writes_served_counted(self):
+        controller = make_controller()
+        controller.write(0)
+        controller.write(1)
+        assert controller.writes_served == 2
+
+    def test_wear_lands_on_translated_line(self):
+        controller = make_controller()
+        before = controller.bank.wear.copy()
+        controller.write(0)
+        after = controller.bank.wear
+        assert after.sum() - before.sum() == 1.0
+        assert after[controller.read(0)] - before[controller.read(0)] in (0.0, 1.0)
+
+    def test_redirected_writes_keep_working(self):
+        controller = make_controller()
+        scheme = controller.scheme
+        slot = scheme.initial_backing.tolist().index(2)
+        for _ in range(45):  # beyond region 1's 40, into SWR region 2
+            controller.write(slot)
+        # Wear continued accumulating on the replacement line.
+        assert controller.bank.wear[4] == pytest.approx(5.0)
+
+    def test_device_failure_raises(self):
+        controller = make_controller(lines_per_region=1)
+        with pytest.raises(DeviceWornOutError):
+            for _ in range(10_000):
+                for logical in range(controller.user_lines):
+                    controller.write(logical)
+        assert controller.failed
+        assert controller.failure_reason is not None
+
+    def test_write_after_failure_rejected(self):
+        controller = make_controller(lines_per_region=1)
+        with pytest.raises(DeviceWornOutError):
+            for _ in range(10_000):
+                for logical in range(controller.user_lines):
+                    controller.write(logical)
+        with pytest.raises(DeviceWornOutError):
+            controller.write(0)
+
+    def test_normalized_lifetime_reasonable(self):
+        controller = make_controller(lines_per_region=1)
+        with pytest.raises(DeviceWornOutError):
+            for _ in range(10_000):
+                for logical in range(controller.user_lines):
+                    controller.write(logical)
+        # The toy device under uniform writes: nontrivial but sub-ideal.
+        assert 0.2 < controller.normalized_lifetime() < 1.0
+
+
+class TestTranslationCounters:
+    def test_fresh_device_translates_directly(self):
+        controller = make_controller()
+        for logical in range(controller.user_lines):
+            controller.read(logical)
+        counts = controller.translation_counts
+        assert counts["direct"] == controller.user_lines
+        assert counts["rmt"] == 0
+        assert counts["lmt"] == 0
+
+    def test_table_paths_engage_after_wearouts(self):
+        controller = make_controller()
+        scheme = controller.scheme
+        slot = scheme.initial_backing.tolist().index(2)  # RWR region 1
+        for _ in range(45):
+            controller.write(slot)
+        counts = controller.translation_counts
+        assert counts["rmt"] > 0  # the failed-over line now routes via RMT
+        assert counts["direct"] > 0
+
+
+class TestUniformSweepSemantics:
+    def test_all_slots_absorb_equal_user_wear(self):
+        controller = make_controller()
+        for _ in range(8):
+            for logical in range(controller.user_lines):
+                controller.write(logical)
+        # Before any wear-out, user wear is uniform across backing lines.
+        backing = controller.scheme.initial_backing
+        np.testing.assert_allclose(controller.bank.wear[backing], 8.0)

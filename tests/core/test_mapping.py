@@ -1,0 +1,112 @@
+"""Tests for the RMT and LMT mapping tables."""
+
+import pytest
+
+from repro.core.mapping import LineMappingTable, RegionMappingTable
+from repro.device.errors import ConfigurationError
+
+
+class TestRMT:
+    @pytest.fixture
+    def rmt(self):
+        return RegionMappingTable(
+            pairs=[(1, 2), (5, 3)], lines_per_region=3, total_regions=7
+        )
+
+    def test_lookup(self, rmt):
+        assert rmt.spare_region_of(1) == 2
+        assert rmt.spare_region_of(5) == 3
+        assert rmt.spare_region_of(0) is None
+
+    def test_contains(self, rmt):
+        assert 1 in rmt and 5 in rmt
+        assert 2 not in rmt
+
+    def test_wear_out_tags_start_false(self, rmt):
+        assert not rmt.is_worn(1, 0)
+        assert rmt.worn_count() == 0
+
+    def test_mark_worn(self, rmt):
+        rmt.mark_worn(1, 2)
+        assert rmt.is_worn(1, 2)
+        assert not rmt.is_worn(1, 1)
+        assert rmt.worn_count(1) == 1
+        assert rmt.worn_count() == 1
+
+    def test_double_mark_rejected(self, rmt):
+        rmt.mark_worn(1, 0)
+        with pytest.raises(ConfigurationError, match="already"):
+            rmt.mark_worn(1, 0)
+
+    def test_unknown_region_rejected(self, rmt):
+        with pytest.raises(KeyError):
+            rmt.mark_worn(0, 0)
+
+    def test_offset_out_of_range(self, rmt):
+        with pytest.raises(ConfigurationError):
+            rmt.is_worn(1, 3)
+
+    def test_duplicate_pra_rejected(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            RegionMappingTable([(1, 2), (1, 3)], 2, 8)
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegionMappingTable([(9, 2)], 2, 8)
+
+    def test_storage_accounting(self, rmt):
+        # 2 entries x ceil(log2 7) = 3 bits each.
+        assert rmt.entry_bits == 3
+        assert rmt.storage_bits() == 6
+        assert rmt.wear_out_tag_bits() == 6  # 2 regions x 3 lines
+        assert rmt.exact_storage_bits() == 2 * 2 * 3 + 6
+
+    def test_len(self, rmt):
+        assert len(rmt) == 2
+
+
+class TestLMT:
+    @pytest.fixture
+    def lmt(self):
+        return LineMappingTable(capacity=2, total_lines=32)
+
+    def test_insert_and_lookup(self, lmt):
+        lmt.insert(5, 30)
+        assert lmt.lookup(5) == 30
+        assert 5 in lmt
+        assert lmt.lookup(6) is None
+
+    def test_capacity_enforced(self, lmt):
+        lmt.insert(1, 30)
+        lmt.insert(2, 31)
+        with pytest.raises(ConfigurationError, match="full"):
+            lmt.insert(3, 29)
+
+    def test_re_rescue_replaces_entry(self, lmt):
+        """Section 4.2: an existing pla entry is replaced, not rejected."""
+        lmt.insert(1, 30)
+        lmt.insert(2, 31)
+        lmt.insert(1, 29)  # still 2 distinct pla keys
+        assert lmt.lookup(1) == 29
+        assert len(lmt) == 2
+
+    def test_remove(self, lmt):
+        lmt.insert(1, 30)
+        lmt.remove(1)
+        assert lmt.lookup(1) is None
+        with pytest.raises(KeyError):
+            lmt.remove(1)
+
+    def test_out_of_range_rejected(self, lmt):
+        with pytest.raises(ConfigurationError):
+            lmt.insert(40, 30)
+
+    def test_storage_accounting(self, lmt):
+        assert lmt.entry_bits == 5  # log2 32
+        assert lmt.storage_bits() == 10  # capacity 2 x 5
+        assert lmt.exact_storage_bits() == 20
+
+    def test_zero_capacity_allowed(self):
+        lmt = LineMappingTable(capacity=0, total_lines=8)
+        with pytest.raises(ConfigurationError):
+            lmt.insert(0, 1)

@@ -1,0 +1,133 @@
+"""Tests for the Max-WE replacement procedure (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.maxwe import MaxWE
+from repro.endurance.emap import EnduranceMap
+from repro.sparing.base import FailDevice, ReplaceWith
+
+
+def figure3_emap(lines_per_region=1):
+    region_endurance = {2: 10.0, 3: 20.0, 5: 30.0, 1: 40.0, 6: 50.0, 0: 60.0, 4: 70.0}
+    endurance = np.empty(7 * lines_per_region)
+    for region, value in region_endurance.items():
+        endurance[region * lines_per_region : (region + 1) * lines_per_region] = value
+    return EnduranceMap(endurance, regions=7)
+
+
+def make_scheme(lines_per_region=1, **kwargs):
+    scheme = MaxWE(spare_fraction=3 / 7, swr_fraction=2 / 3, **kwargs)
+    scheme.initialize(figure3_emap(lines_per_region), rng=1)
+    return scheme
+
+
+class TestInitialization:
+    def test_backing_is_working_regions(self):
+        scheme = make_scheme()
+        # Working regions 0, 1, 4, 5 -> lines 0, 1, 4, 5.
+        assert scheme.initial_backing.tolist() == [0, 1, 4, 5]
+        assert scheme.slots == 4
+
+    def test_pool_strongest_first(self):
+        scheme = make_scheme(lines_per_region=2)
+        # Additional region is 6 (2 lines of endurance 50 each).
+        assert scheme.pool_remaining == 2
+
+    def test_spare_lines_region_rounded(self):
+        scheme = make_scheme(lines_per_region=2)
+        assert scheme.spare_lines(14) == 6  # 3 regions x 2 lines
+
+    def test_min_user_slots_never_shrinks(self):
+        scheme = make_scheme()
+        assert scheme.min_user_slots == scheme.slots
+
+    def test_tables_exposed(self):
+        scheme = make_scheme()
+        assert len(scheme.rmt) == 2
+        assert scheme.lmt.capacity == 1
+
+
+class TestRWRReplacement:
+    def test_rwr_death_fails_over_to_matched_swr_line(self):
+        scheme = make_scheme(lines_per_region=2)
+        # Slot order: region 0 lines (0, 1), region 1 lines (2, 3), ...
+        # Region 1 is an RWR matched with SWR region 2.
+        slot_of_line_2 = scheme.initial_backing.tolist().index(2)
+        outcome = scheme.replace(slot_of_line_2, dead_line=2)
+        assert isinstance(outcome, ReplaceWith)
+        assert outcome.line == 2 * 2 + 0  # region 2, same offset
+        assert scheme.rmt.is_worn(1, 0)
+
+    def test_offset_preserved_in_pairing(self):
+        scheme = make_scheme(lines_per_region=2)
+        slot_of_line_3 = scheme.initial_backing.tolist().index(3)
+        outcome = scheme.replace(slot_of_line_3, dead_line=3)
+        assert isinstance(outcome, ReplaceWith)
+        assert outcome.line == 2 * 2 + 1  # region 2, offset 1
+
+    def test_swr_line_death_falls_back_to_pool_by_default(self):
+        """Section 4.2: a dead SWR line is outside the RMT's pra set, so it
+        is rescued from the additional spare regions."""
+        scheme = make_scheme()
+        slot = scheme.initial_backing.tolist().index(1)  # RWR region 1
+        first = scheme.replace(slot, dead_line=1)
+        assert isinstance(first, ReplaceWith)
+        second = scheme.replace(slot, dead_line=first.line)
+        assert isinstance(second, ReplaceWith)
+        assert second.line == 6  # the additional region's line
+        assert scheme.pool_remaining == 0
+
+    def test_strict_mode_fails_on_swr_death(self):
+        scheme = make_scheme(rwr_fallback_to_lmt=False)
+        slot = scheme.initial_backing.tolist().index(1)
+        first = scheme.replace(slot, dead_line=1)
+        assert isinstance(first, ReplaceWith)
+        outcome = scheme.replace(slot, dead_line=first.line)
+        assert isinstance(outcome, FailDevice)
+        assert "SWR replacement" in outcome.reason
+
+
+class TestPoolReplacement:
+    def test_non_rwr_death_takes_strongest_pool_line(self):
+        scheme = make_scheme(lines_per_region=1)
+        slot_of_line_0 = scheme.initial_backing.tolist().index(0)  # region 0
+        outcome = scheme.replace(slot_of_line_0, dead_line=0)
+        assert isinstance(outcome, ReplaceWith)
+        assert outcome.line == 6  # region 6's line
+        assert scheme.lmt.lookup(0) == 6
+
+    def test_re_rescue_removes_old_entry(self):
+        scheme = make_scheme(lines_per_region=2)  # pool of 2 lines
+        slot = scheme.initial_backing.tolist().index(0)
+        first = scheme.replace(slot, dead_line=0)
+        assert isinstance(first, ReplaceWith)
+        second = scheme.replace(slot, dead_line=first.line)
+        assert isinstance(second, ReplaceWith)
+        assert scheme.lmt.lookup(0) == second.line
+        assert len(scheme.lmt) == 1  # old entry dropped
+
+    def test_pool_exhaustion_fails_device(self):
+        scheme = make_scheme(lines_per_region=1)  # pool of 1
+        slots = scheme.initial_backing.tolist()
+        first = scheme.replace(slots.index(0), dead_line=0)
+        assert isinstance(first, ReplaceWith)
+        outcome = scheme.replace(slots.index(4), dead_line=4)
+        assert isinstance(outcome, FailDevice)
+        assert "additional spare regions exhausted" in outcome.reason
+
+
+class TestValidation:
+    def test_unknown_slot_rejected(self):
+        scheme = make_scheme()
+        with pytest.raises(KeyError):
+            scheme.replace(99, dead_line=0)
+
+    def test_use_before_initialize(self):
+        with pytest.raises(RuntimeError):
+            MaxWE().plan
+
+    def test_describe_mentions_policies(self):
+        scheme = make_scheme()
+        text = scheme.describe()
+        assert "weak-priority" in text and "weak-strong" in text

@@ -1,0 +1,93 @@
+"""Tests for the Section 4.4 / 5.3.2 mapping-overhead formulas."""
+
+import pytest
+
+from repro.core.overhead import (
+    hybrid_mapping_bits,
+    line_level_mapping_bits,
+    lmt_bits,
+    mapping_overhead_report,
+    paper_overhead_geometry,
+    rmt_bits,
+    wear_out_tag_bits,
+)
+from repro.device.geometry import DeviceGeometry
+
+
+class TestFormulas:
+    def test_line_level_is_s_log2_n(self):
+        assert line_level_mapping_bits(2**22, 1000) == 1000 * 22
+
+    def test_lmt_is_one_minus_q_s_log2_n(self):
+        assert lmt_bits(2**22, 1000, swr_fraction=0.9) == 100 * 22
+
+    def test_rmt_is_region_count_times_log2_r(self):
+        # q*S*R/N regions, log2 R bits each.
+        total, regions, spares = 2**22, 2048, 2**22 // 10
+        swr_regions = round(0.9 * spares * regions / total)
+        assert rmt_bits(total, regions, spares, 0.9) == swr_regions * 11
+
+    def test_tags_one_bit_per_swr_line(self):
+        assert wear_out_tag_bits(1000, 0.9) == 900
+
+    def test_hybrid_composition(self):
+        total, regions, spares = 2**20, 1024, 1000
+        combined = hybrid_mapping_bits(total, regions, spares, 0.9)
+        assert combined == (
+            lmt_bits(total, spares, 0.9)
+            + rmt_bits(total, regions, spares, 0.9)
+            + wear_out_tag_bits(spares, 0.9)
+        )
+
+    def test_invalid_spares(self):
+        with pytest.raises(ValueError):
+            line_level_mapping_bits(100, 200)
+
+
+class TestPaperNumbers:
+    """Section 5.3.2: 0.16 MB vs 1.1 MB, 85% reduction, 0.016% of capacity."""
+
+    @pytest.fixture
+    def report(self):
+        return mapping_overhead_report(paper_overhead_geometry(), 0.1, 0.9)
+
+    def test_maxwe_about_016_mb(self, report):
+        assert report.hybrid_mib == pytest.approx(0.16, abs=0.01)
+
+    def test_line_level_about_11_mb(self, report):
+        assert report.line_level_mib == pytest.approx(1.1, abs=0.01)
+
+    def test_reduction_about_85_percent(self, report):
+        assert report.reduction == pytest.approx(0.85, abs=0.015)
+
+    def test_capacity_share_about_0016_percent(self, report):
+        assert report.mapping_fraction_of_capacity == pytest.approx(
+            0.00016, abs=0.00002
+        )
+
+    def test_paper_geometry_line_size(self):
+        geometry = paper_overhead_geometry()
+        assert geometry.line_bytes == 256
+        assert geometry.total_lines == 2**22
+
+
+class TestScalingBehaviour:
+    def test_more_swrs_less_storage(self):
+        geometry = DeviceGeometry(total_lines=2**20, regions=1024)
+        low = mapping_overhead_report(geometry, 0.1, 0.5)
+        high = mapping_overhead_report(geometry, 0.1, 0.9)
+        assert high.hybrid_bits < low.hybrid_bits
+
+    def test_reduction_grows_with_swr_share(self):
+        geometry = DeviceGeometry(total_lines=2**20, regions=1024)
+        assert (
+            mapping_overhead_report(geometry, 0.1, 0.9).reduction
+            > mapping_overhead_report(geometry, 0.1, 0.5).reduction
+        )
+
+    def test_zero_swrs_no_saving_beyond_formula(self):
+        geometry = DeviceGeometry(total_lines=2**20, regions=1024)
+        report = mapping_overhead_report(geometry, 0.1, 0.0)
+        assert report.rmt_bits == 0
+        assert report.tag_bits == 0
+        assert report.lmt_bits == report.line_level_bits

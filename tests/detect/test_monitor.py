@@ -1,0 +1,128 @@
+"""Tests for the attack detector."""
+
+import itertools
+
+import pytest
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.attacks.workloads import HotColdWorkload, ZipfWorkload
+from repro.detect.monitor import AttackClassifier, Verdict, WriteRateMonitor
+
+
+class TestWriteRateMonitor:
+    def test_requires_observations(self):
+        with pytest.raises(RuntimeError):
+            WriteRateMonitor().stats()
+
+    def test_sequential_sweep_statistics(self):
+        monitor = WriteRateMonitor(window=64)
+        for address in range(200):
+            monitor.observe(address % 128)
+        stats = monitor.stats()
+        assert stats.sequential_fraction > 0.95
+        assert stats.unique_fraction == 1.0
+        assert stats.repeat_fraction == 0.0
+
+    def test_repeat_burst_statistics(self):
+        monitor = WriteRateMonitor(window=64)
+        for _ in range(200):
+            monitor.observe(7)
+        stats = monitor.stats()
+        assert stats.repeat_fraction > 0.95
+        assert stats.max_share == 1.0
+        assert stats.unique_fraction == pytest.approx(1 / 64)
+
+    def test_window_slides(self):
+        monitor = WriteRateMonitor(window=16)
+        for _ in range(16):
+            monitor.observe(1)
+        for address in range(16):
+            monitor.observe(address)
+        # The burst has fully left the window.
+        assert monitor.stats().repeat_fraction <= 1 / 15
+
+    def test_filled_flag(self):
+        monitor = WriteRateMonitor(window=16)
+        assert not monitor.filled
+        for address in range(16):
+            monitor.observe(address)
+        assert monitor.filled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteRateMonitor(window=4)
+        monitor = WriteRateMonitor()
+        with pytest.raises(ValueError):
+            monitor.observe(-1)
+
+
+def drive(classifier, attack, user_lines, writes, rng=None):
+    stream = attack.stream(user_lines, rng)
+    for request in itertools.islice(stream, writes):
+        classifier.observe(request.address)
+    return classifier
+
+
+class TestAttackClassifier:
+    def make(self, window=512):
+        return AttackClassifier(WriteRateMonitor(window=window))
+
+    def test_detects_uaa_as_uniform_sweep(self):
+        classifier = drive(self.make(), UniformAddressAttack(random_data=False), 4096, 4096)
+        assert classifier.alarmed
+        assert classifier.last_verdict is Verdict.UNIFORM_SWEEP
+
+    def test_detects_repeated_address_as_burst(self):
+        classifier = drive(self.make(), RepeatedAddressAttack(target=9), 4096, 4096)
+        assert classifier.alarmed
+        assert classifier.last_verdict is Verdict.BURST
+
+    def test_detects_bpa_as_burst(self):
+        classifier = drive(
+            self.make(), BirthdayParadoxAttack(burst_length=2048), 1 << 16, 8192, rng=1
+        )
+        assert classifier.alarmed
+        assert classifier.last_verdict is Verdict.BURST
+
+    def test_zipf_stays_benign(self):
+        classifier = drive(self.make(), ZipfWorkload(exponent=1.1), 4096, 8192, rng=2)
+        assert not classifier.alarmed
+        assert classifier.last_verdict is Verdict.BENIGN
+
+    def test_hot_cold_stays_benign(self):
+        classifier = drive(self.make(), HotColdWorkload(), 4096, 8192, rng=3)
+        assert not classifier.alarmed
+
+    def test_detection_latency_is_hysteresis_windows(self):
+        classifier = self.make(window=512)
+        drive(classifier, UniformAddressAttack(random_data=False), 8192, 4096)
+        assert classifier.alarmed_at == 3 * 512  # alarm_windows x window
+
+    def test_transient_burst_does_not_latch(self):
+        classifier = AttackClassifier(
+            WriteRateMonitor(window=64), alarm_windows=3
+        )
+        # One window's worth of memset-like repeats...
+        for _ in range(64):
+            classifier.observe(5)
+        # ...followed by benign random traffic.
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        for address in rng.integers(0, 4096, size=512):
+            classifier.observe(int(address))
+        assert not classifier.alarmed
+
+    def test_alarm_latches_once(self):
+        classifier = drive(self.make(), UniformAddressAttack(random_data=False), 8192, 8192)
+        first = classifier.alarmed_at
+        drive(classifier, UniformAddressAttack(random_data=False), 8192, 2048)
+        assert classifier.alarmed_at == first
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AttackClassifier(sweep_sequential_threshold=1.5)
+        with pytest.raises(ValueError):
+            AttackClassifier(alarm_windows=0)

@@ -1,0 +1,108 @@
+"""Tests for the NVM bank wear state."""
+
+import numpy as np
+import pytest
+
+from repro.device.bank import NVMBank
+from repro.device.errors import AddressError, LineWornOutError
+from repro.device.faults import ECPBudget
+from repro.device.geometry import DeviceGeometry
+from repro.endurance.emap import EnduranceMap
+
+
+@pytest.fixture
+def bank():
+    return NVMBank(EnduranceMap(np.array([3.0, 5.0, 10.0, 10.0]), regions=2))
+
+
+class TestScalarWrites:
+    def test_write_accumulates(self, bank):
+        assert bank.write(0) is False
+        assert bank.wear[0] == 1.0
+
+    def test_death_on_reaching_endurance(self, bank):
+        bank.write(0, 2)
+        assert bank.write(0) is True
+        assert not bank.is_alive(0)
+
+    def test_write_to_dead_line_raises(self, bank):
+        bank.write(0, 3)
+        with pytest.raises(LineWornOutError) as excinfo:
+            bank.write(0)
+        assert excinfo.value.line == 0
+
+    def test_invalid_count(self, bank):
+        with pytest.raises(ValueError):
+            bank.write(0, 0)
+
+    def test_invalid_address(self, bank):
+        with pytest.raises(AddressError):
+            bank.write(4)
+
+
+class TestVectorWrites:
+    def test_apply_wear_reports_newly_dead(self, bank):
+        newly_dead = bank.apply_wear(np.array([0, 1]), np.array([3.0, 1.0]))
+        np.testing.assert_array_equal(newly_dead, [0])
+        assert bank.dead_count == 1
+
+    def test_duplicates_accumulate(self, bank):
+        newly_dead = bank.apply_wear(np.array([0, 0, 0]), 1.0)
+        np.testing.assert_array_equal(newly_dead, [0])
+
+    def test_empty_input(self, bank):
+        assert bank.apply_wear(np.array([], dtype=int), 1.0).size == 0
+
+    def test_rejects_dead_targets(self, bank):
+        bank.force_kill(1)
+        with pytest.raises(LineWornOutError):
+            bank.apply_wear(np.array([1]), 1.0)
+
+    def test_rejects_negative_amounts(self, bank):
+        with pytest.raises(ValueError):
+            bank.apply_wear(np.array([0]), -1.0)
+
+    def test_rejects_out_of_range(self, bank):
+        with pytest.raises(AddressError):
+            bank.apply_wear(np.array([9]), 1.0)
+
+
+class TestAccounting:
+    def test_totals(self, bank):
+        assert bank.total_endurance == 28.0
+        assert bank.lines == 4
+        assert bank.alive_count == 4
+
+    def test_remaining(self, bank):
+        bank.write(2, 4)
+        assert bank.remaining(2) == pytest.approx(6.0)
+        remaining = bank.remaining()
+        assert remaining[2] == pytest.approx(6.0)
+
+    def test_utilization(self, bank):
+        bank.write(2, 7)
+        assert bank.utilization() == pytest.approx(7.0 / 28.0)
+
+    def test_dead_lines_listing(self, bank):
+        bank.force_kill(3)
+        np.testing.assert_array_equal(bank.dead_lines(), [3])
+
+    def test_reset(self, bank):
+        bank.write(0, 3)
+        bank.reset()
+        assert bank.alive_count == 4
+        assert bank.wear.sum() == 0.0
+
+
+class TestFaultModels:
+    def test_ecp_extends_effective_endurance(self):
+        emap = EnduranceMap(np.array([100.0, 100.0]), regions=1)
+        plain = NVMBank(emap)
+        salvaged = NVMBank(emap, fault_model=ECPBudget(pointers=6))
+        assert salvaged.total_endurance > plain.total_endurance
+        assert salvaged.total_endurance == pytest.approx(200.0 * 1.06)
+
+    def test_geometry_mismatch_rejected(self):
+        emap = EnduranceMap(np.ones(8), regions=2)
+        with pytest.raises(ValueError, match="does not match"):
+            NVMBank(emap, geometry=DeviceGeometry(total_lines=16, regions=2))

@@ -1,0 +1,47 @@
+"""Tests for fault models."""
+
+import numpy as np
+import pytest
+
+from repro.device.faults import ECPBudget, FaultModel
+
+
+class TestBaseline:
+    def test_identity(self):
+        endurance = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(
+            FaultModel().effective_endurance(endurance), endurance
+        )
+
+    def test_describe(self):
+        assert "wear-out" in FaultModel().describe()
+
+
+class TestECP:
+    def test_bonus_scales_with_pointers(self):
+        endurance = np.array([100.0])
+        ecp2 = ECPBudget(pointers=2).effective_endurance(endurance)[0]
+        ecp6 = ECPBudget(pointers=6).effective_endurance(endurance)[0]
+        assert ecp2 == pytest.approx(102.0)
+        assert ecp6 == pytest.approx(106.0)
+
+    def test_paper_capacity_overhead(self):
+        """ECP-6 costs 11.9% capacity (Schechter et al., quoted in Sec 2.2.2)."""
+        assert ECPBudget(pointers=6).capacity_overhead == pytest.approx(0.119, abs=0.002)
+
+    def test_zero_pointers_is_baseline(self):
+        endurance = np.array([10.0])
+        np.testing.assert_array_equal(
+            ECPBudget(pointers=0).effective_endurance(endurance), endurance
+        )
+
+    def test_negative_pointers_rejected(self):
+        with pytest.raises(ValueError):
+            ECPBudget(pointers=-1)
+
+    def test_invalid_bonus_rejected(self):
+        with pytest.raises(ValueError):
+            ECPBudget(bonus_per_pointer=1.5)
+
+    def test_describe_mentions_ecp(self):
+        assert "ECP-6" in ECPBudget().describe()

@@ -1,0 +1,83 @@
+"""Tests for device geometry arithmetic."""
+
+import pytest
+
+from repro.device.errors import AddressError, ConfigurationError
+from repro.device.geometry import DeviceGeometry
+
+
+class TestConstruction:
+    def test_paper_bank(self):
+        geometry = DeviceGeometry.paper_bank()
+        assert geometry.capacity_bytes == 2**30
+        assert geometry.regions == 2048
+        assert geometry.line_bytes == 64
+        assert geometry.total_lines == 2**24
+        assert geometry.lines_per_region == 2**13
+
+    def test_scaled_bank(self):
+        geometry = DeviceGeometry.scaled_bank(lines_per_region=8)
+        assert geometry.regions == 2048
+        assert geometry.total_lines == 8 * 2048
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError, match="divide"):
+            DeviceGeometry(total_lines=10, regions=3)
+
+    @pytest.mark.parametrize("field,value", [("total_lines", 0), ("regions", 0), ("line_bytes", 0)])
+    def test_non_positive_rejected(self, field, value):
+        kwargs = {"total_lines": 8, "regions": 2, "line_bytes": 64}
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            DeviceGeometry(**kwargs)
+
+
+class TestAddressMath:
+    @pytest.fixture
+    def geometry(self):
+        return DeviceGeometry(total_lines=16, regions=4)
+
+    def test_region_of(self, geometry):
+        assert geometry.region_of(0) == 0
+        assert geometry.region_of(7) == 1
+        assert geometry.region_of(15) == 3
+
+    def test_line_offset_round_trip(self, geometry):
+        for line in range(16):
+            region = geometry.region_of(line)
+            offset = geometry.line_offset(line)
+            assert geometry.line_of(region, offset) == line
+
+    def test_region_slice(self, geometry):
+        assert geometry.region_slice(2) == slice(8, 12)
+
+    def test_out_of_range_line(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.region_of(16)
+
+    def test_out_of_range_region(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.region_slice(4)
+
+    def test_out_of_range_offset(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.line_of(0, 4)
+
+
+class TestBitWidths:
+    def test_paper_bank_widths(self):
+        geometry = DeviceGeometry.paper_bank()
+        assert geometry.line_address_bits == 24
+        assert geometry.region_address_bits == 11
+        assert geometry.intra_region_bits == 13
+
+    def test_widths_compose(self):
+        geometry = DeviceGeometry(total_lines=2**10, regions=2**4)
+        assert (
+            geometry.region_address_bits + geometry.intra_region_bits
+            == geometry.line_address_bits
+        )
+
+    def test_power_of_two_detection(self):
+        assert DeviceGeometry(16, 4).is_power_of_two_sized
+        assert not DeviceGeometry(12, 4).is_power_of_two_sized

@@ -1,0 +1,82 @@
+"""Tests for endurance-model calibration utilities."""
+
+import numpy as np
+import pytest
+
+from repro.endurance.calibration import (
+    calibrate_truncation,
+    effective_q,
+    fit_linear_model,
+)
+from repro.endurance.distribution import CurrentDistribution, ZhangLiModel
+from repro.endurance.emap import EnduranceMap
+from repro.endurance.generators import zhang_li_endurance_map
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+
+
+class TestFitLinearModel:
+    def test_recovers_a_truly_linear_map(self):
+        model = LinearEnduranceModel.from_q(50.0, e_low=100.0)
+        emap = linear_endurance_map(1024, 512, model, rng=1)
+        fit = fit_linear_model(emap)
+        assert fit.r_squared > 0.999
+        assert fit.model.e_low == pytest.approx(100.0, rel=0.04)
+        assert fit.model.e_high == pytest.approx(5000.0, rel=0.04)
+        assert fit.q == pytest.approx(50.0, rel=0.05)
+
+    def test_flags_nonlinear_maps(self):
+        emap = zhang_li_endurance_map(2048, 512, deterministic=True, rng=1)
+        fit = fit_linear_model(emap)
+        assert fit.r_squared < 0.95  # power-law curvature shows up
+
+    def test_single_line_degenerate(self):
+        emap = EnduranceMap(np.array([42.0]), regions=1)
+        fit = fit_linear_model(emap)
+        assert fit.model.e_low == fit.model.e_high == 42.0
+        assert fit.r_squared == 1.0
+
+    def test_fit_is_a_valid_model(self):
+        emap = zhang_li_endurance_map(512, 128, rng=3)
+        fit = fit_linear_model(emap)
+        assert fit.model.e_low > 0
+        assert fit.model.e_high >= fit.model.e_low
+
+
+class TestEffectiveQ:
+    def test_linear_map_matches_literal_q(self):
+        model = LinearEnduranceModel.from_q(50.0, e_low=100.0)
+        emap = linear_endurance_map(2048, 1024, model, rng=1)
+        assert effective_q(emap) == pytest.approx(50.0, rel=0.01)
+
+    def test_reproduces_uaa_exposure_by_construction(self):
+        from repro.analysis.lifetime import uaa_fraction
+
+        emap = zhang_li_endurance_map(2048, 512, deterministic=True, rng=2)
+        q = effective_q(emap)
+        exposure = emap.min_endurance / emap.line_endurance.mean()
+        assert uaa_fraction(q) == pytest.approx(exposure, rel=1e-9)
+
+    def test_convex_maps_have_smaller_effective_q(self):
+        emap = zhang_li_endurance_map(2048, 512, deterministic=True, rng=2)
+        assert effective_q(emap) < emap.q_ratio
+
+
+class TestCalibrateTruncation:
+    def test_reproduces_the_library_default(self):
+        """The paper's 4.1% UAA figure calibrates to ~2 sigma screening."""
+        width = calibrate_truncation(0.041)
+        assert width == pytest.approx(2.0, abs=0.15)
+
+    def test_round_trip(self):
+        width = calibrate_truncation(0.06)
+        model = ZhangLiModel(currents=CurrentDistribution(truncate_sigma=width))
+        endurances = model.deterministic_domain_endurances(2048)
+        assert endurances.min() / endurances.mean() == pytest.approx(0.06, rel=0.02)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="achievable range"):
+            calibrate_truncation(0.5)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_truncation(0.04, low=3.0, high=2.0)

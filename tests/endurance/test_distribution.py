@@ -1,0 +1,82 @@
+"""Tests for the Eq. 2 domain current distribution and Zhang-Li model."""
+
+import numpy as np
+import pytest
+
+from repro.endurance.distribution import CurrentDistribution, ZhangLiModel
+
+
+class TestCurrentDistribution:
+    def test_default_paper_parameters(self):
+        dist = CurrentDistribution()
+        assert dist.mu_ma == pytest.approx(0.3)
+        assert dist.sigma_ma == pytest.approx(0.033)
+
+    def test_samples_respect_truncation(self):
+        dist = CurrentDistribution(truncate_sigma=1.5)
+        samples = dist.sample(5000, rng=1)
+        assert samples.min() >= dist.lower_ma - 1e-12
+        assert samples.max() <= dist.upper_ma + 1e-12
+
+    def test_untruncated_bounds_infinite(self):
+        dist = CurrentDistribution(truncate_sigma=None)
+        assert dist.lower_ma == -np.inf
+        assert dist.upper_ma == np.inf
+
+    def test_sampling_deterministic_with_seed(self):
+        dist = CurrentDistribution()
+        np.testing.assert_array_equal(dist.sample(64, rng=5), dist.sample(64, rng=5))
+
+    def test_sample_mean_near_mu(self):
+        dist = CurrentDistribution()
+        samples = dist.sample(20000, rng=2)
+        assert samples.mean() == pytest.approx(0.3, abs=0.002)
+
+    def test_quantile_grid_monotone_and_bounded(self):
+        dist = CurrentDistribution(truncate_sigma=2.0)
+        grid = dist.quantile_grid(512)
+        assert np.all(np.diff(grid) > 0)
+        assert grid[0] > dist.lower_ma
+        assert grid[-1] < dist.upper_ma
+
+    def test_quantile_grid_median(self):
+        grid = CurrentDistribution().quantile_grid(1001)
+        assert grid[500] == pytest.approx(0.3, abs=1e-4)
+
+    def test_truncation_below_zero_rejected(self):
+        with pytest.raises(ValueError, match="non-positive currents"):
+            CurrentDistribution(mu_ma=0.05, sigma_ma=0.033, truncate_sigma=2.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentDistribution(sigma_ma=-0.01)
+
+
+class TestZhangLiModel:
+    def test_domain_endurances_positive(self):
+        endurances = ZhangLiModel().domain_endurances(512, rng=1)
+        assert endurances.shape == (512,)
+        assert np.all(endurances > 0)
+
+    def test_deterministic_grid_sorted_descending(self):
+        # Currents ascend along the grid, so endurance descends (Eq. 1).
+        endurances = ZhangLiModel().deterministic_domain_endurances(128)
+        assert np.all(np.diff(endurances) < 0)
+
+    def test_variation_ratio_matches_paper_regime(self):
+        """With 1.5-sigma screening the 512-domain spread is the paper's ~56x."""
+        model = ZhangLiModel(currents=CurrentDistribution(truncate_sigma=1.5))
+        ratio = model.variation_ratio(512)
+        assert 40 < ratio < 75
+
+    def test_default_truncation_reproduces_uaa_headline(self):
+        """Default screening puts EL/mean near the paper's 4.1% UAA figure."""
+        endurances = ZhangLiModel().deterministic_domain_endurances(2048)
+        fraction = endurances.min() / endurances.mean()
+        assert 0.03 < fraction < 0.06
+
+    def test_sampled_determinism(self):
+        model = ZhangLiModel()
+        np.testing.assert_array_equal(
+            model.domain_endurances(64, rng=9), model.domain_endurances(64, rng=9)
+        )

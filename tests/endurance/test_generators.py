@@ -1,0 +1,77 @@
+"""Tests for endurance-map generators."""
+
+import numpy as np
+import pytest
+
+from repro.endurance.generators import (
+    lognormal_endurance_map,
+    uniform_endurance_map,
+    zhang_li_endurance_map,
+)
+
+
+class TestZhangLiMap:
+    def test_shape(self):
+        emap = zhang_li_endurance_map(1024, 128, rng=1)
+        assert emap.lines == 1024
+        assert emap.regions == 128
+
+    def test_region_constant_by_default(self):
+        emap = zhang_li_endurance_map(512, 64, rng=1)
+        for region in (0, 13, 63):
+            values = emap.region_lines(region)
+            assert np.all(values == values[0])
+
+    def test_intra_region_jitter(self):
+        emap = zhang_li_endurance_map(512, 64, intra_region_sigma=0.2, rng=1)
+        jittered = any(
+            np.unique(emap.region_lines(region)).size > 1 for region in range(64)
+        )
+        assert jittered
+
+    def test_deterministic_mode_fixed_multiset(self):
+        a = zhang_li_endurance_map(256, 64, deterministic=True, rng=1)
+        b = zhang_li_endurance_map(256, 64, deterministic=True, rng=2)
+        # Different placement, identical endurance multiset (quantile grid).
+        np.testing.assert_allclose(
+            np.sort(a.line_endurance), np.sort(b.line_endurance)
+        )
+
+    def test_seed_reproducible(self):
+        a = zhang_li_endurance_map(256, 64, rng=7)
+        b = zhang_li_endurance_map(256, 64, rng=7)
+        np.testing.assert_array_equal(a.line_endurance, b.line_endurance)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="intra_region_sigma"):
+            zhang_li_endurance_map(64, 8, intra_region_sigma=-0.1)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            zhang_li_endurance_map(65, 8)
+
+
+class TestLognormalMap:
+    def test_shape_and_positivity(self):
+        emap = lognormal_endurance_map(256, 32, rng=1)
+        assert emap.lines == 256
+        assert np.all(emap.line_endurance > 0)
+
+    def test_median_scale(self):
+        emap = lognormal_endurance_map(4096, 4096, median=1e6, sigma=0.5, rng=1)
+        assert np.median(emap.line_endurance) == pytest.approx(1e6, rel=0.1)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            lognormal_endurance_map(64, 8, sigma=0.0)
+
+
+class TestUniformMap:
+    def test_constant(self):
+        emap = uniform_endurance_map(64, 8, endurance=123.0)
+        assert np.all(emap.line_endurance == 123.0)
+        assert emap.q_ratio == 1.0
+
+    def test_invalid_endurance(self):
+        with pytest.raises(ValueError):
+            uniform_endurance_map(64, 8, endurance=0.0)

@@ -1,0 +1,105 @@
+"""Tests for the Section 3.1 linear endurance model (Eq. 3-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+
+
+class TestModel:
+    def test_from_q(self):
+        model = LinearEnduranceModel.from_q(50.0, e_low=100.0)
+        assert model.e_high == pytest.approx(5000.0)
+        assert model.q == pytest.approx(50.0)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            LinearEnduranceModel.from_q(0.5)
+
+    def test_high_below_low_rejected(self):
+        with pytest.raises(ValueError, match="e_high"):
+            LinearEnduranceModel(e_low=10.0, e_high=5.0)
+
+    def test_line_endurances_span(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=10.0)
+        values = model.line_endurances(10)
+        assert values[0] == 10.0
+        assert values[-1] == 1.0
+        assert np.all(np.diff(values) < 0)
+
+    def test_single_line_midpoint(self):
+        model = LinearEnduranceModel(e_low=2.0, e_high=4.0)
+        assert model.line_endurances(1)[0] == pytest.approx(3.0)
+
+
+class TestEquations:
+    def test_eq3_ideal_lifetime(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=50.0)
+        # N (EH-EL)/2 + N EL = 100*24.5 + 100 = 2550
+        assert model.ideal_lifetime(100) == pytest.approx(2550.0)
+
+    def test_eq4_uaa_lifetime(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=50.0)
+        assert model.uaa_lifetime(100) == pytest.approx(100.0)
+
+    def test_eq5_paper_spot_value(self):
+        """EH = 50 EL gives the paper's 3.9% headline."""
+        model = LinearEnduranceModel.from_q(50.0)
+        assert model.uaa_fraction() == pytest.approx(0.0392, abs=2e-4)
+
+    def test_eq5_quoted_example(self):
+        """'If EH is 50 times more than EL, L_UAA will be only 3.9%'."""
+        assert LinearEnduranceModel.from_q(50.0).uaa_fraction() == pytest.approx(
+            2.0 / 51.0
+        )
+
+    @given(st.floats(min_value=1.0, max_value=1000.0), st.integers(min_value=1, max_value=10000))
+    def test_eq5_consistent_with_eq3_eq4(self, q, lines):
+        model = LinearEnduranceModel.from_q(q)
+        ratio = model.uaa_lifetime(lines) / model.ideal_lifetime(lines)
+        assert ratio == pytest.approx(model.uaa_fraction(), rel=1e-9)
+
+    def test_no_variation_is_ideal(self):
+        model = LinearEnduranceModel.from_q(1.0)
+        assert model.uaa_fraction() == pytest.approx(1.0)
+
+
+class TestLinearMap:
+    def test_map_multiset_matches_model(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=5.0)
+        emap = linear_endurance_map(20, 10, model, layout="descending")
+        np.testing.assert_allclose(
+            np.unique(emap.line_endurance), np.unique(model.line_endurances(10))
+        )
+
+    def test_region_constant_endurance(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=5.0)
+        emap = linear_endurance_map(40, 10, model, layout="shuffled", rng=4)
+        for region in range(10):
+            values = emap.region_lines(region)
+            assert np.all(values == values[0])
+
+    def test_layouts(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=9.0)
+        ascending = linear_endurance_map(9, 9, model, layout="ascending")
+        descending = linear_endurance_map(9, 9, model, layout="descending")
+        assert ascending.line_endurance[0] == pytest.approx(1.0)
+        assert descending.line_endurance[0] == pytest.approx(9.0)
+
+    def test_shuffle_deterministic(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=9.0)
+        a = linear_endurance_map(18, 9, model, rng=3)
+        b = linear_endurance_map(18, 9, model, rng=3)
+        np.testing.assert_array_equal(a.line_endurance, b.line_endurance)
+
+    def test_unknown_layout_rejected(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=9.0)
+        with pytest.raises(ValueError, match="layout"):
+            linear_endurance_map(9, 9, model, layout="diagonal")
+
+    def test_indivisible_rejected(self):
+        model = LinearEnduranceModel(e_low=1.0, e_high=9.0)
+        with pytest.raises(ValueError, match="divide"):
+            linear_endurance_map(10, 3, model)

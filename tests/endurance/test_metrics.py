@@ -1,0 +1,60 @@
+"""Tests for endurance-variation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.endurance.emap import EnduranceMap
+from repro.endurance.metrics import (
+    coefficient_of_variation,
+    endurance_percentile,
+    region_endurance,
+    sort_regions_by_endurance,
+    variation_ratio,
+)
+
+
+@pytest.fixture
+def emap():
+    return EnduranceMap(np.array([10.0, 10.0, 40.0, 40.0, 20.0, 20.0]), regions=3)
+
+
+class TestVariationRatio:
+    def test_array_input(self):
+        assert variation_ratio(np.array([2.0, 8.0])) == pytest.approx(4.0)
+
+    def test_emap_input(self, emap):
+        assert variation_ratio(emap) == pytest.approx(4.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            variation_ratio(np.array([1.0, -1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            variation_ratio(np.array([]))
+
+
+class TestCoefficientOfVariation:
+    def test_constant_is_zero(self):
+        assert coefficient_of_variation(np.full(10, 5.0)) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        values = np.array([1.0, 3.0])
+        assert coefficient_of_variation(values) == pytest.approx(0.5)
+
+
+class TestRegionHelpers:
+    def test_region_endurance_delegates(self, emap):
+        np.testing.assert_array_equal(region_endurance(emap), [10.0, 40.0, 20.0])
+
+    def test_sort_regions(self, emap):
+        np.testing.assert_array_equal(sort_regions_by_endurance(emap), [0, 2, 1])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert endurance_percentile(np.array([1.0, 2.0, 3.0]), 50.0) == 2.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            endurance_percentile(np.array([1.0]), 101.0)

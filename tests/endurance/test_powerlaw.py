@@ -1,0 +1,74 @@
+"""Tests for the Eq. 1 power-law endurance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.endurance.powerlaw import (
+    NOMINAL_CURRENT_MA,
+    NOMINAL_ENDURANCE,
+    PowerLawEnduranceModel,
+)
+
+
+class TestEquationOne:
+    def test_nominal_current_gives_nominal_endurance(self):
+        model = PowerLawEnduranceModel()
+        assert model.endurance(NOMINAL_CURRENT_MA) == pytest.approx(NOMINAL_ENDURANCE)
+
+    def test_higher_current_lower_endurance(self):
+        model = PowerLawEnduranceModel()
+        assert model.endurance(0.4) < model.endurance(0.3) < model.endurance(0.2)
+
+    def test_current_exponent_is_minus_twelve(self):
+        model = PowerLawEnduranceModel()
+        assert model.current_exponent == -12.0
+        # Doubling the current divides endurance by 2^12.
+        ratio = model.endurance(0.3) / model.endurance(0.6)
+        assert ratio == pytest.approx(2**12, rel=1e-9)
+
+    def test_array_input(self):
+        model = PowerLawEnduranceModel()
+        result = model.endurance(np.array([0.2, 0.3, 0.4]))
+        assert isinstance(result, np.ndarray)
+        assert np.all(np.diff(result) < 0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(PowerLawEnduranceModel().endurance(0.3), float)
+
+    def test_non_positive_current_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            PowerLawEnduranceModel().endurance(0.0)
+
+    def test_non_positive_endurance_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            PowerLawEnduranceModel().current_for_endurance(-1.0)
+
+
+class TestInversion:
+    @given(st.floats(min_value=0.05, max_value=2.0))
+    def test_round_trip_current(self, current):
+        model = PowerLawEnduranceModel()
+        recovered = model.current_for_endurance(model.endurance(current))
+        assert recovered == pytest.approx(current, rel=1e-9)
+
+    @given(st.floats(min_value=1e2, max_value=1e14))
+    def test_round_trip_endurance(self, endurance):
+        model = PowerLawEnduranceModel()
+        recovered = model.endurance(model.current_for_endurance(endurance))
+        assert recovered == pytest.approx(endurance, rel=1e-9)
+
+
+class TestValidation:
+    def test_positive_exponent_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            PowerLawEnduranceModel(exponent=6.0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            PowerLawEnduranceModel(scale=0.0)
+
+    def test_non_positive_rt_rejected(self):
+        with pytest.raises(ValueError):
+            PowerLawEnduranceModel(resistance_times_pulse=-1.0)

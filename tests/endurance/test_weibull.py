@@ -1,0 +1,69 @@
+"""Tests for the Weibull endurance family and distribution robustness."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.generators import weibull_endurance_map
+from repro.sim.lifetime import simulate_lifetime
+from repro.sparing.none import NoSparing
+from repro.sparing.ps import PS
+
+
+class TestWeibullMap:
+    def test_shape_and_positivity(self):
+        emap = weibull_endurance_map(256, 64, rng=1)
+        assert emap.lines == 256
+        assert np.all(emap.line_endurance > 0)
+
+    def test_scale_parameter(self):
+        emap = weibull_endurance_map(8192, 8192, scale=1e6, shape=3.0, rng=1)
+        # Weibull(k=3) mean = scale * Gamma(1 + 1/3) ~ 0.8930 * scale.
+        assert emap.line_endurance.mean() == pytest.approx(0.893e6, rel=0.05)
+
+    def test_low_shape_heavier_weak_tail(self):
+        infant = weibull_endurance_map(4096, 4096, shape=0.7, rng=2)
+        mature = weibull_endurance_map(4096, 4096, shape=3.0, rng=2)
+        assert (
+            infant.min_endurance / infant.line_endurance.mean()
+            < mature.min_endurance / mature.line_endurance.mean()
+        )
+
+    def test_floor_guards_zero_lifetimes(self):
+        emap = weibull_endurance_map(8192, 8192, shape=0.3, rng=3)
+        assert emap.min_endurance > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weibull_endurance_map(64, 8, shape=0.0)
+        with pytest.raises(ValueError):
+            weibull_endurance_map(65, 8)
+
+
+class TestDistributionRobustness:
+    """The paper's orderings must not depend on the distribution family."""
+
+    @pytest.mark.parametrize("shape", [1.0, 2.0, 4.0])
+    def test_maxwe_ordering_across_weibull_shapes(self, shape):
+        emap = weibull_endurance_map(2048, 512, shape=shape, rng=5)
+        attack = UniformAddressAttack()
+        nothing = simulate_lifetime(emap, attack, NoSparing(), rng=5)
+        worst = simulate_lifetime(emap, attack, PS.worst_case(0.1), rng=5)
+        maxwe = simulate_lifetime(emap, attack, MaxWE(0.1), rng=5)
+        assert (
+            maxwe.normalized_lifetime
+            > worst.normalized_lifetime
+            > nothing.normalized_lifetime
+        )
+
+    def test_uaa_damage_grows_with_variation(self):
+        """Lower Weibull shape = more variation = worse UAA lifetime."""
+        lifetimes = []
+        for shape in (0.8, 2.0, 6.0):
+            emap = weibull_endurance_map(2048, 512, shape=shape, rng=7)
+            result = simulate_lifetime(
+                emap, UniformAddressAttack(), NoSparing(), rng=7
+            )
+            lifetimes.append(result.normalized_lifetime)
+        assert lifetimes == sorted(lifetimes)

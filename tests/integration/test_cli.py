@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+SMALL = ["--regions", "256", "--lines-per-region", "4"]
+
+
+class TestSubcommands:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--p", "0.1", "--q", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "max-we" in out
+        assert "0.381" in out
+
+    def test_simulate_default(self, capsys):
+        assert main(["simulate", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime:" in out
+        assert "Max-WE" in out
+
+    def test_simulate_bpa_wawl(self, capsys):
+        assert main(["simulate", *SMALL, "--attack", "bpa", "--wearlevel", "wawl"]) == 0
+        out = capsys.readouterr().out
+        assert "BPA" in out
+
+    def test_simulate_every_sparing_scheme(self, capsys):
+        for sparing in ("none", "pcd", "ps", "ps-worst", "max-we"):
+            assert main(["simulate", *SMALL, "--sparing", sparing]) == 0
+
+    def test_sweep_spare(self, capsys):
+        assert main(["sweep-spare", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "50%" in out
+
+    def test_sweep_swr(self, capsys):
+        assert main(["sweep-swr", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "wawl" in out
+
+    def test_compare_uaa(self, capsys):
+        assert main(["compare-uaa", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "no-protection" in out
+        assert "improvement" in out
+
+    def test_compare_bpa(self, capsys):
+        assert main(["compare-bpa", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "gmean" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "0.16 MB" in out
+        assert "1.10 MB" in out
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--regions", "64", "--lines-per-region", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# Max-WE reproduction report" in out
+
+    def test_trace_record_classify_replay_loop(self, capsys, tmp_path):
+        trace_path = tmp_path / "uaa.npz"
+        assert (
+            main(
+                [
+                    "record-trace",
+                    "--attack",
+                    "uaa",
+                    "--user-lines",
+                    "920",  # 256 regions x 4 lines, minus 26 spare regions
+                    "--length",
+                    "9200",
+                    "--output",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert "recorded 9200 writes" in capsys.readouterr().out
+
+        assert main(["classify-trace", str(trace_path.with_suffix(".npz"))]) == 0
+        out = capsys.readouterr().out
+        assert "kind:         uniform" in out
+
+        assert (
+            main(
+                [
+                    "replay-trace",
+                    str(trace_path.with_suffix(".npz")),
+                    "--regions",
+                    "256",
+                    "--lines-per-region",
+                    "4",
+                    "--sparing",
+                    "max-we",
+                ]
+            )
+            == 0
+        )
+        assert "lifetime:" in capsys.readouterr().out
+
+    def test_replay_space_mismatch_reports_error(self, capsys, tmp_path):
+        trace_path = tmp_path / "small.npz"
+        main(
+            [
+                "record-trace",
+                "--user-lines",
+                "64",
+                "--length",
+                "128",
+                "--output",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "replay-trace",
+                    str(trace_path.with_suffix(".npz")),
+                    "--regions",
+                    "256",
+                    "--lines-per-region",
+                    "4",
+                ]
+            )
+            == 1
+        )
+        assert "adjust" in capsys.readouterr().out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "out.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--regions",
+                    "64",
+                    "--lines-per-region",
+                    "2",
+                    "--output",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "written to" in capsys.readouterr().out
+        assert "Figure 6" in path.read_text()
+
+
+class TestArgumentHandling:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["destroy"])
+
+    def test_bad_choice_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--attack", "meteor"])

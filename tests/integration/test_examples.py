@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_quickstart_plus_domain_scenarios():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [example])
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"
+
+
+def test_quickstart_reports_paper_facts(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Max-WE" in out
+    assert "X" in out  # the improvement factor
+
+
+def test_figure3_walkthrough_matches_paper_allocation(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["figure3_walkthrough.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "figure3_walkthrough.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "regions [2, 3]" in out
+    assert "{1: 2, 5: 3}" in out

@@ -1,0 +1,131 @@
+"""Full-stack integration: exact controller + wear-leveling + Max-WE.
+
+These tests drive the whole Section 4.2 datapath -- attack stream into a
+real wear-leveling mechanism into the hybrid mapping tables into the
+bank -- to device failure, and check the pieces compose: translation
+stays within bounds, every user write lands somewhere alive, and the
+exact lifetime agrees with the fluid engine's prediction.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.controller import MaxWEController
+from repro.core.maxwe import MaxWE
+from repro.device.bank import NVMBank
+from repro.device.errors import DeviceWornOutError
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+from repro.sim.lifetime import simulate_lifetime
+from repro.wearlevel.security_refresh import TLSR
+from repro.wearlevel.startgap import StartGap
+
+
+def small_bank(regions=20, lines_per_region=2, q=10.0, e_low=150.0, seed=5):
+    model = LinearEnduranceModel.from_q(q, e_low=e_low)
+    emap = linear_endurance_map(regions * lines_per_region, regions, model, rng=seed)
+    return NVMBank(emap)
+
+
+def drive_to_failure(controller, max_writes=5_000_000):
+    attack = UniformAddressAttack(random_data=False)
+    stream = attack.stream(controller.user_lines, rng=1)
+    with pytest.raises(DeviceWornOutError):
+        for request in itertools.islice(stream, max_writes):
+            controller.write(request.address)
+    return controller
+
+
+class TestControllerWithTLSR:
+    def test_runs_to_failure_and_counts_writes(self):
+        bank = small_bank()
+        controller = MaxWEController(
+            bank,
+            MaxWE(0.1, 0.9),
+            wearleveler=TLSR(lines_per_region=2, refresh_interval=16),
+            rng=5,
+        )
+        drive_to_failure(controller)
+        assert controller.failed
+        assert controller.writes_served > 0
+        # Wear landed only on real lines; nothing overflowed.
+        assert bank.wear.max() <= bank.endurance.max() + bank.remaining().max() + 1
+
+    def test_lifetime_close_to_fluid_prediction(self):
+        bank = small_bank()
+        controller = MaxWEController(
+            bank,
+            MaxWE(0.1, 0.9),
+            wearleveler=TLSR(lines_per_region=2, refresh_interval=16),
+            rng=5,
+        )
+        drive_to_failure(controller)
+        fluid = simulate_lifetime(
+            bank.endurance_map,
+            UniformAddressAttack(),
+            MaxWE(0.1, 0.9),
+            wearleveler=TLSR(lines_per_region=1, refresh_interval=16),
+            rng=5,
+        )
+        assert controller.normalized_lifetime() == pytest.approx(
+            fluid.normalized_lifetime, rel=0.15
+        )
+
+
+class TestControllerWithStartGap:
+    def test_runs_to_failure(self):
+        bank = small_bank()
+        controller = MaxWEController(
+            bank,
+            MaxWE(0.1, 0.9),
+            wearleveler=StartGap(gap_interval=32),
+            rng=5,
+        )
+        # Start-Gap exposes one fewer logical line.
+        assert controller.user_lines == controller.scheme.slots - 1
+        drive_to_failure(controller)
+        assert controller.failed
+
+    def test_translation_always_in_bounds(self):
+        bank = small_bank()
+        controller = MaxWEController(
+            bank,
+            MaxWE(0.1, 0.9),
+            wearleveler=StartGap(gap_interval=8),
+            rng=5,
+        )
+        for index in range(2000):
+            logical = index % controller.user_lines
+            physical = controller.read(logical)
+            assert 0 <= physical < bank.lines
+            controller.write(logical)
+
+
+class TestMappingTableConsistency:
+    def test_tables_reflect_failures_at_device_death(self):
+        bank = small_bank()
+        scheme = MaxWE(0.1, 0.9)
+        controller = MaxWEController(bank, scheme, rng=5)
+        drive_to_failure(controller)
+        # Every RMT wear-out tag corresponds to a dead RWR line.
+        per = bank.endurance_map.lines_per_region
+        for region in scheme.plan.rwr_regions:
+            for offset in range(per):
+                if scheme.rmt.is_worn(int(region), offset):
+                    assert not bank.is_alive(int(region) * per + offset)
+        # Every LMT entry maps a dead line to its living-or-dead spare.
+        for pla in range(bank.lines):
+            spare = scheme.lmt.lookup(pla)
+            if spare is not None:
+                assert not bank.is_alive(pla)
+
+    def test_user_wear_conserved_before_first_death(self):
+        bank = small_bank(q=2.0, e_low=10_000.0)
+        controller = MaxWEController(bank, MaxWE(0.1, 0.9), rng=5)
+        writes = controller.user_lines * 5
+        attack = UniformAddressAttack(random_data=False)
+        for request in itertools.islice(attack.stream(controller.user_lines, rng=1), writes):
+            controller.write(request.address)
+        assert bank.wear.sum() == pytest.approx(writes)

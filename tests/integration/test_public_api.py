@@ -1,0 +1,66 @@
+"""Public-API smoke tests: the package surface stays importable and sane."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def all_submodules():
+    names = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", all_submodules())
+    def test_every_submodule_imports(self, name):
+        importlib.import_module(name)
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+    @pytest.mark.parametrize(
+        "package",
+        [
+            "repro.attacks",
+            "repro.analysis",
+            "repro.core",
+            "repro.device",
+            "repro.endurance",
+            "repro.salvage",
+            "repro.sim",
+            "repro.sparing",
+            "repro.trace",
+            "repro.detect",
+            "repro.wearlevel",
+            "repro.writereduce",
+            "repro.util",
+        ],
+    )
+    def test_package_all_resolves(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.__all__ missing {name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", all_submodules())
+    def test_every_module_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} has no module docstring"
+
+    def test_public_exports_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__" and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"undocumented exports: {undocumented}"

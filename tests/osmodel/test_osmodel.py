@@ -1,0 +1,73 @@
+"""Tests for the Section 3.2 OS attack-vehicle model."""
+
+import pytest
+
+from repro.osmodel.attacker import MaliciousProcess
+from repro.osmodel.memory import (
+    PAGE_BYTES,
+    PageAllocator,
+    PhysicalMemory,
+    SwapPolicy,
+)
+from repro.util.units import GIB, MIB
+
+
+class TestPhysicalMemory:
+    def test_paper_example_kernel_share(self):
+        """4 GB with 100-200 MB kernel -> < 5% (paper Section 3.2)."""
+        memory = PhysicalMemory(4 * GIB, kernel_bytes=150 * MIB)
+        assert memory.kernel_fraction < 0.05
+
+    def test_page_accounting(self):
+        memory = PhysicalMemory(1 * MIB, kernel_bytes=0)
+        assert memory.total_pages == MIB // PAGE_BYTES
+        assert memory.allocatable_pages == memory.total_pages
+
+    def test_kernel_larger_than_ram_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(1 * MIB, kernel_bytes=2 * MIB)
+
+
+class TestSwapPolicy:
+    def test_zero_swappiness_keeps_everything_resident(self):
+        assert SwapPolicy(0).resident_fraction() == 1.0
+
+    def test_higher_swappiness_swaps_more(self):
+        assert SwapPolicy(100).resident_fraction() < SwapPolicy(0).resident_fraction()
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            SwapPolicy(101)
+
+
+class TestPageAllocator:
+    def test_allocation_capped_at_allocatable(self):
+        memory = PhysicalMemory(1 * MIB, kernel_bytes=256 * 1024)
+        allocator = PageAllocator(memory)
+        granted = allocator.allocate(2 * MIB)
+        assert granted == memory.allocatable_pages
+        assert allocator.utilization() == pytest.approx(1.0)
+
+    def test_small_allocation_fully_resident(self):
+        memory = PhysicalMemory(1 * MIB, kernel_bytes=0)
+        allocator = PageAllocator(memory)
+        assert allocator.allocate(8 * PAGE_BYTES) == 8
+
+
+class TestMaliciousProcess:
+    def test_paper_coverage_above_95_percent(self):
+        process = MaliciousProcess(PhysicalMemory(4 * GIB, kernel_bytes=150 * MIB))
+        process.allocate_all_memory()
+        assert process.coverage() > 0.95
+
+    def test_mount_attack_carries_coverage(self):
+        process = MaliciousProcess(PhysicalMemory(4 * GIB, kernel_bytes=150 * MIB))
+        process.allocate_all_memory()
+        attack = process.mount_attack()
+        assert attack.coverage == pytest.approx(process.coverage())
+        assert attack.random_data
+
+    def test_attack_before_allocation_rejected(self):
+        process = MaliciousProcess(PhysicalMemory(1 * GIB))
+        with pytest.raises(RuntimeError, match="allocate_all_memory"):
+            process.mount_attack()

@@ -1,0 +1,62 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.reporting.report import ReportSection, generate_report
+from repro.sim.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    config = ExperimentConfig(regions=128, lines_per_region=2)
+    return generate_report(config)
+
+
+class TestSections:
+    def test_header_carries_configuration(self, report_text):
+        assert "# Max-WE reproduction report" in report_text
+        assert "128 regions x 2 lines" in report_text
+
+    def test_all_sections_present(self, report_text):
+        for title in (
+            "Analytic lifetimes",
+            "UAA scheme comparison",
+            "Spare-capacity sweep",
+            "SWR-share sweep",
+            "BPA scheme comparison",
+            "Parameter sensitivity",
+            "Mapping-table overhead",
+        ):
+            assert f"## {title}" in report_text
+
+    def test_sensitivity_elasticities_reported(self, report_text):
+        assert "`spare_fraction`" in report_text
+        assert "elasticity" in report_text.lower()
+
+    def test_analytic_spot_values(self, report_text):
+        assert "38.1%" in report_text  # Eq. 6 at p=0.1, q=50
+        assert "3.9%" in report_text  # Eq. 5
+
+    def test_charts_rendered(self, report_text):
+        assert "```" in report_text
+        assert "|#" in report_text  # a bar
+        assert "o=measured" in report_text  # figure 6 legend
+
+    def test_overhead_numbers(self, report_text):
+        assert "0.16 MB" in report_text
+        assert "1.10 MB" in report_text
+
+    def test_paper_references_included(self, report_text):
+        assert "paper: 9.5X" in report_text
+
+
+class TestOutput:
+    def test_write_to_file(self, tmp_path):
+        config = ExperimentConfig(regions=64, lines_per_region=2)
+        path = tmp_path / "report.md"
+        document = generate_report(config, path)
+        assert path.read_text() == document
+
+    def test_section_render(self):
+        section = ReportSection(title="T", body="B")
+        assert section.render() == "## T\n\nB\n"

@@ -1,0 +1,130 @@
+"""Tests for the salvaging schemes (ECP, PAYG, FREE-p)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.endurance.emap import EnduranceMap
+from repro.salvage import ECP, FreeP, PayAsYouGo
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+from repro.sparing.base import ExtendBudget, FailDevice
+from repro.sparing.none import NoSparing
+
+
+@pytest.fixture
+def emap():
+    return EnduranceMap(np.array([100.0, 200.0, 300.0, 400.0]), regions=4)
+
+
+class TestECP:
+    def test_all_lines_in_service(self, emap):
+        scheme = ECP(pointers=2)
+        scheme.initialize(emap, rng=1)
+        assert scheme.slots == 4
+
+    def test_corrections_extend_budget(self, emap):
+        scheme = ECP(pointers=2, bonus_per_pointer=0.05)
+        scheme.initialize(emap, rng=1)
+        outcome = scheme.replace(0, 0)
+        assert isinstance(outcome, ExtendBudget)
+        assert outcome.wear == pytest.approx(5.0)  # 5% of endurance 100
+        assert scheme.corrections_used(0) == 1
+
+    def test_budget_exhaustion_fails(self, emap):
+        scheme = ECP(pointers=2)
+        scheme.initialize(emap, rng=1)
+        scheme.replace(0, 0)
+        scheme.replace(0, 0)
+        outcome = scheme.replace(0, 0)
+        assert isinstance(outcome, FailDevice)
+        assert "ECP-2" in outcome.reason
+
+    def test_budgets_are_per_line(self, emap):
+        scheme = ECP(pointers=1)
+        scheme.initialize(emap, rng=1)
+        assert isinstance(scheme.replace(0, 0), ExtendBudget)
+        assert isinstance(scheme.replace(1, 1), ExtendBudget)
+        assert isinstance(scheme.replace(0, 0), FailDevice)
+
+    def test_capacity_overhead_paper_value(self):
+        assert ECP(pointers=6).capacity_overhead == pytest.approx(0.119, abs=0.002)
+
+    def test_zero_pointers_is_no_protection(self, emap):
+        scheme = ECP(pointers=0)
+        scheme.initialize(emap, rng=1)
+        assert isinstance(scheme.replace(0, 0), FailDevice)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ECP(pointers=-1)
+        with pytest.raises(ValueError):
+            ECP(bonus_per_pointer=2.0)
+
+
+class TestPAYG:
+    def test_pool_sized_per_line(self, emap):
+        scheme = PayAsYouGo(entries_per_line=2.0)
+        scheme.initialize(emap, rng=1)
+        assert scheme.pool_remaining == 8
+
+    def test_pool_shared_across_lines(self, emap):
+        scheme = PayAsYouGo(entries_per_line=0.5)  # pool of 2 for 4 lines
+        scheme.initialize(emap, rng=1)
+        assert isinstance(scheme.replace(0, 0), ExtendBudget)
+        assert isinstance(scheme.replace(0, 0), ExtendBudget)  # same line again
+        assert isinstance(scheme.replace(1, 1), FailDevice)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PayAsYouGo(entries_per_line=0.0)
+
+
+class TestFreeP:
+    def test_is_endurance_oblivious_ps(self, emap):
+        scheme = FreeP(reserve_fraction=0.25)
+        scheme.initialize(emap, rng=1)
+        assert scheme.selection == "random"
+        assert scheme.allocation == "random"
+        assert scheme.pool_remaining == 1
+
+    def test_describe(self):
+        assert "FREE-p" in FreeP().describe()
+
+
+class TestSection222Argument:
+    """The paper's claim: salvaging cannot resist UAA; Max-WE can."""
+
+    @pytest.fixture(scope="class")
+    def lifetimes(self):
+        config = ExperimentConfig(regions=512, lines_per_region=4)
+        emap = config.make_emap()
+        attack = UniformAddressAttack()
+        schemes = {
+            "none": NoSparing(),
+            "ecp": ECP(pointers=6),
+            "payg": PayAsYouGo(entries_per_line=1.0),
+            "free-p": FreeP(0.1),
+        }
+        return {
+            name: simulate_lifetime(emap, attack, scheme, rng=1).normalized_lifetime
+            for name, scheme in schemes.items()
+        }
+
+    def test_ecp_buys_only_marginal_life(self, lifetimes):
+        assert lifetimes["ecp"] < 1.2 * lifetimes["none"]
+
+    def test_payg_beats_ecp_but_still_fails_early(self, lifetimes):
+        assert lifetimes["ecp"] < lifetimes["payg"] < 0.15
+
+    def test_freep_matches_ps_average_regime(self, lifetimes):
+        assert 0.15 < lifetimes["free-p"] < 0.3
+
+    def test_maxwe_dominates_all_salvaging(self, lifetimes):
+        config = ExperimentConfig(regions=512, lines_per_region=4)
+        from repro.core.maxwe import MaxWE
+
+        maxwe = simulate_lifetime(
+            config.make_emap(), UniformAddressAttack(), MaxWE(0.1), rng=1
+        ).normalized_lifetime
+        assert maxwe > 1.5 * max(lifetimes.values())

@@ -1,0 +1,122 @@
+"""Tests for the batch experiment runner."""
+
+import json
+
+import pytest
+
+from repro.sim.batch import BatchResult, RunSpec, run_batch
+from repro.sim.config import ExperimentConfig
+
+SMALL = ExperimentConfig(regions=128, lines_per_region=2)
+
+
+class TestRunSpec:
+    def test_defaults(self):
+        spec = RunSpec(label="x")
+        assert spec.attack == "uaa"
+        assert spec.sparing == "max-we"
+
+    def test_from_dict(self):
+        spec = RunSpec.from_dict({"label": "a", "attack": "bpa", "wearlevel": "wawl"})
+        assert spec.attack == "bpa"
+        assert spec.wearlevel == "wawl"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            RunSpec.from_dict({"label": "a", "attak": "uaa"})
+
+    def test_workload_suite_names_accepted(self):
+        spec = RunSpec(label="db", attack="database", sparing="none")
+        assert spec.build_attack().describe()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("attack", "meteor"), ("sparing", "magic"), ("wearlevel", "rotator"), ("label", "")],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        payload = {"label": "x", field: value}
+        with pytest.raises(ValueError):
+            RunSpec.from_dict(payload)
+
+
+class TestRunBatch:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        specs = [
+            RunSpec(label="unprotected", attack="uaa", sparing="none"),
+            {"label": "paper point", "attack": "uaa", "sparing": "max-we"},
+            {"label": "bpa on wawl", "attack": "bpa", "sparing": "max-we", "wearlevel": "wawl"},
+        ]
+        return run_batch(specs, SMALL)
+
+    def test_runs_in_order(self, batch):
+        assert len(batch) == 3
+        assert [spec.label for spec in batch.specs] == [
+            "unprotected",
+            "paper point",
+            "bpa on wawl",
+        ]
+
+    def test_lifetime_lookup(self, batch):
+        assert batch.lifetime("paper point") > batch.lifetime("unprotected")
+        with pytest.raises(KeyError):
+            batch.lifetime("missing")
+
+    def test_table_renders_all_rows(self, batch):
+        table = batch.to_table()
+        for label in ("unprotected", "paper point", "bpa on wawl"):
+            assert label in table
+
+    def test_json_archive_round_trips(self, batch, tmp_path):
+        path = tmp_path / "archive.json"
+        text = batch.to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload == json.loads(text)
+        assert len(payload["runs"]) == 3
+        assert payload["config"]["regions"] == 128
+        first = payload["runs"][1]["result"]
+        assert first["normalized_lifetime"] == pytest.approx(
+            batch.lifetime("paper point")
+        )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_batch([], SMALL)
+
+    def test_misaligned_result_construction_rejected(self, batch):
+        with pytest.raises(ValueError, match="align"):
+            BatchResult(specs=batch.specs, results=batch.results[:1])
+
+
+class TestBatchCLI:
+    def test_cli_batch_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec_path = tmp_path / "specs.json"
+        spec_path.write_text(
+            json.dumps(
+                [
+                    {"label": "a", "attack": "uaa", "sparing": "none"},
+                    {"label": "b", "attack": "uaa", "sparing": "max-we"},
+                ]
+            )
+        )
+        archive = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "batch",
+                    str(spec_path),
+                    "--regions",
+                    "128",
+                    "--lines-per-region",
+                    "2",
+                    "--output",
+                    str(archive),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch results" in out
+        assert archive.exists()

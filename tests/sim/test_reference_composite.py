@@ -1,0 +1,110 @@
+"""Reference-simulator coverage for the hierarchical wear-leveler.
+
+The composite scheme's exact path (outer region swaps + per-region inner
+rotation) exercises every moving part of the reference simulator at
+once; these tests run it to device failure and cross-check against the
+fluid engine.
+"""
+
+import pytest
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+from repro.sim.lifetime import simulate_lifetime
+from repro.sim.reference import ReferenceSimulator
+from repro.sparing.none import NoSparing
+from repro.wearlevel.composite import CompositeWearLeveler
+from repro.wearlevel.pcms import PCMS
+from repro.wearlevel.startgap import StartGap
+from repro.wearlevel.wawl import WAWL
+
+
+def small_map(regions=18, lines_per_region=2, q=8.0, e_low=300.0, seed=4):
+    model = LinearEnduranceModel.from_q(q, e_low=e_low)
+    return linear_endurance_map(regions * lines_per_region, regions, model, rng=seed)
+
+
+def make_composite(lines_per_region=2):
+    return CompositeWearLeveler(
+        PCMS(lines_per_region=lines_per_region, swap_interval=32),
+        lambda: StartGap(gap_interval=16),
+        lines_per_region,
+    )
+
+
+class TestCompositeExactRuns:
+    def test_uaa_to_failure(self):
+        emap = small_map()
+        simulator = ReferenceSimulator(
+            emap,
+            UniformAddressAttack(random_data=False),
+            NoSparing(),
+            wearleveler=make_composite(),
+            rng=4,
+            max_writes=5_000_000,
+        )
+        result = simulator.run()
+        assert result.deaths == 1
+        assert 0.0 < result.normalized_lifetime < 1.0
+
+    def test_uaa_close_to_fluid(self):
+        emap = small_map()
+        exact = ReferenceSimulator(
+            emap,
+            UniformAddressAttack(random_data=False),
+            NoSparing(),
+            wearleveler=make_composite(),
+            rng=4,
+            max_writes=5_000_000,
+        ).run()
+        fluid = simulate_lifetime(
+            emap,
+            UniformAddressAttack(),
+            NoSparing(),
+            wearleveler=make_composite(),
+            rng=4,
+        )
+        assert exact.normalized_lifetime == pytest.approx(
+            fluid.normalized_lifetime, rel=0.1
+        )
+
+    def test_bpa_with_maxwe_runs(self):
+        emap = small_map(q=5.0, e_low=400.0)
+        result = ReferenceSimulator(
+            emap,
+            BirthdayParadoxAttack(burst_length=64),
+            MaxWE(2 / 18, 0.5),
+            wearleveler=make_composite(),
+            rng=4,
+            max_writes=5_000_000,
+        ).run()
+        assert result.replacements >= 1
+        assert "guard" not in result.failure_reason
+
+
+class TestAwareSchemesExactRuns:
+    def test_wawl_exact_beats_oblivious_under_bpa(self):
+        """The endurance-aware mechanism's advantage survives the exact
+        per-write path, not just the stationary model."""
+        emap = small_map(regions=24, q=10.0, e_low=500.0)
+        attack = BirthdayParadoxAttack(burst_length=64)
+
+        wawl = ReferenceSimulator(
+            emap,
+            attack,
+            MaxWE(2 / 24, 0.5),
+            wearleveler=WAWL(lines_per_region=2, interval_scale=48),
+            rng=4,
+            max_writes=10_000_000,
+        ).run()
+        oblivious = ReferenceSimulator(
+            emap,
+            attack,
+            MaxWE(2 / 24, 0.5),
+            wearleveler=PCMS(lines_per_region=2, swap_interval=48),
+            rng=4,
+            max_writes=10_000_000,
+        ).run()
+        assert wawl.normalized_lifetime > oblivious.normalized_lifetime

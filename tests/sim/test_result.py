@@ -1,0 +1,57 @@
+"""Tests for SimulationResult."""
+
+import pytest
+
+from repro.sim.result import SimulationResult
+
+
+def make_result(writes=50.0, total=100.0, **kwargs):
+    defaults = dict(
+        writes_served=writes,
+        total_endurance=total,
+        deaths=3,
+        replacements=2,
+        failure_reason="test",
+    )
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestMetric:
+    def test_normalized_lifetime(self):
+        assert make_result().normalized_lifetime == pytest.approx(0.5)
+
+    def test_improvement_over_result(self):
+        strong = make_result(writes=40.0)
+        weak = make_result(writes=4.0)
+        assert strong.improvement_over(weak) == pytest.approx(10.0)
+
+    def test_improvement_over_float(self):
+        assert make_result(writes=30.0).improvement_over(0.1) == pytest.approx(3.0)
+
+    def test_improvement_over_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make_result().improvement_over(0.0)
+
+
+class TestValidation:
+    def test_negative_writes_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(writes=-1.0)
+
+    def test_zero_endurance_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(total=0.0)
+
+
+class TestMetadata:
+    def test_label_access(self):
+        result = make_result(metadata={"attack": "uaa"})
+        assert result.label("attack") == "uaa"
+        assert result.label("missing") is None
+        assert result.label("missing", "x") == "x"
+
+    def test_str_mentions_key_facts(self):
+        text = str(make_result())
+        assert "50.0" in text or "deaths=3" in text
+        assert "test" in text

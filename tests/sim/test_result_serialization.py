@@ -1,0 +1,59 @@
+"""Tests for result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+from repro.sim.result import SimulationResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(regions=128, lines_per_region=2)
+    return simulate_lifetime(
+        config.make_emap(), UniformAddressAttack(), MaxWE(0.1), rng=1
+    )
+
+
+class TestToDict:
+    def test_round_trips_through_json(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = SimulationResult.from_dict(payload)
+        assert rebuilt.writes_served == pytest.approx(result.writes_served)
+        assert rebuilt.deaths == result.deaths
+        assert rebuilt.replacements == result.replacements
+        assert rebuilt.failure_reason == result.failure_reason
+        assert len(rebuilt.timeline) == len(result.timeline)
+
+    def test_metadata_stringified(self, result):
+        payload = result.to_dict()
+        assert all(isinstance(value, str) for value in payload["metadata"].values())
+
+    def test_timeline_optional(self, result):
+        payload = result.to_dict(include_timeline=False)
+        assert "timeline" not in payload
+        rebuilt = SimulationResult.from_dict(payload)
+        assert rebuilt.timeline == ()
+
+    def test_derived_metric_included(self, result):
+        payload = result.to_dict()
+        assert payload["normalized_lifetime"] == pytest.approx(
+            result.normalized_lifetime
+        )
+
+    def test_inconsistent_payload_rejected(self, result):
+        payload = result.to_dict()
+        payload["normalized_lifetime"] = 0.999
+        with pytest.raises(ValueError, match="inconsistent"):
+            SimulationResult.from_dict(payload)
+
+    def test_timeline_events_preserved(self, result):
+        payload = result.to_dict()
+        rebuilt = SimulationResult.from_dict(payload)
+        for original, restored in zip(result.timeline, rebuilt.timeline):
+            assert restored.action == original.action
+            assert restored.dead_line == original.dead_line

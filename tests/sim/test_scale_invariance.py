@@ -1,0 +1,79 @@
+"""Property tests: normalized lifetime is a scale-free quantity.
+
+DESIGN.md's scale model rests on two invariances that justify running the
+paper's 1 GB experiments on a few-thousand-line device:
+
+* multiplying every endurance by a constant leaves normalized lifetime
+  unchanged (the metric is a ratio of write counts);
+* replicating each region's lines k-fold leaves it unchanged (slots per
+  region only refine the same wear distribution).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.emap import EnduranceMap
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+from repro.sim.lifetime import simulate_lifetime
+from repro.sparing.pcd import PCD
+
+
+def lifetime(emap, sparing, seed=1):
+    return simulate_lifetime(
+        emap, UniformAddressAttack(), sparing, rng=seed
+    ).normalized_lifetime
+
+
+@st.composite
+def small_linear_maps(draw):
+    regions = draw(st.integers(min_value=20, max_value=60))
+    q = draw(st.floats(min_value=2.0, max_value=80.0))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    model = LinearEnduranceModel.from_q(q, e_low=50.0)
+    return linear_endurance_map(regions, regions, model, rng=seed), seed
+
+
+class TestEnduranceScaleInvariance:
+    @given(small_linear_maps(), st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_maxwe_invariant_under_endurance_scaling(self, map_and_seed, scale):
+        emap, seed = map_and_seed
+        scaled = EnduranceMap(emap.line_endurance * scale, emap.regions)
+        base = lifetime(emap, MaxWE(0.1), seed)
+        rescaled = lifetime(scaled, MaxWE(0.1), seed)
+        assert rescaled == pytest.approx(base, rel=1e-9)
+
+    @given(small_linear_maps())
+    @settings(max_examples=20, deadline=None)
+    def test_pcd_invariant_under_endurance_scaling(self, map_and_seed):
+        emap, seed = map_and_seed
+        scaled = EnduranceMap(emap.line_endurance * 7.5, emap.regions)
+        assert lifetime(scaled, PCD(0.1), seed) == pytest.approx(
+            lifetime(emap, PCD(0.1), seed), rel=1e-9
+        )
+
+
+class TestLinesPerRegionInvariance:
+    @given(small_linear_maps(), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_maxwe_invariant_under_region_replication(self, map_and_seed, k):
+        emap, seed = map_and_seed
+        replicated = EnduranceMap(
+            np.repeat(emap.line_endurance, k), emap.regions
+        )
+        base = lifetime(emap, MaxWE(0.1), seed)
+        refined = lifetime(replicated, MaxWE(0.1), seed)
+        assert refined == pytest.approx(base, rel=1e-9)
+
+    def test_paper_scale_vs_experiment_scale(self):
+        """2048 regions x 8 lines agrees with 2048 x 64 to high precision."""
+        model = LinearEnduranceModel.from_q(50.0, e_low=100.0)
+        small = linear_endurance_map(2048 * 8, 2048, model, rng=4)
+        large = EnduranceMap(np.repeat(small.line_endurance, 8), 2048)
+        assert lifetime(large, MaxWE(0.1), 4) == pytest.approx(
+            lifetime(small, MaxWE(0.1), 4), rel=1e-6
+        )

@@ -1,0 +1,60 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.sensitivity import PARAMETERS, sensitivity_analysis
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Enough regions that the SWR share moves the region counts smoothly;
+    # at very small scales its elasticity is dominated by rounding jumps.
+    config = ExperimentConfig(regions=512, lines_per_region=4)
+    return sensitivity_analysis(config)
+
+
+class TestStructure:
+    def test_all_parameters_reported(self, report):
+        assert set(report) == set(PARAMETERS)
+
+    def test_base_lifetime_shared(self, report):
+        lifetimes = {s.base_lifetime for s in report.values()}
+        assert len(lifetimes) == 1
+
+    def test_subset_selection(self):
+        config = ExperimentConfig(regions=128, lines_per_region=2)
+        report = sensitivity_analysis(config, parameters=("q",))
+        assert set(report) == {"q"}
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            sensitivity_analysis(parameters=("line_bytes",))
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            sensitivity_analysis(relative_step=0.0)
+
+
+class TestPaperNarrative:
+    """Section 5.2's reasoning as measured elasticities."""
+
+    def test_spare_fraction_is_the_strong_lever(self, report):
+        assert report["spare_fraction"].elasticity > 0.3
+
+    def test_swr_share_is_nearly_inelastic_under_uaa(self, report):
+        """Why the paper can take 90% SWRs for free: lifetime barely moves."""
+        assert abs(report["swr_fraction"].elasticity) < 0.2
+
+    def test_variation_mildly_hurts(self, report):
+        assert -0.6 < report["q"].elasticity < 0.0
+
+    def test_spare_dominates_swr(self, report):
+        assert (
+            report["spare_fraction"].elasticity
+            > 3 * abs(report["swr_fraction"].elasticity)
+        )
+
+    def test_elasticity_sign_matches_direction(self, report):
+        sensitivity = report["spare_fraction"]
+        assert sensitivity.perturbed_lifetime > sensitivity.base_lifetime

@@ -1,0 +1,95 @@
+"""Tests for failure-timeline recording in the fluid engine."""
+
+import pytest
+
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+from repro.salvage.ecp import ECP
+from repro.sim.lifetime import LifetimeSimulator, simulate_lifetime
+from repro.sim.result import TimelineEvent
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+
+
+def emap(regions=60, q=20.0, seed=3):
+    model = LinearEnduranceModel.from_q(q, e_low=100.0)
+    return linear_endurance_map(regions, regions, model, rng=seed)
+
+
+class TestTimelineRecording:
+    def test_timeline_matches_death_count(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), MaxWE(0.1), rng=1)
+        assert len(result.timeline) == result.deaths
+
+    def test_event_ordering_monotone_in_writes(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), MaxWE(0.1), rng=1)
+        served = [event.writes_served for event in result.timeline]
+        assert served == sorted(served)
+
+    def test_actions_classified(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), MaxWE(0.1), rng=1)
+        actions = result.deaths_by_action()
+        assert actions.get("replaced", 0) == result.replacements
+        assert actions.get("device-failed", 0) == 1
+
+    def test_pcd_records_removals(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), PCD(0.1), rng=1)
+        actions = result.deaths_by_action()
+        assert actions.get("removed", 0) == result.deaths
+
+    def test_ecp_records_extensions(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), ECP(pointers=2), rng=1)
+        actions = result.deaths_by_action()
+        assert actions.get("extended", 0) >= 1
+
+    def test_no_protection_single_fatal_event(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), NoSparing(), rng=1)
+        assert len(result.timeline) == 1
+        assert result.timeline[0].action == "device-failed"
+
+    def test_replacement_lines_recorded(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), MaxWE(0.1), rng=1)
+        replaced = [e for e in result.timeline if e.action == "replaced"]
+        assert replaced
+        assert all(isinstance(e.replacement_line, int) for e in replaced)
+
+    def test_first_death_fraction(self):
+        result = simulate_lifetime(emap(), UniformAddressAttack(), MaxWE(0.1), rng=1)
+        fraction = result.first_death_fraction()
+        assert fraction is not None
+        assert 0.0 < fraction < 1.0
+
+    def test_recording_can_be_disabled(self):
+        simulator = LifetimeSimulator(
+            emap(), UniformAddressAttack(), MaxWE(0.1), rng=1, record_timeline=False
+        )
+        result = simulator.run()
+        assert result.timeline == ()
+        assert result.first_death_fraction() is None
+
+    def test_event_cap_respected(self):
+        simulator = LifetimeSimulator(
+            emap(), UniformAddressAttack(), MaxWE(0.1), rng=1, max_timeline_events=3
+        )
+        result = simulator.run()
+        assert len(result.timeline) == 3
+        assert result.deaths > 3  # counting continues past the cap
+
+
+class TestTimelineSemantics:
+    def test_maxwe_absorbs_failures_across_most_of_life(self):
+        """The sparing scheme's whole point: the first death happens early
+        (the weakest RWR line) but the device keeps serving writes for
+        several times longer."""
+        result = simulate_lifetime(emap(q=50.0), UniformAddressAttack(), MaxWE(0.1), rng=1)
+        fraction = result.first_death_fraction()
+        assert fraction is not None
+        assert fraction < 0.7
+        # ... and the failure absorption phase hosts every other death.
+        assert all(e.writes_served >= result.timeline[0].writes_served for e in result.timeline)
+
+    def test_event_is_frozen(self):
+        event = TimelineEvent(writes_served=1.0, slot=0, dead_line=0, action="replaced")
+        with pytest.raises(AttributeError):
+            event.slot = 1  # type: ignore[misc]

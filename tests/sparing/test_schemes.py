@@ -1,0 +1,129 @@
+"""Tests for the baseline sparing schemes: NoSparing, PCD, PS."""
+
+import numpy as np
+import pytest
+
+from repro.endurance.emap import EnduranceMap
+from repro.sparing.base import FailDevice, RemoveSlot, ReplaceWith
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+from repro.sparing.ps import PS
+
+
+@pytest.fixture
+def emap():
+    # 10 regions x 1 line; endurance 1..10 in shuffled physical order.
+    endurance = np.array([7.0, 2.0, 9.0, 4.0, 1.0, 10.0, 3.0, 8.0, 5.0, 6.0])
+    return EnduranceMap(endurance, regions=10)
+
+
+class TestNoSparing:
+    def test_all_lines_in_service(self, emap):
+        scheme = NoSparing()
+        scheme.initialize(emap, rng=1)
+        assert scheme.slots == 10
+        assert scheme.min_user_slots == 10
+
+    def test_first_death_is_fatal(self, emap):
+        scheme = NoSparing()
+        scheme.initialize(emap, rng=1)
+        outcome = scheme.replace(slot=4, dead_line=4)
+        assert isinstance(outcome, FailDevice)
+
+    def test_use_before_initialize(self):
+        with pytest.raises(RuntimeError, match="initialize"):
+            NoSparing().slots
+
+
+class TestPCD:
+    def test_all_lines_in_service_with_slack(self, emap):
+        scheme = PCD(spare_fraction=0.2)
+        scheme.initialize(emap, rng=1)
+        assert scheme.slots == 10
+        assert scheme.min_user_slots == 8
+
+    def test_deaths_remove_slots(self, emap):
+        scheme = PCD(0.2)
+        scheme.initialize(emap, rng=1)
+        assert isinstance(scheme.replace(0, 0), RemoveSlot)
+
+    def test_spare_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            PCD(spare_fraction=1.0)
+
+
+class TestPSSelection:
+    def test_weakest_pool(self, emap):
+        scheme = PS(0.3, selection="weakest")
+        scheme.initialize(emap, rng=1)
+        in_service = set(scheme.initial_backing.tolist())
+        # Weakest three lines (endurance 1, 2, 3 at indices 4, 1, 6) spared.
+        assert {4, 1, 6}.isdisjoint(in_service)
+        assert scheme.slots == 7
+
+    def test_strongest_pool_is_ps_worst(self, emap):
+        scheme = PS.worst_case(0.3)
+        scheme.initialize(emap, rng=1)
+        in_service = set(scheme.initial_backing.tolist())
+        # Strongest three (10, 9, 8 at indices 5, 2, 7) wasted as spares.
+        assert {5, 2, 7}.isdisjoint(in_service)
+
+    def test_random_pool_deterministic_per_seed(self, emap):
+        a = PS.average_case(0.3)
+        a.initialize(emap, rng=9)
+        b = PS.average_case(0.3)
+        b.initialize(emap, rng=9)
+        np.testing.assert_array_equal(a.initial_backing, b.initial_backing)
+
+    def test_invalid_policies(self):
+        with pytest.raises(ValueError, match="selection"):
+            PS(selection="best")
+        with pytest.raises(ValueError, match="allocation"):
+            PS(allocation="fifo")
+
+
+class TestPSAllocation:
+    def test_strongest_first_order(self, emap):
+        scheme = PS(0.3, selection="weakest", allocation="strongest-first")
+        scheme.initialize(emap, rng=1)
+        first = scheme.replace(0, 0)
+        second = scheme.replace(1, 1)
+        assert isinstance(first, ReplaceWith) and isinstance(second, ReplaceWith)
+        endurance = emap.line_endurance
+        assert endurance[first.line] >= endurance[second.line]
+
+    def test_weakest_first_order(self, emap):
+        scheme = PS(0.3, selection="weakest", allocation="weakest-first")
+        scheme.initialize(emap, rng=1)
+        first = scheme.replace(0, 0)
+        assert isinstance(first, ReplaceWith)
+        assert emap.line_endurance[first.line] == 1.0
+
+    def test_pool_exhaustion_fails_device(self, emap):
+        scheme = PS(0.2, selection="weakest")
+        scheme.initialize(emap, rng=1)
+        assert isinstance(scheme.replace(0, 0), ReplaceWith)
+        assert isinstance(scheme.replace(1, 1), ReplaceWith)
+        outcome = scheme.replace(2, 2)
+        assert isinstance(outcome, FailDevice)
+        assert "exhausted" in outcome.reason
+
+    def test_pool_remaining_tracks(self, emap):
+        scheme = PS(0.3, selection="weakest")
+        scheme.initialize(emap, rng=1)
+        assert scheme.pool_remaining == 3
+        scheme.replace(0, 0)
+        assert scheme.pool_remaining == 2
+
+    def test_min_user_slots_matches_user_capacity(self, emap):
+        scheme = PS(0.3)
+        scheme.initialize(emap, rng=1)
+        assert scheme.min_user_slots == 7
+
+
+class TestDescribe:
+    def test_labels(self, emap):
+        assert "no protection" in NoSparing().describe()
+        assert "PCD" in PCD(0.1).describe()
+        scheme = PS.worst_case(0.1)
+        assert "strongest" in scheme.describe()

@@ -1,0 +1,180 @@
+"""Tests for the write-trace infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.attacks.workloads import ZipfWorkload
+from repro.trace.format import WriteTrace
+from repro.trace.record import record_trace
+from repro.trace.replay import TraceAttack
+from repro.trace.stats import analyze_trace, empirical_profile
+
+
+class TestWriteTrace:
+    def test_basic_construction(self):
+        trace = WriteTrace(np.array([0, 1, 2, 1]), user_lines=4)
+        assert len(trace) == 4
+        assert not trace.has_data
+
+    def test_histogram(self):
+        trace = WriteTrace(np.array([0, 1, 1, 3]), user_lines=4)
+        np.testing.assert_array_equal(trace.histogram(), [1, 2, 0, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="addresses must lie"):
+            WriteTrace(np.array([0, 5]), user_lines=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WriteTrace(np.array([], dtype=np.int64), user_lines=4)
+
+    def test_data_shape_checked(self):
+        with pytest.raises(ValueError, match="data shape"):
+            WriteTrace(np.array([0, 1]), user_lines=4, data=np.array([1], dtype=np.uint64))
+
+    def test_slice(self):
+        trace = WriteTrace(np.arange(10) % 4, user_lines=4, source="test")
+        sub = trace.slice(2, 6)
+        assert len(sub) == 4
+        assert "[2:6]" in sub.source
+
+    def test_invalid_slice(self):
+        trace = WriteTrace(np.array([0, 1]), user_lines=4)
+        with pytest.raises(ValueError):
+            trace.slice(1, 5)
+
+    def test_addresses_frozen(self):
+        trace = WriteTrace(np.array([0, 1]), user_lines=4)
+        with pytest.raises(ValueError):
+            trace.addresses[0] = 3
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        trace = WriteTrace(
+            np.array([0, 3, 2]),
+            user_lines=4,
+            data=np.array([7, 8, 9], dtype=np.uint64),
+            source="round-trip",
+        )
+        path = trace.save(tmp_path / "trace.npz")
+        loaded = WriteTrace.load(path)
+        np.testing.assert_array_equal(loaded.addresses, trace.addresses)
+        np.testing.assert_array_equal(loaded.data, trace.data)
+        assert loaded.user_lines == 4
+        assert loaded.source == "round-trip"
+
+    def test_round_trip_without_data(self, tmp_path):
+        trace = WriteTrace(np.array([1, 2]), user_lines=4)
+        loaded = WriteTrace.load(trace.save(tmp_path / "t.npz"))
+        assert loaded.data is None
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(99),
+            addresses=np.array([0]),
+            user_lines=np.int64(1),
+            source=np.bytes_(b"x"),
+        )
+        with pytest.raises(ValueError, match="version 99"):
+            WriteTrace.load(path)
+
+
+class TestRecord:
+    def test_records_uaa_sweep(self):
+        trace = record_trace(UniformAddressAttack(random_data=False), 8, 16)
+        np.testing.assert_array_equal(trace.addresses, list(range(8)) * 2)
+        assert "UAA" in trace.source
+
+    def test_keep_data(self):
+        trace = record_trace(UniformAddressAttack(), 8, 8, rng=1, keep_data=True)
+        assert trace.has_data
+        assert len(set(trace.data.tolist())) > 1
+
+    def test_deterministic(self):
+        a = record_trace(BirthdayParadoxAttack(burst_length=4), 64, 64, rng=2)
+        b = record_trace(BirthdayParadoxAttack(burst_length=4), 64, 64, rng=2)
+        np.testing.assert_array_equal(a.addresses, b.addresses)
+
+
+class TestStats:
+    def test_uaa_classified_uniform(self):
+        trace = record_trace(UniformAddressAttack(random_data=False), 128, 1280)
+        assert analyze_trace(trace).kind == "uniform"
+
+    def test_repeated_classified_concentrated(self):
+        trace = record_trace(RepeatedAddressAttack(target=5), 128, 1000)
+        stats = analyze_trace(trace)
+        assert stats.kind == "concentrated"
+        assert stats.burstiness > 0.99
+        assert stats.max_share == 1.0
+
+    def test_bpa_classified_concentrated(self):
+        trace = record_trace(BirthdayParadoxAttack(burst_length=128), 256, 4096, rng=1)
+        assert analyze_trace(trace).kind == "concentrated"
+
+    def test_zipf_classified_skewed(self):
+        trace = record_trace(ZipfWorkload(exponent=1.2, shuffle=False), 256, 8192, rng=1)
+        stats = analyze_trace(trace)
+        assert stats.kind == "skewed"
+
+    def test_touched_lines(self):
+        trace = WriteTrace(np.array([0, 0, 3]), user_lines=8)
+        assert analyze_trace(trace).touched_lines == 2
+
+    def test_empirical_profile_kinds(self):
+        uaa = record_trace(UniformAddressAttack(random_data=False), 64, 640)
+        assert empirical_profile(uaa).kind == "uniform"
+        zipf = record_trace(ZipfWorkload(exponent=1.5, shuffle=False), 64, 4096, rng=1)
+        assert empirical_profile(zipf).kind == "skewed"
+
+
+class TestReplay:
+    def test_stream_matches_trace(self):
+        trace = WriteTrace(np.array([3, 1, 2]), user_lines=4)
+        attack = TraceAttack(trace)
+        import itertools
+
+        replayed = [r.address for r in itertools.islice(attack.stream(4), 7)]
+        assert replayed == [3, 1, 2, 3, 1, 2, 3]  # loops
+
+    def test_no_loop_stops(self):
+        trace = WriteTrace(np.array([0, 1]), user_lines=4)
+        replayed = [r.address for r in TraceAttack(trace, loop=False).stream(4)]
+        assert replayed == [0, 1]
+
+    def test_payloads_replayed(self):
+        trace = WriteTrace(
+            np.array([0]), user_lines=2, data=np.array([42], dtype=np.uint64)
+        )
+        request = next(iter(TraceAttack(trace).stream(2)))
+        assert request.data == 42
+
+    def test_space_mismatch_rejected(self):
+        trace = WriteTrace(np.array([0]), user_lines=4)
+        attack = TraceAttack(trace)
+        with pytest.raises(ValueError, match="recorded over 4"):
+            attack.profile(8)
+        with pytest.raises(ValueError):
+            next(iter(attack.stream(8)))
+
+    def test_replayed_uaa_reproduces_simulated_lifetime(self):
+        """A recorded-then-replayed UAA gives the same fluid lifetime as
+        the generator it came from."""
+        from repro.endurance.linear import LinearEnduranceModel, linear_endurance_map
+        from repro.sim.lifetime import simulate_lifetime
+        from repro.sparing.none import NoSparing
+
+        model = LinearEnduranceModel.from_q(20.0, e_low=100.0)
+        emap = linear_endurance_map(128, 64, model, rng=1)
+        direct = simulate_lifetime(emap, UniformAddressAttack(), NoSparing(), rng=1)
+        trace = record_trace(UniformAddressAttack(random_data=False), 128, 1280)
+        replayed = simulate_lifetime(emap, TraceAttack(trace), NoSparing(), rng=1)
+        assert replayed.normalized_lifetime == pytest.approx(
+            direct.normalized_lifetime, rel=1e-6
+        )

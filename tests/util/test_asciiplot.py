@@ -1,0 +1,78 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.util.asciiplot import bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"a": 0.5, "b": 1.0}, width=10)
+        line_a, line_b = chart.splitlines()
+        assert line_b.count("#") == 10
+        assert line_a.count("#") == 5
+
+    def test_value_labels_formatted(self):
+        chart = bar_chart({"x": 0.425}, fmt=".1%")
+        assert "42.5%" in chart
+
+    def test_title(self):
+        chart = bar_chart({"x": 1.0}, title="Figure 6")
+        assert chart.splitlines()[0] == "Figure 6"
+
+    def test_zero_value_has_empty_bar(self):
+        chart = bar_chart({"zero": 0.0, "one": 1.0})
+        assert "#" not in chart.splitlines()[0]
+
+    def test_explicit_ceiling(self):
+        chart = bar_chart({"x": 0.5}, width=10, max_value=1.0)
+        assert chart.count("#") == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+        with pytest.raises(ValueError):
+            bar_chart({"x": 1.0}, width=0)
+
+
+class TestLinePlot:
+    def test_series_glyphs_present(self):
+        plot = line_plot(
+            [0, 1, 2],
+            {"up": [0.0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]},
+        )
+        assert "o" in plot
+        assert "x" in plot
+        assert "o=up" in plot
+        assert "x=down" in plot
+
+    def test_axis_labels(self):
+        plot = line_plot([0.0, 0.5], {"s": [0.1, 0.9]}, y_fmt=".0%")
+        assert "90%" in plot
+        assert "10%" in plot
+
+    def test_monotone_series_renders_monotone(self):
+        plot = line_plot([0, 1, 2, 3], {"s": [0.0, 1.0, 2.0, 3.0]}, height=4, width=7)
+        rows = [line for line in plot.splitlines() if "|" in line]
+        columns = [row.index("o") for row in rows if "o" in row]
+        # Rows render top-down, so a rising series appears right-to-left
+        # as we scan downward.
+        assert columns == sorted(columns, reverse=True)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            line_plot([0, 1], {"s": [1.0]})
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_plot([1, 1], {"s": [0.0, 1.0]})
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {})
+
+    def test_flat_series_allowed(self):
+        plot = line_plot([0, 1], {"flat": [0.5, 0.5]})
+        assert "o" in plot

@@ -1,0 +1,78 @@
+"""Tests for event logging and counters."""
+
+import pytest
+
+from repro.util.events import CounterSet, EventLog
+
+
+class TestEventLog:
+    def test_record_and_count(self):
+        log = EventLog()
+        log.record("line-worn-out", 1, line=5)
+        log.record("line-worn-out", 2, line=6)
+        log.record("remap", 2)
+        assert log.count("line-worn-out") == 2
+        assert log.count("remap") == 1
+        assert log.count("missing") == 0
+
+    def test_event_detail_preserved(self):
+        log = EventLog()
+        event = log.record("replacement", 3, slot=1, line=9)
+        assert event.detail == {"slot": 1, "line": 9}
+        assert event.round_index == 3
+
+    def test_filtering(self):
+        log = EventLog()
+        log.record("a", 0)
+        log.record("b", 1)
+        assert [event.kind for event in log.events("a")] == ["a"]
+        assert len(log.events()) == 2
+
+    def test_bounded_retention_keeps_counts(self):
+        log = EventLog(max_events=3)
+        for index in range(10):
+            log.record("tick", index)
+        assert len(log) == 3
+        assert log.count("tick") == 10
+        assert log.events()[0].round_index == 7  # oldest retained
+
+    def test_unbounded(self):
+        log = EventLog(max_events=None)
+        for index in range(100):
+            log.record("tick", index)
+        assert len(log) == 100
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+
+    def test_iteration(self):
+        log = EventLog()
+        log.record("x", 0)
+        assert [event.kind for event in log] == ["x"]
+
+    def test_counts_snapshot(self):
+        log = EventLog()
+        log.record("x", 0)
+        counts = log.counts
+        log.record("x", 1)
+        assert counts == {"x": 1}  # snapshot, not a live view
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("writes")
+        counters.add("writes", 4)
+        assert counters.get("writes") == 5
+        assert counters.get("reads") == 0
+
+    def test_negative_rejected(self):
+        counters = CounterSet()
+        with pytest.raises(ValueError):
+            counters.add("writes", -1)
+
+    def test_as_dict(self):
+        counters = CounterSet()
+        counters.add("a", 2)
+        assert counters.as_dict() == {"a": 2}

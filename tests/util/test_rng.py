@@ -1,0 +1,80 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, ensure_rng, fork_seeds, sample_seed
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, size=8)
+        b = ensure_rng(42).integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1 << 30, size=8)
+        b = ensure_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestDeriveRng:
+    def test_same_seed_same_label_identical(self):
+        a = derive_rng(42, "component").integers(0, 1 << 30, size=8)
+        b = derive_rng(42, "component").integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_independent(self):
+        a = derive_rng(42, "alpha").integers(0, 1 << 30, size=8)
+        b = derive_rng(42, "beta").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_derives_from_generator_parent(self):
+        parent = np.random.default_rng(3)
+        child = derive_rng(parent, "child")
+        assert isinstance(child, np.random.Generator)
+        assert child is not parent
+
+    def test_none_parent_allowed(self):
+        assert isinstance(derive_rng(None, "x"), np.random.Generator)
+
+
+class TestForkSeeds:
+    def test_count_and_determinism(self):
+        a = fork_seeds(9, 5, "sweep")
+        b = fork_seeds(9, 5, "sweep")
+        assert len(a) == 5
+        assert a == b
+
+    def test_labels_separate_streams(self):
+        assert fork_seeds(9, 3, "x") != fork_seeds(9, 3, "y")
+
+    def test_zero_count(self):
+        assert fork_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            fork_seeds(1, -1)
+
+
+def test_sample_seed_in_range():
+    seed = sample_seed(11)
+    assert 0 <= seed < 2**63

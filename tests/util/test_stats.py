@@ -1,0 +1,76 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import geometric_mean, normalized, relative_error, summarize
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.5]) == pytest.approx(7.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            geometric_mean([])
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            geometric_mean([1.0, 0.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e6),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_bounded_by_min_and_max(self, values):
+        gmean = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= gmean <= max(values) * (1 + 1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=8),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_equivariance(self, values, scale):
+        scaled = geometric_mean([v * scale for v in values])
+        assert scaled == pytest.approx(geometric_mean(values) * scale, rel=1e-9)
+
+
+class TestNormalized:
+    def test_ratio(self):
+        assert normalized(3.0, 4.0) == pytest.approx(0.75)
+
+    def test_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            normalized(1.0, 0.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["std"] == pytest.approx(math.sqrt(2 / 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRelativeError:
+    def test_value(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_expected(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_error(1.0, 0.0)

@@ -1,0 +1,41 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "bb" in lines[3]
+
+    def test_title_prepended(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["value"], [[7]])
+        row = text.splitlines()[-1]
+        assert row.endswith("7")
+        assert row.startswith(" ")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            render_table(["a"], [["x", "y"]])
+
+    def test_column_width_fits_longest_cell(self):
+        text = render_table(["h"], [["short"], ["a-much-longer-cell"]])
+        header, rule, *rows = text.splitlines()
+        assert len(rule) >= len("a-much-longer-cell")
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,74 @@
+"""Tests for bit/byte arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    bits_required,
+    bits_to_bytes,
+    bits_to_mib,
+    bytes_to_human,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestPowersOfTwo:
+    def test_constants(self):
+        assert KIB == 2**10
+        assert MIB == 2**20
+        assert GIB == 2**30
+
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2**40])
+    def test_is_power_of_two_true(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_is_power_of_two_false(self, value):
+        assert not is_power_of_two(value)
+
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (2048, 11), (2**24, 24)])
+    def test_log2_int(self, value, expected):
+        assert log2_int(value) == expected
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError, match="power of two"):
+            log2_int(3)
+
+
+class TestBitsRequired:
+    @pytest.mark.parametrize(
+        "count,expected", [(1, 0), (2, 1), (3, 2), (2048, 11), (2**22, 22)]
+    )
+    def test_known_values(self, count, expected):
+        assert bits_required(count) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bits_required(0)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_width_actually_addresses_count(self, count):
+        bits = bits_required(count)
+        assert 2**bits >= count
+        if bits > 0:
+            assert 2 ** (bits - 1) < count
+
+
+class TestConversions:
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(16) == 2.0
+
+    def test_bits_to_mib(self):
+        assert bits_to_mib(8 * MIB) == 1.0
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(512, "512B"), (2048, "2.00KB"), (int(1.1 * MIB), "1.10MB"), (3 * GIB, "3.00GB")],
+    )
+    def test_bytes_to_human(self, value, expected):
+        assert bytes_to_human(value) == expected

@@ -1,0 +1,67 @@
+"""Tests for argument validators."""
+
+import pytest
+
+from repro.util.validation import (
+    require_fraction,
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(0.1, "x")
+        require_positive(5, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(value, "x")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_ints(self):
+        require_positive_int(3, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="must be an int"):
+            require_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_positive_int(3.0, "n")  # type: ignore[arg-type]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive_int(0, "n")
+
+
+class TestRequireFraction:
+    def test_inclusive_bounds(self):
+        require_fraction(0.0, "f")
+        require_fraction(1.0, "f")
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            require_fraction(0.0, "f", inclusive=False)
+        with pytest.raises(ValueError):
+            require_fraction(1.0, "f", inclusive=False)
+        require_fraction(0.5, "f", inclusive=False)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_out_of_range(self, value):
+        with pytest.raises(ValueError, match=r"f must be in \[0, 1\]"):
+            require_fraction(value, "f")
+
+
+class TestRequireInRange:
+    def test_accepts_inside(self):
+        require_in_range(5, "r", 0, 10)
+        require_in_range(0, "r", 0, 10)
+        require_in_range(10, "r", 0, 10)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="r must be in"):
+            require_in_range(11, "r", 0, 10)

@@ -1,0 +1,137 @@
+"""Tests for the endurance-aware schemes: BWL, WAWL, Toss-up."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel.bwl import BWL
+from repro.wearlevel.tossup import TossUpWL
+from repro.wearlevel.wawl import WAWL
+
+
+class TestBWL:
+    def make(self, endurance=None, trigger=0.5):
+        scheme = BWL(lines_per_region=1, trigger_fraction=trigger)
+        if endurance is None:
+            endurance = np.array([4.0, 8.0, 16.0, 32.0])
+        scheme.attach(endurance, rng=1)
+        return scheme
+
+    def test_bias_exponent_half(self):
+        scheme = self.make()
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        expected = np.sqrt(scheme.slot_endurance)
+        np.testing.assert_allclose(
+            dist.weights / dist.weights.sum(), expected / expected.sum()
+        )
+
+    def test_no_overhead_under_uniform(self):
+        dist = self.make().wear_weights(AccessProfile(kind="uniform"))
+        assert dist.useful_fraction == 1.0
+
+    def test_hot_region_migrates_to_most_remaining_life(self):
+        scheme = self.make(trigger=0.25)
+        # Hammer logical region 0 (endurance 4; threshold = 1 write).
+        ops = scheme.record_write(0)
+        assert ops, "threshold crossing must trigger a migration"
+        # Hot data should now live on the strongest region (endurance 32).
+        assert scheme.translate(0) == 3
+
+    def test_no_migration_below_threshold(self):
+        scheme = self.make(trigger=10.0)
+        assert scheme.record_write(0) == []
+
+    def test_invalid_trigger(self):
+        with pytest.raises(ValueError):
+            BWL(trigger_fraction=0.0)
+
+
+class TestWAWL:
+    def make(self, interval=8):
+        scheme = WAWL(lines_per_region=1, interval_scale=interval)
+        scheme.attach(np.array([2.0, 4.0, 8.0, 16.0]), rng=3)
+        return scheme
+
+    def test_bias_exponent_two(self):
+        scheme = self.make()
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        expected = scheme.slot_endurance**2
+        np.testing.assert_allclose(
+            dist.weights / dist.weights.sum(), expected / expected.sum()
+        )
+
+    def test_dwell_budget_proportional_to_endurance(self):
+        scheme = self.make(interval=8)
+        budgets = scheme._budget
+        assert budgets is not None
+        np.testing.assert_allclose(
+            budgets / budgets[0], scheme.slot_endurance / scheme.slot_endurance[0]
+        )
+
+    def test_host_selection_prefers_strong_regions(self):
+        scheme = self.make()
+        assert scheme._rng is not None
+        choices = [scheme._choose_host() for _ in range(2000)]
+        counts = np.bincount(choices, minlength=4)
+        # Region 3 has 16/30 of the probability mass; region 0 has 2/30.
+        assert counts[3] > 5 * counts[0]
+
+    def test_remap_after_budget_consumed(self):
+        scheme = self.make(interval=1)
+        moved = False
+        for _ in range(50):
+            scheme.record_write(0)
+            if scheme.translate(0) != 0:
+                moved = True
+                break
+        assert moved
+
+    def test_no_overhead_under_uniform(self):
+        dist = self.make().wear_weights(AccessProfile(kind="uniform"))
+        assert dist.useful_fraction == 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            WAWL(interval_scale=0)
+
+
+class TestTossUp:
+    def make(self):
+        scheme = TossUpWL(lines_per_region=1)
+        scheme.attach(np.array([1.0, 2.0, 3.0, 9.0]), rng=4)
+        return scheme
+
+    def test_bonds_weakest_with_strongest(self):
+        scheme = self.make()
+        assert scheme.bonded_partner(0) == 3  # endurance 1 <-> 9
+        assert scheme.bonded_partner(1) == 2  # endurance 2 <-> 3
+        assert scheme.bonded_partner(3) == 0
+
+    def test_uniform_wear_proportional_within_bond(self):
+        scheme = self.make()
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        weights = dist.weights
+        # Bond (0, 3): slot 3 takes 9x the wear of slot 0.
+        assert weights[3] / weights[0] == pytest.approx(9.0)
+        # Bond totals are equal (each bond receives two lines' traffic).
+        assert weights[0] + weights[3] == pytest.approx(weights[1] + weights[2])
+
+    def test_wear_fraction_balanced_within_bond(self):
+        """Both members of a bond exhaust simultaneously: w_i/e_i equal."""
+        scheme = self.make()
+        weights = scheme.wear_weights(AccessProfile(kind="uniform")).weights
+        endurance = scheme.slot_endurance
+        assert weights[0] / endurance[0] == pytest.approx(weights[3] / endurance[3])
+
+    def test_translate_tosses_within_bond(self):
+        scheme = self.make()
+        landings = {scheme.translate(0) for _ in range(200)}
+        assert landings == {0, 3}
+
+    def test_no_remap_cost(self):
+        assert self.make().record_write(0) == []
+
+    def test_odd_region_count_leaves_middle_unbonded(self):
+        scheme = TossUpWL(lines_per_region=1)
+        scheme.attach(np.array([1.0, 5.0, 9.0]), rng=1)
+        assert scheme.bonded_partner(1) == 1

@@ -1,0 +1,88 @@
+"""Tests for the wear-leveling base contract and stationary blending rule."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel.base import WearDistribution
+from repro.wearlevel.pcms import PCMS
+from repro.wearlevel.wawl import WAWL
+
+
+class TestWearDistribution:
+    def test_valid(self):
+        dist = WearDistribution(np.array([0.5, 0.5]), useful_fraction=0.9)
+        assert dist.useful_fraction == 0.9
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WearDistribution(np.array([1.0, -0.1]))
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            WearDistribution(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WearDistribution(np.array([]))
+
+    def test_rejects_zero_useful_fraction(self):
+        with pytest.raises(ValueError):
+            WearDistribution(np.ones(2), useful_fraction=0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            WearDistribution(np.ones(2), useful_fraction=1.2)
+
+
+class TestStationaryBlending:
+    """The permutation-invariance rule at the heart of the fluid model."""
+
+    def setup_method(self):
+        self.endurance = np.array([1.0, 2.0, 4.0, 8.0] * 4)
+
+    def test_uniform_traffic_stays_uniform_even_for_aware_schemes(self):
+        """Wear-leveling is a permutation: uniform in, uniform out (Sec 5.2.1)."""
+        scheme = WAWL(lines_per_region=1)
+        scheme.attach(self.endurance, rng=1)
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])
+
+    def test_concentrated_traffic_takes_full_bias(self):
+        scheme = WAWL(lines_per_region=1)
+        scheme.attach(self.endurance, rng=1)
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        expected = self.endurance**2
+        np.testing.assert_allclose(
+            dist.weights / dist.weights.sum(), expected / expected.sum()
+        )
+
+    def test_oblivious_scheme_spreads_concentrated_uniformly(self):
+        scheme = PCMS(lines_per_region=1)
+        scheme.attach(self.endurance, rng=1)
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])
+
+    def test_skewed_floor_plus_excess(self):
+        """A skewed profile splits into a uniform floor plus biased excess."""
+        scheme = WAWL(lines_per_region=1)
+        scheme.attach(self.endurance, rng=1)
+        weights = np.full(16, 1.0)
+        weights[0] = 17.0  # floor = 16/32 of mass, excess = 16/32
+        profile = AccessProfile(kind="skewed", weights=weights)
+        dist = scheme.wear_weights(profile)
+        bias = self.endurance**2 / (self.endurance**2).sum()
+        expected = 0.5 * np.full(16, 1.0 / 16) + 0.5 * bias
+        np.testing.assert_allclose(dist.weights / dist.weights.sum(), expected)
+
+    def test_use_before_attach_rejected(self):
+        scheme = PCMS()
+        with pytest.raises(RuntimeError, match="attach"):
+            scheme.wear_weights(AccessProfile(kind="uniform"))
+
+    def test_attach_rejects_bad_endurance(self):
+        scheme = PCMS()
+        with pytest.raises(ValueError):
+            scheme.attach(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            scheme.attach(np.array([]))

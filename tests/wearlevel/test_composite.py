@@ -1,0 +1,104 @@
+"""Tests for the composite (two-level) wear-leveler."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel.composite import CompositeWearLeveler
+from repro.wearlevel.pcms import PCMS
+from repro.wearlevel.startgap import StartGap
+from repro.wearlevel.wawl import WAWL
+
+
+def make_composite(slots=16, lines_per_region=4, outer=None, inner=None):
+    outer = outer if outer is not None else PCMS(
+        lines_per_region=lines_per_region, swap_interval=8
+    )
+    inner_factory = inner if inner is not None else (
+        lambda: StartGap(gap_interval=4)
+    )
+    scheme = CompositeWearLeveler(outer, inner_factory, lines_per_region)
+    scheme.attach(np.arange(1.0, slots + 1.0), rng=1)
+    return scheme
+
+
+class TestConstruction:
+    def test_one_inner_per_region(self):
+        scheme = make_composite()
+        assert len(scheme.inner) == 4
+
+    def test_granularity_mismatch_rejected(self):
+        outer = PCMS(lines_per_region=2)
+        with pytest.raises(ValueError, match="regions"):
+            CompositeWearLeveler(outer, StartGap, lines_per_region=4)
+
+    def test_logical_lines_account_for_inner_sacrifice(self):
+        scheme = make_composite()
+        # Start-Gap gives up one slot per region: 4 regions x 3 lines.
+        assert scheme.logical_lines == 12
+
+
+class TestTranslation:
+    def test_bijective_over_logical_space(self):
+        scheme = make_composite()
+        physical = [scheme.translate(i) for i in range(scheme.logical_lines)]
+        assert len(set(physical)) == scheme.logical_lines
+        assert all(0 <= p < 16 for p in physical)
+
+    def test_bijective_after_traffic(self):
+        scheme = make_composite()
+        for index in range(500):
+            scheme.record_write(index % scheme.logical_lines)
+        physical = [scheme.translate(i) for i in range(scheme.logical_lines)]
+        assert len(set(physical)) == scheme.logical_lines
+
+    def test_out_of_range_rejected(self):
+        scheme = make_composite()
+        with pytest.raises(IndexError):
+            scheme.translate(scheme.logical_lines)
+
+    def test_both_levels_produce_side_effects(self):
+        scheme = make_composite()
+        ops = []
+        for index in range(200):
+            ops.extend(scheme.record_write(index % scheme.logical_lines))
+        assert ops  # gap moves and/or region swaps occurred
+        assert all(0 <= slot < 16 for slot, _ in ops)
+
+
+class TestFluidComposition:
+    def test_uniform_stays_uniform(self):
+        scheme = make_composite()
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])
+
+    def test_useful_fractions_multiply(self):
+        scheme = make_composite()
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        outer_useful = scheme.outer.wear_weights(
+            AccessProfile(kind="uniform")
+        ).useful_fraction
+        inner_useful = scheme.inner[0].wear_weights(
+            AccessProfile(kind="uniform")
+        ).useful_fraction
+        assert dist.useful_fraction == pytest.approx(outer_useful * inner_useful)
+
+    def test_outer_bias_preserved_within_region_shaping(self):
+        """WAWL outer over Start-Gap inner: region shares follow e^2, and
+        lines within a region share their region's mass evenly."""
+        outer = WAWL(lines_per_region=2, interval_scale=64)
+        scheme = CompositeWearLeveler(
+            outer, lambda: StartGap(gap_interval=8), lines_per_region=2
+        )
+        endurance = np.array([1.0, 1.0, 2.0, 2.0, 4.0, 4.0, 8.0, 8.0])
+        scheme.attach(endurance, rng=2)
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        shares = dist.weights.reshape(4, 2).sum(axis=1)
+        expected = np.array([1.0, 4.0, 16.0, 64.0])
+        np.testing.assert_allclose(shares / shares.sum(), expected / expected.sum())
+        # Within each region, Start-Gap levels the two lines evenly.
+        np.testing.assert_allclose(dist.weights[0], dist.weights[1])
+
+    def test_describe_names_both_levels(self):
+        assert "pcm-s" in make_composite().describe()
+        assert "start-gap" in make_composite().describe()

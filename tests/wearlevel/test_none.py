@@ -1,0 +1,58 @@
+"""Tests for the identity wear-leveler."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel.none import NoWearLeveling
+
+
+@pytest.fixture
+def scheme():
+    instance = NoWearLeveling()
+    instance.attach(np.ones(8), rng=1)
+    return instance
+
+
+class TestTranslation:
+    def test_identity(self, scheme):
+        assert [scheme.translate(i) for i in range(8)] == list(range(8))
+
+    def test_out_of_range(self, scheme):
+        with pytest.raises(IndexError):
+            scheme.translate(8)
+
+    def test_no_remap_side_effects(self, scheme):
+        assert scheme.record_write(0) == []
+
+
+class TestWeights:
+    def test_uniform(self, scheme):
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        np.testing.assert_allclose(dist.weights, 1.0 / 8)
+        assert dist.useful_fraction == 1.0
+
+    def test_skewed_passthrough(self, scheme):
+        weights = np.arange(1.0, 9.0)
+        dist = scheme.wear_weights(AccessProfile(kind="skewed", weights=weights))
+        np.testing.assert_allclose(dist.weights, weights / weights.sum())
+
+    def test_concentrated_lands_on_one_slot(self, scheme):
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        assert np.count_nonzero(dist.weights > 0.5) == 1
+
+    def test_concentrated_victim_deterministic_per_seed(self):
+        a = NoWearLeveling()
+        a.attach(np.ones(64), rng=9)
+        b = NoWearLeveling()
+        b.attach(np.ones(64), rng=9)
+        dist_a = a.wear_weights(AccessProfile(kind="concentrated"))
+        dist_b = b.wear_weights(AccessProfile(kind="concentrated"))
+        np.testing.assert_array_equal(dist_a.weights, dist_b.weights)
+
+    def test_background_fraction_spread(self, scheme):
+        dist = scheme.wear_weights(
+            AccessProfile(kind="concentrated", hot_fraction=0.5)
+        )
+        assert dist.weights.min() == pytest.approx(0.5 / 8)
+        assert dist.weights.max() == pytest.approx(0.5 + 0.5 / 8)

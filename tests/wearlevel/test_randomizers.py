@@ -1,0 +1,84 @@
+"""Tests for the endurance-oblivious randomizers: TLSR and PCM-S."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel.pcms import PCMS
+from repro.wearlevel.security_refresh import TLSR
+
+
+class TestTLSR:
+    def make(self, slots=16, lines_per_region=4, interval=2):
+        scheme = TLSR(lines_per_region=lines_per_region, refresh_interval=interval)
+        scheme.attach(np.ones(slots), rng=1)
+        return scheme
+
+    def test_translation_bijective_over_time(self):
+        scheme = self.make()
+        for index in range(500):
+            scheme.record_write(index % 16)
+            physical = [scheme.translate(i) for i in range(16)]
+            assert sorted(physical) == list(range(16))
+
+    def test_refresh_steps_cost_two_writes(self):
+        scheme = self.make(interval=1)
+        total_ops = []
+        for index in range(64):
+            total_ops.extend(scheme.record_write(index % 16))
+        assert total_ops, "refresh must have produced remap traffic"
+        assert all(extra == 1 for _, extra in total_ops)
+        assert len(total_ops) % 2 == 0  # swaps touch pairs
+
+    def test_no_refresh_before_interval(self):
+        scheme = self.make(interval=100)
+        assert scheme.record_write(0) == []
+
+    def test_mapping_actually_randomizes(self):
+        scheme = self.make(interval=1)
+        for index in range(400):
+            scheme.record_write(index % 16)
+        assert [scheme.translate(i) for i in range(16)] != list(range(16))
+
+    def test_weights_uniform_with_overhead(self):
+        scheme = self.make(interval=64)
+        for kind in ("uniform", "concentrated"):
+            dist = scheme.wear_weights(AccessProfile(kind=kind))
+            np.testing.assert_allclose(dist.weights, dist.weights[0])
+            assert dist.useful_fraction == pytest.approx(1.0 / (1.0 + 2.0 / 64))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TLSR(refresh_interval=0)
+
+
+class TestPCMS:
+    def make(self, slots=12, lines_per_region=3, interval=5):
+        scheme = PCMS(lines_per_region=lines_per_region, swap_interval=interval)
+        scheme.attach(np.ones(slots), rng=2)
+        return scheme
+
+    def test_swap_fires_at_interval(self):
+        scheme = self.make(interval=5)
+        ops = []
+        for index in range(5):
+            ops.extend(scheme.record_write(index))
+        # Either a real swap (6 ops) or the self-swap corner (0 ops).
+        assert len(ops) in (0, 6)
+
+    def test_translation_bijective_over_time(self):
+        scheme = self.make(interval=2)
+        for index in range(200):
+            scheme.record_write(index % 12)
+        assert sorted(scheme.translate(i) for i in range(12)) == list(range(12))
+
+    def test_weights_uniform_with_region_swap_overhead(self):
+        scheme = self.make(lines_per_region=3, interval=30)
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])
+        assert dist.useful_fraction == pytest.approx(1.0 / (1.0 + 2.0 * 3 / 30))
+
+    def test_single_region_never_swaps(self):
+        scheme = PCMS(lines_per_region=4, swap_interval=1)
+        scheme.attach(np.ones(4), rng=1)
+        assert scheme.record_write(0) == []

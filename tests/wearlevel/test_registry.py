@@ -1,0 +1,33 @@
+"""Tests for the wear-leveling factory."""
+
+import pytest
+
+from repro.wearlevel import PAPER_SCHEMES, make_scheme
+from repro.wearlevel.bwl import BWL
+from repro.wearlevel.none import NoWearLeveling
+from repro.wearlevel.startgap import StartGap
+
+
+class TestMakeScheme:
+    @pytest.mark.parametrize(
+        "name", ["none", "start-gap", "tlsr", "pcm-s", "bwl", "wawl", "toss-up"]
+    )
+    def test_all_names_construct(self, name):
+        scheme = make_scheme(name)
+        assert scheme.name == name
+
+    def test_paper_set(self):
+        assert PAPER_SCHEMES == ("tlsr", "pcm-s", "bwl", "wawl")
+
+    def test_kwargs_forwarded(self):
+        scheme = make_scheme("bwl", lines_per_region=4)
+        assert isinstance(scheme, BWL)
+        assert scheme.lines_per_region == 4
+
+    def test_line_granularity_schemes_tolerate_region_kwarg(self):
+        assert isinstance(make_scheme("none", lines_per_region=4), NoWearLeveling)
+        assert isinstance(make_scheme("start-gap", lines_per_region=4), StartGap)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown wear-leveling scheme"):
+            make_scheme("magic")

@@ -1,0 +1,93 @@
+"""Tests for Start-Gap wear-leveling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel.startgap import StartGap
+
+
+def make_scheme(slots=9, gap_interval=4):
+    scheme = StartGap(gap_interval=gap_interval)
+    scheme.attach(np.ones(slots), rng=1)
+    return scheme
+
+
+class TestTranslation:
+    def test_initial_mapping_is_identity(self):
+        scheme = make_scheme()
+        assert [scheme.translate(i) for i in range(scheme.logical_lines)] == list(
+            range(8)
+        )
+
+    def test_bijective_initially(self):
+        scheme = make_scheme()
+        physical = [scheme.translate(i) for i in range(scheme.logical_lines)]
+        assert len(set(physical)) == scheme.logical_lines
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_bijective_after_any_number_of_writes(self, writes):
+        scheme = make_scheme(slots=9, gap_interval=3)
+        for index in range(writes):
+            scheme.record_write(index % scheme.logical_lines)
+        physical = [scheme.translate(i) for i in range(scheme.logical_lines)]
+        assert len(set(physical)) == scheme.logical_lines
+        assert all(0 <= p < scheme.slots for p in physical)
+
+    def test_out_of_range_rejected(self):
+        scheme = make_scheme()
+        with pytest.raises(IndexError):
+            scheme.translate(scheme.logical_lines)
+
+    def test_too_few_slots_rejected(self):
+        scheme = StartGap()
+        with pytest.raises(ValueError, match="at least 2"):
+            scheme.attach(np.ones(1))
+
+
+class TestGapMovement:
+    def test_gap_moves_every_interval(self):
+        scheme = make_scheme(gap_interval=4)
+        ops = []
+        for index in range(8):
+            ops.extend(scheme.record_write(0))
+        # 8 writes / interval 4 = 2 gap movements, each costing 1 write.
+        assert len(ops) == 2
+        assert all(extra == 1 for _, extra in ops)
+
+    def test_mapping_rotates_after_full_cycle(self):
+        scheme = make_scheme(slots=4, gap_interval=1)
+        initial = [scheme.translate(i) for i in range(3)]
+        # One full gap cycle: the gap visits all 4 slots.
+        for _ in range(4):
+            scheme.record_write(0)
+        rotated = [scheme.translate(i) for i in range(3)]
+        assert rotated != initial
+
+    def test_every_physical_slot_hosts_every_logical_line_eventually(self):
+        scheme = make_scheme(slots=5, gap_interval=1)
+        hosts = set()
+        for _ in range(5 * 5 * 2):
+            hosts.add(scheme.translate(0))
+            scheme.record_write(0)
+        assert hosts == set(range(5))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            StartGap(gap_interval=0)
+
+
+class TestWeights:
+    def test_uniform_with_overhead(self):
+        scheme = make_scheme(gap_interval=100)
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])
+        assert dist.useful_fraction == pytest.approx(100 / 101)
+
+    def test_concentrated_also_uniform(self):
+        scheme = make_scheme()
+        dist = scheme.wear_weights(AccessProfile(kind="concentrated"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])

@@ -1,0 +1,95 @@
+"""Contract tests: every wear-leveler honours the WearLeveler interface.
+
+Parametrized over the whole scheme zoo: translation stays a function into
+the slot range, remap side effects reference real slots with positive
+costs, and the fluid view is a valid distribution for every profile kind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AccessProfile
+from repro.wearlevel import make_scheme
+from repro.wearlevel.composite import CompositeWearLeveler
+from repro.wearlevel.pcms import PCMS
+from repro.wearlevel.startgap import StartGap
+
+SLOTS = 24
+LINES_PER_REGION = 4
+
+
+def build_schemes():
+    names = ("none", "start-gap", "tlsr", "pcm-s", "bwl", "wawl", "toss-up")
+    schemes = {
+        name: make_scheme(name, lines_per_region=LINES_PER_REGION) for name in names
+    }
+    schemes["composite"] = CompositeWearLeveler(
+        PCMS(lines_per_region=LINES_PER_REGION, swap_interval=8),
+        lambda: StartGap(gap_interval=4),
+        LINES_PER_REGION,
+    )
+    return schemes
+
+
+@pytest.fixture(params=sorted(build_schemes()), ids=sorted(build_schemes()))
+def scheme(request):
+    instance = build_schemes()[request.param]
+    endurance = np.linspace(5.0, 120.0, SLOTS)
+    instance.attach(endurance, rng=2)
+    return instance
+
+
+def logical_space(scheme) -> int:
+    return getattr(scheme, "logical_lines", scheme.slots)
+
+
+class TestWearLevelerContract:
+    def test_translation_in_range(self, scheme):
+        for logical in range(logical_space(scheme)):
+            physical = scheme.translate(logical)
+            assert 0 <= physical < SLOTS
+
+    def test_out_of_range_translation_rejected(self, scheme):
+        with pytest.raises(IndexError):
+            scheme.translate(logical_space(scheme))
+
+    def test_record_write_side_effects_are_valid(self, scheme):
+        space = logical_space(scheme)
+        for index in range(400):
+            for slot, extra in scheme.record_write(index % space):
+                assert 0 <= slot < SLOTS
+                assert extra >= 1
+
+    def test_translation_remains_injective_under_traffic(self, scheme):
+        space = logical_space(scheme)
+        rng = np.random.default_rng(3)
+        for index in range(300):
+            scheme.record_write(int(rng.integers(0, space)))
+        if scheme.name == "toss-up":
+            return  # toss-up translation is intentionally randomized
+        physical = [scheme.translate(i) for i in range(space)]
+        assert len(set(physical)) == space
+
+    @pytest.mark.parametrize("kind", ["uniform", "concentrated"])
+    def test_wear_weights_valid_distribution(self, scheme, kind):
+        dist = scheme.wear_weights(AccessProfile(kind=kind))
+        assert dist.weights.shape == (SLOTS,)
+        assert np.all(dist.weights >= 0)
+        assert dist.weights.sum() > 0
+        assert 0.0 < dist.useful_fraction <= 1.0
+
+    def test_wear_weights_skewed_profile(self, scheme):
+        weights = np.linspace(1.0, 3.0, SLOTS)
+        dist = scheme.wear_weights(AccessProfile(kind="skewed", weights=weights))
+        assert np.all(np.isfinite(dist.weights))
+
+    def test_describe_is_nonempty(self, scheme):
+        assert scheme.describe()
+
+    def test_uniform_profile_gives_uniform_wear(self, scheme):
+        if scheme.name == "toss-up":
+            # Toss-up redistributes even uniform traffic within bonds by
+            # design (consistent wear fraction, not uniform wear).
+            return
+        dist = scheme.wear_weights(AccessProfile(kind="uniform"))
+        np.testing.assert_allclose(dist.weights, dist.weights[0])

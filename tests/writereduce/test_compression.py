@@ -1,0 +1,58 @@
+"""Tests for the frequent-pattern compressor."""
+
+import numpy as np
+import pytest
+
+from repro.writereduce.compression import PREFIX_BITS, WORD_BITS, FrequentPatternCompressor
+
+
+@pytest.fixture
+def compressor():
+    return FrequentPatternCompressor()
+
+
+class TestPatterns:
+    @pytest.mark.parametrize(
+        "value,pattern,bits",
+        [
+            (0, "zero", PREFIX_BITS),
+            (2**64 - 1, "ones", PREFIX_BITS),
+            (200, "small-8", PREFIX_BITS + 8),
+            (40_000, "small-16", PREFIX_BITS + 16),
+            (2**31, "small-32", PREFIX_BITS + 32),
+            (0x4242424242424242, "repeated-byte", PREFIX_BITS + 8),
+            (0xABCDABCDABCDABCD, "repeated-halfword", PREFIX_BITS + 16),
+        ],
+    )
+    def test_matching(self, compressor, value, pattern, bits):
+        encoding = compressor.encode(value)
+        assert encoding.pattern == pattern
+        assert encoding.stored_bits == bits
+        assert encoding.compressed
+
+    def test_unmatched_costs_prefix_overhead(self, compressor):
+        encoding = compressor.encode(0x0123456789ABCDEF)
+        assert not encoding.compressed
+        assert encoding.stored_bits == PREFIX_BITS + WORD_BITS
+
+    def test_out_of_range_rejected(self, compressor):
+        with pytest.raises(ValueError):
+            compressor.encode(2**64)
+        with pytest.raises(ValueError):
+            compressor.encode(-1)
+
+
+class TestRatios:
+    def test_benign_data_compresses(self, compressor):
+        benign = [0, 1, 255, 0xFFFFFFFFFFFFFFFF, 0x1111111111111111] * 100
+        assert compressor.compression_ratio(benign) < 0.5
+
+    def test_random_data_expands(self, compressor):
+        """Section 3.3.2: incompressible payloads defeat the technique."""
+        rng = np.random.default_rng(2)
+        words = [int(v) for v in rng.integers(2**48, 2**64, size=500, dtype=np.uint64)]
+        assert compressor.compression_ratio(words) > 1.0
+
+    def test_empty_rejected(self, compressor):
+        with pytest.raises(ValueError):
+            compressor.compression_ratio([])

@@ -1,0 +1,67 @@
+"""Tests for the DRAM-side LRU write buffer."""
+
+import pytest
+
+from repro.writereduce.dram_buffer import DRAMBuffer
+
+
+class TestLRUSemantics:
+    def test_hits_absorbed(self):
+        buffer = DRAMBuffer(4)
+        buffer.write(1)
+        assert buffer.write(1) is False
+        assert buffer.hits == 1
+        assert buffer.nvm_writes == 0
+
+    def test_eviction_emits_dirty_line(self):
+        buffer = DRAMBuffer(2)
+        buffer.write(1)
+        buffer.write(2)
+        emitted = buffer.write(3)  # evicts line 1 (LRU), dirty
+        assert emitted is True
+        assert buffer.nvm_writes == 1
+
+    def test_lru_order_updated_on_hit(self):
+        buffer = DRAMBuffer(2)
+        buffer.write(1)
+        buffer.write(2)
+        buffer.write(1)  # 1 becomes MRU
+        buffer.write(3)  # evicts 2, not 1
+        assert buffer.write(1) is False  # still resident
+
+    def test_flush_writes_back_everything(self):
+        buffer = DRAMBuffer(4)
+        for address in range(3):
+            buffer.write(address)
+        assert buffer.flush() == 3
+        assert buffer.nvm_writes == 3
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMBuffer(2).write(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMBuffer(0)
+
+    def test_rate_requires_traffic(self):
+        with pytest.raises(ZeroDivisionError):
+            DRAMBuffer(2).nvm_write_rate()
+
+
+class TestWorkloadContrast:
+    """Section 3.3.2: the buffer helps hot traffic, not uniform traffic."""
+
+    def test_hot_traffic_mostly_absorbed(self):
+        buffer = DRAMBuffer(8)
+        for _ in range(100):
+            for address in range(4):  # working set fits
+                buffer.write(address)
+        assert buffer.nvm_write_rate() < 0.05
+
+    def test_uniform_sweep_passes_through(self):
+        buffer = DRAMBuffer(8)
+        for _ in range(10):
+            for address in range(1024):  # reuse distance >> capacity
+                buffer.write(address)
+        assert buffer.nvm_write_rate() > 0.95

@@ -1,0 +1,89 @@
+"""Tests for the Flip-N-Write codec and its worst case."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.patterns import PATTERN_5555, PATTERN_ZERO
+from repro.writereduce.flipnwrite import FlipNWrite, hamming_distance
+
+
+class TestHamming:
+    def test_known(self):
+        assert hamming_distance(0b1010, 0b0110, bits=4) == 2
+
+    def test_full_width(self):
+        assert hamming_distance(0, 2**64 - 1) == 64
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_self_distance_zero(self, value):
+        assert hamming_distance(value, value) == 0
+
+
+class TestCodec:
+    def test_logical_value_roundtrip(self):
+        word = FlipNWrite()
+        word.write(0xDEADBEEF)
+        assert word.logical_value == 0xDEADBEEF
+        word.write(0x12345678)
+        assert word.logical_value == 0x12345678
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any_sequence(self, values):
+        word = FlipNWrite()
+        for value in values:
+            word.write(value)
+            assert word.logical_value == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_worst_case_bound_holds(self, values):
+        """Per write, at most half the word plus the tag bit flips."""
+        word = FlipNWrite()
+        for value in values:
+            flips = word.write(value)
+            assert flips <= word.worst_case_flips()
+
+    def test_saves_on_near_complement(self):
+        """Writing the complement flips only the tag bit."""
+        word = FlipNWrite(word_bits=8)
+        word.write(0b10101010)
+        flips = word.write(0b01010101)
+        assert flips == 1  # store same cells, toggle the tag
+
+    def test_counters(self):
+        word = FlipNWrite()
+        word.write(1)
+        word.write(2)
+        assert word.total_writes == 2
+        assert word.total_cell_flips > 0
+        assert word.flips_per_write() == word.total_cell_flips / 2
+
+    def test_flips_per_write_requires_writes(self):
+        with pytest.raises(ZeroDivisionError):
+            FlipNWrite().flips_per_write()
+
+
+class TestAdversary:
+    def test_alternating_patterns_pin_worst_case(self):
+        """Section 3.3.2: 0x0000/0x5555 defeats the codec -- every write
+        flips exactly half the data bits."""
+        word = FlipNWrite()
+        word.write(PATTERN_ZERO)
+        flips = [word.write(PATTERN_5555 if i % 2 == 0 else PATTERN_ZERO) for i in range(20)]
+        assert all(f >= 32 for f in flips)
+
+    def test_adversary_beats_benign_average(self):
+        rng = np.random.default_rng(1)
+        benign = FlipNWrite()
+        for _ in range(500):
+            benign.write(int(rng.integers(0, 2**64, dtype=np.uint64)))
+
+        adversarial = FlipNWrite()
+        adversarial.write(PATTERN_ZERO)
+        for i in range(500):
+            adversarial.write(PATTERN_5555 if i % 2 == 0 else PATTERN_ZERO)
+
+        assert adversarial.flips_per_write() > benign.flips_per_write()
