@@ -1,0 +1,132 @@
+"""BENCH_runner -- serial vs parallel throughput of the simulation runner.
+
+Times one fixed sweep (the Figure-7 task grid on a mid-size device) twice
+through :class:`~repro.sim.runner.SimRunner`: serially (``jobs=1``) and
+over every CPU, with the cache disabled so the measurement is honest.
+Asserts parallel results stay bit-identical to serial, then emits
+``BENCH_runner.json`` at the repo root (and a copy under
+``benchmarks/results/``) to seed the performance trajectory:
+
+    PYTHONPATH=src python benchmarks/bench_runner.py
+
+The pytest wrapper runs the same harness so ``pytest benchmarks/`` keeps
+the number fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.runner import SimRunner, SimTask
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Fixed measurement sweep: Figure 7's grid on a mid-size device.
+BENCH_CONFIG = ExperimentConfig(regions=1024, lines_per_region=4, seed=2019)
+BENCH_WEARLEVELERS = ("tlsr", "pcm-s", "bwl", "wawl")
+BENCH_SWR_FRACTIONS = (0.0, 0.2, 0.6, 0.8, 0.9, 1.0)
+
+
+def bench_tasks() -> list[SimTask]:
+    """The fixed 24-task sweep every measurement uses."""
+    return [
+        SimTask(
+            attack="bpa",
+            sparing="max-we",
+            wearlevel=wl_name,
+            p=BENCH_CONFIG.spare_fraction,
+            swr=swr_fraction,
+            config=BENCH_CONFIG,
+            label=f"{wl_name}/swr={swr_fraction:.0%}",
+        )
+        for wl_name in BENCH_WEARLEVELERS
+        for swr_fraction in BENCH_SWR_FRACTIONS
+    ]
+
+
+def run_bench(jobs: int | None = None) -> dict:
+    """Measure the sweep serially and with ``jobs`` workers (default: all
+    CPUs); returns the BENCH_runner payload."""
+    tasks = bench_tasks()
+    serial_results, serial = SimRunner(jobs=1).run_detailed(tasks)
+    parallel_results, parallel = SimRunner(jobs=jobs or 0).run_detailed(tasks)
+
+    mismatched = [
+        task.label
+        for task, a, b in zip(tasks, serial_results, parallel_results)
+        if a.normalized_lifetime != b.normalized_lifetime
+    ]
+    if mismatched:
+        raise AssertionError(f"parallel diverged from serial on {mismatched}")
+
+    return {
+        "bench": "runner",
+        "description": "serial vs parallel sims/sec on the fixed Figure-7 "
+        "task grid (24 BPA simulations, cache disabled)",
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "config": {
+            "regions": BENCH_CONFIG.regions,
+            "lines_per_region": BENCH_CONFIG.lines_per_region,
+            "q": BENCH_CONFIG.q,
+            "endurance_model": BENCH_CONFIG.endurance_model,
+            "seed": BENCH_CONFIG.seed,
+        },
+        "tasks": len(tasks),
+        "serial": {
+            "jobs": 1,
+            "wall_seconds": round(serial.wall_seconds, 4),
+            "sims_per_second": round(serial.sims_per_second, 3),
+        },
+        "parallel": {
+            "jobs": parallel.jobs,
+            "wall_seconds": round(parallel.wall_seconds, 4),
+            "sims_per_second": round(parallel.sims_per_second, 3),
+        },
+        "speedup": round(
+            parallel.sims_per_second / serial.sims_per_second, 3
+        )
+        if serial.sims_per_second
+        else None,
+        "results_identical": True,
+    }
+
+
+def emit(payload: dict) -> Path:
+    """Write the payload to the repo root and benchmarks/results/."""
+    text = json.dumps(payload, indent=2) + "\n"
+    target = REPO_ROOT / "BENCH_runner.json"
+    target.write_text(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_runner.json").write_text(text)
+    return target
+
+
+def test_runner_throughput_bench():
+    """Pytest entry point: parallel must match serial and not be
+    pathologically slower; emits BENCH_runner.json as a side effect."""
+    payload = run_bench()
+    emit(payload)
+    assert payload["results_identical"]
+    assert payload["serial"]["sims_per_second"] > 0
+    # On a multi-core box the pool should never lose badly to serial;
+    # keep the bound loose so CI boxes with 2 cores still pass.
+    if (payload["cpus"] or 1) >= 2:
+        assert payload["speedup"] > 0.5
+
+
+def main() -> int:
+    payload = run_bench()
+    target = emit(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"[saved to {target}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

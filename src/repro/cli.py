@@ -59,6 +59,30 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2019, help="experiment seed")
 
 
+def _jobs_count(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = all CPUs)")
+    return jobs
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help="worker processes for independent simulations (0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache (.repro-cache/)",
+    )
+
+
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         regions=args.regions,
@@ -67,6 +91,19 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         endurance_model=args.endurance_model,
         seed=args.seed,
     )
+
+
+def _cache_from(args: argparse.Namespace):
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.sim.cache import ResultCache
+
+    return ResultCache()
+
+
+def _print_cache_stats(cache) -> None:
+    if cache is not None and cache.stats.lookups:
+        print(f"[cache {cache.stats} under {cache.root}]")
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -136,9 +173,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep_spare(args: argparse.Namespace) -> int:
     config = _config_from(args)
+    cache = _cache_from(args)
     rows = [
         [f"{fraction:.0%}", result.normalized_lifetime]
-        for fraction, result in spare_fraction_sweep(config)
+        for fraction, result in spare_fraction_sweep(
+            config, jobs=args.jobs, cache=cache
+        )
     ]
     print(
         render_table(
@@ -147,12 +187,14 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
             title="Figure 6: Max-WE under UAA vs spare capacity",
         )
     )
+    _print_cache_stats(cache)
     return 0
 
 
 def _cmd_sweep_swr(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    sweeps = swr_fraction_sweep(config)
+    cache = _cache_from(args)
+    sweeps = swr_fraction_sweep(config, jobs=args.jobs, cache=cache)
     fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
     headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
     rows = [
@@ -164,12 +206,14 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
             headers, rows, title="Figure 7: Max-WE under BPA vs SWR share of spares"
         )
     )
+    _print_cache_stats(cache)
     return 0
 
 
 def _cmd_compare_uaa(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    results = uaa_scheme_comparison(config)
+    cache = _cache_from(args)
+    results = uaa_scheme_comparison(config, jobs=args.jobs, cache=cache)
     baseline = results["no-protection"].normalized_lifetime
     rows = [
         [name, result.normalized_lifetime, result.normalized_lifetime / baseline]
@@ -182,12 +226,14 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
             title="Section 5.3.1: lifetimes under UAA (10% spares)",
         )
     )
+    _print_cache_stats(cache)
     return 0
 
 
 def _cmd_compare_bpa(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    comparison = bpa_scheme_comparison(config)
+    cache = _cache_from(args)
+    comparison = bpa_scheme_comparison(config, jobs=args.jobs, cache=cache)
     wearlevelers = list(next(iter(comparison.values())).keys())
     headers = ["scheme"] + wearlevelers + ["gmean"]
     rows = []
@@ -199,6 +245,7 @@ def _cmd_compare_bpa(args: argparse.Namespace) -> int:
             headers, rows, title="Figure 8: sparing schemes under BPA (90% SWRs)"
         )
     )
+    _print_cache_stats(cache)
     return 0
 
 
@@ -222,8 +269,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.sim.batch import run_batch
 
     specs = _json.loads(open(args.specs).read())
-    batch = run_batch(specs, _config_from(args))
+    cache = _cache_from(args)
+    batch = run_batch(specs, _config_from(args), jobs=args.jobs, cache=cache)
     print(batch.to_table())
+    _print_cache_stats(cache)
     if args.output:
         batch.to_json(args.output)
         print(f"\narchive written to {args.output}")
@@ -324,18 +373,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_spare = subparsers.add_parser("sweep-spare", help="Figure 6 sweep")
     _add_config_arguments(sweep_spare)
+    _add_runner_arguments(sweep_spare)
     sweep_spare.set_defaults(handler=_cmd_sweep_spare)
 
     sweep_swr = subparsers.add_parser("sweep-swr", help="Figure 7 sweep")
     _add_config_arguments(sweep_swr)
+    _add_runner_arguments(sweep_swr)
     sweep_swr.set_defaults(handler=_cmd_sweep_swr)
 
     compare_uaa = subparsers.add_parser("compare-uaa", help="Section 5.3.1 table")
     _add_config_arguments(compare_uaa)
+    _add_runner_arguments(compare_uaa)
     compare_uaa.set_defaults(handler=_cmd_compare_uaa)
 
     compare_bpa = subparsers.add_parser("compare-bpa", help="Figure 8 comparison")
     _add_config_arguments(compare_bpa)
+    _add_runner_arguments(compare_bpa)
     compare_bpa.set_defaults(handler=_cmd_compare_bpa)
 
     overhead = subparsers.add_parser("overhead", help="Section 5.3.2 overhead")
@@ -348,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("specs", type=str, help="path to a JSON spec list")
     _add_config_arguments(batch)
+    _add_runner_arguments(batch)
     batch.add_argument(
         "--output", type=str, default=None, help="also archive results as JSON"
     )

@@ -21,10 +21,18 @@ Two simulators are provided:
 and the sweep drivers behind Figures 6-8.
 """
 
+from repro.sim.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
 from repro.sim.config import ExperimentConfig, default_endurance_map
 from repro.sim.lifetime import LifetimeSimulator, simulate_lifetime
 from repro.sim.reference import ReferenceSimulator
 from repro.sim.result import SimulationResult
+from repro.sim.runner import (
+    CallableTask,
+    RunnerStats,
+    SimRunner,
+    SimTask,
+    fork_task_seeds,
+)
 from repro.sim.experiments import (
     bpa_scheme_comparison,
     spare_fraction_sweep,
@@ -33,12 +41,20 @@ from repro.sim.experiments import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
     "ExperimentConfig",
     "default_endurance_map",
     "LifetimeSimulator",
     "simulate_lifetime",
     "ReferenceSimulator",
     "SimulationResult",
+    "CallableTask",
+    "RunnerStats",
+    "SimRunner",
+    "SimTask",
+    "fork_task_seeds",
     "bpa_scheme_comparison",
     "spare_fraction_sweep",
     "swr_fraction_sweep",

@@ -21,30 +21,23 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.attacks.bpa import BirthdayParadoxAttack
-from repro.attacks.repeated import RepeatedAddressAttack
-from repro.attacks.suite import WORKLOAD_NAMES, workload
-from repro.attacks.uaa import UniformAddressAttack
-from repro.core.maxwe import MaxWE
+from repro.attacks.suite import WORKLOAD_NAMES
+from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
-from repro.sim.lifetime import simulate_lifetime
 from repro.sim.result import SimulationResult
-from repro.sparing.none import NoSparing
-from repro.sparing.pcd import PCD
-from repro.sparing.ps import PS
+from repro.sim.runner import (
+    ATTACKS,
+    SPARINGS,
+    WEARLEVELERS,
+    SimRunner,
+    SimTask,
+    build_attack,
+    build_sparing,
+    build_wearleveler,
+)
 from repro.util.tables import render_table
-from repro.wearlevel import make_scheme
-
-#: Attack names accepted by specs (plus any workload-suite name).
-ATTACKS = ("uaa", "bpa", "repeated")
-
-#: Sparing-scheme names accepted by specs.
-SPARINGS = ("none", "pcd", "ps", "ps-worst", "max-we")
-
-#: Wear-leveler names accepted by specs.
-WEARLEVELERS = ("none", "start-gap", "tlsr", "pcm-s", "bwl", "wawl", "toss-up")
 
 
 @dataclass(frozen=True)
@@ -97,29 +90,25 @@ class RunSpec:
         return cls(**payload)
 
     def build_attack(self):
-        if self.attack == "uaa":
-            return UniformAddressAttack()
-        if self.attack == "bpa":
-            return BirthdayParadoxAttack()
-        if self.attack == "repeated":
-            return RepeatedAddressAttack()
-        return workload(self.attack)
+        return build_attack(self.attack)
 
     def build_sparing(self):
-        if self.sparing == "none":
-            return NoSparing()
-        if self.sparing == "pcd":
-            return PCD(self.p)
-        if self.sparing == "ps":
-            return PS.average_case(self.p)
-        if self.sparing == "ps-worst":
-            return PS.worst_case(self.p)
-        return MaxWE(self.p, self.swr)
+        return build_sparing(self.sparing, self.p, self.swr)
 
     def build_wearleveler(self):
-        if self.wearlevel == "none":
-            return None
-        return make_scheme(self.wearlevel, lines_per_region=1)
+        return build_wearleveler(self.wearlevel)
+
+    def to_task(self, config: ExperimentConfig) -> SimTask:
+        """The declarative runner task equivalent to this spec."""
+        return SimTask(
+            attack=self.attack,
+            sparing=self.sparing,
+            wearlevel=self.wearlevel,
+            p=self.p,
+            swr=self.swr,
+            config=config,
+            label=self.label,
+        )
 
 
 @dataclass(frozen=True)
@@ -196,8 +185,27 @@ class BatchResult:
 def run_batch(
     specs: Sequence["RunSpec | Dict"],
     config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> BatchResult:
-    """Execute a list of specs against one device configuration."""
+    """Execute a list of specs against one device configuration.
+
+    Parameters
+    ----------
+    specs:
+        Declarative run specs (or plain dicts).
+    config:
+        Shared device configuration; its seed seeds every run, exactly
+        as the historical serial loop did.
+    jobs:
+        Worker processes for the underlying :class:`SimRunner` (1 =
+        serial, 0/None = all CPUs).  Results are seed-deterministic and
+        identical in any job count.
+    cache:
+        Optional content-addressed result cache; unchanged specs rerun
+        instantly.
+    """
     if not specs:
         raise ValueError("batch needs at least one spec")
     config = config if config is not None else ExperimentConfig()
@@ -205,15 +213,6 @@ def run_batch(
         spec if isinstance(spec, RunSpec) else RunSpec.from_dict(spec)
         for spec in specs
     ]
-    emap = config.make_emap()
-    results = [
-        simulate_lifetime(
-            emap,
-            spec.build_attack(),
-            spec.build_sparing(),
-            wearleveler=spec.build_wearleveler(),
-            rng=config.seed,
-        )
-        for spec in normalized
-    ]
+    runner = SimRunner(jobs=jobs, cache=cache)
+    results = runner.run([spec.to_task(config) for spec in normalized])
     return BatchResult(specs=tuple(normalized), results=tuple(results), config=config)

@@ -1,0 +1,205 @@
+"""Content-addressed disk cache for simulation results.
+
+A lifetime simulation is a pure function of its declarative task spec
+(device configuration + attack/sparing/wear-leveling names + parameters
++ seed), so its result can be cached under a stable content hash and
+reused by any later run of the same spec -- re-running a benchmark or
+sweep with unchanged parameters then performs zero simulations.
+
+Keys are a SHA-256 over the canonical JSON of the task's
+``cache_payload()`` plus :data:`CACHE_SCHEMA_VERSION`; bumping the
+version invalidates every previously stored entry (used whenever the
+engine's numerics change).  Entries live as small JSON files under
+``.repro-cache/<kk>/<key>.json`` (``kk`` = first two hex digits), which
+keeps directories small and makes the cache trivially inspectable and
+garbage-collectable with ordinary shell tools.
+
+Cached results omit the failure timeline (it can hold 100k events); all
+scalar outputs -- ``normalized_lifetime``, ``writes_served``, death and
+replacement counts, metadata -- round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Protocol
+
+from repro.sim.result import SimulationResult
+
+#: Bump to invalidate every previously cached result (schema or engine
+#: numerics change).
+CACHE_SCHEMA_VERSION: int = 1
+
+#: Default cache directory (overridable via the ``REPRO_CACHE_DIR``
+#: environment variable or the ``root`` constructor argument).
+DEFAULT_CACHE_DIR: str = ".repro-cache"
+
+
+class Cacheable(Protocol):
+    """Anything keyable by the cache: exposes a canonical payload."""
+
+    def cache_payload(self) -> Mapping[str, object]:
+        """JSON-serializable mapping that fully determines the result."""
+        ...
+
+
+def canonical_json(payload: Mapping[str, object]) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def task_key(task: Cacheable, schema_version: int = CACHE_SCHEMA_VERSION) -> str:
+    """Stable SHA-256 content key for a task spec."""
+    document = canonical_json(
+        {"schema": schema_version, "task": dict(task.cache_payload())}
+    )
+    return hashlib.sha256(document.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int
+    misses: int
+    stores: int
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%} hit rate)"
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult` payloads.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache`` under the current working directory.  Created
+        lazily on first store.
+    schema_version:
+        Key-space version; entries written under a different version are
+        invisible (treated as misses).
+    """
+
+    def __init__(
+        self,
+        root: "str | Path | None" = None,
+        schema_version: int = CACHE_SCHEMA_VERSION,
+    ) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self._root = Path(root)
+        self._schema_version = int(schema_version)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """Cache directory."""
+        return self._root
+
+    @property
+    def schema_version(self) -> int:
+        """Key-space version of this instance."""
+        return self._schema_version
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/store counters accumulated by this instance."""
+        return CacheStats(hits=self._hits, misses=self._misses, stores=self._stores)
+
+    def key(self, task: Cacheable) -> str:
+        """Content key of ``task`` under this cache's schema version."""
+        return task_key(task, self._schema_version)
+
+    def path_for(self, task: Cacheable) -> Path:
+        """On-disk location of ``task``'s entry (whether or not present)."""
+        key = self.key(task)
+        return self._root / key[:2] / f"{key}.json"
+
+    def __len__(self) -> int:
+        """Number of entries on disk (all schema versions)."""
+        if not self._root.is_dir():
+            return 0
+        return sum(1 for _ in self._root.glob("*/*.json"))
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, task: Cacheable) -> Optional[SimulationResult]:
+        """Cached result of ``task``, or ``None`` (counted as hit/miss).
+
+        Corrupt or unreadable entries are treated as misses and removed
+        so the next store can rewrite them.
+        """
+        path = self.path_for(task)
+        try:
+            payload = json.loads(path.read_text())
+            result = SimulationResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self._misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self._hits += 1
+        return result
+
+    def put(
+        self,
+        task: Cacheable,
+        result: SimulationResult,
+        elapsed: float = 0.0,
+    ) -> Path:
+        """Store ``result`` for ``task``; returns the entry's path.
+
+        The entry records the task's payload alongside the result so a
+        human (or a garbage collector) can tell what produced it, and the
+        wall-time the simulation cost -- i.e. what a future hit saves.
+        """
+        path = self.path_for(task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": self._schema_version,
+            "key": path.stem,
+            "task": dict(task.cache_payload()),
+            "elapsed_seconds": float(elapsed),
+            "result": result.to_dict(include_timeline=False),
+        }
+        # Write-then-rename so concurrent readers never see a torn entry.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, indent=2, default=str))
+        tmp.replace(path)
+        self._stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if self._root.is_dir():
+            for entry in self._root.glob("*/*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -14,24 +14,26 @@ Each function reproduces one figure/table of Section 5:
 All drivers return plain data structures (lists/dicts of
 :class:`~repro.sim.result.SimulationResult`) so benchmarks, examples and
 tests can format them however they need.
+
+Every driver expresses its runs as declarative
+:class:`~repro.sim.runner.SimTask` specs and executes them through one
+:class:`~repro.sim.runner.SimRunner`, so all sweeps accept ``jobs``
+(process-parallel fan-out; results are bit-identical to serial) and
+``cache`` (content-addressed result reuse across reruns).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.attacks.bpa import BirthdayParadoxAttack
-from repro.attacks.uaa import UniformAddressAttack
 from repro.core.maxwe import MaxWE
+from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
-from repro.sim.lifetime import simulate_lifetime
 from repro.sim.result import SimulationResult
+from repro.sim.runner import SimRunner, SimTask
 from repro.sparing.base import SpareScheme
-from repro.sparing.none import NoSparing
 from repro.sparing.pcd import PCD
 from repro.sparing.ps import PS
-from repro.wearlevel import make_scheme
-from repro.wearlevel.base import WearLeveler
 
 #: Figure 6's x-axis: spare capacity as a percentage of total capacity.
 FIG6_SPARE_FRACTIONS: Tuple[float, ...] = (0.0, 0.01, 0.1, 0.2, 0.3, 0.4, 0.5)
@@ -49,15 +51,29 @@ SPARING_FACTORIES: Dict[str, Callable[[float, float], SpareScheme]] = {
     "max-we": lambda p, q: MaxWE(p, q),
 }
 
+#: Figure-vocabulary sparing names -> runner/batch vocabulary.
+_TASK_SPARING_NAMES: Dict[str, str] = {
+    "no-protection": "none",
+    "ps-worst": "ps-worst",
+    "pcd-ps": "pcd",
+    "max-we": "max-we",
+}
 
-def _make_wl(name: str) -> WearLeveler:
-    """Fluid-mode wear-leveler instance (line-granularity mapping)."""
-    return make_scheme(name, lines_per_region=1) if name != "none" else make_scheme(name)
+
+def _run_tasks(
+    tasks: Sequence[SimTask],
+    jobs: int,
+    cache: Optional[ResultCache],
+) -> List[SimulationResult]:
+    return SimRunner(jobs=jobs, cache=cache).run(tasks)
 
 
 def spare_fraction_sweep(
     config: ExperimentConfig | None = None,
     fractions: Sequence[float] = FIG6_SPARE_FRACTIONS,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -66,49 +82,58 @@ def spare_fraction_sweep(
     is varied here.  A zero fraction degenerates to the unprotected device.
     """
     config = config if config is not None else ExperimentConfig()
-    emap = config.make_emap()
-    results: List[Tuple[float, SimulationResult]] = []
-    for fraction in fractions:
-        sparing: SpareScheme
-        if fraction == 0.0:
-            sparing = NoSparing()
-        else:
-            sparing = MaxWE(fraction, config.swr_fraction)
-        result = simulate_lifetime(
-            emap, UniformAddressAttack(), sparing, rng=config.seed
+    tasks = [
+        SimTask(
+            attack="uaa",
+            sparing="none" if fraction == 0.0 else "max-we",
+            p=fraction,
+            swr=config.swr_fraction,
+            config=config,
+            label=f"spare={fraction:.0%}",
         )
-        results.append((fraction, result))
-    return results
+        for fraction in fractions
+    ]
+    results = _run_tasks(tasks, jobs, cache)
+    return list(zip(fractions, results))
 
 
 def swr_fraction_sweep(
     config: ExperimentConfig | None = None,
     swr_fractions: Sequence[float] = FIG7_SWR_FRACTIONS,
     wearlevelers: Sequence[str] = EVALUATED_WEAR_LEVELERS,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
-    emap = config.make_emap()
-    sweeps: Dict[str, List[Tuple[float, SimulationResult]]] = {}
-    for wl_name in wearlevelers:
-        series: List[Tuple[float, SimulationResult]] = []
-        for swr_fraction in swr_fractions:
-            result = simulate_lifetime(
-                emap,
-                BirthdayParadoxAttack(),
-                MaxWE(config.spare_fraction, swr_fraction),
-                wearleveler=_make_wl(wl_name),
-                rng=config.seed,
-            )
-            series.append((swr_fraction, result))
-        sweeps[wl_name] = series
-    return sweeps
+    tasks = [
+        SimTask(
+            attack="bpa",
+            sparing="max-we",
+            wearlevel=wl_name,
+            p=config.spare_fraction,
+            swr=swr_fraction,
+            config=config,
+            label=f"{wl_name}/swr={swr_fraction:.0%}",
+        )
+        for wl_name in wearlevelers
+        for swr_fraction in swr_fractions
+    ]
+    results = iter(_run_tasks(tasks, jobs, cache))
+    return {
+        wl_name: [(swr_fraction, next(results)) for swr_fraction in swr_fractions]
+        for wl_name in wearlevelers
+    }
 
 
 def bpa_scheme_comparison(
     config: ExperimentConfig | None = None,
     wearlevelers: Sequence[str] = EVALUATED_WEAR_LEVELERS,
     sparing_names: Sequence[str] = ("ps-worst", "pcd-ps", "max-we"),
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -117,26 +142,31 @@ def bpa_scheme_comparison(
     normalized lifetimes for the paper's Gmean bars.
     """
     config = config if config is not None else ExperimentConfig()
-    emap = config.make_emap()
-    comparison: Dict[str, Dict[str, SimulationResult]] = {}
-    for sparing_name in sparing_names:
-        factory = SPARING_FACTORIES[sparing_name]
-        row: Dict[str, SimulationResult] = {}
-        for wl_name in wearlevelers:
-            result = simulate_lifetime(
-                emap,
-                BirthdayParadoxAttack(),
-                factory(config.spare_fraction, config.swr_fraction),
-                wearleveler=_make_wl(wl_name),
-                rng=config.seed,
-            )
-            row[wl_name] = result
-        comparison[sparing_name] = row
-    return comparison
+    tasks = [
+        SimTask(
+            attack="bpa",
+            sparing=_TASK_SPARING_NAMES[sparing_name],
+            wearlevel=wl_name,
+            p=config.spare_fraction,
+            swr=config.swr_fraction,
+            config=config,
+            label=f"{sparing_name}/{wl_name}",
+        )
+        for sparing_name in sparing_names
+        for wl_name in wearlevelers
+    ]
+    results = iter(_run_tasks(tasks, jobs, cache))
+    return {
+        sparing_name: {wl_name: next(results) for wl_name in wearlevelers}
+        for sparing_name in sparing_names
+    }
 
 
 def uaa_scheme_comparison(
     config: ExperimentConfig | None = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -145,15 +175,17 @@ def uaa_scheme_comparison(
     ideal lifetime respectively (9.5X / 7.4X / 6.9X improvements).
     """
     config = config if config is not None else ExperimentConfig()
-    emap = config.make_emap()
-    attack = UniformAddressAttack()
-    schemes: Dict[str, SpareScheme] = {
-        "no-protection": NoSparing(),
-        "ps-worst": PS.worst_case(config.spare_fraction),
-        "pcd-ps": PCD(config.spare_fraction),
-        "max-we": MaxWE(config.spare_fraction, config.swr_fraction),
-    }
-    return {
-        name: simulate_lifetime(emap, attack, scheme, rng=config.seed)
-        for name, scheme in schemes.items()
-    }
+    names = ("no-protection", "ps-worst", "pcd-ps", "max-we")
+    tasks = [
+        SimTask(
+            attack="uaa",
+            sparing=_TASK_SPARING_NAMES[name],
+            p=config.spare_fraction,
+            swr=config.swr_fraction,
+            config=config,
+            label=name,
+        )
+        for name in names
+    ]
+    results = _run_tasks(tasks, jobs, cache)
+    return dict(zip(names, results))

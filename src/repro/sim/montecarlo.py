@@ -20,8 +20,8 @@ import numpy as np
 from repro.attacks.base import AttackModel
 from repro.endurance.emap import EnduranceMap
 from repro.sim.config import ExperimentConfig
-from repro.sim.lifetime import simulate_lifetime
 from repro.sim.result import SimulationResult
+from repro.sim.runner import CallableTask, SimRunner
 from repro.sparing.base import SpareScheme
 from repro.util.rng import fork_seeds
 from repro.util.validation import require_positive_int
@@ -93,6 +93,17 @@ class MonteCarloResult:
         )
 
 
+@dataclass(frozen=True)
+class _ConfigEmapFactory:
+    """Default per-replica endurance-map builder (picklable, unlike the
+    equivalent closure, so replicas can fan out over worker processes)."""
+
+    config: ExperimentConfig
+
+    def __call__(self, seed: int) -> EnduranceMap:
+        return self.config.with_(seed=seed % (2**31)).make_emap()
+
+
 def monte_carlo_lifetime(
     attack_factory: Callable[[], AttackModel],
     sparing_factory: Callable[[], SpareScheme],
@@ -102,6 +113,7 @@ def monte_carlo_lifetime(
     wearleveler_factory: Optional[Callable[[], WearLeveler]] = None,
     replicas: int = 10,
     confidence: float = 0.95,
+    jobs: int = 1,
 ) -> MonteCarloResult:
     """Run ``replicas`` independently seeded lifetime simulations.
 
@@ -123,6 +135,11 @@ def monte_carlo_lifetime(
         Number of independent runs.
     confidence:
         One of 0.90, 0.95, 0.99.
+    jobs:
+        Worker processes for the replica fan-out (1 = serial, 0/None =
+        all CPUs).  Replica seeds are forked up front, so results are
+        identical in any job count; unpicklable factories (lambdas,
+        closures) silently fall back to serial execution.
     """
     require_positive_int(replicas, "replicas")
     if confidence not in _Z_SCORES:
@@ -132,21 +149,21 @@ def monte_carlo_lifetime(
     config = config if config is not None else ExperimentConfig()
 
     if emap_factory is None:
-        def emap_factory(seed: int) -> EnduranceMap:
-            return config.with_(seed=seed % (2**31)).make_emap()
+        emap_factory = _ConfigEmapFactory(config)
 
     seeds = fork_seeds(config.seed, replicas, "monte-carlo")
-    results = []
-    for seed in seeds:
-        wearleveler = wearleveler_factory() if wearleveler_factory else None
-        result = simulate_lifetime(
-            emap_factory(seed),
-            attack_factory(),
-            sparing_factory(),
-            wearleveler=wearleveler,
-            rng=seed,
+    tasks = [
+        CallableTask(
+            attack_factory=attack_factory,
+            sparing_factory=sparing_factory,
+            emap_factory=emap_factory,
+            seed=seed,
+            wearleveler_factory=wearleveler_factory,
+            label=f"replica-{index}",
         )
-        results.append(result)
+        for index, seed in enumerate(seeds)
+    ]
+    results = SimRunner(jobs=jobs).run(tasks)
     lifetimes = np.array([result.normalized_lifetime for result in results])
     return MonteCarloResult(
         lifetimes=lifetimes, confidence=confidence, results=tuple(results)

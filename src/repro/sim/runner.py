@@ -1,0 +1,424 @@
+"""Parallel simulation runner: fan independent lifetime runs over cores.
+
+Every evaluation surface in the repo -- the paper sweeps in
+:mod:`repro.sim.experiments`, the declarative batch runner in
+:mod:`repro.sim.batch`, and :func:`repro.sim.montecarlo.monte_carlo_lifetime`
+-- reduces to a list of *independent* lifetime simulations.  This module
+gives them one execution engine:
+
+* :class:`SimTask` -- a pickle-safe declarative spec (device config +
+  attack/sparing/wear-leveling names + parameters + seed) that fully
+  determines one simulation, reusing the batch :class:`RunSpec`
+  vocabulary.  Declarative tasks are content-addressable, so they compose
+  with the :class:`~repro.sim.cache.ResultCache`.
+* :class:`CallableTask` -- a factory-based spec for callers (Monte-Carlo
+  studies, custom harnesses) whose components cannot be named; runs
+  through the same scheduler but bypasses the cache.
+* :class:`SimRunner` -- executes a task list: cache lookups first, then
+  the misses either serially (``jobs=1`` or small batches) or over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, with ordered result
+  collection and per-task wall-time / sims-per-second statistics.
+
+Determinism: a task carries every seed it needs, so parallel execution
+is bit-identical to serial execution in any job count and any schedule;
+:func:`fork_task_seeds` derives per-task seeds the same way the
+Monte-Carlo driver forks replica seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.attacks.base import AttackModel
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.suite import WORKLOAD_NAMES, workload
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.emap import EnduranceMap
+from repro.sim.cache import ResultCache
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+from repro.sim.result import SimulationResult
+from repro.sparing.base import SpareScheme
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+from repro.sparing.ps import PS
+from repro.util.rng import fork_seeds
+from repro.wearlevel import make_scheme
+from repro.wearlevel.base import WearLeveler
+
+#: Attack names accepted by declarative tasks (plus any workload-suite name).
+ATTACKS: Tuple[str, ...] = ("uaa", "bpa", "repeated")
+
+#: Sparing-scheme names accepted by declarative tasks.
+SPARINGS: Tuple[str, ...] = ("none", "pcd", "ps", "ps-worst", "max-we")
+
+#: Wear-leveler names accepted by declarative tasks.
+WEARLEVELERS: Tuple[str, ...] = (
+    "none", "start-gap", "tlsr", "pcm-s", "bwl", "wawl", "toss-up"
+)
+
+#: Below this many uncached tasks a process pool costs more than it saves.
+MIN_PARALLEL_TASKS: int = 2
+
+
+# ----------------------------------------------------------------------
+# Component builders (the CLI/batch vocabulary, shared by every surface)
+# ----------------------------------------------------------------------
+
+
+def build_attack(name: str) -> AttackModel:
+    """Instantiate an attack or workload model by spec name."""
+    if name == "uaa":
+        return UniformAddressAttack()
+    if name == "bpa":
+        return BirthdayParadoxAttack()
+    if name == "repeated":
+        return RepeatedAddressAttack()
+    if name in WORKLOAD_NAMES:
+        return workload(name)
+    raise ValueError(
+        f"unknown attack {name!r}; choose from {ATTACKS} "
+        f"or the workload suite {WORKLOAD_NAMES}"
+    )
+
+
+def build_sparing(name: str, p: float, swr: float) -> SpareScheme:
+    """Instantiate a sparing scheme by spec name."""
+    if name == "none":
+        return NoSparing()
+    if name == "pcd":
+        return PCD(p)
+    if name == "ps":
+        return PS.average_case(p)
+    if name == "ps-worst":
+        return PS.worst_case(p)
+    if name == "max-we":
+        return MaxWE(p, swr)
+    raise ValueError(f"unknown sparing {name!r}; choose from {SPARINGS}")
+
+
+def build_wearleveler(name: str) -> Optional[WearLeveler]:
+    """Instantiate a wear-leveler by spec name (``None`` for ``"none"``)."""
+    if name == "none":
+        return None
+    if name in WEARLEVELERS:
+        return make_scheme(name, lines_per_region=1)
+    raise ValueError(f"unknown wearlevel {name!r}; choose from {WEARLEVELERS}")
+
+
+# ----------------------------------------------------------------------
+# Task specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One declarative, pickle-safe, content-addressable simulation.
+
+    Attributes
+    ----------
+    attack / sparing / wearlevel:
+        Component names from the batch vocabulary (:data:`ATTACKS`,
+        :data:`SPARINGS`, :data:`WEARLEVELERS` / workload suite).
+    p / swr:
+        Spare fraction and SWR share for the schemes that take them.
+    config:
+        Device configuration; its seed drives endurance-map placement.
+    seed:
+        Simulation master seed (sparing / wear-leveling streams).
+        ``None`` defaults to ``config.seed``, matching the sweep drivers.
+    emap_seed:
+        Optional placement-seed override: the endurance map is rebuilt
+        from ``config`` with this seed (Monte-Carlo placement variance).
+    label:
+        Cosmetic row label; excluded from the cache key so relabelled
+        reruns still hit.
+    """
+
+    attack: str = "uaa"
+    sparing: str = "max-we"
+    wearlevel: str = "none"
+    p: float = 0.1
+    swr: float = 0.9
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    seed: Optional[int] = None
+    emap_seed: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.attack not in ATTACKS and self.attack not in WORKLOAD_NAMES:
+            raise ValueError(
+                f"unknown attack {self.attack!r}; choose from {ATTACKS} "
+                f"or the workload suite {WORKLOAD_NAMES}"
+            )
+        if self.sparing not in SPARINGS:
+            raise ValueError(
+                f"unknown sparing {self.sparing!r}; choose from {SPARINGS}"
+            )
+        if self.wearlevel not in WEARLEVELERS:
+            raise ValueError(
+                f"unknown wearlevel {self.wearlevel!r}; choose from {WEARLEVELERS}"
+            )
+
+    @property
+    def effective_seed(self) -> int:
+        """The simulation seed actually used (defaults to the config's)."""
+        return self.config.seed if self.seed is None else self.seed
+
+    def make_emap(self) -> EnduranceMap:
+        """Materialize the task's endurance map (placement override aware)."""
+        if self.emap_seed is not None:
+            return self.config.with_(seed=self.emap_seed).make_emap()
+        return self.config.make_emap()
+
+    def cache_payload(self) -> Dict[str, object]:
+        """Canonical mapping of everything that determines the result.
+
+        Exactly the execution-relevant fields: the label and the config
+        knobs the task overrides (``spare_fraction`` / ``swr_fraction``)
+        are deliberately excluded so cosmetic changes still hit.
+        """
+        return {
+            "attack": self.attack,
+            "sparing": self.sparing,
+            "wearlevel": self.wearlevel,
+            "p": float(self.p),
+            "swr": float(self.swr),
+            "seed": int(self.effective_seed),
+            "emap_seed": None if self.emap_seed is None else int(self.emap_seed),
+            "config": {
+                "regions": self.config.regions,
+                "lines_per_region": self.config.lines_per_region,
+                "q": float(self.config.q),
+                "endurance_model": self.config.endurance_model,
+                "seed": self.config.seed,
+            },
+        }
+
+    def execute(self) -> Tuple[SimulationResult, float]:
+        """Run the simulation; returns ``(result, wall_seconds)``."""
+        start = perf_counter()
+        result = simulate_lifetime(
+            self.make_emap(),
+            build_attack(self.attack),
+            build_sparing(self.sparing, self.p, self.swr),
+            wearleveler=build_wearleveler(self.wearlevel),
+            rng=self.effective_seed,
+        )
+        return result, perf_counter() - start
+
+
+@dataclass(frozen=True)
+class CallableTask:
+    """A factory-based simulation for components that cannot be named.
+
+    Used by the Monte-Carlo driver (and any custom harness) whose
+    attack/sparing/wear-leveling components come as zero-argument
+    factories.  Parallel execution requires the factories to be picklable
+    (module-level callables / functools.partial); the runner falls back
+    to serial execution otherwise.  Not content-addressable, so never
+    cached.
+    """
+
+    attack_factory: Callable[[], AttackModel]
+    sparing_factory: Callable[[], SpareScheme]
+    emap_factory: Callable[[int], EnduranceMap]
+    seed: int
+    wearleveler_factory: Optional[Callable[[], WearLeveler]] = None
+    label: str = ""
+
+    def execute(self) -> Tuple[SimulationResult, float]:
+        """Run the simulation; returns ``(result, wall_seconds)``.
+
+        Factories are invoked in the same order as the historical serial
+        Monte-Carlo loop (wear-leveler, emap, attack, sparing) so stateful
+        factories observe an identical call sequence.
+        """
+        start = perf_counter()
+        wearleveler = (
+            self.wearleveler_factory() if self.wearleveler_factory else None
+        )
+        emap = self.emap_factory(self.seed)
+        result = simulate_lifetime(
+            emap,
+            self.attack_factory(),
+            self.sparing_factory(),
+            wearleveler=wearleveler,
+            rng=self.seed,
+        )
+        return result, perf_counter() - start
+
+
+AnyTask = Union[SimTask, CallableTask]
+
+
+def fork_task_seeds(seed: Optional[int], count: int, label: str = "sim-runner") -> List[int]:
+    """Derive ``count`` deterministic per-task seeds from a master seed."""
+    return fork_seeds(seed, count, label)
+
+
+def _execute_task(task: AnyTask) -> Tuple[SimulationResult, float]:
+    """Module-level worker entry point (picklable for process pools)."""
+    return task.execute()
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunnerStats:
+    """Execution statistics of one :meth:`SimRunner.run_detailed` call.
+
+    Attributes
+    ----------
+    tasks:
+        Number of tasks submitted.
+    simulated:
+        Tasks that actually ran (cache misses + uncacheable tasks).
+    cache_hits:
+        Tasks served from the result cache without simulating.
+    jobs:
+        Worker-process count used for the simulated tasks (1 = serial).
+    wall_seconds:
+        End-to-end wall time of the call.
+    task_seconds:
+        Per-task simulation wall times, in submission order (0.0 for
+        cache hits).
+    """
+
+    tasks: int
+    simulated: int
+    cache_hits: int
+    jobs: int
+    wall_seconds: float
+    task_seconds: Tuple[float, ...] = ()
+
+    @property
+    def sims_per_second(self) -> float:
+        """Simulated-task throughput over the call's wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.simulated / self.wall_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.tasks} tasks ({self.cache_hits} cached, "
+            f"{self.simulated} simulated) in {self.wall_seconds:.2f}s "
+            f"with {self.jobs} job(s) -- {self.sims_per_second:.1f} sims/s"
+        )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean all CPUs."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+def _picklable(tasks: Sequence[AnyTask]) -> bool:
+    try:
+        pickle.dumps(tuple(tasks))
+        return True
+    except Exception:
+        return False
+
+
+class SimRunner:
+    """Execute independent simulation tasks, in parallel when it pays.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (default) runs serially in-process, 0 or
+        ``None`` uses every CPU.
+    cache:
+        Optional :class:`ResultCache`; declarative :class:`SimTask`\\ s
+        are looked up before simulating and stored after.
+        :class:`CallableTask`\\ s always simulate.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        self._jobs = resolve_jobs(jobs)
+        self._cache = cache
+
+    @property
+    def jobs(self) -> int:
+        """Resolved worker count."""
+        return self._jobs
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The attached result cache, if any."""
+        return self._cache
+
+    def run(self, tasks: Sequence[AnyTask]) -> List[SimulationResult]:
+        """Execute ``tasks``; results in submission order."""
+        results, _ = self.run_detailed(tasks)
+        return results
+
+    def run_detailed(
+        self, tasks: Sequence[AnyTask]
+    ) -> Tuple[List[SimulationResult], RunnerStats]:
+        """Execute ``tasks``; returns ordered results plus statistics."""
+        tasks = list(tasks)
+        started = perf_counter()
+        results: List[Optional[SimulationResult]] = [None] * len(tasks)
+        seconds = [0.0] * len(tasks)
+
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            cached = (
+                self._cache.get(task)
+                if self._cache is not None and isinstance(task, SimTask)
+                else None
+            )
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        jobs_used = 1
+        if pending:
+            to_run = [tasks[index] for index in pending]
+            jobs_used = min(self._jobs, len(pending))
+            if jobs_used >= MIN_PARALLEL_TASKS and len(pending) >= MIN_PARALLEL_TASKS \
+                    and _picklable(to_run):
+                outcomes = self._run_parallel(to_run, jobs_used)
+            else:
+                jobs_used = 1
+                outcomes = [_execute_task(task) for task in to_run]
+            for index, (result, elapsed) in zip(pending, outcomes):
+                results[index] = result
+                seconds[index] = elapsed
+                if self._cache is not None and isinstance(tasks[index], SimTask):
+                    self._cache.put(tasks[index], result, elapsed)
+
+        stats = RunnerStats(
+            tasks=len(tasks),
+            simulated=len(pending),
+            cache_hits=len(tasks) - len(pending),
+            jobs=jobs_used,
+            wall_seconds=perf_counter() - started,
+            task_seconds=tuple(seconds),
+        )
+        assert all(result is not None for result in results)
+        return list(results), stats  # type: ignore[arg-type]
+
+    @staticmethod
+    def _run_parallel(
+        tasks: Sequence[AnyTask], jobs: int
+    ) -> List[Tuple[SimulationResult, float]]:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_execute_task, task) for task in tasks]
+            return [future.result() for future in futures]

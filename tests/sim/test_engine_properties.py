@@ -74,6 +74,21 @@ class TestConservation:
 
 
 class TestMonotonicity:
+    @pytest.mark.xfail(
+        strict=False,
+        reason=(
+            "The property as stated is false for degenerate endurance "
+            "distributions: on a flat map with one strong outlier (e.g. 19 "
+            "regions at 10, one at 210) effective_q clears the >= 3 filter, "
+            "but every spare is exactly as weak as the lines it shields, so "
+            "extra spare capacity is pure capacity loss and MaxWE(0.2) "
+            "serves fewer writes than MaxWE(0.05).  The analytic break-even "
+            "(q - 1)(1 - p) >= 1 assumes the paper's linear endurance "
+            "spread, which point-mass maps violate.  Pinned deterministically "
+            "in test_flat_map_with_outlier_counterexample below; tracked as "
+            "the known gap between the filter and the true precondition."
+        ),
+    )
     @given(random_maps(), st.integers(min_value=0, max_value=100))
     @settings(max_examples=30, deadline=None)
     def test_more_spares_never_hurt_maxwe_with_variation(self, emap, seed):
@@ -90,6 +105,32 @@ class TestMonotonicity:
         small = simulate_lifetime(emap, UniformAddressAttack(), MaxWE(0.05), rng=seed)
         large = simulate_lifetime(emap, UniformAddressAttack(), MaxWE(0.2), rng=seed)
         assert large.normalized_lifetime >= small.normalized_lifetime - 1e-9
+
+    def test_flat_map_with_outlier_counterexample(self):
+        """The counterexample behind the xfail above, pinned so the engine's
+        actual behaviour on degenerate maps is tracked: when all lines are
+        equally weak except one outlier, spares buy nothing and more spare
+        capacity strictly shortens the lifetime."""
+        values = np.full(20, 10.0)
+        values[-1] = 210.0
+        emap = EnduranceMap(values, regions=20)
+        small = simulate_lifetime(emap, UniformAddressAttack(), MaxWE(0.05), rng=0)
+        large = simulate_lifetime(emap, UniformAddressAttack(), MaxWE(0.2), rng=0)
+        assert large.normalized_lifetime < small.normalized_lifetime
+
+    def test_more_spares_never_hurt_on_the_paper_distribution(self):
+        """On the paper's own linear endurance spread (q = 50) -- the regime
+        the analytic break-even actually covers -- monotonicity does hold."""
+        from repro.sim.config import ExperimentConfig
+
+        emap = ExperimentConfig(regions=256, lines_per_region=2, seed=11).make_emap()
+        lifetimes = [
+            simulate_lifetime(
+                emap, UniformAddressAttack(), MaxWE(p), rng=11
+            ).normalized_lifetime
+            for p in (0.05, 0.1, 0.2, 0.3)
+        ]
+        assert lifetimes == sorted(lifetimes)
 
     @given(random_maps(), st.floats(min_value=1.1, max_value=10.0), st.integers(min_value=0, max_value=100))
     @settings(max_examples=30, deadline=None)

@@ -88,6 +88,32 @@ class TestSummary:
         assert many.standard_error < few.standard_error * 1.5
 
 
+class TestResultEdgeCases:
+    def test_single_replica_degenerate_interval(self):
+        """n=1: zero std, zero standard error, CI collapses onto the mean."""
+        result = run(replicas=1)
+        study = MonteCarloResult(
+            lifetimes=result.lifetimes, confidence=0.95, results=result.results
+        )
+        assert study.replicas == 1
+        assert study.std == 0.0
+        assert study.standard_error == 0.0
+        assert study.ci_low == study.mean == study.ci_high
+
+    def test_invalid_confidence_rejected(self):
+        for confidence in (0.5, 0.951, 1.0, 0.0):
+            with pytest.raises(ValueError, match="confidence"):
+                run(replicas=2, confidence=confidence)
+
+    def test_unsupported_confidence_result_fails_on_use(self):
+        study = run(replicas=3)
+        odd = MonteCarloResult(
+            lifetimes=study.lifetimes, confidence=0.42, results=study.results
+        )
+        with pytest.raises(KeyError):
+            _ = odd.ci_half_width
+
+
 class TestScienceWithVariance:
     def test_maxwe_beats_no_protection_with_ci_separation(self):
         """The paper's headline survives sampling variance: the CIs of
