@@ -1,0 +1,229 @@
+"""BENCH_engine -- vectorized epoch kernel vs the scalar event loop.
+
+Runs the same lifetime simulations through both fluid engines
+(``fluid-batched`` and ``fluid-exact``) on a 64k-line device under UAA,
+one leg per sparing scheme, with timelines off so the measurement is the
+engines alone.  Asserts the engines agree -- death and replacement
+counts and failure reasons exactly, served writes to 1e-9 relative --
+then emits ``BENCH_engine.json`` at the repo root (and a copy under
+``benchmarks/results/``):
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick]
+
+Full mode also times the batched kernel on a full-scale 1M-line device
+(the paper's 1 GB geometry at 8 lines/region granularity) under UAA and
+BPA -- a size the scalar loop makes impractical to sweep.  ``--quick``
+drops the full-scale leg and shrinks the device for the CI smoke job,
+which gates on engine agreement only (CI boxes are too noisy to gate on
+speedup).  The pytest wrapper runs the full harness and enforces the
+aggregate >= 10x speedup acceptance bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.sim.config import ExperimentConfig
+from repro.sim.lifetime import simulate_lifetime
+from repro.sim.runner import build_sparing
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: 64k-line measurement device (8192 regions x 8 lines).
+BENCH_CONFIG = ExperimentConfig(regions=8192, lines_per_region=8, seed=2019)
+
+#: Smaller device for the CI smoke run (--quick).
+QUICK_CONFIG = ExperimentConfig(regions=1024, lines_per_region=8, seed=2019)
+
+#: Full-scale device: 1M lines, the paper's 1 GB geometry scaled to
+#: 8 lines per region.
+FULL_SCALE_CONFIG = ExperimentConfig(regions=131072, lines_per_region=8, seed=2019)
+
+#: Sparing schemes measured, in runner vocabulary.
+BENCH_SCHEMES = ("max-we", "ps", "pcd", "none")
+
+#: Relative tolerance on served writes between engines (counts and
+#: failure reasons must match exactly).
+WRITES_RTOL = 1e-9
+
+#: Acceptance bar: aggregate batched sims/sec over the scheme suite.
+REQUIRED_SPEEDUP = 10.0
+
+#: Tiny device used to warm both engines before any timed leg (numpy
+#: defers some module imports to first use; without a warm-up the first
+#: timed simulation pays them).
+WARMUP_CONFIG = ExperimentConfig(regions=64, lines_per_region=2, seed=2019)
+
+
+def _run(config: ExperimentConfig, scheme: str, engine: str, attack=None) -> tuple:
+    """One timed simulation with a fresh scheme instance; returns
+    ``(result, seconds)``."""
+    emap = config.make_emap()
+    attack = attack if attack is not None else UniformAddressAttack()
+    sparing = build_sparing(scheme, config.spare_fraction, config.swr_fraction)
+    start = perf_counter()
+    result = simulate_lifetime(
+        emap, attack, sparing, rng=config.seed, engine=engine, record_timeline=False
+    )
+    return result, perf_counter() - start
+
+
+def _agree(exact, batched) -> tuple[bool, str]:
+    """Engine-equivalence verdict: (ok, human-readable detail)."""
+    if exact.deaths != batched.deaths:
+        return False, f"deaths {exact.deaths} != {batched.deaths}"
+    if exact.replacements != batched.replacements:
+        return False, f"replacements {exact.replacements} != {batched.replacements}"
+    if exact.failure_reason != batched.failure_reason:
+        return False, (
+            f"failure {exact.failure_reason!r} != {batched.failure_reason!r}"
+        )
+    scale = max(abs(exact.writes_served), 1.0)
+    drift = abs(exact.writes_served - batched.writes_served) / scale
+    if drift > WRITES_RTOL:
+        return False, f"writes_served relative drift {drift:.3e} > {WRITES_RTOL:.0e}"
+    return True, "identical"
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Measure both engines per scheme; returns the BENCH_engine payload."""
+    config = QUICK_CONFIG if quick else BENCH_CONFIG
+    for engine in ("fluid-exact", "fluid-batched"):
+        _run(WARMUP_CONFIG, "max-we", engine)  # untimed warm-up
+    schemes: dict[str, dict] = {}
+    exact_total = 0.0
+    batched_total = 0.0
+    all_identical = True
+
+    for scheme in BENCH_SCHEMES:
+        exact_result, exact_seconds = _run(config, scheme, "fluid-exact")
+        batched_result, batched_seconds = _run(config, scheme, "fluid-batched")
+        identical, detail = _agree(exact_result, batched_result)
+        all_identical = all_identical and identical
+        exact_total += exact_seconds
+        batched_total += batched_seconds
+        schemes[scheme] = {
+            "deaths": exact_result.deaths,
+            "replacements": exact_result.replacements,
+            "normalized_lifetime": round(exact_result.normalized_lifetime, 9),
+            "exact_seconds": round(exact_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "batched_epochs": batched_result.metadata.get("epochs"),
+            "speedup": round(exact_seconds / batched_seconds, 2)
+            if batched_seconds
+            else None,
+            "identical": identical,
+            "detail": detail,
+        }
+
+    payload = {
+        "bench": "engine",
+        "description": "fluid-batched epoch kernel vs fluid-exact scalar loop "
+        "under UAA, one leg per sparing scheme, timelines off",
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "quick": quick,
+        "config": {
+            "regions": config.regions,
+            "lines_per_region": config.lines_per_region,
+            "lines": config.regions * config.lines_per_region,
+            "q": config.q,
+            "endurance_model": config.endurance_model,
+            "seed": config.seed,
+        },
+        "attack": "uaa",
+        "schemes": schemes,
+        "aggregate": {
+            "exact_seconds": round(exact_total, 4),
+            "batched_seconds": round(batched_total, 4),
+            "exact_sims_per_second": round(len(BENCH_SCHEMES) / exact_total, 3)
+            if exact_total
+            else None,
+            "batched_sims_per_second": round(len(BENCH_SCHEMES) / batched_total, 3)
+            if batched_total
+            else None,
+            "speedup": round(exact_total / batched_total, 2)
+            if batched_total
+            else None,
+        },
+        "results_identical": all_identical,
+        "full_scale": None,
+    }
+
+    if not quick:
+        runs = {}
+        for name, attack in (
+            ("uaa", UniformAddressAttack()),
+            ("bpa", BirthdayParadoxAttack()),
+        ):
+            result, seconds = _run(
+                FULL_SCALE_CONFIG, "max-we", "fluid-batched", attack=attack
+            )
+            runs[name] = {
+                "seconds": round(seconds, 4),
+                "deaths": result.deaths,
+                "replacements": result.replacements,
+                "normalized_lifetime": round(result.normalized_lifetime, 9),
+                "epochs": result.metadata.get("epochs"),
+                "failure_reason": result.failure_reason,
+            }
+        payload["full_scale"] = {
+            "lines": FULL_SCALE_CONFIG.regions * FULL_SCALE_CONFIG.lines_per_region,
+            "sparing": "max-we",
+            "engine": "fluid-batched",
+            "runs": runs,
+        }
+
+    return payload
+
+
+def emit(payload: dict) -> Path:
+    """Write the payload to the repo root and benchmarks/results/."""
+    text = json.dumps(payload, indent=2) + "\n"
+    target = REPO_ROOT / "BENCH_engine.json"
+    target.write_text(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(text)
+    return target
+
+
+def test_engine_speedup_bench():
+    """Pytest entry point: engines must agree on every scheme and the
+    batched kernel must clear the aggregate speedup bar; emits
+    BENCH_engine.json as a side effect."""
+    payload = run_bench()
+    emit(payload)
+    assert payload["results_identical"], payload["schemes"]
+    assert payload["aggregate"]["speedup"] >= REQUIRED_SPEEDUP
+    assert payload["full_scale"]["runs"]["uaa"]["deaths"] > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller device, no full-scale leg (CI smoke; gates on "
+        "engine agreement only)",
+    )
+    args = parser.parse_args()
+    payload = run_bench(quick=args.quick)
+    target = emit(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"[saved to {target}]")
+    if not payload["results_identical"]:
+        print("ENGINE DIVERGENCE DETECTED", flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ from repro.sim.experiments import (
     swr_fraction_sweep,
     uaa_scheme_comparison,
 )
-from repro.sim.lifetime import simulate_lifetime
+from repro.sim.lifetime import ENGINES, simulate_lifetime
 from repro.sparing.none import NoSparing
 from repro.sparing.pcd import PCD
 from repro.sparing.ps import PS
@@ -67,6 +67,16 @@ def _jobs_count(value: str) -> int:
     if jobs < 0:
         raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = all CPUs)")
     return jobs
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="fluid-batched",
+        help="lifetime engine: vectorized epoch kernel (default) or the "
+        "scalar event loop kept for differential testing",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -161,6 +171,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         _make_sparing(args.sparing, args.p, args.swr),
         wearleveler=wearleveler,
         rng=config.seed,
+        engine=args.engine,
     )
     print(f"attack:      {result.metadata['attack']}")
     print(f"wear-level:  {result.metadata['wearleveler']}")
@@ -177,7 +188,7 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
     rows = [
         [f"{fraction:.0%}", result.normalized_lifetime]
         for fraction, result in spare_fraction_sweep(
-            config, jobs=args.jobs, cache=cache
+            config, jobs=args.jobs, cache=cache, engine=args.engine
         )
     ]
     print(
@@ -194,7 +205,7 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
 def _cmd_sweep_swr(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
-    sweeps = swr_fraction_sweep(config, jobs=args.jobs, cache=cache)
+    sweeps = swr_fraction_sweep(config, jobs=args.jobs, cache=cache, engine=args.engine)
     fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
     headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
     rows = [
@@ -213,7 +224,7 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
 def _cmd_compare_uaa(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
-    results = uaa_scheme_comparison(config, jobs=args.jobs, cache=cache)
+    results = uaa_scheme_comparison(config, jobs=args.jobs, cache=cache, engine=args.engine)
     baseline = results["no-protection"].normalized_lifetime
     rows = [
         [name, result.normalized_lifetime, result.normalized_lifetime / baseline]
@@ -233,7 +244,7 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
 def _cmd_compare_bpa(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
-    comparison = bpa_scheme_comparison(config, jobs=args.jobs, cache=cache)
+    comparison = bpa_scheme_comparison(config, jobs=args.jobs, cache=cache, engine=args.engine)
     wearlevelers = list(next(iter(comparison.values())).keys())
     headers = ["scheme"] + wearlevelers + ["gmean"]
     rows = []
@@ -270,7 +281,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     specs = _json.loads(open(args.specs).read())
     cache = _cache_from(args)
-    batch = run_batch(specs, _config_from(args), jobs=args.jobs, cache=cache)
+    batch = run_batch(specs, _config_from(args), jobs=args.jobs, cache=cache, engine=args.engine)
     print(batch.to_table())
     _print_cache_stats(cache)
     if args.output:
@@ -314,7 +325,9 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
     emap = config.make_emap()
     sparing = _make_sparing(args.sparing, args.p, args.swr)
     try:
-        result = simulate_lifetime(emap, TraceAttack(trace), sparing, rng=config.seed)
+        result = simulate_lifetime(
+            emap, TraceAttack(trace), sparing, rng=config.seed, engine=args.engine
+        )
     except ValueError as error:
         print(
             f"error: {error}\nadjust --regions/--lines-per-region/--p so the "
@@ -367,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("none", "pcd", "ps", "ps-worst", "max-we"),
         default="max-we",
     )
+    _add_engine_argument(simulate)
     simulate.add_argument("--p", type=float, default=0.1, help="spare fraction")
     simulate.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
     simulate.set_defaults(handler=_cmd_simulate)
@@ -374,21 +388,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_spare = subparsers.add_parser("sweep-spare", help="Figure 6 sweep")
     _add_config_arguments(sweep_spare)
     _add_runner_arguments(sweep_spare)
+    _add_engine_argument(sweep_spare)
     sweep_spare.set_defaults(handler=_cmd_sweep_spare)
 
     sweep_swr = subparsers.add_parser("sweep-swr", help="Figure 7 sweep")
     _add_config_arguments(sweep_swr)
     _add_runner_arguments(sweep_swr)
+    _add_engine_argument(sweep_swr)
     sweep_swr.set_defaults(handler=_cmd_sweep_swr)
 
     compare_uaa = subparsers.add_parser("compare-uaa", help="Section 5.3.1 table")
     _add_config_arguments(compare_uaa)
     _add_runner_arguments(compare_uaa)
+    _add_engine_argument(compare_uaa)
     compare_uaa.set_defaults(handler=_cmd_compare_uaa)
 
     compare_bpa = subparsers.add_parser("compare-bpa", help="Figure 8 comparison")
     _add_config_arguments(compare_bpa)
     _add_runner_arguments(compare_bpa)
+    _add_engine_argument(compare_bpa)
     compare_bpa.set_defaults(handler=_cmd_compare_bpa)
 
     overhead = subparsers.add_parser("overhead", help="Section 5.3.2 overhead")
@@ -402,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("specs", type=str, help="path to a JSON spec list")
     _add_config_arguments(batch)
     _add_runner_arguments(batch)
+    _add_engine_argument(batch)
     batch.add_argument(
         "--output", type=str, default=None, help="also archive results as JSON"
     )
@@ -431,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("none", "pcd", "ps", "ps-worst", "max-we"),
         default="max-we",
     )
+    _add_engine_argument(replay)
     replay.add_argument("--p", type=float, default=0.1, help="spare fraction")
     replay.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
     replay.set_defaults(handler=_cmd_replay_trace)

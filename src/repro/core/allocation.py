@@ -147,6 +147,7 @@ def plan_allocation(
         )
 
     ranking = emap.rank_regions(region_metric)  # ascending endurance
+    region_endurance = emap.region_endurance(region_metric)
     generator = derive_rng(rng, "allocation") if (
         spare_selection == "random" or matching == "random"
     ) else None
@@ -164,20 +165,15 @@ def plan_allocation(
     else:  # random
         assert generator is not None
         chosen = generator.choice(regions, size=spare_count, replace=False)
-        chosen_endurance = emap.region_endurance(region_metric)[chosen]
-        chosen_sorted = chosen[np.argsort(chosen_endurance, kind="stable")]
+        chosen_sorted = chosen[np.argsort(region_endurance[chosen], kind="stable")]
         swr = chosen_sorted[:swr_count]
         additional = chosen_sorted[swr_count:]
-        spare_set = set(int(region) for region in chosen)
-        remaining = np.array(
-            [region for region in ranking if int(region) not in spare_set],
-            dtype=np.intp,
-        )
+        remaining = ranking[~np.isin(ranking, chosen)]
         rwr = remaining[:swr_count]
 
     # Pair SWRs and RWRs.  ``ranking`` slices are ascending by endurance.
-    swr_ascending = swr[np.argsort(emap.region_endurance(region_metric)[swr], kind="stable")]
-    rwr_ascending = rwr[np.argsort(emap.region_endurance(region_metric)[rwr], kind="stable")]
+    swr_ascending = swr[np.argsort(region_endurance[swr], kind="stable")]
+    rwr_ascending = rwr[np.argsort(region_endurance[rwr], kind="stable")]
     if matching == "weak-strong":
         # Weakest SWR rescues the strongest RWR (the paper's matching).
         swr_paired = swr_ascending

@@ -68,9 +68,12 @@ class RegionMappingTable:
             if pra in self._sra_of:
                 raise ConfigurationError(f"region {pra} mapped twice in RMT")
             self._sra_of[pra] = sra
-        self._worn: Dict[int, np.ndarray] = {
-            pra: np.zeros(lines_per_region, dtype=bool) for pra in self._sra_of
-        }
+        # Wear-out tags as one dense matrix (row per mapped region) so the
+        # batched engine can set many tags in one vectorized store.
+        self._row_of = np.full(total_regions, -1, dtype=np.intp)
+        for row, pra in enumerate(self._sra_of):
+            self._row_of[pra] = row
+        self._worn = np.zeros((len(self._sra_of), lines_per_region), dtype=bool)
 
     def __len__(self) -> int:
         return len(self._sra_of)
@@ -85,23 +88,42 @@ class RegionMappingTable:
     def is_worn(self, pra: int, offset: int) -> bool:
         """Wear-out tag: has line ``offset`` of region ``pra`` failed over?"""
         self._check(pra, offset)
-        return bool(self._worn[pra][offset])
+        return bool(self._worn[self._row_of[pra], offset])
 
     def mark_worn(self, pra: int, offset: int) -> None:
         """Set the wear-out tag after a replacement (Section 4.2)."""
         self._check(pra, offset)
-        if self._worn[pra][offset]:
+        if self._worn[self._row_of[pra], offset]:
             raise ConfigurationError(
                 f"line {offset} of region {pra} already marked worn out"
             )
-        self._worn[pra][offset] = True
+        self._worn[self._row_of[pra], offset] = True
+
+    def mark_worn_many(self, pras: np.ndarray, offsets: np.ndarray) -> None:
+        """Vectorized :meth:`mark_worn` for a batch of failovers."""
+        pras = np.asarray(pras, dtype=np.intp)
+        offsets = np.asarray(offsets, dtype=np.intp)
+        if pras.size == 0:
+            return
+        if np.any(pras < 0) or np.any(pras >= self._total_regions):
+            raise KeyError("a region in the batch is not in the RMT")
+        rows = self._row_of[pras]
+        if np.any(rows < 0):
+            raise KeyError("a region in the batch is not in the RMT")
+        if np.any(offsets < 0) or np.any(offsets >= self._lines_per_region):
+            raise ConfigurationError(
+                f"an offset in the batch is out of range [0, {self._lines_per_region})"
+            )
+        if np.any(self._worn[rows, offsets]):
+            raise ConfigurationError("a line in the batch is already marked worn out")
+        self._worn[rows, offsets] = True
 
     def worn_count(self, pra: int | None = None) -> int:
         """Number of failed-over lines (in one region or overall)."""
         if pra is not None:
             self._check(pra, 0)
-            return int(self._worn[pra].sum())
-        return int(sum(tags.sum() for tags in self._worn.values()))
+            return int(self._worn[self._row_of[pra]].sum())
+        return int(self._worn.sum())
 
     def _check(self, pra: int, offset: int) -> None:
         if pra not in self._sra_of:
@@ -181,6 +203,29 @@ class LineMappingTable:
         if pla not in self._sla_of and len(self._sla_of) >= self._capacity:
             raise ConfigurationError("LMT is full; no additional spare lines remain")
         self._sla_of[pla] = sla
+
+    def insert_many(self, plas: np.ndarray, slas: np.ndarray) -> None:
+        """Vectorized :meth:`insert` for a batch of rescues.
+
+        Batch semantics match a loop of scalar inserts: re-rescued lines
+        overwrite their old entry, and the capacity check counts only the
+        genuinely new keys.
+        """
+        plas = np.asarray(plas, dtype=np.intp)
+        slas = np.asarray(slas, dtype=np.intp)
+        if plas.size == 0:
+            return
+        if (
+            np.any(plas < 0)
+            or np.any(plas >= self._total_lines)
+            or np.any(slas < 0)
+            or np.any(slas >= self._total_lines)
+        ):
+            raise ConfigurationError("a line pair in the batch is out of range")
+        new_keys = set(map(int, plas)) - self._sla_of.keys()
+        if len(self._sla_of) + len(new_keys) > self._capacity:
+            raise ConfigurationError("LMT is full; no additional spare lines remain")
+        self._sla_of.update(zip(map(int, plas), map(int, slas)))
 
     def remove(self, pla: int) -> None:
         """Drop the entry for ``pla``."""

@@ -13,23 +13,42 @@ paper's replacement procedure:
   through to the additional pool (the Section 4.2 "otherwise" branch; see
   the ``rwr_fallback_to_lmt`` parameter), and the device is worn out when
   a rescue finds the additional pool empty.
+
+Slot bookkeeping is held in flat numpy arrays (state code and original
+line per slot, allocation-ordered pool with a cursor) so that
+:meth:`MaxWE.replace_batch` can decide every death of a chronological
+batch with array operations: SWR failovers are a single gather over the
+pre-computed region pairing, and pool rescues are one slice of the
+pre-sorted spare ranking.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import math
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.allocation import AllocationPlan, plan_allocation
 from repro.core.mapping import LineMappingTable, RegionMappingTable
-from repro.sparing.base import FailDevice, Replacement, ReplaceWith, SpareScheme
+from repro.sparing.base import (
+    BATCH_FAIL,
+    BATCH_REPLACE,
+    BatchOutcome,
+    FailDevice,
+    Replacement,
+    ReplaceWith,
+    SpareScheme,
+)
 from repro.util.validation import require_fraction
 
-#: Slot backing states.
-_ORIGINAL = "original"
-_SWR_REPLACED = "swr-replaced"
-_LMT_REPLACED = "lmt-replaced"
+#: Slot backing states (array codes).
+_ORIGINAL = 0
+_SWR_REPLACED = 1
+_LMT_REPLACED = 2
+
+#: Failure reason when the dynamic pool runs dry (Section 4.2).
+_POOL_EXHAUSTED = "additional spare regions exhausted (Section 4.2 failure)"
 
 
 class MaxWE(SpareScheme):
@@ -81,10 +100,14 @@ class MaxWE(SpareScheme):
         self._plan: AllocationPlan | None = None
         self._rmt: RegionMappingTable | None = None
         self._lmt: LineMappingTable | None = None
-        self._pool: List[int] = []
-        self._slot_of_line: Dict[int, int] = {}
-        self._slot_state: Dict[int, str] = {}
-        self._slot_original_line: Dict[int, int] = {}
+        self._pool_lines: np.ndarray = np.empty(0, dtype=np.intp)
+        self._pool_floor: np.ndarray = np.empty(0, dtype=float)
+        self._pool_pos: int = 0
+        self._state: np.ndarray = np.empty(0, dtype=np.int8)
+        self._original_line: np.ndarray = np.empty(0, dtype=np.intp)
+        self._sra_lookup: np.ndarray = np.empty(0, dtype=np.intp)
+        self._rwr_originals_left: int = 0
+        self._swr_line_floor: float = math.inf
 
     # ------------------------------------------------------------------
     # Configuration introspection
@@ -120,7 +143,7 @@ class MaxWE(SpareScheme):
     def pool_remaining(self) -> int:
         """Additional spare lines not yet handed out."""
         self._require_initialized()
-        return len(self._pool)
+        return int(self._pool_lines.size - self._pool_pos)
 
     def spare_lines(self, total_lines: int) -> int:
         """Spare line count; region-rounded so roles align with regions."""
@@ -146,6 +169,7 @@ class MaxWE(SpareScheme):
             rng=self._rng,
         )
         per = emap.lines_per_region
+        offsets = np.arange(per, dtype=np.intp)
 
         self._rmt = RegionMappingTable(
             pairs=zip(
@@ -155,29 +179,42 @@ class MaxWE(SpareScheme):
             lines_per_region=per,
             total_regions=emap.regions,
         )
+        self._sra_lookup = np.full(emap.regions, -1, dtype=np.intp)
+        self._sra_lookup[self._plan.rwr_regions] = self._plan.swr_regions
 
         # Additional pool: every line of the additional spare regions,
-        # strongest first (Section 4.2's allocation order).
-        pool_lines: List[int] = []
-        for region in self._plan.additional_regions:
-            start = int(region) * per
-            pool_lines.extend(range(start, start + per))
+        # strongest first (Section 4.2's allocation order); consumed via a
+        # cursor.  The suffix minimum is the batching safety bound.
         endurance = emap.line_endurance
-        pool_lines.sort(key=lambda line: -endurance[line])
-        self._pool = pool_lines
-        self._lmt = LineMappingTable(capacity=len(pool_lines), total_lines=emap.lines)
+        pool_lines = (
+            self._plan.additional_regions[:, None] * per + offsets[None, :]
+        ).ravel()
+        order = np.argsort(-endurance[pool_lines], kind="stable")
+        self._pool_lines = pool_lines[order]
+        if self._pool_lines.size:
+            self._pool_floor = np.minimum.accumulate(
+                endurance[self._pool_lines][::-1]
+            )[::-1]
+        else:
+            self._pool_floor = np.empty(0, dtype=float)
+        self._pool_pos = 0
+        self._lmt = LineMappingTable(
+            capacity=int(self._pool_lines.size), total_lines=emap.lines
+        )
 
-        backing: List[int] = []
-        for region in self._plan.working_regions:
-            start = int(region) * per
-            backing.extend(range(start, start + per))
-        backing_array = np.asarray(backing, dtype=np.intp)
-        self._slot_of_line = {int(line): slot for slot, line in enumerate(backing_array)}
-        self._slot_state = {slot: _ORIGINAL for slot in range(backing_array.size)}
-        self._slot_original_line = {
-            slot: int(line) for slot, line in enumerate(backing_array)
-        }
-        return backing_array
+        backing = (
+            self._plan.working_regions[:, None] * per + offsets[None, :]
+        ).ravel()
+        self._state = np.full(backing.size, _ORIGINAL, dtype=np.int8)
+        self._original_line = backing.copy()
+        self._rwr_originals_left = int(self._plan.rwr_regions.size) * per
+        swr_lines = (
+            self._plan.swr_regions[:, None] * per + offsets[None, :]
+        ).ravel()
+        self._swr_line_floor = (
+            float(endurance[swr_lines].min()) if swr_lines.size else math.inf
+        )
+        return backing
 
     @property
     def min_user_slots(self) -> int:
@@ -192,33 +229,34 @@ class MaxWE(SpareScheme):
         self._require_initialized()
         assert self._plan is not None and self._rmt is not None and self._lmt is not None
         assert self._emap is not None
-        state = self._slot_state.get(slot)
-        if state is None:
+        if not 0 <= slot < self._state.size:
             raise KeyError(f"unknown slot {slot}")
+        state = int(self._state[slot])
         per = self._emap.lines_per_region
 
         if state == _ORIGINAL:
             region = dead_line // per
             offset = dead_line % per
-            spare_region = self._rmt.spare_region_of(region)
-            if spare_region is not None:
+            spare_region = int(self._sra_lookup[region])
+            if spare_region >= 0:
                 # RWR line: fail over to the matched SWR line.
                 self._rmt.mark_worn(region, offset)
                 replacement = spare_region * per + offset
-                self._slot_state[slot] = _SWR_REPLACED
+                self._state[slot] = _SWR_REPLACED
+                self._rwr_originals_left -= 1
                 return ReplaceWith(line=replacement)
-            return self._rescue_from_pool(slot, self._slot_original_line[slot])
+            return self._rescue_from_pool(slot, int(self._original_line[slot]))
 
         if state == _LMT_REPLACED:
             # Re-rescue: drop the stale entry, allocate a fresh spare line.
-            original = self._slot_original_line[slot]
+            original = int(self._original_line[slot])
             if original in self._lmt:
                 self._lmt.remove(original)
             return self._rescue_from_pool(slot, original)
 
         # state == _SWR_REPLACED: the dedicated spare line died.
         if self._rwr_fallback:
-            return self._rescue_from_pool(slot, self._slot_original_line[slot])
+            return self._rescue_from_pool(slot, int(self._original_line[slot]))
         return FailDevice(
             reason=(
                 f"SWR replacement line {dead_line} worn out; region-mapped slots "
@@ -228,14 +266,107 @@ class MaxWE(SpareScheme):
 
     def _rescue_from_pool(self, slot: int, original_line: int) -> Replacement:
         assert self._lmt is not None
-        if not self._pool:
-            return FailDevice(
-                reason="additional spare regions exhausted (Section 4.2 failure)"
-            )
-        spare = self._pool.pop(0)
+        if self._pool_pos >= self._pool_lines.size:
+            return FailDevice(reason=_POOL_EXHAUSTED)
+        spare = int(self._pool_lines[self._pool_pos])
+        self._pool_pos += 1
         self._lmt.insert(original_line, spare)
-        self._slot_state[slot] = _LMT_REPLACED
+        self._state[slot] = _LMT_REPLACED
         return ReplaceWith(line=spare)
+
+    def replace_batch(
+        self, slots: Sequence[int], dead_lines: Sequence[int]
+    ) -> BatchOutcome:
+        """Vectorized Section 4.2 procedure for a chronological batch.
+
+        Every death resolves to one of two replacement sources -- the
+        matched SWR line (a pure index computation) or the next lines of
+        the pre-sorted additional pool (one slice) -- so the whole batch
+        is decided without per-death Python work.  A strict-mode SWR
+        failure or pool exhaustion truncates the batch at the first
+        unservable death, exactly as the scalar loop would.
+        """
+        self._require_initialized()
+        assert self._rmt is not None and self._lmt is not None
+        assert self._emap is not None
+        per = self._emap.lines_per_region
+        slots = np.asarray(slots, dtype=np.intp)
+        dead_lines = np.asarray(dead_lines, dtype=np.intp)
+        if np.any(slots < 0) or np.any(slots >= self._state.size):
+            raise KeyError("unknown slot in batch")
+
+        states = self._state[slots]
+        regions = dead_lines // per
+        offsets = dead_lines - regions * per
+        sra = self._sra_lookup[regions]
+        swr_mask = (states == _ORIGINAL) & (sra >= 0)
+
+        fail_reason: Optional[str] = None
+        count = slots.size
+        if not self._rwr_fallback:
+            strict = np.flatnonzero(states == _SWR_REPLACED)
+            if strict.size:
+                # The first strict-mode SWR death ends the device; deaths
+                # before it are still served.
+                count = int(strict[0]) + 1
+                fail_reason = (
+                    f"SWR replacement line {int(dead_lines[strict[0]])} worn out; "
+                    "region-mapped slots have no further rescue"
+                )
+
+        rescue_mask = ~swr_mask
+        rescue_mask[count:] = False
+        if fail_reason is not None:
+            rescue_mask[count - 1] = False
+        rescue_positions = np.flatnonzero(rescue_mask)
+        available = self._pool_lines.size - self._pool_pos
+        if rescue_positions.size > available:
+            # Pool exhaustion preempts any later strict-mode failure.
+            count = int(rescue_positions[available]) + 1
+            fail_reason = _POOL_EXHAUSTED
+            rescue_positions = rescue_positions[:available]
+
+        slots = slots[:count]
+        swr_mask = swr_mask[:count]
+        actions = np.full(count, BATCH_REPLACE, dtype=np.int8)
+        lines = np.full(count, -1, dtype=np.intp)
+        if fail_reason is not None:
+            actions[count - 1] = BATCH_FAIL
+
+        swr_positions = np.flatnonzero(swr_mask)
+        if swr_positions.size:
+            self._rmt.mark_worn_many(regions[swr_positions], offsets[swr_positions])
+            lines[swr_positions] = sra[swr_positions] * per + offsets[swr_positions]
+            self._state[slots[swr_positions]] = _SWR_REPLACED
+            self._rwr_originals_left -= int(swr_positions.size)
+
+        if rescue_positions.size:
+            taken = self._pool_lines[
+                self._pool_pos : self._pool_pos + rescue_positions.size
+            ]
+            self._pool_pos += int(rescue_positions.size)
+            lines[rescue_positions] = taken
+            rescued_slots = slots[rescue_positions]
+            self._lmt.insert_many(self._original_line[rescued_slots], taken)
+            self._state[rescued_slots] = _LMT_REPLACED
+
+        return BatchOutcome(actions=actions, lines=lines, fail_reason=fail_reason)
+
+    def replacement_extra_floor(self) -> float:
+        """Safety bound: the weakest line any future rescue could hand out.
+
+        Two replacement sources exist -- the not-yet-allocated suffix of
+        the additional pool (exact suffix minimum) and, while any RWR slot
+        still awaits its permanent failover, the SWR lines (static
+        minimum).  The bound tightens as both sources drain.
+        """
+        self._require_initialized()
+        floor = math.inf
+        if self._pool_pos < self._pool_lines.size:
+            floor = float(self._pool_floor[self._pool_pos])
+        if self._rwr_originals_left > 0:
+            floor = min(floor, self._swr_line_floor)
+        return floor
 
     def describe(self) -> str:
         return (

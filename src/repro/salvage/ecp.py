@@ -15,6 +15,8 @@ so ECP buys only a few percent of extra life where Max-WE buys ~10x.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.sparing.base import ExtendBudget, FailDevice, Replacement, SpareScheme
@@ -80,6 +82,14 @@ class ECP(SpareScheme):
         self._used[slot] = used + 1
         bonus = self._bonus_per_pointer * float(self._emap.line_endurance[dead_line])
         return ExtendBudget(wear=bonus)
+
+    def replacement_extra_floor(self) -> float:
+        """Every correction extends by at least the weakest line's bonus."""
+        self._require_initialized()
+        assert self._emap is not None
+        if self._pointers == 0:
+            return math.inf  # every death is already uncorrectable
+        return self._bonus_per_pointer * float(self._emap.line_endurance.min())
 
     def describe(self) -> str:
         return (

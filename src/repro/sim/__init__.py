@@ -8,10 +8,14 @@ divided by the summed endurance of all memory lines.
 Two simulators are provided:
 
 * :class:`~repro.sim.lifetime.LifetimeSimulator` -- the fluid
-  (mean-field) engine.  Wear-leveling schemes contribute their stationary
-  wear distribution, sparing schemes handle deaths event-by-event, and
-  lifetimes are computed exactly under that stationary approximation in
-  ``O(deaths log slots)``.  This is what all benchmark figures use.
+  (mean-field) engine, in two interchangeable implementations (see
+  :data:`~repro.sim.lifetime.ENGINES`): the vectorized ``fluid-batched``
+  epoch kernel (default) and the scalar ``fluid-exact`` event loop kept
+  for differential testing.  Wear-leveling schemes contribute their
+  stationary wear distribution, sparing schemes handle deaths through the
+  batched (or scalar) replacement API, and lifetimes are computed exactly
+  under the stationary approximation.  This is what all benchmark
+  figures use.
 * :class:`~repro.sim.reference.ReferenceSimulator` -- an exact per-write
   simulator over a real :class:`~repro.device.bank.NVMBank` with real
   wear-leveling mechanisms.  Slow, so used on small devices to validate
@@ -23,7 +27,12 @@ and the sweep drivers behind Figures 6-8.
 
 from repro.sim.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
 from repro.sim.config import ExperimentConfig, default_endurance_map
-from repro.sim.lifetime import LifetimeSimulator, simulate_lifetime
+from repro.sim.lifetime import (
+    ENGINES,
+    LifetimeSimulator,
+    normalize_engine,
+    simulate_lifetime,
+)
 from repro.sim.reference import ReferenceSimulator
 from repro.sim.result import SimulationResult
 from repro.sim.runner import (
@@ -46,7 +55,9 @@ __all__ = [
     "ResultCache",
     "ExperimentConfig",
     "default_endurance_map",
+    "ENGINES",
     "LifetimeSimulator",
+    "normalize_engine",
     "simulate_lifetime",
     "ReferenceSimulator",
     "SimulationResult",

@@ -98,7 +98,9 @@ class RunSpec:
     def build_wearleveler(self):
         return build_wearleveler(self.wearlevel)
 
-    def to_task(self, config: ExperimentConfig) -> SimTask:
+    def to_task(
+        self, config: ExperimentConfig, engine: str = "fluid-batched"
+    ) -> SimTask:
         """The declarative runner task equivalent to this spec."""
         return SimTask(
             attack=self.attack,
@@ -107,6 +109,7 @@ class RunSpec:
             p=self.p,
             swr=self.swr,
             config=config,
+            engine=engine,
             label=self.label,
         )
 
@@ -188,6 +191,7 @@ def run_batch(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "fluid-batched",
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -205,6 +209,9 @@ def run_batch(
     cache:
         Optional content-addressed result cache; unchanged specs rerun
         instantly.
+    engine:
+        Lifetime engine for every run (see
+        :data:`repro.sim.lifetime.ENGINES`).
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -214,5 +221,5 @@ def run_batch(
         for spec in specs
     ]
     runner = SimRunner(jobs=jobs, cache=cache)
-    results = runner.run([spec.to_task(config) for spec in normalized])
+    results = runner.run([spec.to_task(config, engine=engine) for spec in normalized])
     return BatchResult(specs=tuple(normalized), results=tuple(results), config=config)

@@ -74,6 +74,7 @@ def spare_fraction_sweep(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "fluid-batched",
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -89,6 +90,7 @@ def spare_fraction_sweep(
             p=fraction,
             swr=config.swr_fraction,
             config=config,
+            engine=engine,
             label=f"spare={fraction:.0%}",
         )
         for fraction in fractions
@@ -104,6 +106,7 @@ def swr_fraction_sweep(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "fluid-batched",
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
@@ -115,6 +118,7 @@ def swr_fraction_sweep(
             p=config.spare_fraction,
             swr=swr_fraction,
             config=config,
+            engine=engine,
             label=f"{wl_name}/swr={swr_fraction:.0%}",
         )
         for wl_name in wearlevelers
@@ -134,6 +138,7 @@ def bpa_scheme_comparison(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "fluid-batched",
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -150,6 +155,7 @@ def bpa_scheme_comparison(
             p=config.spare_fraction,
             swr=config.swr_fraction,
             config=config,
+            engine=engine,
             label=f"{sparing_name}/{wl_name}",
         )
         for sparing_name in sparing_names
@@ -167,6 +173,7 @@ def uaa_scheme_comparison(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    engine: str = "fluid-batched",
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -183,6 +190,7 @@ def uaa_scheme_comparison(
             p=config.spare_fraction,
             swr=config.swr_fraction,
             config=config,
+            engine=engine,
             label=name,
         )
         for name in names

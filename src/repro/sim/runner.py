@@ -43,7 +43,7 @@ from repro.core.maxwe import MaxWE
 from repro.endurance.emap import EnduranceMap
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
-from repro.sim.lifetime import simulate_lifetime
+from repro.sim.lifetime import normalize_engine, simulate_lifetime
 from repro.sim.result import SimulationResult
 from repro.sparing.base import SpareScheme
 from repro.sparing.none import NoSparing
@@ -137,6 +137,13 @@ class SimTask:
     emap_seed:
         Optional placement-seed override: the endurance map is rebuilt
         from ``config`` with this seed (Monte-Carlo placement variance).
+    engine:
+        Lifetime engine (see :data:`repro.sim.lifetime.ENGINES`);
+        defaults to the vectorized ``"fluid-batched"`` kernel.
+    record_timeline:
+        Whether the simulation records per-death timeline events.  Off by
+        default: batch/sweep surfaces aggregate scalar results, and the
+        timeline is never cached anyway.
     label:
         Cosmetic row label; excluded from the cache key so relabelled
         reruns still hit.
@@ -150,9 +157,12 @@ class SimTask:
     config: ExperimentConfig = field(default_factory=ExperimentConfig)
     seed: Optional[int] = None
     emap_seed: Optional[int] = None
+    engine: str = "fluid-batched"
+    record_timeline: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", normalize_engine(self.engine))
         if self.attack not in ATTACKS and self.attack not in WORKLOAD_NAMES:
             raise ValueError(
                 f"unknown attack {self.attack!r}; choose from {ATTACKS} "
@@ -193,6 +203,7 @@ class SimTask:
             "swr": float(self.swr),
             "seed": int(self.effective_seed),
             "emap_seed": None if self.emap_seed is None else int(self.emap_seed),
+            "engine": self.engine,
             "config": {
                 "regions": self.config.regions,
                 "lines_per_region": self.config.lines_per_region,
@@ -211,6 +222,8 @@ class SimTask:
             build_sparing(self.sparing, self.p, self.swr),
             wearleveler=build_wearleveler(self.wearlevel),
             rng=self.effective_seed,
+            engine=self.engine,
+            record_timeline=self.record_timeline,
         )
         return result, perf_counter() - start
 
@@ -232,6 +245,8 @@ class CallableTask:
     emap_factory: Callable[[int], EnduranceMap]
     seed: int
     wearleveler_factory: Optional[Callable[[], WearLeveler]] = None
+    engine: str = "fluid-batched"
+    record_timeline: bool = False
     label: str = ""
 
     def execute(self) -> Tuple[SimulationResult, float]:
@@ -252,6 +267,8 @@ class CallableTask:
             self.sparing_factory(),
             wearleveler=wearleveler,
             rng=self.seed,
+            engine=self.engine,
+            record_timeline=self.record_timeline,
         )
         return result, perf_counter() - start
 

@@ -15,12 +15,26 @@ The lifetime engine drives a sparing scheme through three phases:
 
 Device failure is also declared by the engine when the number of live
 slots drops below :attr:`SpareScheme.min_user_slots`.
+
+**Batched sparing.**  The vectorized (``fluid-batched``) engine delivers
+deaths in chronological groups through :meth:`SpareScheme.replace_batch`,
+which returns a :class:`BatchOutcome` -- the array form of a list of
+:class:`Replacement` verbs.  The base implementation simply loops the
+scalar :meth:`SpareScheme.replace`, so third-party schemes keep working
+unmodified (correct, just not vectorized); the built-in schemes override
+it with numpy implementations.  A scheme that can replace (or extend)
+should also override :meth:`SpareScheme.replacement_extra_floor` with a
+lower bound on the wear budget any single future replacement adds: the
+engine uses it to size chronologically-safe death batches (see
+``sim/lifetime.py``).  Returning ``None`` (the default) makes the engine
+fall back to one-death-at-a-time delivery.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -65,6 +79,104 @@ class FailDevice:
 
 
 Replacement = ReplaceWith | RemoveSlot | ExtendBudget | FailDevice
+
+#: Action codes of :class:`BatchOutcome` (array form of the verbs above).
+BATCH_REPLACE: int = 0
+BATCH_EXTEND: int = 1
+BATCH_REMOVE: int = 2
+BATCH_FAIL: int = 3
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Vectorized replacement verdicts for one chronological death batch.
+
+    Position ``k`` of every array answers death ``k`` of the batch passed
+    to :meth:`SpareScheme.replace_batch`.  A scheme that fails the device
+    mid-batch truncates its answer: the arrays cover only the deaths it
+    processed, the last action is :data:`BATCH_FAIL`, and the engine never
+    looks at the unprocessed tail.
+
+    Attributes
+    ----------
+    actions:
+        ``int8`` action code per death (:data:`BATCH_REPLACE`,
+        :data:`BATCH_EXTEND`, :data:`BATCH_REMOVE`, :data:`BATCH_FAIL`).
+    lines:
+        Replacement line per :data:`BATCH_REPLACE` death (-1 elsewhere).
+    wear:
+        Budget extension per :data:`BATCH_EXTEND` death (0 elsewhere).
+    fail_reason:
+        Failure reason iff the last action is :data:`BATCH_FAIL`.
+    """
+
+    actions: np.ndarray
+    lines: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+    wear: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=float))
+    fail_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        actions = np.asarray(self.actions, dtype=np.int8)
+        object.__setattr__(self, "actions", actions)
+        lines = np.asarray(self.lines, dtype=np.intp)
+        if lines.size == 0 and actions.size:
+            lines = np.full(actions.size, -1, dtype=np.intp)
+        object.__setattr__(self, "lines", lines)
+        wear = np.asarray(self.wear, dtype=float)
+        if wear.size == 0 and actions.size:
+            wear = np.zeros(actions.size, dtype=float)
+        object.__setattr__(self, "wear", wear)
+        if actions.size == 0:
+            raise ValueError("a batch outcome must cover at least one death")
+        if lines.size != actions.size or wear.size != actions.size:
+            raise ValueError("batch outcome arrays must be index-aligned")
+        fails = np.flatnonzero(actions == BATCH_FAIL)
+        if fails.size > 1 or (fails.size == 1 and fails[0] != actions.size - 1):
+            raise ValueError("BATCH_FAIL may only appear once, as the last action")
+        if (fails.size == 1) != (self.fail_reason is not None):
+            raise ValueError("fail_reason must accompany exactly a trailing BATCH_FAIL")
+
+    @property
+    def size(self) -> int:
+        """Number of deaths this outcome covers."""
+        return int(self.actions.size)
+
+    @property
+    def failed(self) -> bool:
+        """Whether the batch ended in device failure."""
+        return self.fail_reason is not None
+
+    # ------------------------------------------------------------------
+    # Constructors for the common uniform batches
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def all_replaced(cls, lines: np.ndarray) -> "BatchOutcome":
+        """Every death rescued by the index-aligned ``lines``."""
+        lines = np.asarray(lines, dtype=np.intp)
+        return cls(actions=np.full(lines.size, BATCH_REPLACE, dtype=np.int8), lines=lines)
+
+    @classmethod
+    def all_removed(cls, count: int) -> "BatchOutcome":
+        """Every death retired (capacity degradation)."""
+        return cls(actions=np.full(count, BATCH_REMOVE, dtype=np.int8))
+
+    @classmethod
+    def replaced_then_fail(cls, lines: np.ndarray, reason: str) -> "BatchOutcome":
+        """``lines.size`` rescues followed by device failure."""
+        lines = np.asarray(lines, dtype=np.intp)
+        actions = np.full(lines.size + 1, BATCH_REPLACE, dtype=np.int8)
+        actions[-1] = BATCH_FAIL
+        return cls(
+            actions=actions,
+            lines=np.append(lines, np.intp(-1)),
+            fail_reason=reason,
+        )
+
+    @classmethod
+    def fail(cls, reason: str) -> "BatchOutcome":
+        """The first death of the batch already kills the device."""
+        return cls(actions=np.array([BATCH_FAIL], dtype=np.int8), fail_reason=reason)
 
 
 class SpareScheme(ABC):
@@ -161,6 +273,57 @@ class SpareScheme(ABC):
     @abstractmethod
     def replace(self, slot: int, dead_line: int) -> Replacement:
         """React to the death of ``dead_line`` backing ``slot``."""
+
+    def replace_batch(
+        self, slots: Sequence[int], dead_lines: Sequence[int]
+    ) -> BatchOutcome:
+        """React to a chronologically ordered batch of deaths at once.
+
+        The engine guarantees the batch is sorted in event order (virtual
+        death time, ties by slot id) and that no slot appears twice.  This
+        base implementation loops the scalar :meth:`replace`, truncating at
+        the first :class:`FailDevice`, so any scheme works unmodified;
+        built-in schemes override it with vectorized versions.
+        """
+        count = len(slots)
+        actions = np.empty(count, dtype=np.int8)
+        lines = np.full(count, -1, dtype=np.intp)
+        wear = np.zeros(count, dtype=float)
+        for index, (slot, dead_line) in enumerate(zip(slots, dead_lines)):
+            outcome = self.replace(int(slot), int(dead_line))
+            if isinstance(outcome, ReplaceWith):
+                actions[index] = BATCH_REPLACE
+                lines[index] = outcome.line
+            elif isinstance(outcome, ExtendBudget):
+                actions[index] = BATCH_EXTEND
+                wear[index] = outcome.wear
+            elif isinstance(outcome, RemoveSlot):
+                actions[index] = BATCH_REMOVE
+            else:
+                assert isinstance(outcome, FailDevice)
+                actions[index] = BATCH_FAIL
+                end = index + 1
+                return BatchOutcome(
+                    actions=actions[:end],
+                    lines=lines[:end],
+                    wear=wear[:end],
+                    fail_reason=outcome.reason,
+                )
+        return BatchOutcome(actions=actions, lines=lines, wear=wear)
+
+    def replacement_extra_floor(self) -> Optional[float]:
+        """Lower bound on the wear budget any one future replacement adds.
+
+        The batched engine may only group deaths whose times span less
+        than ``floor / max_weight``: within such a window no replacement
+        (:class:`ReplaceWith` endurance or :class:`ExtendBudget` wear) can
+        push a slot's next death back inside the window, so processing the
+        group in one :meth:`replace_batch` call preserves exact event
+        order.  ``math.inf`` is correct for schemes that never replace;
+        ``None`` (the default) means unknown, and the engine delivers
+        deaths one at a time.
+        """
+        return None
 
     def describe(self) -> str:
         """Human-readable one-liner for reports."""

@@ -7,9 +7,12 @@ Under UAA this realizes Equation 4, ``L_UAA = N * EL`` -- the paper's
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 import numpy as np
 
-from repro.sparing.base import FailDevice, Replacement, SpareScheme
+from repro.sparing.base import BatchOutcome, FailDevice, Replacement, SpareScheme
 
 
 class NoSparing(SpareScheme):
@@ -26,6 +29,18 @@ class NoSparing(SpareScheme):
 
     def replace(self, slot: int, dead_line: int) -> Replacement:
         return FailDevice(reason=f"line {dead_line} worn out and no spares exist")
+
+    def replace_batch(
+        self, slots: Sequence[int], dead_lines: Sequence[int]
+    ) -> BatchOutcome:
+        """The earliest death of any batch is already fatal."""
+        return BatchOutcome.fail(
+            f"line {int(dead_lines[0])} worn out and no spares exist"
+        )
+
+    def replacement_extra_floor(self) -> float:
+        """Never replaces, so any death window is chronologically safe."""
+        return math.inf
 
     def describe(self) -> str:
         return "no protection (fails at first wear-out)"

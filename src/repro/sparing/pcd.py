@@ -10,9 +10,12 @@ the extra headroom of the ``(S+1)``-th (Equation 7's area).
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 import numpy as np
 
-from repro.sparing.base import RemoveSlot, Replacement, SpareScheme
+from repro.sparing.base import BatchOutcome, RemoveSlot, Replacement, SpareScheme
 from repro.util.validation import require_fraction
 
 
@@ -39,6 +42,16 @@ class PCD(SpareScheme):
     def replace(self, slot: int, dead_line: int) -> Replacement:
         """Dead lines are simply retired; the engine tracks capacity."""
         return RemoveSlot()
+
+    def replace_batch(
+        self, slots: Sequence[int], dead_lines: Sequence[int]
+    ) -> BatchOutcome:
+        """Retire every death; the engine enforces the capacity floor."""
+        return BatchOutcome.all_removed(len(slots))
+
+    def replacement_extra_floor(self) -> float:
+        """Never replaces, so any death window is chronologically safe."""
+        return math.inf
 
     def describe(self) -> str:
         return f"PCD (capacity degradation, {self.spare_fraction:.0%} slack)"

@@ -20,11 +20,18 @@ policy), ``"random"``, or ``"weakest-first"``.
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.sparing.base import FailDevice, Replacement, ReplaceWith, SpareScheme
+from repro.sparing.base import (
+    BatchOutcome,
+    FailDevice,
+    Replacement,
+    ReplaceWith,
+    SpareScheme,
+)
 from repro.util.validation import require_fraction
 
 #: Valid pool-selection policies.
@@ -64,7 +71,12 @@ class PS(SpareScheme):
         super().__init__(spare_fraction=spare_fraction)
         self._selection = selection
         self._allocation = allocation
-        self._pool: List[int] = []
+        # Allocation-ordered pool, consumed front-to-back via a cursor so
+        # batch handouts are O(1) slices; ``_pool_floor`` holds the
+        # minimum endurance over each suffix (the batching safety bound).
+        self._pool_lines: np.ndarray = np.empty(0, dtype=np.intp)
+        self._pool_floor: np.ndarray = np.empty(0, dtype=float)
+        self._pool_pos: int = 0
 
     @classmethod
     def average_case(cls, spare_fraction: float = 0.1) -> "PS":
@@ -90,7 +102,7 @@ class PS(SpareScheme):
     def pool_remaining(self) -> int:
         """Spare lines not yet handed out."""
         self._require_initialized()
-        return len(self._pool)
+        return int(self._pool_lines.size - self._pool_pos)
 
     def _build_backing(self) -> np.ndarray:
         assert self._emap is not None and self._rng is not None
@@ -106,32 +118,78 @@ class PS(SpareScheme):
             pool = self._rng.choice(total, size=spares, replace=False)
 
         pool_set = set(int(line) for line in pool)
-        backing = np.array(
-            [line for line in range(total) if line not in pool_set], dtype=np.intp
+        pool_array = np.sort(np.asarray(pool, dtype=np.intp))
+        backing = np.setdiff1d(
+            np.arange(total, dtype=np.intp), pool_array, assume_unique=True
         )
-        self._pool = self._ordered_pool(list(pool_set))
+        self._pool_lines = np.asarray(
+            self._ordered_pool(list(pool_set)), dtype=np.intp
+        )
+        if self._pool_lines.size:
+            self._pool_floor = np.minimum.accumulate(
+                endurance[self._pool_lines][::-1]
+            )[::-1]
+        else:
+            self._pool_floor = np.empty(0, dtype=float)
+        self._pool_pos = 0
         return backing
 
-    def _ordered_pool(self, pool: List[int]) -> List[int]:
-        """Order the pool so allocation pops from the front."""
+    def _ordered_pool(self, pool: List[int]) -> np.ndarray:
+        """Order the pool so allocation pops from the front.
+
+        The sorted orders use a *stable* argsort over the incoming pool
+        order, matching what a stable Python ``sorted`` would produce on
+        the same list; the random order shuffles the Python list itself
+        so the RNG stream is untouched.
+        """
         assert self._emap is not None and self._rng is not None
         endurance = self._emap.line_endurance
+        arr = np.asarray(pool, dtype=np.intp)
         if self._allocation == "strongest-first":
-            return sorted(pool, key=lambda line: -endurance[line])
+            return arr[np.argsort(-endurance[arr], kind="stable")]
         if self._allocation == "weakest-first":
-            return sorted(pool, key=lambda line: endurance[line])
+            return arr[np.argsort(endurance[arr], kind="stable")]
         shuffled = list(pool)
         self._rng.shuffle(shuffled)
-        return shuffled
+        return np.asarray(shuffled, dtype=np.intp)
 
     def replace(self, slot: int, dead_line: int) -> Replacement:
         """Hand out the next pool line; fail when the pool is dry."""
         self._require_initialized()
-        if not self._pool:
+        if self._pool_pos >= self._pool_lines.size:
             return FailDevice(
                 reason=f"line {dead_line} worn out with the spare pool exhausted"
             )
-        return ReplaceWith(line=self._pool.pop(0))
+        line = int(self._pool_lines[self._pool_pos])
+        self._pool_pos += 1
+        return ReplaceWith(line=line)
+
+    def replace_batch(
+        self, slots: Sequence[int], dead_lines: Sequence[int]
+    ) -> BatchOutcome:
+        """Hand out the next ``len(slots)`` pool lines in allocation order."""
+        self._require_initialized()
+        count = len(slots)
+        available = self._pool_lines.size - self._pool_pos
+        granted = min(count, available)
+        handed = self._pool_lines[self._pool_pos : self._pool_pos + granted]
+        self._pool_pos += granted
+        if granted < count:
+            return BatchOutcome.replaced_then_fail(
+                handed,
+                reason=(
+                    f"line {int(dead_lines[granted])} worn out with the spare "
+                    "pool exhausted"
+                ),
+            )
+        return BatchOutcome.all_replaced(handed)
+
+    def replacement_extra_floor(self) -> float:
+        """Minimum endurance over the not-yet-allocated pool suffix."""
+        self._require_initialized()
+        if self._pool_pos >= self._pool_lines.size:
+            return math.inf  # next death fails the device; no replacement left
+        return float(self._pool_floor[self._pool_pos])
 
     def describe(self) -> str:
         return (

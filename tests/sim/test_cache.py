@@ -77,7 +77,7 @@ class TestHitMiss:
         assert cache.stats.hit_rate == 0.5
 
     def test_timeline_not_cached(self, cache):
-        task = SimTask(config=SMALL)
+        task = SimTask(config=SMALL, record_timeline=True)
         result, _ = task.execute()
         assert result.timeline  # the live run records one
         cache.put(task, result)

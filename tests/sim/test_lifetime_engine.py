@@ -94,7 +94,7 @@ class TestBookkeeping:
         result = simulate_lifetime(
             linear_map(), UniformAddressAttack(), MaxWE(0.1), rng=1
         )
-        assert result.metadata["engine"] == "fluid"
+        assert result.metadata["engine"] == "fluid-batched"
         assert "Max-WE" in str(result.metadata["sparing"])
         assert "UAA" in str(result.metadata["attack"])
 
