@@ -14,6 +14,7 @@ Subcommands map one-to-one onto the paper's experiments:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -35,21 +36,42 @@ from repro.sim.experiments import (
     swr_fraction_sweep,
     uaa_scheme_comparison,
 )
+from repro.sim.faults import FAULT_SPEC_ENV, FaultSpec, FaultSpecError
 from repro.sim.lifetime import ENGINES, simulate_lifetime
+from repro.sim.resilience import (
+    Checkpoint,
+    ResiliencePolicy,
+    RunInterrupted,
+    SimulationFailure,
+    derive_checkpoint_path,
+)
 from repro.sparing.none import NoSparing
 from repro.sparing.pcd import PCD
 from repro.sparing.ps import PS
 from repro.util.stats import geometric_mean
 from repro.util.tables import render_table
+from repro.util.validation import (
+    fraction_arg,
+    nonnegative_int_arg,
+    positive_float_arg,
+    positive_int_arg,
+)
 from repro.wearlevel import make_scheme
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--regions", type=int, default=2048, help="region count")
     parser.add_argument(
-        "--lines-per-region", type=int, default=8, help="lines per region (scaled)"
+        "--regions", type=positive_int_arg, default=2048, help="region count"
     )
-    parser.add_argument("--q", type=float, default=50.0, help="variation degree EH/EL")
+    parser.add_argument(
+        "--lines-per-region",
+        type=positive_int_arg,
+        default=8,
+        help="lines per region (scaled)",
+    )
+    parser.add_argument(
+        "--q", type=positive_float_arg, default=50.0, help="variation degree EH/EL"
+    )
     parser.add_argument(
         "--endurance-model",
         choices=("linear", "zhang-li", "lognormal"),
@@ -79,6 +101,14 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _fault_spec_arg(text: str) -> str:
+    try:
+        FaultSpec.parse(text)
+    except FaultSpecError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -90,6 +120,57 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the content-addressed result cache (.repro-cache/)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=positive_float_arg,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock limit; a task over it is retried, then "
+        "recorded as failed (default: no limit)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=nonnegative_int_arg,
+        default=2,
+        metavar="N",
+        help="extra attempts per task after crash/timeout/transient "
+        "errors (default: 2)",
+    )
+    outcome = parser.add_mutually_exclusive_group()
+    outcome.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop dispatching new tasks after the first terminal failure",
+    )
+    outcome.add_argument(
+        "--keep-going",
+        action="store_false",
+        dest="fail_fast",
+        help="run every task even if some fail (default)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append finished results to this JSONL journal and skip "
+        "entries already in it (implies --resume semantics)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint under a derived path in .repro-checkpoints/ "
+        "(or $REPRO_CHECKPOINT_DIR); re-running the same command skips "
+        "finished work",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        type=_fault_spec_arg,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for resilience testing, e.g. "
+        "'crash=0.2,hang=0.05,transient=0.1,seed=7' (see repro.sim.faults)",
     )
 
 
@@ -114,6 +195,57 @@ def _cache_from(args: argparse.Namespace):
 def _print_cache_stats(cache) -> None:
     if cache is not None and cache.stats.lookups:
         print(f"[cache {cache.stats} under {cache.root}]")
+
+
+def _policy_from(args: argparse.Namespace) -> ResiliencePolicy:
+    return ResiliencePolicy(
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 2),
+        fail_fast=getattr(args, "fail_fast", False),
+    )
+
+
+def _checkpoint_from(
+    args: argparse.Namespace, config: ExperimentConfig, extra: dict | None = None
+) -> "Checkpoint | None":
+    """The run's checkpoint journal, or ``None`` when not requested.
+
+    ``--checkpoint PATH`` names the journal explicitly; ``--resume``
+    derives a content-keyed path from the command + configuration +
+    engine so re-running the identical command resumes the same journal.
+    """
+    if getattr(args, "checkpoint", None):
+        return Checkpoint(args.checkpoint, resume=True)
+    if not getattr(args, "resume", False):
+        return None
+    payload = {
+        "command": args.command,
+        "engine": getattr(args, "engine", None),
+        "config": {
+            "regions": config.regions,
+            "lines_per_region": config.lines_per_region,
+            "q": config.q,
+            "endurance_model": config.endurance_model,
+            "seed": config.seed,
+        },
+    }
+    if extra:
+        payload.update(extra)
+    path = derive_checkpoint_path(args.command, payload)
+    print(f"[checkpoint journal: {path}]")
+    return Checkpoint(path, resume=True)
+
+
+def _install_faults(args: argparse.Namespace) -> None:
+    """Activate ``--inject-faults`` for this process and all pool workers.
+
+    The variable is restored by :func:`main` after the command finishes,
+    so in-process callers (tests, notebooks) are not left with an active
+    fault campaign.
+    """
+    spec = getattr(args, "inject_faults", None)
+    if spec:
+        os.environ[FAULT_SPEC_ENV] = spec
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -185,10 +317,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_sweep_spare(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
+    _install_faults(args)
     rows = [
         [f"{fraction:.0%}", result.normalized_lifetime]
         for fraction, result in spare_fraction_sweep(
-            config, jobs=args.jobs, cache=cache, engine=args.engine
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            engine=args.engine,
+            policy=_policy_from(args),
+            checkpoint=_checkpoint_from(args, config),
         )
     ]
     print(
@@ -205,7 +343,15 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
 def _cmd_sweep_swr(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
-    sweeps = swr_fraction_sweep(config, jobs=args.jobs, cache=cache, engine=args.engine)
+    _install_faults(args)
+    sweeps = swr_fraction_sweep(
+        config,
+        jobs=args.jobs,
+        cache=cache,
+        engine=args.engine,
+        policy=_policy_from(args),
+        checkpoint=_checkpoint_from(args, config),
+    )
     fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
     headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
     rows = [
@@ -224,7 +370,15 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
 def _cmd_compare_uaa(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
-    results = uaa_scheme_comparison(config, jobs=args.jobs, cache=cache, engine=args.engine)
+    _install_faults(args)
+    results = uaa_scheme_comparison(
+        config,
+        jobs=args.jobs,
+        cache=cache,
+        engine=args.engine,
+        policy=_policy_from(args),
+        checkpoint=_checkpoint_from(args, config),
+    )
     baseline = results["no-protection"].normalized_lifetime
     rows = [
         [name, result.normalized_lifetime, result.normalized_lifetime / baseline]
@@ -244,7 +398,15 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
 def _cmd_compare_bpa(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
-    comparison = bpa_scheme_comparison(config, jobs=args.jobs, cache=cache, engine=args.engine)
+    _install_faults(args)
+    comparison = bpa_scheme_comparison(
+        config,
+        jobs=args.jobs,
+        cache=cache,
+        engine=args.engine,
+        policy=_policy_from(args),
+        checkpoint=_checkpoint_from(args, config),
+    )
     wearlevelers = list(next(iter(comparison.values())).keys())
     headers = ["scheme"] + wearlevelers + ["gmean"]
     rows = []
@@ -279,9 +441,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from repro.sim.batch import run_batch
 
-    specs = _json.loads(open(args.specs).read())
+    try:
+        specs = _json.loads(open(args.specs).read())
+    except FileNotFoundError:
+        print(f"error: spec file {args.specs!r} not found")
+        return 1
+    except _json.JSONDecodeError as error:
+        print(f"error: spec file {args.specs!r} is not valid JSON: {error}")
+        return 1
+    config = _config_from(args)
     cache = _cache_from(args)
-    batch = run_batch(specs, _config_from(args), jobs=args.jobs, cache=cache, engine=args.engine)
+    _install_faults(args)
+    try:
+        batch = run_batch(
+            specs,
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            engine=args.engine,
+            policy=_policy_from(args),
+            checkpoint=_checkpoint_from(args, config, {"specs": specs}),
+        )
+    except (ValueError, TypeError) as error:
+        print(f"error: invalid batch spec: {error}")
+        return 1
     print(batch.to_table())
     _print_cache_stats(cache)
     if args.output:
@@ -361,8 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     analyze = subparsers.add_parser("analyze", help="closed-form lifetimes (Eq. 3-8)")
-    analyze.add_argument("--p", type=float, default=0.1, help="spare fraction")
-    analyze.add_argument("--q", type=float, default=50.0, help="variation degree")
+    analyze.add_argument("--p", type=fraction_arg, default=0.1, help="spare fraction")
+    analyze.add_argument(
+        "--q", type=positive_float_arg, default=50.0, help="variation degree"
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     simulate = subparsers.add_parser("simulate", help="one lifetime simulation")
@@ -381,8 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="max-we",
     )
     _add_engine_argument(simulate)
-    simulate.add_argument("--p", type=float, default=0.1, help="spare fraction")
-    simulate.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
+    simulate.add_argument("--p", type=fraction_arg, default=0.1, help="spare fraction")
+    simulate.add_argument(
+        "--swr", type=fraction_arg, default=0.9, help="SWR share of spares"
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     sweep_spare = subparsers.add_parser("sweep-spare", help="Figure 6 sweep")
@@ -410,8 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare_bpa.set_defaults(handler=_cmd_compare_bpa)
 
     overhead = subparsers.add_parser("overhead", help="Section 5.3.2 overhead")
-    overhead.add_argument("--p", type=float, default=0.1, help="spare fraction")
-    overhead.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
+    overhead.add_argument("--p", type=fraction_arg, default=0.1, help="spare fraction")
+    overhead.add_argument(
+        "--swr", type=fraction_arg, default=0.9, help="SWR share of spares"
+    )
     overhead.set_defaults(handler=_cmd_overhead)
 
     batch = subparsers.add_parser(
@@ -451,8 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="max-we",
     )
     _add_engine_argument(replay)
-    replay.add_argument("--p", type=float, default=0.1, help="spare fraction")
-    replay.add_argument("--swr", type=float, default=0.9, help="SWR share of spares")
+    replay.add_argument("--p", type=fraction_arg, default=0.1, help="spare fraction")
+    replay.add_argument(
+        "--swr", type=fraction_arg, default=0.9, help="SWR share of spares"
+    )
     replay.set_defaults(handler=_cmd_replay_trace)
 
     report = subparsers.add_parser(
@@ -468,10 +659,49 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes: 0 on success, 1 on failed tasks or bad inputs, 130 on
+    interruption (the conventional 128 + SIGINT).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    previous_fault_spec = os.environ.get(FAULT_SPEC_ENV)
+    try:
+        return args.handler(args)
+    except SimulationFailure as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        for record in failure.failures:
+            print(f"  - {record}", file=sys.stderr)
+        return 1
+    except RunInterrupted as interrupt:
+        done = sum(1 for result in interrupt.results if result is not None)
+        print(
+            f"\ninterrupted: {done}/{len(interrupt.results)} tasks finished",
+            file=sys.stderr,
+        )
+        if getattr(args, "checkpoint", None) or getattr(args, "resume", False):
+            print(
+                "finished work is checkpointed; re-run the same command "
+                "with --resume (or the same --checkpoint) to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "hint: add --resume so an interrupted run can pick up "
+                "where it left off",
+                file=sys.stderr,
+            )
+        return 130
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+    finally:
+        if getattr(args, "inject_faults", None):
+            if previous_fault_spec is None:
+                os.environ.pop(FAULT_SPEC_ENV, None)
+            else:
+                os.environ[FAULT_SPEC_ENV] = previous_fault_spec
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ Spec fields mirror the CLI's vocabulary::
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -26,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.attacks.suite import WORKLOAD_NAMES
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
+from repro.sim.resilience import Checkpoint, ResiliencePolicy
 from repro.sim.result import SimulationResult
 from repro.sim.runner import (
     ATTACKS,
@@ -38,6 +40,7 @@ from repro.sim.runner import (
     build_wearleveler,
 )
 from repro.util.tables import render_table
+from repro.util.validation import require_fraction
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,8 @@ class RunSpec:
             raise ValueError(
                 f"unknown wearlevel {self.wearlevel!r}; choose from {WEARLEVELERS}"
             )
+        require_fraction(self.p, "p")
+        require_fraction(self.swr, "swr")
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "RunSpec":
@@ -192,6 +197,8 @@ def run_batch(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: str = "fluid-batched",
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -212,6 +219,12 @@ def run_batch(
     engine:
         Lifetime engine for every run (see
         :data:`repro.sim.lifetime.ENGINES`).
+    policy:
+        Supervision policy (timeouts, retries, crash isolation); see
+        :class:`~repro.sim.resilience.ResiliencePolicy`.
+    checkpoint:
+        Optional resume checkpoint (or journal path): completed runs
+        stream to it and a re-invocation skips finished work.
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -220,6 +233,6 @@ def run_batch(
         spec if isinstance(spec, RunSpec) else RunSpec.from_dict(spec)
         for spec in specs
     ]
-    runner = SimRunner(jobs=jobs, cache=cache)
+    runner = SimRunner(jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint)
     results = runner.run([spec.to_task(config, engine=engine) for spec in normalized])
     return BatchResult(specs=tuple(normalized), results=tuple(results), config=config)

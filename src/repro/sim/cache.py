@@ -38,6 +38,9 @@ CACHE_SCHEMA_VERSION: int = 2
 #: environment variable or the ``root`` constructor argument).
 DEFAULT_CACHE_DIR: str = ".repro-cache"
 
+#: Subdirectory (under the cache root) that corrupt entries are moved to.
+QUARANTINE_DIR: str = "quarantine"
+
 
 class Cacheable(Protocol):
     """Anything keyable by the cache: exposes a canonical payload."""
@@ -67,6 +70,7 @@ class CacheStats:
     hits: int
     misses: int
     stores: int
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,6 +112,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._stores = 0
+        self._quarantined = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,7 +131,17 @@ class ResultCache:
     @property
     def stats(self) -> CacheStats:
         """Hit/miss/store counters accumulated by this instance."""
-        return CacheStats(hits=self._hits, misses=self._misses, stores=self._stores)
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            quarantined=self._quarantined,
+        )
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Directory corrupt entries are moved to."""
+        return self._root / QUARANTINE_DIR
 
     def key(self, task: Cacheable) -> str:
         """Content key of ``task`` under this cache's schema version."""
@@ -137,11 +152,17 @@ class ResultCache:
         key = self.key(task)
         return self._root / key[:2] / f"{key}.json"
 
+    def _entry_files(self):
+        """Entry files on disk (excludes the quarantine directory)."""
+        if not self._root.is_dir():
+            return
+        for subdir in self._root.iterdir():
+            if subdir.is_dir() and subdir.name != QUARANTINE_DIR:
+                yield from subdir.glob("*.json")
+
     def __len__(self) -> int:
         """Number of entries on disk (all schema versions)."""
-        if not self._root.is_dir():
-            return 0
-        return sum(1 for _ in self._root.glob("*/*.json"))
+        return sum(1 for _ in self._entry_files())
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -150,8 +171,10 @@ class ResultCache:
     def get(self, task: Cacheable) -> Optional[SimulationResult]:
         """Cached result of ``task``, or ``None`` (counted as hit/miss).
 
-        Corrupt or unreadable entries are treated as misses and removed
-        so the next store can rewrite them.
+        Corrupt, truncated, or unparseable entries are treated as misses
+        and moved to ``quarantine/`` (never raised, never silently
+        deleted): the next store can rewrite the key while the bad bytes
+        stay available for debugging whatever truncated them.
         """
         path = self.path_for(task)
         try:
@@ -162,10 +185,22 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self._misses += 1
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return None
         self._hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry under ``quarantine/`` (best effort)."""
+        try:
+            destination = self.quarantine_root / path.name
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+            self._quarantined += 1
+        except OSError:
+            # Quarantine must never make a miss worse; fall back to
+            # removal so the next store is not blocked by the bad file.
+            path.unlink(missing_ok=True)
 
     def put(
         self,
@@ -188,9 +223,18 @@ class ResultCache:
             "elapsed_seconds": float(elapsed),
             "result": result.to_dict(include_timeline=False),
         }
+        text = json.dumps(entry, indent=2, default=str)
+        # Fault-injection hook: the corrupted-cache-entry campaign models
+        # a full disk / torn write by storing a truncated entry, which a
+        # later get() must quarantine and treat as a miss.
+        from repro.sim.faults import active_injector
+
+        injector = active_injector()
+        if injector is not None and injector.corrupt_cache_entry(path.stem):
+            text = text[: max(len(text) // 2, 1)]
         # Write-then-rename so concurrent readers never see a torn entry.
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, indent=2, default=str))
+        tmp.write_text(text)
         tmp.replace(path)
         self._stores += 1
         return path
@@ -198,8 +242,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
         removed = 0
-        if self._root.is_dir():
-            for entry in self._root.glob("*/*.json"):
-                entry.unlink(missing_ok=True)
-                removed += 1
+        for entry in self._entry_files():
+            entry.unlink(missing_ok=True)
+            removed += 1
         return removed

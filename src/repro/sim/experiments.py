@@ -18,17 +18,23 @@ tests can format them however they need.
 Every driver expresses its runs as declarative
 :class:`~repro.sim.runner.SimTask` specs and executes them through one
 :class:`~repro.sim.runner.SimRunner`, so all sweeps accept ``jobs``
-(process-parallel fan-out; results are bit-identical to serial) and
-``cache`` (content-addressed result reuse across reruns).
+(process-parallel fan-out; results are bit-identical to serial),
+``cache`` (content-addressed result reuse across reruns), ``policy``
+(supervision: per-task timeouts, bounded retries, crash isolation --
+see :class:`~repro.sim.resilience.ResiliencePolicy`), and
+``checkpoint`` (append-only completed-result journal so an interrupted
+sweep resumes without re-simulating finished points).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.maxwe import MaxWE
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
+from repro.sim.resilience import Checkpoint, ResiliencePolicy
 from repro.sim.result import SimulationResult
 from repro.sim.runner import SimRunner, SimTask
 from repro.sparing.base import SpareScheme
@@ -64,8 +70,12 @@ def _run_tasks(
     tasks: Sequence[SimTask],
     jobs: int,
     cache: Optional[ResultCache],
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> List[SimulationResult]:
-    return SimRunner(jobs=jobs, cache=cache).run(tasks)
+    return SimRunner(
+        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint
+    ).run(tasks)
 
 
 def spare_fraction_sweep(
@@ -75,6 +85,8 @@ def spare_fraction_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: str = "fluid-batched",
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -95,7 +107,7 @@ def spare_fraction_sweep(
         )
         for fraction in fractions
     ]
-    results = _run_tasks(tasks, jobs, cache)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint)
     return list(zip(fractions, results))
 
 
@@ -107,6 +119,8 @@ def swr_fraction_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: str = "fluid-batched",
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
@@ -124,7 +138,7 @@ def swr_fraction_sweep(
         for wl_name in wearlevelers
         for swr_fraction in swr_fractions
     ]
-    results = iter(_run_tasks(tasks, jobs, cache))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint))
     return {
         wl_name: [(swr_fraction, next(results)) for swr_fraction in swr_fractions]
         for wl_name in wearlevelers
@@ -139,6 +153,8 @@ def bpa_scheme_comparison(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: str = "fluid-batched",
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -161,7 +177,7 @@ def bpa_scheme_comparison(
         for sparing_name in sparing_names
         for wl_name in wearlevelers
     ]
-    results = iter(_run_tasks(tasks, jobs, cache))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint))
     return {
         sparing_name: {wl_name: next(results) for wl_name in wearlevelers}
         for sparing_name in sparing_names
@@ -174,6 +190,8 @@ def uaa_scheme_comparison(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: str = "fluid-batched",
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -195,5 +213,5 @@ def uaa_scheme_comparison(
         )
         for name in names
     ]
-    results = _run_tasks(tasks, jobs, cache)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint)
     return dict(zip(names, results))

@@ -1,0 +1,304 @@
+"""Deterministic fault injection for the simulation execution layer.
+
+The resilience machinery in :mod:`repro.sim.runner` (timeouts, retries,
+pool respawns, checkpoint/resume) is only trustworthy if it can be
+exercised on demand.  This module injects the failure modes a real fleet
+sees -- worker crashes, hangs, transient exceptions, and corrupted cache
+entries -- *deterministically*: every injection decision is a pure
+function of the fault spec's seed, the fault kind, the task's stable
+key, and the attempt number.  A retried task therefore re-rolls its
+faults exactly the same way on every run of the harness, which is what
+lets the tests assert that a faulty sweep converges to results
+bit-identical to a fault-free one.
+
+Activation
+----------
+Faults are off unless a spec is installed.  Three equivalent routes:
+
+* the ``REPRO_FAULT_SPEC`` environment variable (inherited by worker
+  processes, so pool workers inject without extra plumbing);
+* ``install(spec)`` from test code;
+* the CLI's ``--inject-faults SPEC`` flag (which sets the env var so
+  workers see it too).
+
+Spec grammar
+------------
+A spec is a comma-separated list of ``key=value`` pairs::
+
+    crash=0.2,hang=0.05,transient=0.1,corrupt-cache=0.1,seed=7,hang-seconds=30
+
+``crash``/``hang``/``transient``/``corrupt-cache`` are probabilities in
+``[0, 1]``; ``seed`` (int) decorrelates whole campaigns; and
+``hang-seconds`` bounds an injected hang (default 3600 s -- effectively
+forever next to any sane ``--timeout``, but the process stays killable).
+
+Crash semantics
+---------------
+In a pool worker an injected crash calls :func:`os._exit`, which kills
+the worker mid-task exactly like an OOM kill and surfaces to the
+supervisor as a broken pool.  In-process (serial) execution raises
+:class:`InjectedCrash` instead -- killing the caller's interpreter would
+take the test runner down with it.  Worker processes self-identify via
+the pool initializer (:func:`mark_worker_process`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Environment variable holding the active fault spec (empty/absent = off).
+FAULT_SPEC_ENV: str = "REPRO_FAULT_SPEC"
+
+#: Exit code used by injected hard crashes (distinctive in core dumps/logs).
+CRASH_EXIT_CODE: int = 77
+
+#: Recognized spec keys and the FaultSpec field each maps to.
+_SPEC_KEYS = {
+    "crash": "crash",
+    "hang": "hang",
+    "transient": "transient",
+    "corrupt-cache": "corrupt_cache",
+    "seed": "seed",
+    "hang-seconds": "hang_seconds",
+}
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string failed to parse or had out-of-range values."""
+
+
+class InjectedCrash(RuntimeError):
+    """An in-process stand-in for a worker crash (serial execution)."""
+
+
+class TransientFault(RuntimeError):
+    """An injected transient error; retryable by design."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Probabilities and seed of one fault-injection campaign.
+
+    Attributes
+    ----------
+    crash / hang / transient / corrupt_cache:
+        Per-attempt (per-store for ``corrupt_cache``) injection
+        probabilities in ``[0, 1]``.
+    seed:
+        Campaign seed; decorrelates otherwise-identical campaigns.
+    hang_seconds:
+        Duration of an injected hang.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    transient: float = 0.0
+    corrupt_cache: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "hang", "transient", "corrupt_cache"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"fault probability {name!r} must be in [0, 1], got {value!r}"
+                )
+        if self.hang_seconds < 0:
+            raise FaultSpecError(
+                f"hang-seconds must be >= 0, got {self.hang_seconds!r}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the ``key=value,...`` spec grammar (see module docstring)."""
+        spec = cls()
+        text = text.strip()
+        if not text:
+            return spec
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep:
+                raise FaultSpecError(
+                    f"malformed fault spec item {item!r}; expected key=value"
+                )
+            if key not in _SPEC_KEYS:
+                raise FaultSpecError(
+                    f"unknown fault spec key {key!r}; "
+                    f"choose from {sorted(_SPEC_KEYS)}"
+                )
+            field_name = _SPEC_KEYS[key]
+            try:
+                value: object = int(raw) if field_name == "seed" else float(raw)
+            except ValueError:
+                raise FaultSpecError(
+                    f"fault spec key {key!r} needs a number, got {raw!r}"
+                ) from None
+            spec = replace(spec, **{field_name: value})
+        return spec
+
+    def to_spec(self) -> str:
+        """Render back to the spec grammar (parse/to_spec round-trips)."""
+        parts = []
+        defaults = FaultSpec()
+        for key, field_name in _SPEC_KEYS.items():
+            value = getattr(self, field_name)
+            if value != getattr(defaults, field_name):
+                rendered = str(int(value)) if field_name == "seed" else f"{value:g}"
+                parts.append(f"{key}={rendered}")
+        return ",".join(parts)
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault has a nonzero probability."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("crash", "hang", "transient", "corrupt_cache")
+        )
+
+
+def _uniform(seed: int, kind: str, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one injection decision."""
+    digest = hashlib.sha256(f"{seed}:{kind}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+class FaultInjector:
+    """Executes one :class:`FaultSpec`'s injection decisions.
+
+    All decisions are deterministic in ``(spec.seed, kind, key, attempt)``
+    so a supervised retry of the same task re-rolls each fault
+    independently of scheduling, process boundaries, or wall clock.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self._spec = spec
+        self._injected = {"crash": 0, "hang": 0, "transient": 0, "corrupt-cache": 0}
+
+    @property
+    def spec(self) -> FaultSpec:
+        """The campaign spec this injector executes."""
+        return self._spec
+
+    @property
+    def injected(self) -> dict:
+        """Per-kind injection counts observed by *this process*."""
+        return dict(self._injected)
+
+    def _roll(self, kind: str, probability: float, key: str, attempt: int) -> bool:
+        if probability <= 0.0:
+            return False
+        return _uniform(self._spec.seed, kind, key, attempt) < probability
+
+    def before_execute(self, key: str, attempt: int) -> None:
+        """Injection point at the top of a task attempt.
+
+        Rolls crash, hang, and transient faults in that fixed order.  A
+        crash either hard-exits (pool worker) or raises
+        :class:`InjectedCrash` (in-process); a hang sleeps for
+        ``hang_seconds``; a transient raises :class:`TransientFault`.
+        """
+        if self._roll("crash", self._spec.crash, key, attempt):
+            self._injected["crash"] += 1
+            if is_worker_process():
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(
+                f"injected crash (task {key[:12]}..., attempt {attempt})"
+            )
+        if self._roll("hang", self._spec.hang, key, attempt):
+            self._injected["hang"] += 1
+            time.sleep(self._spec.hang_seconds)
+        if self._roll("transient", self._spec.transient, key, attempt):
+            self._injected["transient"] += 1
+            raise TransientFault(
+                f"injected transient fault (task {key[:12]}..., attempt {attempt})"
+            )
+
+    def corrupt_cache_entry(self, key: str) -> bool:
+        """Whether the cache entry being stored under ``key`` should be
+        written corrupted (truncated mid-JSON)."""
+        hit = self._roll("corrupt-cache", self._spec.corrupt_cache, key, 0)
+        if hit:
+            self._injected["corrupt-cache"] += 1
+        return hit
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+
+_installed: Optional[FaultInjector] = None
+_env_injector: Optional[FaultInjector] = None
+_env_text: Optional[str] = None
+_is_worker = False
+
+
+def install(spec: "FaultSpec | str | None") -> Optional[FaultInjector]:
+    """Install ``spec`` as this process's active injector (None = off).
+
+    Test-code route; takes precedence over the environment variable.
+    Returns the installed injector (``None`` for an inactive spec).
+    """
+    global _installed
+    if spec is None:
+        _installed = None
+        return None
+    if isinstance(spec, str):
+        spec = FaultSpec.parse(spec)
+    _installed = FaultInjector(spec) if spec.active else None
+    return _installed
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The process's active injector, or ``None`` when faults are off.
+
+    Resolution order: an explicitly :func:`install`-ed injector, then the
+    ``REPRO_FAULT_SPEC`` environment variable (parsed once per distinct
+    value, so workers pay the parse cost only on their first task).
+    """
+    global _env_injector, _env_text
+    if _installed is not None:
+        return _installed
+    text = os.environ.get(FAULT_SPEC_ENV, "")
+    if not text:
+        return None
+    if text != _env_text:
+        spec = FaultSpec.parse(text)
+        _env_injector = FaultInjector(spec) if spec.active else None
+        _env_text = text
+    return _env_injector
+
+
+def mark_worker_process(fault_spec_text: str = "") -> None:
+    """Pool-worker initializer: enable hard crashes and seed the spec.
+
+    Passing the spec text explicitly makes workers independent of
+    environment inheritance quirks (e.g. ``forkserver`` preloading).
+    Also restores the default SIGTERM disposition: forked workers would
+    otherwise inherit the supervisor's SIGTERM-to-KeyboardInterrupt
+    handler and die with spurious tracebacks when the pool is torn down.
+    """
+    global _is_worker
+    _is_worker = True
+    if fault_spec_text:
+        os.environ[FAULT_SPEC_ENV] = fault_spec_text
+    try:
+        import signal
+
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ImportError, ValueError, OSError, AttributeError):
+        pass
+
+
+def is_worker_process() -> bool:
+    """Whether this process marked itself as a pool worker."""
+    return _is_worker

@@ -12,6 +12,7 @@ confidence interval.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -20,6 +21,7 @@ import numpy as np
 from repro.attacks.base import AttackModel
 from repro.endurance.emap import EnduranceMap
 from repro.sim.config import ExperimentConfig
+from repro.sim.resilience import Checkpoint, ResiliencePolicy
 from repro.sim.result import SimulationResult
 from repro.sim.runner import CallableTask, SimRunner
 from repro.sparing.base import SpareScheme
@@ -114,6 +116,8 @@ def monte_carlo_lifetime(
     replicas: int = 10,
     confidence: float = 0.95,
     jobs: int = 1,
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> MonteCarloResult:
     """Run ``replicas`` independently seeded lifetime simulations.
 
@@ -140,6 +144,12 @@ def monte_carlo_lifetime(
         all CPUs).  Replica seeds are forked up front, so results are
         identical in any job count; unpicklable factories (lambdas,
         closures) silently fall back to serial execution.
+    policy:
+        Supervision policy (timeouts, retries, crash isolation); see
+        :class:`~repro.sim.resilience.ResiliencePolicy`.
+    checkpoint:
+        Optional resume checkpoint (or journal path): finished replicas
+        stream to it and a re-invocation skips them.
     """
     require_positive_int(replicas, "replicas")
     if confidence not in _Z_SCORES:
@@ -163,7 +173,7 @@ def monte_carlo_lifetime(
         )
         for index, seed in enumerate(seeds)
     ]
-    results = SimRunner(jobs=jobs).run(tasks)
+    results = SimRunner(jobs=jobs, policy=policy, checkpoint=checkpoint).run(tasks)
     lifetimes = np.array([result.normalized_lifetime for result in results])
     return MonteCarloResult(
         lifetimes=lifetimes, confidence=confidence, results=tuple(results)

@@ -1,0 +1,431 @@
+"""Resilient execution primitives: retry policies, failure records,
+serial time limits, and crash-safe JSONL checkpoints.
+
+The paper's lifetime campaigns (UAA/BPA sweeps, Monte-Carlo batches) run
+thousands of independent simulations for hours.  At that scale partial
+failure is the norm -- a worker OOM-kills, a box reboots mid-sweep, a
+cache file is truncated by a full disk -- and losing every completed
+result to one bad task is unacceptable.  This module supplies the
+building blocks the supervised :class:`~repro.sim.runner.SimRunner`
+composes:
+
+* :class:`ResiliencePolicy` -- per-task wall-clock timeout, bounded
+  retries with exponential backoff and deterministic jitter, and the
+  fail-fast/keep-going switch;
+* :class:`FailureRecord` -- the structured post-mortem of a task that
+  exhausted its attempts (key, attempts, last exception + traceback,
+  timing) returned instead of raising;
+* :class:`Checkpoint` -- an append-only JSONL journal of completed task
+  results, content-keyed like the result cache, written with
+  flush+fsync per record so a ``kill -9`` mid-sweep loses at most the
+  record being written; loading tolerates a truncated final line;
+* :func:`time_limit` -- a SIGALRM-based wall-clock guard for *serial*
+  execution (parallel execution enforces deadlines in the supervisor
+  by respawning the pool instead).
+
+Determinism note: backoff jitter is derived from the task key and
+attempt number, never from a wall clock or global RNG, so a resumed or
+re-run campaign schedules retries identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import traceback as _traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.result import SimulationResult
+
+#: Schema version of the checkpoint journal; bumping it orphans (ignores)
+#: entries written by incompatible versions.
+CHECKPOINT_SCHEMA_VERSION: int = 1
+
+#: Default directory for CLI-managed checkpoints.
+DEFAULT_CHECKPOINT_DIR: str = ".repro-checkpoints"
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded its per-attempt wall-clock budget."""
+
+
+class SimulationFailure(RuntimeError):
+    """One or more tasks exhausted their attempts.
+
+    Raised by :meth:`SimRunner.run` (the raise-on-error surface); the
+    keep-going surface :meth:`SimRunner.run_detailed` returns the same
+    :class:`FailureRecord` list inside its stats instead.
+    """
+
+    def __init__(self, failures: Tuple["FailureRecord", ...]) -> None:
+        self.failures = failures
+        preview = "; ".join(str(record) for record in failures[:3])
+        suffix = " ..." if len(failures) > 3 else ""
+        super().__init__(f"{len(failures)} task(s) failed: {preview}{suffix}")
+
+
+class RunInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM stopped a run; carries the partial results.
+
+    Subclasses :class:`KeyboardInterrupt` so ``except Exception`` blocks
+    never swallow it; the partial ``results`` (``None`` for unfinished
+    tasks) and ``stats`` let callers report completed work and point the
+    user at the resumable checkpoint.
+    """
+
+    def __init__(self, results: List[Optional[SimulationResult]], stats) -> None:
+        self.results = results
+        self.stats = stats
+        super().__init__("simulation run interrupted")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the runner supervises each task.
+
+    Attributes
+    ----------
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = unlimited).
+        Parallel runs enforce it by tearing down and respawning the
+        worker pool; serial runs use a SIGALRM guard (main thread,
+        POSIX) and otherwise cannot preempt a hung task.
+    retries:
+        Extra attempts after the first (``retries=2`` means up to three
+        executions).  Non-retryable errors (``ValueError``/``TypeError``
+        -- spec bugs, not infrastructure) fail immediately.
+    backoff / backoff_cap:
+        Exponential retry delay: ``backoff * 2**(attempt-1)`` seconds,
+        capped at ``backoff_cap``.
+    jitter:
+        Fractional deterministic jitter on the delay (0.25 = up to +25%),
+        derived from the task key + attempt so schedules reproduce.
+    fail_fast:
+        Stop dispatching new work after the first task exhausts its
+        attempts (remaining tasks are recorded as ``skipped``).  The
+        default keeps going and reports every failure at the end.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0 or None, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff and backoff_cap must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total execution attempts a task is allowed."""
+        return self.retries + 1
+
+    def retry_delay(self, key: str, attempt: int) -> float:
+        """Backoff before re-running ``key``'s attempt ``attempt`` (>= 1).
+
+        Deterministic: exponential in the attempt number with jitter
+        hashed from ``(key, attempt)``.
+        """
+        if self.backoff <= 0.0:
+            return 0.0
+        base = min(self.backoff * (2.0 ** max(attempt - 1, 0)), self.backoff_cap)
+        if self.jitter <= 0.0:
+            return base
+        digest = hashlib.sha256(f"backoff:{key}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "little") / 2**64
+        return base * (1.0 + self.jitter * unit)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether an attempt failure is worth retrying.
+
+    ``ValueError``/``TypeError`` indicate a bad spec -- deterministic, so
+    retrying only wastes the budget.  Everything else (injected or real
+    transient errors, timeouts, crashed workers) retries.
+    """
+    return not isinstance(error, (ValueError, TypeError))
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Structured post-mortem of one unfinished task.
+
+    Attributes
+    ----------
+    index:
+        Position of the task in the submitted list.
+    key:
+        The task's stable content key (checkpoint/cache key).
+    label:
+        The task's cosmetic label, for human-readable reports.
+    kind:
+        Terminal failure class: ``"exception"``, ``"timeout"``,
+        ``"crash"``, ``"interrupted"``, or ``"skipped"`` (fail-fast).
+    attempts:
+        Execution attempts consumed.
+    exception_type / message / traceback:
+        The last attempt's error, stringified for transport across
+        process boundaries and JSON archives.
+    elapsed_seconds:
+        Wall time spent on the task across all attempts (best effort).
+    """
+
+    index: int
+    key: str
+    label: str
+    kind: str
+    attempts: int
+    exception_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    elapsed_seconds: float = 0.0
+
+    @classmethod
+    def from_exception(
+        cls,
+        index: int,
+        key: str,
+        label: str,
+        kind: str,
+        attempts: int,
+        error: BaseException,
+        elapsed_seconds: float = 0.0,
+    ) -> "FailureRecord":
+        """Build a record from a live exception (traceback included)."""
+        return cls(
+            index=index,
+            key=key,
+            label=label,
+            kind=kind,
+            attempts=attempts,
+            exception_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                _traceback.format_exception(type(error), error, error.__traceback__)
+            ),
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (archives, CLI reports)."""
+        return {
+            "index": self.index,
+            "key": self.key,
+            "label": self.label,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __str__(self) -> str:
+        what = self.exception_type or self.kind
+        label = self.label or f"task #{self.index}"
+        return f"{label} [{self.kind}] after {self.attempts} attempt(s): {what}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Serial wall-clock guard
+# ----------------------------------------------------------------------
+
+
+def _alarm_supported() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`TaskTimeout` if the body runs longer than ``seconds``.
+
+    SIGALRM-based, so it preempts even a sleeping/hung body -- but only
+    on POSIX main threads; elsewhere (or with ``seconds=None``) it is a
+    no-op and the body runs unguarded.  Parallel execution does not use
+    this: the pool supervisor enforces deadlines from outside.
+    """
+    if seconds is None or not _alarm_supported():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded its {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+class Checkpoint:
+    """Append-only JSONL journal of completed task results.
+
+    Each record is one line ``{"key", "label", "elapsed_seconds",
+    "result"}``; the first line is a schema header.  Records are
+    content-keyed exactly like the result cache, so resuming matches
+    tasks by what they compute, not by position -- reordering or
+    extending a sweep still reuses every completed entry.
+
+    Crash safety: every append is flushed and fsynced, and loading stops
+    at (and ignores) a torn final line, so the journal survives
+    ``kill -9`` at any instant with at most the in-flight record lost.
+
+    Parameters
+    ----------
+    path:
+        Journal location; parent directories are created on first write.
+    resume:
+        When true (default), existing entries are loaded and served;
+        when false an existing journal is discarded and started fresh.
+    """
+
+    def __init__(self, path: "str | Path", *, resume: bool = True) -> None:
+        self._path = Path(path)
+        self._entries: Dict[str, Tuple[SimulationResult, float, str]] = {}
+        self._hits = 0
+        self._appends = 0
+        self._header_written = False
+        if resume:
+            self._load()
+        elif self._path.exists():
+            self._path.unlink()
+
+    @property
+    def path(self) -> Path:
+        """Journal file location."""
+        return self._path
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the journal by this instance."""
+        return self._hits
+
+    @property
+    def appends(self) -> int:
+        """Records appended by this instance."""
+        return self._appends
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[str]:
+        """Keys of every loaded/appended record."""
+        return list(self._entries)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The completed result stored under ``key``, if any."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._hits += 1
+        return entry[0]
+
+    def append(
+        self,
+        key: str,
+        result: SimulationResult,
+        elapsed: float = 0.0,
+        label: str = "",
+    ) -> None:
+        """Journal one completed task (flush + fsync; idempotent per key)."""
+        if key in self._entries:
+            return
+        self._entries[key] = (result, float(elapsed), label)
+        record = {
+            "key": key,
+            "label": label,
+            "elapsed_seconds": float(elapsed),
+            "result": result.to_dict(include_timeline=False),
+        }
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            if not self._header_written and handle.tell() == 0:
+                handle.write(json.dumps({"checkpoint_schema": CHECKPOINT_SCHEMA_VERSION}))
+                handle.write("\n")
+            self._header_written = True
+            handle.write(json.dumps(record, default=str))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._appends += 1
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        try:
+            lines = self._path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return  # torn/foreign header: start fresh (entries orphaned)
+        if header.get("checkpoint_schema") != CHECKPOINT_SCHEMA_VERSION:
+            return
+        self._header_written = True
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                result = SimulationResult.from_dict(record["result"])
+            except (ValueError, KeyError, TypeError):
+                # A torn final line (kill mid-append) or a corrupted
+                # record: everything before it is still good.
+                continue
+            self._entries[key] = (
+                result,
+                float(record.get("elapsed_seconds", 0.0)),
+                str(record.get("label", "")),
+            )
+
+
+def derive_checkpoint_path(
+    name: str,
+    payload: dict,
+    root: "str | Path | None" = None,
+) -> Path:
+    """Deterministic checkpoint location for a named, parameterized run.
+
+    Hashes ``payload`` (canonical JSON) so the same command with the
+    same configuration always maps to the same journal -- which is what
+    lets a bare ``--resume`` find the previous run's checkpoint without
+    the user tracking file names.
+    """
+    if root is None:
+        root = os.environ.get("REPRO_CHECKPOINT_DIR", DEFAULT_CHECKPOINT_DIR)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    digest = hashlib.sha256(f"{name}:{blob}".encode()).hexdigest()[:12]
+    return Path(root) / f"{name}-{digest}.jsonl"

@@ -14,24 +14,43 @@ gives them one execution engine:
 * :class:`CallableTask` -- a factory-based spec for callers (Monte-Carlo
   studies, custom harnesses) whose components cannot be named; runs
   through the same scheduler but bypasses the cache.
-* :class:`SimRunner` -- executes a task list: cache lookups first, then
-  the misses either serially (``jobs=1`` or small batches) or over a
-  :class:`concurrent.futures.ProcessPoolExecutor`, with ordered result
-  collection and per-task wall-time / sims-per-second statistics.
+* :class:`SimRunner` -- executes a task list: checkpoint and cache
+  lookups first, then the misses either serially (``jobs=1`` or small
+  batches) or over a :class:`concurrent.futures.ProcessPoolExecutor`,
+  under a :class:`~repro.sim.resilience.ResiliencePolicy` supervisor.
+
+Supervision (see :mod:`repro.sim.resilience`): every attempt runs under
+an optional wall-clock timeout; failed attempts retry with exponential
+backoff + deterministic jitter; a worker process dying (crash, OOM
+kill) breaks only the tasks in flight -- the pool is respawned and the
+run continues; tasks that exhaust their attempts surface as structured
+:class:`~repro.sim.resilience.FailureRecord` entries in the stats
+instead of killing the run.  With a
+:class:`~repro.sim.resilience.Checkpoint` attached, completed results
+stream to an append-only JSONL journal so an interrupted sweep resumes
+without re-simulating finished work.
 
 Determinism: a task carries every seed it needs, so parallel execution
-is bit-identical to serial execution in any job count and any schedule;
-:func:`fork_task_seeds` derives per-task seeds the same way the
-Monte-Carlo driver forks replica seeds.
+is bit-identical to serial execution in any job count and any schedule
+-- including schedules perturbed by retries, pool respawns, and
+resumes; :func:`fork_task_seeds` derives per-task seeds the same way
+the Monte-Carlo driver forks replica seeds.
 """
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.attacks.base import AttackModel
@@ -41,15 +60,28 @@ from repro.attacks.suite import WORKLOAD_NAMES, workload
 from repro.attacks.uaa import UniformAddressAttack
 from repro.core.maxwe import MaxWE
 from repro.endurance.emap import EnduranceMap
-from repro.sim.cache import ResultCache
+from repro.sim.cache import ResultCache, canonical_json, task_key
 from repro.sim.config import ExperimentConfig
+from repro.sim.faults import active_injector, mark_worker_process
 from repro.sim.lifetime import normalize_engine, simulate_lifetime
+from repro.sim.resilience import (
+    Checkpoint,
+    FailureRecord,
+    ResiliencePolicy,
+    RunInterrupted,
+    SimulationFailure,
+    TaskTimeout,
+    is_retryable,
+    time_limit,
+)
 from repro.sim.result import SimulationResult
 from repro.sparing.base import SpareScheme
 from repro.sparing.none import NoSparing
 from repro.sparing.pcd import PCD
 from repro.sparing.ps import PS
+from repro.util.events import EventLog, SimEvent
 from repro.util.rng import fork_seeds
+from repro.util.validation import require_fraction
 from repro.wearlevel import make_scheme
 from repro.wearlevel.base import WearLeveler
 
@@ -176,6 +208,8 @@ class SimTask:
             raise ValueError(
                 f"unknown wearlevel {self.wearlevel!r}; choose from {WEARLEVELERS}"
             )
+        require_fraction(self.p, "p")
+        require_fraction(self.swr, "swr")
 
     @property
     def effective_seed(self) -> int:
@@ -237,7 +271,9 @@ class CallableTask:
     factories.  Parallel execution requires the factories to be picklable
     (module-level callables / functools.partial); the runner falls back
     to serial execution otherwise.  Not content-addressable, so never
-    cached.
+    cached -- but checkpointable under a best-effort identity derived
+    from the factories' qualified names plus the seed (see
+    :func:`task_identity`).
     """
 
     attack_factory: Callable[[], AttackModel]
@@ -276,6 +312,50 @@ class CallableTask:
 AnyTask = Union[SimTask, CallableTask]
 
 
+def _describe_callable(obj: object) -> str:
+    """Best-effort stable textual identity of a factory callable."""
+    if obj is None:
+        return "none"
+    if isinstance(obj, functools.partial):
+        keywords = sorted(obj.keywords.items()) if obj.keywords else []
+        return (
+            f"partial({_describe_callable(obj.func)}, args={obj.args!r}, "
+            f"keywords={keywords!r})"
+        )
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if module is not None and qualname is not None:
+        return f"{module}.{qualname}"
+    return repr(obj)
+
+
+def task_identity(task: AnyTask) -> Tuple[str, str]:
+    """Stable ``(key, label)`` of a task for checkpoints and reports.
+
+    Declarative tasks reuse their cache content key.  Callable tasks get
+    a best-effort identity from their factories' qualified names plus
+    the seed/engine -- stable across runs of the same study, but two
+    *different* inline lambdas can collide; callable-task checkpoints
+    are therefore only sound within one study definition (the
+    Monte-Carlo driver's usage).
+    """
+    if isinstance(task, SimTask):
+        return task_key(task), task.label
+    payload = {
+        "attack_factory": _describe_callable(task.attack_factory),
+        "sparing_factory": _describe_callable(task.sparing_factory),
+        "emap_factory": _describe_callable(task.emap_factory),
+        "wearleveler_factory": _describe_callable(task.wearleveler_factory),
+        "seed": int(task.seed),
+        "engine": task.engine,
+        "record_timeline": task.record_timeline,
+    }
+    digest = hashlib.sha256(
+        ("callable:" + canonical_json(payload)).encode()
+    ).hexdigest()
+    return digest, task.label
+
+
 def fork_task_seeds(seed: Optional[int], count: int, label: str = "sim-runner") -> List[int]:
     """Derive ``count`` deterministic per-task seeds from a master seed."""
     return fork_seeds(seed, count, label)
@@ -284,6 +364,27 @@ def fork_task_seeds(seed: Optional[int], count: int, label: str = "sim-runner") 
 def _execute_task(task: AnyTask) -> Tuple[SimulationResult, float]:
     """Module-level worker entry point (picklable for process pools)."""
     return task.execute()
+
+
+def _execute_supervised(
+    task: AnyTask, key: str, attempt: int
+) -> Tuple[SimulationResult, float]:
+    """Worker entry point with the fault-injection hook applied.
+
+    ``attempt`` is 0-based; the injector's rolls are deterministic in
+    ``(key, attempt)`` so retried attempts re-roll their faults
+    identically on every run of the harness.
+    """
+    injector = active_injector()
+    if injector is not None:
+        injector.before_execute(key, attempt)
+    return task.execute()
+
+
+def _fault_spec_text() -> str:
+    """The active fault spec rendered for worker-process initializers."""
+    injector = active_injector()
+    return injector.spec.to_spec() if injector is not None else ""
 
 
 # ----------------------------------------------------------------------
@@ -300,7 +401,8 @@ class RunnerStats:
     tasks:
         Number of tasks submitted.
     simulated:
-        Tasks that actually ran (cache misses + uncacheable tasks).
+        Tasks dispatched to execution (everything not served by the
+        checkpoint or the cache) -- including any that ultimately failed.
     cache_hits:
         Tasks served from the result cache without simulating.
     jobs:
@@ -309,7 +411,24 @@ class RunnerStats:
         End-to-end wall time of the call.
     task_seconds:
         Per-task simulation wall times, in submission order (0.0 for
-        cache hits).
+        cache/checkpoint hits and failures).
+    checkpoint_hits:
+        Tasks served from the resume checkpoint without simulating.
+    retries:
+        Re-executions performed by the supervisor (attempts beyond each
+        task's first).
+    pool_respawns:
+        Times the worker pool was torn down and rebuilt after a crash
+        or a timed-out (hung) task.
+    failures:
+        One :class:`~repro.sim.resilience.FailureRecord` per task that
+        did not produce a result; the matching ``results`` slots hold
+        ``None``.
+    interrupted:
+        Whether the run was stopped by SIGINT/SIGTERM before finishing.
+    events:
+        The supervisor's event log (retries, timeouts, crashes,
+        respawns) for forensics.
     """
 
     tasks: int
@@ -318,6 +437,17 @@ class RunnerStats:
     jobs: int
     wall_seconds: float
     task_seconds: Tuple[float, ...] = ()
+    checkpoint_hits: int = 0
+    retries: int = 0
+    pool_respawns: int = 0
+    failures: Tuple[FailureRecord, ...] = ()
+    interrupted: bool = False
+    events: Tuple[SimEvent, ...] = ()
+
+    @property
+    def completed(self) -> int:
+        """Tasks that produced a result (hits + successful simulations)."""
+        return self.tasks - len(self.failures)
 
     @property
     def sims_per_second(self) -> float:
@@ -327,11 +457,20 @@ class RunnerStats:
         return self.simulated / self.wall_seconds
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.tasks} tasks ({self.cache_hits} cached, "
             f"{self.simulated} simulated) in {self.wall_seconds:.2f}s "
             f"with {self.jobs} job(s) -- {self.sims_per_second:.1f} sims/s"
         )
+        if self.checkpoint_hits:
+            text += f"; {self.checkpoint_hits} resumed from checkpoint"
+        if self.retries:
+            text += f"; {self.retries} retries"
+        if self.failures:
+            text += f"; {len(self.failures)} FAILED"
+        if self.interrupted:
+            text += "; INTERRUPTED"
+        return text
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -351,8 +490,55 @@ def _picklable(tasks: Sequence[AnyTask]) -> bool:
         return False
 
 
+@dataclass
+class _Supervised:
+    """Mutable supervision state of one pending task."""
+
+    index: int
+    task: AnyTask
+    key: str
+    label: str
+    attempts: int = 0
+    not_before: float = 0.0
+    elapsed: float = 0.0
+
+
+def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Shut a pool down without leaving dangling worker processes.
+
+    ``shutdown(wait=True)`` would block forever on a hung worker, so the
+    workers are terminated explicitly (then killed if termination does
+    not take) before the executor is abandoned.
+    """
+    if pool is None:
+        return
+    processes = list(getattr(pool, "_processes", {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=2.0)
+
+
+@dataclass
+class _ExecutionSummary:
+    """What a supervised execution pass observed."""
+
+    failures: Dict[int, FailureRecord] = field(default_factory=dict)
+    retries: int = 0
+    pool_respawns: int = 0
+    interrupted: bool = False
+
+
 class SimRunner:
-    """Execute independent simulation tasks, in parallel when it pays.
+    """Execute independent simulation tasks, supervised and in parallel.
 
     Parameters
     ----------
@@ -363,11 +549,29 @@ class SimRunner:
         Optional :class:`ResultCache`; declarative :class:`SimTask`\\ s
         are looked up before simulating and stored after.
         :class:`CallableTask`\\ s always simulate.
+    policy:
+        The :class:`~repro.sim.resilience.ResiliencePolicy` governing
+        timeouts, retries, backoff, and fail-fast; defaults to bounded
+        retries with no timeout.
+    checkpoint:
+        Optional :class:`~repro.sim.resilience.Checkpoint` (or a path,
+        opened in resume mode): completed results stream to the journal
+        and previously journaled tasks are served without re-simulating.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    ) -> None:
         self._jobs = resolve_jobs(jobs)
         self._cache = cache
+        self._policy = policy if policy is not None else ResiliencePolicy()
+        if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
+            checkpoint = Checkpoint(checkpoint, resume=True)
+        self._checkpoint = checkpoint
 
     @property
     def jobs(self) -> int:
@@ -379,22 +583,62 @@ class SimRunner:
         """The attached result cache, if any."""
         return self._cache
 
+    @property
+    def policy(self) -> ResiliencePolicy:
+        """The supervision policy in force."""
+        return self._policy
+
+    @property
+    def checkpoint(self) -> Optional[Checkpoint]:
+        """The attached resume checkpoint, if any."""
+        return self._checkpoint
+
     def run(self, tasks: Sequence[AnyTask]) -> List[SimulationResult]:
-        """Execute ``tasks``; results in submission order."""
-        results, _ = self.run_detailed(tasks)
+        """Execute ``tasks``; results in submission order.
+
+        Raises :class:`~repro.sim.resilience.SimulationFailure` if any
+        task exhausted its attempts; use :meth:`run_detailed` for the
+        keep-going partial-results surface.
+        """
+        results, stats = self.run_detailed(tasks)
+        if stats.failures:
+            raise SimulationFailure(stats.failures)
         return results
 
     def run_detailed(
         self, tasks: Sequence[AnyTask]
-    ) -> Tuple[List[SimulationResult], RunnerStats]:
-        """Execute ``tasks``; returns ordered results plus statistics."""
+    ) -> Tuple[List[Optional[SimulationResult]], RunnerStats]:
+        """Execute ``tasks``; returns ordered results plus statistics.
+
+        Graceful degradation: a task that exhausts its attempts leaves
+        ``None`` in its results slot and a
+        :class:`~repro.sim.resilience.FailureRecord` in
+        ``stats.failures`` -- the other tasks' results are returned
+        normally.  SIGINT/SIGTERM raise
+        :class:`~repro.sim.resilience.RunInterrupted` (carrying the
+        partial results and stats) after the pool is shut down cleanly
+        and completed work is checkpointed.
+        """
         tasks = list(tasks)
         started = perf_counter()
+        events = EventLog()
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         seconds = [0.0] * len(tasks)
+        cache_hits = 0
+        checkpoint_hits = 0
 
-        pending: List[int] = []
+        pending: List[_Supervised] = []
         for index, task in enumerate(tasks):
+            key, label = task_identity(task)
+            if self._checkpoint is not None:
+                resumed = self._checkpoint.get(key)
+                if resumed is not None:
+                    results[index] = resumed
+                    checkpoint_hits += 1
+                    # Heal the cache from the journal if the entry is gone.
+                    if self._cache is not None and isinstance(task, SimTask):
+                        self._cache.put(task, resumed)
+                    continue
             cached = (
                 self._cache.get(task)
                 if self._cache is not None and isinstance(task, SimTask)
@@ -402,40 +646,428 @@ class SimRunner:
             )
             if cached is not None:
                 results[index] = cached
-            else:
-                pending.append(index)
+                cache_hits += 1
+                if self._checkpoint is not None:
+                    self._checkpoint.append(key, cached, 0.0, label)
+                continue
+            pending.append(_Supervised(index=index, task=task, key=key, label=label))
 
+        def on_complete(state: _Supervised, result: SimulationResult, elapsed: float) -> None:
+            results[state.index] = result
+            seconds[state.index] = elapsed
+            task = tasks[state.index]
+            if self._cache is not None and isinstance(task, SimTask):
+                self._cache.put(task, result, elapsed)
+            if self._checkpoint is not None:
+                self._checkpoint.append(state.key, result, elapsed, state.label)
+
+        summary = _ExecutionSummary()
         jobs_used = 1
-        if pending:
-            to_run = [tasks[index] for index in pending]
-            jobs_used = min(self._jobs, len(pending))
-            if jobs_used >= MIN_PARALLEL_TASKS and len(pending) >= MIN_PARALLEL_TASKS \
-                    and _picklable(to_run):
-                outcomes = self._run_parallel(to_run, jobs_used)
-            else:
-                jobs_used = 1
-                outcomes = [_execute_task(task) for task in to_run]
-            for index, (result, elapsed) in zip(pending, outcomes):
-                results[index] = result
-                seconds[index] = elapsed
-                if self._cache is not None and isinstance(tasks[index], SimTask):
-                    self._cache.put(tasks[index], result, elapsed)
+        previous_sigterm = self._install_sigterm_handler()
+        try:
+            if pending:
+                jobs_used = min(self._jobs, len(pending))
+                if (
+                    jobs_used >= MIN_PARALLEL_TASKS
+                    and len(pending) >= MIN_PARALLEL_TASKS
+                    and _picklable([state.task for state in pending])
+                ):
+                    summary = self._run_supervised_parallel(
+                        pending, jobs_used, events, on_complete
+                    )
+                else:
+                    jobs_used = 1
+                    summary = self._run_supervised_serial(
+                        pending, events, on_complete
+                    )
+        finally:
+            self._restore_sigterm_handler(previous_sigterm)
 
         stats = RunnerStats(
             tasks=len(tasks),
             simulated=len(pending),
-            cache_hits=len(tasks) - len(pending),
+            cache_hits=cache_hits,
             jobs=jobs_used,
             wall_seconds=perf_counter() - started,
             task_seconds=tuple(seconds),
+            checkpoint_hits=checkpoint_hits,
+            retries=summary.retries,
+            pool_respawns=summary.pool_respawns,
+            failures=tuple(
+                summary.failures[index] for index in sorted(summary.failures)
+            ),
+            interrupted=summary.interrupted,
+            events=tuple(events),
         )
-        assert all(result is not None for result in results)
-        return list(results), stats  # type: ignore[arg-type]
+        if summary.interrupted:
+            raise RunInterrupted(results, stats)
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # Signal plumbing
+    # ------------------------------------------------------------------
 
     @staticmethod
+    def _install_sigterm_handler():
+        """Convert SIGTERM into KeyboardInterrupt for the run's duration.
+
+        Makes ``kill <pid>`` leave the same clean, resumable state as
+        Ctrl-C.  Only possible on the main thread; elsewhere SIGTERM
+        keeps its default (process-fatal) behaviour.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        if not hasattr(signal, "SIGTERM"):
+            return None
+        supervisor_pid = os.getpid()
+
+        def _on_sigterm(signum, frame):
+            if os.getpid() != supervisor_pid:
+                # Inherited across fork: a pool worker terminated before
+                # its initializer reset the handler.  Die quietly instead
+                # of raising into the child's bootstrap code.
+                os._exit(128 + signum)
+            raise KeyboardInterrupt("SIGTERM")
+
+        try:
+            return signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):
+            return None
+
+    @staticmethod
+    def _restore_sigterm_handler(previous) -> None:
+        if previous is None:
+            return
+        try:
+            signal.signal(signal.SIGTERM, previous)
+        except (ValueError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+
+    def _handle_attempt_failure(
+        self,
+        state: _Supervised,
+        error: BaseException,
+        kind: str,
+        ready: "deque[_Supervised]",
+        summary: _ExecutionSummary,
+        events: EventLog,
+    ) -> None:
+        """Retry ``state`` with backoff, or record its terminal failure."""
+        events.record(
+            f"task-{kind}",
+            state.index,
+            key=state.key[:12],
+            attempt=state.attempts,
+            error=type(error).__name__,
+        )
+        if state.attempts < self._policy.max_attempts and is_retryable(error):
+            summary.retries += 1
+            state.not_before = monotonic() + self._policy.retry_delay(
+                state.key, state.attempts
+            )
+            events.record("task-retry", state.index, attempt=state.attempts)
+            ready.append(state)
+            return
+        summary.failures[state.index] = FailureRecord.from_exception(
+            index=state.index,
+            key=state.key,
+            label=state.label,
+            kind=kind,
+            attempts=state.attempts,
+            error=error,
+            elapsed_seconds=state.elapsed,
+        )
+        events.record(
+            "task-failed", state.index, failure_kind=kind, attempts=state.attempts
+        )
+
+    def _mark_skipped(
+        self,
+        ready: "deque[_Supervised]",
+        summary: _ExecutionSummary,
+        kind: str = "skipped",
+    ) -> None:
+        while ready:
+            state = ready.popleft()
+            summary.failures[state.index] = FailureRecord(
+                index=state.index,
+                key=state.key,
+                label=state.label,
+                kind=kind,
+                attempts=state.attempts,
+            )
+
+    def _run_supervised_serial(
+        self,
+        pending: Sequence[_Supervised],
+        events: EventLog,
+        on_complete: Callable[[_Supervised, SimulationResult, float], None],
+    ) -> _ExecutionSummary:
+        """In-process supervised execution (jobs=1 / unpicklable tasks).
+
+        Timeouts use the SIGALRM guard where available; injected or real
+        crashes surface as exceptions (an in-process ``os._exit`` would
+        take the caller down, so serial fault injection raises instead).
+        """
+        summary = _ExecutionSummary()
+        queue: deque[_Supervised] = deque(pending)
+        try:
+            while queue:
+                state = queue[0]
+                delay = state.not_before - monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                started = perf_counter()
+                state.attempts += 1
+                try:
+                    with time_limit(self._policy.timeout):
+                        result, elapsed = _execute_supervised(
+                            state.task, state.key, state.attempts - 1
+                        )
+                except KeyboardInterrupt:
+                    raise
+                except TaskTimeout as error:
+                    state.elapsed += perf_counter() - started
+                    queue.popleft()
+                    self._handle_attempt_failure(
+                        state, error, "timeout", queue, summary, events
+                    )
+                except Exception as error:
+                    state.elapsed += perf_counter() - started
+                    queue.popleft()
+                    self._handle_attempt_failure(
+                        state, error, "exception", queue, summary, events
+                    )
+                else:
+                    state.elapsed += elapsed
+                    queue.popleft()
+                    on_complete(state, result, elapsed)
+                if self._policy.fail_fast and summary.failures:
+                    self._mark_skipped(queue, summary)
+                    break
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            self._mark_skipped(queue, summary, kind="interrupted")
+        return summary
+
+    def _run_supervised_parallel(
+        self,
+        pending: Sequence[_Supervised],
+        jobs: int,
+        events: EventLog,
+        on_complete: Callable[[_Supervised, SimulationResult, float], None],
+    ) -> _ExecutionSummary:
+        """Process-pool supervised execution with crash isolation.
+
+        The supervisor dispatches at most ``jobs`` tasks at a time and
+        watches their deadlines.  A worker death breaks only the futures
+        in flight (each charged one attempt); the pool is rebuilt and the
+        run continues.  A deadline overrun cannot cancel the running
+        future -- ``ProcessPoolExecutor`` has no per-task kill -- so the
+        pool is torn down (terminating the hung worker) and the
+        *innocent* in-flight tasks are requeued without losing an
+        attempt.
+        """
+        summary = _ExecutionSummary()
+        ready: deque[_Supervised] = deque(pending)
+        inflight: Dict[object, Tuple[_Supervised, Optional[float], float]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        timeout = self._policy.timeout
+
+        def respawn_pool() -> ProcessPoolExecutor:
+            nonlocal pool
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=mark_worker_process,
+                    initargs=(_fault_spec_text(),),
+                )
+            return pool
+
+        def recover_broken_pool() -> None:
+            """Tear down a broken/hung pool and requeue in-flight work.
+
+            Futures that already resolved are harvested (a crash verdict
+            charges the attempt); futures that never got a verdict are
+            requeued without charging the attempt consumed by the doomed
+            submission.
+            """
+            nonlocal pool
+            for future, (state, _, submitted) in list(inflight.items()):
+                if future.done():
+                    harvest(future, state, submitted)
+                else:
+                    state.attempts -= 1
+                    ready.append(state)
+            inflight.clear()
+            _terminate_pool(pool)
+            pool = None
+            summary.pool_respawns += 1
+            events.record("pool-respawn", -1, jobs=jobs)
+
+        def harvest(future, state: _Supervised, submitted: float) -> bool:
+            """Collect one finished future; returns True if the pool broke."""
+            state.elapsed += perf_counter() - submitted
+            try:
+                result, elapsed = future.result()
+            except KeyboardInterrupt:
+                raise
+            except BrokenProcessPool as error:
+                self._handle_attempt_failure(
+                    state, error, "crash", ready, summary, events
+                )
+                return True
+            except Exception as error:
+                self._handle_attempt_failure(
+                    state, error, "exception", ready, summary, events
+                )
+                return False
+            else:
+                on_complete(state, result, elapsed)
+                return False
+
+        try:
+            while ready or inflight:
+                now = monotonic()
+                # Dispatch every ready state whose backoff has elapsed.
+                for _ in range(len(ready)):
+                    if len(inflight) >= jobs:
+                        break
+                    state = ready.popleft()
+                    if state.not_before > now:
+                        ready.append(state)  # rotate; try again next round
+                        continue
+                    try:
+                        future = respawn_pool().submit(
+                            _execute_supervised,
+                            state.task,
+                            state.key,
+                            state.attempts,
+                        )
+                    except BrokenProcessPool:
+                        # A crashing worker can break the pool between the
+                        # last harvest and this submit, in which case the
+                        # error surfaces here in the supervisor rather than
+                        # through a future.  This task never ran: requeue
+                        # it un-charged, recycle the pool, and go around.
+                        ready.appendleft(state)
+                        recover_broken_pool()
+                        break
+                    state.attempts += 1
+                    deadline = None if timeout is None else monotonic() + timeout
+                    inflight[future] = (state, deadline, perf_counter())
+
+                if not inflight:
+                    # Everything is backing off; sleep to the earliest retry.
+                    if ready:
+                        next_ready = min(state.not_before for state in ready)
+                        time.sleep(max(next_ready - monotonic(), 0.0) + 0.001)
+                        continue
+                    break
+
+                wait_budgets = [
+                    deadline - now
+                    for _, deadline, _ in inflight.values()
+                    if deadline is not None
+                ]
+                if ready:
+                    wait_budgets.append(
+                        max(min(s.not_before for s in ready) - now, 0.0) + 0.001
+                    )
+                wait_for = max(min(wait_budgets), 0.01) if wait_budgets else None
+                done, _ = wait(
+                    list(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
+                for future in done:
+                    state, _, submitted = inflight.pop(future)
+                    pool_broken |= harvest(future, state, submitted)
+
+                now = monotonic()
+                overdue = [
+                    future
+                    for future, (_, deadline, _) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                for future in overdue:
+                    state, deadline, submitted = inflight.pop(future)
+                    if future.done():
+                        pool_broken |= harvest(future, state, submitted)
+                        continue
+                    state.elapsed += perf_counter() - submitted
+                    self._handle_attempt_failure(
+                        state,
+                        TaskTimeout(
+                            f"task exceeded its {timeout:g}s wall-clock budget"
+                        ),
+                        "timeout",
+                        ready,
+                        summary,
+                        events,
+                    )
+                    # The hung worker can only be removed by killing the
+                    # pool; innocents in flight are requeued below.
+                    pool_broken = True
+
+                if pool_broken:
+                    recover_broken_pool()
+
+                if self._policy.fail_fast and summary.failures:
+                    self._mark_skipped(ready, summary)
+                    if not inflight:
+                        break
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            for state, _, _ in inflight.values():
+                summary.failures[state.index] = FailureRecord(
+                    index=state.index,
+                    key=state.key,
+                    label=state.label,
+                    kind="interrupted",
+                    attempts=state.attempts,
+                )
+            inflight.clear()
+            self._mark_skipped(ready, summary, kind="interrupted")
+        finally:
+            if pool is not None:
+                if summary.interrupted:
+                    # Workers may be mid-task; don't wait on them.
+                    _terminate_pool(pool)
+                else:
+                    # Clean exit: workers are idle, a graceful shutdown
+                    # reaps them without signals.
+                    try:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                    except Exception:
+                        _terminate_pool(pool)
+        return summary
+
+    # Backwards-compatible alias used by older callers/tests: the plain
+    # unsupervised fan-out is simply the supervised one with the default
+    # policy, so route through it.
     def _run_parallel(
-        tasks: Sequence[AnyTask], jobs: int
+        self, tasks: Sequence[AnyTask], jobs: int
     ) -> List[Tuple[SimulationResult, float]]:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_execute_task, task) for task in tasks]
-            return [future.result() for future in futures]
+        outcomes: Dict[int, Tuple[SimulationResult, float]] = {}
+        states = [
+            _Supervised(index=index, task=task, key=task_identity(task)[0],
+                        label=getattr(task, "label", ""))
+            for index, task in enumerate(tasks)
+        ]
+
+        def collect(state: _Supervised, result: SimulationResult, elapsed: float) -> None:
+            outcomes[state.index] = (result, elapsed)
+
+        summary = self._run_supervised_parallel(states, jobs, EventLog(), collect)
+        if summary.interrupted:
+            raise KeyboardInterrupt("simulation run interrupted")
+        if summary.failures:
+            raise SimulationFailure(
+                tuple(summary.failures[index] for index in sorted(summary.failures))
+            )
+        return [outcomes[index] for index in range(len(states))]

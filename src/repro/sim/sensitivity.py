@@ -18,13 +18,14 @@ the paper can trade the SWR share for mapping-table savings so cheaply.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.attacks.uaa import UniformAddressAttack
-from repro.core.maxwe import MaxWE
+from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
-from repro.sim.lifetime import simulate_lifetime
+from repro.sim.resilience import Checkpoint, ResiliencePolicy
+from repro.sim.runner import SimRunner, SimTask
 from repro.util.validation import require_fraction
 
 #: Parameters the analysis can perturb.
@@ -60,14 +61,23 @@ class Sensitivity:
         return relative_dl / relative_dtheta
 
 
-def _lifetime(config: ExperimentConfig) -> float:
-    result = simulate_lifetime(
-        config.make_emap(),
-        UniformAddressAttack(),
-        MaxWE(config.spare_fraction, config.swr_fraction),
-        rng=config.seed,
+def _task(config: ExperimentConfig, engine: str, label: str) -> SimTask:
+    """Max-WE-under-UAA evaluation of ``config`` as a declarative task.
+
+    Equivalent to the historical direct ``simulate_lifetime`` call (same
+    emap, attack, scheme, and seed), but routable through a
+    :class:`~repro.sim.runner.SimRunner` for fan-out, caching, and
+    supervision.
+    """
+    return SimTask(
+        attack="uaa",
+        sparing="max-we",
+        p=config.spare_fraction,
+        swr=config.swr_fraction,
+        config=config,
+        engine=engine,
+        label=label,
     )
-    return result.normalized_lifetime
 
 
 def sensitivity_analysis(
@@ -75,8 +85,19 @@ def sensitivity_analysis(
     *,
     relative_step: float = 0.1,
     parameters: Tuple[str, ...] = PARAMETERS,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    engine: str = "fluid-batched",
+    policy: Optional[ResiliencePolicy] = None,
+    checkpoint: "Checkpoint | str | os.PathLike | None" = None,
 ) -> Dict[str, Sensitivity]:
     """Elasticities of Max-WE's UAA lifetime around a configuration.
+
+    The base point and every perturbed neighbour are expressed as
+    declarative tasks and executed through one
+    :class:`~repro.sim.runner.SimRunner`, so the analysis accepts the
+    standard execution knobs (``jobs``, ``cache``, ``policy``,
+    ``checkpoint``) with results identical to the historical serial loop.
 
     Parameters
     ----------
@@ -86,6 +107,16 @@ def sensitivity_analysis(
         Relative perturbation applied to each parameter (+10% default).
     parameters:
         Subset of :data:`PARAMETERS` to analyze.
+    jobs:
+        Worker processes for the evaluations (1 = serial).
+    cache:
+        Optional content-addressed result cache.
+    engine:
+        Lifetime engine for every evaluation.
+    policy:
+        Supervision policy (timeouts, retries, crash isolation).
+    checkpoint:
+        Optional resume checkpoint (or journal path).
     """
     require_fraction(relative_step, "relative_step", inclusive=False)
     config = config if config is not None else ExperimentConfig()
@@ -93,19 +124,35 @@ def sensitivity_analysis(
     if unknown:
         raise ValueError(f"unknown parameters {sorted(unknown)}; choose from {PARAMETERS}")
 
-    base_lifetime = _lifetime(config)
-    report: Dict[str, Sensitivity] = {}
+    perturbations: List[Tuple[str, float, float]] = []
     for parameter in parameters:
         base_value = float(getattr(config, parameter))
         perturbed_value = base_value * (1.0 + relative_step)
         if parameter in ("spare_fraction", "swr_fraction"):
             perturbed_value = min(perturbed_value, 1.0 if parameter == "swr_fraction" else 0.99)
-        perturbed = config.with_(**{parameter: perturbed_value})
+        perturbations.append((parameter, base_value, perturbed_value))
+
+    tasks = [_task(config, engine, "base")] + [
+        _task(
+            config.with_(**{parameter: perturbed_value}),
+            engine,
+            f"{parameter}+{relative_step:.0%}",
+        )
+        for parameter, _, perturbed_value in perturbations
+    ]
+    runner = SimRunner(jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint)
+    results = runner.run(tasks)
+    base_lifetime = results[0].normalized_lifetime
+
+    report: Dict[str, Sensitivity] = {}
+    for (parameter, base_value, perturbed_value), result in zip(
+        perturbations, results[1:]
+    ):
         report[parameter] = Sensitivity(
             parameter=parameter,
             base_value=base_value,
             base_lifetime=base_lifetime,
             perturbed_value=perturbed_value,
-            perturbed_lifetime=_lifetime(perturbed),
+            perturbed_lifetime=result.normalized_lifetime,
         )
     return report

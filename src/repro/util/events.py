@@ -31,6 +31,14 @@ class SimEvent:
     round_index: int
     detail: Mapping[str, object] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view of the event."""
+        return {
+            "kind": self.kind,
+            "round_index": self.round_index,
+            "detail": dict(self.detail),
+        }
+
 
 class EventLog:
     """Append-only log of :class:`SimEvent` with per-kind counting.
@@ -69,6 +77,10 @@ class EventLog:
         if kind is None:
             return list(self._events)
         return [event for event in self._events if event.kind == kind]
+
+    def to_dicts(self, kind: str | None = None) -> List[dict]:
+        """Retained events as JSON-serializable dicts (for reports/logs)."""
+        return [event.to_dict() for event in self.events(kind)]
 
     def __iter__(self) -> Iterator[SimEvent]:
         return iter(self._events)

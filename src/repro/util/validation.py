@@ -44,3 +44,68 @@ def require_in_range(value: Number, name: str, low: Number, high: Number) -> Non
     """Raise unless ``low <= value <= high``."""
     if not low <= value <= high:
         raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# argparse ``type=`` converters
+# ----------------------------------------------------------------------
+#
+# These raise argparse.ArgumentTypeError so a bad value fails at parse
+# time with the exact constraint in the usage error, instead of deep in
+# a sweep with a traceback.
+
+
+def fraction_arg(text: str) -> float:
+    """argparse type: a float in ``[0, 1]`` (spare/SWR fractions)."""
+    import argparse
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    try:
+        require_fraction(value, "value")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in [0, 1], got {text!r}"
+        ) from None
+    return value
+
+
+def positive_int_arg(text: str) -> int:
+    """argparse type: a strictly positive integer (counts, sizes)."""
+    import argparse
+
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def positive_float_arg(text: str) -> float:
+    """argparse type: a strictly positive number (q, timeouts)."""
+    import argparse
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def nonnegative_int_arg(text: str) -> int:
+    """argparse type: an integer ``>= 0`` (retry counts, job counts)."""
+    import argparse
+
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value

@@ -105,6 +105,37 @@ class TestHitMiss:
         assert cache.get(task) is None
         assert not path.exists()
 
+    def test_corrupt_entry_is_quarantined_not_deleted(self, cache):
+        task = SimTask(config=SMALL)
+        result, _ = task.execute()
+        path = cache.put(task, result)
+        path.write_text("{torn mid-write")
+        assert cache.get(task) is None
+        assert cache.stats.quarantined == 1
+        moved = cache.quarantine_root / path.name
+        assert moved.read_text() == "{torn mid-write"  # bytes kept for debugging
+
+    def test_quarantined_entries_are_invisible_to_len_and_clear(self, cache):
+        task = SimTask(config=SMALL)
+        result, _ = task.execute()
+        path = cache.put(task, result)
+        path.write_text("garbage")
+        cache.get(task)
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert (cache.quarantine_root / path.name).exists()
+
+    def test_rewrite_after_quarantine_hits_again(self, cache):
+        task = SimTask(config=SMALL)
+        result, _ = task.execute()
+        path = cache.put(task, result)
+        path.write_text("garbage")
+        assert cache.get(task) is None
+        cache.put(task, result)
+        restored = cache.get(task)
+        assert restored is not None
+        assert restored.normalized_lifetime == result.normalized_lifetime
+
     def test_entry_is_inspectable_json(self, cache):
         task = SimTask(config=SMALL, label="probe")
         result, _ = task.execute()
@@ -116,6 +147,24 @@ class TestHitMiss:
         assert entry["result"]["normalized_lifetime"] == pytest.approx(
             result.normalized_lifetime
         )
+
+
+class TestInjectedCorruption:
+    def test_injected_corruption_quarantines_as_a_miss(self, cache):
+        from repro.sim.faults import install
+
+        task = SimTask(config=SMALL)
+        result, _ = task.execute()
+        install("corrupt-cache=1.0")
+        try:
+            cache.put(task, result)
+        finally:
+            install(None)
+        assert cache.get(task) is None  # truncated entry, not an exception
+        assert cache.stats.quarantined == 1
+        # A clean rewrite recovers the key.
+        cache.put(task, result)
+        assert cache.get(task).normalized_lifetime == result.normalized_lifetime
 
 
 class TestInvalidation:

@@ -1,0 +1,180 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.sim.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_SPEC_ENV,
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    InjectedCrash,
+    TransientFault,
+    active_injector,
+    install,
+    is_worker_process,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_activation(monkeypatch):
+    """Each test starts with no injector installed and no env spec."""
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    install(None)
+    yield
+    install(None)
+
+
+class TestFaultSpec:
+    def test_defaults_are_inactive(self):
+        spec = FaultSpec()
+        assert not spec.active
+        assert spec.crash == spec.hang == spec.transient == spec.corrupt_cache == 0.0
+
+    def test_parse_full_grammar(self):
+        spec = FaultSpec.parse(
+            "crash=0.2,hang=0.05,transient=0.1,corrupt-cache=0.1,seed=7,hang-seconds=30"
+        )
+        assert spec.crash == 0.2
+        assert spec.hang == 0.05
+        assert spec.transient == 0.1
+        assert spec.corrupt_cache == 0.1
+        assert spec.seed == 7
+        assert spec.hang_seconds == 30.0
+        assert spec.active
+
+    def test_parse_empty_is_inactive(self):
+        assert not FaultSpec.parse("").active
+        assert not FaultSpec.parse("  ").active
+
+    def test_parse_round_trips_through_to_spec(self):
+        spec = FaultSpec.parse("crash=0.25,transient=0.5,seed=3")
+        assert FaultSpec.parse(spec.to_spec()) == spec
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(FaultSpecError, match="unknown fault spec key"):
+            FaultSpec.parse("explode=0.5")
+
+    def test_parse_rejects_malformed_items(self):
+        with pytest.raises(FaultSpecError, match="expected key=value"):
+            FaultSpec.parse("crash")
+
+    def test_parse_rejects_non_numbers(self):
+        with pytest.raises(FaultSpecError, match="needs a number"):
+            FaultSpec.parse("crash=often")
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(FaultSpecError, match="must be in \\[0, 1\\]"):
+            FaultSpec.parse("crash=1.5")
+        with pytest.raises(FaultSpecError):
+            FaultSpec(hang=-0.1)
+
+    def test_rejects_negative_hang_seconds(self):
+        with pytest.raises(FaultSpecError, match="hang-seconds"):
+            FaultSpec.parse("hang-seconds=-1")
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE == 77
+
+
+class TestDeterminism:
+    def test_decisions_are_pure_functions_of_inputs(self):
+        a = FaultInjector(FaultSpec(transient=0.5, seed=11))
+        b = FaultInjector(FaultSpec(transient=0.5, seed=11))
+        for attempt in range(1, 6):
+            outcome_a = outcome_b = None
+            try:
+                a.before_execute("task-key", attempt)
+            except TransientFault:
+                outcome_a = "transient"
+            try:
+                b.before_execute("task-key", attempt)
+            except TransientFault:
+                outcome_b = "transient"
+            assert outcome_a == outcome_b
+
+    def test_attempts_reroll_independently(self):
+        """Retries must be able to escape a fault: across many attempts a
+        p=0.5 transient both fires and does not fire."""
+        injector = FaultInjector(FaultSpec(transient=0.5, seed=2))
+        outcomes = set()
+        for attempt in range(1, 20):
+            try:
+                injector.before_execute("some-task", attempt)
+                outcomes.add("clean")
+            except TransientFault:
+                outcomes.add("transient")
+        assert outcomes == {"clean", "transient"}
+
+    def test_seed_decorrelates_campaigns(self):
+        def decisions(seed):
+            injector = FaultInjector(FaultSpec(transient=0.5, seed=seed))
+            pattern = []
+            for attempt in range(1, 30):
+                try:
+                    injector.before_execute("k", attempt)
+                    pattern.append(False)
+                except TransientFault:
+                    pattern.append(True)
+            return pattern
+
+        assert decisions(1) != decisions(2)
+
+    def test_corrupt_cache_decision_is_deterministic(self):
+        a = FaultInjector(FaultSpec(corrupt_cache=0.5, seed=9))
+        b = FaultInjector(FaultSpec(corrupt_cache=0.5, seed=9))
+        keys = [f"key-{i}" for i in range(40)]
+        decisions_a = [a.corrupt_cache_entry(key) for key in keys]
+        decisions_b = [b.corrupt_cache_entry(key) for key in keys]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+
+class TestInjection:
+    def test_crash_raises_in_process(self):
+        injector = FaultInjector(FaultSpec(crash=1.0))
+        assert not is_worker_process()
+        with pytest.raises(InjectedCrash):
+            injector.before_execute("k", 1)
+        assert injector.injected["crash"] == 1
+
+    def test_transient_raises_and_counts(self):
+        injector = FaultInjector(FaultSpec(transient=1.0))
+        with pytest.raises(TransientFault):
+            injector.before_execute("k", 1)
+        assert injector.injected["transient"] == 1
+
+    def test_zero_probability_never_fires(self):
+        injector = FaultInjector(FaultSpec())
+        for attempt in range(1, 50):
+            injector.before_execute("k", attempt)
+        assert all(count == 0 for count in injector.injected.values())
+
+
+class TestActivation:
+    def test_off_by_default(self):
+        assert active_injector() is None
+
+    def test_install_and_clear(self):
+        installed = install("transient=0.5")
+        assert active_injector() is installed
+        assert installed.spec.transient == 0.5
+        install(None)
+        assert active_injector() is None
+
+    def test_install_inactive_spec_is_none(self):
+        assert install(FaultSpec()) is None
+        assert active_injector() is None
+
+    def test_env_spec_activates(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SPEC_ENV, "transient=0.25,seed=4")
+        injector = active_injector()
+        assert injector is not None
+        assert injector.spec.transient == 0.25
+        # The parsed injector is reused while the env text is unchanged.
+        assert active_injector() is injector
+
+    def test_install_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SPEC_ENV, "transient=0.25")
+        installed = install("crash=0.5")
+        assert active_injector() is installed

@@ -1,0 +1,384 @@
+"""Tests for the resilient execution layer: supervision, checkpoints, faults."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.cache import ResultCache
+from repro.sim.faults import FAULT_SPEC_ENV, install
+from repro.sim.resilience import (
+    Checkpoint,
+    FailureRecord,
+    ResiliencePolicy,
+    RunInterrupted,
+    SimulationFailure,
+    TaskTimeout,
+    derive_checkpoint_path,
+    is_retryable,
+    time_limit,
+)
+from repro.sim.runner import CallableTask, SimRunner, SimTask, task_identity
+
+SMALL = ExperimentConfig(regions=64, lines_per_region=2, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    install(None)
+    yield
+    install(None)
+
+
+def make_tasks(count, config=SMALL):
+    """``count`` distinct tiny tasks (distinct spare fractions)."""
+    fractions = np.linspace(0.01, 0.5, count)
+    return [
+        SimTask(
+            attack="uaa",
+            sparing="max-we",
+            p=float(fraction),
+            swr=0.9,
+            config=config,
+            label=f"task-{index}",
+        )
+        for index, fraction in enumerate(fractions)
+    ]
+
+
+def lifetimes(results):
+    return [result.normalized_lifetime for result in results]
+
+
+class _ExplodingAttackFactory:
+    """Picklable factory that always raises a (non-retryable) spec bug."""
+
+    def __call__(self, *args):
+        raise ValueError("bad spec")
+
+
+class TestResiliencePolicy:
+    def test_defaults(self):
+        policy = ResiliencePolicy()
+        assert policy.timeout is None
+        assert policy.retries == 2
+        assert policy.max_attempts == 3
+        assert not policy.fail_fast
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ResiliencePolicy(timeout=0)
+        with pytest.raises(ValueError, match="retries"):
+            ResiliencePolicy(retries=-1)
+        with pytest.raises(ValueError, match="jitter"):
+            ResiliencePolicy(jitter=2.0)
+
+    def test_retry_delay_is_deterministic_and_bounded(self):
+        policy = ResiliencePolicy(backoff=0.1, backoff_cap=1.0, jitter=0.25)
+        delays = [policy.retry_delay("some-key", attempt) for attempt in range(1, 10)]
+        assert delays == [
+            policy.retry_delay("some-key", attempt) for attempt in range(1, 10)
+        ]
+        assert all(delay <= 1.0 * 1.25 for delay in delays)
+        assert delays[0] < delays[3]  # exponential growth before the cap
+
+    def test_zero_backoff_means_no_delay(self):
+        assert ResiliencePolicy(backoff=0.0).retry_delay("k", 5) == 0.0
+
+    def test_is_retryable(self):
+        assert is_retryable(RuntimeError("transient"))
+        assert is_retryable(TaskTimeout("too slow"))
+        assert not is_retryable(ValueError("bad spec"))
+        assert not is_retryable(TypeError("bad type"))
+
+
+class TestFailureRecord:
+    def test_from_exception_and_round_trip(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError as error:
+            record = FailureRecord.from_exception(
+                index=3,
+                key="abc123",
+                label="point",
+                kind="exception",
+                attempts=2,
+                error=error,
+            )
+        assert record.exception_type == "RuntimeError"
+        assert "boom" in record.message
+        assert "RuntimeError" in record.traceback
+        payload = record.to_dict()
+        assert payload["index"] == 3 and payload["kind"] == "exception"
+        assert "point" in str(record) and "2 attempt(s)" in str(record)
+
+
+class TestTimeLimit:
+    def test_raises_on_overrun(self):
+        with pytest.raises(TaskTimeout):
+            with time_limit(0.05):
+                time.sleep(5.0)
+
+    def test_noop_within_budget_and_with_none(self):
+        with time_limit(5.0):
+            pass
+        with time_limit(None):
+            time.sleep(0.001)
+
+
+class TestCheckpointJournal:
+    def test_append_get_round_trip_across_instances(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        task = make_tasks(1)[0]
+        key, label = task_identity(task)
+        result, elapsed = task.execute()
+
+        journal = Checkpoint(path)
+        journal.append(key, result, elapsed, label)
+        assert key in journal and journal.appends == 1
+
+        reloaded = Checkpoint(path)
+        assert len(reloaded) == 1
+        restored = reloaded.get(key)
+        assert restored is not None
+        assert restored.normalized_lifetime == result.normalized_lifetime
+        assert reloaded.hits == 1
+
+    def test_append_is_idempotent_per_key(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        task = make_tasks(1)[0]
+        key, label = task_identity(task)
+        result, _ = task.execute()
+        journal = Checkpoint(path)
+        journal.append(key, result, label=label)
+        journal.append(key, result, label=label)
+        # header + exactly one record
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(2)
+        journal = Checkpoint(path)
+        for task in tasks:
+            key, label = task_identity(task)
+            result, _ = task.execute()
+            journal.append(key, result, label=label)
+        # Simulate kill -9 mid-append: truncate the last record mid-JSON.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])
+
+        reloaded = Checkpoint(path)
+        assert len(reloaded) == 1  # first record survives, torn one ignored
+
+    def test_resume_false_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        task = make_tasks(1)[0]
+        key, label = task_identity(task)
+        result, _ = task.execute()
+        Checkpoint(path).append(key, result, label=label)
+        fresh = Checkpoint(path, resume=False)
+        assert len(fresh) == 0
+        assert not path.exists()
+
+    def test_header_schema_is_checked(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"checkpoint_schema": 999}) + "\n")
+        assert len(Checkpoint(path)) == 0
+
+    def test_derive_checkpoint_path_is_deterministic(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        a = derive_checkpoint_path("sweep", {"q": 50.0, "seed": 7})
+        b = derive_checkpoint_path("sweep", {"seed": 7, "q": 50.0})
+        other = derive_checkpoint_path("sweep", {"seed": 8, "q": 50.0})
+        assert a == b
+        assert a != other
+        assert a.parent == tmp_path
+        assert a.name.startswith("sweep-") and a.suffix == ".jsonl"
+
+
+class TestCheckpointedRuns:
+    def test_resume_skips_finished_work_bit_identical(self, tmp_path):
+        tasks = make_tasks(6)
+        baseline = SimRunner().run(tasks)
+
+        path = tmp_path / "sweep.jsonl"
+        SimRunner(checkpoint=Checkpoint(path)).run(tasks[:4])
+
+        resumed, stats = SimRunner(checkpoint=Checkpoint(path)).run_detailed(tasks)
+        assert stats.checkpoint_hits == 4
+        assert stats.simulated == 2
+        assert lifetimes(resumed) == lifetimes(baseline)
+
+    def test_checkpoint_accepts_a_bare_path(self, tmp_path):
+        tasks = make_tasks(3)
+        path = tmp_path / "sweep.jsonl"
+        SimRunner(checkpoint=path).run(tasks)
+        _, stats = SimRunner(checkpoint=path).run_detailed(tasks)
+        assert stats.checkpoint_hits == 3
+        assert stats.simulated == 0
+
+    def test_checkpoint_heals_a_cold_cache(self, tmp_path):
+        """A checkpointed result is written through to the cache, so later
+        cache-only runs hit even if the original run never cached."""
+        tasks = make_tasks(2)
+        path = tmp_path / "sweep.jsonl"
+        SimRunner(checkpoint=path).run(tasks)
+
+        cache = ResultCache(tmp_path / "cache")
+        SimRunner(cache=cache, checkpoint=path).run(tasks)
+        _, stats = SimRunner(cache=cache).run_detailed(tasks)
+        assert stats.cache_hits == 2
+
+
+class TestSupervisedSerial:
+    def test_transient_faults_are_retried_to_identical_results(self):
+        tasks = make_tasks(8)
+        clean = SimRunner().run(tasks)
+        install("transient=0.4,seed=3")
+        results, stats = SimRunner(
+            policy=ResiliencePolicy(retries=8, backoff=0.0)
+        ).run_detailed(tasks)
+        assert not stats.failures
+        assert stats.retries > 0
+        assert lifetimes(results) == lifetimes(clean)
+
+    def test_serial_crashes_are_isolated_and_retried(self):
+        tasks = make_tasks(8)
+        clean = SimRunner().run(tasks)
+        install("crash=0.3,seed=5")
+        results, stats = SimRunner(
+            policy=ResiliencePolicy(retries=10, backoff=0.0)
+        ).run_detailed(tasks)
+        assert not stats.failures
+        assert lifetimes(results) == lifetimes(clean)
+
+    def test_exhausted_attempts_produce_failure_records(self):
+        tasks = make_tasks(3)
+        install("transient=1.0,seed=1")  # every attempt fails
+        results, stats = SimRunner(
+            policy=ResiliencePolicy(retries=1, backoff=0.0)
+        ).run_detailed(tasks)
+        assert all(result is None for result in results)
+        assert len(stats.failures) == 3
+        for record in stats.failures:
+            assert record.attempts == 2
+            assert record.exception_type == "TransientFault"
+
+    def test_run_raises_simulation_failure(self):
+        install("transient=1.0,seed=1")
+        with pytest.raises(SimulationFailure) as excinfo:
+            SimRunner(policy=ResiliencePolicy(retries=0, backoff=0.0)).run(
+                make_tasks(2)
+            )
+        assert len(excinfo.value.failures) == 2
+
+    def test_non_retryable_errors_fail_immediately(self):
+        task = CallableTask(
+            attack_factory=_ExplodingAttackFactory(),
+            sparing_factory=_ExplodingAttackFactory(),
+            emap_factory=_ExplodingAttackFactory(),
+            seed=1,
+        )
+        _, stats = SimRunner(
+            policy=ResiliencePolicy(retries=5, backoff=0.0)
+        ).run_detailed([task])
+        assert len(stats.failures) == 1
+        assert stats.failures[0].attempts == 1  # no retry budget wasted
+        assert stats.failures[0].exception_type == "ValueError"
+
+    def test_fail_fast_skips_remaining_tasks(self):
+        tasks = make_tasks(4)
+        install("transient=1.0,seed=1")
+        _, stats = SimRunner(
+            policy=ResiliencePolicy(retries=0, backoff=0.0, fail_fast=True)
+        ).run_detailed(tasks)
+        kinds = sorted(record.kind for record in stats.failures)
+        assert "exception" in kinds
+        assert "skipped" in kinds
+        assert len(stats.failures) == 4
+
+    def test_serial_timeout_preempts_a_hung_task(self):
+        tasks = make_tasks(2)
+        install("hang=1.0,hang-seconds=30,seed=1")
+        _, stats = SimRunner(
+            policy=ResiliencePolicy(timeout=0.2, retries=1, backoff=0.0)
+        ).run_detailed(tasks)
+        assert len(stats.failures) == 2
+        assert all(record.kind == "timeout" for record in stats.failures)
+
+
+class TestSupervisedParallel:
+    def test_worker_crashes_respawn_pool_and_converge(self, monkeypatch):
+        tasks = make_tasks(10)
+        clean = SimRunner().run(tasks)
+        monkeypatch.setenv(FAULT_SPEC_ENV, "crash=0.3,seed=5")
+        results, stats = SimRunner(
+            jobs=2, policy=ResiliencePolicy(retries=20, backoff=0.001, backoff_cap=0.05)
+        ).run_detailed(tasks)
+        assert not stats.failures
+        assert stats.pool_respawns > 0
+        assert lifetimes(results) == lifetimes(clean)
+
+    def test_hung_workers_hit_the_deadline_and_converge(self, monkeypatch):
+        tasks = make_tasks(8)
+        clean = SimRunner().run(tasks)
+        monkeypatch.setenv(FAULT_SPEC_ENV, "hang=0.2,hang-seconds=60,seed=9")
+        results, stats = SimRunner(
+            jobs=2,
+            policy=ResiliencePolicy(
+                timeout=1.0, retries=20, backoff=0.001, backoff_cap=0.05
+            ),
+        ).run_detailed(tasks)
+        assert not stats.failures
+        assert lifetimes(results) == lifetimes(clean)
+
+    def test_supervision_events_are_reported(self, monkeypatch):
+        tasks = make_tasks(6)
+        monkeypatch.setenv(FAULT_SPEC_ENV, "transient=0.5,seed=2")
+        _, stats = SimRunner(
+            jobs=2, policy=ResiliencePolicy(retries=10, backoff=0.0)
+        ).run_detailed(tasks)
+        kinds = {event.kind for event in stats.events}
+        assert "task-retry" in kinds
+
+
+class TestAcceptance:
+    def test_100_task_sweep_under_heavy_faults_matches_fault_free(
+        self, tmp_path, monkeypatch
+    ):
+        """The issue's acceptance bar: >=20% crashes, >=5% hangs, corrupted
+        cache entries -- the sweep still completes with zero lost tasks and
+        results identical to the fault-free run."""
+        tiny = ExperimentConfig(regions=32, lines_per_region=2, seed=7)
+        tasks = make_tasks(100, config=tiny)
+        clean = SimRunner(jobs=2).run(tasks)
+
+        monkeypatch.setenv(
+            FAULT_SPEC_ENV,
+            "crash=0.2,hang=0.05,transient=0.1,corrupt-cache=0.3,"
+            "seed=13,hang-seconds=60",
+        )
+        cache = ResultCache(tmp_path / "cache")
+        results, stats = SimRunner(
+            jobs=2,
+            cache=cache,
+            policy=ResiliencePolicy(
+                timeout=1.0, retries=30, backoff=0.001, backoff_cap=0.05
+            ),
+        ).run_detailed(tasks)
+        assert not stats.failures  # zero lost tasks
+        assert stats.retries > 0
+        assert lifetimes(results) == lifetimes(clean)
+
+        # Warm rerun against the (partially corrupted) cache: corrupt
+        # entries quarantine as misses and are re-simulated -- results
+        # stay identical.
+        monkeypatch.setenv(FAULT_SPEC_ENV, "")
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = SimRunner(jobs=2, cache=warm_cache).run(tasks)
+        assert lifetimes(warm) == lifetimes(clean)
+        assert warm_cache.stats.quarantined > 0
+        assert warm_cache.stats.hits > 0
