@@ -30,6 +30,7 @@ from time import perf_counter
 
 from repro.attacks.bpa import BirthdayParadoxAttack
 from repro.attacks.uaa import UniformAddressAttack
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.config import ExperimentConfig
 from repro.sim.lifetime import simulate_lifetime
 from repro.sim.runner import build_sparing
@@ -65,15 +66,27 @@ WARMUP_CONFIG = ExperimentConfig(regions=64, lines_per_region=2, seed=2019)
 
 def _run(config: ExperimentConfig, scheme: str, engine: str, attack=None) -> tuple:
     """One timed simulation with a fresh scheme instance; returns
-    ``(result, seconds)``."""
+    ``(result, seconds, phases)`` where ``phases`` is the leg's per-span
+    breakdown (``sim/init``, ``sim/kernel``) from its own registry."""
     emap = config.make_emap()
     attack = attack if attack is not None else UniformAddressAttack()
     sparing = build_sparing(scheme, config.spare_fraction, config.swr_fraction)
+    metrics = MetricsRegistry()
     start = perf_counter()
     result = simulate_lifetime(
-        emap, attack, sparing, rng=config.seed, engine=engine, record_timeline=False
+        emap,
+        attack,
+        sparing,
+        rng=config.seed,
+        engine=engine,
+        record_timeline=False,
+        metrics=metrics,
     )
-    return result, perf_counter() - start
+    phases = {
+        name: round(float(timing["sum"]), 4)
+        for name, timing in metrics.snapshot()["timings"].items()
+    }
+    return result, perf_counter() - start, phases
 
 
 def _agree(exact, batched) -> tuple[bool, str]:
@@ -97,15 +110,17 @@ def run_bench(quick: bool = False) -> dict:
     """Measure both engines per scheme; returns the BENCH_engine payload."""
     config = QUICK_CONFIG if quick else BENCH_CONFIG
     for engine in ("fluid-exact", "fluid-batched"):
-        _run(WARMUP_CONFIG, "max-we", engine)  # untimed warm-up
+        _run(WARMUP_CONFIG, "max-we", engine)  # untimed warm-up; phases dropped
     schemes: dict[str, dict] = {}
     exact_total = 0.0
     batched_total = 0.0
     all_identical = True
 
     for scheme in BENCH_SCHEMES:
-        exact_result, exact_seconds = _run(config, scheme, "fluid-exact")
-        batched_result, batched_seconds = _run(config, scheme, "fluid-batched")
+        exact_result, exact_seconds, exact_phases = _run(config, scheme, "fluid-exact")
+        batched_result, batched_seconds, batched_phases = _run(
+            config, scheme, "fluid-batched"
+        )
         identical, detail = _agree(exact_result, batched_result)
         all_identical = all_identical and identical
         exact_total += exact_seconds
@@ -116,6 +131,8 @@ def run_bench(quick: bool = False) -> dict:
             "normalized_lifetime": round(exact_result.normalized_lifetime, 9),
             "exact_seconds": round(exact_seconds, 4),
             "batched_seconds": round(batched_seconds, 4),
+            "exact_phases": exact_phases,
+            "batched_phases": batched_phases,
             "batched_epochs": batched_result.metadata.get("epochs"),
             "speedup": round(exact_seconds / batched_seconds, 2)
             if batched_seconds
@@ -164,11 +181,12 @@ def run_bench(quick: bool = False) -> dict:
             ("uaa", UniformAddressAttack()),
             ("bpa", BirthdayParadoxAttack()),
         ):
-            result, seconds = _run(
+            result, seconds, phases = _run(
                 FULL_SCALE_CONFIG, "max-we", "fluid-batched", attack=attack
             )
             runs[name] = {
                 "seconds": round(seconds, 4),
+                "phases": phases,
                 "deaths": result.deaths,
                 "replacements": result.replacements,
                 "normalized_lifetime": round(result.normalized_lifetime, 9),

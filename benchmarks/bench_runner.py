@@ -26,6 +26,18 @@ from repro.sim.runner import SimRunner, SimTask
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+
+def _phases(stats) -> dict:
+    """Per-phase totals from a leg's metrics snapshot, for the payload."""
+    timings = (stats.metrics or {}).get("timings", {})
+    return {
+        name: {
+            "calls": int(timing["count"]),
+            "total_seconds": round(float(timing["sum"]), 4),
+        }
+        for name, timing in timings.items()
+    }
+
 #: Fixed measurement sweep: Figure 7's grid on a mid-size device.
 BENCH_CONFIG = ExperimentConfig(regions=1024, lines_per_region=4, seed=2019)
 BENCH_WEARLEVELERS = ("tlsr", "pcm-s", "bwl", "wawl")
@@ -79,6 +91,7 @@ def run_bench(jobs: int | None = None) -> dict:
             "jobs": 1,
             "wall_seconds": round(serial.wall_seconds, 4),
             "sims_per_second": round(serial.sims_per_second, 3),
+            "phases": _phases(serial),
         },
     }
 
@@ -105,6 +118,9 @@ def run_bench(jobs: int | None = None) -> dict:
         "jobs": parallel.jobs,
         "wall_seconds": round(parallel.wall_seconds, 4),
         "sims_per_second": round(parallel.sims_per_second, 3),
+        "phases": _phases(parallel),
+        "queue_seconds": round(parallel.queue_seconds, 4),
+        "harvest_seconds": round(parallel.harvest_seconds, 4),
     }
     payload["speedup"] = (
         round(parallel.sims_per_second / serial.sims_per_second, 3)

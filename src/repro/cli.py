@@ -29,6 +29,8 @@ from repro.attacks.repeated import RepeatedAddressAttack
 from repro.attacks.uaa import UniformAddressAttack
 from repro.core.maxwe import MaxWE
 from repro.core.overhead import mapping_overhead_report, paper_overhead_geometry
+from repro.obs.metrics import MetricsRegistry, maybe_span
+from repro.obs.sink import build_manifest, profile_report, write_metrics
 from repro.sim.config import ExperimentConfig
 from repro.sim.experiments import (
     bpa_scheme_comparison,
@@ -109,7 +111,24 @@ def _fault_spec_arg(text: str) -> str:
     return text
 
 
+def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL metrics file (manifest + deterministic "
+        "counters/histograms/spans; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-time breakdown after the command",
+    )
+
+
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_metrics_arguments(parser)
     parser.add_argument(
         "--jobs",
         type=_jobs_count,
@@ -195,6 +214,55 @@ def _cache_from(args: argparse.Namespace):
 def _print_cache_stats(cache) -> None:
     if cache is not None and cache.stats.lookups:
         print(f"[cache {cache.stats} under {cache.root}]")
+
+
+def _metrics_from(args: argparse.Namespace) -> "MetricsRegistry | None":
+    """A registry when ``--metrics-out``/``--profile`` asked for one."""
+    if getattr(args, "metrics_out", None) or getattr(args, "profile", False):
+        return MetricsRegistry()
+    return None
+
+
+def _emit_metrics(
+    args: argparse.Namespace,
+    metrics: "MetricsRegistry | None",
+    config: ExperimentConfig | None = None,
+) -> None:
+    """Write ``--metrics-out`` and print ``--profile`` for the command.
+
+    The manifest carries the run's identity (command, config + hash,
+    engine, jobs) plus the headline resilience counters; every
+    wall-clock quantity stays manifest-only so the body is reproducible.
+    """
+    if metrics is None:
+        return
+    config_payload = None
+    if config is not None:
+        config_payload = {
+            "regions": config.regions,
+            "lines_per_region": config.lines_per_region,
+            "q": config.q,
+            "endurance_model": config.endurance_model,
+            "seed": config.seed,
+        }
+    manifest = build_manifest(
+        metrics,
+        command=args.command,
+        config=config_payload,
+        engine=getattr(args, "engine", None),
+        jobs=getattr(args, "jobs", None),
+        extra={
+            "cache_hits": metrics.counter("cache.hits"),
+            "cache_misses": metrics.counter("cache.misses"),
+            "retries": metrics.counter("runner.retries"),
+            "pool_respawns": metrics.counter("runner.pool_respawns"),
+        },
+    )
+    if getattr(args, "metrics_out", None):
+        path = write_metrics(args.metrics_out, metrics, manifest)
+        print(f"[metrics written to {path}]")
+    if getattr(args, "profile", False):
+        print(profile_report(manifest))
 
 
 def _policy_from(args: argparse.Namespace) -> ResiliencePolicy:
@@ -291,44 +359,51 @@ def _make_sparing(name: str, p: float, swr: float):
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    emap = config.make_emap()
-    wearleveler = (
-        make_scheme(args.wearlevel, lines_per_region=1)
-        if args.wearlevel != "none"
-        else make_scheme("none")
-    )
-    result = simulate_lifetime(
-        emap,
-        _make_attack(args.attack),
-        _make_sparing(args.sparing, args.p, args.swr),
-        wearleveler=wearleveler,
-        rng=config.seed,
-        engine=args.engine,
-    )
+    metrics = _metrics_from(args)
+    with maybe_span(metrics, "cli/total"):
+        emap = config.make_emap()
+        wearleveler = (
+            make_scheme(args.wearlevel, lines_per_region=1)
+            if args.wearlevel != "none"
+            else make_scheme("none")
+        )
+        result = simulate_lifetime(
+            emap,
+            _make_attack(args.attack),
+            _make_sparing(args.sparing, args.p, args.swr),
+            wearleveler=wearleveler,
+            rng=config.seed,
+            engine=args.engine,
+            metrics=metrics,
+        )
     print(f"attack:      {result.metadata['attack']}")
     print(f"wear-level:  {result.metadata['wearleveler']}")
     print(f"sparing:     {result.metadata['sparing']}")
     print(f"lifetime:    {result.normalized_lifetime:.2%} of ideal")
     print(f"deaths:      {result.deaths} ({result.replacements} replaced)")
     print(f"failure:     {result.failure_reason}")
+    _emit_metrics(args, metrics, config)
     return 0
 
 
 def _cmd_sweep_spare(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
+    metrics = _metrics_from(args)
     _install_faults(args)
-    rows = [
-        [f"{fraction:.0%}", result.normalized_lifetime]
-        for fraction, result in spare_fraction_sweep(
-            config,
-            jobs=args.jobs,
-            cache=cache,
-            engine=args.engine,
-            policy=_policy_from(args),
-            checkpoint=_checkpoint_from(args, config),
-        )
-    ]
+    with maybe_span(metrics, "cli/total"):
+        rows = [
+            [f"{fraction:.0%}", result.normalized_lifetime]
+            for fraction, result in spare_fraction_sweep(
+                config,
+                jobs=args.jobs,
+                cache=cache,
+                engine=args.engine,
+                policy=_policy_from(args),
+                checkpoint=_checkpoint_from(args, config),
+                metrics=metrics,
+            )
+        ]
     print(
         render_table(
             ["spare capacity", "normalized lifetime"],
@@ -337,21 +412,25 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
         )
     )
     _print_cache_stats(cache)
+    _emit_metrics(args, metrics, config)
     return 0
 
 
 def _cmd_sweep_swr(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
+    metrics = _metrics_from(args)
     _install_faults(args)
-    sweeps = swr_fraction_sweep(
-        config,
-        jobs=args.jobs,
-        cache=cache,
-        engine=args.engine,
-        policy=_policy_from(args),
-        checkpoint=_checkpoint_from(args, config),
-    )
+    with maybe_span(metrics, "cli/total"):
+        sweeps = swr_fraction_sweep(
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            engine=args.engine,
+            policy=_policy_from(args),
+            checkpoint=_checkpoint_from(args, config),
+            metrics=metrics,
+        )
     fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
     headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
     rows = [
@@ -364,21 +443,25 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
         )
     )
     _print_cache_stats(cache)
+    _emit_metrics(args, metrics, config)
     return 0
 
 
 def _cmd_compare_uaa(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
+    metrics = _metrics_from(args)
     _install_faults(args)
-    results = uaa_scheme_comparison(
-        config,
-        jobs=args.jobs,
-        cache=cache,
-        engine=args.engine,
-        policy=_policy_from(args),
-        checkpoint=_checkpoint_from(args, config),
-    )
+    with maybe_span(metrics, "cli/total"):
+        results = uaa_scheme_comparison(
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            engine=args.engine,
+            policy=_policy_from(args),
+            checkpoint=_checkpoint_from(args, config),
+            metrics=metrics,
+        )
     baseline = results["no-protection"].normalized_lifetime
     rows = [
         [name, result.normalized_lifetime, result.normalized_lifetime / baseline]
@@ -392,21 +475,25 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
         )
     )
     _print_cache_stats(cache)
+    _emit_metrics(args, metrics, config)
     return 0
 
 
 def _cmd_compare_bpa(args: argparse.Namespace) -> int:
     config = _config_from(args)
     cache = _cache_from(args)
+    metrics = _metrics_from(args)
     _install_faults(args)
-    comparison = bpa_scheme_comparison(
-        config,
-        jobs=args.jobs,
-        cache=cache,
-        engine=args.engine,
-        policy=_policy_from(args),
-        checkpoint=_checkpoint_from(args, config),
-    )
+    with maybe_span(metrics, "cli/total"):
+        comparison = bpa_scheme_comparison(
+            config,
+            jobs=args.jobs,
+            cache=cache,
+            engine=args.engine,
+            policy=_policy_from(args),
+            checkpoint=_checkpoint_from(args, config),
+            metrics=metrics,
+        )
     wearlevelers = list(next(iter(comparison.values())).keys())
     headers = ["scheme"] + wearlevelers + ["gmean"]
     rows = []
@@ -419,6 +506,7 @@ def _cmd_compare_bpa(args: argparse.Namespace) -> int:
         )
     )
     _print_cache_stats(cache)
+    _emit_metrics(args, metrics, config)
     return 0
 
 
@@ -451,22 +539,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 1
     config = _config_from(args)
     cache = _cache_from(args)
+    metrics = _metrics_from(args)
     _install_faults(args)
     try:
-        batch = run_batch(
-            specs,
-            config,
-            jobs=args.jobs,
-            cache=cache,
-            engine=args.engine,
-            policy=_policy_from(args),
-            checkpoint=_checkpoint_from(args, config, {"specs": specs}),
-        )
+        with maybe_span(metrics, "cli/total"):
+            batch = run_batch(
+                specs,
+                config,
+                jobs=args.jobs,
+                cache=cache,
+                engine=args.engine,
+                policy=_policy_from(args),
+                checkpoint=_checkpoint_from(args, config, {"specs": specs}),
+                metrics=metrics,
+            )
     except (ValueError, TypeError) as error:
         print(f"error: invalid batch spec: {error}")
         return 1
     print(batch.to_table())
     _print_cache_stats(cache)
+    _emit_metrics(args, metrics, config)
     if args.output:
         batch.to_json(args.output)
         print(f"\narchive written to {args.output}")
@@ -566,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="max-we",
     )
     _add_engine_argument(simulate)
+    _add_metrics_arguments(simulate)
     simulate.add_argument("--p", type=fraction_arg, default=0.1, help="spare fraction")
     simulate.add_argument(
         "--swr", type=fraction_arg, default=0.9, help="SWR share of spares"

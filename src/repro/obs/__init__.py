@@ -1,0 +1,50 @@
+"""Structured observability: metrics registry, spans, JSONL sink.
+
+See :mod:`repro.obs.metrics` for the in-process accumulator and
+:mod:`repro.obs.sink` for the on-disk format; ``docs/observability.md``
+documents the metric names, the span taxonomy, and the determinism
+contract.  ``python -m repro.obs`` provides ``validate`` / ``show`` /
+``body`` subcommands over metrics files.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    maybe_span,
+)
+from repro.obs.sink import (
+    METRICS_SCHEMA_VERSION,
+    VOLATILE_MANIFEST_FIELDS,
+    build_manifest,
+    canonical_line,
+    config_hash,
+    deterministic_body,
+    metrics_lines,
+    profile_report,
+    read_metrics,
+    validate_metrics_file,
+    validate_metrics_lines,
+    write_metrics,
+)
+
+__all__ = [
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "maybe_span",
+    "METRICS_SCHEMA_VERSION",
+    "VOLATILE_MANIFEST_FIELDS",
+    "build_manifest",
+    "canonical_line",
+    "config_hash",
+    "deterministic_body",
+    "metrics_lines",
+    "profile_report",
+    "read_metrics",
+    "validate_metrics_file",
+    "validate_metrics_lines",
+    "write_metrics",
+]

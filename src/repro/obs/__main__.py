@@ -1,0 +1,93 @@
+"""CLI over metrics files: ``python -m repro.obs {validate,show,body}``.
+
+* ``validate FILE...`` -- check each file against the metrics schema;
+  exit 1 listing every violation if any file fails.  CI runs this on the
+  smoke-sweep artifact.
+* ``show FILE`` -- print the manifest summary and the per-phase profile
+  table for a single file.
+* ``body FILE...`` -- print each file's deterministic body (everything
+  after the manifest line).  Piping two runs' ``body`` output through
+  ``diff`` is the determinism check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.sink import (
+    deterministic_body,
+    profile_report,
+    read_metrics,
+    validate_metrics_file,
+)
+
+
+def _cmd_validate(paths: List[str]) -> int:
+    status = 0
+    for path in paths:
+        errors = validate_metrics_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+def _cmd_show(path: str) -> int:
+    manifest, records = read_metrics(path)
+    for key in ("command", "engine", "jobs", "config_hash", "timestamp", "wall_seconds"):
+        if manifest.get(key) is not None:
+            print(f"{key}: {manifest[key]}")
+    counts = {}
+    for record in records:
+        counts[record.get("kind")] = counts.get(record.get("kind"), 0) + 1
+    print(
+        "records: "
+        + ", ".join(f"{count} {kind}s" for kind, count in sorted(counts.items()))
+    )
+    for record in records:
+        if record.get("kind") == "counter":
+            print(f"  {record['name']} = {record['value']}")
+    print()
+    print(profile_report(manifest))
+    return 0
+
+
+def _cmd_body(paths: List[str]) -> int:
+    for path in paths:
+        for line in deterministic_body(path):
+            print(line)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="inspect repro metrics JSONL files"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_validate = sub.add_parser("validate", help="validate files against the schema")
+    p_validate.add_argument("paths", nargs="+")
+    p_show = sub.add_parser("show", help="print manifest summary + profile table")
+    p_show.add_argument("path")
+    p_body = sub.add_parser("body", help="print the deterministic body lines")
+    p_body.add_argument("paths", nargs="+")
+    args = parser.parse_args(argv)
+    if args.command == "validate":
+        return _cmd_validate(args.paths)
+    if args.command == "show":
+        return _cmd_show(args.path)
+    return _cmd_body(args.paths)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (head, a closed pager) stopped reading;
+        # exit quietly the way well-behaved text tools do.
+        sys.exit(0)

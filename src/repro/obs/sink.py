@@ -1,0 +1,298 @@
+"""JSONL metrics sink: manifest + deterministic metric records.
+
+A metrics file is newline-delimited JSON with a strict shape:
+
+* **line 1** -- the *manifest*: ``{"kind": "manifest", "schema": 1,
+  ...}`` carrying everything about the run that is allowed to vary
+  between identical invocations -- the timestamp, wall times, and the
+  full timing detail (per-span totals/min/max/buckets) -- alongside the
+  run's identity (command, config + ``config_hash``, engine, jobs).
+* **every following line** -- one deterministic record, sorted by
+  ``(kind, name)``:
+
+  - ``{"kind": "counter", "name": ..., "value": ...}``
+  - ``{"kind": "gauge", "name": ..., "value": ...}``
+  - ``{"kind": "histogram", "name": ..., "boundaries": [...],
+    "counts": [...], "count": ..., "sum": ...}``
+  - ``{"kind": "span", "name": ..., "calls": ...}``
+
+The split is the file's determinism contract: **drop the first line and
+two runs of the same config + seed are byte-identical.**  Span *call
+counts* are deterministic (the control flow is), so they live in the
+body; span *durations* are not, so they live only in the manifest.
+``python -m repro.obs body FILE`` prints the deterministic body for
+exactly this comparison, and ``python -m repro.obs validate FILE``
+checks a file against this schema (the CI smoke job runs both).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Bump when the record shapes change; the validator rejects mismatches.
+METRICS_SCHEMA_VERSION: int = 1
+
+#: Record kinds a metrics file may contain.
+RECORD_KINDS: Tuple[str, ...] = ("manifest", "counter", "gauge", "histogram", "span")
+
+#: Manifest fields that may differ between two identical runs.  Everything
+#: else in the manifest -- and every body line -- must reproduce exactly.
+VOLATILE_MANIFEST_FIELDS: Tuple[str, ...] = ("timestamp", "wall_seconds", "timings")
+
+
+def canonical_line(payload: Mapping[str, object]) -> str:
+    """One deterministic JSONL line (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def config_hash(payload: Mapping[str, object]) -> str:
+    """Short stable content hash of a configuration mapping."""
+    return hashlib.sha256(canonical_line(payload).encode()).hexdigest()[:16]
+
+
+def build_manifest(
+    registry: MetricsRegistry,
+    *,
+    command: Optional[str] = None,
+    config: Optional[Mapping[str, object]] = None,
+    engine: Optional[str] = None,
+    jobs: Optional[int] = None,
+    wall_seconds: Optional[float] = None,
+    timestamp: Optional[str] = None,
+    extra: Optional[Mapping[str, object]] = None,
+) -> dict:
+    """Assemble the manifest record for a run.
+
+    ``wall_seconds`` defaults to the total of the outermost recorded
+    span (``cli/total``, else ``runner/total``) so callers that wrap
+    their work in one of those spans get it for free.  ``timestamp``
+    defaults to the current UTC time; tests pin it for reproducible
+    files.
+    """
+    snapshot = registry.snapshot()
+    if wall_seconds is None:
+        for name in ("cli/total", "runner/total"):
+            timing = snapshot["timings"].get(name)
+            if timing is not None:
+                wall_seconds = timing["sum"]
+                break
+    manifest: Dict[str, object] = {
+        "kind": "manifest",
+        "schema": METRICS_SCHEMA_VERSION,
+        "timestamp": timestamp
+        if timestamp is not None
+        else datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "command": command,
+        "engine": engine,
+        "jobs": jobs,
+        "config": dict(config) if config is not None else None,
+        "config_hash": config_hash(config) if config is not None else None,
+        "wall_seconds": wall_seconds,
+        "timings": snapshot["timings"],
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def metrics_lines(registry: MetricsRegistry, manifest: Mapping[str, object]) -> List[str]:
+    """The full metrics file as a list of JSONL lines (manifest first)."""
+    snapshot = registry.snapshot()
+    lines = [canonical_line(manifest)]
+    for name, value in snapshot["counters"].items():
+        lines.append(canonical_line({"kind": "counter", "name": name, "value": value}))
+    for name, value in snapshot["gauges"].items():
+        lines.append(canonical_line({"kind": "gauge", "name": name, "value": value}))
+    for name, histogram in snapshot["histograms"].items():
+        lines.append(
+            canonical_line(
+                {
+                    "kind": "histogram",
+                    "name": name,
+                    "boundaries": histogram["boundaries"],
+                    "counts": histogram["counts"],
+                    "count": histogram["count"],
+                    "sum": histogram["sum"],
+                }
+            )
+        )
+    for name, timing in snapshot["timings"].items():
+        lines.append(canonical_line({"kind": "span", "name": name, "calls": timing["count"]}))
+    return lines
+
+
+def write_metrics(
+    path: "str | Path",
+    registry: MetricsRegistry,
+    manifest: Mapping[str, object],
+) -> Path:
+    """Write the metrics JSONL file (write-then-rename, never torn)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(metrics_lines(registry, manifest)) + "\n"
+    tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)
+    return path
+
+
+def read_metrics(path: "str | Path") -> Tuple[dict, List[dict]]:
+    """Parse a metrics file into ``(manifest, body_records)``."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty metrics file")
+    manifest = json.loads(lines[0])
+    if manifest.get("kind") != "manifest":
+        raise ValueError(f"{path}: first line is not a manifest record")
+    return manifest, [json.loads(line) for line in lines[1:] if line.strip()]
+
+
+def deterministic_body(path: "str | Path") -> List[str]:
+    """The file's body lines (everything after the manifest), verbatim.
+
+    Two runs of the same config + seed must produce identical output
+    here -- the comparison the determinism tests and the CI smoke job
+    make.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [line for line in lines[1:] if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+_REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "counter": ("name", "value"),
+    "gauge": ("name", "value"),
+    "histogram": ("name", "boundaries", "counts", "count", "sum"),
+    "span": ("name", "calls"),
+}
+
+
+def validate_metrics_lines(lines: Sequence[str]) -> List[str]:
+    """Validate raw JSONL lines against the schema; returns error strings."""
+    errors: List[str] = []
+    if not lines:
+        return ["empty metrics file"]
+    try:
+        manifest = json.loads(lines[0])
+    except ValueError as error:
+        return [f"line 1: not valid JSON: {error}"]
+    if not isinstance(manifest, dict) or manifest.get("kind") != "manifest":
+        errors.append("line 1: first record must have kind 'manifest'")
+        manifest = {}
+    if manifest and manifest.get("schema") != METRICS_SCHEMA_VERSION:
+        errors.append(
+            f"line 1: schema {manifest.get('schema')!r} != {METRICS_SCHEMA_VERSION}"
+        )
+    if manifest and not isinstance(manifest.get("timings", {}), dict):
+        errors.append("line 1: manifest 'timings' must be a mapping")
+
+    seen: Dict[Tuple[str, str], int] = {}
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            errors.append(f"line {number}: not valid JSON: {error}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {number}: record must be a JSON object")
+            continue
+        kind = record.get("kind")
+        if kind == "manifest":
+            errors.append(f"line {number}: only line 1 may be a manifest")
+            continue
+        if kind not in _REQUIRED_FIELDS:
+            errors.append(f"line {number}: unknown kind {kind!r}")
+            continue
+        missing = [key for key in _REQUIRED_FIELDS[kind] if key not in record]
+        if missing:
+            errors.append(f"line {number}: {kind} record missing {missing}")
+            continue
+        name = record["name"]
+        previous = seen.get((kind, name))
+        if previous is not None:
+            errors.append(
+                f"line {number}: duplicate {kind} {name!r} (first on line {previous})"
+            )
+        seen[(kind, name)] = number
+        if kind == "histogram":
+            boundaries = record["boundaries"]
+            counts = record["counts"]
+            if len(counts) != len(boundaries) + 1:
+                errors.append(
+                    f"line {number}: histogram {name!r} needs "
+                    f"{len(boundaries) + 1} count slots, got {len(counts)}"
+                )
+            elif sum(counts) != record["count"]:
+                errors.append(
+                    f"line {number}: histogram {name!r} bucket counts sum to "
+                    f"{sum(counts)}, 'count' says {record['count']}"
+                )
+    return errors
+
+
+def validate_metrics_file(path: "str | Path") -> List[str]:
+    """Validate a metrics file on disk; returns error strings (empty = ok)."""
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        return [f"cannot read {path}: {error}"]
+    return validate_metrics_lines(lines)
+
+
+# ----------------------------------------------------------------------
+# Profile report
+# ----------------------------------------------------------------------
+
+
+def profile_report(manifest: Mapping[str, object], *, limit: int = 24) -> str:
+    """Human-readable per-phase breakdown from a manifest's timings.
+
+    Phases are sorted by total time; each shows its call count, total
+    seconds, mean, and share of the run's wall clock.  Aggregate spans
+    (``cli/total``, ``runner/total``) are listed last as reference rows
+    rather than phases.
+    """
+    from repro.util.tables import render_table
+
+    timings: Mapping[str, Mapping] = manifest.get("timings", {})  # type: ignore[assignment]
+    wall = manifest.get("wall_seconds") or 0.0
+    reference = {"cli/total", "runner/total"}
+    rows = []
+    phases = sorted(
+        (name for name in timings if name not in reference),
+        key=lambda name: -float(timings[name]["sum"]),
+    )
+    for name in phases[:limit]:
+        timing = timings[name]
+        total = float(timing["sum"])
+        calls = int(timing["count"])
+        rows.append(
+            [
+                name,
+                calls,
+                f"{total:.4f}",
+                f"{total / calls:.6f}" if calls else "-",
+                f"{total / wall:.1%}" if wall else "-",
+            ]
+        )
+    for name in sorted(reference & set(timings)):
+        timing = timings[name]
+        rows.append(
+            [name, int(timing["count"]), f"{float(timing['sum']):.4f}", "-", "100.0%" if wall else "-"]
+        )
+    title = "per-phase wall-time breakdown"
+    if wall:
+        title += f" (total {float(wall):.3f}s)"
+    return render_table(["phase", "calls", "total s", "mean s", "share"], rows, title=title)

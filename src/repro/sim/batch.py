@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.attacks.suite import WORKLOAD_NAMES
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
 from repro.sim.resilience import Checkpoint, ResiliencePolicy
@@ -199,6 +200,7 @@ def run_batch(
     engine: str = "fluid-batched",
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -225,6 +227,9 @@ def run_batch(
     checkpoint:
         Optional resume checkpoint (or journal path): completed runs
         stream to it and a re-invocation skips finished work.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` collecting
+        runner/engine spans and counters for the batch.
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -233,6 +238,8 @@ def run_batch(
         spec if isinstance(spec, RunSpec) else RunSpec.from_dict(spec)
         for spec in specs
     ]
-    runner = SimRunner(jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint)
+    runner = SimRunner(
+        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint, metrics=metrics
+    )
     results = runner.run([spec.to_task(config, engine=engine) for spec in normalized])
     return BatchResult(specs=tuple(normalized), results=tuple(results), config=config)

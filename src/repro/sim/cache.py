@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Optional, Protocol
 
+from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.result import SimulationResult
 
 #: Bump to invalidate every previously cached result (schema or engine
@@ -113,6 +114,12 @@ class ResultCache:
         self._misses = 0
         self._stores = 0
         self._quarantined = 0
+        self._metrics: Optional[MetricsRegistry] = None
+
+    def attach_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        """Record ``cache/get``/``cache/put`` spans and hit/miss counters
+        into ``metrics`` from now on (``None`` detaches)."""
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # Introspection
@@ -176,19 +183,27 @@ class ResultCache:
         deleted): the next store can rewrite the key while the bad bytes
         stay available for debugging whatever truncated them.
         """
-        path = self.path_for(task)
-        try:
-            payload = json.loads(path.read_text())
-            result = SimulationResult.from_dict(payload["result"])
-        except FileNotFoundError:
-            self._misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            self._misses += 1
-            self._quarantine(path)
-            return None
-        self._hits += 1
-        return result
+        with maybe_span(self._metrics, "cache/get"):
+            path = self.path_for(task)
+            try:
+                payload = json.loads(path.read_text())
+                result = SimulationResult.from_dict(payload["result"])
+            except FileNotFoundError:
+                self._misses += 1
+                if self._metrics is not None:
+                    self._metrics.inc("cache.misses")
+                return None
+            except (OSError, ValueError, KeyError, TypeError):
+                self._misses += 1
+                self._quarantine(path)
+                if self._metrics is not None:
+                    self._metrics.inc("cache.misses")
+                    self._metrics.inc("cache.quarantined")
+                return None
+            self._hits += 1
+            if self._metrics is not None:
+                self._metrics.inc("cache.hits")
+            return result
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry under ``quarantine/`` (best effort)."""
@@ -214,30 +229,33 @@ class ResultCache:
         human (or a garbage collector) can tell what produced it, and the
         wall-time the simulation cost -- i.e. what a future hit saves.
         """
-        path = self.path_for(task)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "schema": self._schema_version,
-            "key": path.stem,
-            "task": dict(task.cache_payload()),
-            "elapsed_seconds": float(elapsed),
-            "result": result.to_dict(include_timeline=False),
-        }
-        text = json.dumps(entry, indent=2, default=str)
-        # Fault-injection hook: the corrupted-cache-entry campaign models
-        # a full disk / torn write by storing a truncated entry, which a
-        # later get() must quarantine and treat as a miss.
-        from repro.sim.faults import active_injector
+        with maybe_span(self._metrics, "cache/put"):
+            path = self.path_for(task)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {
+                "schema": self._schema_version,
+                "key": path.stem,
+                "task": dict(task.cache_payload()),
+                "elapsed_seconds": float(elapsed),
+                "result": result.to_dict(include_timeline=False),
+            }
+            text = json.dumps(entry, indent=2, default=str)
+            # Fault-injection hook: the corrupted-cache-entry campaign models
+            # a full disk / torn write by storing a truncated entry, which a
+            # later get() must quarantine and treat as a miss.
+            from repro.sim.faults import active_injector
 
-        injector = active_injector()
-        if injector is not None and injector.corrupt_cache_entry(path.stem):
-            text = text[: max(len(text) // 2, 1)]
-        # Write-then-rename so concurrent readers never see a torn entry.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(text)
-        tmp.replace(path)
-        self._stores += 1
-        return path
+            injector = active_injector()
+            if injector is not None and injector.corrupt_cache_entry(path.stem):
+                text = text[: max(len(text) // 2, 1)]
+            # Write-then-rename so concurrent readers never see a torn entry.
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(text)
+            tmp.replace(path)
+            self._stores += 1
+            if self._metrics is not None:
+                self._metrics.inc("cache.stores")
+            return path
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""

@@ -32,6 +32,7 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.maxwe import MaxWE
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
 from repro.sim.resilience import Checkpoint, ResiliencePolicy
@@ -72,9 +73,11 @@ def _run_tasks(
     cache: Optional[ResultCache],
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[SimulationResult]:
     return SimRunner(
-        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint
+        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint,
+        metrics=metrics,
     ).run(tasks)
 
 
@@ -87,6 +90,7 @@ def spare_fraction_sweep(
     engine: str = "fluid-batched",
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -107,7 +111,7 @@ def spare_fraction_sweep(
         )
         for fraction in fractions
     ]
-    results = _run_tasks(tasks, jobs, cache, policy, checkpoint)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics)
     return list(zip(fractions, results))
 
 
@@ -121,6 +125,7 @@ def swr_fraction_sweep(
     engine: str = "fluid-batched",
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
@@ -138,7 +143,7 @@ def swr_fraction_sweep(
         for wl_name in wearlevelers
         for swr_fraction in swr_fractions
     ]
-    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics))
     return {
         wl_name: [(swr_fraction, next(results)) for swr_fraction in swr_fractions]
         for wl_name in wearlevelers
@@ -155,6 +160,7 @@ def bpa_scheme_comparison(
     engine: str = "fluid-batched",
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -177,7 +183,7 @@ def bpa_scheme_comparison(
         for sparing_name in sparing_names
         for wl_name in wearlevelers
     ]
-    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics))
     return {
         sparing_name: {wl_name: next(results) for wl_name in wearlevelers}
         for sparing_name in sparing_names
@@ -192,6 +198,7 @@ def uaa_scheme_comparison(
     engine: str = "fluid-batched",
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -213,5 +220,5 @@ def uaa_scheme_comparison(
         )
         for name in names
     ]
-    results = _run_tasks(tasks, jobs, cache, policy, checkpoint)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics)
     return dict(zip(names, results))

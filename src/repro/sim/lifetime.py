@@ -52,6 +52,7 @@ import numpy as np
 from repro.attacks.base import AttackModel
 from repro.device.faults import FaultModel
 from repro.endurance.emap import EnduranceMap
+from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.result import SimulationResult, TimelineEvent
 from repro.sparing.base import (
     BATCH_EXTEND,
@@ -125,6 +126,12 @@ class LifetimeSimulator:
         testing).  Both produce identical death/replacement counts.
     record_timeline:
         Whether to record per-death :class:`TimelineEvent` entries.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: the run
+        records ``sim/init`` and ``sim/kernel`` spans plus deterministic
+        counters (``sim.deaths``, ``sim.replacements``, per-engine
+        ``sim.epochs`` / ``sim.heap_compactions``) and the
+        ``sim.deaths_per_run`` histogram.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class LifetimeSimulator:
         record_timeline: bool = True,
         max_timeline_events: int = 100_000,
         engine: str = "fluid-batched",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._emap = emap
         self._attack = attack
@@ -148,47 +156,58 @@ class LifetimeSimulator:
         self._record_timeline = record_timeline
         self._max_timeline_events = max_timeline_events
         self._engine = normalize_engine(engine)
+        self._metrics = metrics
 
     def run(self) -> SimulationResult:
         """Simulate until device failure; returns the lifetime result."""
-        emap = self._emap
-        endurance = self._fault_model.effective_endurance(emap.line_endurance)
-        total_endurance = float(endurance.sum())
+        with maybe_span(self._metrics, "sim/init"):
+            emap = self._emap
+            endurance = self._fault_model.effective_endurance(emap.line_endurance)
+            total_endurance = float(endurance.sum())
 
-        sparing_rng = derive_rng(self._rng, "sparing")
-        self._sparing.initialize(emap, sparing_rng)
-        backing = self._sparing.initial_backing
-        slots = backing.size
-        min_user_slots = min(self._sparing.min_user_slots, slots)
+            sparing_rng = derive_rng(self._rng, "sparing")
+            self._sparing.initialize(emap, sparing_rng)
+            backing = self._sparing.initial_backing
+            slots = backing.size
+            min_user_slots = min(self._sparing.min_user_slots, slots)
 
-        wl_rng = derive_rng(self._rng, "wearlevel")
-        self._wl.attach(endurance[backing], wl_rng)
-        profile = self._attack.profile(slots)
-        distribution = self._wl.wear_weights(profile)
-        weights = np.asarray(distribution.weights, dtype=float)
-        if weights.size != slots:
-            raise ValueError(
-                f"wear-leveler produced {weights.size} weights for {slots} slots"
-            )
-        eta = distribution.useful_fraction
+            wl_rng = derive_rng(self._rng, "wearlevel")
+            self._wl.attach(endurance[backing], wl_rng)
+            profile = self._attack.profile(slots)
+            distribution = self._wl.wear_weights(profile)
+            weights = np.asarray(distribution.weights, dtype=float)
+            if weights.size != slots:
+                raise ValueError(
+                    f"wear-leveler produced {weights.size} weights for {slots} slots"
+                )
+            eta = distribution.useful_fraction
 
-        budgets = endurance[backing].astype(float)
-        current_death = np.full(slots, math.inf)
-        prone = weights > 0.0
-        current_death[prone] = budgets[prone] / weights[prone]
+            budgets = endurance[backing].astype(float)
+            current_death = np.full(slots, math.inf)
+            prone = weights > 0.0
+            current_death[prone] = budgets[prone] / weights[prone]
 
         if self._engine == "fluid-exact":
             runner = self._run_exact
         else:
             runner = self._run_batched
-        served, deaths, replacements, failure_reason, timeline, extra_meta = runner(
-            endurance=endurance,
-            backing=backing,
-            weights=weights,
-            eta=eta,
-            current_death=current_death,
-            min_user_slots=min_user_slots,
-        )
+        with maybe_span(self._metrics, "sim/kernel"):
+            served, deaths, replacements, failure_reason, timeline, extra_meta = runner(
+                endurance=endurance,
+                backing=backing,
+                weights=weights,
+                eta=eta,
+                current_death=current_death,
+                min_user_slots=min_user_slots,
+            )
+
+        if self._metrics is not None:
+            self._metrics.inc("sim.runs")
+            self._metrics.inc("sim.deaths", deaths)
+            self._metrics.inc("sim.replacements", replacements)
+            for name, value in extra_meta.items():
+                self._metrics.inc(f"sim.{name}", value)
+            self._metrics.observe("sim.deaths_per_run", deaths)
 
         metadata = {
             "attack": self._attack.describe(),
@@ -486,6 +505,7 @@ def simulate_lifetime(
     *,
     engine: str = "fluid-batched",
     record_timeline: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`LifetimeSimulator`."""
     simulator = LifetimeSimulator(
@@ -497,5 +517,6 @@ def simulate_lifetime(
         rng,
         record_timeline=record_timeline,
         engine=engine,
+        metrics=metrics,
     )
     return simulator.run()

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.attacks.base import AttackModel
 from repro.endurance.emap import EnduranceMap
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.config import ExperimentConfig
 from repro.sim.resilience import Checkpoint, ResiliencePolicy
 from repro.sim.result import SimulationResult
@@ -118,6 +119,7 @@ def monte_carlo_lifetime(
     jobs: int = 1,
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> MonteCarloResult:
     """Run ``replicas`` independently seeded lifetime simulations.
 
@@ -173,7 +175,9 @@ def monte_carlo_lifetime(
         )
         for index, seed in enumerate(seeds)
     ]
-    results = SimRunner(jobs=jobs, policy=policy, checkpoint=checkpoint).run(tasks)
+    results = SimRunner(
+        jobs=jobs, policy=policy, checkpoint=checkpoint, metrics=metrics
+    ).run(tasks)
     lifetimes = np.array([result.normalized_lifetime for result in results])
     return MonteCarloResult(
         lifetimes=lifetimes, confidence=confidence, results=tuple(results)

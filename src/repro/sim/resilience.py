@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.result import SimulationResult
 
 #: Schema version of the checkpoint journal; bumping it orphans (ignores)
@@ -310,10 +311,16 @@ class Checkpoint:
         self._hits = 0
         self._appends = 0
         self._header_written = False
+        self._metrics: Optional[MetricsRegistry] = None
         if resume:
             self._load()
         elif self._path.exists():
             self._path.unlink()
+
+    def attach_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        """Record ``checkpoint/append`` spans and hit/append counters into
+        ``metrics`` from now on (``None`` detaches)."""
+        self._metrics = metrics
 
     @property
     def path(self) -> Path:
@@ -346,6 +353,8 @@ class Checkpoint:
         if entry is None:
             return None
         self._hits += 1
+        if self._metrics is not None:
+            self._metrics.inc("checkpoint.hits")
         return entry[0]
 
     def append(
@@ -358,24 +367,29 @@ class Checkpoint:
         """Journal one completed task (flush + fsync; idempotent per key)."""
         if key in self._entries:
             return
-        self._entries[key] = (result, float(elapsed), label)
-        record = {
-            "key": key,
-            "label": label,
-            "elapsed_seconds": float(elapsed),
-            "result": result.to_dict(include_timeline=False),
-        }
-        self._path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self._path, "a", encoding="utf-8") as handle:
-            if not self._header_written and handle.tell() == 0:
-                handle.write(json.dumps({"checkpoint_schema": CHECKPOINT_SCHEMA_VERSION}))
+        with maybe_span(self._metrics, "checkpoint/append"):
+            self._entries[key] = (result, float(elapsed), label)
+            record = {
+                "key": key,
+                "label": label,
+                "elapsed_seconds": float(elapsed),
+                "result": result.to_dict(include_timeline=False),
+            }
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self._path, "a", encoding="utf-8") as handle:
+                if not self._header_written and handle.tell() == 0:
+                    handle.write(
+                        json.dumps({"checkpoint_schema": CHECKPOINT_SCHEMA_VERSION})
+                    )
+                    handle.write("\n")
+                self._header_written = True
+                handle.write(json.dumps(record, default=str))
                 handle.write("\n")
-            self._header_written = True
-            handle.write(json.dumps(record, default=str))
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._appends += 1
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._appends += 1
+            if self._metrics is not None:
+                self._metrics.inc("checkpoint.appends")
 
     def _load(self) -> None:
         if not self._path.exists():

@@ -54,6 +54,7 @@ from time import monotonic, perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.attacks.base import AttackModel
+from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.attacks.bpa import BirthdayParadoxAttack
 from repro.attacks.repeated import RepeatedAddressAttack
 from repro.attacks.suite import WORKLOAD_NAMES, workload
@@ -247,17 +248,26 @@ class SimTask:
             },
         }
 
-    def execute(self) -> Tuple[SimulationResult, float]:
+    def execute(
+        self, metrics: Optional[MetricsRegistry] = None
+    ) -> Tuple[SimulationResult, float]:
         """Run the simulation; returns ``(result, wall_seconds)``."""
         start = perf_counter()
+        with maybe_span(metrics, "sim/endurance"):
+            emap = self.make_emap()
+        with maybe_span(metrics, "sim/components"):
+            attack = build_attack(self.attack)
+            sparing = build_sparing(self.sparing, self.p, self.swr)
+            wearleveler = build_wearleveler(self.wearlevel)
         result = simulate_lifetime(
-            self.make_emap(),
-            build_attack(self.attack),
-            build_sparing(self.sparing, self.p, self.swr),
-            wearleveler=build_wearleveler(self.wearlevel),
+            emap,
+            attack,
+            sparing,
+            wearleveler=wearleveler,
             rng=self.effective_seed,
             engine=self.engine,
             record_timeline=self.record_timeline,
+            metrics=metrics,
         )
         return result, perf_counter() - start
 
@@ -285,7 +295,9 @@ class CallableTask:
     record_timeline: bool = False
     label: str = ""
 
-    def execute(self) -> Tuple[SimulationResult, float]:
+    def execute(
+        self, metrics: Optional[MetricsRegistry] = None
+    ) -> Tuple[SimulationResult, float]:
         """Run the simulation; returns ``(result, wall_seconds)``.
 
         Factories are invoked in the same order as the historical serial
@@ -293,10 +305,12 @@ class CallableTask:
         factories observe an identical call sequence.
         """
         start = perf_counter()
-        wearleveler = (
-            self.wearleveler_factory() if self.wearleveler_factory else None
-        )
-        emap = self.emap_factory(self.seed)
+        with maybe_span(metrics, "sim/components"):
+            wearleveler = (
+                self.wearleveler_factory() if self.wearleveler_factory else None
+            )
+        with maybe_span(metrics, "sim/endurance"):
+            emap = self.emap_factory(self.seed)
         result = simulate_lifetime(
             emap,
             self.attack_factory(),
@@ -305,6 +319,7 @@ class CallableTask:
             rng=self.seed,
             engine=self.engine,
             record_timeline=self.record_timeline,
+            metrics=metrics,
         )
         return result, perf_counter() - start
 
@@ -366,19 +381,46 @@ def _execute_task(task: AnyTask) -> Tuple[SimulationResult, float]:
     return task.execute()
 
 
-def _execute_supervised(
-    task: AnyTask, key: str, attempt: int
-) -> Tuple[SimulationResult, float]:
+@dataclass(frozen=True)
+class _WorkerReport:
+    """What one worker attempt ships back to the supervisor.
+
+    ``started``/``ended`` are ``time.monotonic()`` stamps, comparable
+    with the supervisor's own monotonic clock on the same host, so the
+    supervisor can split an attempt's wall time into pool queue wait
+    (``started - submitted``), worker run time (``elapsed``, measured
+    around the simulation itself), and harvest latency (supervisor
+    pickup minus ``ended``).  ``metrics`` is the worker registry's
+    snapshot, merged into the supervisor's registry on harvest.
+    """
+
+    result: SimulationResult
+    elapsed: float
+    started: float
+    ended: float
+    metrics: Optional[dict] = None
+
+
+def _execute_supervised(task: AnyTask, key: str, attempt: int) -> _WorkerReport:
     """Worker entry point with the fault-injection hook applied.
 
     ``attempt`` is 0-based; the injector's rolls are deterministic in
     ``(key, attempt)`` so retried attempts re-roll their faults
     identically on every run of the harness.
     """
+    started = monotonic()
     injector = active_injector()
     if injector is not None:
         injector.before_execute(key, attempt)
-    return task.execute()
+    worker_metrics = MetricsRegistry()
+    result, elapsed = task.execute(metrics=worker_metrics)
+    return _WorkerReport(
+        result=result,
+        elapsed=elapsed,
+        started=started,
+        ended=monotonic(),
+        metrics=worker_metrics.snapshot(),
+    )
 
 
 def _fault_spec_text() -> str:
@@ -429,6 +471,18 @@ class RunnerStats:
     events:
         The supervisor's event log (retries, timeouts, crashes,
         respawns) for forensics.
+    queue_seconds:
+        Total time completed tasks spent queued in the pool before a
+        worker picked them up (supervisor overhead, not task runtime).
+    harvest_seconds:
+        Total latency between workers finishing and the supervisor
+        collecting the result (bounded by the wait-loop granularity).
+    requeue_wait_seconds:
+        Total time tasks sat in pools that broke or hung before being
+        requeued -- previously dropped silently by pool recovery.
+    metrics:
+        Snapshot of the run's :class:`~repro.obs.metrics.MetricsRegistry`
+        (counters, per-phase timings, merged worker metrics).
     """
 
     tasks: int
@@ -443,6 +497,10 @@ class RunnerStats:
     failures: Tuple[FailureRecord, ...] = ()
     interrupted: bool = False
     events: Tuple[SimEvent, ...] = ()
+    queue_seconds: float = 0.0
+    harvest_seconds: float = 0.0
+    requeue_wait_seconds: float = 0.0
+    metrics: Optional[dict] = None
 
     @property
     def completed(self) -> int:
@@ -492,7 +550,14 @@ def _picklable(tasks: Sequence[AnyTask]) -> bool:
 
 @dataclass
 class _Supervised:
-    """Mutable supervision state of one pending task."""
+    """Mutable supervision state of one pending task.
+
+    ``elapsed`` accumulates *worker-measured* run time only (plus, for
+    attempts that died without a worker report, the supervisor-observed
+    attempt wall).  Pool queue wait, harvest latency, and time sat in a
+    doomed pool are tracked separately -- they are supervisor overhead,
+    not task runtime.
+    """
 
     index: int
     task: AnyTask
@@ -501,6 +566,9 @@ class _Supervised:
     attempts: int = 0
     not_before: float = 0.0
     elapsed: float = 0.0
+    queue_seconds: float = 0.0
+    harvest_seconds: float = 0.0
+    requeue_seconds: float = 0.0
 
 
 def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
@@ -557,6 +625,11 @@ class SimRunner:
         Optional :class:`~repro.sim.resilience.Checkpoint` (or a path,
         opened in resume mode): completed results stream to the journal
         and previously journaled tasks are served without re-simulating.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to record
+        into (so one registry can span several runner calls plus CLI
+        overhead).  When omitted the runner uses a private registry;
+        either way the final snapshot lands in ``stats.metrics``.
     """
 
     def __init__(
@@ -565,6 +638,7 @@ class SimRunner:
         cache: Optional[ResultCache] = None,
         policy: Optional[ResiliencePolicy] = None,
         checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._jobs = resolve_jobs(jobs)
         self._cache = cache
@@ -572,6 +646,7 @@ class SimRunner:
         if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
             checkpoint = Checkpoint(checkpoint, resume=True)
         self._checkpoint = checkpoint
+        self._metrics = metrics
 
     @property
     def jobs(self) -> int:
@@ -621,6 +696,13 @@ class SimRunner:
         """
         tasks = list(tasks)
         started = perf_counter()
+        metrics = self._metrics if self._metrics is not None else MetricsRegistry()
+        total_span = metrics.span("runner/total")
+        total_span.__enter__()
+        if self._cache is not None:
+            self._cache.attach_metrics(metrics)
+        if self._checkpoint is not None:
+            self._checkpoint.attach_metrics(metrics)
         events = EventLog()
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         seconds = [0.0] * len(tasks)
@@ -628,29 +710,32 @@ class SimRunner:
         checkpoint_hits = 0
 
         pending: List[_Supervised] = []
-        for index, task in enumerate(tasks):
-            key, label = task_identity(task)
-            if self._checkpoint is not None:
-                resumed = self._checkpoint.get(key)
-                if resumed is not None:
-                    results[index] = resumed
-                    checkpoint_hits += 1
-                    # Heal the cache from the journal if the entry is gone.
-                    if self._cache is not None and isinstance(task, SimTask):
-                        self._cache.put(task, resumed)
-                    continue
-            cached = (
-                self._cache.get(task)
-                if self._cache is not None and isinstance(task, SimTask)
-                else None
-            )
-            if cached is not None:
-                results[index] = cached
-                cache_hits += 1
+        with metrics.span("runner/scan"):
+            for index, task in enumerate(tasks):
+                key, label = task_identity(task)
                 if self._checkpoint is not None:
-                    self._checkpoint.append(key, cached, 0.0, label)
-                continue
-            pending.append(_Supervised(index=index, task=task, key=key, label=label))
+                    resumed = self._checkpoint.get(key)
+                    if resumed is not None:
+                        results[index] = resumed
+                        checkpoint_hits += 1
+                        # Heal the cache from the journal if the entry is gone.
+                        if self._cache is not None and isinstance(task, SimTask):
+                            self._cache.put(task, resumed)
+                        continue
+                cached = (
+                    self._cache.get(task)
+                    if self._cache is not None and isinstance(task, SimTask)
+                    else None
+                )
+                if cached is not None:
+                    results[index] = cached
+                    cache_hits += 1
+                    if self._checkpoint is not None:
+                        self._checkpoint.append(key, cached, 0.0, label)
+                    continue
+                pending.append(
+                    _Supervised(index=index, task=task, key=key, label=label)
+                )
 
         def on_complete(state: _Supervised, result: SimulationResult, elapsed: float) -> None:
             results[state.index] = result
@@ -665,23 +750,35 @@ class SimRunner:
         jobs_used = 1
         previous_sigterm = self._install_sigterm_handler()
         try:
-            if pending:
-                jobs_used = min(self._jobs, len(pending))
-                if (
-                    jobs_used >= MIN_PARALLEL_TASKS
-                    and len(pending) >= MIN_PARALLEL_TASKS
-                    and _picklable([state.task for state in pending])
-                ):
-                    summary = self._run_supervised_parallel(
-                        pending, jobs_used, events, on_complete
-                    )
-                else:
-                    jobs_used = 1
-                    summary = self._run_supervised_serial(
-                        pending, events, on_complete
-                    )
+            with metrics.span("runner/execute"):
+                if pending:
+                    jobs_used = min(self._jobs, len(pending))
+                    if (
+                        jobs_used >= MIN_PARALLEL_TASKS
+                        and len(pending) >= MIN_PARALLEL_TASKS
+                        and _picklable([state.task for state in pending])
+                    ):
+                        summary = self._run_supervised_parallel(
+                            pending, jobs_used, events, on_complete, metrics
+                        )
+                    else:
+                        jobs_used = 1
+                        summary = self._run_supervised_serial(
+                            pending, events, on_complete, metrics
+                        )
         finally:
             self._restore_sigterm_handler(previous_sigterm)
+
+        with metrics.span("runner/finalize"):
+            metrics.inc("runner.tasks", len(tasks))
+            metrics.inc("runner.cache_hits", cache_hits)
+            metrics.inc("runner.checkpoint_hits", checkpoint_hits)
+            metrics.inc("runner.simulated", len(pending))
+            metrics.inc("runner.retries", summary.retries)
+            metrics.inc("runner.pool_respawns", summary.pool_respawns)
+            metrics.inc("runner.failures", len(summary.failures))
+            metrics.gauge("runner.jobs", jobs_used)
+        total_span.__exit__(None, None, None)
 
         stats = RunnerStats(
             tasks=len(tasks),
@@ -698,6 +795,10 @@ class SimRunner:
             ),
             interrupted=summary.interrupted,
             events=tuple(events),
+            queue_seconds=sum(state.queue_seconds for state in pending),
+            harvest_seconds=sum(state.harvest_seconds for state in pending),
+            requeue_wait_seconds=sum(state.requeue_seconds for state in pending),
+            metrics=metrics.snapshot(),
         )
         if summary.interrupted:
             raise RunInterrupted(results, stats)
@@ -806,6 +907,7 @@ class SimRunner:
         pending: Sequence[_Supervised],
         events: EventLog,
         on_complete: Callable[[_Supervised, SimulationResult, float], None],
+        metrics: Optional[MetricsRegistry] = None,
     ) -> _ExecutionSummary:
         """In-process supervised execution (jobs=1 / unpicklable tasks).
 
@@ -813,6 +915,8 @@ class SimRunner:
         crashes surface as exceptions (an in-process ``os._exit`` would
         take the caller down, so serial fault injection raises instead).
         """
+        if metrics is None:
+            metrics = MetricsRegistry()
         summary = _ExecutionSummary()
         queue: deque[_Supervised] = deque(pending)
         try:
@@ -825,7 +929,7 @@ class SimRunner:
                 state.attempts += 1
                 try:
                     with time_limit(self._policy.timeout):
-                        result, elapsed = _execute_supervised(
+                        report = _execute_supervised(
                             state.task, state.key, state.attempts - 1
                         )
                 except KeyboardInterrupt:
@@ -843,9 +947,12 @@ class SimRunner:
                         state, error, "exception", queue, summary, events
                     )
                 else:
-                    state.elapsed += elapsed
+                    state.elapsed += report.elapsed
+                    metrics.observe_seconds("runner/worker_run", report.elapsed)
+                    if report.metrics is not None:
+                        metrics.merge_snapshot(report.metrics)
                     queue.popleft()
-                    on_complete(state, result, elapsed)
+                    on_complete(state, report.result, report.elapsed)
                 if self._policy.fail_fast and summary.failures:
                     self._mark_skipped(queue, summary)
                     break
@@ -860,6 +967,7 @@ class SimRunner:
         jobs: int,
         events: EventLog,
         on_complete: Callable[[_Supervised, SimulationResult, float], None],
+        metrics: Optional[MetricsRegistry] = None,
     ) -> _ExecutionSummary:
         """Process-pool supervised execution with crash isolation.
 
@@ -871,7 +979,17 @@ class SimRunner:
         pool is torn down (terminating the hung worker) and the
         *innocent* in-flight tasks are requeued without losing an
         attempt.
+
+        Timing: ``submitted`` stamps are ``time.monotonic()``, the same
+        clock the worker stamps its report with, so each attempt's wall
+        time splits into pool queue wait (worker start - submit), worker
+        run time (the worker's own measurement), and harvest latency
+        (supervisor pickup - worker end, bounded by the wait-loop poll
+        granularity).  Only worker run time is charged to the task;
+        queue/harvest/requeue time is recorded as supervisor overhead.
         """
+        if metrics is None:
+            metrics = MetricsRegistry()
         summary = _ExecutionSummary()
         ready: deque[_Supervised] = deque(pending)
         inflight: Dict[object, Tuple[_Supervised, Optional[float], float]] = {}
@@ -894,13 +1012,21 @@ class SimRunner:
             Futures that already resolved are harvested (a crash verdict
             charges the attempt); futures that never got a verdict are
             requeued without charging the attempt consumed by the doomed
-            submission.
+            submission.  The time those innocents sat in the doomed pool
+            is recorded as ``runner/requeue_wait`` -- it was previously
+            dropped, under-reporting wall time on fault-heavy runs.
             """
             nonlocal pool
             for future, (state, _, submitted) in list(inflight.items()):
                 if future.done():
                     harvest(future, state, submitted)
                 else:
+                    waited = max(monotonic() - submitted, 0.0)
+                    state.requeue_seconds += waited
+                    metrics.observe_seconds("runner/requeue_wait", waited)
+                    events.record(
+                        "task-requeued", state.index, key=state.key[:12]
+                    )
                     state.attempts -= 1
                     ready.append(state)
             inflight.clear()
@@ -910,24 +1036,42 @@ class SimRunner:
             events.record("pool-respawn", -1, jobs=jobs)
 
         def harvest(future, state: _Supervised, submitted: float) -> bool:
-            """Collect one finished future; returns True if the pool broke."""
-            state.elapsed += perf_counter() - submitted
+            """Collect one finished future; returns True if the pool broke.
+
+            On success only the worker's own run time is charged to the
+            task; the queue wait before the worker picked it up and the
+            latency until the supervisor collected it are accounted
+            separately.  A failed attempt has no worker report, so the
+            whole supervisor-observed attempt wall is charged.
+            """
             try:
-                result, elapsed = future.result()
+                report = future.result()
             except KeyboardInterrupt:
                 raise
             except BrokenProcessPool as error:
+                state.elapsed += max(monotonic() - submitted, 0.0)
                 self._handle_attempt_failure(
                     state, error, "crash", ready, summary, events
                 )
                 return True
             except Exception as error:
+                state.elapsed += max(monotonic() - submitted, 0.0)
                 self._handle_attempt_failure(
                     state, error, "exception", ready, summary, events
                 )
                 return False
             else:
-                on_complete(state, result, elapsed)
+                queue_wait = max(report.started - submitted, 0.0)
+                harvest_latency = max(monotonic() - report.ended, 0.0)
+                state.elapsed += report.elapsed
+                state.queue_seconds += queue_wait
+                state.harvest_seconds += harvest_latency
+                metrics.observe_seconds("runner/queue_wait", queue_wait)
+                metrics.observe_seconds("runner/worker_run", report.elapsed)
+                metrics.observe_seconds("runner/harvest_latency", harvest_latency)
+                if report.metrics is not None:
+                    metrics.merge_snapshot(report.metrics)
+                on_complete(state, report.result, report.elapsed)
                 return False
 
         try:
@@ -959,7 +1103,7 @@ class SimRunner:
                         break
                     state.attempts += 1
                     deadline = None if timeout is None else monotonic() + timeout
-                    inflight[future] = (state, deadline, perf_counter())
+                    inflight[future] = (state, deadline, monotonic())
 
                 if not inflight:
                     # Everything is backing off; sleep to the earliest retry.
@@ -999,7 +1143,7 @@ class SimRunner:
                     if future.done():
                         pool_broken |= harvest(future, state, submitted)
                         continue
-                    state.elapsed += perf_counter() - submitted
+                    state.elapsed += max(monotonic() - submitted, 0.0)
                     self._handle_attempt_failure(
                         state,
                         TaskTimeout(

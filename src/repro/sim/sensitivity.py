@@ -22,6 +22,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
 from repro.sim.resilience import Checkpoint, ResiliencePolicy
@@ -90,6 +91,7 @@ def sensitivity_analysis(
     engine: str = "fluid-batched",
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, Sensitivity]:
     """Elasticities of Max-WE's UAA lifetime around a configuration.
 
@@ -140,7 +142,9 @@ def sensitivity_analysis(
         )
         for parameter, _, perturbed_value in perturbations
     ]
-    runner = SimRunner(jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint)
+    runner = SimRunner(
+        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint, metrics=metrics
+    )
     results = runner.run(tasks)
     base_lifetime = results[0].normalized_lifetime
 

@@ -7,9 +7,9 @@ just on the final number.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Iterator, List, Mapping
+from typing import Deque, Iterator, List, Mapping
 
 
 @dataclass(frozen=True)
@@ -44,13 +44,16 @@ class EventLog:
     """Append-only log of :class:`SimEvent` with per-kind counting.
 
     The log can be bounded (``max_events``) so multi-million-event
-    simulations keep only counts plus the most recent events.
+    simulations keep only counts plus the most recent events.  Bounded
+    retention uses ``deque(maxlen=...)``, whose eviction-on-append is
+    O(1); the previous ``del list[0]`` was O(n) per append once the
+    bound was reached, i.e. quadratic over a long run.
     """
 
     def __init__(self, max_events: int | None = 10_000) -> None:
         if max_events is not None and max_events <= 0:
             raise ValueError(f"max_events must be positive or None, got {max_events}")
-        self._events: List[SimEvent] = []
+        self._events: Deque[SimEvent] = deque(maxlen=max_events)
         self._counts: Counter[str] = Counter()
         self._max_events = max_events
 
@@ -59,8 +62,6 @@ class EventLog:
         event = SimEvent(kind=kind, round_index=round_index, detail=dict(detail))
         self._counts[kind] += 1
         self._events.append(event)
-        if self._max_events is not None and len(self._events) > self._max_events:
-            del self._events[0]
         return event
 
     def count(self, kind: str) -> int:

@@ -1,0 +1,182 @@
+"""Tests for the JSONL metrics sink: schema, validator, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import (
+    METRICS_SCHEMA_VERSION,
+    build_manifest,
+    canonical_line,
+    config_hash,
+    deterministic_body,
+    metrics_lines,
+    profile_report,
+    read_metrics,
+    validate_metrics_file,
+    validate_metrics_lines,
+    write_metrics,
+)
+from repro.sim.config import ExperimentConfig
+from repro.sim.experiments import uaa_scheme_comparison
+
+SMALL = ExperimentConfig(regions=64, lines_per_region=2, seed=7)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("runner.tasks", 4)
+    registry.gauge("runner.jobs", 2)
+    registry.observe("sim.deaths_per_run", 42)
+    with registry.span("runner/total"):
+        pass
+    return registry
+
+
+class TestManifest:
+    def test_wall_defaults_to_outermost_span(self):
+        registry = _populated_registry()
+        manifest = build_manifest(registry)
+        assert manifest["wall_seconds"] == pytest.approx(
+            registry.timing("runner/total").total
+        )
+
+    def test_cli_total_preferred_over_runner_total(self):
+        registry = _populated_registry()
+        registry.observe_seconds("cli/total", 123.0)
+        assert build_manifest(registry)["wall_seconds"] == pytest.approx(123.0)
+
+    def test_identity_fields_and_config_hash(self):
+        config = {"regions": 64, "seed": 7}
+        manifest = build_manifest(
+            _populated_registry(), command="sweep-spare", config=config,
+            engine="fluid-batched", jobs=2,
+        )
+        assert manifest["command"] == "sweep-spare"
+        assert manifest["config_hash"] == config_hash(config)
+        assert manifest["schema"] == METRICS_SCHEMA_VERSION
+
+    def test_config_hash_is_key_order_independent(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        registry = _populated_registry()
+        manifest = build_manifest(registry, command="test")
+        path = write_metrics(tmp_path / "m.jsonl", registry, manifest)
+        loaded_manifest, records = read_metrics(path)
+        assert loaded_manifest["command"] == "test"
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"counter", "gauge", "histogram", "span"}
+
+    def test_written_file_validates(self, tmp_path):
+        registry = _populated_registry()
+        path = write_metrics(
+            tmp_path / "m.jsonl", registry, build_manifest(registry)
+        )
+        assert validate_metrics_file(path) == []
+
+
+class TestValidator:
+    def _lines(self, registry=None):
+        registry = registry or _populated_registry()
+        return metrics_lines(registry, build_manifest(registry))
+
+    def test_empty_file_rejected(self):
+        assert validate_metrics_lines([]) == ["empty metrics file"]
+
+    def test_missing_manifest_rejected(self):
+        errors = validate_metrics_lines(self._lines()[1:])
+        assert any("manifest" in error for error in errors)
+
+    def test_wrong_schema_version_rejected(self):
+        lines = self._lines()
+        manifest = json.loads(lines[0])
+        manifest["schema"] = 999
+        errors = validate_metrics_lines([canonical_line(manifest)] + lines[1:])
+        assert any("schema" in error for error in errors)
+
+    def test_second_manifest_rejected(self):
+        lines = self._lines()
+        errors = validate_metrics_lines(lines + [lines[0]])
+        assert any("only line 1" in error for error in errors)
+
+    def test_unknown_kind_rejected(self):
+        lines = self._lines() + [canonical_line({"kind": "mystery", "name": "x"})]
+        assert any("unknown kind" in error for error in validate_metrics_lines(lines))
+
+    def test_duplicate_record_rejected(self):
+        lines = self._lines()
+        errors = validate_metrics_lines(lines + [lines[1]])
+        assert any("duplicate" in error for error in errors)
+
+    def test_histogram_bucket_arithmetic_checked(self):
+        bad = canonical_line(
+            {
+                "kind": "histogram",
+                "name": "h",
+                "boundaries": [1.0],
+                "counts": [1, 2],
+                "count": 5,
+                "sum": 0.0,
+            }
+        )
+        errors = validate_metrics_lines(self._lines() + [bad])
+        assert any("sum to" in error for error in errors)
+
+    def test_missing_field_rejected(self):
+        bad = canonical_line({"kind": "counter", "name": "x"})
+        errors = validate_metrics_lines(self._lines() + [bad])
+        assert any("missing" in error for error in errors)
+
+
+class TestProfileReport:
+    def test_report_lists_phases_by_total(self):
+        registry = _populated_registry()
+        registry.observe_seconds("runner/scan", 0.25)
+        registry.observe_seconds("runner/execute", 0.75)
+        report = profile_report(build_manifest(registry, wall_seconds=1.0))
+        lines = report.splitlines()
+        execute_row = next(i for i, l in enumerate(lines) if "runner/execute" in l)
+        scan_row = next(i for i, l in enumerate(lines) if "runner/scan" in l)
+        assert execute_row < scan_row
+        assert "75.0%" in lines[execute_row]
+
+    def test_reference_spans_listed_last(self):
+        registry = _populated_registry()
+        registry.observe_seconds("runner/scan", 0.5)
+        report = profile_report(build_manifest(registry))
+        lines = [l for l in report.splitlines() if "/" in l]
+        assert "runner/total" in lines[-1]
+
+
+class TestEndToEndDeterminism:
+    """The acceptance criterion: two identical runs, identical body."""
+
+    def _run_once(self, tmp_path, name):
+        metrics = MetricsRegistry()
+        with metrics.span("cli/total"):
+            uaa_scheme_comparison(SMALL, jobs=1, cache=None, metrics=metrics)
+        manifest = build_manifest(
+            metrics, command="compare-uaa", engine="fluid-batched", jobs=1
+        )
+        return write_metrics(tmp_path / name, metrics, manifest)
+
+    def test_bodies_byte_identical_across_runs(self, tmp_path):
+        first = self._run_once(tmp_path, "a.jsonl")
+        second = self._run_once(tmp_path, "b.jsonl")
+        assert deterministic_body(first) == deterministic_body(second)
+        # ... while the manifests legitimately differ in wall time.
+        assert validate_metrics_file(first) == []
+
+    def test_phase_times_sum_close_to_total(self, tmp_path):
+        manifest, _ = read_metrics(self._run_once(tmp_path, "c.jsonl"))
+        timings = manifest["timings"]
+        phases = sum(
+            timings[name]["sum"]
+            for name in ("runner/scan", "runner/execute", "runner/finalize")
+        )
+        total = timings["runner/total"]["sum"]
+        assert phases == pytest.approx(total, rel=0.05)

@@ -1,0 +1,100 @@
+"""Regression tests for the runner's timing decomposition.
+
+The historical parallel path charged each task the supervisor-observed
+wall from submission to harvest, conflating pool queue wait and the
+supervisor's poll latency with the simulation's own runtime.  These
+tests saturate a 2-job pool with tasks of a known duration and pin the
+contract: ``task_seconds`` reports the worker-measured run time only,
+with queue/harvest/requeue overhead reported separately.
+"""
+
+import time
+
+import pytest
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.runner import CallableTask, SimRunner, build_attack, build_sparing
+
+SMALL = ExperimentConfig(regions=64, lines_per_region=2, seed=7)
+
+#: Known per-task duration; large enough to dominate the tiny simulation
+#: and the supervisor's poll granularity.
+SLEEP_SECONDS = 0.75
+
+
+class _SleepyEmapFactory:
+    """Picklable endurance-map factory with a known, fixed delay."""
+
+    def __init__(self, seconds: float, config: ExperimentConfig) -> None:
+        self.seconds = seconds
+        self.config = config
+
+    def __call__(self, seed: int):
+        time.sleep(self.seconds)
+        return self.config.with_(seed=seed % (2**31)).make_emap()
+
+
+class _UAAFactory:
+    def __call__(self):
+        return build_attack("uaa")
+
+
+class _MaxWEFactory:
+    def __call__(self):
+        return build_sparing("max-we", 0.1, 0.9)
+
+
+def _sleepy_tasks(count: int) -> list:
+    return [
+        CallableTask(
+            attack_factory=_UAAFactory(),
+            sparing_factory=_MaxWEFactory(),
+            emap_factory=_SleepyEmapFactory(SLEEP_SECONDS, SMALL),
+            seed=100 + index,
+            label=f"sleepy-{index}",
+        )
+        for index in range(count)
+    ]
+
+
+class TestParallelTimingDecomposition:
+    def test_reported_runtime_excludes_queue_wait(self):
+        """Four known-duration tasks through a saturated 2-job pool."""
+        tasks = _sleepy_tasks(4)
+        results, stats = SimRunner(jobs=2).run_detailed(tasks)
+
+        assert all(result is not None for result in results)
+        # Each task's reported time is the worker's own measurement:
+        # at least the sleep, and nowhere near sleep + a queue round.
+        for seconds in stats.task_seconds:
+            assert seconds >= SLEEP_SECONDS
+            assert seconds < SLEEP_SECONDS * 1.5
+        # The worker-run times overlapped two at a time, so their sum
+        # exceeds the run's wall clock -- impossible under the old
+        # submit-to-harvest accounting, which could never sum past wall.
+        assert sum(stats.task_seconds) > stats.wall_seconds
+        # The overhead components are reported, not folded into tasks.
+        assert stats.queue_seconds >= 0.0
+        assert stats.harvest_seconds >= 0.0
+        assert stats.requeue_wait_seconds == 0.0  # no pool breakage here
+
+    def test_overhead_timings_recorded_per_attempt(self):
+        tasks = _sleepy_tasks(3)
+        _, stats = SimRunner(jobs=2).run_detailed(tasks)
+        timings = stats.metrics["timings"]
+        for name in ("runner/queue_wait", "runner/worker_run", "runner/harvest_latency"):
+            assert timings[name]["count"] == 3
+        assert timings["runner/worker_run"]["sum"] == pytest.approx(
+            sum(stats.task_seconds)
+        )
+
+
+class TestSerialTiming:
+    def test_serial_task_seconds_match_known_duration(self):
+        tasks = _sleepy_tasks(2)
+        _, stats = SimRunner(jobs=1).run_detailed(tasks)
+        for seconds in stats.task_seconds:
+            assert SLEEP_SECONDS <= seconds < SLEEP_SECONDS * 1.5
+        assert stats.queue_seconds == 0.0
+        assert stats.harvest_seconds == 0.0
+        assert stats.metrics["timings"]["runner/worker_run"]["count"] == 2

@@ -58,6 +58,39 @@ class TestEventLog:
         log.record("x", 1)
         assert counts == {"x": 1}  # snapshot, not a live view
 
+    def test_eviction_keeps_newest_n_in_order(self):
+        log = EventLog(max_events=4)
+        for index in range(25):
+            log.record("tick", index)
+        assert [event.round_index for event in log.events()] == [21, 22, 23, 24]
+        assert [event.round_index for event in log] == [21, 22, 23, 24]
+        assert len(log) == 4
+
+    def test_eviction_counts_survive_per_kind(self):
+        log = EventLog(max_events=2)
+        for index in range(6):
+            log.record("worn" if index % 2 else "remap", index)
+        # Only the 2 newest events are retained...
+        assert [event.kind for event in log.events()] == ["remap", "worn"]
+        # ...but every recording is still counted, per kind.
+        assert log.counts == {"worn": 3, "remap": 3}
+        assert log.count("worn") == 3
+
+    def test_eviction_filtered_events_respect_retention(self):
+        log = EventLog(max_events=3)
+        for index in range(9):
+            log.record("a" if index % 3 == 0 else "b", index)
+        # Retained window is rounds 6..8 = [a, b, b]; the filter sees
+        # only what survived eviction.
+        assert [event.round_index for event in log.events("a")] == [6]
+        assert [event.round_index for event in log.events("b")] == [7, 8]
+
+    def test_exactly_at_bound_no_eviction(self):
+        log = EventLog(max_events=5)
+        for index in range(5):
+            log.record("tick", index)
+        assert [event.round_index for event in log.events()] == [0, 1, 2, 3, 4]
+
 
 class TestCounterSet:
     def test_add_and_get(self):
