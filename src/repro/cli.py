@@ -40,6 +40,7 @@ from repro.sim.experiments import (
 )
 from repro.sim.faults import FAULT_SPEC_ENV, FaultSpec, FaultSpecError
 from repro.sim.lifetime import ENGINES, simulate_lifetime
+from repro.verify.invariants import PARANOIA_LEVELS, InvariantViolation
 from repro.sim.resilience import (
     Checkpoint,
     ResiliencePolicy,
@@ -111,6 +112,34 @@ def _fault_spec_arg(text: str) -> str:
     return text
 
 
+def _add_verify_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--paranoia",
+        choices=PARANOIA_LEVELS,
+        default="off",
+        help="state-integrity checking level: 'cheap' = O(1) invariants "
+        "at a cadence plus a full end-of-run sweep, 'full' = every "
+        "invariant every round; never changes results (see "
+        "docs/verification.md)",
+    )
+    parser.add_argument(
+        "--shadow-sample",
+        type=fraction_arg,
+        default=0.0,
+        metavar="P",
+        help="probability of differentially re-running a fluid-batched "
+        "simulation on the exact reference engine and escalating any "
+        "divergence (deterministic per-task sampling)",
+    )
+
+
+def _verify_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "paranoia": getattr(args, "paranoia", "off"),
+        "shadow_sample": getattr(args, "shadow_sample", 0.0),
+    }
+
+
 def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -129,6 +158,7 @@ def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     _add_metrics_arguments(parser)
+    _add_verify_arguments(parser)
     parser.add_argument(
         "--jobs",
         type=_jobs_count,
@@ -358,24 +388,27 @@ def _make_sparing(name: str, p: float, swr: float):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.runner import SimTask
+
     config = _config_from(args)
     metrics = _metrics_from(args)
+    _install_faults(args)
+    # Routed through a declarative task (rather than a direct
+    # simulate_lifetime call) so a violation's crash-dump bundle pins the
+    # full task payload and `python -m repro.verify replay` can re-run it.
+    task = SimTask(
+        attack=args.attack,
+        sparing=args.sparing,
+        wearlevel=args.wearlevel,
+        p=args.p,
+        swr=args.swr,
+        config=config,
+        engine=args.engine,
+        record_timeline=True,
+        **_verify_kwargs(args),
+    )
     with maybe_span(metrics, "cli/total"):
-        emap = config.make_emap()
-        wearleveler = (
-            make_scheme(args.wearlevel, lines_per_region=1)
-            if args.wearlevel != "none"
-            else make_scheme("none")
-        )
-        result = simulate_lifetime(
-            emap,
-            _make_attack(args.attack),
-            _make_sparing(args.sparing, args.p, args.swr),
-            wearleveler=wearleveler,
-            rng=config.seed,
-            engine=args.engine,
-            metrics=metrics,
-        )
+        result, _ = task.execute(metrics=metrics)
     print(f"attack:      {result.metadata['attack']}")
     print(f"wear-level:  {result.metadata['wearleveler']}")
     print(f"sparing:     {result.metadata['sparing']}")
@@ -402,6 +435,7 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
                 policy=_policy_from(args),
                 checkpoint=_checkpoint_from(args, config),
                 metrics=metrics,
+                **_verify_kwargs(args),
             )
         ]
     print(
@@ -430,6 +464,7 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
             policy=_policy_from(args),
             checkpoint=_checkpoint_from(args, config),
             metrics=metrics,
+            **_verify_kwargs(args),
         )
     fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
     headers = ["wear-leveler"] + [f"{fraction:.0%}" for fraction in fractions]
@@ -461,6 +496,7 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
             policy=_policy_from(args),
             checkpoint=_checkpoint_from(args, config),
             metrics=metrics,
+            **_verify_kwargs(args),
         )
     baseline = results["no-protection"].normalized_lifetime
     rows = [
@@ -493,6 +529,7 @@ def _cmd_compare_bpa(args: argparse.Namespace) -> int:
             policy=_policy_from(args),
             checkpoint=_checkpoint_from(args, config),
             metrics=metrics,
+            **_verify_kwargs(args),
         )
     wearlevelers = list(next(iter(comparison.values())).keys())
     headers = ["scheme"] + wearlevelers + ["gmean"]
@@ -552,6 +589,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 policy=_policy_from(args),
                 checkpoint=_checkpoint_from(args, config, {"specs": specs}),
                 metrics=metrics,
+                **_verify_kwargs(args),
             )
     except (ValueError, TypeError) as error:
         print(f"error: invalid batch spec: {error}")
@@ -659,6 +697,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_argument(simulate)
     _add_metrics_arguments(simulate)
+    _add_verify_arguments(simulate)
+    simulate.add_argument(
+        "--inject-faults",
+        type=_fault_spec_arg,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. 'corrupt-state=1,seed=7' "
+        "(see repro.sim.faults); pair with --paranoia to exercise the "
+        "integrity guards",
+    )
     simulate.add_argument("--p", type=fraction_arg, default=0.1, help="spare fraction")
     simulate.add_argument(
         "--swr", type=fraction_arg, default=0.9, help="SWR share of spares"
@@ -762,6 +810,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     previous_fault_spec = os.environ.get(FAULT_SPEC_ENV)
     try:
         return args.handler(args)
+    except InvariantViolation as violation:
+        print(f"error: {violation}", file=sys.stderr)
+        if violation.bundle_path:
+            print(f"crash-dump bundle: {violation.bundle_path}", file=sys.stderr)
+        return 1
     except SimulationFailure as failure:
         print(f"error: {failure}", file=sys.stderr)
         for record in failure.failures:

@@ -118,6 +118,23 @@ class RegionMappingTable:
             raise ConfigurationError("a line in the batch is already marked worn out")
         self._worn[rows, offsets] = True
 
+    def are_worn(self, pras: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_worn` (read-only batch gather of tags)."""
+        pras = np.asarray(pras, dtype=np.intp)
+        offsets = np.asarray(offsets, dtype=np.intp)
+        if pras.size == 0:
+            return np.zeros(0, dtype=bool)
+        if np.any(pras < 0) or np.any(pras >= self._total_regions):
+            raise KeyError("a region in the batch is not in the RMT")
+        rows = self._row_of[pras]
+        if np.any(rows < 0):
+            raise KeyError("a region in the batch is not in the RMT")
+        if np.any(offsets < 0) or np.any(offsets >= self._lines_per_region):
+            raise ConfigurationError(
+                f"an offset in the batch is out of range [0, {self._lines_per_region})"
+            )
+        return self._worn[rows, offsets]
+
     def worn_count(self, pra: int | None = None) -> int:
         """Number of failed-over lines (in one region or overall)."""
         if pra is not None:
@@ -190,6 +207,10 @@ class LineMappingTable:
     def lookup(self, pla: int) -> Optional[int]:
         """Spare line replacing ``pla``, or ``None``."""
         return self._sla_of.get(pla)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Read-only view of the live ``(pla, sla)`` entries."""
+        return self._sla_of.items()
 
     def insert(self, pla: int, sla: int) -> None:
         """Record that ``pla`` is now served by spare line ``sla``.

@@ -38,6 +38,7 @@ from repro.sparing.base import (
     FailDevice,
     Replacement,
     ReplaceWith,
+    SchemeIntegrityError,
     SpareScheme,
 )
 from repro.util.validation import require_fraction
@@ -367,6 +368,132 @@ class MaxWE(SpareScheme):
         if self._rwr_originals_left > 0:
             floor = min(floor, self._swr_line_floor)
         return floor
+
+    # ------------------------------------------------------------------
+    # Integrity introspection
+    # ------------------------------------------------------------------
+
+    def pool_accounting(self) -> dict:
+        """Additional-pool counters for the accounting invariant."""
+        self._require_initialized()
+        assert self._lmt is not None
+        size = int(self._pool_lines.size)
+        allocated = int(self._pool_pos)
+        return {
+            "size": size,
+            "free": size - allocated,
+            "allocated": allocated,
+            "lmt_entries": len(self._lmt),
+            "lmt_capacity": self._lmt.capacity,
+            "rescued_slots": int((self._state == _LMT_REPLACED).sum()),
+        }
+
+    def check_integrity(
+        self,
+        backing: Optional[np.ndarray] = None,
+        dead_lines: Optional[np.ndarray] = None,
+    ) -> None:
+        """Full RMT/LMT/pool cross-check (the ``mapping-consistency``
+        invariant's scheme half).
+
+        Verifies pool-cursor bounds, the worn-tag count against the
+        failover ledger, LMT bijectivity (every rescued slot has exactly
+        one live entry, spare lines are handed out once), and -- when the
+        engine's live state is supplied -- that every slot's backing line
+        is exactly what its state code and table entry say it must be,
+        that no live table entry points at a dead line, and that no dead
+        line sits in the unallocated pool suffix.
+        """
+        super().check_integrity(backing=backing, dead_lines=dead_lines)
+        assert self._plan is not None and self._rmt is not None and self._lmt is not None
+        assert self._emap is not None
+        per = self._emap.lines_per_region
+        size = int(self._pool_lines.size)
+        if not 0 <= self._pool_pos <= size:
+            raise SchemeIntegrityError(
+                f"pool cursor {self._pool_pos} outside [0, {size}]"
+            )
+
+        rwr_lines = int(self._plan.rwr_regions.size) * per
+        failed_over = rwr_lines - self._rwr_originals_left
+        if self._rmt.worn_count() != failed_over:
+            raise SchemeIntegrityError(
+                f"RMT carries {self._rmt.worn_count()} worn tags but "
+                f"{failed_over} RWR lines failed over"
+            )
+
+        lmt_slots = np.flatnonzero(self._state == _LMT_REPLACED)
+        if len(self._lmt) != lmt_slots.size:
+            raise SchemeIntegrityError(
+                f"LMT holds {len(self._lmt)} entries for {lmt_slots.size} "
+                "rescued slots (dangling or missing remaps)"
+            )
+        entries = dict(self._lmt.items())
+        slas = list(entries.values())
+        if len(set(slas)) != len(slas):
+            raise SchemeIntegrityError("a spare line appears twice in the LMT")
+        handed_out = set(map(int, self._pool_lines[: self._pool_pos]))
+        for pla, sla in entries.items():
+            if sla not in handed_out:
+                raise SchemeIntegrityError(
+                    f"LMT maps line {pla} to {sla}, which was never "
+                    "allocated from the pool"
+                )
+
+        if backing is not None:
+            original = np.flatnonzero(self._state == _ORIGINAL)
+            if original.size and np.any(
+                backing[original] != self._original_line[original]
+            ):
+                slot = int(
+                    original[
+                        np.flatnonzero(
+                            backing[original] != self._original_line[original]
+                        )[0]
+                    ]
+                )
+                raise SchemeIntegrityError(
+                    f"unreplaced slot {slot} is backed by line "
+                    f"{int(backing[slot])} instead of its original "
+                    f"{int(self._original_line[slot])}"
+                )
+            swr = np.flatnonzero(self._state == _SWR_REPLACED)
+            if swr.size:
+                originals = self._original_line[swr]
+                regions = originals // per
+                offsets = originals - regions * per
+                expected = self._sra_lookup[regions] * per + offsets
+                if np.any(backing[swr] != expected):
+                    slot = int(swr[np.flatnonzero(backing[swr] != expected)[0]])
+                    raise SchemeIntegrityError(
+                        f"failed-over slot {slot} is backed by line "
+                        f"{int(backing[slot])} instead of its matched SWR line"
+                    )
+                if not self._rmt.are_worn(regions, offsets).all():
+                    raise SchemeIntegrityError(
+                        "a failed-over RWR line is missing its RMT worn tag"
+                    )
+            for slot in lmt_slots:
+                expected_sla = entries.get(int(self._original_line[slot]))
+                if expected_sla is None or backing[slot] != expected_sla:
+                    raise SchemeIntegrityError(
+                        f"rescued slot {int(slot)} is backed by line "
+                        f"{int(backing[slot])} but the LMT says "
+                        f"{expected_sla!r}"
+                    )
+
+        if dead_lines is not None:
+            free = self._pool_lines[self._pool_pos :]
+            if free.size and dead_lines[free].any():
+                line = int(free[np.flatnonzero(dead_lines[free])[0]])
+                raise SchemeIntegrityError(
+                    f"unallocated pool line {line} is marked dead "
+                    "(pool cursor corrupted?)"
+                )
+            if slas and dead_lines[np.fromiter(slas, dtype=np.intp)].any():
+                raise SchemeIntegrityError(
+                    "a live LMT entry points at a dead spare line"
+                )
 
     def describe(self) -> str:
         return (

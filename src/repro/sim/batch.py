@@ -105,7 +105,11 @@ class RunSpec:
         return build_wearleveler(self.wearlevel)
 
     def to_task(
-        self, config: ExperimentConfig, engine: str = "fluid-batched"
+        self,
+        config: ExperimentConfig,
+        engine: str = "fluid-batched",
+        paranoia: str = "off",
+        shadow_sample: float = 0.0,
     ) -> SimTask:
         """The declarative runner task equivalent to this spec."""
         return SimTask(
@@ -116,6 +120,8 @@ class RunSpec:
             swr=self.swr,
             config=config,
             engine=engine,
+            paranoia=paranoia,
+            shadow_sample=shadow_sample,
             label=self.label,
         )
 
@@ -201,6 +207,8 @@ def run_batch(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -230,6 +238,10 @@ def run_batch(
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` collecting
         runner/engine spans and counters for the batch.
+    paranoia / shadow_sample:
+        State-integrity verification knobs applied to every run (see
+        :mod:`repro.verify.invariants`); results are bit-identical
+        across levels.
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -241,5 +253,15 @@ def run_batch(
     runner = SimRunner(
         jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint, metrics=metrics
     )
-    results = runner.run([spec.to_task(config, engine=engine) for spec in normalized])
+    results = runner.run(
+        [
+            spec.to_task(
+                config,
+                engine=engine,
+                paranoia=paranoia,
+                shadow_sample=shadow_sample,
+            )
+            for spec in normalized
+        ]
+    )
     return BatchResult(specs=tuple(normalized), results=tuple(results), config=config)

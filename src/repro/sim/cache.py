@@ -33,7 +33,7 @@ from repro.sim.result import SimulationResult
 
 #: Bump to invalidate every previously cached result (schema or engine
 #: numerics change).
-CACHE_SCHEMA_VERSION: int = 2
+CACHE_SCHEMA_VERSION: int = 3
 
 #: Default cache directory (overridable via the ``REPRO_CACHE_DIR``
 #: environment variable or the ``root`` constructor argument).

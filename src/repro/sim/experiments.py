@@ -23,7 +23,9 @@ Every driver expresses its runs as declarative
 (supervision: per-task timeouts, bounded retries, crash isolation --
 see :class:`~repro.sim.resilience.ResiliencePolicy`), and
 ``checkpoint`` (append-only completed-result journal so an interrupted
-sweep resumes without re-simulating finished points).
+sweep resumes without re-simulating finished points), and the
+state-integrity knobs ``paranoia`` / ``shadow_sample`` (see
+:mod:`repro.verify`; verification never changes results).
 """
 
 from __future__ import annotations
@@ -91,6 +93,8 @@ def spare_fraction_sweep(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -107,6 +111,8 @@ def spare_fraction_sweep(
             swr=config.swr_fraction,
             config=config,
             engine=engine,
+            paranoia=paranoia,
+            shadow_sample=shadow_sample,
             label=f"spare={fraction:.0%}",
         )
         for fraction in fractions
@@ -126,6 +132,8 @@ def swr_fraction_sweep(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
@@ -138,6 +146,8 @@ def swr_fraction_sweep(
             swr=swr_fraction,
             config=config,
             engine=engine,
+            paranoia=paranoia,
+            shadow_sample=shadow_sample,
             label=f"{wl_name}/swr={swr_fraction:.0%}",
         )
         for wl_name in wearlevelers
@@ -161,6 +171,8 @@ def bpa_scheme_comparison(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -178,6 +190,8 @@ def bpa_scheme_comparison(
             swr=config.swr_fraction,
             config=config,
             engine=engine,
+            paranoia=paranoia,
+            shadow_sample=shadow_sample,
             label=f"{sparing_name}/{wl_name}",
         )
         for sparing_name in sparing_names
@@ -199,6 +213,8 @@ def uaa_scheme_comparison(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -216,6 +232,8 @@ def uaa_scheme_comparison(
             swr=config.swr_fraction,
             config=config,
             engine=engine,
+            paranoia=paranoia,
+            shadow_sample=shadow_sample,
             label=name,
         )
         for name in names

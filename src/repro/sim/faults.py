@@ -27,8 +27,11 @@ A spec is a comma-separated list of ``key=value`` pairs::
 
     crash=0.2,hang=0.05,transient=0.1,corrupt-cache=0.1,seed=7,hang-seconds=30
 
-``crash``/``hang``/``transient``/``corrupt-cache`` are probabilities in
-``[0, 1]``; ``seed`` (int) decorrelates whole campaigns; and
+``crash``/``hang``/``transient``/``corrupt-cache``/``corrupt-state`` are
+probabilities in ``[0, 1]`` (``corrupt-state`` is rolled per engine
+round and flips live simulator state so the :mod:`repro.verify`
+invariant layer can prove it detects corruption);
+``seed`` (int) decorrelates whole campaigns; and
 ``hang-seconds`` bounds an injected hang (default 3600 s -- effectively
 forever next to any sane ``--timeout``, but the process stays killable).
 
@@ -47,8 +50,9 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Iterator, Optional
 
 #: Environment variable holding the active fault spec (empty/absent = off).
 FAULT_SPEC_ENV: str = "REPRO_FAULT_SPEC"
@@ -62,9 +66,15 @@ _SPEC_KEYS = {
     "hang": "hang",
     "transient": "transient",
     "corrupt-cache": "corrupt_cache",
+    "corrupt-state": "corrupt_state",
     "seed": "seed",
     "hang-seconds": "hang_seconds",
 }
+
+#: Corruption shapes a ``corrupt-state`` injection picks from, each
+#: targeting a different invariant family (see
+#: :func:`repro.sim.lifetime._apply_state_corruption`).
+CORRUPT_KINDS = ("wear", "mapping", "death")
 
 
 class FaultSpecError(ValueError):
@@ -85,9 +95,9 @@ class FaultSpec:
 
     Attributes
     ----------
-    crash / hang / transient / corrupt_cache:
-        Per-attempt (per-store for ``corrupt_cache``) injection
-        probabilities in ``[0, 1]``.
+    crash / hang / transient / corrupt_cache / corrupt_state:
+        Per-attempt (per-store for ``corrupt_cache``, per-engine-round
+        for ``corrupt_state``) injection probabilities in ``[0, 1]``.
     seed:
         Campaign seed; decorrelates otherwise-identical campaigns.
     hang_seconds:
@@ -98,11 +108,18 @@ class FaultSpec:
     hang: float = 0.0
     transient: float = 0.0
     corrupt_cache: float = 0.0
+    corrupt_state: float = 0.0
     seed: int = 0
     hang_seconds: float = 3600.0
 
     def __post_init__(self) -> None:
-        for name in ("crash", "hang", "transient", "corrupt_cache"):
+        for name in (
+            "crash",
+            "hang",
+            "transient",
+            "corrupt_cache",
+            "corrupt_state",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise FaultSpecError(
@@ -161,7 +178,13 @@ class FaultSpec:
         """Whether any fault has a nonzero probability."""
         return any(
             getattr(self, name) > 0.0
-            for name in ("crash", "hang", "transient", "corrupt_cache")
+            for name in (
+                "crash",
+                "hang",
+                "transient",
+                "corrupt_cache",
+                "corrupt_state",
+            )
         )
 
 
@@ -181,7 +204,13 @@ class FaultInjector:
 
     def __init__(self, spec: FaultSpec) -> None:
         self._spec = spec
-        self._injected = {"crash": 0, "hang": 0, "transient": 0, "corrupt-cache": 0}
+        self._injected = {
+            "crash": 0,
+            "hang": 0,
+            "transient": 0,
+            "corrupt-cache": 0,
+            "corrupt-state": 0,
+        }
 
     @property
     def spec(self) -> FaultSpec:
@@ -230,6 +259,22 @@ class FaultInjector:
             self._injected["corrupt-cache"] += 1
         return hit
 
+    def corrupt_state(self, key: str, round_index: int) -> Optional[str]:
+        """Injection point at the top of an engine round.
+
+        Returns the corruption kind to apply (one of
+        :data:`CORRUPT_KINDS`) or ``None``.  Both the hit decision and
+        the kind are deterministic in ``(seed, key, round_index)`` so a
+        replayed bundle re-corrupts the same round the same way.
+        """
+        if not self._roll(
+            "corrupt-state", self._spec.corrupt_state, key, round_index
+        ):
+            return None
+        self._injected["corrupt-state"] += 1
+        draw = _uniform(self._spec.seed, "corrupt-state-kind", key, round_index)
+        return CORRUPT_KINDS[int(draw * len(CORRUPT_KINDS)) % len(CORRUPT_KINDS)]
+
 
 # ----------------------------------------------------------------------
 # Process-wide activation
@@ -239,6 +284,30 @@ _installed: Optional[FaultInjector] = None
 _env_injector: Optional[FaultInjector] = None
 _env_text: Optional[str] = None
 _is_worker = False
+_task_key: str = ""
+
+
+@contextmanager
+def task_scope(key: str) -> Iterator[None]:
+    """Pin the supervised task key for the duration of one attempt.
+
+    The engine's state-corruption rolls and the shadow-audit sampler key
+    off the executing task so decisions survive retries, process
+    boundaries, and scheduling order.  Standalone runs (no supervisor)
+    see an empty key and derive one from the run's own identity.
+    """
+    global _task_key
+    previous = _task_key
+    _task_key = key
+    try:
+        yield
+    finally:
+        _task_key = previous
+
+
+def active_task_key() -> str:
+    """The task key pinned by the innermost :func:`task_scope` (or "")."""
+    return _task_key
 
 
 def install(spec: "FaultSpec | str | None") -> Optional[FaultInjector]:

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import sys
 from typing import Optional
 
 import numpy as np
@@ -53,6 +54,7 @@ from repro.attacks.base import AttackModel
 from repro.device.faults import FaultModel
 from repro.endurance.emap import EnduranceMap
 from repro.obs.metrics import MetricsRegistry, maybe_span
+from repro.sim.faults import FaultInjector, active_injector, active_task_key
 from repro.sim.result import SimulationResult, TimelineEvent
 from repro.sparing.base import (
     BATCH_EXTEND,
@@ -66,6 +68,9 @@ from repro.sparing.base import (
     SpareScheme,
 )
 from repro.util.rng import RandomState, derive_rng
+from repro.verify.invariants import EngineGuard, InvariantViolation, normalize_paranoia
+from repro.verify.shadow import compare_runs, should_audit
+from repro.verify.snapshot import write_violation_bundle
 from repro.wearlevel.base import WearLeveler
 from repro.wearlevel.none import NoWearLeveling
 
@@ -102,6 +107,56 @@ def normalize_engine(engine: str) -> str:
     return resolved
 
 
+def accounting_tolerance(scale: float, events: int) -> float:
+    """Absolute float tolerance of the served-writes accounting.
+
+    Derived from the engines' accumulation structure rather than a magic
+    epsilon: the served integral and the guard's shadow ledger each
+    perform O(1) roundings per event (a death, or one slot's initial
+    budget), every intermediate bounded in magnitude by ``scale`` (the
+    device's total serveable wear).  Each rounding contributes at most
+    ``eps * scale``; the factor 64 covers the constant number of
+    operations per event in both engines with a wide margin.  The
+    wear-conservation invariant and any round-trip accounting comparison
+    must use this bound so engine numerics changes (e.g. compensated
+    summation) automatically retune it.
+    """
+    return 64.0 * sys.float_info.epsilon * max(scale, 1.0) * float(max(events, 64))
+
+
+def _apply_state_corruption(
+    kind: str,
+    served: float,
+    backing: np.ndarray,
+    current_death: np.ndarray,
+    total_endurance: float,
+) -> float:
+    """Apply one injected ``corrupt-state`` fault to live engine state.
+
+    Returns the (possibly corrupted) served-writes accumulator.  Three
+    deterministic corruption shapes, each targeted at a different
+    invariant family:
+
+    * ``wear`` -- inflate the served-writes integral (wear conservation);
+    * ``mapping`` -- point one live slot at another's backing line
+      (mapping consistency / duplicate physical lines);
+    * ``death`` -- schedule a slot to die in the past (non-negative
+      endurance).
+
+    Falls back to ``wear`` when the targeted corruption needs live slots
+    the current state no longer has, so an injection never no-ops.
+    """
+    finite = np.flatnonzero(np.isfinite(current_death))
+    if kind == "mapping" and finite.size >= 2:
+        backing[finite[0]] = backing[finite[1]]
+        return served
+    if kind == "death":
+        slot = int(finite[0]) if finite.size else 0
+        current_death[slot] = -1.0
+        return served
+    return served + 0.25 * total_endurance + 1.0
+
+
 class LifetimeSimulator:
     """Fluid lifetime simulation of one device/attack/defence combination.
 
@@ -131,7 +186,20 @@ class LifetimeSimulator:
         records ``sim/init`` and ``sim/kernel`` spans plus deterministic
         counters (``sim.deaths``, ``sim.replacements``, per-engine
         ``sim.epochs`` / ``sim.heap_compactions``) and the
-        ``sim.deaths_per_run`` histogram.
+        ``sim.deaths_per_run`` histogram.  With verification enabled it
+        also records ``verify.checks`` / ``verify.violations`` counters
+        and ``verify/invariants`` / ``verify/shadow`` spans.
+    paranoia:
+        State-integrity checking level (``"off"``, ``"cheap"``,
+        ``"full"``); see :mod:`repro.verify.invariants`.  Checks never
+        mutate state, so results are bit-identical across levels.
+    shadow_sample:
+        Probability in ``[0, 1]`` that this run (when on the default
+        ``fluid-batched`` engine) is differentially re-executed on the
+        exact reference engine, escalating divergence as a
+        :class:`~repro.verify.shadow.ShadowDivergence`.  Sampling is
+        deterministic in the task key; requires an integer ``rng`` seed
+        so the shadow re-execution is exact.
     """
 
     def __init__(
@@ -146,6 +214,8 @@ class LifetimeSimulator:
         max_timeline_events: int = 100_000,
         engine: str = "fluid-batched",
         metrics: Optional[MetricsRegistry] = None,
+        paranoia: str = "off",
+        shadow_sample: float = 0.0,
     ) -> None:
         self._emap = emap
         self._attack = attack
@@ -157,9 +227,104 @@ class LifetimeSimulator:
         self._max_timeline_events = max_timeline_events
         self._engine = normalize_engine(engine)
         self._metrics = metrics
+        self._paranoia = normalize_paranoia(paranoia)
+        shadow_sample = float(shadow_sample)
+        if not 0.0 <= shadow_sample <= 1.0:
+            raise ValueError(
+                f"shadow_sample must be in [0, 1], got {shadow_sample!r}"
+            )
+        if shadow_sample > 0.0 and not isinstance(rng, (int, np.integer)):
+            raise ValueError(
+                "shadow audits require an integer rng seed: the audit "
+                "re-executes the run from scratch, which a stateful "
+                "Generator (or None) cannot reproduce deterministically"
+            )
+        self._shadow_sample = shadow_sample
+
+    def _integrity_key(self) -> str:
+        """Stable key for corruption rolls and shadow sampling.
+
+        Prefers the supervising runner's task key (set via
+        :func:`repro.sim.faults.task_scope`); standalone runs derive an
+        equivalent key from the run's own identity.
+        """
+        key = active_task_key()
+        if key:
+            return key
+        return "|".join(
+            (
+                self._attack.describe(),
+                self._sparing.describe(),
+                self._wl.describe(),
+                repr(self._rng),
+                self._engine,
+            )
+        )
+
+    def _repro_key(self) -> dict:
+        """The pinned reproduction key violations carry."""
+        return {
+            "seed": repr(self._rng),
+            "engine": self._engine,
+            "attack": self._attack.describe(),
+            "sparing": self._sparing.describe(),
+            "wearleveler": self._wl.describe(),
+            "paranoia": self._paranoia,
+            "shadow_sample": self._shadow_sample,
+        }
 
     def run(self) -> SimulationResult:
-        """Simulate until device failure; returns the lifetime result."""
+        """Simulate until device failure; returns the lifetime result.
+
+        Raises :class:`~repro.verify.invariants.InvariantViolation` (after
+        writing a ``.repro-debug/`` bundle) if state-integrity checking is
+        enabled and a predicate fails, or if a sampled shadow audit
+        diverges.
+        """
+        try:
+            result = self._run_once()
+        except InvariantViolation as violation:
+            write_violation_bundle(violation)
+            raise
+        if (
+            self._shadow_sample > 0.0
+            and self._engine == "fluid-batched"
+            and should_audit(self._shadow_sample, self._integrity_key())
+        ):
+            try:
+                self._shadow_audit(result)
+            except InvariantViolation as violation:
+                if self._metrics is not None:
+                    self._metrics.inc("verify.violations")
+                write_violation_bundle(violation)
+                raise
+        return result
+
+    def _shadow_audit(self, primary: SimulationResult) -> None:
+        """Re-run on the exact reference engine and compare results."""
+        with maybe_span(self._metrics, "verify/shadow"):
+            if self._metrics is not None:
+                self._metrics.inc("verify.shadow_audits")
+            reference = LifetimeSimulator(
+                self._emap,
+                self._attack,
+                self._sparing,
+                self._wl,
+                self._fault_model,
+                self._rng,
+                record_timeline=False,
+                engine="fluid-exact",
+                paranoia="off",
+            )
+            shadow_result = reference._run_once()
+            compare_runs(
+                primary,
+                shadow_result,
+                rounds=primary.deaths,
+                repro=self._repro_key(),
+            )
+
+    def _run_once(self) -> SimulationResult:
         with maybe_span(self._metrics, "sim/init"):
             emap = self._emap
             endurance = self._fault_model.effective_endurance(emap.line_endurance)
@@ -187,6 +352,27 @@ class LifetimeSimulator:
             prone = weights > 0.0
             current_death[prone] = budgets[prone] / weights[prone]
 
+            guard: Optional[EngineGuard] = None
+            if self._paranoia != "off":
+                guard = EngineGuard(
+                    self._paranoia,
+                    sparing=self._sparing,
+                    endurance=endurance,
+                    weights=weights,
+                    eta=eta,
+                    total_endurance=total_endurance,
+                    tolerance=accounting_tolerance,
+                    metrics=self._metrics,
+                    repro=self._repro_key(),
+                )
+                guard.start(backing)
+            injector = active_injector()
+            corruptor: Optional[FaultInjector] = (
+                injector
+                if injector is not None and injector.spec.corrupt_state > 0.0
+                else None
+            )
+
         if self._engine == "fluid-exact":
             runner = self._run_exact
         else:
@@ -199,6 +385,9 @@ class LifetimeSimulator:
                 eta=eta,
                 current_death=current_death,
                 min_user_slots=min_user_slots,
+                guard=guard,
+                corruptor=corruptor,
+                total_endurance=total_endurance,
             )
 
         if self._metrics is not None:
@@ -240,6 +429,9 @@ class LifetimeSimulator:
         eta: float,
         current_death: np.ndarray,
         min_user_slots: int,
+        guard: Optional[EngineGuard] = None,
+        corruptor: Optional[FaultInjector] = None,
+        total_endurance: float = 0.0,
     ) -> tuple[float, int, int, str, list[TimelineEvent], dict]:
         slots = backing.size
         heap: list[tuple[float, int]] = [
@@ -251,13 +443,31 @@ class LifetimeSimulator:
         compactions = 0
 
         alive = np.ones(slots, dtype=bool)
-        active_weight = float(weights.sum())
+        # fsum: the initial active weight is the one sum every served-
+        # writes increment multiplies, so compute it exactly (a uniform
+        # 20-slot profile must sum to 1.0, not 1.0 + 1ulp).
+        active_weight = math.fsum(weights)
         served = 0.0
+        served_error = 0.0  # Kahan compensation for the served integral
         v_now = 0.0
         deaths = 0
+        rounds = 0
         replacements = 0
         failure_reason = _DEGENERATE_REASON
         timeline: list[TimelineEvent] = []
+        integrity_key = (
+            self._integrity_key() if corruptor is not None else ""
+        )
+
+        def view():
+            assert guard is not None
+            return guard.make_view(
+                served=served,
+                v_now=v_now,
+                deaths=deaths,
+                backing=backing,
+                current_death=current_death,
+            )
 
         def record(slot: int, dead_line: int, action: str, replacement: int | None) -> None:
             if self._record_timeline and len(timeline) < self._max_timeline_events:
@@ -288,7 +498,22 @@ class LifetimeSimulator:
             v, slot = heapq.heappop(heap)
             if not alive[slot] or v != current_death[slot]:
                 continue  # stale entry
-            served += (v - v_now) * active_weight * eta
+            rounds += 1
+            if corruptor is not None:
+                kind = corruptor.corrupt_state(integrity_key, rounds)
+                if kind is not None:
+                    served = _apply_state_corruption(
+                        kind, served, backing, current_death, total_endurance
+                    )
+                    v = float(current_death[slot])
+            if guard is not None:
+                guard.on_round(view)
+            # Kahan-compensated accumulation: each increment is tiny
+            # relative to the running total late in long runs.
+            increment = (v - v_now) * active_weight * eta - served_error
+            fresh = served + increment
+            served_error = (fresh - served) - increment
+            served = fresh
             v_now = v
             deaths += 1
             dead_line = int(backing[slot])
@@ -296,6 +521,10 @@ class LifetimeSimulator:
             outcome = self._sparing.replace(slot, dead_line)
             if isinstance(outcome, ReplaceWith):
                 replacements += 1
+                if guard is not None:
+                    guard.record_death(
+                        slot, dead_line, BATCH_REPLACE, line=outcome.line
+                    )
                 backing[slot] = outcome.line
                 extra = float(endurance[outcome.line])
                 new_death = v_now + extra / weights[slot]
@@ -305,12 +534,18 @@ class LifetimeSimulator:
                 continue
             if isinstance(outcome, ExtendBudget):
                 replacements += 1
+                if guard is not None:
+                    guard.record_death(
+                        slot, dead_line, BATCH_EXTEND, wear=outcome.wear
+                    )
                 new_death = v_now + outcome.wear / weights[slot]
                 current_death[slot] = new_death
                 push((new_death, slot))
                 record(slot, dead_line, "extended", None)
                 continue
             if isinstance(outcome, RemoveSlot):
+                if guard is not None:
+                    guard.record_death(slot, dead_line, BATCH_REMOVE)
                 alive[slot] = False
                 active_weight -= float(weights[slot])
                 current_death[slot] = math.inf
@@ -324,6 +559,8 @@ class LifetimeSimulator:
                     break
                 continue
             assert isinstance(outcome, FailDevice)
+            if guard is not None:
+                guard.record_death(slot, dead_line, BATCH_FAIL)
             failure_reason = outcome.reason
             record(slot, dead_line, "device-failed", None)
             break
@@ -331,6 +568,8 @@ class LifetimeSimulator:
             if deaths > 0:
                 failure_reason = _EXHAUSTED_REASON
 
+        if guard is not None:
+            guard.final_check(view)
         extra_meta = {"heap_compactions": compactions}
         return served, deaths, replacements, failure_reason, timeline, extra_meta
 
@@ -346,20 +585,51 @@ class LifetimeSimulator:
         eta: float,
         current_death: np.ndarray,
         min_user_slots: int,
+        guard: Optional[EngineGuard] = None,
+        corruptor: Optional[FaultInjector] = None,
+        total_endurance: float = 0.0,
     ) -> tuple[float, int, int, str, list[TimelineEvent], dict]:
         served = 0.0
         v_now = 0.0
         deaths = 0
+        rounds = 0
         replacements = 0
         epochs = 0
         live_count = backing.size
-        active_weight = float(weights.sum())
+        # fsum: see _run_exact -- the uniform-profile weight sum must be
+        # exactly 1.0 or every served increment carries the 1ulp error.
+        active_weight = math.fsum(weights)
         w_max = float(weights.max()) if weights.size else 0.0
         failure_reason = _DEGENERATE_REASON
         timeline: list[TimelineEvent] = []
         floor = self._sparing.replacement_extra_floor()
+        integrity_key = (
+            self._integrity_key() if corruptor is not None else ""
+        )
+
+        def view():
+            assert guard is not None
+            return guard.make_view(
+                served=served,
+                v_now=v_now,
+                deaths=deaths,
+                backing=backing,
+                current_death=current_death,
+            )
 
         while True:
+            # A "round" is every pass through the loop (including the
+            # final empty one); ``epochs`` keeps its original meaning of
+            # passes that processed at least one death.
+            rounds += 1
+            if corruptor is not None:
+                kind = corruptor.corrupt_state(integrity_key, rounds)
+                if kind is not None:
+                    served = _apply_state_corruption(
+                        kind, served, backing, current_death, total_endurance
+                    )
+            if guard is not None:
+                guard.on_round(view)
             candidates = np.flatnonzero(np.isfinite(current_death))
             if candidates.size == 0:
                 if deaths > 0:
@@ -430,6 +700,8 @@ class LifetimeSimulator:
             lines = outcome.lines[:count]
             wear = outcome.wear[:count]
             deaths += count
+            if guard is not None:
+                guard.record_batch(sel, dead_lines, actions, lines, wear)
 
             # Served-writes integral over the epoch: per-segment active
             # weight drops by the weight of each slot removed so far.
@@ -491,6 +763,8 @@ class LifetimeSimulator:
                 failure_reason = fail_reason
                 break
 
+        if guard is not None:
+            guard.final_check(view)
         extra_meta = {"epochs": epochs}
         return served, deaths, replacements, failure_reason, timeline, extra_meta
 
@@ -506,6 +780,8 @@ def simulate_lifetime(
     engine: str = "fluid-batched",
     record_timeline: bool = True,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`LifetimeSimulator`."""
     simulator = LifetimeSimulator(
@@ -518,5 +794,7 @@ def simulate_lifetime(
         record_timeline=record_timeline,
         engine=engine,
         metrics=metrics,
+        paranoia=paranoia,
+        shadow_sample=shadow_sample,
     )
     return simulator.run()

@@ -120,6 +120,8 @@ def monte_carlo_lifetime(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> MonteCarloResult:
     """Run ``replicas`` independently seeded lifetime simulations.
 
@@ -152,6 +154,9 @@ def monte_carlo_lifetime(
     checkpoint:
         Optional resume checkpoint (or journal path): finished replicas
         stream to it and a re-invocation skips them.
+    paranoia / shadow_sample:
+        State-integrity verification knobs applied to every replica (see
+        :mod:`repro.verify`); results are bit-identical across levels.
     """
     require_positive_int(replicas, "replicas")
     if confidence not in _Z_SCORES:
@@ -171,6 +176,8 @@ def monte_carlo_lifetime(
             emap_factory=emap_factory,
             seed=seed,
             wearleveler_factory=wearleveler_factory,
+            paranoia=paranoia,
+            shadow_sample=shadow_sample,
             label=f"replica-{index}",
         )
         for index, seed in enumerate(seeds)

@@ -43,6 +43,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.result import SimulationResult
+from repro.verify.invariants import InvariantViolation
 
 #: Schema version of the checkpoint journal; bumping it orphans (ignores)
 #: entries written by incompatible versions.
@@ -154,11 +155,13 @@ class ResiliencePolicy:
 def is_retryable(error: BaseException) -> bool:
     """Whether an attempt failure is worth retrying.
 
-    ``ValueError``/``TypeError`` indicate a bad spec -- deterministic, so
-    retrying only wastes the budget.  Everything else (injected or real
-    transient errors, timeouts, crashed workers) retries.
+    ``ValueError``/``TypeError`` indicate a bad spec and an
+    :class:`~repro.verify.invariants.InvariantViolation` is deterministic
+    in the task -- retrying either only wastes the budget.  Everything
+    else (injected or real transient errors, timeouts, crashed workers)
+    retries.
     """
-    return not isinstance(error, (ValueError, TypeError))
+    return not isinstance(error, (ValueError, TypeError, InvariantViolation))
 
 
 @dataclass(frozen=True)

@@ -63,7 +63,13 @@ from repro.core.maxwe import MaxWE
 from repro.endurance.emap import EnduranceMap
 from repro.sim.cache import ResultCache, canonical_json, task_key
 from repro.sim.config import ExperimentConfig
-from repro.sim.faults import active_injector, mark_worker_process
+from repro.sim.faults import (
+    InjectedCrash,
+    TransientFault,
+    active_injector,
+    mark_worker_process,
+    task_scope,
+)
 from repro.sim.lifetime import normalize_engine, simulate_lifetime
 from repro.sim.resilience import (
     Checkpoint,
@@ -83,6 +89,8 @@ from repro.sparing.ps import PS
 from repro.util.events import EventLog, SimEvent
 from repro.util.rng import fork_seeds
 from repro.util.validation import require_fraction
+from repro.verify import snapshot
+from repro.verify.invariants import InvariantViolation, normalize_paranoia
 from repro.wearlevel import make_scheme
 from repro.wearlevel.base import WearLeveler
 
@@ -177,6 +185,12 @@ class SimTask:
         Whether the simulation records per-death timeline events.  Off by
         default: batch/sweep surfaces aggregate scalar results, and the
         timeline is never cached anyway.
+    paranoia / shadow_sample:
+        State-integrity verification knobs, forwarded to
+        :class:`~repro.sim.lifetime.LifetimeSimulator`.  Excluded from
+        the cache key: checks never change results, so a verified run and
+        an unverified run are the same entry (a cache hit skips
+        verification -- use ``--no-cache`` to force a checked re-run).
     label:
         Cosmetic row label; excluded from the cache key so relabelled
         reruns still hit.
@@ -192,10 +206,14 @@ class SimTask:
     emap_seed: Optional[int] = None
     engine: str = "fluid-batched"
     record_timeline: bool = False
+    paranoia: str = "off"
+    shadow_sample: float = 0.0
     label: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", normalize_engine(self.engine))
+        normalize_paranoia(self.paranoia)
+        require_fraction(self.shadow_sample, "shadow_sample")
         if self.attack not in ATTACKS and self.attack not in WORKLOAD_NAMES:
             raise ValueError(
                 f"unknown attack {self.attack!r}; choose from {ATTACKS} "
@@ -253,22 +271,26 @@ class SimTask:
     ) -> Tuple[SimulationResult, float]:
         """Run the simulation; returns ``(result, wall_seconds)``."""
         start = perf_counter()
-        with maybe_span(metrics, "sim/endurance"):
-            emap = self.make_emap()
-        with maybe_span(metrics, "sim/components"):
-            attack = build_attack(self.attack)
-            sparing = build_sparing(self.sparing, self.p, self.swr)
-            wearleveler = build_wearleveler(self.wearlevel)
-        result = simulate_lifetime(
-            emap,
-            attack,
-            sparing,
-            wearleveler=wearleveler,
-            rng=self.effective_seed,
-            engine=self.engine,
-            record_timeline=self.record_timeline,
-            metrics=metrics,
-        )
+        payload, options = _task_context_of(self)
+        with snapshot.task_context(payload, options):
+            with maybe_span(metrics, "sim/endurance"):
+                emap = self.make_emap()
+            with maybe_span(metrics, "sim/components"):
+                attack = build_attack(self.attack)
+                sparing = build_sparing(self.sparing, self.p, self.swr)
+                wearleveler = build_wearleveler(self.wearlevel)
+            result = simulate_lifetime(
+                emap,
+                attack,
+                sparing,
+                wearleveler=wearleveler,
+                rng=self.effective_seed,
+                engine=self.engine,
+                record_timeline=self.record_timeline,
+                metrics=metrics,
+                paranoia=self.paranoia,
+                shadow_sample=self.shadow_sample,
+            )
         return result, perf_counter() - start
 
 
@@ -293,7 +315,13 @@ class CallableTask:
     wearleveler_factory: Optional[Callable[[], WearLeveler]] = None
     engine: str = "fluid-batched"
     record_timeline: bool = False
+    paranoia: str = "off"
+    shadow_sample: float = 0.0
     label: str = ""
+
+    def __post_init__(self) -> None:
+        normalize_paranoia(self.paranoia)
+        require_fraction(self.shadow_sample, "shadow_sample")
 
     def execute(
         self, metrics: Optional[MetricsRegistry] = None
@@ -305,26 +333,47 @@ class CallableTask:
         factories observe an identical call sequence.
         """
         start = perf_counter()
-        with maybe_span(metrics, "sim/components"):
-            wearleveler = (
-                self.wearleveler_factory() if self.wearleveler_factory else None
+        payload, options = _task_context_of(self)
+        with snapshot.task_context(payload, options):
+            with maybe_span(metrics, "sim/components"):
+                wearleveler = (
+                    self.wearleveler_factory() if self.wearleveler_factory else None
+                )
+            with maybe_span(metrics, "sim/endurance"):
+                emap = self.emap_factory(self.seed)
+            result = simulate_lifetime(
+                emap,
+                self.attack_factory(),
+                self.sparing_factory(),
+                wearleveler=wearleveler,
+                rng=self.seed,
+                engine=self.engine,
+                record_timeline=self.record_timeline,
+                metrics=metrics,
+                paranoia=self.paranoia,
+                shadow_sample=self.shadow_sample,
             )
-        with maybe_span(metrics, "sim/endurance"):
-            emap = self.emap_factory(self.seed)
-        result = simulate_lifetime(
-            emap,
-            self.attack_factory(),
-            self.sparing_factory(),
-            wearleveler=wearleveler,
-            rng=self.seed,
-            engine=self.engine,
-            record_timeline=self.record_timeline,
-            metrics=metrics,
-        )
         return result, perf_counter() - start
 
 
 AnyTask = Union[SimTask, CallableTask]
+
+
+def _task_context_of(task: AnyTask) -> Tuple[Optional[dict], dict]:
+    """The ``(payload, options)`` a crash-dump bundle pins for a task.
+
+    Declarative tasks pin their full cache payload, making their bundles
+    replayable; callable tasks pin only the execution options (factories
+    cannot be serialized declaratively).
+    """
+    payload = task.cache_payload() if isinstance(task, SimTask) else None
+    options = {
+        "paranoia": task.paranoia,
+        "shadow_sample": float(task.shadow_sample),
+        "record_timeline": task.record_timeline,
+        "label": task.label,
+    }
+    return payload, options
 
 
 def _describe_callable(obj: object) -> str:
@@ -413,7 +462,22 @@ def _execute_supervised(task: AnyTask, key: str, attempt: int) -> _WorkerReport:
     if injector is not None:
         injector.before_execute(key, attempt)
     worker_metrics = MetricsRegistry()
-    result, elapsed = task.execute(metrics=worker_metrics)
+    with task_scope(key):
+        try:
+            result, elapsed = task.execute(metrics=worker_metrics)
+        except (InjectedCrash, TransientFault, InvariantViolation):
+            # Injected faults are the supervisor's business; violations
+            # already wrote their own bundle engine-side.
+            raise
+        except Exception as error:
+            if (
+                task.paranoia != "off"
+                or os.environ.get(snapshot.DEBUG_DIR_ENV)
+            ):
+                payload, options = _task_context_of(task)
+                with snapshot.task_context(payload, options):
+                    snapshot.write_error_bundle(error, key=key)
+            raise
     return _WorkerReport(
         result=result,
         elapsed=elapsed,

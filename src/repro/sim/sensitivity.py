@@ -62,7 +62,13 @@ class Sensitivity:
         return relative_dl / relative_dtheta
 
 
-def _task(config: ExperimentConfig, engine: str, label: str) -> SimTask:
+def _task(
+    config: ExperimentConfig,
+    engine: str,
+    label: str,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
+) -> SimTask:
     """Max-WE-under-UAA evaluation of ``config`` as a declarative task.
 
     Equivalent to the historical direct ``simulate_lifetime`` call (same
@@ -77,6 +83,8 @@ def _task(config: ExperimentConfig, engine: str, label: str) -> SimTask:
         swr=config.swr_fraction,
         config=config,
         engine=engine,
+        paranoia=paranoia,
+        shadow_sample=shadow_sample,
         label=label,
     )
 
@@ -92,6 +100,8 @@ def sensitivity_analysis(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
 ) -> Dict[str, Sensitivity]:
     """Elasticities of Max-WE's UAA lifetime around a configuration.
 
@@ -119,6 +129,10 @@ def sensitivity_analysis(
         Supervision policy (timeouts, retries, crash isolation).
     checkpoint:
         Optional resume checkpoint (or journal path).
+    paranoia / shadow_sample:
+        State-integrity verification knobs applied to every evaluation
+        (see :mod:`repro.verify`); results are bit-identical across
+        levels.
     """
     require_fraction(relative_step, "relative_step", inclusive=False)
     config = config if config is not None else ExperimentConfig()
@@ -134,11 +148,13 @@ def sensitivity_analysis(
             perturbed_value = min(perturbed_value, 1.0 if parameter == "swr_fraction" else 0.99)
         perturbations.append((parameter, base_value, perturbed_value))
 
-    tasks = [_task(config, engine, "base")] + [
+    tasks = [_task(config, engine, "base", paranoia, shadow_sample)] + [
         _task(
             config.with_(**{parameter: perturbed_value}),
             engine,
             f"{parameter}+{relative_step:.0%}",
+            paranoia,
+            shadow_sample,
         )
         for parameter, _, perturbed_value in perturbations
     ]

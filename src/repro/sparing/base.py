@@ -34,13 +34,22 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.endurance.emap import EnduranceMap
 from repro.util.rng import RandomState, derive_rng
 from repro.util.validation import require_fraction
+
+
+class SchemeIntegrityError(RuntimeError):
+    """A scheme's internal tables failed an integrity check.
+
+    Raised by :meth:`SpareScheme.check_integrity` and converted by the
+    verification layer into a structured
+    :class:`~repro.verify.invariants.InvariantViolation`.
+    """
 
 
 @dataclass(frozen=True)
@@ -265,6 +274,44 @@ class SpareScheme(ABC):
     def _require_initialized(self) -> None:
         if self._emap is None:
             raise RuntimeError(f"{type(self).__name__} used before initialize()")
+
+    # ------------------------------------------------------------------
+    # Integrity introspection (the verification layer's view)
+    # ------------------------------------------------------------------
+
+    def pool_accounting(self) -> Optional[Mapping[str, int]]:
+        """O(1)-ish spare-pool counters for the accounting invariant.
+
+        Schemes with an explicit spare pool return a mapping with at
+        least ``size`` / ``free`` / ``allocated`` (``free + allocated ==
+        size`` must hold); pool-backed mapping tables may add
+        ``lmt_entries`` / ``lmt_capacity`` / ``rescued_slots``.  The
+        default ``None`` skips the invariant for pool-less schemes.
+        """
+        return None
+
+    def check_integrity(
+        self,
+        backing: Optional[np.ndarray] = None,
+        dead_lines: Optional[np.ndarray] = None,
+    ) -> None:
+        """Verify the scheme's internal tables; raise on inconsistency.
+
+        Called by the verification layer's ``mapping-consistency``
+        invariant.  ``backing`` is the engine's live slot-to-line
+        assignment and ``dead_lines`` a boolean per-line death mask;
+        either may be ``None`` when unavailable.  Implementations must
+        raise :class:`SchemeIntegrityError` (never mutate state) on the
+        first inconsistency.  The base implementation checks only the
+        generic slot-count contract.
+        """
+        self._require_initialized()
+        assert self._backing is not None
+        if backing is not None and backing.size != self._backing.size:
+            raise SchemeIntegrityError(
+                f"engine tracks {backing.size} slots but the scheme was "
+                f"initialized with {self._backing.size}"
+            )
 
     # ------------------------------------------------------------------
     # Replacement

@@ -1,0 +1,94 @@
+"""Post-mortem tool for ``.repro-debug/`` crash-dump bundles.
+
+Usage::
+
+    python -m repro.verify list [ROOT]           # enumerate bundles
+    python -m repro.verify replay BUNDLE         # re-run deterministically
+    python -m repro.verify check BUNDLE          # static invariant check
+
+``replay`` rebuilds the bundle's pinned task, re-installs its fault
+spec, and re-runs at ``paranoia=full``; exit code 0 when the recorded
+violation reproduces (or a clean bundle stays clean), 1 otherwise.
+``check`` re-evaluates the scheme-independent invariants over the
+stored state arrays without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.verify import snapshot
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    bundles = snapshot.list_bundles(args.root)
+    if not bundles:
+        print("no bundles found")
+        return 0
+    for path in bundles:
+        bundle = snapshot.load_bundle(path)
+        if bundle.kind == "violation":
+            summary = (
+                f"invariant={bundle.meta.get('invariant')} "
+                f"round={bundle.meta.get('round')}"
+            )
+        else:
+            summary = f"error={bundle.meta.get('error')}"
+        replayable = "replayable" if bundle.replayable else "state-only"
+        print(f"{path}  [{bundle.kind}] {summary} ({replayable})")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    report = snapshot.replay(args.bundle)
+    print(report)
+    bundle = snapshot.load_bundle(args.bundle)
+    if bundle.kind == "violation":
+        return 0 if report.reproduced else 1
+    # Error bundles have no expected violation; a clean replay is success.
+    return 0 if report.violation is None else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    bundle = snapshot.load_bundle(args.bundle)
+    failures = snapshot.static_check(bundle)
+    if args.json:
+        print(json.dumps({"bundle": str(bundle.path), "failures": failures}, indent=2))
+    else:
+        if failures:
+            for message in failures:
+                print(f"FAIL: {message}")
+        else:
+            print(f"{bundle.path}: stored state satisfies every applicable invariant")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Inspect and replay .repro-debug crash-dump bundles.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("list", help="enumerate bundles under a root")
+    cmd.add_argument("root", nargs="?", default=None, help="bundle root directory")
+    cmd.set_defaults(handler=_cmd_list)
+
+    cmd = commands.add_parser("replay", help="re-run a bundle's task deterministically")
+    cmd.add_argument("bundle", help="bundle directory")
+    cmd.set_defaults(handler=_cmd_replay)
+
+    cmd = commands.add_parser("check", help="static invariant check over stored state")
+    cmd.add_argument("bundle", help="bundle directory")
+    cmd.add_argument("--json", action="store_true", help="machine-readable output")
+    cmd.set_defaults(handler=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -140,3 +140,37 @@ class TestOrderings:
             for p in (0.05, 0.1, 0.2, 0.3)
         ]
         assert lifetimes == sorted(lifetimes)
+
+
+class TestAccumulationAccuracy:
+    """Float-accuracy regressions for the served-writes integral.
+
+    The integral historically accumulated with naive addition, so a flat
+    map whose exact answer is an integer drifted by ~1 ulp per event
+    (e.g. 200.00000000000006 for a 20x10.0 device).  The exact engine now
+    compensates the sum (Kahan) and both engines seed the active weight
+    with math.fsum, so these cases are exact.
+    """
+
+    @pytest.mark.parametrize("engine", ["fluid-exact", "fluid-batched"])
+    @pytest.mark.parametrize("lines", [20, 33, 64])
+    def test_flat_unprotected_device_serves_exactly_its_endurance(
+        self, lines, engine
+    ):
+        from repro.endurance.emap import EnduranceMap
+
+        emap = EnduranceMap(np.full(lines, 10.0), regions=lines)
+        result = simulate_lifetime(
+            emap, UniformAddressAttack(), NoSparing(), rng=0, engine=engine
+        )
+        assert result.writes_served == 10.0 * lines
+
+    def test_accounting_tolerance_scales_with_device_and_events(self):
+        from repro.sim.lifetime import accounting_tolerance
+
+        assert accounting_tolerance(0.0, 0) > 0.0
+        assert accounting_tolerance(1e6, 64) > accounting_tolerance(1e3, 64)
+        assert accounting_tolerance(1e3, 10_000) > accounting_tolerance(1e3, 64)
+        # Tight enough to catch a quarter-endurance corruption, loose
+        # enough for legitimate accumulation noise.
+        assert accounting_tolerance(1e6, 10_000) < 1.0

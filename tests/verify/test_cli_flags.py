@@ -1,0 +1,105 @@
+"""CLI wiring of the state-integrity knobs (--paranoia / --shadow-sample)."""
+
+import pytest
+
+from repro.cli import main
+from repro.sim.faults import FAULT_SPEC_ENV, install
+from repro.verify.__main__ import main as verify_main
+from repro.verify.snapshot import DEBUG_DIR_ENV, list_bundles
+
+TINY = ["--regions", "64", "--lines-per-region", "2"]
+
+
+@pytest.fixture(autouse=True)
+def _bundles_in_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv(DEBUG_DIR_ENV, str(tmp_path / "debug"))
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    install(None)
+    yield
+    install(None)
+
+
+class TestSimulateFlags:
+    def test_clean_run_at_full_paranoia(self, capsys):
+        assert main(["simulate", *TINY, "--paranoia", "full"]) == 0
+        assert "lifetime:" in capsys.readouterr().out
+
+    def test_paranoia_never_changes_the_reported_lifetime(self, capsys):
+        main(["simulate", *TINY])
+        off = capsys.readouterr().out
+        main(["simulate", *TINY, "--paranoia", "full"])
+        full = capsys.readouterr().out
+        assert off == full
+
+    def test_shadow_sample_clean_run(self, capsys):
+        assert main(["simulate", *TINY, "--shadow-sample", "1.0"]) == 0
+        assert "lifetime:" in capsys.readouterr().out
+
+    def test_bad_paranoia_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", *TINY, "--paranoia", "extreme"])
+
+    def test_corruption_exits_1_with_a_bundle(self, capsys):
+        code = main(
+            [
+                "simulate",
+                *TINY,
+                "--paranoia",
+                "full",
+                "--inject-faults",
+                "corrupt-state=1,seed=1",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "invariant" in err
+        assert "crash-dump bundle:" in err
+        bundles = list_bundles()
+        assert len(bundles) == 1
+        # The bundle replays deterministically: same task, same fault
+        # spec, same violation.
+        assert verify_main(["replay", str(bundles[0])]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_corruption_unnoticed_at_paranoia_off(self, capsys):
+        """Without the guard the corrupted run completes with rc 0 --
+        the contrast the guard layer exists to eliminate."""
+        code = main(
+            ["simulate", *TINY, "--inject-faults", "corrupt-state=1,seed=1"]
+        )
+        assert code == 0
+        assert list_bundles() == []
+
+
+class TestSweepFlags:
+    def test_sweep_spare_accepts_the_knobs(self, capsys):
+        code = main(
+            [
+                "sweep-spare",
+                *TINY,
+                "--no-cache",
+                "--paranoia",
+                "cheap",
+                "--shadow-sample",
+                "0.0",
+            ]
+        )
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_sweep_detects_injected_corruption(self, capsys):
+        code = main(
+            [
+                "sweep-spare",
+                *TINY,
+                "--no-cache",
+                "--retries",
+                "0",
+                "--paranoia",
+                "full",
+                "--inject-faults",
+                "corrupt-state=1,seed=1",
+            ]
+        )
+        assert code == 1
+        assert "violated" in capsys.readouterr().err

@@ -1,0 +1,230 @@
+"""End-to-end guard tests through the real engines.
+
+Two properties anchor the layer's contract:
+
+* a clean run never trips an invariant, at any paranoia level, and its
+  results are bit-identical to an unguarded run (checks never mutate);
+* an injected state corruption is *always* surfaced as an
+  :class:`InvariantViolation` at ``paranoia=full`` -- the CI smoke job
+  asserts the same thing from the command line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bpa import BirthdayParadoxAttack
+from repro.attacks.repeated import RepeatedAddressAttack
+from repro.attacks.uaa import UniformAddressAttack
+from repro.core.maxwe import MaxWE
+from repro.endurance.emap import EnduranceMap
+from repro.obs.metrics import MetricsRegistry
+from repro.salvage.ecp import ECP
+from repro.salvage.freep import FreeP
+from repro.sim.faults import FAULT_SPEC_ENV, install
+from repro.sim.lifetime import ENGINES, simulate_lifetime
+from repro.sparing.none import NoSparing
+from repro.sparing.pcd import PCD
+from repro.sparing.ps import PS
+from repro.verify.invariants import InvariantViolation
+from repro.verify.snapshot import DEBUG_DIR_ENV
+
+SCHEME_FACTORIES = {
+    "none": lambda: NoSparing(),
+    "pcd": lambda: PCD(0.1),
+    "ps": lambda: PS.average_case(0.1),
+    "ps-weakest": lambda: PS(0.1, selection="weakest", allocation="strongest-first"),
+    "max-we": lambda: MaxWE(0.1, 0.9),
+    "ecp": lambda: ECP(pointers=4, bonus_per_pointer=0.05),
+    "freep": lambda: FreeP(0.1),
+}
+
+ATTACK_FACTORIES = {
+    "uaa": lambda: UniformAddressAttack(),
+    "bpa": lambda: BirthdayParadoxAttack(),
+    "streaming": lambda: RepeatedAddressAttack(target=0),
+}
+
+
+@pytest.fixture(autouse=True)
+def _no_bundles_no_faults(monkeypatch):
+    """Keep the working tree clean and the injector uninstalled."""
+    monkeypatch.setenv(DEBUG_DIR_ENV, "")
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    install(None)
+    yield
+    install(None)
+
+
+def small_map(seed: int = 7) -> EnduranceMap:
+    rng = np.random.default_rng(seed)
+    return EnduranceMap(rng.uniform(100.0, 1000.0, size=40 * 2), regions=40)
+
+
+class TestCleanSweepIsSilentAndBitIdentical:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("attack_name", sorted(ATTACK_FACTORIES))
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+    def test_full_paranoia_matches_off_exactly(self, scheme_name, attack_name, engine):
+        emap = small_map()
+        results = {}
+        for paranoia in ("off", "full"):
+            results[paranoia] = simulate_lifetime(
+                emap,
+                ATTACK_FACTORIES[attack_name](),
+                SCHEME_FACTORIES[scheme_name](),
+                rng=11,
+                engine=engine,
+                record_timeline=False,
+                paranoia=paranoia,
+            )
+        off, full = results["off"], results["full"]
+        assert full.writes_served == off.writes_served  # bit-identical
+        assert full.deaths == off.deaths
+        assert full.replacements == off.replacements
+        assert full.failure_reason == off.failure_reason
+
+    def test_cheap_is_also_bit_identical(self):
+        emap = small_map()
+        off = simulate_lifetime(
+            emap, UniformAddressAttack(), MaxWE(0.1, 0.9), rng=3, paranoia="off"
+        )
+        cheap = simulate_lifetime(
+            emap, UniformAddressAttack(), MaxWE(0.1, 0.9), rng=3, paranoia="cheap"
+        )
+        assert cheap.writes_served == off.writes_served
+        assert cheap.deaths == off.deaths
+
+    def test_guard_work_is_visible_in_metrics(self):
+        metrics = MetricsRegistry()
+        simulate_lifetime(
+            small_map(),
+            UniformAddressAttack(),
+            MaxWE(0.1, 0.9),
+            rng=3,
+            paranoia="full",
+            metrics=metrics,
+        )
+        assert metrics.counter("verify.checks") > 0
+        assert metrics.counter("verify.violations") == 0
+        assert metrics.timing("verify/invariants") is not None
+
+
+class TestInjectedCorruptionIsAlwaysDetected:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_full_paranoia_detects_every_injection(self, engine):
+        """100% detection: every seeded corrupt-state campaign must end in
+        an InvariantViolation, never a silently wrong result."""
+        emap = small_map()
+        detected = 0
+        seeds = range(10)
+        for seed in seeds:
+            install(f"corrupt-state=1,seed={seed}")
+            try:
+                with pytest.raises(InvariantViolation):
+                    simulate_lifetime(
+                        emap,
+                        UniformAddressAttack(),
+                        MaxWE(0.1, 0.9),
+                        rng=5,
+                        engine=engine,
+                        paranoia="full",
+                    )
+                detected += 1
+            finally:
+                install(None)
+        assert detected == len(list(seeds))
+
+    def test_detection_is_deterministic_in_the_seed(self):
+        emap = small_map()
+        rounds = []
+        for _ in range(2):
+            install("corrupt-state=1,seed=42")
+            try:
+                with pytest.raises(InvariantViolation) as excinfo:
+                    simulate_lifetime(
+                        emap,
+                        UniformAddressAttack(),
+                        MaxWE(0.1, 0.9),
+                        rng=5,
+                        paranoia="full",
+                    )
+            finally:
+                install(None)
+            rounds.append(
+                (excinfo.value.invariant, excinfo.value.round_index)
+            )
+        assert rounds[0] == rounds[1]
+
+    def test_all_three_corruption_kinds_are_diagnosed(self):
+        """Across seeds the injector rolls wear, mapping, and death
+        corruptions; each must surface under a distinct invariant."""
+        emap = small_map()
+        invariants = set()
+        for seed in range(30):
+            install(f"corrupt-state=1,seed={seed}")
+            try:
+                with pytest.raises(InvariantViolation) as excinfo:
+                    simulate_lifetime(
+                        emap,
+                        UniformAddressAttack(),
+                        MaxWE(0.1, 0.9),
+                        rng=5,
+                        paranoia="full",
+                    )
+            finally:
+                install(None)
+            invariants.add(excinfo.value.invariant)
+            if len(invariants) >= 3:
+                break
+        assert len(invariants) >= 3
+
+    def test_cheap_paranoia_catches_persistent_corruption(self):
+        """cheap checks lag the corruption but the end-of-run full sweep
+        guarantees persistent corruption cannot escape the run."""
+        emap = small_map()
+        install("corrupt-state=1,seed=8")
+        try:
+            with pytest.raises(InvariantViolation):
+                simulate_lifetime(
+                    emap,
+                    UniformAddressAttack(),
+                    MaxWE(0.1, 0.9),
+                    rng=5,
+                    paranoia="cheap",
+                )
+        finally:
+            install(None)
+
+    def test_off_runs_to_completion_with_wrong_numbers(self):
+        """Without the guard the corrupted run completes silently -- the
+        reason the layer exists."""
+        emap = small_map()
+        clean = simulate_lifetime(
+            emap, UniformAddressAttack(), MaxWE(0.1, 0.9), rng=5, paranoia="off"
+        )
+        install("corrupt-state=1,seed=0")  # seed 0 rolls a wear corruption
+        try:
+            corrupted = simulate_lifetime(
+                emap, UniformAddressAttack(), MaxWE(0.1, 0.9), rng=5, paranoia="off"
+            )
+        finally:
+            install(None)
+        assert corrupted.writes_served != clean.writes_served
+
+
+class TestKnobValidation:
+    def test_unknown_paranoia_rejected(self):
+        with pytest.raises(ValueError, match="paranoia"):
+            simulate_lifetime(
+                small_map(), UniformAddressAttack(), NoSparing(), paranoia="extreme"
+            )
+
+    def test_shadow_sample_range_enforced(self):
+        with pytest.raises(ValueError):
+            simulate_lifetime(
+                small_map(),
+                UniformAddressAttack(),
+                NoSparing(),
+                rng=1,
+                shadow_sample=1.5,
+            )

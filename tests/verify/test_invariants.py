@@ -1,0 +1,264 @@
+"""Unit tests for the invariant catalog: every predicate must accept a
+consistent state and flag its own hand-corrupted variant."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.verify.invariants import (
+    CHEAP_CADENCE,
+    COST_CHEAP,
+    COST_FULL,
+    DEFAULT_INVARIANTS,
+    EngineGuard,
+    EngineView,
+    Invariant,
+    InvariantRegistry,
+    InvariantViolation,
+    normalize_paranoia,
+)
+
+BY_NAME = {invariant.name: invariant for invariant in DEFAULT_INVARIANTS}
+
+
+class _PoolScheme:
+    """Scheme stub with controllable pool accounting."""
+
+    def __init__(self, accounting=None):
+        self.accounting = accounting
+
+    def pool_accounting(self):
+        return self.accounting
+
+    def check_integrity(self, backing=None, dead_lines=None):
+        return None
+
+
+def make_view(**overrides) -> EngineView:
+    """A small, fully self-consistent engine state.
+
+    Four slots backed by lines 0..3 of a six-line device; every slot has
+    consumed exactly one unit of wear, so ``served = eta * 4``.
+    """
+    endurance = np.array([10.0, 10.0, 10.0, 10.0, 5.0, 5.0])
+    backing = np.array([0, 1, 2, 3])
+    weights = np.full(4, 0.25)
+    # death time = budget / weight = 40; at v_now = 4 each slot has served
+    # (4 * 0.25) = 1 write of wear.
+    state = dict(
+        served=4.0,
+        v_now=4.0,
+        deaths=0,
+        eta=1.0,
+        weights=weights,
+        backing=backing,
+        current_death=np.full(4, 40.0),
+        endurance=endurance,
+        total_endurance=float(endurance.sum()),
+        sparing=_PoolScheme(),
+        budget=endurance[backing].copy(),
+        in_service=np.ones(4, dtype=bool),
+        dead_mask=np.zeros(6, dtype=bool),
+        wear_retired=0.0,
+        wear_extended=0.0,
+        guard_deaths=0,
+        last_served=3.0,
+        last_v=3.0,
+        rounds=5,
+        tolerance=1e-9,
+        final=False,
+    )
+    state.update(overrides)
+    return EngineView(**state)
+
+
+class TestCleanState:
+    @pytest.mark.parametrize("name", sorted(BY_NAME))
+    def test_every_predicate_accepts_a_consistent_state(self, name):
+        assert BY_NAME[name].check(make_view()) is None
+
+
+class TestEachPredicateCatchesItsCorruption:
+    def test_clock_monotone_rejects_negative_clock(self):
+        message = BY_NAME["clock-monotone"].check(make_view(v_now=-1.0))
+        assert message is not None and "negative" in message
+
+    def test_clock_monotone_rejects_backwards_clock(self):
+        message = BY_NAME["clock-monotone"].check(make_view(v_now=2.0, last_v=3.0))
+        assert message is not None and "backwards" in message
+
+    def test_served_bounds_rejects_negative_served(self):
+        message = BY_NAME["served-bounds"].check(make_view(served=-1.0))
+        assert message is not None and "negative" in message
+
+    def test_served_bounds_rejects_shrinking_served(self):
+        message = BY_NAME["served-bounds"].check(make_view(served=2.0, last_served=3.0))
+        assert message is not None and "decreased" in message
+
+    def test_served_bounds_rejects_overserving_the_device(self):
+        # More writes than the whole device can endure.
+        message = BY_NAME["served-bounds"].check(
+            make_view(served=100.0, current_death=np.full(4, np.inf))
+        )
+        assert message is not None and "exceed" in message
+
+    def test_death_count_rejects_counter_skew(self):
+        message = BY_NAME["death-count"].check(make_view(deaths=3))
+        assert message is not None and "disagrees" in message
+
+    def test_pool_accounting_rejects_leaked_spares(self):
+        scheme = _PoolScheme({"size": 4, "free": 1, "allocated": 2})
+        message = BY_NAME["spare-pool-accounting"].check(make_view(sparing=scheme))
+        assert message is not None and "account" in message
+
+    def test_pool_accounting_rejects_lmt_over_occupancy(self):
+        scheme = _PoolScheme(
+            {"size": 4, "free": 1, "allocated": 3, "lmt_entries": 7}
+        )
+        message = BY_NAME["spare-pool-accounting"].check(make_view(sparing=scheme))
+        assert message is not None and "LMT" in message
+
+    def test_wear_conservation_rejects_a_skewed_integral(self):
+        message = BY_NAME["wear-conservation"].check(make_view(served=7.5))
+        assert message is not None and "disagree" in message
+
+    def test_nonnegative_endurance_rejects_negative_budget(self):
+        budget = np.array([10.0, -2.0, 10.0, 10.0])
+        message = BY_NAME["non-negative-endurance"].check(make_view(budget=budget))
+        assert message is not None and "negative wear budget" in message
+
+    def test_nonnegative_endurance_rejects_deaths_in_the_past(self):
+        death = np.array([40.0, 1.0, 40.0, 40.0])
+        message = BY_NAME["non-negative-endurance"].check(
+            make_view(current_death=death)
+        )
+        assert message is not None and "die in the past" in message
+
+    def test_mapping_consistency_rejects_aliased_lines(self):
+        backing = np.array([0, 0, 2, 3])
+        message = BY_NAME["mapping-consistency"].check(make_view(backing=backing))
+        assert message is not None and "backs 2 slots" in message
+
+    def test_mapping_consistency_rejects_out_of_device_lines(self):
+        backing = np.array([0, 1, 2, 99])
+        message = BY_NAME["mapping-consistency"].check(make_view(backing=backing))
+        assert message is not None and "outside the device" in message
+
+    def test_no_dead_line_writes_rejects_writes_through_a_corpse(self):
+        dead = np.zeros(6, dtype=bool)
+        dead[2] = True
+        message = BY_NAME["no-dead-line-writes"].check(make_view(dead_mask=dead))
+        assert message is not None and "dead line 2" in message
+
+
+class TestRegistry:
+    def test_default_catalog_is_loaded(self):
+        registry = InvariantRegistry()
+        assert len(registry) == len(DEFAULT_INVARIANTS)
+
+    def test_duplicate_names_rejected(self):
+        registry = InvariantRegistry()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(DEFAULT_INVARIANTS[0])
+
+    def test_select_partitions_by_cost(self):
+        registry = InvariantRegistry()
+        cheap = registry.select(include_full=False)
+        everything = registry.select(include_full=True)
+        assert all(invariant.cost == COST_CHEAP for invariant in cheap)
+        assert set(everything) == set(DEFAULT_INVARIANTS)
+        assert len(cheap) < len(everything)
+
+    def test_invariant_rejects_unknown_cost(self):
+        with pytest.raises(ValueError, match="cheap|full"):
+            Invariant("bad", "expensive", "", lambda view: None)
+
+    def test_normalize_paranoia(self):
+        assert normalize_paranoia("cheap") == "cheap"
+        with pytest.raises(ValueError, match="paranoia"):
+            normalize_paranoia("extreme")
+
+
+class TestGuardCadence:
+    def _guard(self, paranoia, metrics=None, cadence=CHEAP_CADENCE):
+        endurance = np.array([10.0, 10.0, 10.0, 10.0, 5.0, 5.0])
+        guard = EngineGuard(
+            paranoia,
+            sparing=_PoolScheme(),
+            endurance=endurance,
+            weights=np.full(4, 0.25),
+            eta=1.0,
+            total_endurance=float(endurance.sum()),
+            tolerance=lambda scale, events: 1e-9,
+            metrics=metrics,
+            cadence=cadence,
+        )
+        guard.start(np.array([0, 1, 2, 3]))
+        return guard
+
+    @staticmethod
+    def _view_of(guard, **overrides):
+        def build():
+            v_now = 4.0 * guard.rounds / max(guard.rounds, 1)
+            state = dict(
+                served=overrides.pop("served", 0.0),
+                v_now=overrides.pop("v_now", 0.0),
+                deaths=0,
+                backing=np.array([0, 1, 2, 3]),
+                current_death=np.full(4, 40.0),
+            )
+            state.update(overrides)
+            return guard.make_view(**state)
+
+        return build
+
+    def test_off_is_rejected(self):
+        with pytest.raises(ValueError, match="off"):
+            self._guard("off")
+
+    def test_full_checks_every_round(self):
+        metrics = MetricsRegistry()
+        guard = self._guard("full", metrics=metrics)
+        for _ in range(5):
+            guard.on_round(self._view_of(guard))
+        assert guard.rounds == 5
+        assert metrics.counter("verify.checks") == 5 * len(DEFAULT_INVARIANTS)
+
+    def test_cheap_checks_only_on_cadence_ticks(self):
+        metrics = MetricsRegistry()
+        guard = self._guard("cheap", metrics=metrics, cadence=4)
+        for _ in range(7):
+            guard.on_round(self._view_of(guard))
+        cheap_count = len(InvariantRegistry().select(include_full=False))
+        assert metrics.counter("verify.checks") == cheap_count  # round 4 only
+
+    def test_final_check_is_always_a_full_sweep(self):
+        metrics = MetricsRegistry()
+        guard = self._guard("cheap", metrics=metrics)
+        guard.final_check(self._view_of(guard))
+        assert metrics.counter("verify.checks") == len(DEFAULT_INVARIANTS)
+
+    def test_violation_carries_details_arrays_and_metrics(self):
+        metrics = MetricsRegistry()
+        guard = self._guard("full", metrics=metrics)
+        with pytest.raises(InvariantViolation) as excinfo:
+            guard.on_round(self._view_of(guard, deaths=9))
+        violation = excinfo.value
+        assert violation.invariant == "death-count"
+        assert violation.round_index == 1
+        assert violation.details["deaths"] == 9
+        assert set(violation.arrays) >= {"backing", "current_death", "budget"}
+        assert metrics.counter("verify.violations") == 1
+
+    def test_violation_pickles_without_arrays(self):
+        import pickle
+
+        violation = InvariantViolation(
+            "death-count", 3, "skew", details={"deaths": 1}, repro={"seed": "7"}
+        )
+        violation.arrays = {"backing": np.arange(4)}
+        clone = pickle.loads(pickle.dumps(violation))
+        assert clone.invariant == "death-count"
+        assert clone.round_index == 3
+        assert clone.details == {"deaths": 1}
+        assert clone.arrays == {}

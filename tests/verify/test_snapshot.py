@@ -1,0 +1,235 @@
+"""Crash-dump bundle tests: write, load, replay, static check, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.faults import FAULT_SPEC_ENV, install
+from repro.sim.runner import SimTask
+from repro.verify import snapshot
+from repro.verify.__main__ import main as verify_main
+from repro.verify.invariants import InvariantViolation
+from repro.verify.snapshot import (
+    DEBUG_DIR_ENV,
+    Bundle,
+    bundle_root,
+    list_bundles,
+    load_bundle,
+    replay,
+    static_check,
+    suppress_bundles,
+    task_context,
+    write_error_bundle,
+    write_violation_bundle,
+)
+
+SMALL_CONFIG = ExperimentConfig(regions=64, lines_per_region=2, seed=2019)
+
+
+@pytest.fixture(autouse=True)
+def _bundles_in_tmp(tmp_path, monkeypatch):
+    """Bundles land in the test's tmp dir; no injector leaks between tests."""
+    monkeypatch.setenv(DEBUG_DIR_ENV, str(tmp_path / "debug"))
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    install(None)
+    yield
+    install(None)
+
+
+def fresh_violation() -> InvariantViolation:
+    violation = InvariantViolation(
+        "death-count",
+        7,
+        "engine death counter (3) disagrees with the verdict-stream ledger (2)",
+        details={"deaths": 3, "served": 12.5},
+        repro={"seed": "5", "engine": "fluid-batched"},
+    )
+    violation.arrays = {
+        "backing": np.arange(4),
+        "current_death": np.full(4, 40.0),
+        "budget": np.full(4, 10.0),
+        "in_service": np.ones(4, dtype=bool),
+        "dead_mask": np.zeros(6, dtype=bool),
+    }
+    return violation
+
+
+class TestBundleRoot:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DEBUG_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert bundle_root() == tmp_path / "elsewhere"
+
+    def test_empty_env_disables(self, monkeypatch):
+        monkeypatch.setenv(DEBUG_DIR_ENV, "")
+        assert bundle_root() is None
+        assert write_violation_bundle(fresh_violation()) is None
+
+    def test_suppression_disables(self):
+        with suppress_bundles():
+            assert bundle_root() is None
+            assert write_violation_bundle(fresh_violation()) is None
+
+
+class TestWriteAndLoad:
+    def test_violation_round_trips(self):
+        violation = fresh_violation()
+        directory = write_violation_bundle(violation)
+        assert directory is not None
+        assert violation.bundle_path == str(directory)
+        bundle = load_bundle(directory)
+        assert bundle.kind == "violation"
+        assert bundle.meta["invariant"] == "death-count"
+        assert bundle.meta["round"] == 7
+        assert bundle.meta["details"]["deaths"] == 3
+        assert bundle.meta["repro"]["seed"] == "5"
+        np.testing.assert_array_equal(bundle.arrays["backing"], np.arange(4))
+
+    def test_write_is_idempotent_per_violation(self):
+        violation = fresh_violation()
+        first = write_violation_bundle(violation)
+        second = write_violation_bundle(violation)
+        assert first == second
+        assert len(list_bundles()) == 1
+
+    def test_colliding_names_get_suffixes(self):
+        first = write_violation_bundle(fresh_violation())
+        second = write_violation_bundle(fresh_violation())
+        assert first != second
+        assert second.name.startswith(first.name)
+        assert len(list_bundles()) == 2
+
+    def test_task_context_is_recorded(self):
+        payload = {"attack": "uaa", "seed": 5}
+        with task_context(payload, {"paranoia": "full"}):
+            directory = write_violation_bundle(fresh_violation())
+        bundle = load_bundle(directory)
+        assert bundle.meta["task"] == payload
+        assert bundle.meta["task_options"]["paranoia"] == "full"
+
+    def test_active_fault_spec_is_recorded(self):
+        install("corrupt-state=1,seed=3")
+        try:
+            directory = write_violation_bundle(fresh_violation())
+        finally:
+            install(None)
+        assert "corrupt-state=1" in load_bundle(directory).meta["fault_spec"]
+
+    def test_error_bundle(self):
+        directory = write_error_bundle(
+            ValueError("weights do not sum to 1"), key="task-abc"
+        )
+        bundle = load_bundle(directory)
+        assert bundle.kind == "error"
+        assert bundle.meta["error"] == "ValueError"
+        assert bundle.meta["task_key"] == "task-abc"
+        assert any("ValueError" in line for line in bundle.meta["traceback"])
+        assert not bundle.replayable
+
+    def test_load_rejects_non_bundles(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="meta.json"):
+            load_bundle(tmp_path)
+
+
+def corrupted_task_bundle():
+    """Run a SimTask under injected corruption; returns its bundle path."""
+    task = SimTask(
+        attack="uaa",
+        sparing="max-we",
+        config=SMALL_CONFIG,
+        paranoia="full",
+    )
+    install("corrupt-state=1,seed=1")
+    try:
+        with pytest.raises(InvariantViolation) as excinfo:
+            task.execute()
+    finally:
+        install(None)
+    assert excinfo.value.bundle_path is not None
+    return excinfo.value.bundle_path
+
+
+class TestReplay:
+    def test_task_violation_bundle_is_replayable_and_reproduces(self):
+        path = corrupted_task_bundle()
+        bundle = load_bundle(path)
+        assert bundle.replayable
+        assert "corrupt-state=1" in bundle.meta["fault_spec"]
+        report = replay(path)
+        assert report.reproduced
+        assert report.violation is not None
+        assert report.violation.invariant == bundle.meta["invariant"]
+
+    def test_replay_leaves_no_new_bundles(self):
+        path = corrupted_task_bundle()
+        before = len(list_bundles())
+        replay(path)
+        assert len(list_bundles()) == before
+
+    def test_replay_restores_the_previous_injector(self):
+        path = corrupted_task_bundle()
+        from repro.sim.faults import active_injector
+
+        assert active_injector() is None
+        replay(path)
+        assert active_injector() is None
+
+    def test_standalone_bundle_is_not_replayable(self):
+        directory = write_violation_bundle(fresh_violation())
+        report = replay(directory)
+        assert not report.reproduced
+        assert "no declarative task payload" in report.notes
+
+
+class TestStaticCheck:
+    def test_captured_corrupt_state_fails_statically(self):
+        bundle = load_bundle(corrupted_task_bundle())
+        assert bundle.arrays, "violation bundles must carry state arrays"
+        assert static_check(bundle) != []
+
+    def test_consistent_state_passes(self):
+        arrays = {
+            "backing": np.arange(4),
+            "current_death": np.full(4, np.inf),
+            "budget": np.full(4, 10.0),
+            "in_service": np.ones(4, dtype=bool),
+            "dead_mask": np.zeros(6, dtype=bool),
+            "weights": np.full(4, 0.25),
+            "endurance": np.full(6, 10.0),
+        }
+        bundle = Bundle(
+            path=None,
+            meta={"details": {"served": 0.0, "v_now": 0.0, "deaths": 0}},
+            arrays=arrays,
+        )
+        assert static_check(bundle) == []
+
+    def test_arrayless_bundle_is_reported(self):
+        bundle = Bundle(path=None, meta={}, arrays={})
+        failures = static_check(bundle)
+        assert len(failures) == 1 and "no state arrays" in failures[0]
+
+
+class TestVerifyCli:
+    def test_list_empty(self, capsys):
+        assert verify_main(["list"]) == 0
+        assert "no bundles" in capsys.readouterr().out
+
+    def test_list_shows_bundles(self, capsys):
+        corrupted_task_bundle()
+        assert verify_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "[violation]" in out and "replayable" in out
+
+    def test_replay_exit_codes(self, capsys):
+        path = corrupted_task_bundle()
+        assert verify_main(["replay", str(path)]) == 0
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_replay_of_standalone_bundle_fails(self, capsys):
+        directory = write_violation_bundle(fresh_violation())
+        assert verify_main(["replay", str(directory)]) == 1
+
+    def test_check_flags_corrupt_state(self, capsys):
+        path = corrupted_task_bundle()
+        assert verify_main(["check", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
