@@ -99,8 +99,33 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         "--engine",
         choices=ENGINES,
         default="fluid-batched",
-        help="lifetime engine: vectorized epoch kernel (default) or the "
-        "scalar event loop kept for differential testing",
+        help="lifetime engine: vectorized epoch kernel (default), the "
+        "scalar event loop kept for differential testing, or the "
+        "trial-stacked ensemble that advances many runs per kernel pass "
+        "(bit-identical per run)",
+    )
+
+
+def _trials_per_task_arg(value: str) -> int:
+    try:
+        trials = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"trials-per-task must be an integer, got {value!r}"
+        )
+    if trials < 1:
+        raise argparse.ArgumentTypeError("trials-per-task must be >= 1")
+    return trials
+
+
+def _add_trials_per_task_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trials-per-task",
+        type=_trials_per_task_arg,
+        default=None,
+        metavar="N",
+        help="runs per ensemble chunk with --engine fluid-ensemble "
+        "(default: auto-sized from the run count and --jobs)",
     )
 
 
@@ -430,6 +455,7 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
             for fraction, result in spare_fraction_sweep(
                 config,
                 jobs=args.jobs,
+                trials_per_task=args.trials_per_task,
                 cache=cache,
                 engine=args.engine,
                 policy=_policy_from(args),
@@ -459,6 +485,7 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
         sweeps = swr_fraction_sweep(
             config,
             jobs=args.jobs,
+            trials_per_task=args.trials_per_task,
             cache=cache,
             engine=args.engine,
             policy=_policy_from(args),
@@ -491,6 +518,7 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
         results = uaa_scheme_comparison(
             config,
             jobs=args.jobs,
+            trials_per_task=args.trials_per_task,
             cache=cache,
             engine=args.engine,
             policy=_policy_from(args),
@@ -524,6 +552,7 @@ def _cmd_compare_bpa(args: argparse.Namespace) -> int:
         comparison = bpa_scheme_comparison(
             config,
             jobs=args.jobs,
+            trials_per_task=args.trials_per_task,
             cache=cache,
             engine=args.engine,
             policy=_policy_from(args),
@@ -584,6 +613,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 specs,
                 config,
                 jobs=args.jobs,
+                trials_per_task=args.trials_per_task,
                 cache=cache,
                 engine=args.engine,
                 policy=_policy_from(args),
@@ -717,24 +747,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(sweep_spare)
     _add_runner_arguments(sweep_spare)
     _add_engine_argument(sweep_spare)
+    _add_trials_per_task_argument(sweep_spare)
     sweep_spare.set_defaults(handler=_cmd_sweep_spare)
 
     sweep_swr = subparsers.add_parser("sweep-swr", help="Figure 7 sweep")
     _add_config_arguments(sweep_swr)
     _add_runner_arguments(sweep_swr)
     _add_engine_argument(sweep_swr)
+    _add_trials_per_task_argument(sweep_swr)
     sweep_swr.set_defaults(handler=_cmd_sweep_swr)
 
     compare_uaa = subparsers.add_parser("compare-uaa", help="Section 5.3.1 table")
     _add_config_arguments(compare_uaa)
     _add_runner_arguments(compare_uaa)
     _add_engine_argument(compare_uaa)
+    _add_trials_per_task_argument(compare_uaa)
     compare_uaa.set_defaults(handler=_cmd_compare_uaa)
 
     compare_bpa = subparsers.add_parser("compare-bpa", help="Figure 8 comparison")
     _add_config_arguments(compare_bpa)
     _add_runner_arguments(compare_bpa)
     _add_engine_argument(compare_bpa)
+    _add_trials_per_task_argument(compare_bpa)
     compare_bpa.set_defaults(handler=_cmd_compare_bpa)
 
     overhead = subparsers.add_parser("overhead", help="Section 5.3.2 overhead")
@@ -751,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(batch)
     _add_runner_arguments(batch)
     _add_engine_argument(batch)
+    _add_trials_per_task_argument(batch)
     batch.add_argument(
         "--output", type=str, default=None, help="also archive results as JSON"
     )

@@ -31,16 +31,21 @@ import numpy as np
 
 from repro.core.allocation import AllocationPlan, plan_allocation
 from repro.core.mapping import LineMappingTable, RegionMappingTable
+from repro.device.errors import ConfigurationError
+from repro.endurance.emap import EnduranceMap
 from repro.sparing.base import (
     BATCH_FAIL,
     BATCH_REPLACE,
+    BatchedSchemeState,
     BatchOutcome,
     FailDevice,
+    RawBatchOutcome,
     Replacement,
     ReplaceWith,
     SchemeIntegrityError,
     SpareScheme,
 )
+from repro.util.sorting import stable_value_argsort
 from repro.util.validation import require_fraction
 
 #: Slot backing states (array codes).
@@ -79,6 +84,10 @@ class MaxWE(SpareScheme):
     """
 
     name = "max-we"
+
+    #: Max-WE never retires a slot: every death is answered by an SWR
+    #: failover, a pool rescue, or device failure.
+    ensemble_never_removes = True
 
     def __init__(
         self,
@@ -500,3 +509,319 @@ class MaxWE(SpareScheme):
             f"Max-WE (p={self.spare_fraction:.0%}, SWRs={self._swr_fraction:.0%}, "
             f"selection={self._spare_selection}, matching={self._matching})"
         )
+
+    # ------------------------------------------------------------------
+    # Ensemble stacking
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def make_batched_state(
+        cls,
+        schemes: Sequence[SpareScheme],
+        emaps: Sequence[EnduranceMap],
+    ) -> Optional[BatchedSchemeState]:
+        """Stack the trials' Max-WE bookkeeping into cross-trial tensors.
+
+        Only the paper's deterministic configuration is stacked:
+        ``weak-priority`` selection with ``weak-strong`` matching (no
+        allocation randomness), identical parameters across members, and
+        identical device geometry.  Anything else falls back to per-trial
+        instances, which stay bit-identical by construction.
+        """
+        if not schemes:
+            return None
+        first = schemes[0]
+        if type(first) is not MaxWE or not isinstance(first, MaxWE):
+            return None
+        if (
+            first._spare_selection != "weak-priority"
+            or first._matching != "weak-strong"
+            or first._region_metric not in ("min", "mean", "max")
+        ):
+            return None
+        for scheme in schemes:
+            if type(scheme) is not MaxWE:
+                return None
+            if (
+                scheme.spare_fraction != first.spare_fraction
+                or scheme._swr_fraction != first._swr_fraction
+                or scheme._spare_selection != first._spare_selection
+                or scheme._matching != first._matching
+                or scheme._rwr_fallback != first._rwr_fallback
+                or scheme._region_metric != first._region_metric
+            ):
+                return None
+        geometry = (emaps[0].regions, emaps[0].lines_per_region)
+        if any((e.regions, e.lines_per_region) != geometry for e in emaps):
+            return None
+        return MaxWEStackedState(schemes, emaps)
+
+
+def _stable_rank_prefix(values: np.ndarray, need: int) -> np.ndarray:
+    """First ``need`` entries of ``np.argsort(values, kind="stable")``.
+
+    A full stable argsort costs ``O(n log n)`` over all ``n`` regions;
+    the allocation plan only consumes the weakest ``need`` of them.  An
+    ``np.partition`` finds the boundary value in ``O(n)``, the prefix is
+    gathered by value, and ties *at* the boundary are resolved exactly as
+    the stable sort would -- ascending index -- because ``flatnonzero``
+    emits indices in ascending order and the final stable sort of the
+    gathered values keeps equal values in gather order.
+    """
+    n = values.size
+    if need <= 0:
+        return np.empty(0, dtype=np.intp)
+    if need >= n:
+        return np.argsort(values, kind="stable")
+    boundary = np.partition(values, need - 1)[need - 1]
+    head = np.flatnonzero(values < boundary)
+    ties = np.flatnonzero(values == boundary)[: need - head.size]
+    prefix = np.concatenate([head, ties])
+    order = stable_value_argsort(values[prefix])
+    return prefix[order]
+
+
+class MaxWEStackedState(BatchedSchemeState):
+    """Trial-stacked Max-WE state for the ``fluid-ensemble`` engine.
+
+    Every trial's slot states, SRA lookup, and allocation-ordered pool
+    live as rows of ``(trials, ...)`` tensors, built by one pass per
+    trial that skips every ledger the kernel never reads (RMT/LMT,
+    original-line provenance, eager backing arrays).  Decisions are
+    bit-identical to per-trial :class:`MaxWE` instances because
+
+    * the weak-priority / weak-strong plan is a pure function of the
+      endurance map -- :func:`_stable_rank_prefix` reproduces the first
+      ``2*swr + additional`` entries of the stable region ranking that
+      :meth:`EnduranceMap.rank_regions` produces (both break ties by
+      ascending region id), which is all the plan consumes, and the
+      paired-slice identities ``swr_paired == ranking[:k]`` /
+      ``rwr_paired == ranking[k:2k][::-1]`` hold because a stable argsort
+      of an already-ascending slice is the identity permutation;
+    * :meth:`replace_batch` is a line-for-line port of
+      :meth:`MaxWE.replace_batch` minus the RMT/LMT ledgers, which no
+      replacement decision reads (the SWR failover consults only the SRA
+      lookup and slot-state codes, and the LMT capacity equals the pool
+      size so its overflow check cannot fire before pool exhaustion
+      truncates the batch; see :mod:`repro.core.mapping`).
+
+    The ensemble engine only selects this state when paranoia guards are
+    off: the RMT/LMT tables that :meth:`MaxWE.check_integrity` audits are
+    deliberately not maintained here.
+    """
+
+    def __init__(
+        self, schemes: Sequence[MaxWE], emaps: Sequence[EnduranceMap]
+    ) -> None:
+        first = schemes[0]
+        emap = emaps[0]
+        trials = len(schemes)
+        regions = emap.regions
+        per = emap.lines_per_region
+        self._per = per
+        self._rwr_fallback = first._rwr_fallback
+        self._description = first.describe()
+
+        spare_count = int(round(first.spare_fraction * regions))
+        swr_count = int(round(first.swr_fraction * spare_count))
+        additional_count = spare_count - swr_count
+        if 2 * swr_count + additional_count > regions:
+            raise ConfigurationError(
+                f"{swr_count} SWRs need as many RWRs plus {additional_count} "
+                f"additional regions, exceeding the {regions} available"
+            )
+
+        # Trials init one at a time: each trial's arrays fit in cache,
+        # which beats operating on (trials, lines) tensors on every axis,
+        # and only the ranking *prefix* (SWRs + RWRs + additional spares)
+        # is ever consulted -- the working set is just the complement's
+        # membership -- so the full stable argsort collapses to an
+        # argpartition plus a small exact-tie-corrected sort.
+        need = 2 * swr_count + additional_count
+        working_count = regions - swr_count - additional_count
+        pool_size = additional_count * per
+        metric = first._region_metric
+        offsets = np.arange(per, dtype=np.intp)
+        self._offsets = offsets
+
+        self._sra_lookup = np.full((trials, regions), -1, dtype=np.intp)
+        self._working = np.empty((trials, working_count), dtype=np.intp)
+        self._pool_lines = np.empty((trials, pool_size), dtype=np.intp)
+        self._pool_floor = np.empty((trials, pool_size), dtype=float)
+        self._swr_line_floor = np.full(trials, math.inf)
+        working_mask = np.empty(regions, dtype=bool)
+
+        region_buf = np.empty(regions)
+        for t in range(trials):
+            line_endurance = emaps[t].line_endurance
+            grid = line_endurance.reshape(regions, per)
+            # min/max reduce column by column: elementwise min/max is
+            # exact (no rounding), so this equals ``grid.min(axis=1)``
+            # bit for bit while avoiding numpy's slow short-inner-axis
+            # reduction.  ``mean`` keeps the axis reduction -- its
+            # summation order is part of the solo result.
+            if metric == "min" or metric == "max":
+                op = np.minimum if metric == "min" else np.maximum
+                # Tree-reduce the columns pairwise: each level halves the
+                # number of strided passes over the grid, and min/max is
+                # associative without rounding so any tree shape matches.
+                level = [grid[:, column] for column in range(per)]
+                owned = False  # first level holds read-only column views
+                while len(level) > 1:
+                    merged = []
+                    for pair in range(0, len(level) - 1, 2):
+                        if owned:
+                            merged.append(
+                                op(level[pair], level[pair + 1], out=level[pair])
+                            )
+                        else:
+                            merged.append(op(level[pair], level[pair + 1]))
+                    if len(level) % 2:
+                        merged.append(level[-1])
+                    level = merged
+                    # Merged entries are fresh arrays (odd tails stay in
+                    # the tail slot and are only ever read), so in-place
+                    # reuse is safe from here on.
+                    owned = True
+                region_endurance = region_buf
+                region_endurance[:] = level[0]
+            else:
+                region_endurance = grid.mean(axis=1)
+            # EnduranceMap.rank_regions prefix: stable, ties by region id.
+            prefix = _stable_rank_prefix(region_endurance, need)
+            swr = prefix[:swr_count]
+            rwr = prefix[swr_count : 2 * swr_count]
+            additional = prefix[2 * swr_count : need]
+
+            # Weak-strong pairing: sra_lookup[rwr_asc[::-1]] = swr_asc.
+            if swr_count:
+                self._sra_lookup[t, rwr] = swr[::-1]
+
+            # Working regions: ascending complement of SWRs + additional
+            # spares (RWRs stay in service), matching the solo plan.
+            working_mask[:] = True
+            working_mask[swr] = False
+            working_mask[additional] = False
+            self._working[t] = np.flatnonzero(working_mask)
+
+            # Additional pool, strongest-first, consumed via a per-trial
+            # cursor; suffix minima are the batching safety bound.
+            if pool_size:
+                pool_lines = (additional[:, None] * per + offsets).ravel()
+                pool_endurance = line_endurance[pool_lines]
+                order = np.argsort(-pool_endurance, kind="stable")
+                self._pool_lines[t] = pool_lines[order]
+                self._pool_floor[t] = np.minimum.accumulate(
+                    pool_endurance[order][::-1]
+                )[::-1]
+            if swr_count:
+                swr_lines = (swr[:, None] * per + offsets).ravel()
+                self._swr_line_floor[t] = float(line_endurance[swr_lines].min())
+
+        self._pool_pos = np.zeros(trials, dtype=np.intp)
+        self._state = np.zeros((trials, working_count * per), dtype=np.int8)
+        self._rwr_originals_left = np.full(trials, swr_count * per, dtype=np.intp)
+
+    @property
+    def trials(self) -> int:
+        return int(self._state.shape[0])
+
+    @property
+    def never_removes(self) -> bool:
+        return True
+
+    def backing(self, trial: int) -> np.ndarray:
+        # Built on demand: the broadcasted product is already a fresh
+        # array the caller owns, so nothing is stored or copied up front.
+        working = self._working[trial]
+        return (working[:, None] * self._per + self._offsets).reshape(-1)
+
+    def slots(self, trial: int) -> int:
+        return int(self._state.shape[1])
+
+    def min_user_slots(self, trial: int) -> int:
+        # Max-WE never retires slots; every working line stays addressable.
+        return int(self._state.shape[1])
+
+    def replace_batch(
+        self, trial: int, slots: np.ndarray, dead_lines: np.ndarray
+    ) -> RawBatchOutcome:
+        per = self._per
+        state_row = self._state[trial]
+        states = state_row[slots]
+        regions, offsets = np.divmod(dead_lines, per)
+        # Row view first: 1-D fancy indexing skips numpy's general
+        # broadcast machinery for the scalar trial index.
+        sra = self._sra_lookup[trial][regions]
+        swr_mask = (states == _ORIGINAL) & (sra >= 0)
+
+        fail_reason: Optional[str] = None
+        count = slots.size
+        if not self._rwr_fallback:
+            strict = np.flatnonzero(states == _SWR_REPLACED)
+            if strict.size:
+                count = int(strict[0]) + 1
+                fail_reason = (
+                    f"SWR replacement line {int(dead_lines[strict[0]])} worn out; "
+                    "region-mapped slots have no further rescue"
+                )
+
+        if fail_reason is None and count == slots.size:
+            rescue_positions = np.flatnonzero(~swr_mask)
+        else:
+            rescue_mask = ~swr_mask
+            rescue_mask[count:] = False
+            if fail_reason is not None:
+                rescue_mask[count - 1] = False
+            rescue_positions = np.flatnonzero(rescue_mask)
+        available = int(self._pool_lines.shape[1] - self._pool_pos[trial])
+        if rescue_positions.size > available:
+            count = int(rescue_positions[available]) + 1
+            fail_reason = _POOL_EXHAUSTED
+            rescue_positions = rescue_positions[:available]
+
+        slots = slots[:count]
+        swr_mask = swr_mask[:count]
+        actions = np.full(count, BATCH_REPLACE, dtype=np.int8)
+        lines = np.full(count, -1, dtype=np.intp)
+        if fail_reason is not None:
+            actions[count - 1] = BATCH_FAIL
+
+        swr_positions = np.flatnonzero(swr_mask)
+        if swr_positions.size:
+            lines[swr_positions] = sra[swr_positions] * per + offsets[swr_positions]
+            state_row[slots[swr_positions]] = _SWR_REPLACED
+            self._rwr_originals_left[trial] -= swr_positions.size
+
+        if rescue_positions.size:
+            pos = int(self._pool_pos[trial])
+            taken = self._pool_lines[trial, pos : pos + rescue_positions.size]
+            self._pool_pos[trial] = pos + rescue_positions.size
+            lines[rescue_positions] = taken
+            state_row[slots[rescue_positions]] = _LMT_REPLACED
+
+        return actions, lines, _NO_WEAR, fail_reason
+
+    def replacement_extra_floor(self, trial: int) -> float:
+        floor = math.inf
+        pos = int(self._pool_pos[trial])
+        if pos < self._pool_lines.shape[1]:
+            floor = float(self._pool_floor[trial, pos])
+        if self._rwr_originals_left[trial] > 0:
+            floor = min(floor, float(self._swr_line_floor[trial]))
+        return floor
+
+    def replacement_capacity(self, trial: int) -> int:
+        # Each SWR failover consumes one paired spare line and each pool
+        # rescue one pool line, so their sum bounds future replacements.
+        return int(self._rwr_originals_left[trial]) + int(
+            self._pool_lines.shape[1] - self._pool_pos[trial]
+        )
+
+    def describe(self, trial: int) -> str:
+        return self._description
+
+
+#: Shared zero-length wear array: Max-WE never extends budgets, so the
+#: engine never indexes the wear component of its raw outcomes.
+_NO_WEAR = np.empty(0, dtype=float)

@@ -209,6 +209,7 @@ def run_batch(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    trials_per_task: Optional[int] = None,
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -242,6 +243,11 @@ def run_batch(
         State-integrity verification knobs applied to every run (see
         :mod:`repro.verify.invariants`); results are bit-identical
         across levels.
+    trials_per_task:
+        Runs per ensemble chunk when ``engine="fluid-ensemble"``: chunked
+        runs advance together in one kernel pass while every result stays
+        bit-identical to its per-task dispatch.  ``None`` auto-sizes; see
+        :class:`~repro.sim.runner.SimRunner`.
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -251,7 +257,12 @@ def run_batch(
         for spec in specs
     ]
     runner = SimRunner(
-        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint, metrics=metrics
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        metrics=metrics,
+        trials_per_task=trials_per_task,
     )
     results = runner.run(
         [

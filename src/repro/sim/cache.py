@@ -32,8 +32,11 @@ from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.result import SimulationResult
 
 #: Bump to invalidate every previously cached result (schema or engine
-#: numerics change).
-CACHE_SCHEMA_VERSION: int = 3
+#: numerics change).  v4: the ``fluid-ensemble`` engine landed and task
+#: payloads grew an engine namespace that older readers would misparse,
+#: so v3 entries must read as plain misses (never quarantined -- they
+#: are valid entries of an old key space, not corrupt bytes).
+CACHE_SCHEMA_VERSION: int = 4
 
 #: Default cache directory (overridable via the ``REPRO_CACHE_DIR``
 #: environment variable or the ``root`` constructor argument).

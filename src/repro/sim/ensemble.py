@@ -1,0 +1,853 @@
+"""The trial-stacked ``fluid-ensemble`` lifetime engine.
+
+``simulate_lifetime`` runs one device; a Monte-Carlo study runs hundreds
+of statistically independent replicas whose per-run cost is dominated by
+dispatch and initialization, not kernel math (see BENCH_engine.json).
+This engine amortizes that overhead by advancing ``T`` trials through
+one engine invocation:
+
+* **Stacked scheme state** -- per-trial sparing bookkeeping lives in
+  ``(trials, ...)`` tensors behind the
+  :class:`~repro.sparing.base.BatchedSchemeState` protocol.  Eligible
+  schemes (Max-WE in the paper configuration) build all ``T`` allocation
+  plans with one batch of cross-trial array operations; everything else
+  falls back to real per-trial instances
+  (:class:`~repro.sparing.base.FallbackSchemeState`), which is always
+  correct, just without the stacked-init speedup.
+* **Shared spectral quantities** -- the wear-weight ``math.fsum`` and
+  ``w_max`` are computed once per distinct weight vector and reused
+  across trials (identical inputs give identical floats, so sharing is
+  bit-safe).
+* **Value-partition epoch selection** -- when a trial's scheme promises
+  it never removes slots (:attr:`SpareScheme.ensemble_never_removes`)
+  and every slot is wear-prone, each slot's death time stays finite
+  until the trial's terminal failure.  The solo kernel's
+  candidates/argpartition/trim/prefix pipeline then reduces to a value
+  partition plus one comparison sweep (:func:`_fast_epoch`), selecting
+  *exactly* the same epoch at a fraction of the cost.
+
+Each trial's epoch loop is otherwise a line-for-line port of the solo
+``fluid-batched`` kernel operating on that trial's row: same
+``BATCH_LIMIT`` windows, same chronologically-safe prefix from a floor
+fetched once before the loop, same truncation and accounting order.
+Results therefore split back into per-trial
+:class:`~repro.sim.result.SimulationResult` objects bit-identical to
+solo ``fluid-batched`` runs of the same seeds (only ``metadata["engine"]``
+differs), which the differential tests pin.
+
+Trials that die early simply stop: advancement is per-trial over the
+stacked state, so a trial failing in epoch 0 contributes no further
+work.  Paranoia guards are supported through the fallback scheme state
+(one :class:`~repro.verify.invariants.EngineGuard` per trial, views
+tagged with the trial index); ``shadow_sample > 0`` delegates each
+member to the solo engine so the audit machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import PROFILE_UNIFORM, AttackModel
+from repro.device.faults import FaultModel
+from repro.endurance.emap import EnduranceMap
+from repro.obs.metrics import MetricsRegistry, maybe_span
+from repro.sim.faults import FaultInjector, active_injector, active_task_key
+from repro.sim.result import SimulationResult, TimelineEvent
+from repro.sparing.base import (
+    BATCH_EXTEND,
+    BATCH_FAIL,
+    BATCH_REMOVE,
+    BATCH_REPLACE,
+    BatchedSchemeState,
+    FallbackSchemeState,
+    SpareScheme,
+)
+from repro.util.rng import RandomState, derive_rng
+from repro.verify.invariants import EngineGuard, InvariantViolation, normalize_paranoia
+from repro.verify.snapshot import write_violation_bundle
+from repro.wearlevel.base import WearLeveler
+from repro.wearlevel.none import NoWearLeveling
+
+#: The engine name this module implements.
+ENGINE_NAME = "fluid-ensemble"
+
+#: Shared empty index array for the no-removal fast path.
+_EMPTY_POSITIONS = np.empty(0, dtype=np.intp)
+
+
+@dataclass
+class EnsembleMember:
+    """One trial of an ensemble: a full device/attack/defence combination.
+
+    Components must be fresh per member (schemes and wear-levelers are
+    stateful); ``rng`` is the member's master seed, forked exactly as the
+    solo engine forks it.
+    """
+
+    emap: EnduranceMap
+    attack: AttackModel
+    sparing: SpareScheme
+    wearleveler: Optional[WearLeveler] = None
+    fault_model: Optional[FaultModel] = None
+    rng: RandomState = None
+
+
+def _fast_epoch_work(
+    row: np.ndarray,
+    floor: float,
+    w_max: float,
+    sentinel: float,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Work-set epoch selection on the candidate *row* itself.
+
+    ``row`` holds the candidate slots' death times (in ascending-slot
+    order) and the return value indexes into it: ``(positions, times)``
+    sorted by ``(time, position)``.  Callers map positions to global
+    slots -- or scatter through them directly when they keep the row as
+    the live copy of the candidates' state.  Returns ``None`` when the
+    work-set guarantee slipped (epoch bound at or above the smallest
+    excluded time); see :func:`_fast_epoch` for the equivalence argument.
+    """
+    from repro.sim.lifetime import BATCH_LIMIT
+
+    if math.isinf(floor):
+        t_max = np.partition(row, BATCH_LIMIT - 1)[BATCH_LIMIT - 1]
+        if not t_max < sentinel:
+            return None
+        pos = np.flatnonzero(row < t_max)
+        if not pos.size:
+            pos = np.flatnonzero(row == t_max)
+    else:
+        t_min = float(row.min())
+        bound = t_min + floor / w_max
+        if not bound <= sentinel:
+            return None
+        pos = np.flatnonzero(row < bound)
+        if pos.size >= BATCH_LIMIT:
+            t_max = np.partition(row, BATCH_LIMIT - 1)[BATCH_LIMIT - 1]
+            if not t_max < sentinel:
+                return None
+            pos = np.flatnonzero(row < t_max)
+            if not pos.size:
+                pos = np.flatnonzero(row == t_max)
+        elif not pos.size:
+            if not t_min < sentinel:
+                return None
+            pos = np.flatnonzero(row == t_min)[:1]
+    times = row[pos]
+    # Death times tie heavily (lines of a region share one endurance), so
+    # the one-shot stable sort beats a detect-ties-then-resort scheme.
+    order = np.argsort(times, kind="stable")
+    return pos[order], times[order]
+
+
+def _fast_epoch(
+    current_death: np.ndarray,
+    floor: float,
+    w_max: float,
+    work: Optional[np.ndarray] = None,
+    sentinel: float = math.inf,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Select one epoch assuming every slot is finite and wear-prone.
+
+    Equivalent to the solo kernel's selection pipeline -- argpartition of
+    the ``BATCH_LIMIT`` nearest deaths, trim to a complete time-prefix,
+    sort by ``(time, slot)``, cut at the chronologically safe bound --
+    but driven by death-time *values*:
+
+    * With ``c`` = the number of times strictly below the safety bound,
+      ``c < BATCH_LIMIT`` implies the bound is at or below the selection's
+      max time, so the epoch is exactly ``{time < bound}`` and the
+      partition is skipped entirely (the common case: epochs are much
+      smaller than ``BATCH_LIMIT``).
+    * Otherwise the ``BATCH_LIMIT``-th smallest value caps the epoch just
+      as the solo trim does, with the same full-tie-class fallback.
+
+    Epoch content only ever depends on time values (the solo trim makes
+    it independent of argpartition tie-breaking), so this selection is
+    bit-identical.  Returns ``(sel, times)`` sorted by ``(time, slot)``.
+
+    ``work`` (with its ``sentinel``) restricts the scans to a candidate
+    subset: an ascending array of slot ids guaranteed to hold the
+    smallest death times, every excluded slot's time being >= sentinel
+    (see the prefilter in :func:`_advance_trial`).  Selection criteria
+    are strict ``<`` comparisons against bounds verified to sit at or
+    below the sentinel, so the subset sees exactly the full row's epoch;
+    when that verification fails (bound above the sentinel, an unbounded
+    epoch, or a tie class touching the sentinel) the function returns
+    ``None`` and the caller re-runs the selection on the full row.
+    """
+    from repro.sim.lifetime import BATCH_LIMIT
+
+    if work is not None:
+        epoch = _fast_epoch_work(current_death[work], floor, w_max, sentinel)
+        if epoch is None:
+            return None
+        pos, times = epoch
+        # ``work`` ascending keeps work[pos] in the ascending-slot order
+        # the stable time sort of the helper relied on.
+        return work[pos], times
+
+    over = current_death.size > BATCH_LIMIT
+    if math.isinf(floor):
+        if over:
+            t_max = np.partition(current_death, BATCH_LIMIT - 1)[BATCH_LIMIT - 1]
+            sel = np.flatnonzero(current_death < t_max)
+            if not sel.size:
+                sel = np.flatnonzero(current_death == t_max)
+        else:
+            sel = np.arange(current_death.size, dtype=np.intp)
+    else:
+        bound = float(current_death.min()) + floor / w_max
+        sel = np.flatnonzero(current_death < bound)
+        if over and sel.size >= BATCH_LIMIT:
+            t_max = np.partition(current_death, BATCH_LIMIT - 1)[BATCH_LIMIT - 1]
+            sel = np.flatnonzero(current_death < t_max)
+            if not sel.size:
+                sel = np.flatnonzero(current_death == t_max)
+        elif not sel.size:
+            # Degenerate floor == 0.0: the solo prefix clamp
+            # (max(prefix, 1)) keeps exactly the earliest death, ties
+            # broken by slot id.
+            sel = np.flatnonzero(current_death == current_death.min())[:1]
+    times = current_death[sel]
+    # flatnonzero/arange yield ascending slots, so a stable time sort
+    # equals the solo kernel's lexsort((sel, times)).  Ties are common
+    # (region-mates share an endurance), so sort stably outright.
+    order = np.argsort(times, kind="stable")
+    return sel[order], times[order]
+
+
+def _delegate_with_shadow(
+    member: EnsembleMember,
+    *,
+    record_timeline: bool,
+    metrics: Optional[MetricsRegistry],
+    paranoia: str,
+    shadow_sample: float,
+) -> SimulationResult:
+    """Run one member on the solo engine so shadow audits apply unchanged."""
+    from repro.sim.lifetime import simulate_lifetime
+
+    result = simulate_lifetime(
+        member.emap,
+        member.attack,
+        member.sparing,
+        member.wearleveler,
+        member.fault_model,
+        member.rng,
+        engine="fluid-batched",
+        record_timeline=record_timeline,
+        metrics=metrics,
+        paranoia=paranoia,
+        shadow_sample=shadow_sample,
+    )
+    metadata = dict(result.metadata)
+    metadata["engine"] = ENGINE_NAME
+    return SimulationResult(
+        writes_served=result.writes_served,
+        total_endurance=result.total_endurance,
+        deaths=result.deaths,
+        replacements=result.replacements,
+        failure_reason=result.failure_reason,
+        metadata=metadata,
+        timeline=result.timeline,
+    )
+
+
+def simulate_ensemble(
+    members: Sequence[EnsembleMember],
+    *,
+    record_timeline: bool = False,
+    max_timeline_events: int = 100_000,
+    metrics: Optional[MetricsRegistry] = None,
+    paranoia: str = "off",
+    shadow_sample: float = 0.0,
+) -> List[SimulationResult]:
+    """Advance every member to device failure; one result per member.
+
+    Results are index-aligned with ``members`` and bit-identical to solo
+    ``fluid-batched`` runs of the same members (``metadata["engine"]``
+    aside), independent of how members are grouped into ensembles.
+    """
+    if not members:
+        raise ValueError("an ensemble needs at least one member")
+    paranoia = normalize_paranoia(paranoia)
+    shadow_sample = float(shadow_sample)
+    if not 0.0 <= shadow_sample <= 1.0:
+        raise ValueError(f"shadow_sample must be in [0, 1], got {shadow_sample!r}")
+    if shadow_sample > 0.0:
+        for member in members:
+            if not isinstance(member.rng, (int, np.integer)):
+                raise ValueError(
+                    "shadow audits require integer rng seeds: the audit "
+                    "re-executes each member from scratch, which a stateful "
+                    "Generator (or None) cannot reproduce deterministically"
+                )
+        return [
+            _delegate_with_shadow(
+                member,
+                record_timeline=record_timeline,
+                metrics=metrics,
+                paranoia=paranoia,
+                shadow_sample=shadow_sample,
+            )
+            for member in members
+        ]
+
+    schemes = [member.sparing for member in members]
+    emaps = [member.emap for member in members]
+    with maybe_span(metrics, "sim/init"):
+        # Stacked scheme state skips the RMT/LMT ledgers the guards
+        # audit, so it is only eligible with paranoia off.
+        state: Optional[BatchedSchemeState] = None
+        if paranoia == "off":
+            state = type(schemes[0]).make_batched_state(schemes, emaps)
+        if state is None:
+            for member in members:
+                member.sparing.initialize(
+                    member.emap, derive_rng(member.rng, "sparing")
+                )
+            state = FallbackSchemeState(schemes)
+
+    injector = active_injector()
+    corruptor: Optional[FaultInjector] = (
+        injector
+        if injector is not None and injector.spec.corrupt_state > 0.0
+        else None
+    )
+    task_key = active_task_key() if corruptor is not None else ""
+
+    # Distinct weight vectors are rare (one per attack/wear-level config),
+    # so fsum and w_max are shared across trials with equal weights; a
+    # short cache keeps the comparison cost linear for mixed ensembles.
+    weight_cache: List[Tuple[np.ndarray, float, float]] = []
+    # NoWearLeveling's uniform-profile distribution is a pure function of
+    # the slot count (np.full(slots, 1/slots), eta 1, no rng use), so the
+    # first such member's build serves every later member with the same
+    # count -- skipping attach(), wear_weights() and the element-wise
+    # weight-cache comparison entirely.  Keyed by slot count.
+    uniform_cache: dict = {}
+    from repro.sim.lifetime import accounting_tolerance
+
+    results: List[SimulationResult] = []
+    for index, member in enumerate(members):
+        with maybe_span(metrics, "sim/init"):
+            fault_model = (
+                member.fault_model if member.fault_model is not None else FaultModel()
+            )
+            endurance = fault_model.effective_endurance(member.emap.line_endurance)
+            total_endurance = float(endurance.sum())
+
+            backing = state.backing(index)
+            slots = backing.size
+            min_user_slots = min(state.min_user_slots(index), slots)
+
+            budgets = endurance[backing]
+            if budgets.dtype != np.float64:
+                budgets = budgets.astype(float)
+            profile = member.attack.profile(slots)
+
+            # Generator rngs are excluded from the cached path: a hit
+            # would skip attach()'s derive_rng, which for a Generator
+            # consumes parent state that later members observe.  Integer
+            # seeds derive purely, so skipping the draw changes nothing.
+            cache_eligible = (
+                member.wearleveler is None
+                and profile.kind == PROFILE_UNIFORM
+                and not isinstance(member.rng, np.random.Generator)
+            )
+            w_scalar: Optional[float] = None
+            cached_uniform = uniform_cache.get(slots) if cache_eligible else None
+            if cached_uniform is not None:
+                # attach() is skipped, so its endurance validation is kept.
+                if not budgets.min() > 0:
+                    raise ValueError("slot endurances must be strictly positive")
+                weights, eta, active_weight, w_max, wl_desc = cached_uniform
+                all_prone = True  # constant 1/slots weights
+                w_scalar = float(weights[0])
+            else:
+                wl = (
+                    member.wearleveler
+                    if member.wearleveler is not None
+                    else NoWearLeveling()
+                )
+                wl.attach(budgets, derive_rng(member.rng, "wearlevel"))
+                distribution = wl.wear_weights(profile)
+                weights = np.asarray(distribution.weights, dtype=float)
+                if weights.size != slots:
+                    raise ValueError(
+                        f"wear-leveler produced {weights.size} weights "
+                        f"for {slots} slots"
+                    )
+                eta = distribution.useful_fraction
+
+                # With every slot wear-prone the masked assignment
+                # collapses to one full divide -- both branches produce
+                # the solo values exactly.  (``min() > 0`` is the
+                # allocation-free spelling of ``(weights > 0).all()``;
+                # weights are finite by contract.)
+                all_prone = slots > 0 and bool(weights.min() > 0.0)
+
+                active_weight = None
+                w_max = 0.0
+                for cached, cached_sum, cached_max in weight_cache:
+                    if cached.shape == weights.shape and np.array_equal(
+                        cached, weights
+                    ):
+                        active_weight, w_max = cached_sum, cached_max
+                        break
+                if active_weight is None:
+                    active_weight = math.fsum(weights)
+                    w_max = float(weights.max()) if weights.size else 0.0
+                    if len(weight_cache) < 8:
+                        weight_cache.append((weights, active_weight, w_max))
+                wl_desc = wl.describe()
+                if cache_eligible and all_prone:
+                    uniform_cache[slots] = (
+                        weights, eta, active_weight, w_max, wl_desc
+                    )
+
+            if all_prone:
+                # Dividing by the scalar (when the weights are constant)
+                # yields the same elementwise quotients bit for bit; on
+                # the cached path nothing else holds ``budgets`` (attach
+                # was skipped), so the divide reuses its buffer.
+                if w_scalar is not None:
+                    current_death = np.divide(budgets, w_scalar, out=budgets)
+                else:
+                    current_death = budgets / weights
+            else:
+                prone = weights > 0.0
+                current_death = np.full(slots, math.inf)
+                current_death[prone] = budgets[prone] / weights[prone]
+
+            attack_desc = member.attack.describe()
+            sparing_desc = state.describe(index)
+            fault_desc = fault_model.describe()
+
+            guard: Optional[EngineGuard] = None
+            if paranoia != "off":
+                scheme = state.scheme(index)
+                assert scheme is not None  # guards force the fallback state
+                guard = EngineGuard(
+                    paranoia,
+                    sparing=scheme,
+                    endurance=endurance,
+                    weights=weights,
+                    eta=eta,
+                    total_endurance=total_endurance,
+                    tolerance=accounting_tolerance,
+                    metrics=metrics,
+                    repro={
+                        "seed": repr(member.rng),
+                        "engine": ENGINE_NAME,
+                        "attack": attack_desc,
+                        "sparing": sparing_desc,
+                        "wearleveler": wl_desc,
+                        "paranoia": paranoia,
+                        "shadow_sample": shadow_sample,
+                        "trial": index,
+                    },
+                )
+                guard.start(backing)
+
+            integrity_key = ""
+            if corruptor is not None:
+                identity = "|".join(
+                    (attack_desc, sparing_desc, wl_desc, repr(member.rng), ENGINE_NAME)
+                )
+                integrity_key = (
+                    f"{task_key}#trial={index}" if task_key else identity
+                )
+
+            # The fast selection needs every death time finite for the
+            # trial's whole life: no removals (scheme promise), every
+            # slot wear-prone, and no state corruption in flight.
+            fast = (
+                state.never_removes
+                and corruptor is None
+                and guard is None
+                and slots > 0
+                and all_prone
+            )
+
+        with maybe_span(metrics, "sim/kernel"):
+            try:
+                served, deaths, replacements, failure_reason, timeline, epochs = (
+                    _advance_trial(
+                        state,
+                        index,
+                        endurance=endurance,
+                        backing=backing,
+                        weights=weights,
+                        eta=eta,
+                        current_death=current_death,
+                        min_user_slots=min_user_slots,
+                        active_weight=active_weight,
+                        w_max=w_max,
+                        guard=guard,
+                        corruptor=corruptor,
+                        integrity_key=integrity_key,
+                        total_endurance=total_endurance,
+                        record_timeline=record_timeline,
+                        max_timeline_events=max_timeline_events,
+                        fast=fast,
+                        w_scalar=w_scalar,
+                    )
+                )
+            except InvariantViolation as violation:
+                write_violation_bundle(violation)
+                raise
+
+        if metrics is not None:
+            metrics.inc("sim.runs")
+            metrics.inc("sim.deaths", deaths)
+            metrics.inc("sim.replacements", replacements)
+            metrics.inc("sim.epochs", epochs)
+            metrics.observe("sim.deaths_per_run", deaths)
+
+        metadata = {
+            "attack": attack_desc,
+            "wearleveler": wl_desc,
+            "sparing": sparing_desc,
+            "fault_model": fault_desc,
+            "slots": slots,
+            "engine": ENGINE_NAME,
+            "epochs": epochs,
+        }
+        results.append(
+            SimulationResult(
+                writes_served=served,
+                total_endurance=total_endurance,
+                deaths=deaths,
+                replacements=replacements,
+                failure_reason=failure_reason,
+                metadata=metadata,
+                timeline=tuple(timeline),
+            )
+        )
+    if metrics is not None:
+        metrics.inc("sim.ensembles")
+    return results
+
+def _advance_trial(
+    state: BatchedSchemeState,
+    trial: int,
+    *,
+    endurance: np.ndarray,
+    backing: np.ndarray,
+    weights: np.ndarray,
+    eta: float,
+    current_death: np.ndarray,
+    min_user_slots: int,
+    active_weight: float,
+    w_max: float,
+    guard: Optional[EngineGuard],
+    corruptor: Optional[FaultInjector],
+    integrity_key: str,
+    total_endurance: float,
+    record_timeline: bool,
+    max_timeline_events: int,
+    fast: bool,
+    w_scalar: Optional[float] = None,
+) -> Tuple[float, int, int, str, List[TimelineEvent], int]:
+    """Advance one trial to device failure (solo epoch-kernel port).
+
+    Identical structure to the solo ``fluid-batched`` loop: the floor is
+    fetched once before the loop and never refreshed, epochs are cut and
+    truncated the same way, and every accounting expression keeps the
+    solo evaluation order, so death/replacement counts and the served
+    integral match bit for bit.  ``fast`` switches only the epoch
+    *selection* to :func:`_fast_epoch` (proven equivalent).  ``w_scalar``
+    may be set when every entry of ``weights`` equals it; scalar
+    divisions then replace the elementwise gathers bit-identically.
+    """
+    from repro.sim.lifetime import (
+        BATCH_LIMIT,
+        _ACTION_NAMES,
+        _DEGENERATE_REASON,
+        _EXHAUSTED_REASON,
+        _apply_state_corruption,
+    )
+
+    served = 0.0
+    v_now = 0.0
+    deaths = 0
+    rounds = 0
+    replacements = 0
+    epochs = 0
+    live_count = backing.size
+    failure_reason = _DEGENERATE_REASON
+    timeline: List[TimelineEvent] = []
+    floor = state.replacement_extra_floor(trial)
+
+    # Candidate prefilter (fast path only).  A replacement's new death
+    # time always lands at or above the epoch bound that selected it --
+    # that is exactly why epoch grouping is chronologically safe -- so
+    # with at most ``capacity`` replacements ever granted and at most
+    # ``BATCH_LIMIT`` slots selected per epoch, every epoch draws from
+    # the ``capacity + BATCH_LIMIT`` smallest initial death times.
+    # Restricting the per-epoch scans to that work-set is exact while
+    # each epoch's bound stays at or below the smallest excluded time
+    # (``_fast_epoch`` checks, and the trial falls back to full-row
+    # scans if the guarantee ever slips).
+    work: Optional[np.ndarray] = None
+    work_sentinel = math.inf
+    # Compact mode: with a work-set in place and nobody auditing the full
+    # arrays mid-loop, the candidates' death times, backing lines and
+    # weights are copied into dense rows that fit the cache, every
+    # per-epoch scan and scatter runs on those rows (same float values,
+    # compact layout, so decisions and accounting are unchanged), and the
+    # rows are scattered back into the full arrays when the trial ends or
+    # falls back to full-row scans.
+    cd_work: Optional[np.ndarray] = None
+    bk_work: Optional[np.ndarray] = None
+    w_work: Optional[np.ndarray] = None
+    if fast:
+        capacity = state.replacement_capacity(trial)
+        if capacity is not None:
+            limit = int(capacity) + BATCH_LIMIT + 1
+            if limit < current_death.size:
+                # Value-partition: every slot strictly below the
+                # (limit+1)-th smallest death time, ascending (and so
+                # already sorted), every excluded time >= the sentinel.
+                # Ties at the threshold land outside the set, so require
+                # enough candidates for the in-set partitions.
+                threshold = float(np.partition(current_death, limit)[limit])
+                candidates = np.flatnonzero(current_death < threshold)
+                if candidates.size > BATCH_LIMIT:
+                    work = candidates
+                    work_sentinel = threshold
+                    if guard is None and corruptor is None:
+                        cd_work = current_death[work]
+                        bk_work = backing[work]
+                        if w_scalar is None:
+                            w_work = weights[work]
+
+    def view():
+        assert guard is not None
+        return guard.make_view(
+            served=served,
+            v_now=v_now,
+            deaths=deaths,
+            backing=backing,
+            current_death=current_death,
+            trial=trial,
+        )
+
+    while True:
+        rounds += 1
+        if corruptor is not None:
+            kind = corruptor.corrupt_state(integrity_key, rounds)
+            if kind is not None:
+                served = _apply_state_corruption(
+                    kind, served, backing, current_death, total_endurance
+                )
+        if guard is not None:
+            guard.on_round(view)
+
+        if fast:
+            pos = None
+            epoch = None
+            if work is not None:
+                if cd_work is not None:
+                    found = _fast_epoch_work(cd_work, floor, w_max, work_sentinel)
+                    if found is not None:
+                        pos, times = found
+                        epoch = (work[pos], times)
+                else:
+                    epoch = _fast_epoch(
+                        current_death, floor, w_max, work, work_sentinel
+                    )
+                if epoch is None:
+                    # Guarantee slipped: full rows from here on.
+                    if cd_work is not None:
+                        current_death[work] = cd_work
+                        backing[work] = bk_work
+                        cd_work = bk_work = w_work = None
+                    work = None
+            if epoch is None:
+                epoch = _fast_epoch(current_death, floor, w_max)
+            sel, times = epoch
+        else:
+            pos = None
+            candidates = np.flatnonzero(np.isfinite(current_death))
+            if candidates.size == 0:
+                if deaths > 0:
+                    failure_reason = _EXHAUSTED_REASON
+                break
+            if candidates.size > BATCH_LIMIT:
+                nearest = np.argpartition(
+                    current_death[candidates], BATCH_LIMIT - 1
+                )[:BATCH_LIMIT]
+                sel = candidates[nearest]
+                times = current_death[sel]
+                t_max = times.max()
+                strictly_before = times < t_max
+                if strictly_before.any():
+                    sel = sel[strictly_before]
+                    times = times[strictly_before]
+                else:
+                    sel = candidates[current_death[candidates] == t_max]
+                    times = current_death[sel]
+            else:
+                sel = candidates
+                times = current_death[sel]
+            order = np.lexsort((sel, times))
+            sel = sel[order]
+            times = times[order]
+            if floor is None:
+                prefix = 1
+            elif math.isinf(floor):
+                prefix = sel.size
+            else:
+                bound = times[0] + floor / w_max
+                prefix = max(int(np.searchsorted(times, bound, side="left")), 1)
+            sel = sel[:prefix]
+            times = times[:prefix]
+        epochs += 1
+
+        # Fancy index: a copy, safe to keep.  In compact mode the backing
+        # row is the live copy, so read it there.
+        dead_lines = bk_work[pos] if pos is not None else backing[sel]
+        actions, out_lines, out_wear, fail_reason = state.replace_batch(
+            trial, sel, dead_lines
+        )
+        count = int(actions.size)
+
+        # never_removes schemes cannot emit BATCH_REMOVE, so the scan
+        # for removals is skipped outright on the fast path.
+        if fast:
+            removal_positions = _EMPTY_POSITIONS
+        else:
+            removal_positions = np.flatnonzero(actions == BATCH_REMOVE)
+        allowed_removals = live_count - min_user_slots
+        if removal_positions.size > allowed_removals:
+            count = int(removal_positions[allowed_removals]) + 1
+            actions = actions[:count]
+            removal_positions = removal_positions[: allowed_removals + 1]
+            fail_reason = None  # capacity failure preempts a later one
+            capacity_failed = True
+        else:
+            capacity_failed = False
+        sel = sel[:count]
+        times = times[:count]
+        dead_lines = dead_lines[:count]
+        if pos is not None:
+            pos = pos[:count]
+        lines = out_lines[:count]
+        wear = out_wear[:count]
+        deaths += count
+        if guard is not None:
+            guard.record_batch(sel, dead_lines, actions, lines, wear)
+
+        # Served-writes integral; with no removals the per-segment active
+        # weight is constant, and `active_weight - 0.0` is exact, so the
+        # scalar product keeps the solo elementwise rounding.  The manual
+        # difference is the same subtractions ``np.diff(..., prepend=)``
+        # performs, minus its concatenate.
+        dv = np.empty(count)
+        dv[0] = times[0] - v_now
+        if count > 1:
+            np.subtract(times[1:], times[:-1], out=dv[1:])
+        if removal_positions.size:
+            removed_w = np.zeros(count)
+            removed_w[removal_positions] = weights[sel[removal_positions]]
+            drained = np.cumsum(removed_w)
+            seg_active = active_weight - (drained - removed_w)
+            increments = dv * seg_active * eta
+        else:
+            increments = dv * active_weight * eta
+        served_at = served + np.cumsum(increments)
+        served = float(served_at[-1])
+        v_now = float(times[-1])
+        if removal_positions.size:
+            active_weight -= float(drained[-1])
+
+        rep = np.flatnonzero(actions == BATCH_REPLACE)
+        if rep.size:
+            replacements += int(rep.size)
+            if rep.size == count:
+                # All-replace epoch (the Max-WE steady state): the gather
+                # by ``rep`` is the identity, so skip it.
+                rep_slots, rep_lines, rep_times = sel, lines, times
+                rep_pos = pos
+            else:
+                rep_slots = sel[rep]
+                rep_lines = lines[rep]
+                rep_times = times[rep]
+                rep_pos = pos[rep] if pos is not None else None
+            # Constant weight vectors divide by the scalar instead: the
+            # elementwise quotients are bit-identical and the 472 KB
+            # weights row stays untouched.
+            if rep_pos is not None:
+                bk_work[rep_pos] = rep_lines
+                divisor = w_work[rep_pos] if w_scalar is None else w_scalar
+                cd_work[rep_pos] = rep_times + endurance[rep_lines] / divisor
+            else:
+                backing[rep_slots] = rep_lines
+                divisor = weights[rep_slots] if w_scalar is None else w_scalar
+                current_death[rep_slots] = (
+                    rep_times + endurance[rep_lines] / divisor
+                )
+        ext = np.flatnonzero(actions == BATCH_EXTEND)
+        if ext.size:
+            replacements += int(ext.size)
+            if pos is not None:
+                ext_pos = pos[ext]
+                ext_divisor = w_work[ext_pos] if w_scalar is None else w_scalar
+                cd_work[ext_pos] = times[ext] + wear[ext] / ext_divisor
+            else:
+                ext_slots = sel[ext]
+                ext_divisor = (
+                    weights[ext_slots] if w_scalar is None else w_scalar
+                )
+                current_death[ext_slots] = times[ext] + wear[ext] / ext_divisor
+        if removal_positions.size:
+            current_death[sel[removal_positions]] = math.inf
+            live_count -= int(removal_positions.size)
+        if fail_reason is not None:
+            if pos is not None:
+                cd_work[pos[count - 1]] = math.inf
+            else:
+                current_death[sel[count - 1]] = math.inf
+
+        if record_timeline and len(timeline) < max_timeline_events:
+            room = max_timeline_events - len(timeline)
+            for k in range(min(count, room)):
+                action = int(actions[k])
+                timeline.append(
+                    TimelineEvent(
+                        writes_served=float(served_at[k]),
+                        slot=int(sel[k]),
+                        dead_line=int(dead_lines[k]),
+                        action=_ACTION_NAMES[action],
+                        replacement_line=int(lines[k])
+                        if action == BATCH_REPLACE
+                        else None,
+                    )
+                )
+
+        if capacity_failed:
+            failure_reason = (
+                f"capacity degraded below user capacity "
+                f"({live_count} < {min_user_slots} slots)"
+            )
+            break
+        if fail_reason is not None:
+            failure_reason = fail_reason
+            break
+
+    if cd_work is not None:
+        # Publish the compact rows so post-trial consumers of the full
+        # arrays observe exactly the values the loop computed.
+        current_death[work] = cd_work
+        backing[work] = bk_work
+    if guard is not None:
+        guard.final_check(view)
+    return served, deaths, replacements, failure_reason, timeline, epochs

@@ -76,10 +76,11 @@ def _run_tasks(
     policy: Optional[ResiliencePolicy] = None,
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
+    trials_per_task: Optional[int] = None,
 ) -> List[SimulationResult]:
     return SimRunner(
         jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint,
-        metrics=metrics,
+        metrics=metrics, trials_per_task=trials_per_task,
     ).run(tasks)
 
 
@@ -95,6 +96,7 @@ def spare_fraction_sweep(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    trials_per_task: Optional[int] = None,
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -117,7 +119,7 @@ def spare_fraction_sweep(
         )
         for fraction in fractions
     ]
-    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task)
     return list(zip(fractions, results))
 
 
@@ -134,6 +136,7 @@ def swr_fraction_sweep(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    trials_per_task: Optional[int] = None,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
@@ -153,7 +156,7 @@ def swr_fraction_sweep(
         for wl_name in wearlevelers
         for swr_fraction in swr_fractions
     ]
-    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task))
     return {
         wl_name: [(swr_fraction, next(results)) for swr_fraction in swr_fractions]
         for wl_name in wearlevelers
@@ -173,6 +176,7 @@ def bpa_scheme_comparison(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    trials_per_task: Optional[int] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -197,7 +201,7 @@ def bpa_scheme_comparison(
         for sparing_name in sparing_names
         for wl_name in wearlevelers
     ]
-    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task))
     return {
         sparing_name: {wl_name: next(results) for wl_name in wearlevelers}
         for sparing_name in sparing_names
@@ -215,6 +219,7 @@ def uaa_scheme_comparison(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    trials_per_task: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -238,5 +243,5 @@ def uaa_scheme_comparison(
         )
         for name in names
     ]
-    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task)
     return dict(zip(names, results))

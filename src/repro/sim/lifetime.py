@@ -75,7 +75,10 @@ from repro.wearlevel.base import WearLeveler
 from repro.wearlevel.none import NoWearLeveling
 
 #: Engine names accepted by :class:`LifetimeSimulator` and the CLI.
-ENGINES = ("fluid-batched", "fluid-exact")
+#: ``fluid-ensemble`` shares the batched epoch math but advances many
+#: Monte-Carlo trials per invocation (see :mod:`repro.sim.ensemble`);
+#: a single run on it is bit-identical to ``fluid-batched``.
+ENGINES = ("fluid-batched", "fluid-exact", "fluid-ensemble")
 
 #: Historical aliases for engine names.
 _ENGINE_ALIASES = {"fluid": "fluid-exact"}
@@ -281,6 +284,29 @@ class LifetimeSimulator:
         enabled and a predicate fails, or if a sampled shadow audit
         diverges.
         """
+        if self._engine == "fluid-ensemble":
+            # A single run is a one-trial ensemble; the ensemble module
+            # owns guard wiring and shadow delegation for its members.
+            from repro.sim.ensemble import EnsembleMember, simulate_ensemble
+
+            [result] = simulate_ensemble(
+                [
+                    EnsembleMember(
+                        emap=self._emap,
+                        attack=self._attack,
+                        sparing=self._sparing,
+                        wearleveler=self._wl,
+                        fault_model=self._fault_model,
+                        rng=self._rng,
+                    )
+                ],
+                record_timeline=self._record_timeline,
+                max_timeline_events=self._max_timeline_events,
+                metrics=self._metrics,
+                paranoia=self._paranoia,
+                shadow_sample=self._shadow_sample,
+            )
+            return result
         try:
             result = self._run_once()
         except InvariantViolation as violation:

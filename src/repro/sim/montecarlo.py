@@ -96,6 +96,12 @@ class MonteCarloResult:
         )
 
 
+#: Replica seeds are folded into the 31-bit config-seed space below;
+#: :func:`monte_carlo_lifetime` forks them pairwise distinct modulo this
+#: so no two replicas can silently share an endurance map.
+EMAP_SEED_MOD: int = 2**31
+
+
 @dataclass(frozen=True)
 class _ConfigEmapFactory:
     """Default per-replica endurance-map builder (picklable, unlike the
@@ -104,7 +110,7 @@ class _ConfigEmapFactory:
     config: ExperimentConfig
 
     def __call__(self, seed: int) -> EnduranceMap:
-        return self.config.with_(seed=seed % (2**31)).make_emap()
+        return self.config.with_(seed=seed % EMAP_SEED_MOD).make_emap()
 
 
 def monte_carlo_lifetime(
@@ -122,6 +128,8 @@ def monte_carlo_lifetime(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    engine: str = "fluid-batched",
+    trials_per_task: Optional[int] = None,
 ) -> MonteCarloResult:
     """Run ``replicas`` independently seeded lifetime simulations.
 
@@ -157,6 +165,15 @@ def monte_carlo_lifetime(
     paranoia / shadow_sample:
         State-integrity verification knobs applied to every replica (see
         :mod:`repro.verify`); results are bit-identical across levels.
+    engine:
+        Lifetime engine for every replica.  ``"fluid-ensemble"`` advances
+        many replicas per kernel pass (each still bit-identical to its
+        solo ``"fluid-batched"`` run) -- the fast choice for large
+        replica counts.
+    trials_per_task:
+        Replicas per ensemble chunk (``"fluid-ensemble"`` only); ``None``
+        auto-sizes to ``ceil(replicas / jobs)`` so chunking and process
+        parallelism compose.  See :class:`~repro.sim.runner.SimRunner`.
     """
     require_positive_int(replicas, "replicas")
     if confidence not in _Z_SCORES:
@@ -168,7 +185,13 @@ def monte_carlo_lifetime(
     if emap_factory is None:
         emap_factory = _ConfigEmapFactory(config)
 
-    seeds = fork_seeds(config.seed, replicas, "monte-carlo")
+    # Replica seeds are 63-bit but the default emap factory folds them
+    # into the 31-bit config-seed space; two seeds colliding after the
+    # fold would silently simulate the same placement twice, so the fork
+    # guarantees pairwise distinctness modulo the fold.
+    seeds = fork_seeds(
+        config.seed, replicas, "monte-carlo", distinct_mod=EMAP_SEED_MOD
+    )
     tasks = [
         CallableTask(
             attack_factory=attack_factory,
@@ -176,6 +199,7 @@ def monte_carlo_lifetime(
             emap_factory=emap_factory,
             seed=seed,
             wearleveler_factory=wearleveler_factory,
+            engine=engine,
             paranoia=paranoia,
             shadow_sample=shadow_sample,
             label=f"replica-{index}",
@@ -183,7 +207,11 @@ def monte_carlo_lifetime(
         for index, seed in enumerate(seeds)
     ]
     results = SimRunner(
-        jobs=jobs, policy=policy, checkpoint=checkpoint, metrics=metrics
+        jobs=jobs,
+        policy=policy,
+        checkpoint=checkpoint,
+        metrics=metrics,
+        trials_per_task=trials_per_task,
     ).run(tasks)
     lifetimes = np.array([result.normalized_lifetime for result in results])
     return MonteCarloResult(

@@ -39,6 +39,7 @@ the Monte-Carlo driver forks replica seeds.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import hashlib
 import os
@@ -107,6 +108,17 @@ WEARLEVELERS: Tuple[str, ...] = (
 
 #: Below this many uncached tasks a process pool costs more than it saves.
 MIN_PARALLEL_TASKS: int = 2
+
+#: Engine name that opts a task into trial-stacked chunk execution.
+ENSEMBLE_ENGINE: str = "fluid-ensemble"
+
+#: Auto-sized ensemble chunks never exceed this many trials.  Every
+#: member's endurance map stays alive for the chunk's duration, so the
+#: cap bounds peak memory -- and measured throughput at the benchmark
+#: configuration (64k lines) degrades past ~32 trials per chunk as the
+#: chunk's working set outgrows the cache hierarchy, so the cap is also
+#: the empirical sweet spot.  An explicit ``trials_per_task`` overrides.
+MAX_AUTO_CHUNK: int = 32
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +332,7 @@ class CallableTask:
     label: str = ""
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", normalize_engine(self.engine))
         normalize_paranoia(self.paranoia)
         require_fraction(self.shadow_sample, "shadow_sample")
 
@@ -357,6 +370,77 @@ class CallableTask:
 
 
 AnyTask = Union[SimTask, CallableTask]
+
+
+@dataclass(frozen=True)
+class _EnsembleChunk:
+    """A group of same-option ensemble tasks advanced in one kernel pass.
+
+    The runner forms chunks from consecutive pending tasks whose engine
+    is ``"fluid-ensemble"`` and whose execution options agree, then
+    supervises the chunk as one unit: one pool dispatch, one timeout
+    budget, one retry counter.  Completion fans back out -- each member
+    keeps its own results slot, cache entry, and checkpoint record, so
+    everything downstream of the runner is oblivious to the grouping.
+
+    Components are built in each task type's historical order (SimTask:
+    emap, attack, sparing, wear-leveler; CallableTask: wear-leveler,
+    emap, attack, sparing) so stateful factories observe the exact call
+    sequence of per-task dispatch.
+    """
+
+    members: Tuple[AnyTask, ...]
+    record_timeline: bool = False
+    paranoia: str = "off"
+    shadow_sample: float = 0.0
+    label: str = ""
+
+    def execute(
+        self, metrics: Optional[MetricsRegistry] = None
+    ) -> Tuple[List[SimulationResult], float]:
+        """Run every member through one ensemble; results in member order."""
+        from repro.sim.ensemble import EnsembleMember, simulate_ensemble
+
+        start = perf_counter()
+        ensemble_members: List[EnsembleMember] = []
+        for task in self.members:
+            if isinstance(task, SimTask):
+                with maybe_span(metrics, "sim/endurance"):
+                    emap = task.make_emap()
+                with maybe_span(metrics, "sim/components"):
+                    attack = build_attack(task.attack)
+                    sparing = build_sparing(task.sparing, task.p, task.swr)
+                    wearleveler = build_wearleveler(task.wearlevel)
+                rng: Union[int, None] = task.effective_seed
+            else:
+                with maybe_span(metrics, "sim/components"):
+                    wearleveler = (
+                        task.wearleveler_factory()
+                        if task.wearleveler_factory
+                        else None
+                    )
+                with maybe_span(metrics, "sim/endurance"):
+                    emap = task.emap_factory(task.seed)
+                attack = task.attack_factory()
+                sparing = task.sparing_factory()
+                rng = task.seed
+            ensemble_members.append(
+                EnsembleMember(
+                    emap=emap,
+                    attack=attack,
+                    sparing=sparing,
+                    wearleveler=wearleveler,
+                    rng=rng,
+                )
+            )
+        results = simulate_ensemble(
+            ensemble_members,
+            record_timeline=self.record_timeline,
+            metrics=metrics,
+            paranoia=self.paranoia,
+            shadow_sample=self.shadow_sample,
+        )
+        return results, perf_counter() - start
 
 
 def _task_context_of(task: AnyTask) -> Tuple[Optional[dict], dict]:
@@ -624,7 +708,7 @@ class _Supervised:
     """
 
     index: int
-    task: AnyTask
+    task: "AnyTask | _EnsembleChunk"
     key: str
     label: str
     attempts: int = 0
@@ -633,6 +717,9 @@ class _Supervised:
     queue_seconds: float = 0.0
     harvest_seconds: float = 0.0
     requeue_seconds: float = 0.0
+    #: Member-level states folded into this one (ensemble chunks only):
+    #: completion and failure fan back out to these.
+    members: Optional[List["_Supervised"]] = None
 
 
 def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
@@ -694,6 +781,13 @@ class SimRunner:
         into (so one registry can span several runner calls plus CLI
         overhead).  When omitted the runner uses a private registry;
         either way the final snapshot lands in ``stats.metrics``.
+    trials_per_task:
+        Ensemble chunk size: consecutive tasks with the
+        ``"fluid-ensemble"`` engine and matching options are advanced
+        ``trials_per_task`` at a time by one stacked kernel pass (see
+        :mod:`repro.sim.ensemble`).  ``None`` (default) auto-sizes the
+        chunks to ``ceil(run / jobs)`` so pool parallelism and trial
+        stacking compose.  Irrelevant to other engines.
     """
 
     def __init__(
@@ -703,6 +797,7 @@ class SimRunner:
         policy: Optional[ResiliencePolicy] = None,
         checkpoint: "Checkpoint | str | os.PathLike | None" = None,
         metrics: Optional[MetricsRegistry] = None,
+        trials_per_task: Optional[int] = None,
     ) -> None:
         self._jobs = resolve_jobs(jobs)
         self._cache = cache
@@ -711,6 +806,11 @@ class SimRunner:
             checkpoint = Checkpoint(checkpoint, resume=True)
         self._checkpoint = checkpoint
         self._metrics = metrics
+        if trials_per_task is not None and trials_per_task < 1:
+            raise ValueError(
+                f"trials_per_task must be >= 1, got {trials_per_task}"
+            )
+        self._trials_per_task = trials_per_task
 
     @property
     def jobs(self) -> int:
@@ -731,6 +831,99 @@ class SimRunner:
     def checkpoint(self) -> Optional[Checkpoint]:
         """The attached resume checkpoint, if any."""
         return self._checkpoint
+
+    @property
+    def trials_per_task(self) -> Optional[int]:
+        """Configured ensemble chunk size (``None`` = auto-sized)."""
+        return self._trials_per_task
+
+    # ------------------------------------------------------------------
+    # Ensemble chunking
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ensemble_group_of(task: AnyTask) -> Optional[Tuple[object, ...]]:
+        """Grouping key of an ensemble-eligible task (``None`` if not).
+
+        Only tasks with identical execution options may share a chunk
+        (``simulate_ensemble`` applies one option set to every member),
+        and task types are never mixed so each chunk preserves its
+        type's historical component-construction order.
+        """
+        if getattr(task, "engine", None) != ENSEMBLE_ENGINE:
+            return None
+        return (
+            type(task).__name__,
+            task.record_timeline,
+            task.paranoia,
+            float(task.shadow_sample),
+        )
+
+    def _chunk_ensembles(self, pending: List[_Supervised]) -> List[_Supervised]:
+        """Fold consecutive ensemble-engine tasks into chunk states.
+
+        Chunks hold ``trials_per_task`` members each; with the knob unset
+        the size is ``ceil(run / jobs)`` (capped at
+        :data:`MAX_AUTO_CHUNK`) so one pass over the task list saturates
+        the process pool while still amortizing per-trial dispatch.
+        Checkpoint- and cache-served members never reach this point, so a
+        resumed run re-chunks only the remaining members.
+        """
+        chunked: List[_Supervised] = []
+        run: List[_Supervised] = []
+        run_group: Optional[Tuple[object, ...]] = None
+
+        def flush() -> None:
+            nonlocal run, run_group
+            if not run:
+                return
+            size = self._trials_per_task
+            if size is None:
+                size = min(-(-len(run) // self._jobs), MAX_AUTO_CHUNK)
+            for start in range(0, len(run), size):
+                group = run[start : start + size]
+                if len(group) == 1:
+                    # A lone member runs as itself: the one-trial
+                    # ensemble path in the engine gives the same result
+                    # without the chunk indirection.
+                    chunked.append(group[0])
+                    continue
+                first = group[0].task
+                label = f"ensemble[{len(group)}] {group[0].label}".strip()
+                chunk = _EnsembleChunk(
+                    members=tuple(state.task for state in group),
+                    record_timeline=first.record_timeline,
+                    paranoia=first.paranoia,
+                    shadow_sample=first.shadow_sample,
+                    label=label,
+                )
+                digest = hashlib.sha256(
+                    ("ensemble:" + "\n".join(state.key for state in group)).encode()
+                ).hexdigest()
+                chunked.append(
+                    _Supervised(
+                        index=group[0].index,
+                        task=chunk,
+                        key=digest,
+                        label=label,
+                        members=list(group),
+                    )
+                )
+            run = []
+            run_group = None
+
+        for state in pending:
+            group_key = self._ensemble_group_of(state.task)
+            if group_key is None:
+                flush()
+                chunked.append(state)
+                continue
+            if run and group_key != run_group:
+                flush()
+            run.append(state)
+            run_group = group_key
+        flush()
+        return chunked
 
     def run(self, tasks: Sequence[AnyTask]) -> List[SimulationResult]:
         """Execute ``tasks``; results in submission order.
@@ -800,8 +993,13 @@ class SimRunner:
                 pending.append(
                     _Supervised(index=index, task=task, key=key, label=label)
                 )
+            pending = self._chunk_ensembles(pending)
+        simulated = sum(
+            len(state.members) if state.members is not None else 1
+            for state in pending
+        )
 
-        def on_complete(state: _Supervised, result: SimulationResult, elapsed: float) -> None:
+        def complete_one(state: _Supervised, result: SimulationResult, elapsed: float) -> None:
             results[state.index] = result
             seconds[state.index] = elapsed
             task = tasks[state.index]
@@ -809,6 +1007,18 @@ class SimRunner:
                 self._cache.put(task, result, elapsed)
             if self._checkpoint is not None:
                 self._checkpoint.append(state.key, result, elapsed, state.label)
+
+        def on_complete(state: _Supervised, result, elapsed: float) -> None:
+            if state.members is None:
+                complete_one(state, result, elapsed)
+                return
+            # Ensemble chunk: one worker report carries every member's
+            # result; fan back out so cache entries, checkpoint records,
+            # and per-task seconds are indistinguishable from per-task
+            # dispatch (the shared wall time is split evenly).
+            share = elapsed / len(state.members)
+            for member_state, member_result in zip(state.members, result):
+                complete_one(member_state, member_result, share)
 
         summary = _ExecutionSummary()
         jobs_used = 1
@@ -837,16 +1047,36 @@ class SimRunner:
             metrics.inc("runner.tasks", len(tasks))
             metrics.inc("runner.cache_hits", cache_hits)
             metrics.inc("runner.checkpoint_hits", checkpoint_hits)
-            metrics.inc("runner.simulated", len(pending))
+            metrics.inc("runner.simulated", simulated)
             metrics.inc("runner.retries", summary.retries)
             metrics.inc("runner.pool_respawns", summary.pool_respawns)
             metrics.inc("runner.failures", len(summary.failures))
             metrics.gauge("runner.jobs", jobs_used)
         total_span.__exit__(None, None, None)
 
+        # A failed chunk surfaces one FailureRecord per member, each under
+        # the member's own key/label, so downstream failure handling never
+        # sees the chunk as a unit.
+        chunk_by_index = {
+            state.index: state for state in pending if state.members is not None
+        }
+        failures: Dict[int, FailureRecord] = {}
+        for index, record in summary.failures.items():
+            chunk = chunk_by_index.get(index)
+            if chunk is None:
+                failures[index] = record
+                continue
+            for member_state in chunk.members:
+                failures[member_state.index] = dataclasses.replace(
+                    record,
+                    index=member_state.index,
+                    key=member_state.key,
+                    label=member_state.label,
+                )
+
         stats = RunnerStats(
             tasks=len(tasks),
-            simulated=len(pending),
+            simulated=simulated,
             cache_hits=cache_hits,
             jobs=jobs_used,
             wall_seconds=perf_counter() - started,
@@ -854,9 +1084,7 @@ class SimRunner:
             checkpoint_hits=checkpoint_hits,
             retries=summary.retries,
             pool_respawns=summary.pool_respawns,
-            failures=tuple(
-                summary.failures[index] for index in sorted(summary.failures)
-            ),
+            failures=tuple(failures[index] for index in sorted(failures)),
             interrupted=summary.interrupted,
             events=tuple(events),
             queue_seconds=sum(state.queue_seconds for state in pending),

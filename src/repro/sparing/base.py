@@ -28,13 +28,19 @@ lower bound on the wear budget any single future replacement adds: the
 engine uses it to size chronologically-safe death batches (see
 ``sim/lifetime.py``).  Returning ``None`` (the default) makes the engine
 fall back to one-death-at-a-time delivery.
+
+**Ensemble stacking.**  The trial-stacked (``fluid-ensemble``) engine
+advances many independent trials at once and talks to sparing through
+:class:`BatchedSchemeState`: per-trial state stacked into arrays, with a
+:class:`FallbackSchemeState` wrapping real per-trial instances for any
+scheme without a stacked implementation (see ``sim/ensemble.py``).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -200,6 +206,13 @@ class SpareScheme(ABC):
 
     #: Short machine-readable name used in result tables.
     name: str = "sparing"
+
+    #: Ensemble-engine hint: ``True`` promises :meth:`replace_batch` never
+    #: returns :data:`BATCH_REMOVE` (the scheme replaces or fails, it does
+    #: not degrade capacity).  The stacked kernel uses the promise to skip
+    #: per-epoch capacity bookkeeping; a scheme that removes slots must
+    #: leave this ``False``.
+    ensemble_never_removes: bool = False
 
     def __init__(self, spare_fraction: float = 0.0) -> None:
         require_fraction(spare_fraction, "spare_fraction")
@@ -372,6 +385,166 @@ class SpareScheme(ABC):
         """
         return None
 
+    def ensemble_replacement_capacity(self) -> Optional[int]:
+        """Upper bound on future :data:`BATCH_REPLACE`/:data:`BATCH_EXTEND`
+        verdicts this scheme can still hand out.
+
+        With :attr:`ensemble_never_removes` schemes, only slots whose
+        death times fall among the ``capacity + BATCH_LIMIT`` smallest can
+        ever be selected before the device fails, so the ensemble kernel
+        uses this bound to restrict its per-epoch scans to that candidate
+        set (see ``sim/ensemble.py``).  Must be an over-estimate, never an
+        under-estimate; ``None`` (the default) disables the prefilter.
+        """
+        return None
+
     def describe(self) -> str:
         """Human-readable one-liner for reports."""
         return f"{self.name} (p={self._spare_fraction:.0%})"
+
+    # ------------------------------------------------------------------
+    # Ensemble stacking
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def make_batched_state(
+        cls,
+        schemes: Sequence["SpareScheme"],
+        emaps: Sequence[EnduranceMap],
+    ) -> Optional["BatchedSchemeState"]:
+        """Build a cross-trial stacked state for the ensemble engine.
+
+        ``schemes[t]`` is the (uninitialized) scheme of trial ``t`` and
+        ``emaps[t]`` its endurance map.  A scheme family whose
+        initialization and replacement bookkeeping vectorize across
+        trials overrides this to return a :class:`BatchedSchemeState`
+        holding ``(trials, ...)`` tensors; returning ``None`` (the
+        default) makes the engine fall back to per-trial scheme
+        instances wrapped in :class:`FallbackSchemeState` -- correct for
+        every scheme, just without the stacked-init speedup.
+        """
+        return None
+
+
+#: The raw per-trial verdict tuple a :class:`BatchedSchemeState` returns:
+#: ``(actions, lines, wear, fail_reason)`` with the exact semantics of the
+#: matching :class:`BatchOutcome` fields.  Stacked states return the plain
+#: tuple so the hot loop skips dataclass construction and validation.
+RawBatchOutcome = Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[str]]
+
+
+class BatchedSchemeState(ABC):
+    """Per-trial sparing state stacked across an ensemble of trials.
+
+    The ``fluid-ensemble`` engine (``sim/ensemble.py``) advances ``T``
+    independent trials through one epoch kernel.  This protocol is the
+    scheme-side contract: every method takes a ``trial`` index and must
+    behave *bit-identically* to a fresh scheme instance initialized for
+    that trial alone -- same backing permutation, same replacement
+    decisions, same failure strings -- so ensemble results split back
+    into per-trial results indistinguishable from solo runs.
+    """
+
+    @property
+    @abstractmethod
+    def trials(self) -> int:
+        """Number of stacked trials ``T``."""
+
+    @property
+    @abstractmethod
+    def never_removes(self) -> bool:
+        """True iff no trial's scheme can return :data:`BATCH_REMOVE`."""
+
+    @abstractmethod
+    def backing(self, trial: int) -> np.ndarray:
+        """Fresh copy of trial ``trial``'s initial slot-to-line map."""
+
+    @abstractmethod
+    def slots(self, trial: int) -> int:
+        """Slot count of trial ``trial``."""
+
+    @abstractmethod
+    def min_user_slots(self, trial: int) -> int:
+        """Minimum serviceable slot count of trial ``trial``."""
+
+    @abstractmethod
+    def replace_batch(
+        self, trial: int, slots: np.ndarray, dead_lines: np.ndarray
+    ) -> RawBatchOutcome:
+        """Trial-``trial`` equivalent of :meth:`SpareScheme.replace_batch`."""
+
+    @abstractmethod
+    def replacement_extra_floor(self, trial: int) -> Optional[float]:
+        """Trial equivalent of :meth:`SpareScheme.replacement_extra_floor`."""
+
+    @abstractmethod
+    def describe(self, trial: int) -> str:
+        """Trial equivalent of :meth:`SpareScheme.describe`."""
+
+    def replacement_capacity(self, trial: int) -> Optional[int]:
+        """Trial equivalent of :meth:`SpareScheme.ensemble_replacement_capacity`."""
+        return None
+
+    def scheme(self, trial: int) -> Optional[SpareScheme]:
+        """The real initialized scheme instance behind ``trial``, if any.
+
+        The fallback state exposes its wrapped instances so the paranoia
+        guards can run ``pool_accounting``/``check_integrity`` against
+        genuine scheme tables; stacked states return ``None`` (they are
+        only eligible when guards are off).
+        """
+        return None
+
+
+class FallbackSchemeState(BatchedSchemeState):
+    """Ensemble scheme state backed by real per-trial scheme instances.
+
+    The universal path: each trial keeps its own initialized
+    :class:`SpareScheme`, so any scheme -- including third-party scalar
+    ones -- runs under the ensemble engine with exactly its solo
+    semantics.  ``schemes[t]`` must already be initialized with trial
+    ``t``'s endurance map and rng stream.
+    """
+
+    def __init__(self, schemes: Sequence[SpareScheme]) -> None:
+        if not schemes:
+            raise ValueError("an ensemble needs at least one trial")
+        self._schemes = list(schemes)
+        self._never_removes = all(
+            type(scheme).ensemble_never_removes for scheme in self._schemes
+        )
+
+    @property
+    def trials(self) -> int:
+        return len(self._schemes)
+
+    @property
+    def never_removes(self) -> bool:
+        return self._never_removes
+
+    def backing(self, trial: int) -> np.ndarray:
+        return self._schemes[trial].initial_backing
+
+    def slots(self, trial: int) -> int:
+        return self._schemes[trial].slots
+
+    def min_user_slots(self, trial: int) -> int:
+        return self._schemes[trial].min_user_slots
+
+    def replace_batch(
+        self, trial: int, slots: np.ndarray, dead_lines: np.ndarray
+    ) -> RawBatchOutcome:
+        outcome = self._schemes[trial].replace_batch(slots, dead_lines)
+        return outcome.actions, outcome.lines, outcome.wear, outcome.fail_reason
+
+    def replacement_extra_floor(self, trial: int) -> Optional[float]:
+        return self._schemes[trial].replacement_extra_floor()
+
+    def replacement_capacity(self, trial: int) -> Optional[int]:
+        return self._schemes[trial].ensemble_replacement_capacity()
+
+    def describe(self, trial: int) -> str:
+        return self._schemes[trial].describe()
+
+    def scheme(self, trial: int) -> Optional[SpareScheme]:
+        return self._schemes[trial]

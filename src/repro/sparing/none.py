@@ -20,6 +20,9 @@ class NoSparing(SpareScheme):
 
     name = "no-protection"
 
+    #: Fails on the first death; never removes a slot.
+    ensemble_never_removes = True
+
     def __init__(self) -> None:
         super().__init__(spare_fraction=0.0)
 
@@ -41,6 +44,10 @@ class NoSparing(SpareScheme):
     def replacement_extra_floor(self) -> float:
         """Never replaces, so any death window is chronologically safe."""
         return math.inf
+
+    def ensemble_replacement_capacity(self) -> int:
+        """No spares: the device never survives a single replacement."""
+        return 0
 
     def describe(self) -> str:
         return "no protection (fails at first wear-out)"

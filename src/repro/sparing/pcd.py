@@ -31,6 +31,10 @@ class PCD(SpareScheme):
 
     name = "pcd"
 
+    #: PCD is exactly capacity degradation: every death removes a slot,
+    #: so the ensemble engine's removal-free fast path must stay off.
+    ensemble_never_removes = False
+
     def __init__(self, spare_fraction: float = 0.1) -> None:
         require_fraction(spare_fraction, "spare_fraction")
         super().__init__(spare_fraction=spare_fraction)

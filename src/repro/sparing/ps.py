@@ -57,6 +57,9 @@ class PS(SpareScheme):
 
     name = "ps"
 
+    #: PS only replaces or fails; it never degrades capacity.
+    ensemble_never_removes = True
+
     def __init__(
         self,
         spare_fraction: float = 0.1,
@@ -190,6 +193,10 @@ class PS(SpareScheme):
         if self._pool_pos >= self._pool_lines.size:
             return math.inf  # next death fails the device; no replacement left
         return float(self._pool_floor[self._pool_pos])
+
+    def ensemble_replacement_capacity(self) -> int:
+        """PS can replace at most once per remaining pool line."""
+        return self.pool_remaining
 
     def describe(self) -> str:
         return (

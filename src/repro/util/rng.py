@@ -79,13 +79,51 @@ def sample_seed(rng: RandomState = None) -> int:
     return int(generator.integers(0, 2**63 - 1))
 
 
-def fork_seeds(seed: Optional[int], count: int, label: str = "fork") -> list[int]:
+def fork_seeds(
+    seed: Optional[int],
+    count: int,
+    label: str = "fork",
+    *,
+    distinct_mod: Optional[int] = None,
+) -> list[int]:
     """Derive ``count`` independent integer seeds from ``seed`` and ``label``.
 
     Useful for sweep drivers that run one simulation per parameter point and
     want each point to be independently seeded yet reproducible.
+
+    Parameters
+    ----------
+    distinct_mod:
+        When set, the returned seeds are guaranteed pairwise distinct
+        *after folding by this modulus*.  Downstream consumers sometimes
+        fold seeds into a narrower space (e.g. Monte-Carlo replica seeds
+        are folded ``% 2**31`` before configuring an endurance map), and
+        two 63-bit seeds that collide after folding would silently run
+        the same replica twice.  Colliding draws are deterministically
+        redrawn from ``{label}/retry{k}`` streams, so the output is still
+        a pure function of ``(seed, count, label, distinct_mod)``.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    if distinct_mod is not None and distinct_mod <= 0:
+        raise ValueError(f"distinct_mod must be positive, got {distinct_mod}")
     base = derive_rng(seed, label)
-    return [int(s) for s in base.integers(0, 2**63 - 1, size=count)]
+    seeds = [int(s) for s in base.integers(0, 2**63 - 1, size=count)]
+    if distinct_mod is None:
+        return seeds
+    if count > distinct_mod:
+        raise ValueError(
+            f"cannot draw {count} seeds pairwise distinct modulo {distinct_mod}"
+        )
+    seen = {}
+    retry = 0
+    for index, value in enumerate(seeds):
+        folded = value % distinct_mod
+        while folded in seen:
+            retry += 1
+            redraw = derive_rng(seed, f"{label}/retry{retry}")
+            value = int(redraw.integers(0, 2**63 - 1))
+            folded = value % distinct_mod
+            seeds[index] = value
+        seen[folded] = index
+    return seeds

@@ -177,6 +177,42 @@ class TestInvalidation:
         assert bumped.get(task) is None
         assert bumped.stats.misses == 1
 
+    def test_schema_version_is_the_ensemble_era(self):
+        # Bumped 3 -> 4 when the engine name joined the task payload
+        # (the trial-stacked ensemble made it result-relevant).  Bump
+        # this pin alongside any future schema change.
+        assert CACHE_SCHEMA_VERSION == 4
+
+    def test_previous_schema_entries_are_clean_misses(self, tmp_path):
+        """Entries from the pre-ensemble cache era must read as plain
+        misses -- not hits, and not quarantined as corrupt (their bytes
+        are valid JSON of an older schema, left untouched on disk)."""
+        task = SimTask(config=SMALL)
+        result, _ = task.execute()
+        old = ResultCache(
+            tmp_path / "cache", schema_version=CACHE_SCHEMA_VERSION - 1
+        )
+        old_path = old.put(task, result)
+        current = ResultCache(tmp_path / "cache")
+        assert current.get(task) is None
+        assert current.stats.misses == 1
+        assert current.stats.quarantined == 0
+        assert old_path.exists()  # old-era entry preserved, not purged
+        # A fresh store lands under the new key and hits thereafter.
+        new_path = current.put(task, result)
+        assert new_path != old_path
+        restored = current.get(task)
+        assert restored is not None
+        assert restored.normalized_lifetime == result.normalized_lifetime
+
+    def test_engine_is_part_of_the_key(self):
+        """The schema-4 payload addition: identical tasks that differ only
+        in engine must occupy distinct cache entries."""
+        batched = SimTask(config=SMALL, engine="fluid-batched")
+        ensemble = SimTask(config=SMALL, engine="fluid-ensemble")
+        exact = SimTask(config=SMALL, engine="fluid-exact")
+        assert len({task_key(batched), task_key(ensemble), task_key(exact)}) == 3
+
 
 class TestRunnerIntegration:
     def test_warm_rerun_performs_zero_simulations(self, tmp_path):

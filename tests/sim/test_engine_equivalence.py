@@ -274,6 +274,113 @@ class TestBatchOutcomeValidation:
         assert dead.size == 1 and dead.failed and dead.fail_reason == "gone"
 
 
+def assert_bit_identical(batched, ensemble):
+    """Ensemble results must equal solo fluid-batched *exactly* -- same
+    kernel math in the same order, so not even summation order differs."""
+    assert ensemble.deaths == batched.deaths
+    assert ensemble.replacements == batched.replacements
+    assert ensemble.failure_reason == batched.failure_reason
+    assert ensemble.writes_served == batched.writes_served  # no tolerance
+    assert ensemble.normalized_lifetime == batched.normalized_lifetime
+    assert ensemble.metadata["engine"] == "fluid-ensemble"
+    assert batched.metadata["engine"] == "fluid-batched"
+
+
+class TestEnsembleEngine:
+    """The trial-stacked engine vs solo ``fluid-batched``: bit-identical,
+    a *stronger* claim than the exact/batched writes tolerance above."""
+
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+    @pytest.mark.parametrize("attack_name", sorted(ATTACK_FACTORIES))
+    def test_single_trial_bit_identical(self, scheme_name, attack_name):
+        model = LinearEnduranceModel.from_q(20.0, e_low=200.0)
+        emap = linear_endurance_map(120, 40, model, rng=11)
+        runs = {}
+        for engine in ("fluid-batched", "fluid-ensemble"):
+            runs[engine] = simulate_lifetime(
+                emap,
+                ATTACK_FACTORIES[attack_name](),
+                SCHEME_FACTORIES[scheme_name](),
+                rng=13,
+                engine=engine,
+                record_timeline=False,
+            )
+        assert_bit_identical(runs["fluid-batched"], runs["fluid-ensemble"])
+
+    @pytest.mark.parametrize("scheme_name", ("max-we", "ps", "pcd", "none"))
+    @given(emap=random_maps(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_randomized_devices_bit_identical(self, scheme_name, emap, seed):
+        runs = {}
+        for engine in ("fluid-batched", "fluid-ensemble"):
+            runs[engine] = simulate_lifetime(
+                emap,
+                UniformAddressAttack(),
+                SCHEME_FACTORIES[scheme_name](),
+                rng=seed,
+                engine=engine,
+                record_timeline=False,
+            )
+        assert_bit_identical(runs["fluid-batched"], runs["fluid-ensemble"])
+
+    def test_stacked_trials_match_solo_runs(self):
+        """Trials advanced together in one stacked pass must equal the same
+        seeds run solo -- grouping must be unobservable in the results."""
+        from repro.sim.ensemble import EnsembleMember, simulate_ensemble
+
+        model = LinearEnduranceModel.from_q(20.0, e_low=200.0)
+        grid = [
+            ("max-we", 3),
+            ("ps", 4),       # random spare selection: seeds must thread through
+            ("pcd", 5),
+            ("max-we", 6),
+            ("none", 7),
+        ]
+        members = [
+            EnsembleMember(
+                emap=linear_endurance_map(120, 40, model, rng=seed),
+                attack=UniformAddressAttack(),
+                sparing=SCHEME_FACTORIES[name](),
+                rng=seed,
+            )
+            for name, seed in grid
+        ]
+        stacked = simulate_ensemble(members)
+        for (name, seed), result in zip(grid, stacked):
+            solo = simulate_lifetime(
+                linear_endurance_map(120, 40, model, rng=seed),
+                UniformAddressAttack(),
+                SCHEME_FACTORIES[name](),
+                rng=seed,
+                engine="fluid-batched",
+                record_timeline=False,
+            )
+            assert_bit_identical(solo, result)
+
+    def test_timeline_events_bit_identical(self):
+        emap = EnduranceMap(np.linspace(100.0, 2000.0, 60), regions=30)
+        runs = {}
+        for engine in ("fluid-batched", "fluid-ensemble"):
+            runs[engine] = simulate_lifetime(
+                emap,
+                UniformAddressAttack(),
+                MaxWE(0.1, 0.9),
+                rng=3,
+                engine=engine,
+                record_timeline=True,
+            )
+        batched, ensemble = runs["fluid-batched"], runs["fluid-ensemble"]
+        assert len(ensemble.timeline) == len(batched.timeline)
+        for a, b in zip(batched.timeline, ensemble.timeline):
+            assert (a.slot, a.dead_line, a.action, a.replacement_line) == (
+                b.slot,
+                b.dead_line,
+                b.action,
+                b.replacement_line,
+            )
+            assert b.writes_served == a.writes_served  # exact, not approx
+
+
 class TestAgainstReference:
     """Close the loop: both fluid engines vs the exact per-write simulator."""
 

@@ -75,6 +75,64 @@ class TestForkSeeds:
             fork_seeds(1, -1)
 
 
+class TestDistinctMod:
+    """The seed-aliasing guard: seeds stay pairwise distinct *after* the
+    consumer's fold, so no two Monte-Carlo replicas can silently share an
+    endurance-map placement."""
+
+    def test_folded_seeds_pairwise_distinct_at_emap_modulus(self):
+        from repro.sim.montecarlo import EMAP_SEED_MOD
+
+        seeds = fork_seeds(2019, 512, "monte-carlo", distinct_mod=EMAP_SEED_MOD)
+        assert len({seed % EMAP_SEED_MOD for seed in seeds}) == 512
+
+    @staticmethod
+    def colliding_master(modulus, count, label):
+        """Deterministically find a master seed whose *raw* draws collide
+        under ``modulus`` -- the input that exercises the redraw path."""
+        for master in range(500):
+            raw = fork_seeds(master, count, label)
+            if len({seed % modulus for seed in raw}) < count:
+                return master, raw
+        raise AssertionError("no colliding master seed found in range")
+
+    def test_collision_redraws_until_distinct(self):
+        master, raw = self.colliding_master(4, 4, "alias")
+        guarded = fork_seeds(master, 4, "alias", distinct_mod=4)
+        assert guarded != raw  # at least one seed was redrawn
+        assert len({seed % 4 for seed in guarded}) == 4
+
+    def test_collision_redraw_is_deterministic(self):
+        master, _ = self.colliding_master(4, 4, "alias")
+        assert fork_seeds(master, 4, "alias", distinct_mod=4) == fork_seeds(
+            master, 4, "alias", distinct_mod=4
+        )
+
+    def test_first_occurrence_of_each_residue_is_kept(self):
+        """Only later duplicates are redrawn; seeds whose folded value is
+        new at their position pass through untouched."""
+        master, raw = self.colliding_master(4, 4, "alias")
+        guarded = fork_seeds(master, 4, "alias", distinct_mod=4)
+        seen = set()
+        for original, kept in zip(raw, guarded):
+            if original % 4 not in seen:
+                assert kept == original
+            seen.add(original % 4)
+
+    def test_count_exceeding_modulus_rejected(self):
+        with pytest.raises(ValueError, match="pairwise distinct"):
+            fork_seeds(1, 5, "alias", distinct_mod=4)
+
+    def test_nonpositive_modulus_rejected(self):
+        with pytest.raises(ValueError, match="distinct_mod"):
+            fork_seeds(1, 2, "alias", distinct_mod=0)
+
+    def test_no_modulus_means_raw_draws(self):
+        assert fork_seeds(9, 5, "sweep", distinct_mod=None) == fork_seeds(
+            9, 5, "sweep"
+        )
+
+
 def test_sample_seed_in_range():
     seed = sample_seed(11)
     assert 0 <= seed < 2**63
