@@ -1,0 +1,32 @@
+"""Shared plumbing for the BENCH_* harnesses.
+
+Every bench emits one JSON payload.  The canonical copy lives under
+``benchmarks/results/`` (the directory CI uploads as an artifact and
+``benchmarks/trajectory.py`` aggregates); a convenience copy is placed
+at the repo root so ``BENCH_*.json`` stays greppable next to README.md.
+The payload is serialized exactly once -- the root file is a byte copy,
+not an independent dump, so the two can never drift.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+__all__ = ["REPO_ROOT", "RESULTS_DIR", "emit_bench"]
+
+
+def emit_bench(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` once under ``benchmarks/results/`` and
+    copy it to the repo root; returns the root path."""
+    filename = f"BENCH_{name}.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    canonical = RESULTS_DIR / filename
+    canonical.write_text(json.dumps(payload, indent=2) + "\n")
+    target = REPO_ROOT / filename
+    shutil.copyfile(canonical, target)
+    return target

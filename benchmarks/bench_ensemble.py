@@ -42,8 +42,11 @@ from repro.sim.config import ExperimentConfig
 from repro.sim.montecarlo import monte_carlo_lifetime
 from repro.sim.runner import build_sparing
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench  # noqa: E402
 
 #: 64k-line measurement device (8192 regions x 8 lines).
 BENCH_CONFIG = ExperimentConfig(regions=8192, lines_per_region=8, seed=2019)
@@ -200,13 +203,8 @@ def run_bench(quick: bool = False, reps: int = 2) -> dict:
 
 
 def emit(payload: dict) -> Path:
-    """Write the payload to the repo root and benchmarks/results/."""
-    text = json.dumps(payload, indent=2) + "\n"
-    target = REPO_ROOT / "BENCH_ensemble.json"
-    target.write_text(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_ensemble.json").write_text(text)
-    return target
+    """Write the payload under benchmarks/results/ with a root copy."""
+    return emit_bench("ensemble", payload)
 
 
 def test_ensemble_speedup_bench():

@@ -28,8 +28,11 @@ from time import perf_counter
 
 from repro.util.events import EventLog
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench  # noqa: E402
 
 #: The default EventLog retention bound; eviction cost scales with it.
 BOUND = 10_000
@@ -93,13 +96,8 @@ def run_bench() -> dict:
 
 
 def emit(payload: dict) -> Path:
-    """Write the payload to the repo root and benchmarks/results/."""
-    text = json.dumps(payload, indent=2) + "\n"
-    target = REPO_ROOT / "BENCH_events.json"
-    target.write_text(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_events.json").write_text(text)
-    return target
+    """Write the payload under benchmarks/results/ with a root copy."""
+    return emit_bench("events", payload)
 
 
 def test_event_append_bench():

@@ -23,8 +23,11 @@ from pathlib import Path
 from repro.sim.config import ExperimentConfig
 from repro.sim.runner import SimRunner, SimTask
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_bench  # noqa: E402
 
 
 def _phases(stats) -> dict:
@@ -132,13 +135,8 @@ def run_bench(jobs: int | None = None) -> dict:
 
 
 def emit(payload: dict) -> Path:
-    """Write the payload to the repo root and benchmarks/results/."""
-    text = json.dumps(payload, indent=2) + "\n"
-    target = REPO_ROOT / "BENCH_runner.json"
-    target.write_text(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_runner.json").write_text(text)
-    return target
+    """Write the payload under benchmarks/results/ with a root copy."""
+    return emit_bench("runner", payload)
 
 
 def test_runner_throughput_bench():

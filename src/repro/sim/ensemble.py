@@ -478,7 +478,7 @@ def simulate_ensemble(
 
         with maybe_span(metrics, "sim/kernel"):
             try:
-                served, deaths, replacements, failure_reason, timeline, epochs = (
+                served, deaths, replacements, failure_reason, timeline, extra_meta = (
                     _advance_trial(
                         state,
                         index,
@@ -498,6 +498,7 @@ def simulate_ensemble(
                         max_timeline_events=max_timeline_events,
                         fast=fast,
                         w_scalar=w_scalar,
+                        metrics=metrics,
                     )
                 )
             except InvariantViolation as violation:
@@ -508,7 +509,8 @@ def simulate_ensemble(
             metrics.inc("sim.runs")
             metrics.inc("sim.deaths", deaths)
             metrics.inc("sim.replacements", replacements)
-            metrics.inc("sim.epochs", epochs)
+            for name, value in extra_meta.items():
+                metrics.inc(f"sim.{name}", value)
             metrics.observe("sim.deaths_per_run", deaths)
 
         metadata = {
@@ -518,7 +520,7 @@ def simulate_ensemble(
             "fault_model": fault_desc,
             "slots": slots,
             "engine": ENGINE_NAME,
-            "epochs": epochs,
+            **extra_meta,
         }
         results.append(
             SimulationResult(
@@ -555,7 +557,8 @@ def _advance_trial(
     max_timeline_events: int,
     fast: bool,
     w_scalar: Optional[float] = None,
-) -> Tuple[float, int, int, str, List[TimelineEvent], int]:
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[float, int, int, str, List[TimelineEvent], dict]:
     """Advance one trial to device failure (solo epoch-kernel port).
 
     Identical structure to the solo ``fluid-batched`` loop: the floor is
@@ -566,9 +569,23 @@ def _advance_trial(
     *selection* to :func:`_fast_epoch` (proven equivalent).  ``w_scalar``
     may be set when every entry of ``weights`` equals it; scalar
     divisions then replace the elementwise gathers bit-identically.
+
+    The trial also runs the solo kernel's adaptive regime switch: after
+    :data:`~repro.sim.lifetime.SEQUENTIAL_ENTER_STREAK` consecutive
+    one-death epochs, selection moves to a
+    :class:`~repro.sim.frontier.DeathFrontier` over the compact work row
+    (or the full row) and back the moment an epoch cannot be proven
+    identical to the vectorized selection.  Epoch *content* is identical
+    in either regime, so results stay bit-identical to solo runs; only
+    the regime counters in the returned extra metadata may differ from
+    the solo kernel's (the index's work-set geometry differs).
     """
+    from repro.sim.frontier import DeathFrontier
     from repro.sim.lifetime import (
         BATCH_LIMIT,
+        FRONTIER_LIMIT,
+        SEQUENTIAL_ENTER_STREAK,
+        SEQUENTIAL_EPOCH_CAP,
         _ACTION_NAMES,
         _DEGENERATE_REASON,
         _EXHAUSTED_REASON,
@@ -585,6 +602,19 @@ def _advance_trial(
     failure_reason = _DEGENERATE_REASON
     timeline: List[TimelineEvent] = []
     floor = state.replacement_extra_floor(trial)
+    # Tightened safe-prefix bound (solo-kernel mirror): the largest
+    # weight among still-prone slots, recomputed lazily when the last
+    # prone slot at the current maximum is removed.  Identical update
+    # points to the solo kernel keep epoch grouping bit-identical.
+    w_max_active = w_max
+    w_max_live = -1
+    frontier: Optional[DeathFrontier] = None
+    frontier_on_work = False
+    sequential_ok = guard is None and corruptor is None
+    size1_streak = 0
+    sequential_rounds = 0
+    regime_switches = 0
+    full_scans = 0
 
     # Candidate prefilter (fast path only).  A replacement's new death
     # time always lands at or above the epoch bound that selected it --
@@ -651,65 +681,98 @@ def _advance_trial(
         if guard is not None:
             guard.on_round(view)
 
-        if fast:
-            pos = None
-            epoch = None
-            if work is not None:
-                if cd_work is not None:
-                    found = _fast_epoch_work(cd_work, floor, w_max, work_sentinel)
-                    if found is not None:
-                        pos, times = found
-                        epoch = (work[pos], times)
-                else:
-                    epoch = _fast_epoch(
-                        current_death, floor, w_max, work, work_sentinel
-                    )
-                if epoch is None:
-                    # Guarantee slipped: full rows from here on.
-                    if cd_work is not None:
-                        current_death[work] = cd_work
-                        backing[work] = bk_work
-                        cd_work = bk_work = w_work = None
-                    work = None
-            if epoch is None:
-                epoch = _fast_epoch(current_death, floor, w_max)
-            sel, times = epoch
-        else:
-            pos = None
-            candidates = np.flatnonzero(np.isfinite(current_death))
-            if candidates.size == 0:
+        pos = None
+        sel = None
+        if frontier is not None:
+            # Sequential micro-loop: pop the epoch off the index (over
+            # the compact work row in compact mode, positions doubling as
+            # slot order because ``work`` is ascending) and fall back the
+            # moment equivalence to the vectorized selection is unproven.
+            picked = frontier.pop_epoch(
+                floor,
+                w_max_active,
+                min(SEQUENTIAL_EPOCH_CAP, BATCH_LIMIT - 1),
+                ceiling=work_sentinel if frontier_on_work else math.inf,
+            )
+            if picked is None:
+                frontier = None
+                size1_streak = 0
+                regime_switches += 1
+            elif not picked[0]:
                 if deaths > 0:
                     failure_reason = _EXHAUSTED_REASON
                 break
-            if candidates.size > BATCH_LIMIT:
-                nearest = np.argpartition(
-                    current_death[candidates], BATCH_LIMIT - 1
-                )[:BATCH_LIMIT]
-                sel = candidates[nearest]
-                times = current_death[sel]
-                t_max = times.max()
-                strictly_before = times < t_max
-                if strictly_before.any():
-                    sel = sel[strictly_before]
-                    times = times[strictly_before]
+            else:
+                sequential_rounds += 1
+                times = np.asarray(picked[1], dtype=float)
+                if frontier_on_work:
+                    pos = np.asarray(picked[0], dtype=np.intp)
+                    sel = work[pos]
                 else:
-                    sel = candidates[current_death[candidates] == t_max]
+                    sel = np.asarray(picked[0], dtype=np.intp)
+        if sel is None:
+            full_scans += 1
+            if fast:
+                epoch = None
+                if work is not None:
+                    if cd_work is not None:
+                        found = _fast_epoch_work(
+                            cd_work, floor, w_max_active, work_sentinel
+                        )
+                        if found is not None:
+                            pos, times = found
+                            epoch = (work[pos], times)
+                    else:
+                        epoch = _fast_epoch(
+                            current_death, floor, w_max_active, work, work_sentinel
+                        )
+                    if epoch is None:
+                        # Guarantee slipped: full rows from here on.
+                        if cd_work is not None:
+                            current_death[work] = cd_work
+                            backing[work] = bk_work
+                            cd_work = bk_work = w_work = None
+                        work = None
+                if epoch is None:
+                    epoch = _fast_epoch(current_death, floor, w_max_active)
+                sel, times = epoch
+            else:
+                candidates = np.flatnonzero(np.isfinite(current_death))
+                if candidates.size == 0:
+                    if deaths > 0:
+                        failure_reason = _EXHAUSTED_REASON
+                    break
+                if candidates.size > BATCH_LIMIT:
+                    nearest = np.argpartition(
+                        current_death[candidates], BATCH_LIMIT - 1
+                    )[:BATCH_LIMIT]
+                    sel = candidates[nearest]
                     times = current_death[sel]
-            else:
-                sel = candidates
-                times = current_death[sel]
-            order = np.lexsort((sel, times))
-            sel = sel[order]
-            times = times[order]
-            if floor is None:
-                prefix = 1
-            elif math.isinf(floor):
-                prefix = sel.size
-            else:
-                bound = times[0] + floor / w_max
-                prefix = max(int(np.searchsorted(times, bound, side="left")), 1)
-            sel = sel[:prefix]
-            times = times[:prefix]
+                    t_max = times.max()
+                    strictly_before = times < t_max
+                    if strictly_before.any():
+                        sel = sel[strictly_before]
+                        times = times[strictly_before]
+                    else:
+                        sel = candidates[current_death[candidates] == t_max]
+                        times = current_death[sel]
+                else:
+                    sel = candidates
+                    times = current_death[sel]
+                order = np.lexsort((sel, times))
+                sel = sel[order]
+                times = times[order]
+                if floor is None:
+                    prefix = 1
+                elif math.isinf(floor):
+                    prefix = sel.size
+                else:
+                    bound = times[0] + floor / w_max_active
+                    prefix = max(
+                        int(np.searchsorted(times, bound, side="left")), 1
+                    )
+                sel = sel[:prefix]
+                times = times[:prefix]
         epochs += 1
 
         # Fancy index: a copy, safe to keep.  In compact mode the backing
@@ -788,29 +851,75 @@ def _advance_trial(
             if rep_pos is not None:
                 bk_work[rep_pos] = rep_lines
                 divisor = w_work[rep_pos] if w_scalar is None else w_scalar
-                cd_work[rep_pos] = rep_times + endurance[rep_lines] / divisor
+                rep_deaths = rep_times + endurance[rep_lines] / divisor
+                cd_work[rep_pos] = rep_deaths
+                if frontier is not None:
+                    for key, death in zip(
+                        rep_pos.tolist(), rep_deaths.tolist()
+                    ):
+                        frontier.push(key, death)
             else:
                 backing[rep_slots] = rep_lines
                 divisor = weights[rep_slots] if w_scalar is None else w_scalar
-                current_death[rep_slots] = (
-                    rep_times + endurance[rep_lines] / divisor
-                )
+                rep_deaths = rep_times + endurance[rep_lines] / divisor
+                current_death[rep_slots] = rep_deaths
+                if frontier is not None:
+                    for key, death in zip(
+                        rep_slots.tolist(), rep_deaths.tolist()
+                    ):
+                        frontier.push(key, death)
         ext = np.flatnonzero(actions == BATCH_EXTEND)
         if ext.size:
             replacements += int(ext.size)
             if pos is not None:
                 ext_pos = pos[ext]
                 ext_divisor = w_work[ext_pos] if w_scalar is None else w_scalar
-                cd_work[ext_pos] = times[ext] + wear[ext] / ext_divisor
+                ext_deaths = times[ext] + wear[ext] / ext_divisor
+                cd_work[ext_pos] = ext_deaths
+                if frontier is not None:
+                    for key, death in zip(
+                        ext_pos.tolist(), ext_deaths.tolist()
+                    ):
+                        frontier.push(key, death)
             else:
                 ext_slots = sel[ext]
                 ext_divisor = (
                     weights[ext_slots] if w_scalar is None else w_scalar
                 )
-                current_death[ext_slots] = times[ext] + wear[ext] / ext_divisor
+                ext_deaths = times[ext] + wear[ext] / ext_divisor
+                current_death[ext_slots] = ext_deaths
+                if frontier is not None:
+                    for key, death in zip(
+                        ext_slots.tolist(), ext_deaths.tolist()
+                    ):
+                        frontier.push(key, death)
         if removal_positions.size:
-            current_death[sel[removal_positions]] = math.inf
+            removed_slots = sel[removal_positions]
+            current_death[removed_slots] = math.inf
             live_count -= int(removal_positions.size)
+            if floor is not None and not math.isinf(floor):
+                # Solo-kernel mirror: identical w_max_active updates keep
+                # epoch grouping bit-identical to solo fluid-batched.
+                dead_w = weights[removed_slots]
+                if np.any(dead_w == w_max_active):
+                    if w_max_live < 0:
+                        w_max_live = int(
+                            np.count_nonzero(
+                                weights[np.isfinite(current_death)]
+                                == w_max_active
+                            )
+                        )
+                    else:
+                        w_max_live -= int(
+                            np.count_nonzero(dead_w == w_max_active)
+                        )
+                    if w_max_live == 0:
+                        survivors = weights[np.isfinite(current_death)]
+                        if survivors.size:
+                            w_max_active = float(survivors.max())
+                            w_max_live = int(
+                                np.count_nonzero(survivors == w_max_active)
+                            )
         if fail_reason is not None:
             if pos is not None:
                 cd_work[pos[count - 1]] = math.inf
@@ -833,6 +942,8 @@ def _advance_trial(
                     )
                 )
 
+        if metrics is not None:
+            metrics.observe("sim.epoch_size", count)
         if capacity_failed:
             failure_reason = (
                 f"capacity degraded below user capacity "
@@ -842,6 +953,23 @@ def _advance_trial(
         if fail_reason is not None:
             failure_reason = fail_reason
             break
+        if frontier is None and sequential_ok:
+            if count == 1:
+                size1_streak += 1
+                if size1_streak >= SEQUENTIAL_ENTER_STREAK and BATCH_LIMIT > 1:
+                    target = cd_work if cd_work is not None else current_death
+                    candidate = DeathFrontier(target, limit=FRONTIER_LIMIT)
+                    if candidate.degenerate:
+                        # A minimum tie class wider than the work set can
+                        # only keep degenerating; stay vectorized.
+                        sequential_ok = False
+                    else:
+                        frontier = candidate
+                        frontier_on_work = cd_work is not None
+                        size1_streak = 0
+                        regime_switches += 1
+            else:
+                size1_streak = 0
 
     if cd_work is not None:
         # Publish the compact rows so post-trial consumers of the full
@@ -850,4 +978,10 @@ def _advance_trial(
         backing[work] = bk_work
     if guard is not None:
         guard.final_check(view)
-    return served, deaths, replacements, failure_reason, timeline, epochs
+    extra_meta = {
+        "epochs": epochs,
+        "sequential_rounds": sequential_rounds,
+        "regime_switches": regime_switches,
+        "full_scans": full_scans,
+    }
+    return served, deaths, replacements, failure_reason, timeline, extra_meta

@@ -39,11 +39,32 @@ scalar loop would.  Death times themselves are computed with the same
 float expression in both engines, so death and replacement counts agree
 exactly; only the summation order of the served-writes integral differs
 (agreement to ~1e-12 relative, tested at 1e-9).
+
+Concentrated-wear attacks (BPA) collapse the safe prefix to single
+deaths, which used to cost a full-device scan per death.  The batched
+kernel therefore runs in two *regimes*: after
+``SEQUENTIAL_ENTER_STREAK`` consecutive one-death epochs it builds a
+:class:`~repro.sim.frontier.DeathFrontier` -- a lazy-deletion heap over
+``current_death`` in exact ``(time, slot)`` lexsort order, bounded to
+the ``FRONTIER_LIMIT`` soonest deaths -- and pops provably-identical
+epochs in O(log work-set) per death; single-death epochs further
+collapse to the scalar expressions their array counterparts reduce to.
+The frontier bails (and the kernel falls back to the vectorized scan)
+whenever equivalence cannot be proven.  In this regime the safe-prefix
+bound also tightens from the global ``w_max`` to the maximum weight
+among still-prone slots.  Result metadata counts the bookkeeping:
+``epochs`` (passes that processed deaths), ``sequential_rounds``
+(frontier-served passes), ``regime_switches`` (transitions either way),
+and ``full_scans`` (full-array selection passes); the same names land
+in the metrics registry as ``sim.*`` counters next to a
+``sim.epoch_size`` histogram.  ``fluid-exact`` routes its heap through
+the same index, so its compaction rebuilds stopped rescanning the
+device (``heap_compactions`` keeps its historical meaning).  See
+``docs/fluid_engine.md``, "Kernel regimes".
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 import sys
 from typing import Optional
@@ -55,6 +76,7 @@ from repro.device.faults import FaultModel
 from repro.endurance.emap import EnduranceMap
 from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.faults import FaultInjector, active_injector, active_task_key
+from repro.sim.frontier import DeathFrontier
 from repro.sim.result import SimulationResult, TimelineEvent
 from repro.sparing.base import (
     BATCH_EXTEND,
@@ -90,6 +112,22 @@ HEAP_SLACK = 2
 
 #: Upper bound on deaths pulled into one epoch of the batched engine.
 BATCH_LIMIT = 4096
+
+#: Consecutive one-death epochs before the batched kernel drops into its
+#: frontier-driven sequential regime (the BPA / concentrated-wear
+#: signature: safe prefixes collapsed to a single death, so every
+#: vectorized full-array scan buys exactly one event).
+SEQUENTIAL_ENTER_STREAK = 4
+
+#: Largest epoch the sequential regime serves before handing back to the
+#: vectorized scan.  Must stay strictly below ``BATCH_LIMIT``: a frontier
+#: epoch smaller than ``BATCH_LIMIT`` is provably the exact vectorized
+#: selection, while at ``BATCH_LIMIT`` the argpartition tie-trim could
+#: reshape it (see :meth:`DeathFrontier.pop_epoch`).
+SEQUENTIAL_EPOCH_CAP = 64
+
+#: Work-set size of the sequential regime's death-frontier index.
+FRONTIER_LIMIT = 8192
 
 _DEGENERATE_REASON = "no wear-prone traffic (simulation degenerate)"
 _EXHAUSTED_REASON = "all wear-prone slots exhausted"
@@ -188,10 +226,14 @@ class LifetimeSimulator:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`: the run
         records ``sim/init`` and ``sim/kernel`` spans plus deterministic
         counters (``sim.deaths``, ``sim.replacements``, per-engine
-        ``sim.epochs`` / ``sim.heap_compactions``) and the
-        ``sim.deaths_per_run`` histogram.  With verification enabled it
-        also records ``verify.checks`` / ``verify.violations`` counters
-        and ``verify/invariants`` / ``verify/shadow`` spans.
+        ``sim.epochs`` / ``sim.sequential_rounds`` /
+        ``sim.regime_switches`` / ``sim.full_scans`` /
+        ``sim.heap_compactions``) and the ``sim.deaths_per_run`` and
+        ``sim.epoch_size`` histograms (the latter makes the batched
+        kernel's regime visible: 1-wide epochs are the sequential
+        signature).  With verification enabled it also records
+        ``verify.checks`` / ``verify.violations`` counters and
+        ``verify/invariants`` / ``verify/shadow`` spans.
     paranoia:
         State-integrity checking level (``"off"``, ``"cheap"``,
         ``"full"``); see :mod:`repro.verify.invariants`.  Checks never
@@ -460,15 +502,15 @@ class LifetimeSimulator:
         total_endurance: float = 0.0,
     ) -> tuple[float, int, int, str, list[TimelineEvent], dict]:
         slots = backing.size
-        heap: list[tuple[float, int]] = [
-            (float(current_death[slot]), int(slot))
-            for slot in np.flatnonzero(np.isfinite(current_death))
-        ]
-        heapq.heapify(heap)
-        heap_cap = slots * HEAP_SLACK
-        compactions = 0
-
         alive = np.ones(slots, dtype=bool)
+        # The shared death-frontier index is the historical heap: same
+        # (time, slot) entries, same lazy deletion, and its compaction
+        # cadence is pinned by the same ``slots * HEAP_SLACK`` cap -- but
+        # rebuilds reuse the index's single implementation instead of an
+        # ad-hoc flatnonzero reconstruction per overflow.
+        frontier = DeathFrontier(
+            current_death, cap=slots * HEAP_SLACK, alive=alive
+        )
         # fsum: the initial active weight is the one sum every served-
         # writes increment multiplies, so compute it exactly (a uniform
         # 20-slot profile must sum to 1.0, not 1.0 + 1ulp).
@@ -507,23 +549,8 @@ class LifetimeSimulator:
                     )
                 )
 
-        def push(entry: tuple[float, int]) -> None:
-            nonlocal heap, compactions
-            heapq.heappush(heap, entry)
-            if len(heap) > heap_cap:
-                # Drop stale entries: rebuild from the authoritative
-                # per-slot death times.
-                heap = [
-                    (float(current_death[slot]), int(slot))
-                    for slot in np.flatnonzero(alive & np.isfinite(current_death))
-                ]
-                heapq.heapify(heap)
-                compactions += 1
-
-        while heap:
-            v, slot = heapq.heappop(heap)
-            if not alive[slot] or v != current_death[slot]:
-                continue  # stale entry
+        while (entry := frontier.pop()) is not None:
+            v, slot = entry
             rounds += 1
             if corruptor is not None:
                 kind = corruptor.corrupt_state(integrity_key, rounds)
@@ -555,7 +582,7 @@ class LifetimeSimulator:
                 extra = float(endurance[outcome.line])
                 new_death = v_now + extra / weights[slot]
                 current_death[slot] = new_death
-                push((new_death, slot))
+                frontier.push(slot, new_death)
                 record(slot, dead_line, "replaced", outcome.line)
                 continue
             if isinstance(outcome, ExtendBudget):
@@ -566,7 +593,7 @@ class LifetimeSimulator:
                     )
                 new_death = v_now + outcome.wear / weights[slot]
                 current_death[slot] = new_death
-                push((new_death, slot))
+                frontier.push(slot, new_death)
                 record(slot, dead_line, "extended", None)
                 continue
             if isinstance(outcome, RemoveSlot):
@@ -596,7 +623,7 @@ class LifetimeSimulator:
 
         if guard is not None:
             guard.final_check(view)
-        extra_meta = {"heap_compactions": compactions}
+        extra_meta = {"heap_compactions": frontier.compactions}
         return served, deaths, replacements, failure_reason, timeline, extra_meta
 
     # ------------------------------------------------------------------
@@ -626,12 +653,31 @@ class LifetimeSimulator:
         # exactly 1.0 or every served increment carries the 1ulp error.
         active_weight = math.fsum(weights)
         w_max = float(weights.max()) if weights.size else 0.0
+        # Tightened safe-prefix bound: the largest weight among *still
+        # prone* slots.  Slots only ever leave the prone set (removal or
+        # terminal failure), so the last recomputed maximum stays a valid
+        # upper bound; ``w_max_live`` lazily counts the prone slots at
+        # that maximum and triggers a recompute only when it hits zero.
+        w_max_active = w_max
+        w_max_live = -1  # -1 = count not yet materialized
         failure_reason = _DEGENERATE_REASON
         timeline: list[TimelineEvent] = []
         floor = self._sparing.replacement_extra_floor()
         integrity_key = (
             self._integrity_key() if corruptor is not None else ""
         )
+        # Adaptive regime switch: consecutive one-death epochs (the
+        # concentrated-wear signature) hand selection to the incremental
+        # death-frontier index; any epoch it cannot prove identical to
+        # the vectorized selection hands back.  Guards re-inspect full
+        # state every round and corruption mutates it behind the index's
+        # back, so both pin the kernel to the vectorized regime.
+        frontier: Optional[DeathFrontier] = None
+        sequential_ok = guard is None and corruptor is None
+        size1_streak = 0
+        sequential_rounds = 0
+        regime_switches = 0
+        full_scans = 0
 
         def view():
             assert guard is not None
@@ -656,50 +702,191 @@ class LifetimeSimulator:
                     )
             if guard is not None:
                 guard.on_round(view)
-            candidates = np.flatnonzero(np.isfinite(current_death))
-            if candidates.size == 0:
-                if deaths > 0:
-                    failure_reason = _EXHAUSTED_REASON
-                break
-            epochs += 1
 
-            # Next BATCH_LIMIT deaths, in exact heap order (time, slot).
-            if candidates.size > BATCH_LIMIT:
-                nearest = np.argpartition(
-                    current_death[candidates], BATCH_LIMIT - 1
-                )[:BATCH_LIMIT]
-                sel = candidates[nearest]
-                times = current_death[sel]
-                # argpartition breaks time ties arbitrarily at the cut, so
-                # trim to a *complete* time-prefix: either everything
-                # strictly before the selection's max time, or -- when the
-                # whole selection ties -- the full tie class.
-                t_max = times.max()
-                strictly_before = times < t_max
-                if strictly_before.any():
-                    sel = sel[strictly_before]
-                    times = times[strictly_before]
+            sel = times = None
+            if frontier is not None:
+                # Sequential micro-loop: pop the epoch straight off the
+                # index -- O(epoch log workset), independent of device
+                # size -- and fall back the moment equivalence to the
+                # vectorized selection cannot be proven.
+                epoch = frontier.pop_epoch(
+                    floor, w_max_active, min(SEQUENTIAL_EPOCH_CAP, BATCH_LIMIT - 1)
+                )
+                if epoch is None:
+                    frontier = None
+                    size1_streak = 0
+                    regime_switches += 1
+                elif not epoch[0]:
+                    if deaths > 0:
+                        failure_reason = _EXHAUSTED_REASON
+                    break
+                elif len(epoch[0]) == 1:
+                    # One-death epoch: the vectorized body collapses to a
+                    # handful of scalar IEEE operations (each expression
+                    # below is the element-wise form of its array
+                    # counterpart, so results stay bit-identical), and
+                    # the scheme's scalar replace() -- pinned equivalent
+                    # to replace_batch by the differential suite -- skips
+                    # the per-batch array machinery entirely.
+                    sequential_rounds += 1
+                    epochs += 1
+                    slot = epoch[0][0]
+                    v = epoch[1][0]
+                    served = served + (v - v_now) * active_weight * eta
+                    v_now = v
+                    deaths += 1
+                    dead_line = int(backing[slot])
+                    outcome = self._sparing.replace(slot, dead_line)
+                    record_event = (
+                        self._record_timeline
+                        and len(timeline) < self._max_timeline_events
+                    )
+                    if self._metrics is not None:
+                        self._metrics.observe("sim.epoch_size", 1)
+                    if isinstance(outcome, ReplaceWith):
+                        replacements += 1
+                        backing[slot] = outcome.line
+                        new_death = v + endurance[outcome.line] / weights[slot]
+                        current_death[slot] = new_death
+                        frontier.push(slot, new_death)
+                        if record_event:
+                            timeline.append(
+                                TimelineEvent(
+                                    writes_served=served,
+                                    slot=slot,
+                                    dead_line=dead_line,
+                                    action="replaced",
+                                    replacement_line=int(outcome.line),
+                                )
+                            )
+                        continue
+                    if isinstance(outcome, ExtendBudget):
+                        replacements += 1
+                        new_death = v + outcome.wear / weights[slot]
+                        current_death[slot] = new_death
+                        frontier.push(slot, new_death)
+                        if record_event:
+                            timeline.append(
+                                TimelineEvent(
+                                    writes_served=served,
+                                    slot=slot,
+                                    dead_line=dead_line,
+                                    action="extended",
+                                    replacement_line=None,
+                                )
+                            )
+                        continue
+                    if isinstance(outcome, RemoveSlot):
+                        current_death[slot] = math.inf
+                        live_count -= 1
+                        active_weight -= float(weights[slot])
+                        if (
+                            floor is not None
+                            and not math.isinf(floor)
+                            and weights[slot] == w_max_active
+                        ):
+                            if w_max_live < 0:
+                                w_max_live = int(
+                                    np.count_nonzero(
+                                        weights[np.isfinite(current_death)]
+                                        == w_max_active
+                                    )
+                                )
+                            else:
+                                w_max_live -= 1
+                            if w_max_live == 0:
+                                survivors = weights[np.isfinite(current_death)]
+                                if survivors.size:
+                                    w_max_active = float(survivors.max())
+                                    w_max_live = int(
+                                        np.count_nonzero(
+                                            survivors == w_max_active
+                                        )
+                                    )
+                        if record_event:
+                            timeline.append(
+                                TimelineEvent(
+                                    writes_served=served,
+                                    slot=slot,
+                                    dead_line=dead_line,
+                                    action="removed",
+                                    replacement_line=None,
+                                )
+                            )
+                        if live_count < min_user_slots:
+                            failure_reason = (
+                                f"capacity degraded below user capacity "
+                                f"({live_count} < {min_user_slots} slots)"
+                            )
+                            break
+                        continue
+                    assert isinstance(outcome, FailDevice)
+                    current_death[slot] = math.inf
+                    if record_event:
+                        timeline.append(
+                            TimelineEvent(
+                                writes_served=served,
+                                slot=slot,
+                                dead_line=dead_line,
+                                action="device-failed",
+                                replacement_line=None,
+                            )
+                        )
+                    failure_reason = outcome.reason
+                    break
                 else:
-                    sel = candidates[current_death[candidates] == t_max]
-                    times = current_death[sel]
-            else:
-                sel = candidates
-                times = current_death[sel]
-            order = np.lexsort((sel, times))
-            sel = sel[order]
-            times = times[order]
+                    sel = np.asarray(epoch[0], dtype=np.intp)
+                    times = np.asarray(epoch[1], dtype=float)
+                    sequential_rounds += 1
+            if sel is None:
+                full_scans += 1
+                candidates = np.flatnonzero(np.isfinite(current_death))
+                if candidates.size == 0:
+                    if deaths > 0:
+                        failure_reason = _EXHAUSTED_REASON
+                    break
 
-            # Chronologically safe prefix: no replacement made inside the
-            # window can schedule its next death back into the window.
-            if floor is None:
-                prefix = 1
-            elif math.isinf(floor):
-                prefix = sel.size
-            else:
-                bound = times[0] + floor / w_max
-                prefix = max(int(np.searchsorted(times, bound, side="left")), 1)
-            sel = sel[:prefix]
-            times = times[:prefix]
+                # Next BATCH_LIMIT deaths, in exact heap order (time, slot).
+                if candidates.size > BATCH_LIMIT:
+                    nearest = np.argpartition(
+                        current_death[candidates], BATCH_LIMIT - 1
+                    )[:BATCH_LIMIT]
+                    sel = candidates[nearest]
+                    times = current_death[sel]
+                    # argpartition breaks time ties arbitrarily at the cut,
+                    # so trim to a *complete* time-prefix: either everything
+                    # strictly before the selection's max time, or -- when
+                    # the whole selection ties -- the full tie class.
+                    t_max = times.max()
+                    strictly_before = times < t_max
+                    if strictly_before.any():
+                        sel = sel[strictly_before]
+                        times = times[strictly_before]
+                    else:
+                        sel = candidates[current_death[candidates] == t_max]
+                        times = current_death[sel]
+                else:
+                    sel = candidates
+                    times = current_death[sel]
+                order = np.lexsort((sel, times))
+                sel = sel[order]
+                times = times[order]
+
+                # Chronologically safe prefix: no replacement made inside
+                # the window can schedule its next death back into the
+                # window.
+                if floor is None:
+                    prefix = 1
+                elif math.isinf(floor):
+                    prefix = sel.size
+                else:
+                    bound = times[0] + floor / w_max_active
+                    prefix = max(
+                        int(np.searchsorted(times, bound, side="left")), 1
+                    )
+                sel = sel[:prefix]
+                times = times[:prefix]
+            epochs += 1
 
             dead_lines = backing[sel]  # fancy index: a copy, safe to keep
             outcome = self._sparing.replace_batch(sel, dead_lines)
@@ -749,17 +936,52 @@ class LifetimeSimulator:
                 rep_slots = sel[rep]
                 rep_lines = lines[rep]
                 backing[rep_slots] = rep_lines
-                current_death[rep_slots] = (
-                    times[rep] + endurance[rep_lines] / weights[rep_slots]
-                )
+                rep_deaths = times[rep] + endurance[rep_lines] / weights[rep_slots]
+                current_death[rep_slots] = rep_deaths
+                if frontier is not None:
+                    for slot, death in zip(
+                        rep_slots.tolist(), rep_deaths.tolist()
+                    ):
+                        frontier.push(slot, death)
             ext = np.flatnonzero(actions == BATCH_EXTEND)
             if ext.size:
                 replacements += int(ext.size)
                 ext_slots = sel[ext]
-                current_death[ext_slots] = times[ext] + wear[ext] / weights[ext_slots]
+                ext_deaths = times[ext] + wear[ext] / weights[ext_slots]
+                current_death[ext_slots] = ext_deaths
+                if frontier is not None:
+                    for slot, death in zip(
+                        ext_slots.tolist(), ext_deaths.tolist()
+                    ):
+                        frontier.push(slot, death)
             if removal_positions.size:
-                current_death[sel[removal_positions]] = math.inf
+                removed_slots = sel[removal_positions]
+                current_death[removed_slots] = math.inf
                 live_count -= int(removal_positions.size)
+                if floor is not None and not math.isinf(floor):
+                    # Keep the tightened bound honest: when the last prone
+                    # slot at the current maximum weight dies, find the
+                    # next maximum among the survivors.
+                    dead_w = weights[removed_slots]
+                    if np.any(dead_w == w_max_active):
+                        if w_max_live < 0:
+                            w_max_live = int(
+                                np.count_nonzero(
+                                    weights[np.isfinite(current_death)]
+                                    == w_max_active
+                                )
+                            )
+                        else:
+                            w_max_live -= int(
+                                np.count_nonzero(dead_w == w_max_active)
+                            )
+                        if w_max_live == 0:
+                            survivors = weights[np.isfinite(current_death)]
+                            if survivors.size:
+                                w_max_active = float(survivors.max())
+                                w_max_live = int(
+                                    np.count_nonzero(survivors == w_max_active)
+                                )
             if fail_reason is not None:
                 current_death[sel[count - 1]] = math.inf
 
@@ -779,6 +1001,8 @@ class LifetimeSimulator:
                         )
                     )
 
+            if self._metrics is not None:
+                self._metrics.observe("sim.epoch_size", count)
             if capacity_failed:
                 failure_reason = (
                     f"capacity degraded below user capacity "
@@ -788,10 +1012,32 @@ class LifetimeSimulator:
             if fail_reason is not None:
                 failure_reason = fail_reason
                 break
+            if frontier is None and sequential_ok:
+                if count == 1:
+                    size1_streak += 1
+                    if size1_streak >= SEQUENTIAL_ENTER_STREAK and BATCH_LIMIT > 1:
+                        candidate = DeathFrontier(
+                            current_death, limit=FRONTIER_LIMIT
+                        )
+                        if candidate.degenerate:
+                            # A minimum tie class wider than the work set
+                            # can only keep degenerating; stay vectorized.
+                            sequential_ok = False
+                        else:
+                            frontier = candidate
+                            size1_streak = 0
+                            regime_switches += 1
+                else:
+                    size1_streak = 0
 
         if guard is not None:
             guard.final_check(view)
-        extra_meta = {"epochs": epochs}
+        extra_meta = {
+            "epochs": epochs,
+            "sequential_rounds": sequential_rounds,
+            "regime_switches": regime_switches,
+            "full_scans": full_scans,
+        }
         return served, deaths, replacements, failure_reason, timeline, extra_meta
 
 

@@ -382,6 +382,13 @@ class SpareScheme(ABC):
         order.  ``math.inf`` is correct for schemes that never replace;
         ``None`` (the default) means unknown, and the engine delivers
         deaths one at a time.
+
+        The engine may *tighten* ``max_weight`` to the largest weight
+        among slots that can still die (slots retired by removal
+        verdicts leave the prone set for good), so the window this
+        floor buys lengthens as heavy slots retire.  The floor must
+        therefore bound the budget of replacements on *any still-prone
+        slot*, which every fixed lower bound already satisfies.
         """
         return None
 

@@ -407,3 +407,132 @@ class TestAgainstReference:
                 reference.normalized_lifetime, rel=0.05
             )
             assert fluid.replacements == reference.replacements
+
+
+class TestSequentialRegime:
+    """The adaptive sequential kernel: one-death-per-epoch streams must
+    engage the death-frontier micro-loop and still be exact vs the
+    scalar engine (solo) and bit-identical vs solo batched (ensemble)."""
+
+    #: Wide-spread endurance with a single hot slot: every death is its
+    #: own epoch, the canonical sequential (BPA-shaped) stream.  Eight
+    #: lines per region keeps the hot region supplied with spares long
+    #: enough for every scheme to outlast the entry streak.
+    @staticmethod
+    def stream_map():
+        return EnduranceMap(np.linspace(80.0, 4000.0, 800), regions=100)
+
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+    def test_sequential_stream_matches_exact(self, scheme_name):
+        exact, batched = both_engines(
+            self.stream_map(), "streaming", scheme_name, seed=17
+        )
+        assert_engines_agree(exact, batched)
+        meta = batched.metadata
+        if batched.deaths > lifetime_module.SEQUENTIAL_ENTER_STREAK + 1:
+            # Enough size-1 epochs to trip the streak: the regime must
+            # have engaged and absorbed the remaining deaths.
+            assert meta["regime_switches"] >= 1
+            assert meta["sequential_rounds"] > 0
+            # Selection work stayed O(batch): full scans are bounded by
+            # the pre-switch streak, not the death count.
+            assert meta["full_scans"] <= (
+                lifetime_module.SEQUENTIAL_ENTER_STREAK
+                + meta["regime_switches"]
+            )
+
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+    def test_sequential_stream_ensemble_bit_identical(self, scheme_name):
+        runs = {}
+        for engine in ("fluid-batched", "fluid-ensemble"):
+            runs[engine] = simulate_lifetime(
+                self.stream_map(),
+                ATTACK_FACTORIES["streaming"](),
+                SCHEME_FACTORIES[scheme_name](),
+                rng=17,
+                engine=engine,
+                record_timeline=False,
+            )
+        assert_bit_identical(runs["fluid-batched"], runs["fluid-ensemble"])
+
+    def test_regrow_exits_and_reenters_cleanly(self, monkeypatch):
+        """Force hair-trigger entry (streak=1) with a tiny epoch cap on a
+        map whose deaths alternate between an isolated salvaged line
+        (size-1 epochs -> enter) and a dense tie cluster (regrown epochs
+        -> bail): the kernel must bounce between regimes repeatedly
+        without drifting from the scalar engine."""
+        monkeypatch.setattr(lifetime_module, "SEQUENTIAL_ENTER_STREAK", 1)
+        monkeypatch.setattr(lifetime_module, "SEQUENTIAL_EPOCH_CAP", 1)
+        values = np.concatenate(
+            [
+                np.array([100.0]),  # dies first, extends far past the cluster
+                np.full(30, 150.0),  # dense tie cluster regrows every round
+                np.geomspace(1.0e4, 1.0e5, 49),  # far quiet tail
+            ]
+        )
+        results = {}
+        for engine in ("fluid-exact", "fluid-batched"):
+            results[engine] = simulate_lifetime(
+                EnduranceMap(values.copy(), regions=40),
+                UniformAddressAttack(),
+                ECP(pointers=100, bonus_per_pointer=0.05),
+                rng=23,
+                engine=engine,
+                record_timeline=False,
+            )
+        exact, batched = results["fluid-exact"], results["fluid-batched"]
+        assert_engines_agree(exact, batched)
+        meta = batched.metadata
+        assert meta["regime_switches"] >= 2  # entered and exited (many times)
+        assert meta["sequential_rounds"] > 0
+
+    def test_sequential_timeline_matches_exact(self):
+        """The micro-loop's timeline events (scalar replace path) must
+        mirror the scalar engine's event stream."""
+        runs = {}
+        for engine in ("fluid-exact", "fluid-batched"):
+            runs[engine] = simulate_lifetime(
+                self.stream_map(),
+                ATTACK_FACTORIES["streaming"](),
+                SCHEME_FACTORIES["max-we"](),
+                rng=17,
+                engine=engine,
+                record_timeline=True,
+            )
+        exact, batched = runs["fluid-exact"], runs["fluid-batched"]
+        assert batched.metadata["sequential_rounds"] > 0
+        assert len(exact.timeline) == len(batched.timeline)
+        for a, b in zip(exact.timeline, batched.timeline):
+            assert (a.slot, a.dead_line, a.action, a.replacement_line) == (
+                b.slot,
+                b.dead_line,
+                b.action,
+                b.replacement_line,
+            )
+            assert b.writes_served == pytest.approx(a.writes_served, rel=1e-9)
+
+    @pytest.mark.parametrize("engine", ("fluid-batched", "fluid-ensemble"))
+    def test_full_paranoia_off_bit_identity_through_sequential(self, engine):
+        """Paranoia=full disables the frontier (the guard audits every
+        epoch); paranoia=off rides the sequential micro-loop.  The two
+        paths must still be bit-identical -- the regression pinning the
+        new kernel against the state-integrity referee."""
+        results = {}
+        for paranoia in ("off", "full"):
+            results[paranoia] = simulate_lifetime(
+                self.stream_map(),
+                ATTACK_FACTORIES["streaming"](),
+                SCHEME_FACTORIES["ps"](),
+                rng=17,
+                engine=engine,
+                paranoia=paranoia,
+                record_timeline=False,
+            )
+        off, full = results["off"], results["full"]
+        if engine == "fluid-batched":
+            assert off.metadata["sequential_rounds"] > 0
+            assert full.metadata["sequential_rounds"] == 0
+        assert full.writes_served == off.writes_served  # bit-identical
+        assert full.deaths == off.deaths
+        assert full.replacements == off.replacements
+        assert full.failure_reason == off.failure_reason
