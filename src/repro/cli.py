@@ -246,6 +246,28 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="deterministic fault injection for resilience testing, e.g. "
         "'crash=0.2,hang=0.05,transient=0.1,seed=7' (see repro.sim.faults)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("pool", "fabric"),
+        default="pool",
+        help="execution backend: local process pool (default) or the "
+        "lease-based multi-host fabric (results are bit-identical)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=positive_int_arg,
+        default=None,
+        metavar="N",
+        help="fabric worker processes (default: --jobs); fabric only",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=positive_float_arg,
+        default=None,
+        metavar="SECONDS",
+        help="fabric lease time-to-live without a heartbeat before the "
+        "task is requeued (default: 10); fabric only",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -311,6 +333,29 @@ def _emit_metrics(
             "cache_misses": metrics.counter("cache.misses"),
             "retries": metrics.counter("runner.retries"),
             "pool_respawns": metrics.counter("runner.pool_respawns"),
+            **(
+                {
+                    "backend": "fabric",
+                    "leases_granted": metrics.counter("fabric.leases_granted"),
+                    "leases_expired": metrics.counter("fabric.leases_expired"),
+                    "steals": metrics.counter("fabric.steals"),
+                    "requeues": metrics.counter("fabric.requeues"),
+                    "duplicate_commits": metrics.counter(
+                        "fabric.duplicate_commits"
+                    ),
+                    "late_commits": metrics.counter("fabric.late_commits"),
+                    "workers_lost": metrics.counter("fabric.workers_lost"),
+                    "workers_respawned": metrics.counter(
+                        "fabric.workers_respawned"
+                    ),
+                    "local_fallback_tasks": metrics.counter(
+                        "fabric.local_fallback_tasks"
+                    ),
+                    "degraded": bool(metrics.gauge_value("runner.degraded")),
+                }
+                if getattr(args, "backend", "pool") == "fabric"
+                else {}
+            ),
         },
     )
     if getattr(args, "metrics_out", None):
@@ -318,6 +363,25 @@ def _emit_metrics(
         print(f"[metrics written to {path}]")
     if getattr(args, "profile", False):
         print(profile_report(manifest))
+
+
+def _backend_from(args: argparse.Namespace):
+    """Build the executor backend the command asked for.
+
+    ``None`` keeps the runner's default process pool; ``--backend
+    fabric`` constructs a :class:`~repro.fabric.backend.FabricBackend`
+    with ``--workers`` / ``--lease-ttl`` applied.
+    """
+    name = getattr(args, "backend", "pool")
+    if name != "fabric":
+        return None
+    from repro.fabric.backend import DEFAULT_LEASE_TTL, FabricBackend
+
+    lease_ttl = getattr(args, "lease_ttl", None)
+    return FabricBackend(
+        workers=getattr(args, "workers", None),
+        lease_ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
+    )
 
 
 def _policy_from(args: argparse.Namespace) -> ResiliencePolicy:
@@ -461,6 +525,7 @@ def _cmd_sweep_spare(args: argparse.Namespace) -> int:
                 policy=_policy_from(args),
                 checkpoint=_checkpoint_from(args, config),
                 metrics=metrics,
+                backend=_backend_from(args),
                 **_verify_kwargs(args),
             )
         ]
@@ -491,6 +556,7 @@ def _cmd_sweep_swr(args: argparse.Namespace) -> int:
             policy=_policy_from(args),
             checkpoint=_checkpoint_from(args, config),
             metrics=metrics,
+            backend=_backend_from(args),
             **_verify_kwargs(args),
         )
     fractions = [fraction for fraction, _ in next(iter(sweeps.values()))]
@@ -524,6 +590,7 @@ def _cmd_compare_uaa(args: argparse.Namespace) -> int:
             policy=_policy_from(args),
             checkpoint=_checkpoint_from(args, config),
             metrics=metrics,
+            backend=_backend_from(args),
             **_verify_kwargs(args),
         )
     baseline = results["no-protection"].normalized_lifetime
@@ -558,6 +625,7 @@ def _cmd_compare_bpa(args: argparse.Namespace) -> int:
             policy=_policy_from(args),
             checkpoint=_checkpoint_from(args, config),
             metrics=metrics,
+            backend=_backend_from(args),
             **_verify_kwargs(args),
         )
     wearlevelers = list(next(iter(comparison.values())).keys())
@@ -619,6 +687,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 policy=_policy_from(args),
                 checkpoint=_checkpoint_from(args, config, {"specs": specs}),
                 metrics=metrics,
+                backend=_backend_from(args),
                 **_verify_kwargs(args),
             )
     except (ValueError, TypeError) as error:

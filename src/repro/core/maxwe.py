@@ -52,6 +52,10 @@ from repro.util.validation import require_fraction
 _ORIGINAL = 0
 _SWR_REPLACED = 1
 _LMT_REPLACED = 2
+#: Terminal code for the slot whose unservable death ended the device:
+#: its mapping (if any) is dropped, so the LMT and the state ledger stay
+#: consistent for the post-failure integrity sweep.
+_RETIRED = 3
 
 #: Failure reason when the dynamic pool runs dry (Section 4.2).
 _POOL_EXHAUSTED = "additional spare regions exhausted (Section 4.2 failure)"
@@ -277,6 +281,11 @@ class MaxWE(SpareScheme):
     def _rescue_from_pool(self, slot: int, original_line: int) -> Replacement:
         assert self._lmt is not None
         if self._pool_pos >= self._pool_lines.size:
+            # The slot's previous LMT entry (if it had one) was already
+            # dropped by the re-rescue path; leaving the state code at
+            # _LMT_REPLACED would desynchronize the LMT from the state
+            # ledger exactly when the final integrity sweep runs.
+            self._state[slot] = _RETIRED
             return FailDevice(reason=_POOL_EXHAUSTED)
         spare = int(self._pool_lines[self._pool_pos])
         self._pool_pos += 1
@@ -359,6 +368,17 @@ class MaxWE(SpareScheme):
             rescued_slots = slots[rescue_positions]
             self._lmt.insert_many(self._original_line[rescued_slots], taken)
             self._state[rescued_slots] = _LMT_REPLACED
+
+        if fail_reason is not None:
+            # Retire the slot whose death could not be served, dropping
+            # its live LMT entry (a re-death of a rescued slot would
+            # otherwise leave a stale entry pointing at the dead spare).
+            failing_slot = int(slots[count - 1])
+            if self._state[failing_slot] == _LMT_REPLACED:
+                original = int(self._original_line[failing_slot])
+                if original in self._lmt:
+                    self._lmt.remove(original)
+            self._state[failing_slot] = _RETIRED
 
         return BatchOutcome(actions=actions, lines=lines, fail_reason=fail_reason)
 
@@ -799,6 +819,11 @@ class MaxWEStackedState(BatchedSchemeState):
             self._pool_pos[trial] = pos + rescue_positions.size
             lines[rescue_positions] = taken
             state_row[slots[rescue_positions]] = _LMT_REPLACED
+
+        if fail_reason is not None:
+            # Mirror the solo scheme: the unservable slot is retired so
+            # state codes agree between stacked and per-trial execution.
+            state_row[slots[count - 1]] = _RETIRED
 
         return actions, lines, _NO_WEAR, fail_reason
 

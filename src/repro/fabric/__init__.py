@@ -1,0 +1,33 @@
+"""Multi-host sweep fabric: a socket-served, lease-based executor backend.
+
+The fabric turns one :class:`~repro.sim.runner.SimRunner` call into a
+small distributed system on localhost (or, with the coordinator bound to
+a routable address, across hosts):
+
+* :mod:`repro.fabric.wire` -- length-prefixed pickle frames plus the
+  worker-side :class:`~repro.fabric.wire.Channel` that applies injected
+  network faults (drop / duplicate / delay) deterministically and
+  retransmits until the coordinator answers;
+* :mod:`repro.fabric.coordinator` -- the in-supervisor task server:
+  work-stealing ready queue, heartbeat-renewed worker leases,
+  first-commit-wins idempotent result commits keyed on the SHA-256
+  content-addressed task key;
+* :mod:`repro.fabric.worker` -- the worker-process loop: fetch, execute
+  under the shared fault harness, journal to a per-shard checkpoint
+  ledger, commit;
+* :mod:`repro.fabric.backend` -- :class:`~repro.fabric.backend.FabricBackend`,
+  the :class:`~repro.sim.executor.ExecutorBackend` implementation that
+  spawns the workers, drives lease expiry and completion fan-in on the
+  calling thread, and degrades gracefully (down to running the leftovers
+  in-process) when workers die.
+
+Robustness invariant, inherited from the process pool and pinned by the
+fabric test suite: a sweep under heavy injected chaos -- crashes, hangs,
+dropped / duplicated / delayed messages, partitions, slow and dead
+workers, expired leases -- converges bit-identical to the fault-free
+serial run.
+"""
+
+from repro.fabric.backend import FabricBackend
+
+__all__ = ["FabricBackend"]

@@ -1,0 +1,465 @@
+"""The fabric coordinator: lease-guarded work-stealing task server.
+
+Runs inside the supervisor process.  An accept thread hands each worker
+connection to a handler thread; every mutation of shared state happens
+under one lock, and everything that must execute on the *calling* thread
+(cache writes, primary-checkpoint appends, retry arbitration) is pushed
+through ``outbox`` for :class:`~repro.fabric.backend.FabricBackend` to
+drain.
+
+Robustness model
+----------------
+* **Leases.**  A fetched task is leased to the worker; the lease is
+  renewed by heartbeats and expires after ``lease_ttl`` without one.
+  Expiry of a task's *last* lease is an innocent requeue: the attempt
+  charged at grant time is refunded, so the re-dispatch replays the same
+  attempt number and the same injected-fault rolls -- the distributed
+  analogue of the pool's torn-down-pool requeue.
+* **Stealing.**  A worker that finds the ready queue empty may be
+  granted a *duplicate* lease on the oldest outstanding lease past half
+  its TTL (at most two leases per task), under the *same* attempt
+  number.  Whichever copy commits first wins; the loser's commit is a
+  counted duplicate.
+* **Idempotent commits.**  Commits are keyed on the task's SHA-256
+  content key; the first wins, every later one (steal loser, duplicated
+  frame, partition-healed straggler) is acknowledged and dropped.
+  At-least-once message delivery therefore yields effectively-once
+  completion.  A commit landing *after* the task was terminally failed
+  or requeued still counts -- it heals the failure (``late_commits``).
+* **Worker death.**  EOF on a connection holding an active lease is the
+  crash verdict (charged, retryable), mirroring the pool's
+  ``BrokenProcessPool`` path.  If a sibling lease is still running the
+  loss is absorbed silently -- the survivor decides the task's fate.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from collections import deque
+
+from repro.fabric.wire import FrameError, recv_frame, send_frame
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.executor import SupervisedTask
+from repro.util.events import EventLog
+
+
+class LeaseExpired(RuntimeError):
+    """A worker lease lapsed without heartbeat (partition / stall)."""
+
+    #: Honored by :func:`repro.sim.resilience.is_retryable`.
+    retryable = True
+
+
+class WorkerCrash(RuntimeError):
+    """A worker connection died while holding an active lease."""
+
+    retryable = True
+
+
+class RemoteTaskError(RuntimeError):
+    """A task attempt failed on a remote worker.
+
+    Carries the worker-side exception's type name and retry verdict so
+    the supervisor's shared retry arbiter treats remote failures exactly
+    like local ones without unpickling arbitrary exception objects.
+    """
+
+    def __init__(self, error_type: str, message: str, retryable: bool) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.retryable = bool(retryable)
+
+
+@dataclass
+class Lease:
+    """One outstanding grant of a task to a worker."""
+
+    lease_id: int
+    state: SupervisedTask
+    worker: str
+    attempt: int
+    granted: float
+    last_beat: float
+    stolen: bool = False
+
+
+@dataclass
+class _TaskSlot:
+    """Coordinator-side bookkeeping for one supervised task."""
+
+    state: SupervisedTask
+    leases: Set[int] = field(default_factory=set)
+    done: bool = False
+
+
+class Coordinator:
+    """Socket-served task queue with leases, stealing, idempotent commits.
+
+    ``outbox`` carries ``("complete", state, report, granted, late)``
+    and ``("verdict", state, error, kind)`` tuples to the backend's
+    supervisor loop; nothing user-visible runs on coordinator threads.
+    """
+
+    def __init__(
+        self,
+        pending: Sequence[SupervisedTask],
+        *,
+        lease_ttl: float,
+        metrics: MetricsRegistry,
+        events: EventLog,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self._lease_ttl = float(lease_ttl)
+        self._metrics = metrics
+        self._events = events
+        self.lock = threading.Lock()
+        self.ready: Deque[SupervisedTask] = deque(pending)
+        self._slots: Dict[str, _TaskSlot] = {
+            state.key: _TaskSlot(state=state) for state in pending
+        }
+        self._leases: Dict[int, Lease] = {}
+        self._next_lease = 0
+        self._shutdown = False
+        self.outbox: "queue.Queue[tuple]" = queue.Queue()
+
+        self._listener = socket.create_server((host, port), backlog=64)
+        self._listener.settimeout(0.2)
+        self._closing = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Supervisor-facing surface
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` workers should connect to."""
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    @property
+    def lease_ttl(self) -> float:
+        return self._lease_ttl
+
+    def request_shutdown(self) -> None:
+        """Make every subsequent fetch answer ``shutdown``."""
+        with self.lock:
+            self._shutdown = True
+
+    def close(self) -> None:
+        """Stop accepting, close the listener, and join handler threads."""
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def active_leases(self) -> int:
+        with self.lock:
+            return len(self._leases)
+
+    def take_ready(self) -> List[SupervisedTask]:
+        """Drain the ready queue (degraded local-fallback path)."""
+        with self.lock:
+            drained = [
+                state for state in self.ready if not self._slots[state.key].done
+            ]
+            self.ready.clear()
+            return drained
+
+    def expire_leases(self, now: Optional[float] = None) -> int:
+        """Expire leases past the TTL; returns how many lapsed.
+
+        The last lease of a task requeues it innocently (attempt
+        refunded); a lease with a surviving sibling is dropped silently.
+        """
+        if now is None:
+            now = monotonic()
+        expired = 0
+        with self.lock:
+            for lease_id, lease in list(self._leases.items()):
+                if now - lease.last_beat <= self._lease_ttl:
+                    continue
+                expired += 1
+                self._metrics.inc("fabric.leases_expired")
+                self._events.record(
+                    "lease-expired",
+                    lease.state.index,
+                    key=lease.state.key[:12],
+                    worker=lease.worker,
+                )
+                self._drop_lease(lease_id, requeue=True)
+        return expired
+
+    def expire_all_leases(self) -> int:
+        """Force-expire every lease (all workers known dead)."""
+        expired = 0
+        with self.lock:
+            for lease_id in list(self._leases):
+                expired += 1
+                self._metrics.inc("fabric.leases_expired")
+                self._drop_lease(lease_id, requeue=True)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Shared-state helpers (call with ``self.lock`` held)
+    # ------------------------------------------------------------------
+
+    def _drop_lease(self, lease_id: int, *, requeue: bool) -> None:
+        """Remove a lease; requeue its task if it was the last copy."""
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return
+        slot = self._slots[lease.state.key]
+        slot.leases.discard(lease_id)
+        if slot.done or slot.leases:
+            return
+        if requeue:
+            # Innocent requeue: refund the attempt charged at grant so
+            # the re-dispatch replays the same attempt number (and the
+            # same deterministic fault rolls).
+            lease.state.attempts = lease.attempt
+            self.ready.append(lease.state)
+            self._metrics.inc("fabric.requeues")
+            self._events.record(
+                "task-requeued", lease.state.index, key=lease.state.key[:12]
+            )
+
+    def _grant(self, state: SupervisedTask, worker: str, *, attempt: int,
+               stolen: bool) -> dict:
+        now = monotonic()
+        lease_id = self._next_lease
+        self._next_lease += 1
+        lease = Lease(
+            lease_id=lease_id,
+            state=state,
+            worker=worker,
+            attempt=attempt,
+            granted=now,
+            last_beat=now,
+            stolen=stolen,
+        )
+        self._leases[lease_id] = lease
+        self._slots[state.key].leases.add(lease_id)
+        self._metrics.inc("fabric.leases_granted")
+        if stolen:
+            self._metrics.inc("fabric.steals")
+            self._events.record(
+                "task-stolen", state.index, key=state.key[:12], worker=worker
+            )
+        return {
+            "type": "task",
+            "lease": lease_id,
+            "key": state.key,
+            "task": state.task,
+            "attempt": attempt,
+            "label": state.label,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling (coordinator threads)
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(None)
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), name="fabric-conn", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        """Answer one worker connection until EOF.
+
+        Tracks the lease currently held *through this connection* so a
+        dead worker (EOF mid-task) is charged as a crash -- unless a
+        sibling (stolen) lease survives to decide the task instead.
+        """
+        current_lease: Optional[int] = None
+        try:
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except (FrameError, OSError):
+                    message = None
+                if message is None:
+                    break
+                reply = self._dispatch(message)
+                if message.get("type") == "fetch":
+                    current_lease = (
+                        reply["lease"] if reply.get("type") == "task" else None
+                    )
+                elif message.get("type") in ("commit", "fail"):
+                    if message.get("lease") == current_lease:
+                        current_lease = None
+                try:
+                    send_frame(conn, reply)
+                except OSError:
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if current_lease is not None:
+                self._on_connection_lost(current_lease)
+
+    def _on_connection_lost(self, lease_id: int) -> None:
+        with self.lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return
+            slot = self._slots[lease.state.key]
+            survivors = len(slot.leases) - 1
+            self._drop_lease(lease_id, requeue=False)
+            if slot.done or survivors > 0:
+                return
+            self._metrics.inc("fabric.worker_crashes")
+        self.outbox.put(
+            (
+                "verdict",
+                lease.state,
+                WorkerCrash(
+                    f"worker {lease.worker} died holding lease {lease_id} "
+                    f"(task {lease.state.key[:12]}..., attempt {lease.attempt})"
+                ),
+                "crash",
+            )
+        )
+
+    def _dispatch(self, message: dict) -> dict:
+        kind = message.get("type")
+        if kind == "fetch":
+            return self._handle_fetch(message)
+        if kind == "commit":
+            return self._handle_commit(message)
+        if kind == "fail":
+            return self._handle_fail(message)
+        if kind == "heartbeat":
+            return self._handle_heartbeat(message)
+        return {"type": "error", "error": f"unknown message type {kind!r}"}
+
+    def _handle_fetch(self, message: dict) -> dict:
+        worker = str(message.get("worker", "?"))
+        now = monotonic()
+        with self.lock:
+            if self._shutdown:
+                return {"type": "shutdown"}
+            # Ready work first: skip states already committed via a late
+            # or duplicate path, honor retry backoff stamps.
+            for _ in range(len(self.ready)):
+                state = self.ready.popleft()
+                if self._slots[state.key].done:
+                    continue
+                if state.not_before > now:
+                    self.ready.append(state)
+                    continue
+                attempt = state.attempts
+                state.attempts += 1
+                return self._grant(state, worker, attempt=attempt, stolen=False)
+            # Nothing queued: steal the oldest lease past half its TTL
+            # (same attempt number; at most two leases per task).
+            candidate: Optional[Lease] = None
+            for lease in self._leases.values():
+                slot = self._slots[lease.state.key]
+                if slot.done or len(slot.leases) >= 2:
+                    continue
+                if lease.worker == worker:
+                    continue
+                if now - lease.granted < self._lease_ttl / 2.0:
+                    continue
+                if candidate is None or lease.granted < candidate.granted:
+                    candidate = lease
+            if candidate is not None:
+                return self._grant(
+                    candidate.state,
+                    worker,
+                    attempt=candidate.attempt,
+                    stolen=True,
+                )
+            return {"type": "wait"}
+
+    def _handle_commit(self, message: dict) -> dict:
+        key = message.get("key")
+        lease_id = message.get("lease")
+        report = message.get("report")
+        with self.lock:
+            slot = self._slots.get(key)
+            if slot is None:
+                return {"type": "ack", "accepted": False}
+            if slot.done:
+                # Steal loser, duplicated frame, or retransmitted commit:
+                # the first commit already decided this task.
+                self._metrics.inc("fabric.duplicate_commits")
+                self._drop_lease(lease_id, requeue=False)
+                return {"type": "ack", "accepted": False}
+            slot.done = True
+            lease = self._leases.get(lease_id)
+            granted = lease.granted if lease is not None else None
+            # A commit whose lease already expired (partition healed,
+            # failure overturned) is late but binding.
+            late = lease is None
+            if late:
+                self._metrics.inc("fabric.late_commits")
+            self._drop_lease(lease_id, requeue=False)
+            # Drop any requeued copy still sitting in the ready queue.
+            try:
+                self.ready.remove(slot.state)
+            except ValueError:
+                pass
+        self.outbox.put(("complete", slot.state, report, granted, late))
+        return {"type": "ack", "accepted": True}
+
+    def _handle_fail(self, message: dict) -> dict:
+        key = message.get("key")
+        lease_id = message.get("lease")
+        with self.lock:
+            slot = self._slots.get(key)
+            if slot is None:
+                return {"type": "ack", "accepted": False}
+            lease = self._leases.get(lease_id)
+            survivors = len(slot.leases) - (1 if lease is not None else 0)
+            self._drop_lease(lease_id, requeue=False)
+            if slot.done or survivors > 0 or lease is None:
+                # A sibling lease is still running (or already decided
+                # the task): absorb this copy's failure silently.
+                return {"type": "ack", "accepted": False}
+        error = RemoteTaskError(
+            str(message.get("error_type", "Exception")),
+            str(message.get("error_text", "")),
+            bool(message.get("retryable", True)),
+        )
+        self.outbox.put(("verdict", slot.state, error, message.get("kind", "exception")))
+        return {"type": "ack", "accepted": True}
+
+    def _handle_heartbeat(self, message: dict) -> dict:
+        lease_id = message.get("lease")
+        with self.lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return {"type": "ack", "valid": False}
+            lease.last_beat = monotonic()
+            return {"type": "ack", "valid": True}

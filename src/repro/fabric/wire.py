@@ -1,0 +1,192 @@
+"""Fabric wire protocol: length-prefixed pickle frames over TCP.
+
+Messages are plain dicts with a ``"type"`` key, pickled and prefixed
+with a 4-byte big-endian length.  The framing is deliberately dumb --
+the robustness story lives one level up: every exchange is a
+request/reply pair initiated by the worker, so the worker-side
+:class:`Channel` can emulate a lossy network *deterministically* (via
+the shared :mod:`repro.sim.faults` roll machinery) without the
+coordinator needing any fault awareness:
+
+* **drop** -- the request is simply not sent; the channel backs off and
+  retransmits under a fresh sequence number (at-least-once delivery).
+* **duplicate** -- the request is sent twice; the coordinator answers
+  every frame it receives, and the channel reads and discards the extra
+  reply.  Duplicated commits are how the coordinator's idempotent
+  first-commit-wins path gets exercised.
+* **delay** -- the send stalls for ``delay_seconds`` first.
+
+Faults roll per ``(channel name, send sequence)`` so two workers see
+independent, reproducible fault streams under one seed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+from typing import Optional, Tuple
+
+from repro.sim.faults import active_injector
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame; a torn/corrupt header otherwise risks a
+#: multi-gigabyte allocation before the pickle even loads.
+MAX_FRAME_BYTES: int = 256 * 1024 * 1024
+
+#: Back-off before retransmitting a dropped request.
+RETRANSMIT_DELAY: float = 0.02
+
+
+class ChannelClosed(ConnectionError):
+    """The peer closed the connection (coordinator shutdown, worker death)."""
+
+
+class FrameError(ConnectionError):
+    """A frame was torn mid-transfer or exceeded :data:`MAX_FRAME_BYTES`."""
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Pickle ``message`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte wire limit"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF before a new frame starts."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"inbound frame claims {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte wire limit"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise FrameError("connection closed mid-frame")
+    return pickle.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if chunks:
+                raise FrameError("connection closed mid-frame")
+            return None
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+class Channel:
+    """Worker-side request/reply channel with deterministic network faults.
+
+    One persistent TCP connection to the coordinator.  :meth:`request`
+    is the only entry point: it applies any injected drop / duplicate /
+    delay faults, transmits, and blocks for the coordinator's reply.
+    A dropped request is retransmitted after :data:`RETRANSMIT_DELAY`
+    under the next sequence number, so delivery is at-least-once; the
+    coordinator's commit path is idempotent, which upgrades the pair to
+    effectively-once.
+    """
+
+    def __init__(
+        self, address: Tuple[str, int], name: str, timeout: Optional[float] = None
+    ) -> None:
+        self._address = address
+        self._name = name
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._seq = 0
+
+    @property
+    def name(self) -> str:
+        """Channel name, the fault-roll discriminator for this worker."""
+        return self._name
+
+    def _ensure(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self._address, timeout=self._timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self._sock
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def request(self, message: dict) -> dict:
+        """Send ``message`` (fault-perturbed) and return the reply.
+
+        Raises :class:`ChannelClosed` if the coordinator hangs up --
+        the worker's signal to exit.
+        """
+        while True:
+            seq = self._seq
+            self._seq += 1
+            injector = active_injector()
+            duplicate = False
+            if injector is not None:
+                if injector.message_fault("delay", self._name, seq):
+                    time.sleep(injector.spec.delay_seconds)
+                if injector.message_fault("drop", self._name, seq):
+                    # The request never hits the wire; back off and
+                    # retransmit under the next sequence number.
+                    time.sleep(RETRANSMIT_DELAY)
+                    continue
+                duplicate = injector.message_fault("duplicate", self._name, seq)
+            sock = self._ensure()
+            try:
+                send_frame(sock, message)
+                if duplicate:
+                    send_frame(sock, message)
+                reply = recv_frame(sock)
+                if reply is None:
+                    raise ChannelClosed("coordinator closed the channel")
+                if duplicate:
+                    # The coordinator answered the copy too; discard so
+                    # the stream stays request/reply aligned.
+                    extra = recv_frame(sock)
+                    if extra is None:
+                        raise ChannelClosed("coordinator closed the channel")
+                return reply
+            except ChannelClosed:
+                self.close()
+                raise
+            except (OSError, FrameError) as error:
+                self.close()
+                raise ChannelClosed(str(error)) from error
+
+
+def one_shot_request(
+    address: Tuple[str, int], message: dict, timeout: float = 5.0
+) -> Optional[dict]:
+    """Open a connection, exchange one request/reply, close.
+
+    Used for heartbeats: they run on a side thread while the worker's
+    main thread (and its persistent :class:`Channel`) is busy executing,
+    and a per-beat connection keeps the two streams from interleaving.
+    Heartbeats bypass the injected message faults -- partitions, the
+    fault kind that targets liveness, suppress them wholesale at the
+    worker loop instead.  Returns ``None`` if the coordinator is gone.
+    """
+    try:
+        with socket.create_connection(address, timeout=timeout) as sock:
+            send_frame(sock, message)
+            return recv_frame(sock)
+    except (OSError, FrameError):
+        return None

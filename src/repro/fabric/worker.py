@@ -1,0 +1,225 @@
+"""The fabric worker loop: fetch, execute, journal to a shard, commit.
+
+Each worker is a separate process running :func:`worker_main`.  It
+shares the pool workers' execution entry point
+(:func:`repro.sim.runner._execute_supervised`) and fault harness, so a
+task attempt rolls exactly the same injected faults under either
+backend -- the cornerstone of cross-backend bit-identical results.
+
+Per-task flow::
+
+    fetch ──► (partition? suppress heartbeats)
+          ──► slow-worker stall
+          ──► execute under the policy timeout (hang breaker)
+          ──► append to the worker's own shard ledger   (durability)
+          ──► (partition? sleep out the outage)
+          ──► commit over the wire                      (delivery)
+
+The shard ledger is written *before* the commit: if the commit frame is
+lost or the coordinator dies, the result still survives on disk and the
+next run's ``merge_shards`` resumes it.  The commit itself rides the
+fault-perturbed :class:`~repro.fabric.wire.Channel`, so drops
+retransmit and duplicates exercise the coordinator's idempotent path.
+
+Crash faults hard-exit the process (``os._exit``), exactly like a pool
+worker: the coordinator sees EOF on a live lease and charges the
+attempt as a crash.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro.fabric.wire import Channel, ChannelClosed, one_shot_request
+from repro.sim.faults import active_injector, mark_worker_process
+from repro.sim.resilience import (
+    Checkpoint,
+    CheckpointWriteError,
+    TaskTimeout,
+    is_retryable,
+    time_limit,
+)
+
+#: Poll interval while the coordinator has nothing ready to hand out.
+IDLE_POLL_SECONDS: float = 0.05
+
+
+class _Heartbeat(threading.Thread):
+    """Renew one lease every ``interval`` seconds until stopped.
+
+    Each beat is a one-shot connection so it never interleaves with the
+    control channel the main thread is blocked on.  Failures are
+    swallowed: a missed beat is exactly the condition leases exist to
+    survive.
+    """
+
+    def __init__(
+        self, address: Tuple[str, int], worker: str, lease: int, interval: float
+    ) -> None:
+        super().__init__(name=f"heartbeat-{lease}", daemon=True)
+        self._address = address
+        self._worker = worker
+        self._lease = lease
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval):
+            one_shot_request(
+                self._address,
+                {"type": "heartbeat", "worker": self._worker, "lease": self._lease},
+            )
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _shard_records(
+    task: object, key: str, result: object, elapsed: float
+) -> Iterator[Tuple[str, object, float, str]]:
+    """Yield ``(key, result, elapsed, label)`` ledger rows for one report.
+
+    An ensemble chunk fans out to one row per member -- the same records
+    the supervisor's ``on_complete`` writes to the primary journal, so
+    merge-on-harvest is a no-op when the commit also got through.
+    """
+    from repro.sim.runner import _EnsembleChunk, task_identity
+
+    if isinstance(task, _EnsembleChunk):
+        share = elapsed / len(task.members)
+        for member, member_result in zip(task.members, result):
+            member_key, member_label = task_identity(member)
+            yield member_key, member_result, share, member_label
+        return
+    yield key, result, elapsed, getattr(task, "label", "")
+
+
+def worker_main(
+    host: str,
+    port: int,
+    worker_id: str,
+    fault_spec: str = "",
+    timeout: Optional[float] = None,
+    lease_ttl: float = 10.0,
+    shard_ledger: Optional[str] = None,
+) -> None:
+    """Run the worker loop until the coordinator says shutdown.
+
+    ``timeout`` is the resilience policy's per-attempt wall budget,
+    enforced worker-side (the coordinator cannot kill a remote attempt)
+    -- it is what breaks injected hangs.  ``shard_ledger`` is this
+    worker's private checkpoint journal path.
+    """
+    # Installs the fault injector, resets SIGTERM, ignores SIGINT --
+    # identical bootstrap to a process-pool worker.
+    mark_worker_process(fault_spec)
+    from repro.sim.runner import _execute_supervised
+
+    shard: Optional[Checkpoint] = None
+    if shard_ledger:
+        shard = Checkpoint(Path(shard_ledger), resume=False)
+    channel = Channel((host, port), name=f"worker-{worker_id}")
+    injector = active_injector()
+    heartbeat_interval = max(lease_ttl / 3.0, 0.01)
+    lease_seq = 0
+
+    try:
+        while True:
+            try:
+                reply = channel.request({"type": "fetch", "worker": worker_id})
+            except ChannelClosed:
+                return
+            kind = reply.get("type")
+            if kind == "shutdown":
+                return
+            if kind != "task":
+                time.sleep(IDLE_POLL_SECONDS)
+                continue
+
+            lease_id = reply["lease"]
+            task = reply["task"]
+            key = reply["key"]
+            attempt = reply["attempt"]
+            lease_seq += 1
+
+            # A partitioned worker falls silent: no heartbeats, and the
+            # commit is deferred past the lease TTL, so the coordinator
+            # expires the lease and requeues -- then the late commit
+            # arrives when the partition heals.
+            partitioned = (
+                injector.partition_now(f"worker-{worker_id}", lease_seq)
+                if injector is not None
+                else False
+            )
+            beat: Optional[_Heartbeat] = None
+            if not partitioned:
+                beat = _Heartbeat(
+                    (host, port), worker_id, lease_id, heartbeat_interval
+                )
+                beat.start()
+            stall = (
+                injector.slow_worker_stall(key, attempt)
+                if injector is not None
+                else 0.0
+            )
+            try:
+                if stall:
+                    time.sleep(stall)
+                try:
+                    with time_limit(timeout):
+                        report = _execute_supervised(task, key, attempt)
+                except TaskTimeout as error:
+                    message = _fail_message(
+                        worker_id, lease_id, key, error, "timeout"
+                    )
+                except Exception as error:
+                    message = _fail_message(
+                        worker_id, lease_id, key, error, "exception"
+                    )
+                else:
+                    if shard is not None:
+                        try:
+                            for row in _shard_records(
+                                task, key, report.result, report.elapsed
+                            ):
+                                shard.append(*row)
+                        except CheckpointWriteError:
+                            # The shard is durability, not delivery: a
+                            # full disk must not kill the attempt.
+                            pass
+                    message = {
+                        "type": "commit",
+                        "worker": worker_id,
+                        "lease": lease_id,
+                        "key": key,
+                        "report": report,
+                    }
+                if partitioned and injector is not None:
+                    time.sleep(injector.spec.partition_seconds)
+            finally:
+                if beat is not None:
+                    beat.stop()
+            try:
+                channel.request(message)
+            except ChannelClosed:
+                return
+    finally:
+        channel.close()
+
+
+def _fail_message(
+    worker_id: str, lease_id: int, key: str, error: BaseException, kind: str
+) -> dict:
+    return {
+        "type": "fail",
+        "worker": worker_id,
+        "lease": lease_id,
+        "key": key,
+        "kind": kind,
+        "error_type": type(error).__name__,
+        "error_text": str(error),
+        "retryable": is_retryable(error),
+    }

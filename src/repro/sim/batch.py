@@ -210,6 +210,7 @@ def run_batch(
     paranoia: str = "off",
     shadow_sample: float = 0.0,
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -248,6 +249,10 @@ def run_batch(
         runs advance together in one kernel pass while every result stays
         bit-identical to its per-task dispatch.  ``None`` auto-sizes; see
         :class:`~repro.sim.runner.SimRunner`.
+    backend:
+        Execution backend spec (``"pool"``/``"fabric"`` or an
+        :class:`~repro.sim.executor.ExecutorBackend` instance); results
+        are bit-identical across backends.
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -263,6 +268,7 @@ def run_batch(
         checkpoint=checkpoint,
         metrics=metrics,
         trials_per_task=trials_per_task,
+        backend=backend,
     )
     results = runner.run(
         [

@@ -77,10 +77,11 @@ def _run_tasks(
     checkpoint: "Checkpoint | str | os.PathLike | None" = None,
     metrics: Optional[MetricsRegistry] = None,
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> List[SimulationResult]:
     return SimRunner(
         jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint,
-        metrics=metrics, trials_per_task=trials_per_task,
+        metrics=metrics, trials_per_task=trials_per_task, backend=backend,
     ).run(tasks)
 
 
@@ -97,6 +98,7 @@ def spare_fraction_sweep(
     paranoia: str = "off",
     shadow_sample: float = 0.0,
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> List[Tuple[float, SimulationResult]]:
     """Figure 6: Max-WE under UAA across spare-capacity percentages.
 
@@ -119,7 +121,7 @@ def spare_fraction_sweep(
         )
         for fraction in fractions
     ]
-    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task, backend)
     return list(zip(fractions, results))
 
 
@@ -137,6 +139,7 @@ def swr_fraction_sweep(
     paranoia: str = "off",
     shadow_sample: float = 0.0,
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> Dict[str, List[Tuple[float, SimulationResult]]]:
     """Figure 7: Max-WE under BPA across SWR shares, per wear-leveler."""
     config = config if config is not None else ExperimentConfig()
@@ -156,7 +159,7 @@ def swr_fraction_sweep(
         for wl_name in wearlevelers
         for swr_fraction in swr_fractions
     ]
-    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task, backend))
     return {
         wl_name: [(swr_fraction, next(results)) for swr_fraction in swr_fractions]
         for wl_name in wearlevelers
@@ -177,6 +180,7 @@ def bpa_scheme_comparison(
     paranoia: str = "off",
     shadow_sample: float = 0.0,
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Figure 8: sparing schemes under BPA across wear-levelers.
 
@@ -201,7 +205,7 @@ def bpa_scheme_comparison(
         for sparing_name in sparing_names
         for wl_name in wearlevelers
     ]
-    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task))
+    results = iter(_run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task, backend))
     return {
         sparing_name: {wl_name: next(results) for wl_name in wearlevelers}
         for sparing_name in sparing_names
@@ -220,6 +224,7 @@ def uaa_scheme_comparison(
     paranoia: str = "off",
     shadow_sample: float = 0.0,
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> Dict[str, SimulationResult]:
     """Section 5.3.1: UAA lifetimes at 10% spares for all sparing schemes.
 
@@ -243,5 +248,5 @@ def uaa_scheme_comparison(
         )
         for name in names
     ]
-    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task)
+    results = _run_tasks(tasks, jobs, cache, policy, checkpoint, metrics, trials_per_task, backend)
     return dict(zip(names, results))

@@ -67,9 +67,32 @@ _SPEC_KEYS = {
     "transient": "transient",
     "corrupt-cache": "corrupt_cache",
     "corrupt-state": "corrupt_state",
+    "drop": "drop",
+    "duplicate": "duplicate",
+    "delay": "delay",
+    "partition": "partition",
+    "slow-worker": "slow_worker",
     "seed": "seed",
     "hang-seconds": "hang_seconds",
+    "delay-seconds": "delay_seconds",
+    "partition-seconds": "partition_seconds",
+    "slow-seconds": "slow_seconds",
 }
+
+#: FaultSpec fields that hold probabilities (validated to [0, 1] and
+#: consulted by :attr:`FaultSpec.active`).
+_PROBABILITY_FIELDS = (
+    "crash",
+    "hang",
+    "transient",
+    "corrupt_cache",
+    "corrupt_state",
+    "drop",
+    "duplicate",
+    "delay",
+    "partition",
+    "slow_worker",
+)
 
 #: Corruption shapes a ``corrupt-state`` injection picks from, each
 #: targeting a different invariant family (see
@@ -98,10 +121,26 @@ class FaultSpec:
     crash / hang / transient / corrupt_cache / corrupt_state:
         Per-attempt (per-store for ``corrupt_cache``, per-engine-round
         for ``corrupt_state``) injection probabilities in ``[0, 1]``.
+    drop / duplicate / delay:
+        Per-message network fault probabilities for the fabric wire
+        layer: a dropped message is never sent (the sender's retransmit
+        path recovers), a duplicated one is sent twice (the coordinator's
+        idempotent commits absorb it), a delayed one sleeps
+        ``delay_seconds`` before the send.
+    partition:
+        Per-lease probability that the worker holding the lease goes
+        silent (no heartbeats, commit deferred ``partition_seconds`` over
+        a fresh connection) -- the lease expires and the task is
+        re-dispatched, exercising the duplicate-commit path.
+    slow_worker:
+        Per-attempt probability that a worker sleeps ``slow_seconds``
+        before executing, long enough for a short lease to expire and
+        the task to be stolen.
     seed:
         Campaign seed; decorrelates otherwise-identical campaigns.
-    hang_seconds:
-        Duration of an injected hang.
+    hang_seconds / delay_seconds / partition_seconds / slow_seconds:
+        Durations of the injected hang / message delay / partition /
+        slow-worker stall.
     """
 
     crash: float = 0.0
@@ -109,26 +148,31 @@ class FaultSpec:
     transient: float = 0.0
     corrupt_cache: float = 0.0
     corrupt_state: float = 0.0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    partition: float = 0.0
+    slow_worker: float = 0.0
     seed: int = 0
     hang_seconds: float = 3600.0
+    delay_seconds: float = 0.05
+    partition_seconds: float = 0.5
+    slow_seconds: float = 0.25
 
     def __post_init__(self) -> None:
-        for name in (
-            "crash",
-            "hang",
-            "transient",
-            "corrupt_cache",
-            "corrupt_state",
-        ):
+        for name in _PROBABILITY_FIELDS:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise FaultSpecError(
                     f"fault probability {name!r} must be in [0, 1], got {value!r}"
                 )
-        if self.hang_seconds < 0:
-            raise FaultSpecError(
-                f"hang-seconds must be >= 0, got {self.hang_seconds!r}"
-            )
+        for key, field_name in _SPEC_KEYS.items():
+            if not field_name.endswith("_seconds"):
+                continue
+            if getattr(self, field_name) < 0:
+                raise FaultSpecError(
+                    f"{key} must be >= 0, got {getattr(self, field_name)!r}"
+                )
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -176,16 +220,7 @@ class FaultSpec:
     @property
     def active(self) -> bool:
         """Whether any fault has a nonzero probability."""
-        return any(
-            getattr(self, name) > 0.0
-            for name in (
-                "crash",
-                "hang",
-                "transient",
-                "corrupt_cache",
-                "corrupt_state",
-            )
-        )
+        return any(getattr(self, name) > 0.0 for name in _PROBABILITY_FIELDS)
 
 
 def _uniform(seed: int, kind: str, key: str, attempt: int) -> float:
@@ -210,6 +245,11 @@ class FaultInjector:
             "transient": 0,
             "corrupt-cache": 0,
             "corrupt-state": 0,
+            "drop": 0,
+            "duplicate": 0,
+            "delay": 0,
+            "partition": 0,
+            "slow-worker": 0,
         }
 
     @property
@@ -250,6 +290,38 @@ class FaultInjector:
             raise TransientFault(
                 f"injected transient fault (task {key[:12]}..., attempt {attempt})"
             )
+
+    def message_fault(self, kind: str, channel: str, seq: int) -> bool:
+        """Per-message network fault roll for the fabric wire layer.
+
+        ``kind`` is ``"drop"``, ``"duplicate"``, or ``"delay"``;
+        ``channel`` identifies the sender (shard id) and ``seq`` its
+        message counter, so every retransmission re-rolls independently
+        -- a dropped commit's resend can get through, exactly as a
+        retried attempt can escape a transient.
+        """
+        probability = getattr(self._spec, kind)
+        hit = self._roll(kind, probability, f"msg:{channel}", seq)
+        if hit:
+            self._injected[kind] += 1
+        return hit
+
+    def partition_now(self, channel: str, lease_seq: int) -> bool:
+        """Whether the worker should simulate a partition for this lease
+        (silent heartbeats + deferred commit over a fresh connection)."""
+        hit = self._roll("partition", self._spec.partition, f"lease:{channel}", lease_seq)
+        if hit:
+            self._injected["partition"] += 1
+        return hit
+
+    def slow_worker_stall(self, key: str, attempt: int) -> float:
+        """Pre-execution stall seconds for a slow-worker injection
+        (0.0 when the roll misses); deterministic in ``(key, attempt)``
+        like the crash/hang/transient rolls."""
+        if not self._roll("slow-worker", self._spec.slow_worker, key, attempt):
+            return 0.0
+        self._injected["slow-worker"] += 1
+        return self._spec.slow_seconds
 
     def corrupt_cache_entry(self, key: str) -> bool:
         """Whether the cache entry being stored under ``key`` should be

@@ -130,6 +130,7 @@ def monte_carlo_lifetime(
     shadow_sample: float = 0.0,
     engine: str = "fluid-batched",
     trials_per_task: Optional[int] = None,
+    backend: object = None,
 ) -> MonteCarloResult:
     """Run ``replicas`` independently seeded lifetime simulations.
 
@@ -212,6 +213,7 @@ def monte_carlo_lifetime(
         checkpoint=checkpoint,
         metrics=metrics,
         trials_per_task=trials_per_task,
+        backend=backend,
     ).run(tasks)
     lifetimes = np.array([result.normalized_lifetime for result in results])
     return MonteCarloResult(

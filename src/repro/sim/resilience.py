@@ -57,6 +57,27 @@ class TaskTimeout(RuntimeError):
     """A task exceeded its per-attempt wall-clock budget."""
 
 
+class CheckpointWriteError(RuntimeError):
+    """A checkpoint journal append failed (disk full, permissions, ...).
+
+    Carries the ledger ``path`` so the operator knows exactly which
+    journal is unwritable.  Non-retryable by design: if the disk is full
+    re-running the task just burns its retry budget against the same
+    failing ``fsync``.
+    """
+
+    #: Honored by :func:`is_retryable` ahead of the type-based rules.
+    retryable = False
+
+    def __init__(self, path: "str | Path", cause: BaseException) -> None:
+        self.path = Path(path)
+        self.cause = cause
+        super().__init__(
+            f"checkpoint journal {self.path} is unwritable: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
 class SimulationFailure(RuntimeError):
     """One or more tasks exhausted their attempts.
 
@@ -155,12 +176,18 @@ class ResiliencePolicy:
 def is_retryable(error: BaseException) -> bool:
     """Whether an attempt failure is worth retrying.
 
+    An explicit boolean ``retryable`` attribute on the exception wins
+    (remote workers ship their verdict across the wire this way, and
+    :class:`CheckpointWriteError` pins itself non-retryable).  Otherwise
     ``ValueError``/``TypeError`` indicate a bad spec and an
     :class:`~repro.verify.invariants.InvariantViolation` is deterministic
     in the task -- retrying either only wastes the budget.  Everything
     else (injected or real transient errors, timeouts, crashed workers)
     retries.
     """
+    verdict = getattr(error, "retryable", None)
+    if isinstance(verdict, bool):
+        return verdict
     return not isinstance(error, (ValueError, TypeError, InvariantViolation))
 
 
@@ -371,68 +398,147 @@ class Checkpoint:
         if key in self._entries:
             return
         with maybe_span(self._metrics, "checkpoint/append"):
-            self._entries[key] = (result, float(elapsed), label)
             record = {
                 "key": key,
                 "label": label,
                 "elapsed_seconds": float(elapsed),
                 "result": result.to_dict(include_timeline=False),
             }
-            self._path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self._path, "a", encoding="utf-8") as handle:
-                if not self._header_written and handle.tell() == 0:
-                    handle.write(
-                        json.dumps({"checkpoint_schema": CHECKPOINT_SCHEMA_VERSION})
-                    )
+            try:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    if not self._header_written and handle.tell() == 0:
+                        handle.write(
+                            json.dumps(
+                                {"checkpoint_schema": CHECKPOINT_SCHEMA_VERSION}
+                            )
+                        )
+                        handle.write("\n")
+                    self._header_written = True
+                    handle.write(json.dumps(record, default=str))
                     handle.write("\n")
-                self._header_written = True
-                handle.write(json.dumps(record, default=str))
-                handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError as error:
+                # Disk full / permissions / dead mount: surface a typed,
+                # non-retryable failure naming the ledger instead of a
+                # raw OSError escaping mid-run.
+                raise CheckpointWriteError(self._path, error) from error
+            self._entries[key] = (result, float(elapsed), label)
             self._appends += 1
             if self._metrics is not None:
                 self._metrics.inc("checkpoint.appends")
 
     def _load(self) -> None:
-        if not self._path.exists():
-            return
-        try:
-            lines = self._path.read_text(encoding="utf-8").splitlines()
-        except OSError:
-            return
-        if not lines:
-            return
-        try:
-            header = json.loads(lines[0])
-        except ValueError:
-            return  # torn/foreign header: start fresh (entries orphaned)
-        if header.get("checkpoint_schema") != CHECKPOINT_SCHEMA_VERSION:
+        entries = _read_journal_entries(self._path)
+        if entries is None:
             return
         self._header_written = True
-        for line in lines[1:]:
-            line = line.strip()
-            if not line:
+        self._entries.update(entries)
+
+    # ------------------------------------------------------------------
+    # Per-shard ledgers (multi-host fabric)
+    # ------------------------------------------------------------------
+
+    def shard_path(self, shard: "str | int") -> Path:
+        """The shard ledger location for ``shard`` next to this journal.
+
+        Fabric workers journal into ``<primary>.shard-<id>`` files of the
+        same JSONL format (torn-tail tolerance included), so concurrent
+        shards of one sweep never contend on -- or collide with -- the
+        primary journal.  :meth:`merge_shards` folds them back in.
+        """
+        return _shard_path(self._path, shard)
+
+    def merge_shards(self, *, remove: bool = True) -> int:
+        """Deterministically merge every sibling shard ledger into this
+        journal; returns the number of records absorbed.
+
+        Shards are visited in sorted path order and records in file
+        order, so the merge result is independent of worker scheduling;
+        appends stay idempotent per content key, so a record committed
+        both remotely and via a shard ledger lands exactly once.  Each
+        shard's torn final line (worker killed mid-append) is skipped,
+        preserving per-shard crash tolerance.  With ``remove`` (default)
+        an absorbed shard file is deleted -- every surviving record is
+        now fsynced in the primary journal.
+        """
+        merged = 0
+        for path in sorted(self._path.parent.glob(self._path.name + ".shard-*")):
+            entries = _read_journal_entries(path)
+            if entries is None:
                 continue
-            try:
-                record = json.loads(line)
-                key = record["key"]
-                result = SimulationResult.from_dict(record["result"])
-            except (ValueError, KeyError, TypeError):
-                # A torn final line (kill mid-append) or a corrupted
-                # record: everything before it is still good.
-                continue
-            self._entries[key] = (
-                result,
-                float(record.get("elapsed_seconds", 0.0)),
-                str(record.get("label", "")),
-            )
+            for key, (result, elapsed, label) in entries.items():
+                if key not in self._entries:
+                    self.append(key, result, elapsed, label)
+                    merged += 1
+            if remove:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # best effort; a leftover shard re-merges later
+        if merged and self._metrics is not None:
+            self._metrics.inc("checkpoint.shard_merged_records", merged)
+        return merged
+
+
+def _shard_path(primary: Path, shard: "str | int") -> Path:
+    """``<primary>.shard-<id>``; rejects ids that would escape the dir."""
+    shard_text = str(shard)
+    if not shard_text or any(ch in shard_text for ch in "/\\\0"):
+        raise ValueError(f"invalid shard discriminator {shard!r}")
+    return primary.with_name(f"{primary.name}.shard-{shard_text}")
+
+
+def _read_journal_entries(
+    path: Path,
+) -> "Dict[str, Tuple[SimulationResult, float, str]] | None":
+    """Parse one journal file in record order; ``None`` if unusable.
+
+    Shared by primary-journal resume and shard-ledger merge.  A torn or
+    foreign header orphans the whole file; a torn or corrupted record
+    line (kill mid-append) is skipped without losing earlier records.
+    """
+    if not path.exists():
+        return None
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return None
+    if not lines:
+        return None
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        return None
+    if not isinstance(header, dict) or (
+        header.get("checkpoint_schema") != CHECKPOINT_SCHEMA_VERSION
+    ):
+        return None
+    entries: Dict[str, Tuple[SimulationResult, float, str]] = {}
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            key = record["key"]
+            result = SimulationResult.from_dict(record["result"])
+        except (ValueError, KeyError, TypeError):
+            continue
+        entries[key] = (
+            result,
+            float(record.get("elapsed_seconds", 0.0)),
+            str(record.get("label", "")),
+        )
+    return entries
 
 
 def derive_checkpoint_path(
     name: str,
     payload: dict,
     root: "str | Path | None" = None,
+    shard: "str | int | None" = None,
 ) -> Path:
     """Deterministic checkpoint location for a named, parameterized run.
 
@@ -440,9 +546,17 @@ def derive_checkpoint_path(
     same configuration always maps to the same journal -- which is what
     lets a bare ``--resume`` find the previous run's checkpoint without
     the user tracking file names.
+
+    ``shard`` appends a per-shard discriminator (``...jsonl.shard-<id>``)
+    so concurrent shards of one sweep -- fabric workers, split grids --
+    never collide on a ledger file while still sorting next to their
+    primary journal for :meth:`Checkpoint.merge_shards`.
     """
     if root is None:
         root = os.environ.get("REPRO_CHECKPOINT_DIR", DEFAULT_CHECKPOINT_DIR)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     digest = hashlib.sha256(f"{name}:{blob}".encode()).hexdigest()[:12]
-    return Path(root) / f"{name}-{digest}.jsonl"
+    primary = Path(root) / f"{name}-{digest}.jsonl"
+    if shard is None:
+        return primary
+    return _shard_path(primary, shard)

@@ -56,6 +56,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.attacks.base import AttackModel
 from repro.obs.metrics import MetricsRegistry, maybe_span
+from repro.sim.executor import (
+    CompletionCallback,
+    ExecutionSummary,
+    ExecutorBackend,
+    SupervisedTask,
+    handle_attempt_failure,
+    mark_skipped,
+)
 from repro.attacks.bpa import BirthdayParadoxAttack
 from repro.attacks.repeated import RepeatedAddressAttack
 from repro.attacks.suite import WORKLOAD_NAMES, workload
@@ -631,6 +639,13 @@ class RunnerStats:
     metrics:
         Snapshot of the run's :class:`~repro.obs.metrics.MetricsRegistry`
         (counters, per-phase timings, merged worker metrics).
+    backend:
+        Spec name of the execution backend used (``"pool"`` /
+        ``"fabric"``).
+    degraded:
+        The run completed but on fewer resources than requested (fabric
+        workers died and were not replaced; survivors -- or the
+        coordinator itself -- absorbed the remaining work).
     """
 
     tasks: int
@@ -649,6 +664,8 @@ class RunnerStats:
     harvest_seconds: float = 0.0
     requeue_wait_seconds: float = 0.0
     metrics: Optional[dict] = None
+    backend: str = "pool"
+    degraded: bool = False
 
     @property
     def completed(self) -> int:
@@ -674,6 +691,8 @@ class RunnerStats:
             text += f"; {self.retries} retries"
         if self.failures:
             text += f"; {len(self.failures)} FAILED"
+        if self.degraded:
+            text += "; DEGRADED"
         if self.interrupted:
             text += "; INTERRUPTED"
         return text
@@ -696,30 +715,11 @@ def _picklable(tasks: Sequence[AnyTask]) -> bool:
         return False
 
 
-@dataclass
-class _Supervised:
-    """Mutable supervision state of one pending task.
-
-    ``elapsed`` accumulates *worker-measured* run time only (plus, for
-    attempts that died without a worker report, the supervisor-observed
-    attempt wall).  Pool queue wait, harvest latency, and time sat in a
-    doomed pool are tracked separately -- they are supervisor overhead,
-    not task runtime.
-    """
-
-    index: int
-    task: "AnyTask | _EnsembleChunk"
-    key: str
-    label: str
-    attempts: int = 0
-    not_before: float = 0.0
-    elapsed: float = 0.0
-    queue_seconds: float = 0.0
-    harvest_seconds: float = 0.0
-    requeue_seconds: float = 0.0
-    #: Member-level states folded into this one (ensemble chunks only):
-    #: completion and failure fan back out to these.
-    members: Optional[List["_Supervised"]] = None
+# Historical names, kept for callers/tests written against PR 3-7: the
+# supervision state and summary now live in :mod:`repro.sim.executor` so
+# backends outside this module can share them.
+_Supervised = SupervisedTask
+_ExecutionSummary = ExecutionSummary
 
 
 def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
@@ -746,14 +746,377 @@ def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
             process.join(timeout=2.0)
 
 
-@dataclass
-class _ExecutionSummary:
-    """What a supervised execution pass observed."""
+class ProcessPoolBackend(ExecutorBackend):
+    """The local backend: in-process serial or ``ProcessPoolExecutor``.
 
-    failures: Dict[int, FailureRecord] = field(default_factory=dict)
-    retries: int = 0
-    pool_respawns: int = 0
-    interrupted: bool = False
+    Holds the PR-3 supervisor semantics verbatim: per-attempt deadlines,
+    exponential-backoff retries, crash isolation with pool respawn, and
+    innocent-requeue (in-flight tasks pulled unrun out of a torn-down
+    pool get their attempt refunded).  Small or unpicklable batches fall
+    back to the serial path automatically; ``summary.jobs_used`` reports
+    which way it went.
+    """
+
+    name = "pool"
+
+    def execute(
+        self,
+        pending: Sequence[SupervisedTask],
+        *,
+        jobs: int,
+        policy: ResiliencePolicy,
+        events: EventLog,
+        on_complete: CompletionCallback,
+        metrics: MetricsRegistry,
+        checkpoint: "Optional[Checkpoint]" = None,
+    ) -> ExecutionSummary:
+        jobs_used = min(jobs, len(pending)) if pending else 1
+        if (
+            jobs_used >= MIN_PARALLEL_TASKS
+            and len(pending) >= MIN_PARALLEL_TASKS
+            and _picklable([state.task for state in pending])
+        ):
+            summary = self.run_parallel(
+                pending, jobs_used, policy, events, on_complete, metrics
+            )
+        else:
+            jobs_used = 1
+            summary = self.run_serial(
+                pending, policy, events, on_complete, metrics
+            )
+        summary.jobs_used = jobs_used
+        return summary
+
+    def run_serial(
+        self,
+        pending: Sequence[SupervisedTask],
+        policy: ResiliencePolicy,
+        events: EventLog,
+        on_complete: CompletionCallback,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> ExecutionSummary:
+        """In-process supervised execution (jobs=1 / unpicklable tasks).
+
+        Timeouts use the SIGALRM guard where available; injected or real
+        crashes surface as exceptions (an in-process ``os._exit`` would
+        take the caller down, so serial fault injection raises instead).
+        """
+        if metrics is None:
+            metrics = MetricsRegistry()
+        summary = ExecutionSummary()
+        queue: deque[SupervisedTask] = deque(pending)
+        try:
+            while queue:
+                state = queue[0]
+                delay = state.not_before - monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                started = perf_counter()
+                state.attempts += 1
+                try:
+                    with time_limit(policy.timeout):
+                        report = _execute_supervised(
+                            state.task, state.key, state.attempts - 1
+                        )
+                except KeyboardInterrupt:
+                    raise
+                except TaskTimeout as error:
+                    state.elapsed += perf_counter() - started
+                    queue.popleft()
+                    handle_attempt_failure(
+                        policy, state, error, "timeout", queue, summary, events
+                    )
+                except Exception as error:
+                    state.elapsed += perf_counter() - started
+                    queue.popleft()
+                    handle_attempt_failure(
+                        policy, state, error, "exception", queue, summary, events
+                    )
+                else:
+                    state.elapsed += report.elapsed
+                    metrics.observe_seconds("runner/worker_run", report.elapsed)
+                    if report.metrics is not None:
+                        metrics.merge_snapshot(report.metrics)
+                    queue.popleft()
+                    on_complete(state, report.result, report.elapsed)
+                if policy.fail_fast and summary.failures:
+                    mark_skipped(queue, summary)
+                    break
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            mark_skipped(queue, summary, kind="interrupted")
+        return summary
+
+    def run_parallel(
+        self,
+        pending: Sequence[SupervisedTask],
+        jobs: int,
+        policy: ResiliencePolicy,
+        events: EventLog,
+        on_complete: CompletionCallback,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> ExecutionSummary:
+        """Process-pool supervised execution with crash isolation.
+
+        The supervisor dispatches at most ``jobs`` tasks at a time and
+        watches their deadlines.  A worker death breaks only the futures
+        in flight (each charged one attempt); the pool is rebuilt and the
+        run continues.  A deadline overrun cannot cancel the running
+        future -- ``ProcessPoolExecutor`` has no per-task kill -- so the
+        pool is torn down (terminating the hung worker) and the
+        *innocent* in-flight tasks are requeued without losing an
+        attempt.
+
+        Timing: ``submitted`` stamps are ``time.monotonic()``, the same
+        clock the worker stamps its report with, so each attempt's wall
+        time splits into pool queue wait (worker start - submit), worker
+        run time (the worker's own measurement), and harvest latency
+        (supervisor pickup - worker end, bounded by the wait-loop poll
+        granularity).  Only worker run time is charged to the task;
+        queue/harvest/requeue time is recorded as supervisor overhead.
+        """
+        if metrics is None:
+            metrics = MetricsRegistry()
+        summary = ExecutionSummary()
+        ready: deque[SupervisedTask] = deque(pending)
+        inflight: Dict[object, Tuple[SupervisedTask, Optional[float], float]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        timeout = policy.timeout
+
+        def respawn_pool() -> ProcessPoolExecutor:
+            nonlocal pool
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=mark_worker_process,
+                    initargs=(_fault_spec_text(),),
+                )
+            return pool
+
+        def recover_broken_pool() -> None:
+            """Tear down a broken/hung pool and requeue in-flight work.
+
+            Futures that already resolved are harvested (a crash verdict
+            charges the attempt); futures that never got a verdict are
+            requeued without charging the attempt consumed by the doomed
+            submission.  The time those innocents sat in the doomed pool
+            is recorded as ``runner/requeue_wait`` -- it was previously
+            dropped, under-reporting wall time on fault-heavy runs.
+            """
+            nonlocal pool
+            for future, (state, _, submitted) in list(inflight.items()):
+                if future.done():
+                    harvest(future, state, submitted)
+                else:
+                    waited = max(monotonic() - submitted, 0.0)
+                    state.requeue_seconds += waited
+                    metrics.observe_seconds("runner/requeue_wait", waited)
+                    events.record(
+                        "task-requeued", state.index, key=state.key[:12]
+                    )
+                    state.attempts -= 1
+                    ready.append(state)
+            inflight.clear()
+            _terminate_pool(pool)
+            pool = None
+            summary.pool_respawns += 1
+            events.record("pool-respawn", -1, jobs=jobs)
+
+        def harvest(future, state: SupervisedTask, submitted: float) -> bool:
+            """Collect one finished future; returns True if the pool broke.
+
+            On success only the worker's own run time is charged to the
+            task; the queue wait before the worker picked it up and the
+            latency until the supervisor collected it are accounted
+            separately.  A failed attempt has no worker report, so the
+            whole supervisor-observed attempt wall is charged.
+            """
+            try:
+                report = future.result()
+            except KeyboardInterrupt:
+                raise
+            except BrokenProcessPool as error:
+                state.elapsed += max(monotonic() - submitted, 0.0)
+                handle_attempt_failure(
+                    policy, state, error, "crash", ready, summary, events
+                )
+                return True
+            except Exception as error:
+                state.elapsed += max(monotonic() - submitted, 0.0)
+                handle_attempt_failure(
+                    policy, state, error, "exception", ready, summary, events
+                )
+                return False
+            else:
+                queue_wait = max(report.started - submitted, 0.0)
+                harvest_latency = max(monotonic() - report.ended, 0.0)
+                state.elapsed += report.elapsed
+                state.queue_seconds += queue_wait
+                state.harvest_seconds += harvest_latency
+                metrics.observe_seconds("runner/queue_wait", queue_wait)
+                metrics.observe_seconds("runner/worker_run", report.elapsed)
+                metrics.observe_seconds("runner/harvest_latency", harvest_latency)
+                if report.metrics is not None:
+                    metrics.merge_snapshot(report.metrics)
+                on_complete(state, report.result, report.elapsed)
+                return False
+
+        try:
+            while ready or inflight:
+                now = monotonic()
+                # Dispatch every ready state whose backoff has elapsed.
+                for _ in range(len(ready)):
+                    if len(inflight) >= jobs:
+                        break
+                    state = ready.popleft()
+                    if state.not_before > now:
+                        ready.append(state)  # rotate; try again next round
+                        continue
+                    try:
+                        future = respawn_pool().submit(
+                            _execute_supervised,
+                            state.task,
+                            state.key,
+                            state.attempts,
+                        )
+                    except BrokenProcessPool:
+                        # A crashing worker can break the pool between the
+                        # last harvest and this submit, in which case the
+                        # error surfaces here in the supervisor rather than
+                        # through a future.  This task never ran: requeue
+                        # it un-charged, recycle the pool, and go around.
+                        ready.appendleft(state)
+                        recover_broken_pool()
+                        break
+                    state.attempts += 1
+                    deadline = None if timeout is None else monotonic() + timeout
+                    inflight[future] = (state, deadline, monotonic())
+
+                if not inflight:
+                    # Everything is backing off; sleep to the earliest retry.
+                    if ready:
+                        next_ready = min(state.not_before for state in ready)
+                        time.sleep(max(next_ready - monotonic(), 0.0) + 0.001)
+                        continue
+                    break
+
+                wait_budgets = [
+                    deadline - now
+                    for _, deadline, _ in inflight.values()
+                    if deadline is not None
+                ]
+                if ready:
+                    wait_budgets.append(
+                        max(min(s.not_before for s in ready) - now, 0.0) + 0.001
+                    )
+                wait_for = max(min(wait_budgets), 0.01) if wait_budgets else None
+                done, _ = wait(
+                    list(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
+                for future in done:
+                    state, _, submitted = inflight.pop(future)
+                    pool_broken |= harvest(future, state, submitted)
+
+                now = monotonic()
+                overdue = [
+                    future
+                    for future, (_, deadline, _) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                for future in overdue:
+                    state, deadline, submitted = inflight.pop(future)
+                    if future.done():
+                        pool_broken |= harvest(future, state, submitted)
+                        continue
+                    state.elapsed += max(monotonic() - submitted, 0.0)
+                    handle_attempt_failure(
+                        policy,
+                        state,
+                        TaskTimeout(
+                            f"task exceeded its {timeout:g}s wall-clock budget"
+                        ),
+                        "timeout",
+                        ready,
+                        summary,
+                        events,
+                    )
+                    # The hung worker can only be removed by killing the
+                    # pool; innocents in flight are requeued below.
+                    pool_broken = True
+
+                if pool_broken:
+                    recover_broken_pool()
+
+                if policy.fail_fast and summary.failures:
+                    mark_skipped(ready, summary)
+                    if not inflight:
+                        break
+        except KeyboardInterrupt:
+            summary.interrupted = True
+            for state, _, _ in inflight.values():
+                summary.failures[state.index] = FailureRecord(
+                    index=state.index,
+                    key=state.key,
+                    label=state.label,
+                    kind="interrupted",
+                    attempts=state.attempts,
+                )
+            inflight.clear()
+            mark_skipped(ready, summary, kind="interrupted")
+        finally:
+            if pool is not None:
+                if summary.interrupted:
+                    # Workers may be mid-task; don't wait on them.
+                    _terminate_pool(pool)
+                else:
+                    # Clean exit: workers are idle, a graceful shutdown
+                    # reaps them without signals.
+                    try:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                    except Exception:
+                        _terminate_pool(pool)
+        return summary
+
+
+def resolve_backend(
+    backend: "str | ExecutorBackend | None",
+    *,
+    workers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
+) -> ExecutorBackend:
+    """Resolve a backend spec (name, instance, or ``None``) to a backend.
+
+    ``None`` and ``"pool"`` give the local process pool; ``"fabric"``
+    lazily imports :class:`repro.fabric.backend.FabricBackend` (socket
+    coordinator + worker-loop processes) with ``workers`` / ``lease_ttl``
+    forwarded.  An :class:`ExecutorBackend` instance passes through
+    (``workers``/``lease_ttl`` must then be unset -- the instance already
+    made those choices).
+    """
+    if isinstance(backend, ExecutorBackend):
+        if workers is not None or lease_ttl is not None:
+            raise ValueError(
+                "workers/lease_ttl only apply when the backend is named by "
+                "spec; configure the backend instance directly instead"
+            )
+        return backend
+    if backend is None or backend == "pool":
+        return ProcessPoolBackend()
+    if backend == "fabric":
+        from repro.fabric.backend import FabricBackend
+
+        kwargs = {}
+        if workers is not None:
+            kwargs["workers"] = workers
+        if lease_ttl is not None:
+            kwargs["lease_ttl"] = lease_ttl
+        return FabricBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {backend!r}; choose from ('pool', 'fabric') "
+        "or pass an ExecutorBackend instance"
+    )
 
 
 class SimRunner:
@@ -788,6 +1151,12 @@ class SimRunner:
         :mod:`repro.sim.ensemble`).  ``None`` (default) auto-sizes the
         chunks to ``ceil(run / jobs)`` so pool parallelism and trial
         stacking compose.  Irrelevant to other engines.
+    backend:
+        Execution backend: ``"pool"`` (default; local process pool),
+        ``"fabric"`` (socket-served multi-host coordinator, see
+        :mod:`repro.fabric`), or an :class:`ExecutorBackend` instance.
+        Determinism holds across backends: the same task list yields
+        bit-identical results on either.
     """
 
     def __init__(
@@ -798,6 +1167,7 @@ class SimRunner:
         checkpoint: "Checkpoint | str | os.PathLike | None" = None,
         metrics: Optional[MetricsRegistry] = None,
         trials_per_task: Optional[int] = None,
+        backend: "str | ExecutorBackend | None" = None,
     ) -> None:
         self._jobs = resolve_jobs(jobs)
         self._cache = cache
@@ -811,6 +1181,7 @@ class SimRunner:
                 f"trials_per_task must be >= 1, got {trials_per_task}"
             )
         self._trials_per_task = trials_per_task
+        self._backend = resolve_backend(backend)
 
     @property
     def jobs(self) -> int:
@@ -836,6 +1207,11 @@ class SimRunner:
     def trials_per_task(self) -> Optional[int]:
         """Configured ensemble chunk size (``None`` = auto-sized)."""
         return self._trials_per_task
+
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The resolved execution backend."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Ensemble chunking
@@ -960,6 +1336,10 @@ class SimRunner:
             self._cache.attach_metrics(metrics)
         if self._checkpoint is not None:
             self._checkpoint.attach_metrics(metrics)
+            # Absorb shard ledgers left by earlier distributed runs (or a
+            # crashed coordinator) so their results resume like any other
+            # journaled work.
+            self._checkpoint.merge_shards()
         events = EventLog()
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         seconds = [0.0] * len(tasks)
@@ -1026,22 +1406,24 @@ class SimRunner:
         try:
             with metrics.span("runner/execute"):
                 if pending:
-                    jobs_used = min(self._jobs, len(pending))
-                    if (
-                        jobs_used >= MIN_PARALLEL_TASKS
-                        and len(pending) >= MIN_PARALLEL_TASKS
-                        and _picklable([state.task for state in pending])
-                    ):
-                        summary = self._run_supervised_parallel(
-                            pending, jobs_used, events, on_complete, metrics
-                        )
-                    else:
-                        jobs_used = 1
-                        summary = self._run_supervised_serial(
-                            pending, events, on_complete, metrics
-                        )
+                    summary = self._backend.execute(
+                        pending,
+                        jobs=self._jobs,
+                        policy=self._policy,
+                        events=events,
+                        on_complete=on_complete,
+                        metrics=metrics,
+                        checkpoint=self._checkpoint,
+                    )
+                    jobs_used = summary.jobs_used
         finally:
             self._restore_sigterm_handler(previous_sigterm)
+            if self._checkpoint is not None:
+                # Harvest shard ledgers written during this run (fabric
+                # workers journal locally before committing over the
+                # wire); idempotent per key, so results that also landed
+                # in the primary journal merge to nothing.
+                self._checkpoint.merge_shards()
 
         with metrics.span("runner/finalize"):
             metrics.inc("runner.tasks", len(tasks))
@@ -1052,6 +1434,7 @@ class SimRunner:
             metrics.inc("runner.pool_respawns", summary.pool_respawns)
             metrics.inc("runner.failures", len(summary.failures))
             metrics.gauge("runner.jobs", jobs_used)
+            metrics.gauge("runner.degraded", 1.0 if summary.degraded else 0.0)
         total_span.__exit__(None, None, None)
 
         # A failed chunk surfaces one FailureRecord per member, each under
@@ -1091,6 +1474,8 @@ class SimRunner:
             harvest_seconds=sum(state.harvest_seconds for state in pending),
             requeue_wait_seconds=sum(state.requeue_seconds for state in pending),
             metrics=metrics.snapshot(),
+            backend=self._backend.name,
+            degraded=summary.degraded,
         )
         if summary.interrupted:
             raise RunInterrupted(results, stats)
@@ -1149,33 +1534,9 @@ class SimRunner:
         summary: _ExecutionSummary,
         events: EventLog,
     ) -> None:
-        """Retry ``state`` with backoff, or record its terminal failure."""
-        events.record(
-            f"task-{kind}",
-            state.index,
-            key=state.key[:12],
-            attempt=state.attempts,
-            error=type(error).__name__,
-        )
-        if state.attempts < self._policy.max_attempts and is_retryable(error):
-            summary.retries += 1
-            state.not_before = monotonic() + self._policy.retry_delay(
-                state.key, state.attempts
-            )
-            events.record("task-retry", state.index, attempt=state.attempts)
-            ready.append(state)
-            return
-        summary.failures[state.index] = FailureRecord.from_exception(
-            index=state.index,
-            key=state.key,
-            label=state.label,
-            kind=kind,
-            attempts=state.attempts,
-            error=error,
-            elapsed_seconds=state.elapsed,
-        )
-        events.record(
-            "task-failed", state.index, failure_kind=kind, attempts=state.attempts
+        """Delegates to the shared :func:`handle_attempt_failure` arbiter."""
+        handle_attempt_failure(
+            self._policy, state, error, kind, ready, summary, events
         )
 
     def _mark_skipped(
@@ -1184,15 +1545,7 @@ class SimRunner:
         summary: _ExecutionSummary,
         kind: str = "skipped",
     ) -> None:
-        while ready:
-            state = ready.popleft()
-            summary.failures[state.index] = FailureRecord(
-                index=state.index,
-                key=state.key,
-                label=state.label,
-                kind=kind,
-                attempts=state.attempts,
-            )
+        mark_skipped(ready, summary, kind)
 
     def _run_supervised_serial(
         self,
@@ -1201,57 +1554,10 @@ class SimRunner:
         on_complete: Callable[[_Supervised, SimulationResult, float], None],
         metrics: Optional[MetricsRegistry] = None,
     ) -> _ExecutionSummary:
-        """In-process supervised execution (jobs=1 / unpicklable tasks).
-
-        Timeouts use the SIGALRM guard where available; injected or real
-        crashes surface as exceptions (an in-process ``os._exit`` would
-        take the caller down, so serial fault injection raises instead).
-        """
-        if metrics is None:
-            metrics = MetricsRegistry()
-        summary = _ExecutionSummary()
-        queue: deque[_Supervised] = deque(pending)
-        try:
-            while queue:
-                state = queue[0]
-                delay = state.not_before - monotonic()
-                if delay > 0:
-                    time.sleep(delay)
-                started = perf_counter()
-                state.attempts += 1
-                try:
-                    with time_limit(self._policy.timeout):
-                        report = _execute_supervised(
-                            state.task, state.key, state.attempts - 1
-                        )
-                except KeyboardInterrupt:
-                    raise
-                except TaskTimeout as error:
-                    state.elapsed += perf_counter() - started
-                    queue.popleft()
-                    self._handle_attempt_failure(
-                        state, error, "timeout", queue, summary, events
-                    )
-                except Exception as error:
-                    state.elapsed += perf_counter() - started
-                    queue.popleft()
-                    self._handle_attempt_failure(
-                        state, error, "exception", queue, summary, events
-                    )
-                else:
-                    state.elapsed += report.elapsed
-                    metrics.observe_seconds("runner/worker_run", report.elapsed)
-                    if report.metrics is not None:
-                        metrics.merge_snapshot(report.metrics)
-                    queue.popleft()
-                    on_complete(state, report.result, report.elapsed)
-                if self._policy.fail_fast and summary.failures:
-                    self._mark_skipped(queue, summary)
-                    break
-        except KeyboardInterrupt:
-            summary.interrupted = True
-            self._mark_skipped(queue, summary, kind="interrupted")
-        return summary
+        """Historical entry point; see :meth:`ProcessPoolBackend.run_serial`."""
+        return ProcessPoolBackend().run_serial(
+            pending, self._policy, events, on_complete, metrics
+        )
 
     def _run_supervised_parallel(
         self,
@@ -1261,227 +1567,10 @@ class SimRunner:
         on_complete: Callable[[_Supervised, SimulationResult, float], None],
         metrics: Optional[MetricsRegistry] = None,
     ) -> _ExecutionSummary:
-        """Process-pool supervised execution with crash isolation.
-
-        The supervisor dispatches at most ``jobs`` tasks at a time and
-        watches their deadlines.  A worker death breaks only the futures
-        in flight (each charged one attempt); the pool is rebuilt and the
-        run continues.  A deadline overrun cannot cancel the running
-        future -- ``ProcessPoolExecutor`` has no per-task kill -- so the
-        pool is torn down (terminating the hung worker) and the
-        *innocent* in-flight tasks are requeued without losing an
-        attempt.
-
-        Timing: ``submitted`` stamps are ``time.monotonic()``, the same
-        clock the worker stamps its report with, so each attempt's wall
-        time splits into pool queue wait (worker start - submit), worker
-        run time (the worker's own measurement), and harvest latency
-        (supervisor pickup - worker end, bounded by the wait-loop poll
-        granularity).  Only worker run time is charged to the task;
-        queue/harvest/requeue time is recorded as supervisor overhead.
-        """
-        if metrics is None:
-            metrics = MetricsRegistry()
-        summary = _ExecutionSummary()
-        ready: deque[_Supervised] = deque(pending)
-        inflight: Dict[object, Tuple[_Supervised, Optional[float], float]] = {}
-        pool: Optional[ProcessPoolExecutor] = None
-        timeout = self._policy.timeout
-
-        def respawn_pool() -> ProcessPoolExecutor:
-            nonlocal pool
-            if pool is None:
-                pool = ProcessPoolExecutor(
-                    max_workers=jobs,
-                    initializer=mark_worker_process,
-                    initargs=(_fault_spec_text(),),
-                )
-            return pool
-
-        def recover_broken_pool() -> None:
-            """Tear down a broken/hung pool and requeue in-flight work.
-
-            Futures that already resolved are harvested (a crash verdict
-            charges the attempt); futures that never got a verdict are
-            requeued without charging the attempt consumed by the doomed
-            submission.  The time those innocents sat in the doomed pool
-            is recorded as ``runner/requeue_wait`` -- it was previously
-            dropped, under-reporting wall time on fault-heavy runs.
-            """
-            nonlocal pool
-            for future, (state, _, submitted) in list(inflight.items()):
-                if future.done():
-                    harvest(future, state, submitted)
-                else:
-                    waited = max(monotonic() - submitted, 0.0)
-                    state.requeue_seconds += waited
-                    metrics.observe_seconds("runner/requeue_wait", waited)
-                    events.record(
-                        "task-requeued", state.index, key=state.key[:12]
-                    )
-                    state.attempts -= 1
-                    ready.append(state)
-            inflight.clear()
-            _terminate_pool(pool)
-            pool = None
-            summary.pool_respawns += 1
-            events.record("pool-respawn", -1, jobs=jobs)
-
-        def harvest(future, state: _Supervised, submitted: float) -> bool:
-            """Collect one finished future; returns True if the pool broke.
-
-            On success only the worker's own run time is charged to the
-            task; the queue wait before the worker picked it up and the
-            latency until the supervisor collected it are accounted
-            separately.  A failed attempt has no worker report, so the
-            whole supervisor-observed attempt wall is charged.
-            """
-            try:
-                report = future.result()
-            except KeyboardInterrupt:
-                raise
-            except BrokenProcessPool as error:
-                state.elapsed += max(monotonic() - submitted, 0.0)
-                self._handle_attempt_failure(
-                    state, error, "crash", ready, summary, events
-                )
-                return True
-            except Exception as error:
-                state.elapsed += max(monotonic() - submitted, 0.0)
-                self._handle_attempt_failure(
-                    state, error, "exception", ready, summary, events
-                )
-                return False
-            else:
-                queue_wait = max(report.started - submitted, 0.0)
-                harvest_latency = max(monotonic() - report.ended, 0.0)
-                state.elapsed += report.elapsed
-                state.queue_seconds += queue_wait
-                state.harvest_seconds += harvest_latency
-                metrics.observe_seconds("runner/queue_wait", queue_wait)
-                metrics.observe_seconds("runner/worker_run", report.elapsed)
-                metrics.observe_seconds("runner/harvest_latency", harvest_latency)
-                if report.metrics is not None:
-                    metrics.merge_snapshot(report.metrics)
-                on_complete(state, report.result, report.elapsed)
-                return False
-
-        try:
-            while ready or inflight:
-                now = monotonic()
-                # Dispatch every ready state whose backoff has elapsed.
-                for _ in range(len(ready)):
-                    if len(inflight) >= jobs:
-                        break
-                    state = ready.popleft()
-                    if state.not_before > now:
-                        ready.append(state)  # rotate; try again next round
-                        continue
-                    try:
-                        future = respawn_pool().submit(
-                            _execute_supervised,
-                            state.task,
-                            state.key,
-                            state.attempts,
-                        )
-                    except BrokenProcessPool:
-                        # A crashing worker can break the pool between the
-                        # last harvest and this submit, in which case the
-                        # error surfaces here in the supervisor rather than
-                        # through a future.  This task never ran: requeue
-                        # it un-charged, recycle the pool, and go around.
-                        ready.appendleft(state)
-                        recover_broken_pool()
-                        break
-                    state.attempts += 1
-                    deadline = None if timeout is None else monotonic() + timeout
-                    inflight[future] = (state, deadline, monotonic())
-
-                if not inflight:
-                    # Everything is backing off; sleep to the earliest retry.
-                    if ready:
-                        next_ready = min(state.not_before for state in ready)
-                        time.sleep(max(next_ready - monotonic(), 0.0) + 0.001)
-                        continue
-                    break
-
-                wait_budgets = [
-                    deadline - now
-                    for _, deadline, _ in inflight.values()
-                    if deadline is not None
-                ]
-                if ready:
-                    wait_budgets.append(
-                        max(min(s.not_before for s in ready) - now, 0.0) + 0.001
-                    )
-                wait_for = max(min(wait_budgets), 0.01) if wait_budgets else None
-                done, _ = wait(
-                    list(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
-                )
-
-                pool_broken = False
-                for future in done:
-                    state, _, submitted = inflight.pop(future)
-                    pool_broken |= harvest(future, state, submitted)
-
-                now = monotonic()
-                overdue = [
-                    future
-                    for future, (_, deadline, _) in inflight.items()
-                    if deadline is not None and now >= deadline
-                ]
-                for future in overdue:
-                    state, deadline, submitted = inflight.pop(future)
-                    if future.done():
-                        pool_broken |= harvest(future, state, submitted)
-                        continue
-                    state.elapsed += max(monotonic() - submitted, 0.0)
-                    self._handle_attempt_failure(
-                        state,
-                        TaskTimeout(
-                            f"task exceeded its {timeout:g}s wall-clock budget"
-                        ),
-                        "timeout",
-                        ready,
-                        summary,
-                        events,
-                    )
-                    # The hung worker can only be removed by killing the
-                    # pool; innocents in flight are requeued below.
-                    pool_broken = True
-
-                if pool_broken:
-                    recover_broken_pool()
-
-                if self._policy.fail_fast and summary.failures:
-                    self._mark_skipped(ready, summary)
-                    if not inflight:
-                        break
-        except KeyboardInterrupt:
-            summary.interrupted = True
-            for state, _, _ in inflight.values():
-                summary.failures[state.index] = FailureRecord(
-                    index=state.index,
-                    key=state.key,
-                    label=state.label,
-                    kind="interrupted",
-                    attempts=state.attempts,
-                )
-            inflight.clear()
-            self._mark_skipped(ready, summary, kind="interrupted")
-        finally:
-            if pool is not None:
-                if summary.interrupted:
-                    # Workers may be mid-task; don't wait on them.
-                    _terminate_pool(pool)
-                else:
-                    # Clean exit: workers are idle, a graceful shutdown
-                    # reaps them without signals.
-                    try:
-                        pool.shutdown(wait=True, cancel_futures=True)
-                    except Exception:
-                        _terminate_pool(pool)
-        return summary
+        """Historical entry point; see :meth:`ProcessPoolBackend.run_parallel`."""
+        return ProcessPoolBackend().run_parallel(
+            pending, jobs, self._policy, events, on_complete, metrics
+        )
 
     # Backwards-compatible alias used by older callers/tests: the plain
     # unsupervised fan-out is simply the supervised one with the default

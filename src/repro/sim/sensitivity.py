@@ -102,6 +102,7 @@ def sensitivity_analysis(
     metrics: Optional[MetricsRegistry] = None,
     paranoia: str = "off",
     shadow_sample: float = 0.0,
+    backend: object = None,
 ) -> Dict[str, Sensitivity]:
     """Elasticities of Max-WE's UAA lifetime around a configuration.
 
@@ -159,7 +160,8 @@ def sensitivity_analysis(
         for parameter, _, perturbed_value in perturbations
     ]
     runner = SimRunner(
-        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint, metrics=metrics
+        jobs=jobs, cache=cache, policy=policy, checkpoint=checkpoint,
+        metrics=metrics, backend=backend,
     )
     results = runner.run(tasks)
     base_lifetime = results[0].normalized_lifetime

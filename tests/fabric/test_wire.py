@@ -1,0 +1,177 @@
+"""Tests for the fabric wire layer: framing, channel faults, one-shots."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.fabric.wire import (
+    MAX_FRAME_BYTES,
+    Channel,
+    ChannelClosed,
+    FrameError,
+    one_shot_request,
+    recv_frame,
+    send_frame,
+)
+from repro.sim.faults import FAULT_SPEC_ENV, install
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    install(None)
+    yield
+    install(None)
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, {"type": "fetch", "worker": "w0", "blob": b"\x00" * 100})
+            message = recv_frame(b)
+            assert message == {
+                "type": "fetch",
+                "worker": "w0",
+                "blob": b"\x00" * 100,
+            }
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_stay_aligned(self):
+        a, b = socket_pair()
+        try:
+            for seq in range(5):
+                send_frame(a, {"seq": seq})
+            for seq in range(5):
+                assert recv_frame(b) == {"seq": seq}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket_pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = socket_pair()
+        try:
+            # A header promising bytes that never arrive.
+            a.sendall((1000).to_bytes(4, "big") + b"partial")
+            a.close()
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_inbound_frame_is_rejected_before_allocation(self):
+        a, b = socket_pair()
+        try:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(FrameError, match="wire limit"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+def echo_server():
+    """A tiny coordinator stand-in answering every frame with an ack."""
+    listener = socket.create_server(("127.0.0.1", 0))
+
+    def serve():
+        conn, _ = listener.accept()
+        with conn:
+            while True:
+                message = recv_frame(conn)
+                if message is None:
+                    return
+                send_frame(conn, {"type": "ack", "echo": message})
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return listener
+
+
+class TestChannel:
+    def test_request_reply(self):
+        listener = echo_server()
+        try:
+            channel = Channel(listener.getsockname()[:2], name="worker-test")
+            reply = channel.request({"type": "fetch", "worker": "t"})
+            assert reply["type"] == "ack"
+            assert reply["echo"]["worker"] == "t"
+            channel.close()
+        finally:
+            listener.close()
+
+    def test_closed_peer_raises_channel_closed(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+
+        def slam():
+            conn, _ = listener.accept()
+            conn.close()
+
+        threading.Thread(target=slam, daemon=True).start()
+        try:
+            channel = Channel(address, name="worker-test")
+            with pytest.raises(ChannelClosed):
+                channel.request({"type": "fetch"})
+        finally:
+            listener.close()
+
+    def test_dropped_requests_retransmit_until_delivered(self):
+        """drop=0.5: some sends are swallowed, but the channel keeps
+        retransmitting under fresh sequence numbers until one lands --
+        every request eventually gets its reply (at-least-once)."""
+        install("drop=0.5,seed=11")
+        listener = echo_server()
+        try:
+            channel = Channel(listener.getsockname()[:2], name="worker-droppy")
+            replies = [channel.request({"seq": seq}) for seq in range(10)]
+            assert [reply["echo"]["seq"] for reply in replies] == list(range(10))
+            channel.close()
+        finally:
+            listener.close()
+
+    def test_duplicated_requests_stay_aligned(self):
+        """duplicate=1.0: every frame is sent twice; the channel discards
+        the extra reply so the request/reply stream never skews."""
+        install("duplicate=1.0,seed=11")
+        listener = echo_server()
+        try:
+            channel = Channel(listener.getsockname()[:2], name="worker-dup")
+            for seq in range(5):
+                assert channel.request({"seq": seq})["echo"]["seq"] == seq
+            channel.close()
+        finally:
+            listener.close()
+
+
+class TestOneShot:
+    def test_round_trip(self):
+        listener = echo_server()
+        try:
+            reply = one_shot_request(
+                listener.getsockname()[:2], {"type": "heartbeat"}
+            )
+            assert reply is not None and reply["type"] == "ack"
+        finally:
+            listener.close()
+
+    def test_dead_coordinator_returns_none(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+        listener.close()
+        assert one_shot_request(address, {"type": "heartbeat"}, timeout=0.5) is None

@@ -178,3 +178,97 @@ class TestActivation:
         monkeypatch.setenv(FAULT_SPEC_ENV, "transient=0.25")
         installed = install("crash=0.5")
         assert active_injector() is installed
+
+
+class TestNetworkFaultSpec:
+    """The fabric's network fault kinds ride the same spec grammar."""
+
+    def test_parse_network_grammar(self):
+        spec = FaultSpec.parse(
+            "drop=0.1,duplicate=0.2,delay=0.05,partition=0.08,slow-worker=0.3,"
+            "delay-seconds=0.01,partition-seconds=1.5,slow-seconds=0.4,seed=9"
+        )
+        assert spec.drop == 0.1
+        assert spec.duplicate == 0.2
+        assert spec.delay == 0.05
+        assert spec.partition == 0.08
+        assert spec.slow_worker == 0.3
+        assert spec.delay_seconds == 0.01
+        assert spec.partition_seconds == 1.5
+        assert spec.slow_seconds == 0.4
+        assert spec.active
+
+    def test_network_spec_round_trips(self):
+        spec = FaultSpec.parse("drop=0.25,partition=0.1,slow-worker=0.5,seed=3")
+        assert FaultSpec.parse(spec.to_spec()) == spec
+
+    def test_network_probabilities_are_validated(self):
+        for key in ("drop", "duplicate", "delay", "partition", "slow-worker"):
+            with pytest.raises(FaultSpecError, match="must be in \\[0, 1\\]"):
+                FaultSpec.parse(f"{key}=1.5")
+
+    def test_network_only_spec_is_active(self):
+        assert FaultSpec.parse("drop=0.1").active
+        assert FaultSpec.parse("duplicate=0.1").active
+
+
+class TestNetworkFaultDeterminism:
+    def test_message_faults_are_pure_functions_of_channel_and_seq(self):
+        spec = FaultSpec(drop=0.3, duplicate=0.2, delay=0.1, seed=5)
+        rolls = [
+            (kind, seq, FaultInjector(spec).message_fault(kind, "worker-w0", seq))
+            for kind in ("drop", "duplicate", "delay")
+            for seq in range(50)
+        ]
+        rerolls = [
+            (kind, seq, FaultInjector(spec).message_fault(kind, "worker-w0", seq))
+            for kind in ("drop", "duplicate", "delay")
+            for seq in range(50)
+        ]
+        assert rolls == rerolls
+        assert any(hit for _, _, hit in rolls)  # the campaign actually fires
+
+    def test_channels_roll_independently(self):
+        spec = FaultSpec(drop=0.3, seed=5)
+        injector = FaultInjector(spec)
+        a = [injector.message_fault("drop", "worker-w0", seq) for seq in range(100)]
+        b = [injector.message_fault("drop", "worker-w1", seq) for seq in range(100)]
+        assert a != b  # decorrelated streams under one seed
+
+    def test_partition_rolls_per_lease(self):
+        spec = FaultSpec(partition=0.25, seed=7)
+        first = [
+            FaultInjector(spec).partition_now("worker-w0", seq) for seq in range(40)
+        ]
+        again = [
+            FaultInjector(spec).partition_now("worker-w0", seq) for seq in range(40)
+        ]
+        assert first == again
+        assert any(first)
+
+    def test_slow_worker_stall_returns_configured_seconds(self):
+        spec = FaultSpec(slow_worker=1.0, slow_seconds=0.125, seed=1)
+        injector = FaultInjector(spec)
+        assert injector.slow_worker_stall("some-key", 0) == 0.125
+        quiet = FaultInjector(FaultSpec(slow_worker=0.0, seed=1))
+        assert quiet.slow_worker_stall("some-key", 0) == 0.0
+
+    def test_injection_counters_track_network_kinds(self):
+        spec = FaultSpec(drop=1.0, partition=1.0, slow_worker=1.0, seed=2)
+        injector = FaultInjector(spec)
+        injector.message_fault("drop", "worker-w0", 0)
+        injector.partition_now("worker-w0", 1)
+        injector.slow_worker_stall("key", 0)
+        counts = injector.injected
+        assert counts["drop"] == 1
+        assert counts["partition"] == 1
+        assert counts["slow-worker"] == 1
+
+    def test_zero_probability_network_faults_never_fire(self):
+        injector = FaultInjector(FaultSpec(transient=0.5, seed=3))
+        assert not any(
+            injector.message_fault("drop", "worker-w0", seq) for seq in range(200)
+        )
+        assert not any(
+            injector.partition_now("worker-w0", seq) for seq in range(200)
+        )

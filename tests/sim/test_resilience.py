@@ -11,6 +11,7 @@ from repro.sim.cache import ResultCache
 from repro.sim.faults import FAULT_SPEC_ENV, install
 from repro.sim.resilience import (
     Checkpoint,
+    CheckpointWriteError,
     FailureRecord,
     ResiliencePolicy,
     RunInterrupted,
@@ -382,3 +383,106 @@ class TestAcceptance:
         assert lifetimes(warm) == lifetimes(clean)
         assert warm_cache.stats.quarantined > 0
         assert warm_cache.stats.hits > 0
+
+
+class TestShardLedgers:
+    """Per-shard checkpoint ledgers and their merge-on-harvest contract."""
+
+    def test_shard_paths_are_unique_and_adjacent(self, tmp_path):
+        journal = Checkpoint(tmp_path / "run.jsonl")
+        w0, w1 = journal.shard_path("w0"), journal.shard_path("w1")
+        assert w0 != w1
+        assert w0.parent == w1.parent == tmp_path
+        assert w0.name == "run.jsonl.shard-w0"
+        assert journal.shard_path("w0") == w0  # deterministic
+
+    def test_shard_discriminator_is_validated(self, tmp_path):
+        journal = Checkpoint(tmp_path / "run.jsonl")
+        for bad in ("", "../escape", "a/b"):
+            with pytest.raises(ValueError, match="shard discriminator"):
+                journal.shard_path(bad)
+
+    def test_derive_checkpoint_path_shard_discriminator(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        payload = {"q": 50.0, "seed": 7}
+        primary = derive_checkpoint_path("sweep", payload)
+        shards = {
+            derive_checkpoint_path("sweep", payload, shard=shard)
+            for shard in ("w0", "w1", 2)
+        }
+        # Same spec, different shards: all distinct, none the primary.
+        assert len(shards) == 3
+        assert primary not in shards
+        for path in shards:
+            assert path.parent == primary.parent
+            assert path.name.startswith(primary.name + ".shard-")
+
+    def test_merge_shards_is_deterministic_and_idempotent(self, tmp_path):
+        tasks = make_tasks(4)
+        identities = [task_identity(task) for task in tasks]
+        reports = [task.execute() for task in tasks]
+
+        primary = Checkpoint(tmp_path / "run.jsonl")
+        # Two worker shards, two records each.
+        for shard, picks in (("w0", (0, 1)), ("w1", (2, 3))):
+            ledger = Checkpoint(primary.shard_path(shard), resume=False)
+            for index in picks:
+                key, label = identities[index]
+                result, elapsed = reports[index]
+                ledger.append(key, result, elapsed, label)
+
+        assert primary.merge_shards() == 4
+        for key, _ in identities:
+            assert key in primary
+        # Absorbed shard files are removed; a re-merge finds nothing.
+        assert not list(tmp_path.glob("run.jsonl.shard-*"))
+        assert primary.merge_shards() == 0
+        # The merged journal resumes like any other.
+        assert len(Checkpoint(primary.path)) == 4
+
+    def test_merge_is_idempotent_per_key_across_shards(self, tmp_path):
+        """The same content key committed by two workers (a stolen lease
+        that both copies finished) lands exactly once in the primary."""
+        task = make_tasks(1)[0]
+        key, label = task_identity(task)
+        result, elapsed = task.execute()
+
+        primary = Checkpoint(tmp_path / "run.jsonl")
+        for shard in ("w0", "w1"):
+            Checkpoint(primary.shard_path(shard), resume=False).append(
+                key, result, elapsed, label
+            )
+        assert primary.merge_shards() == 1
+        # header + exactly one record in the merged journal
+        assert len(primary.path.read_text().splitlines()) == 2
+
+    def test_merge_tolerates_a_torn_shard_tail(self, tmp_path):
+        tasks = make_tasks(2)
+        primary = Checkpoint(tmp_path / "run.jsonl")
+        shard = Checkpoint(primary.shard_path("w0"), resume=False)
+        for task in tasks:
+            key, label = task_identity(task)
+            result, elapsed = task.execute()
+            shard.append(key, result, elapsed, label)
+        # Worker killed mid-append: tear the shard's final record.
+        text = shard.path.read_text()
+        shard.path.write_text(text[: len(text) - 40])
+
+        assert primary.merge_shards() == 1  # intact record survives
+
+    def test_append_failure_is_typed_and_non_retryable(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        journal = Checkpoint(blocker / "run.jsonl")
+        task = make_tasks(1)[0]
+        key, label = task_identity(task)
+        result, _ = task.execute()
+
+        with pytest.raises(CheckpointWriteError, match="run.jsonl") as excinfo:
+            journal.append(key, result, label=label)
+        error = excinfo.value
+        assert isinstance(error, RuntimeError)
+        assert isinstance(error.__cause__, OSError)
+        assert not is_retryable(error)
