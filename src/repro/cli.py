@@ -702,6 +702,115 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _cmd_service_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceError
+
+    try:
+        specs = _json.loads(open(args.specs).read())
+    except FileNotFoundError:
+        print(f"error: spec file {args.specs!r} not found")
+        return 1
+    except _json.JSONDecodeError as error:
+        print(f"error: spec file {args.specs!r} is not valid JSON: {error}")
+        return 1
+    config = _config_from(args)
+    config_dict = {
+        "regions": config.regions,
+        "lines_per_region": config.lines_per_region,
+        "q": config.q,
+        "endurance_model": config.endurance_model,
+        "seed": config.seed,
+    }
+    client = _service_client(args)
+    try:
+        document = client.submit(
+            specs,
+            config_dict,
+            tenant=args.tenant,
+            engine=args.engine,
+        )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"job {document['job_id']} {document['status']}")
+    if not args.wait:
+        return 0
+    for event in client.stream_events(document["job_id"]):
+        print(_json.dumps(event))
+    final = client.status(document["job_id"])
+    if final["status"] != "done":
+        print(f"error: job {final['status']}: {final['error']}", file=sys.stderr)
+        return 1
+    text = client.results(document["job_id"])
+    if args.output:
+        open(args.output, "w").write(text)
+        print(f"results written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_service_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job_id:
+            print(_json.dumps(client.status(args.job_id), indent=2))
+        else:
+            for document in client.list_jobs():
+                print(_json.dumps(document))
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_service_results(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        text = client.results(args.job_id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.output:
+        open(args.output, "w").write(text)
+        print(f"results written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_record_trace(args: argparse.Namespace) -> int:
     from repro.trace.record import record_trace
 
@@ -859,6 +968,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None, help="also archive results as JSON"
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    def _add_service_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--host", default="127.0.0.1", help="service host")
+        command.add_argument("--port", type=int, default=8437, help="service port")
+
+    service_submit = subparsers.add_parser(
+        "service-submit",
+        help="submit a JSON spec list to a running repro service",
+    )
+    service_submit.add_argument("specs", type=str, help="path to a JSON spec list")
+    _add_service_arguments(service_submit)
+    _add_config_arguments(service_submit)
+    _add_engine_argument(service_submit)
+    service_submit.add_argument(
+        "--tenant", default="default", help="tenant the job is billed to"
+    )
+    service_submit.add_argument(
+        "--wait", action="store_true",
+        help="stream NDJSON events until done, then print/fetch results",
+    )
+    service_submit.add_argument(
+        "--output", type=str, default=None,
+        help="with --wait: write the result body to this path",
+    )
+    service_submit.set_defaults(handler=_cmd_service_submit)
+
+    service_status = subparsers.add_parser(
+        "service-status", help="job status (or all jobs) from a repro service"
+    )
+    service_status.add_argument(
+        "job_id", nargs="?", default=None, help="job id (omit to list all)"
+    )
+    _add_service_arguments(service_status)
+    service_status.set_defaults(handler=_cmd_service_status)
+
+    service_results = subparsers.add_parser(
+        "service-results", help="fetch a finished job's result body"
+    )
+    service_results.add_argument("job_id", type=str, help="job id")
+    _add_service_arguments(service_results)
+    service_results.add_argument(
+        "--output", type=str, default=None, help="write the body to this path"
+    )
+    service_results.set_defaults(handler=_cmd_service_results)
 
     record = subparsers.add_parser("record-trace", help="record an attack to a file")
     record.add_argument("--attack", choices=("uaa", "bpa", "repeated"), default="uaa")

@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: an HTTP job API over the runner stack.
+
+Clients POST a JSON ``RunSpec`` batch, get a job id, stream NDJSON
+status/partial results, and fetch a final body byte-identical to a
+direct :func:`~repro.sim.batch.run_batch`.  See :mod:`repro.service.core`
+for the threaded core (queue, quotas, dedup store, durability) and
+:mod:`repro.service.http` for the asyncio front end; run one with
+``python -m repro.service``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import ServiceConfig, SimService, ValidationError
+from repro.service.http import ServiceServer, serve
+from repro.service.jobs import Job
+from repro.service.queue import JobQueue, QuotaExceeded, TenantQuota
+from repro.service.store import ResultStore, batch_key
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QuotaExceeded",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "SimService",
+    "TenantQuota",
+    "ValidationError",
+    "batch_key",
+    "serve",
+]

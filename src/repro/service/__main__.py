@@ -1,0 +1,107 @@
+"""``python -m repro.service`` -- run the simulation job API.
+
+Example::
+
+    python -m repro.service --port 8437 --state-dir .repro-service \\
+        --jobs 4 --dispatchers 2 --max-queued 64 --max-concurrent 4
+
+The state directory holds durable job records, per-job checkpoint
+ledgers, and the shared result cache; kill the process at any instant
+and a restart resumes interrupted jobs from their ledgers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.service.core import ServiceConfig, SimService
+from repro.service.http import ServiceServer
+from repro.service.queue import TenantQuota
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="HTTP job API over the NVM spare-line simulation runner",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8437, help="bind port (0 = any free port)"
+    )
+    parser.add_argument(
+        "--state-dir", default=".repro-service",
+        help="durable state: job records, ledgers, shared cache",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per batch (1 = serial, 0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--dispatchers", type=int, default=2,
+        help="concurrent batches the service runs",
+    )
+    parser.add_argument(
+        "--backend", choices=("pool", "fabric"), default="pool",
+        help="execution backend for every batch",
+    )
+    parser.add_argument(
+        "--engine", default="fluid-batched", help="default lifetime engine"
+    )
+    parser.add_argument(
+        "--max-queued", type=int, default=64,
+        help="per-tenant cap on waiting jobs (excess submissions get 429)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="per-tenant cap on running jobs",
+    )
+    parser.add_argument(
+        "--weight", type=int, default=1,
+        help="default tenant weight in the round-robin",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    service = SimService(
+        ServiceConfig(
+            state_dir=args.state_dir,
+            jobs=args.jobs,
+            backend=args.backend,
+            engine=args.engine,
+            dispatchers=args.dispatchers,
+            default_quota=TenantQuota(
+                weight=args.weight,
+                max_queued=args.max_queued,
+                max_concurrent=args.max_concurrent,
+            ),
+        )
+    )
+
+    async def run() -> None:
+        service.start()
+        server = ServiceServer(service, args.host, args.port)
+        await server.start()
+        print(
+            f"repro service listening on http://{args.host}:{server.port} "
+            f"(state: {args.state_dir})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+            service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

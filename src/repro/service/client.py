@@ -1,0 +1,179 @@
+"""Blocking HTTP client for the job API (stdlib ``http.client`` only).
+
+Used by the ``repro service-submit/status/results`` CLI subcommands and
+by tests/CI; any HTTP client works against the service, this one just
+keeps the repo dependency-free.  ``stream_events`` yields decoded NDJSON
+events as they arrive (``http.client`` de-chunks transparently, so the
+generator is a plain readline loop).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to one service instance at ``host:port``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8437, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "tuple[int, str]":
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                method,
+                path,
+                body=json.dumps(body) if body is not None else None,
+                headers={"Content-Type": "application/json", **(headers or {})},
+            )
+            response = connection.getresponse()
+            return response.status, response.read().decode()
+        finally:
+            connection.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        status, text = self._request(method, path, body, headers)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = {"error": text.strip() or "empty response"}
+        if status >= 400:
+            raise ServiceError(status, str(payload.get("error", text)))
+        return payload
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> bool:
+        """Whether the service answers its liveness probe."""
+        try:
+            return self._json("GET", "/healthz").get("status") == "ok"
+        except (OSError, ServiceError):
+            return False
+
+    def submit(
+        self,
+        specs: Sequence[dict],
+        config: Optional[dict] = None,
+        *,
+        tenant: str = "default",
+        engine: Optional[str] = None,
+        trials_per_task: Optional[int] = None,
+    ) -> dict:
+        """Submit a batch; returns the job document (``job_id`` inside).
+
+        Raises :class:`ServiceError` with ``status=429`` on quota
+        rejection and ``status=400`` on validation failure.
+        """
+        payload: dict = {"specs": list(specs)}
+        if config:
+            payload["config"] = dict(config)
+        if engine is not None:
+            payload["engine"] = engine
+        if trials_per_task is not None:
+            payload["trials_per_task"] = trials_per_task
+        return self._json(
+            "POST", "/v1/jobs", body=payload, headers={"X-Tenant": tenant}
+        )
+
+    def status(self, job_id: str) -> dict:
+        """The job's status document."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def list_jobs(self) -> List[dict]:
+        """Status documents of every job the service knows."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def results(self, job_id: str) -> str:
+        """The finished job's result body (exact canonical text)."""
+        status, text = self._request("GET", f"/v1/jobs/{job_id}/results")
+        if status >= 400:
+            try:
+                message = json.loads(text).get("error", text)
+            except json.JSONDecodeError:
+                message = text
+            raise ServiceError(status, str(message))
+        return text
+
+    def metrics(self) -> dict:
+        """The service's metrics manifest."""
+        return self._json("GET", "/v1/metrics")
+
+    def stream_events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Yield the job's events as they happen, until it finishes."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = connection.getresponse()
+            if response.status >= 400:
+                text = response.read().decode()
+                try:
+                    message = json.loads(text).get("error", text)
+                except json.JSONDecodeError:
+                    message = text
+                raise ServiceError(response.status, str(message))
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, poll_seconds: float = 0.2) -> dict:
+        """Stream until the job finishes; returns its final status doc.
+
+        Falls back to polling if the event stream drops (e.g. the
+        service restarted mid-run): the job is durable, the stream is
+        not.
+        """
+        from time import sleep
+
+        while True:
+            try:
+                for _event in self.stream_events(job_id):
+                    pass
+            except (OSError, ServiceError):
+                pass
+            try:
+                document = self.status(job_id)
+            except (OSError, ServiceError):
+                sleep(poll_seconds)
+                continue
+            if document["status"] in ("done", "failed"):
+                return document
+            sleep(poll_seconds)

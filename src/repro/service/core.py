@@ -1,0 +1,428 @@
+"""Service core: validation, dispatch, durable records, restart resume.
+
+:class:`SimService` is the synchronous heart of the job API -- the HTTP
+layer is a thin asyncio adapter over it, and tests drive it directly.
+It owns:
+
+* a :class:`~repro.service.queue.JobQueue` (weighted round-robin
+  fairness, quotas) fed by :meth:`submit`;
+* N dispatcher threads that pull jobs and run them through
+  :func:`~repro.sim.batch.run_batch` on the configured backend, with
+  the job's own :class:`~repro.obs.metrics.MetricsRegistry` merged into
+  the service registry on completion (the registry is single-threaded
+  by design, so sharing one across dispatchers would race);
+* a :class:`~repro.service.store.ResultStore` coalescing identical
+  batches (in-flight and published) across tenants;
+* durable job records under ``<state_dir>/jobs/`` (write-then-rename
+  JSON) plus per-job checkpoint ledgers under ``<state_dir>/ledgers/``
+  keyed by job id via ``derive_checkpoint_path(run_id=job_id)`` -- a
+  killed service restarts, re-queues interrupted jobs, and their
+  ledgers turn the re-run into a resume.
+
+Determinism contract: a job's result body is exactly
+``BatchResult.to_json()`` of its specs -- byte-identical to a direct
+:func:`run_batch` of the same batch, whichever tenant asked and however
+many duplicates were coalesced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import build_manifest
+from repro.service.jobs import Job
+from repro.service.queue import JobQueue, QuotaExceeded, TenantQuota
+from repro.service.store import ResultStore, batch_key
+from repro.sim.batch import RunSpec, run_batch
+from repro.sim.cache import ResultCache
+from repro.sim.config import ExperimentConfig
+from repro.sim.resilience import ResiliencePolicy, derive_checkpoint_path
+
+#: Default service state directory (job records, ledgers, shared cache).
+DEFAULT_STATE_DIR = ".repro-service"
+
+#: Request options the service accepts beyond ``specs``/``config``.
+_OPTION_FIELDS = ("engine", "trials_per_task")
+
+
+class ValidationError(ValueError):
+    """A submission payload failed validation (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static configuration of one service instance."""
+
+    state_dir: "str | Path" = DEFAULT_STATE_DIR
+    jobs: int = 1
+    backend: Optional[str] = None
+    engine: str = "fluid-batched"
+    dispatchers: int = 2
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    policy: Optional[ResiliencePolicy] = None
+
+
+class SimService:
+    """The job API's synchronous core (see module docstring)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.state_dir = Path(self.config.state_dir)
+        self.records_dir = self.state_dir / "jobs"
+        self.ledgers_dir = self.state_dir / "ledgers"
+        self.cache = ResultCache(self.state_dir / "cache")
+        self.store = ResultStore()
+        self.queue = JobQueue(self.config.default_quota, self.config.quotas)
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._dispatchers: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = perf_counter()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Resume durable jobs, then start the dispatcher threads."""
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        self.ledgers_dir.mkdir(parents=True, exist_ok=True)
+        self._resume()
+        for index in range(max(self.config.dispatchers, 1)):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._dispatchers.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop dispatching; in-flight jobs get ``timeout`` to finish."""
+        self._stopping.set()
+        self.queue.close()
+        for thread in self._dispatchers:
+            thread.join(timeout)
+        self._dispatchers = []
+
+    def __enter__(self) -> "SimService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _validate(self, payload: dict) -> "tuple[list, dict, dict]":
+        """Parse a submission payload into (specs, config, options).
+
+        Everything is normalized through the same constructors a direct
+        ``run_batch`` uses, so a payload that validates here runs there
+        -- and its canonical dict forms give a stable batch key.
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        raw_specs = payload.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ValidationError("'specs' must be a non-empty list")
+        try:
+            specs = [RunSpec.from_dict(spec).to_dict() for spec in raw_specs]
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"bad spec: {error}") from error
+        raw_config = payload.get("config", {})
+        if not isinstance(raw_config, dict):
+            raise ValidationError("'config' must be a JSON object")
+        try:
+            config = ExperimentConfig(**raw_config)
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"bad config: {error}") from error
+        config_dict = {
+            "regions": config.regions,
+            "lines_per_region": config.lines_per_region,
+            "q": config.q,
+            "endurance_model": config.endurance_model,
+            "spare_fraction": config.spare_fraction,
+            "swr_fraction": config.swr_fraction,
+            "seed": config.seed,
+        }
+        options: Dict[str, object] = {"engine": self.config.engine}
+        for name in _OPTION_FIELDS:
+            if payload.get(name) is not None:
+                options[name] = payload[name]
+        unknown = set(payload) - {"specs", "config", "tenant", *_OPTION_FIELDS}
+        if unknown:
+            raise ValidationError(f"unknown request fields {sorted(unknown)}")
+        return specs, config_dict, options
+
+    def submit(self, tenant: str, payload: dict) -> Job:
+        """Accept a batch for ``tenant``; returns the queued job.
+
+        Raises :class:`ValidationError` on a bad payload and
+        :class:`~repro.service.queue.QuotaExceeded` over quota.  A batch
+        whose body is already published completes immediately (a dedup
+        hit) without consuming a queue slot.
+        """
+        tenant = tenant or "default"
+        specs, config, options = self._validate(payload)
+        key = batch_key(config, options, specs)
+        job = Job(
+            tenant=tenant, specs=specs, config=config,
+            options=options, batch_key=key,
+        )
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+        self._count("service.submitted")
+        published = self.store.get(key)
+        if published is not None:
+            job.mark_done(
+                published,
+                dedup=True,
+                before_notify=lambda: self._finalize(
+                    job, "service.dedup_hits", "service.completed"
+                ),
+            )
+            return job
+        try:
+            self.queue.submit(job)
+        except QuotaExceeded:
+            with self._jobs_lock:
+                del self._jobs[job.job_id]
+            self._count("service.quota_rejections")
+            raise
+        self._persist(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        """The job with ``job_id``, if known."""
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        """Every known job, oldest submission first."""
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def manifest(self) -> dict:
+        """Metrics manifest with the ``service.*`` counters folded in."""
+        with self._metrics_lock:
+            self.metrics.gauge("service.jobs_known", len(self._jobs))
+            self.metrics.gauge("service.queue_depth", self.queue.depth())
+            self.metrics.gauge("service.running", self.queue.running())
+            snapshot = self.metrics.snapshot()
+            return build_manifest(
+                self.metrics,
+                command="service",
+                engine=self.config.engine,
+                jobs=self.config.jobs,
+                wall_seconds=perf_counter() - self._started,
+                extra={
+                    "backend": self.config.backend or "pool",
+                    # The one-shot CLI writes counters as separate JSONL
+                    # records; a long-lived service serves one document,
+                    # so the counters/gauges ride in the manifest itself
+                    # (clients assert on e.g. ``service.dedup_hits``).
+                    "counters": snapshot["counters"],
+                    "gauges": snapshot["gauges"],
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stopping.is_set():
+            job = self.queue.take(timeout=0.25)
+            if job is None:
+                continue
+            try:
+                self._execute(job)
+            except Exception as error:  # noqa: BLE001 - dispatcher survival
+                # _execute isolates batch failures itself; anything that
+                # still escapes (e.g. an IO error persisting a record)
+                # must fail THIS job, not kill the dispatcher thread and
+                # silently wedge every job behind it.
+                if not job.finished:
+                    try:
+                        job.mark_failed(
+                            f"{type(error).__name__}: {error}",
+                            before_notify=lambda: self._finalize(
+                                job, "service.failed"
+                            ),
+                        )
+                    except Exception:  # noqa: BLE001 - still wake waiters
+                        job.mark_failed(f"{type(error).__name__}: {error}")
+            finally:
+                self.queue.release(job)
+                try:
+                    self._persist(job)
+                except OSError:
+                    pass  # backstop write; terminal states already persisted
+
+    def _execute(self, job: Job) -> None:
+        """Run one job to a terminal state via the store's claim protocol."""
+        job.mark_running()
+        self._persist(job)
+        while True:
+            outcome = self.store.claim(job.batch_key)
+            if outcome == ResultStore.PUBLISHED:
+                job.mark_done(
+                    self.store.get(job.batch_key),
+                    dedup=True,
+                    before_notify=lambda: self._finalize(
+                        job, "service.dedup_hits", "service.completed"
+                    ),
+                )
+                return
+            if outcome == ResultStore.WAIT:
+                body = self.store.wait(job.batch_key, timeout=1.0)
+                if body is not None:
+                    job.mark_done(
+                        body,
+                        dedup=True,
+                        before_notify=lambda: self._finalize(
+                            job, "service.dedup_hits", "service.completed"
+                        ),
+                    )
+                    return
+                # Owner failed or is still running: re-claim (we may be
+                # promoted to owner and run the batch ourselves).
+                continue
+            break  # OWNER: run it below.
+        try:
+            body = self._run_batch(job)
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            self.store.release(job.batch_key)
+            job.mark_failed(
+                f"{type(error).__name__}: {error}",
+                before_notify=lambda: self._finalize(job, "service.failed"),
+            )
+            return
+        self.store.publish(job.batch_key, body)
+        job.mark_done(
+            body,
+            before_notify=lambda: self._finalize(job, "service.completed"),
+        )
+
+    def _run_batch(self, job: Job) -> str:
+        """Execute the job's batch; returns the canonical result body."""
+        options = job.options
+        registry = MetricsRegistry()
+        ledger = self._ledger_path(job)
+
+        def on_result(index: int, result, elapsed: float) -> None:
+            job.add_event(
+                "result",
+                index=index,
+                label=job.specs[index]["label"],
+                normalized_lifetime=result.normalized_lifetime,
+                elapsed=elapsed,
+            )
+
+        batch = run_batch(
+            [RunSpec.from_dict(spec) for spec in job.specs],
+            ExperimentConfig(**job.config),
+            jobs=self.config.jobs,
+            cache=self.cache,
+            engine=str(options.get("engine", self.config.engine)),
+            policy=self.config.policy,
+            checkpoint=ledger,
+            metrics=registry,
+            trials_per_task=options.get("trials_per_task"),
+            backend=self.config.backend,
+            on_result=on_result,
+        )
+        body = batch.to_json()
+        with self._metrics_lock:
+            self.metrics.merge_snapshot(registry.snapshot())
+        # The ledger only matters while the job can still be interrupted;
+        # afterwards its durable record carries the result.
+        ledger.unlink(missing_ok=True)
+        return body
+
+    def _ledger_path(self, job: Job) -> Path:
+        return derive_checkpoint_path(
+            "service",
+            {"batch": job.batch_key},
+            root=self.ledgers_dir,
+            run_id=job.job_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _finalize(self, job: Job, *counters: str) -> None:
+        """Terminal-state side effects (record + counters).
+
+        Runs as a ``before_notify`` hook inside the job's condition, so
+        by the time any ``wait()``/streamer observes the terminal state,
+        the durable record and the service counters already reflect it.
+        """
+        self._persist(job)
+        for name in counters:
+            self._count(name)
+
+    def _persist(self, job: Job) -> None:
+        """Write the job's durable record (write-then-rename).
+
+        Serialized on the job's record lock: the submitting thread and
+        a dispatcher can both persist the same job concurrently, and
+        without the lock they would collide on the temp file (same pid,
+        same name) or land a stale snapshot over a newer one.
+        """
+        with job.record_lock:
+            self.records_dir.mkdir(parents=True, exist_ok=True)
+            path = self.records_dir / f"{job.job_id}.json"
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(job.to_record(), indent=2))
+            tmp.replace(path)
+
+    def _resume(self) -> None:
+        """Reload durable jobs; interrupted ones re-enter the queue.
+
+        Completed bodies re-publish into the result store so dedup
+        survives restarts; ``queued``/``running`` jobs restart as
+        ``queued`` and their checkpoint ledgers (keyed by job id) turn
+        the re-run into a resume of the already-finished members.
+        """
+        for path in sorted(self.records_dir.glob("j-*.json")):
+            try:
+                job = Job.from_record(json.loads(path.read_text()))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # torn record: the job is lost, not the service
+            with self._jobs_lock:
+                self._jobs[job.job_id] = job
+            if job.status == "done" and job.result_text is not None:
+                if self.store.get(job.batch_key) is None:
+                    self.store.publish(job.batch_key, job.result_text)
+                continue
+            if job.finished:
+                continue
+            try:
+                self.queue.submit(job)
+                self._count("service.resumed")
+            except QuotaExceeded as error:
+                job.mark_failed(str(error))
+                self._persist(job)
+
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.inc(name, value)

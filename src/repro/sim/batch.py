@@ -95,6 +95,17 @@ class RunSpec:
             raise ValueError(f"unknown spec fields {sorted(unknown)}")
         return cls(**payload)
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form (the wire format; round-trips via ``from_dict``)."""
+        return {
+            "label": self.label,
+            "attack": self.attack,
+            "sparing": self.sparing,
+            "wearlevel": self.wearlevel,
+            "p": self.p,
+            "swr": self.swr,
+        }
+
     def build_attack(self):
         return build_attack(self.attack)
 
@@ -178,14 +189,7 @@ class BatchResult:
             },
             "runs": [
                 {
-                    "spec": {
-                        "label": spec.label,
-                        "attack": spec.attack,
-                        "sparing": spec.sparing,
-                        "wearlevel": spec.wearlevel,
-                        "p": spec.p,
-                        "swr": spec.swr,
-                    },
+                    "spec": spec.to_dict(),
                     "result": result.to_dict(include_timeline=False),
                 }
                 for spec, result in zip(self.specs, self.results)
@@ -211,6 +215,7 @@ def run_batch(
     shadow_sample: float = 0.0,
     trials_per_task: Optional[int] = None,
     backend: object = None,
+    on_result: Optional[object] = None,
 ) -> BatchResult:
     """Execute a list of specs against one device configuration.
 
@@ -253,6 +258,10 @@ def run_batch(
         Execution backend spec (``"pool"``/``"fabric"`` or an
         :class:`~repro.sim.executor.ExecutorBackend` instance); results
         are bit-identical across backends.
+    on_result:
+        Optional ``(index, result, elapsed)`` observer forwarded to the
+        runner; fires once per spec as its result lands (the service
+        layer streams partial results through it).
     """
     if not specs:
         raise ValueError("batch needs at least one spec")
@@ -269,6 +278,7 @@ def run_batch(
         metrics=metrics,
         trials_per_task=trials_per_task,
         backend=backend,
+        on_result=on_result,
     )
     results = runner.run(
         [

@@ -26,7 +26,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Optional, Protocol
+from typing import Callable, Mapping, Optional, Protocol
 
 from repro.obs.metrics import MetricsRegistry, maybe_span
 from repro.sim.result import SimulationResult
@@ -44,6 +44,55 @@ DEFAULT_CACHE_DIR: str = ".repro-cache"
 
 #: Subdirectory (under the cache root) that corrupt entries are moved to.
 QUARANTINE_DIR: str = "quarantine"
+
+#: Most quarantined entries kept on disk; when a new quarantine pushes
+#: the directory past this bound the oldest entries are evicted
+#: (deleted).  Quarantine exists for *debugging recent corruption*, not
+#: archival -- unbounded growth turned every corrupt-entry storm into a
+#: slow disk leak.  Override per instance via ``quarantine_cap`` or
+#: globally via the ``REPRO_QUARANTINE_CAP`` environment variable.
+DEFAULT_QUARANTINE_CAP: int = 32
+
+
+def _resolve_cap(value: "int | None", env_var: str, default: int) -> int:
+    """An explicit cap wins; else the environment; else the default."""
+    if value is None:
+        env = os.environ.get(env_var)
+        value = int(env) if env else default
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"cap must be >= 1, got {value}")
+    return value
+
+
+def prune_oldest(
+    paths: "list[Path]", cap: int, remove: "Callable[[Path], None]"
+) -> int:
+    """Delete the oldest of ``paths`` until at most ``cap`` remain.
+
+    Age is the file's mtime (name as a deterministic tie-break);
+    removal failures are swallowed -- a bounded directory is a hygiene
+    guarantee, never worth failing the lookup that triggered it.
+    Returns the number of entries actually removed.  Shared by the
+    cache quarantine and the crash-bundle store.
+    """
+    if len(paths) <= cap:
+        return 0
+
+    def _age(path: Path) -> "tuple[float, str]":
+        try:
+            return (path.stat().st_mtime, path.name)
+        except OSError:
+            return (0.0, path.name)
+
+    evicted = 0
+    for path in sorted(paths, key=_age)[: len(paths) - cap]:
+        try:
+            remove(path)
+            evicted += 1
+        except OSError:
+            continue
+    return evicted
 
 
 class Cacheable(Protocol):
@@ -75,6 +124,7 @@ class CacheStats:
     misses: int
     stores: int
     quarantined: int = 0
+    quarantine_evicted: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,15 +158,20 @@ class ResultCache:
         self,
         root: "str | Path | None" = None,
         schema_version: int = CACHE_SCHEMA_VERSION,
+        quarantine_cap: "int | None" = None,
     ) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         self._root = Path(root)
         self._schema_version = int(schema_version)
+        self._quarantine_cap = _resolve_cap(
+            quarantine_cap, "REPRO_QUARANTINE_CAP", DEFAULT_QUARANTINE_CAP
+        )
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._quarantined = 0
+        self._quarantine_evicted = 0
         self._metrics: Optional[MetricsRegistry] = None
 
     def attach_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
@@ -146,7 +201,13 @@ class ResultCache:
             misses=self._misses,
             stores=self._stores,
             quarantined=self._quarantined,
+            quarantine_evicted=self._quarantine_evicted,
         )
+
+    @property
+    def quarantine_cap(self) -> int:
+        """Most quarantined entries kept before oldest-first eviction."""
+        return self._quarantine_cap
 
     @property
     def quarantine_root(self) -> Path:
@@ -209,7 +270,13 @@ class ResultCache:
             return result
 
     def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry under ``quarantine/`` (best effort)."""
+        """Move a corrupt entry under ``quarantine/`` (best effort).
+
+        The quarantine is bounded: when this move pushes the directory
+        past ``quarantine_cap`` the oldest entries are evicted, so a
+        corrupt-entry storm (full disk truncating every store) can never
+        grow the directory without bound.
+        """
         try:
             destination = self.quarantine_root / path.name
             destination.parent.mkdir(parents=True, exist_ok=True)
@@ -219,6 +286,17 @@ class ResultCache:
             # Quarantine must never make a miss worse; fall back to
             # removal so the next store is not blocked by the bad file.
             path.unlink(missing_ok=True)
+            return
+        evicted = prune_oldest(
+            [entry for entry in self.quarantine_root.glob("*.json")
+             if entry != destination],
+            max(self._quarantine_cap - 1, 0),
+            lambda entry: entry.unlink(),
+        )
+        if evicted:
+            self._quarantine_evicted += evicted
+            if self._metrics is not None:
+                self._metrics.inc("cache.quarantine_evicted", evicted)
 
     def put(
         self,

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -356,7 +357,7 @@ _installed: Optional[FaultInjector] = None
 _env_injector: Optional[FaultInjector] = None
 _env_text: Optional[str] = None
 _is_worker = False
-_task_key: str = ""
+_task_local = threading.local()
 
 
 @contextmanager
@@ -367,19 +368,23 @@ def task_scope(key: str) -> Iterator[None]:
     off the executing task so decisions survive retries, process
     boundaries, and scheduling order.  Standalone runs (no supervisor)
     see an empty key and derive one from the run's own identity.
+
+    The pin is thread-local: the job service's dispatcher threads run
+    attempts concurrently with other code in the same process, and a
+    run on one thread must never inherit the key of a task executing
+    on another -- the corruption rolls would silently re-key.
     """
-    global _task_key
-    previous = _task_key
-    _task_key = key
+    previous = getattr(_task_local, "key", "")
+    _task_local.key = key
     try:
         yield
     finally:
-        _task_key = previous
+        _task_local.key = previous
 
 
 def active_task_key() -> str:
-    """The task key pinned by the innermost :func:`task_scope` (or "")."""
-    return _task_key
+    """The task key pinned by the calling thread's :func:`task_scope` (or "")."""
+    return getattr(_task_local, "key", "")
 
 
 def install(spec: "FaultSpec | str | None") -> Optional[FaultInjector]:

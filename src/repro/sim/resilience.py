@@ -19,9 +19,13 @@ composes:
   results, content-keyed like the result cache, written with
   flush+fsync per record so a ``kill -9`` mid-sweep loses at most the
   record being written; loading tolerates a truncated final line;
-* :func:`time_limit` -- a SIGALRM-based wall-clock guard for *serial*
-  execution (parallel execution enforces deadlines in the supervisor
-  by respawning the pool instead).
+* :func:`time_limit` -- a wall-clock guard for *serial* execution
+  (parallel execution enforces deadlines in the supervisor by
+  respawning the pool instead).  On a POSIX main thread it preempts
+  via SIGALRM; on any other thread -- the async service's executor
+  threads, embedding hosts -- a watchdog timer injects the timeout
+  into the guarded thread and a monotonic deadline check backstops
+  bodies that cannot be preempted.
 
 Determinism note: backoff jitter is derived from the task key and
 attempt number, never from a wall clock or global RNG, so a resumed or
@@ -37,6 +41,7 @@ import signal
 import threading
 import traceback as _traceback
 from contextlib import contextmanager
+from time import monotonic
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -117,8 +122,8 @@ class ResiliencePolicy:
     timeout:
         Per-attempt wall-clock budget in seconds (``None`` = unlimited).
         Parallel runs enforce it by tearing down and respawning the
-        worker pool; serial runs use a SIGALRM guard (main thread,
-        POSIX) and otherwise cannot preempt a hung task.
+        worker pool; serial runs use :func:`time_limit` (SIGALRM on a
+        POSIX main thread, a watchdog + monotonic deadline elsewhere).
     retries:
         Extra attempts after the first (``retries=2`` means up to three
         executions).  Non-retryable errors (``ValueError``/``TypeError``
@@ -283,18 +288,33 @@ def _alarm_supported() -> bool:
     )
 
 
-@contextmanager
-def time_limit(seconds: Optional[float]) -> Iterator[None]:
-    """Raise :class:`TaskTimeout` if the body runs longer than ``seconds``.
+def _async_raise(thread_id: int, exc_type: "type | None") -> None:
+    """Schedule ``exc_type`` in thread ``thread_id`` (``None`` clears).
 
-    SIGALRM-based, so it preempts even a sleeping/hung body -- but only
-    on POSIX main threads; elsewhere (or with ``seconds=None``) it is a
-    no-op and the body runs unguarded.  Parallel execution does not use
-    this: the pool supervisor enforces deadlines from outside.
+    Uses ``PyThreadState_SetAsyncExc``: the exception is delivered at the
+    target thread's next bytecode instruction, so it preempts pure-Python
+    loops but not a body blocked inside a C call (which the caller's
+    monotonic deadline check covers instead).  Best effort -- platforms
+    without ``ctypes.pythonapi`` simply skip the injection.
     """
-    if seconds is None or not _alarm_supported():
-        yield
-        return
+    try:
+        import ctypes
+
+        if exc_type is None:
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(thread_id), ctypes.c_void_p()
+            )
+        else:
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(thread_id), ctypes.py_object(exc_type)
+            )
+    except Exception:  # pragma: no cover - exotic interpreters only
+        pass
+
+
+@contextmanager
+def _sigalrm_limit(seconds: float) -> Iterator[None]:
+    """The historical main-thread fast path: preemptive SIGALRM."""
 
     def _on_alarm(signum, frame):
         raise TaskTimeout(f"task exceeded its {seconds:g}s wall-clock budget")
@@ -306,6 +326,76 @@ def time_limit(seconds: Optional[float]) -> Iterator[None]:
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@contextmanager
+def _deadline_limit(seconds: float) -> Iterator[None]:
+    """Thread-safe deadline guard for non-main threads.
+
+    ``signal.signal``/``setitimer`` raise ``ValueError`` off the main
+    thread, so threaded hosts (the job service's executor threads) need a
+    different mechanism.  A daemon watchdog timer injects
+    :class:`TaskTimeout` into the guarded thread at the deadline --
+    preempting Python-level work -- and a final monotonic check converts
+    any overrun that escaped injection (body blocked in C, injection
+    unavailable) into the same :class:`TaskTimeout`, so the budget is
+    enforced in every case even when it cannot preempt.
+    """
+    thread_id = threading.get_ident()
+    lock = threading.Lock()
+    state = {"fired": False, "done": False}
+
+    def _fire() -> None:
+        with lock:
+            if state["done"]:
+                return
+            state["fired"] = True
+        _async_raise(thread_id, TaskTimeout)
+
+    watchdog = threading.Timer(seconds, _fire)
+    watchdog.daemon = True
+    started = monotonic()
+    watchdog.start()
+    try:
+        yield
+    except TaskTimeout:
+        raise TaskTimeout(
+            f"task exceeded its {seconds:g}s wall-clock budget"
+        ) from None
+    finally:
+        with lock:
+            state["done"] = True
+        watchdog.cancel()
+        if state["fired"]:
+            # Clear an injected-but-undelivered exception so it cannot
+            # surface later in unrelated code on this thread.
+            _async_raise(thread_id, None)
+    if monotonic() - started > seconds:
+        raise TaskTimeout(f"task exceeded its {seconds:g}s wall-clock budget")
+
+
+@contextmanager
+def time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`TaskTimeout` if the body runs longer than ``seconds``.
+
+    On a POSIX main thread the guard is SIGALRM-based, preempting even a
+    sleeping/hung body.  On any other thread (async service executor
+    threads, embedding hosts) a watchdog timer injects the timeout into
+    the guarded thread and a monotonic deadline check backstops bodies
+    the injection cannot preempt -- so a budget overrun always surfaces
+    as :class:`TaskTimeout`, never as a silent unguarded run.  With
+    ``seconds=None`` the body runs unguarded.  Parallel execution does
+    not use this: the pool supervisor enforces deadlines from outside.
+    """
+    if seconds is None:
+        yield
+        return
+    if _alarm_supported():
+        with _sigalrm_limit(seconds):
+            yield
+        return
+    with _deadline_limit(seconds):
+        yield
 
 
 # ----------------------------------------------------------------------
@@ -539,6 +629,7 @@ def derive_checkpoint_path(
     payload: dict,
     root: "str | Path | None" = None,
     shard: "str | int | None" = None,
+    run_id: "str | None" = None,
 ) -> Path:
     """Deterministic checkpoint location for a named, parameterized run.
 
@@ -546,6 +637,16 @@ def derive_checkpoint_path(
     same configuration always maps to the same journal -- which is what
     lets a bare ``--resume`` find the previous run's checkpoint without
     the user tracking file names.
+
+    The journal assumes a **single writer**: two processes appending the
+    same file concurrently interleave fsynced records unpredictably.  A
+    lone operator re-running a command never hits this, but two
+    *concurrent* runs submitting the identical payload (two service jobs
+    with the same spec batch) would collide on the derived path.  Such
+    callers must pass ``run_id`` -- a per-run identity (job id) folded
+    into the file name (``<name>-<digest>-<run_id>.jsonl``) -- so every
+    concurrent writer owns its own ledger while a *restart* of the same
+    run (same ``run_id``) still resumes it.
 
     ``shard`` appends a per-shard discriminator (``...jsonl.shard-<id>``)
     so concurrent shards of one sweep -- fabric workers, split grids --
@@ -556,7 +657,13 @@ def derive_checkpoint_path(
         root = os.environ.get("REPRO_CHECKPOINT_DIR", DEFAULT_CHECKPOINT_DIR)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     digest = hashlib.sha256(f"{name}:{blob}".encode()).hexdigest()[:12]
-    primary = Path(root) / f"{name}-{digest}.jsonl"
+    stem = f"{name}-{digest}"
+    if run_id is not None:
+        run_text = str(run_id)
+        if not run_text or any(ch in run_text for ch in "/\\\0"):
+            raise ValueError(f"invalid run_id discriminator {run_id!r}")
+        stem = f"{stem}-{run_text}"
+    primary = Path(root) / f"{stem}.jsonl"
     if shard is None:
         return primary
     return _shard_path(primary, shard)

@@ -1157,6 +1157,13 @@ class SimRunner:
         :mod:`repro.fabric`), or an :class:`ExecutorBackend` instance.
         Determinism holds across backends: the same task list yields
         bit-identical results on either.
+    on_result:
+        Optional ``(index, result, elapsed)`` observer invoked once per
+        task as its result lands -- whether simulated, cache-served, or
+        checkpoint-served (the latter two with ``elapsed=0.0``).  Runs
+        on the supervisor thread in completion order (not submission
+        order) and must not raise; the service layer uses it to stream
+        partial results while a batch is still running.
     """
 
     def __init__(
@@ -1168,6 +1175,7 @@ class SimRunner:
         metrics: Optional[MetricsRegistry] = None,
         trials_per_task: Optional[int] = None,
         backend: "str | ExecutorBackend | None" = None,
+        on_result: Optional[Callable[[int, SimulationResult, float], None]] = None,
     ) -> None:
         self._jobs = resolve_jobs(jobs)
         self._cache = cache
@@ -1182,6 +1190,7 @@ class SimRunner:
             )
         self._trials_per_task = trials_per_task
         self._backend = resolve_backend(backend)
+        self._on_result = on_result
 
     @property
     def jobs(self) -> int:
@@ -1358,6 +1367,8 @@ class SimRunner:
                         # Heal the cache from the journal if the entry is gone.
                         if self._cache is not None and isinstance(task, SimTask):
                             self._cache.put(task, resumed)
+                        if self._on_result is not None:
+                            self._on_result(index, resumed, 0.0)
                         continue
                 cached = (
                     self._cache.get(task)
@@ -1369,6 +1380,8 @@ class SimRunner:
                     cache_hits += 1
                     if self._checkpoint is not None:
                         self._checkpoint.append(key, cached, 0.0, label)
+                    if self._on_result is not None:
+                        self._on_result(index, cached, 0.0)
                     continue
                 pending.append(
                     _Supervised(index=index, task=task, key=key, label=label)
@@ -1387,6 +1400,8 @@ class SimRunner:
                 self._cache.put(task, result, elapsed)
             if self._checkpoint is not None:
                 self._checkpoint.append(state.key, result, elapsed, state.label)
+            if self._on_result is not None:
+                self._on_result(state.index, result, elapsed)
 
         def on_complete(state: _Supervised, result, elapsed: float) -> None:
             if state.members is None:

@@ -28,6 +28,8 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import shutil
+import threading
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,49 +45,70 @@ DEBUG_DIR_ENV = "REPRO_DEBUG_DIR"
 #: Default bundle root, relative to the working directory.
 DEFAULT_DEBUG_DIR = ".repro-debug"
 
+#: Environment variable overriding the bundle cap.
+DEBUG_CAP_ENV = "REPRO_DEBUG_CAP"
+
+#: Most crash bundles kept on disk; writing one past this bound evicts
+#: the oldest bundles (same policy as the cache quarantine: bundles are
+#: for debugging recent failures, and a violation storm must not turn
+#: the debug directory into a disk leak).
+DEFAULT_DEBUG_CAP: int = 32
+
 _META_NAME = "meta.json"
 _STATE_NAME = "state.npz"
 
-# Module state: the declarative payload of the task currently executing
-# (set by the runner / CLI so engine-level bundle writes can pin it) and
-# a suppression flag so replays don't write bundles of their own.
-_task_payload: Optional[dict] = None
-_task_options: Optional[dict] = None
-_suppressed = False
+# Per-thread state: the declarative payload of the task currently
+# executing (set by the runner / CLI so engine-level bundle writes can
+# pin it) and a suppression flag so replays don't write bundles of
+# their own.  Thread-local rather than module-global: the job service
+# runs dispatcher threads that execute tasks concurrently with other
+# code in the same process, and a bundle written by one thread must
+# never pick up another thread's task payload.
+_local = threading.local()
+
+
+def _task_state() -> "tuple[Optional[dict], Optional[dict]]":
+    return getattr(_local, "task", (None, None))
 
 
 @contextlib.contextmanager
 def task_context(payload: Optional[dict], options: Optional[dict] = None) -> Iterator[None]:
-    """Pin the executing task's declarative payload for bundle writes."""
-    global _task_payload, _task_options
-    previous = (_task_payload, _task_options)
-    _task_payload, _task_options = payload, options
+    """Pin the executing task's declarative payload for bundle writes.
+
+    The pin is visible only to the calling thread -- the thread that
+    runs the task is the thread that writes its bundles.
+    """
+    previous = _task_state()
+    _local.task = (payload, options)
     try:
         yield
     finally:
-        _task_payload, _task_options = previous
+        _local.task = previous
 
 
 def current_task_payload() -> Optional[dict]:
-    """The pinned payload of the currently executing task, if any."""
-    return _task_payload
+    """The payload pinned by the calling thread's task, if any."""
+    return _task_state()[0]
 
 
 @contextlib.contextmanager
 def suppress_bundles() -> Iterator[None]:
-    """Disable bundle writing inside the block (used by replays/tests)."""
-    global _suppressed
-    previous = _suppressed
-    _suppressed = True
+    """Disable bundle writing inside the block (used by replays/tests).
+
+    Per-thread, like :func:`task_context`: a replay running in one
+    thread must not silence bundles from tasks on other threads.
+    """
+    previous = getattr(_local, "suppressed", False)
+    _local.suppressed = True
     try:
         yield
     finally:
-        _suppressed = previous
+        _local.suppressed = previous
 
 
 def bundle_root(root: "str | os.PathLike | None" = None) -> Optional[Path]:
     """Resolve the bundle root; ``None`` means bundles are disabled."""
-    if _suppressed:
+    if getattr(_local, "suppressed", False):
         return None
     if root is not None:
         return Path(root)
@@ -111,6 +134,25 @@ def _allocate_dir(root: Path, stem: str) -> Path:
         candidate = root / f"{stem}-{suffix}"
     candidate.mkdir()
     return candidate
+
+
+def _prune_bundles(root: Path, keep: Path) -> int:
+    """Evict the oldest bundle dirs past the cap; returns the count.
+
+    ``keep`` (the bundle just written) is never evicted, even when its
+    mtime sorts it oldest on a coarse-grained filesystem clock.
+    """
+    from repro.sim.cache import _resolve_cap, prune_oldest
+
+    cap = _resolve_cap(None, DEBUG_CAP_ENV, DEFAULT_DEBUG_CAP)
+    candidates = [
+        entry
+        for entry in root.iterdir()
+        if entry.is_dir() and (entry / _META_NAME).is_file() and entry != keep
+    ]
+    return prune_oldest(
+        candidates, max(cap - 1, 0), lambda entry: shutil.rmtree(entry)
+    )
 
 
 def _jsonable(value: object) -> object:
@@ -156,8 +198,8 @@ def write_violation_bundle(
         "details": violation.details,
         "repro": violation.repro,
         "scalars": dict(scalars or {}),
-        "task": _task_payload,
-        "task_options": _task_options,
+        "task": _task_state()[0],
+        "task_options": _task_state()[1],
         "fault_spec": _active_fault_spec(),
         "divergence": type(violation).__name__,
     }
@@ -165,6 +207,7 @@ def write_violation_bundle(
     if violation.arrays:
         np.savez_compressed(directory / _STATE_NAME, **violation.arrays)
     violation.bundle_path = str(directory)
+    _prune_bundles(resolved, directory)
     return directory
 
 
@@ -185,11 +228,12 @@ def write_error_bundle(
         "message": str(error),
         "traceback": traceback.format_exception(type(error), error, error.__traceback__),
         "task_key": key,
-        "task": _task_payload,
-        "task_options": _task_options,
+        "task": _task_state()[0],
+        "task_options": _task_state()[1],
         "fault_spec": _active_fault_spec(),
     }
     _write_meta(directory, meta)
+    _prune_bundles(resolved, directory)
     return directory
 
 

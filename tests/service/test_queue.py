@@ -1,0 +1,106 @@
+"""Job queue tests: weighted round-robin fairness and quota enforcement."""
+
+import pytest
+
+from repro.service.jobs import Job
+from repro.service.queue import JobQueue, QuotaExceeded, TenantQuota
+
+
+def make_job(tenant: str, label: str = "x") -> Job:
+    return Job(
+        tenant=tenant,
+        specs=[{"label": label}],
+        config={},
+        options={},
+        batch_key=f"{tenant}:{label}",
+    )
+
+
+class TestQuotas:
+    def test_max_queued_rejects_cleanly(self):
+        queue = JobQueue(TenantQuota(max_queued=2))
+        queue.submit(make_job("a", "1"))
+        queue.submit(make_job("a", "2"))
+        with pytest.raises(QuotaExceeded) as excinfo:
+            queue.submit(make_job("a", "3"))
+        assert excinfo.value.tenant == "a"
+        assert excinfo.value.limit == 2
+        # The rejection costs nothing: other tenants are unaffected.
+        queue.submit(make_job("b", "1"))
+        assert queue.depth("a") == 2
+        assert queue.depth("b") == 1
+
+    def test_max_concurrent_defers_dispatch(self):
+        queue = JobQueue(TenantQuota(max_concurrent=1))
+        first, second = make_job("a", "1"), make_job("a", "2")
+        queue.submit(first)
+        queue.submit(second)
+        taken = queue.take(timeout=0.05)
+        assert taken is first
+        # The tenant is at max_concurrent: nothing to take until release.
+        assert queue.take(timeout=0.05) is None
+        queue.release(taken)
+        assert queue.take(timeout=0.05) is second
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(weight=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_queued=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_concurrent=0)
+
+
+class TestFairness:
+    def test_round_robin_interleaves_tenants(self):
+        queue = JobQueue(TenantQuota(max_queued=100, max_concurrent=100))
+        for index in range(3):
+            queue.submit(make_job("hog", str(index)))
+        queue.submit(make_job("mouse", "0"))
+        order = [queue.take(timeout=0.05).tenant for _ in range(4)]
+        # The mouse is served before the hog's backlog drains.
+        assert order.index("mouse") <= 1
+
+    def test_weights_bias_the_ratio(self):
+        queue = JobQueue(
+            TenantQuota(max_queued=100, max_concurrent=100),
+            {"heavy": TenantQuota(weight=2, max_queued=100, max_concurrent=100)},
+        )
+        for index in range(4):
+            queue.submit(make_job("heavy", str(index)))
+            queue.submit(make_job("light", str(index)))
+        order = [queue.take(timeout=0.05).tenant for _ in range(6)]
+        # Weight 2 vs 1: heavy gets two grants per light's one.
+        assert order.count("heavy") == 2 * order.count("light")
+
+    def test_single_tenant_is_fifo(self):
+        queue = JobQueue()
+        jobs = [make_job("a", str(index)) for index in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        assert [queue.take(timeout=0.05) for _ in range(3)] == jobs
+
+
+class TestLifecycle:
+    def test_take_times_out_empty(self):
+        assert JobQueue().take(timeout=0.05) is None
+
+    def test_close_wakes_blocked_take(self):
+        import threading
+
+        queue = JobQueue()
+        results = []
+        waiter = threading.Thread(
+            target=lambda: results.append(queue.take(timeout=30.0))
+        )
+        waiter.start()
+        queue.close()
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results == [None]
+
+    def test_closed_queue_rejects_submissions(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.submit(make_job("a"))

@@ -1,0 +1,211 @@
+"""Service core tests: dedup, byte-identity, quotas, restart resume.
+
+These drive :class:`SimService` directly (no HTTP) -- the concurrency
+contracts live here, the wire contracts in ``test_http.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.service.core import ServiceConfig, SimService, ValidationError
+from repro.service.queue import QuotaExceeded, TenantQuota
+from repro.sim.batch import run_batch
+from repro.sim.config import ExperimentConfig
+
+SMALL = {"regions": 64, "lines_per_region": 2}
+SPECS = [
+    {"label": "a", "attack": "uaa", "sparing": "max-we"},
+    {"label": "b", "attack": "uaa", "sparing": "none"},
+]
+PAYLOAD = {"specs": SPECS, "config": SMALL}
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = SimService(ServiceConfig(state_dir=tmp_path / "state", dispatchers=2))
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+def direct_body() -> str:
+    return run_batch(SPECS, ExperimentConfig(**SMALL)).to_json()
+
+
+class TestConcurrentSubmission:
+    def test_identical_specs_run_once_and_serve_twice(self, service):
+        """Two tenants, one batch: ONE runner execution, TWO completed
+        jobs, byte-identical bodies (the acceptance criterion)."""
+        first = service.submit("alice", PAYLOAD)
+        second = service.submit("bob", PAYLOAD)
+        assert first.wait(120.0) and second.wait(120.0)
+        assert first.status == "done" and second.status == "done"
+        assert first.result_text == second.result_text == direct_body()
+        counters = service.manifest()["counters"]
+        # Each spec simulated exactly once, despite two submissions.
+        assert counters["runner.simulated"] == len(SPECS)
+        assert counters["service.dedup_hits"] == 1
+        assert counters["service.completed"] == 2
+
+    def test_warm_resubmission_is_o1_and_counted(self, service):
+        original = service.submit("alice", PAYLOAD)
+        assert original.wait(120.0)
+        simulated = service.manifest()["counters"]["runner.simulated"]
+        warm = service.submit("carol", PAYLOAD)
+        # Completed synchronously at submit: no queue, no dispatch.
+        assert warm.status == "done"
+        assert warm.dedup_hit
+        assert warm.result_text == original.result_text
+        counters = service.manifest()["counters"]
+        assert counters["runner.simulated"] == simulated
+        assert counters["service.dedup_hits"] >= 1
+
+    def test_quota_exceeded_is_clean_not_a_hang(self, tmp_path):
+        service = SimService(
+            ServiceConfig(
+                state_dir=tmp_path / "state",
+                dispatchers=1,
+                default_quota=TenantQuota(max_queued=1),
+            )
+        )
+        # Not started: nothing drains the queue, so the second distinct
+        # submission must be rejected immediately.
+        first = {"specs": [{"label": "one", "p": 0.05}], "config": SMALL}
+        second = {"specs": [{"label": "two", "p": 0.06}], "config": SMALL}
+        service.submit("alice", first)
+        with pytest.raises(QuotaExceeded):
+            service.submit("alice", second)
+        counters = service.manifest()["counters"]
+        assert counters["service.quota_rejections"] == 1
+        # The rejected job left no residue.
+        assert len(service.list_jobs()) == 1
+
+
+class TestValidation:
+    def test_bad_specs_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": []})
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": [{"label": "x", "attack": "nope"}]})
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": [{"label": "x", "bogus": 1}]})
+
+    def test_bad_config_and_unknown_fields_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": SPECS, "config": {"regions": -1}})
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": SPECS, "config": {"bogus": 1}})
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": SPECS, "surprise": True})
+
+    def test_nothing_persisted_for_rejected_submissions(self, service):
+        with pytest.raises(ValidationError):
+            service.submit("a", {"specs": []})
+        assert list(service.records_dir.glob("*.json")) == []
+
+
+class TestEvents:
+    def test_event_stream_has_per_spec_results(self, service):
+        job = service.submit("alice", PAYLOAD)
+        assert job.wait(120.0)
+        kinds = [event["event"] for event in job.events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+        results = [event for event in job.events if event["event"] == "result"]
+        assert {event["label"] for event in results} == {"a", "b"}
+        assert all("normalized_lifetime" in event for event in results)
+
+    def test_wait_events_pages_by_cursor(self, service):
+        job = service.submit("alice", PAYLOAD)
+        assert job.wait(120.0)
+        head, done_head = job.wait_events(0, timeout=0.1)
+        tail, done_tail = job.wait_events(len(head) - 1, timeout=0.1)
+        assert done_head and done_tail
+        assert tail == head[-1:]
+
+
+class TestDurability:
+    def test_restart_resumes_interrupted_jobs(self, tmp_path):
+        state = tmp_path / "state"
+        # First incarnation: accept a job but never dispatch it (the
+        # service is not started), then "crash".
+        before = SimService(ServiceConfig(state_dir=state, dispatchers=1))
+        before.records_dir.mkdir(parents=True, exist_ok=True)
+        before.ledgers_dir.mkdir(parents=True, exist_ok=True)
+        job = before.submit("alice", PAYLOAD)
+        assert job.status == "queued"
+
+        after = SimService(ServiceConfig(state_dir=state, dispatchers=1))
+        after.start()
+        try:
+            resumed = after.get_job(job.job_id)
+            assert resumed is not None
+            assert resumed.wait(120.0)
+            assert resumed.status == "done"
+            assert resumed.result_text == direct_body()
+            assert after.manifest()["counters"]["service.resumed"] == 1
+        finally:
+            after.stop()
+
+    def test_restart_republishes_done_jobs_for_dedup(self, tmp_path):
+        state = tmp_path / "state"
+        with SimService(ServiceConfig(state_dir=state, dispatchers=1)) as before:
+            job = before.submit("alice", PAYLOAD)
+            assert job.wait(120.0)
+            body = job.result_text
+
+        with SimService(ServiceConfig(state_dir=state, dispatchers=1)) as after:
+            # The reloaded record serves status and results...
+            reloaded = after.get_job(job.job_id)
+            assert reloaded.status == "done"
+            assert reloaded.result_text == body
+            # ...and re-primes the dedup store: same batch is O(1).
+            warm = after.submit("bob", PAYLOAD)
+            assert warm.status == "done" and warm.dedup_hit
+
+    def test_torn_record_is_skipped_not_fatal(self, tmp_path):
+        state = tmp_path / "state"
+        records = state / "jobs"
+        records.mkdir(parents=True)
+        (records / "j-torn.json").write_text('{"job_id": "j-torn", "ten')
+        with SimService(ServiceConfig(state_dir=state, dispatchers=1)) as service:
+            assert service.get_job("j-torn") is None
+
+    def test_concurrent_record_writers_do_not_collide(self, tmp_path):
+        """The submitting thread and a dispatcher can persist the same
+        job concurrently; the writers must serialize (same-pid temp
+        names would otherwise collide and kill the dispatcher)."""
+        import threading
+
+        service = SimService(ServiceConfig(state_dir=tmp_path / "state"))
+        job = service.submit("alice", PAYLOAD)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(50):
+                    service._persist(job)
+            except Exception as error:  # noqa: BLE001 - the assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == []
+        record = json.loads(
+            (service.records_dir / f"{job.job_id}.json").read_text()
+        )
+        assert record["job_id"] == job.job_id
+
+    def test_records_round_trip(self, service):
+        job = service.submit("alice", PAYLOAD)
+        assert job.wait(120.0)
+        record = json.loads(
+            (service.records_dir / f"{job.job_id}.json").read_text()
+        )
+        assert record["status"] == "done"
+        assert record["result"] == job.result_text
+        assert record["batch_key"] == job.batch_key

@@ -1,0 +1,69 @@
+"""Result store tests: batch keying and the in-flight claim protocol."""
+
+import threading
+
+from repro.service.store import ResultStore, batch_key
+
+
+class TestBatchKey:
+    def test_key_is_content_stable(self):
+        specs = [{"label": "a", "attack": "uaa"}]
+        config = {"regions": 64, "seed": 7}
+        options = {"engine": "fluid-batched"}
+        assert batch_key(config, options, specs) == batch_key(
+            dict(config), dict(options), list(specs)
+        )
+
+    def test_key_changes_with_any_component(self):
+        base = batch_key({"seed": 7}, {"engine": "e"}, [{"label": "a"}])
+        assert base != batch_key({"seed": 8}, {"engine": "e"}, [{"label": "a"}])
+        assert base != batch_key({"seed": 7}, {"engine": "f"}, [{"label": "a"}])
+        assert base != batch_key({"seed": 7}, {"engine": "e"}, [{"label": "b"}])
+
+
+class TestClaimProtocol:
+    def test_first_claim_owns_second_waits(self):
+        store = ResultStore()
+        assert store.claim("k") == ResultStore.OWNER
+        assert store.claim("k") == ResultStore.WAIT
+
+    def test_publish_serves_waiters_and_later_claims(self):
+        store = ResultStore()
+        store.claim("k")
+        served = []
+        waiter = threading.Thread(target=lambda: served.append(store.wait("k", 10.0)))
+        waiter.start()
+        store.publish("k", "body")
+        waiter.join(timeout=5.0)
+        assert served == ["body"]
+        assert store.claim("k") == ResultStore.PUBLISHED
+        assert store.get("k") == "body"
+
+    def test_release_promotes_a_waiter_to_owner(self):
+        store = ResultStore()
+        assert store.claim("k") == ResultStore.OWNER
+        outcome = []
+
+        def waiter():
+            body = store.wait("k", 10.0)
+            if body is None:
+                outcome.append(store.claim("k"))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        store.release("k")  # owner failed without publishing
+        thread.join(timeout=5.0)
+        assert outcome == [ResultStore.OWNER]
+
+    def test_wait_timeout_returns_none_while_owner_runs(self):
+        store = ResultStore()
+        store.claim("k")
+        assert store.wait("k", timeout=0.05) is None
+
+    def test_len_counts_published_only(self):
+        store = ResultStore()
+        store.claim("a")
+        assert len(store) == 0
+        store.publish("a", "x")
+        store.publish("b", "y")
+        assert len(store) == 2

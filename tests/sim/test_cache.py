@@ -134,7 +134,43 @@ class TestHitMiss:
         cache.put(task, result)
         restored = cache.get(task)
         assert restored is not None
-        assert restored.normalized_lifetime == result.normalized_lifetime
+
+    def test_quarantine_is_bounded_oldest_first(self, tmp_path):
+        """A corrupt-entry storm must not grow quarantine/ without bound:
+        past the cap, the oldest entries are evicted (and counted)."""
+        import os as _os
+
+        from repro.obs.metrics import MetricsRegistry
+
+        cache = ResultCache(tmp_path / "cache", quarantine_cap=2)
+        metrics = MetricsRegistry()
+        cache.attach_metrics(metrics)
+        tasks = [
+            SimTask(config=SMALL, p=0.01 * (index + 1)) for index in range(4)
+        ]
+        result, _ = tasks[0].execute()
+        names = []
+        for index, task in enumerate(tasks):
+            path = cache.put(task, result)
+            path.write_text("garbage")
+            assert cache.get(task) is None
+            moved = cache.quarantine_root / path.name
+            # Distinct mtimes so oldest-first is deterministic even on a
+            # coarse filesystem clock.
+            _os.utime(moved, (index, index))
+            names.append(path.name)
+        kept = sorted(entry.name for entry in cache.quarantine_root.glob("*.json"))
+        assert kept == sorted(names[-2:])  # newest two survive
+        assert cache.stats.quarantined == 4
+        assert cache.stats.quarantine_evicted == 2
+        assert metrics.counter("cache.quarantine_evicted") == 2
+
+    def test_quarantine_cap_env_and_validation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_CAP", "7")
+        assert ResultCache(tmp_path / "a").quarantine_cap == 7
+        assert ResultCache(tmp_path / "b", quarantine_cap=3).quarantine_cap == 3
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c", quarantine_cap=0)
 
     def test_entry_is_inspectable_json(self, cache):
         task = SimTask(config=SMALL, label="probe")

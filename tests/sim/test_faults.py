@@ -1,5 +1,7 @@
 """Tests for the deterministic fault-injection harness."""
 
+import threading
+
 import pytest
 
 from repro.sim.faults import (
@@ -11,8 +13,10 @@ from repro.sim.faults import (
     InjectedCrash,
     TransientFault,
     active_injector,
+    active_task_key,
     install,
     is_worker_process,
+    task_scope,
 )
 
 
@@ -272,3 +276,37 @@ class TestNetworkFaultDeterminism:
         assert not any(
             injector.partition_now("worker-w0", seq) for seq in range(200)
         )
+
+
+class TestTaskScope:
+    def test_nested_scopes_restore(self):
+        assert active_task_key() == ""
+        with task_scope("outer"):
+            assert active_task_key() == "outer"
+            with task_scope("inner"):
+                assert active_task_key() == "inner"
+            assert active_task_key() == "outer"
+        assert active_task_key() == ""
+
+    def test_task_scope_is_thread_local(self):
+        """A dispatcher thread's task key must not re-key corruption
+        rolls for runs executing on other threads."""
+        pinned = threading.Event()
+        release = threading.Event()
+
+        def dispatcher():
+            with task_scope("other-thread-task"):
+                pinned.set()
+                release.wait(timeout=30)
+
+        worker = threading.Thread(target=dispatcher, daemon=True)
+        worker.start()
+        assert pinned.wait(timeout=30)
+        try:
+            assert active_task_key() == ""
+            with task_scope("main"):
+                assert active_task_key() == "main"
+        finally:
+            release.set()
+            worker.join(timeout=30)
+        assert active_task_key() == ""

@@ -129,6 +129,79 @@ class TestTimeLimit:
         with time_limit(None):
             time.sleep(0.001)
 
+    def test_enforced_from_worker_thread(self):
+        """Timeouts must bite off the main thread (the service's
+        dispatcher threads run the serial path there); the historical
+        SIGALRM guard silently skipped enforcement.  A Python-level
+        loop -- the shape of real kernel work -- must be preempted near
+        the budget, not run to completion."""
+        import threading
+
+        outcome = {}
+
+        def body():
+            started = time.monotonic()
+            try:
+                with time_limit(0.1):
+                    # ~10s of interpreter-level work in small C slices:
+                    # async injection can land between any two of them.
+                    for _ in range(1000):
+                        time.sleep(0.01)
+                outcome["raised"] = False
+            except TaskTimeout:
+                outcome["raised"] = True
+            outcome["elapsed"] = time.monotonic() - started
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        assert outcome["raised"], "worker-thread timeout was not enforced"
+        assert outcome["elapsed"] < 4.0, "timeout fired nowhere near the budget"
+
+    def test_worker_thread_blocking_call_still_raises(self):
+        """A body stuck in one long C call cannot be preempted by async
+        injection; the monotonic post-check must still convert the
+        overrun into TaskTimeout when the call returns."""
+        import threading
+
+        outcome = {}
+
+        def body():
+            try:
+                with time_limit(0.05):
+                    time.sleep(0.4)  # single uninterruptible C call
+                outcome["raised"] = False
+            except TaskTimeout:
+                outcome["raised"] = True
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert outcome["raised"], "overrun in a C call escaped the post-check"
+
+    def test_worker_thread_within_budget_is_clean(self):
+        import threading
+
+        outcome = {}
+
+        def body():
+            try:
+                with time_limit(5.0):
+                    time.sleep(0.01)
+                # The cancelled watchdog must not leak an async exception
+                # into code running after the block.
+                time.sleep(0.05)
+                outcome["ok"] = True
+            except TaskTimeout:
+                outcome["ok"] = False
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join(timeout=10.0)
+        assert outcome["ok"] is True
+
 
 class TestCheckpointJournal:
     def test_append_get_round_trip_across_instances(self, tmp_path):
@@ -198,6 +271,55 @@ class TestCheckpointJournal:
         assert a != other
         assert a.parent == tmp_path
         assert a.name.startswith("sweep-") and a.suffix == ".jsonl"
+
+    def test_derive_checkpoint_path_run_id_separates_writers(self, tmp_path, monkeypatch):
+        """Two concurrent jobs with the identical payload must not share
+        a journal; folding the job id into the path keeps each a single
+        writer, while the same job id still resumes its own ledger."""
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        payload = {"q": 50.0, "seed": 7}
+        a = derive_checkpoint_path("service", payload, run_id="j-aaa")
+        b = derive_checkpoint_path("service", payload, run_id="j-bbb")
+        again = derive_checkpoint_path("service", payload, run_id="j-aaa")
+        bare = derive_checkpoint_path("service", payload)
+        assert a != b
+        assert a == again
+        assert bare not in (a, b)
+        with pytest.raises(ValueError):
+            derive_checkpoint_path("service", payload, run_id="bad/id")
+        with pytest.raises(ValueError):
+            derive_checkpoint_path("service", payload, run_id="")
+
+    def test_two_writers_same_payload_do_not_interleave(self, tmp_path, monkeypatch):
+        """The two-writer scenario end to end: identical batches journal
+        concurrently under distinct run ids, and each ledger resumes
+        exactly its own records."""
+        import threading
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        tasks = make_tasks(4)
+        payload = {"batch": "same"}
+        paths = {
+            "one": derive_checkpoint_path("service", payload, run_id="j-one"),
+            "two": derive_checkpoint_path("service", payload, run_id="j-two"),
+        }
+        errors = []
+
+        def run(name):
+            try:
+                SimRunner(checkpoint=Checkpoint(paths[name])).run(tasks)
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        writers = [threading.Thread(target=run, args=(name,)) for name in paths]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120.0)
+        assert not errors
+        for path in paths.values():
+            journal = Checkpoint(path)
+            assert len(journal) == 4  # every record intact, none foreign
 
 
 class TestCheckpointedRuns:

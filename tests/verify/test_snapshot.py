@@ -1,5 +1,7 @@
 """Crash-dump bundle tests: write, load, replay, static check, CLI."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -106,6 +108,31 @@ class TestWriteAndLoad:
         assert bundle.meta["task"] == payload
         assert bundle.meta["task_options"]["paranoia"] == "full"
 
+    def test_bundle_store_is_bounded_oldest_first(self, monkeypatch):
+        """A violation storm must not grow .repro-debug/ without bound:
+        past the cap, the oldest bundles are evicted (same policy as the
+        cache quarantine)."""
+        import os
+
+        monkeypatch.setenv(snapshot.DEBUG_CAP_ENV, "3")
+        written = []
+        for index in range(6):
+            directory = write_violation_bundle(fresh_violation())
+            os.utime(directory, (index, index))
+            written.append(directory)
+        kept = list_bundles()
+        assert len(kept) == 3
+        assert set(kept) == set(written[-3:])  # newest three survive
+
+    def test_bundle_cap_spares_error_bundles_too(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(snapshot.DEBUG_CAP_ENV, "2")
+        for index in range(4):
+            directory = write_error_bundle(RuntimeError(f"boom {index}"), key=str(index))
+            os.utime(directory, (index, index))
+        assert len(list_bundles()) == 2
+
     def test_active_fault_spec_is_recorded(self):
         install("corrupt-state=1,seed=3")
         try:
@@ -124,6 +151,51 @@ class TestWriteAndLoad:
         assert bundle.meta["task_key"] == "task-abc"
         assert any("ValueError" in line for line in bundle.meta["traceback"])
         assert not bundle.replayable
+
+    def test_task_context_is_thread_local(self):
+        """Another thread's pinned task must not leak into this thread's
+        bundles -- the job service runs dispatcher threads executing
+        tasks concurrently with everything else in the process."""
+        pinned = threading.Event()
+        release = threading.Event()
+
+        def dispatcher():
+            with task_context({"config": {"regions": 64}}, {"paranoia": "off"}):
+                pinned.set()
+                release.wait(timeout=30)
+
+        worker = threading.Thread(target=dispatcher, daemon=True)
+        worker.start()
+        assert pinned.wait(timeout=30)
+        try:
+            directory = write_error_bundle(RuntimeError("boom"), key="main-thread")
+            bundle = load_bundle(directory)
+            assert bundle.meta["task"] is None
+            assert not bundle.replayable
+        finally:
+            release.set()
+            worker.join(timeout=30)
+
+    def test_suppression_is_thread_local(self):
+        """A replay suppressing bundles on one thread must not silence
+        bundle writes from tasks running on other threads."""
+        suppressing = threading.Event()
+        release = threading.Event()
+
+        def replayer():
+            with suppress_bundles():
+                suppressing.set()
+                release.wait(timeout=30)
+
+        worker = threading.Thread(target=replayer, daemon=True)
+        worker.start()
+        assert suppressing.wait(timeout=30)
+        try:
+            assert bundle_root() is not None
+            assert write_error_bundle(RuntimeError("boom"), key="k") is not None
+        finally:
+            release.set()
+            worker.join(timeout=30)
 
     def test_load_rejects_non_bundles(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="meta.json"):
