@@ -1,0 +1,39 @@
+"""Scripted chaos harness for the control plane.
+
+Runs declarative fault scenarios -- kill, drain, and restart any
+component at seeded instants while tenants' batches are in flight --
+against a *live* ``python -m repro.service`` topology, then asserts the
+survivors' result bodies are byte-identical to a fault-free serial
+:func:`~repro.sim.batch.run_batch` of the same specs.
+
+* :mod:`repro.chaos.scenario` -- the JSON scenario grammar, validation,
+  and the builtin scenario library.
+* :mod:`repro.chaos.conductor` -- the conductor that provisions the
+  topology, executes steps, and produces a :class:`ChaosReport`.
+* ``python -m repro.chaos`` -- CLI entry (see :mod:`repro.chaos.__main__`).
+
+The determinism guarantee under test: every simulated result is a pure
+function of (spec, config, seed), and every crash-recovery path in the
+stack (coordinator ledger replay, worker reconnect, service resume,
+drain) preserves that function -- so *when* a component dies must never
+change *what* the batch computes.
+"""
+
+from repro.chaos.conductor import ChaosConductor, ChaosReport
+from repro.chaos.scenario import (
+    BUILTIN_SCENARIOS,
+    Scenario,
+    ScenarioError,
+    Step,
+    builtin_scenario,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "ChaosConductor",
+    "ChaosReport",
+    "Scenario",
+    "ScenarioError",
+    "Step",
+    "builtin_scenario",
+]

@@ -1,0 +1,132 @@
+"""``python -m repro.chaos`` -- run scripted chaos scenarios.
+
+Examples::
+
+    python -m repro.chaos --list
+    python -m repro.chaos --builtin coordinator-kill
+    python -m repro.chaos --builtin combined --metrics-out chaos.jsonl
+    python -m repro.chaos --scenario my-scenario.json --state-dir /tmp/x
+    python -m repro.chaos --all
+
+Exit status is 0 when every scenario converged (all result bodies
+byte-identical to the fault-free reference and every ``expect``
+assertion held), 1 otherwise.  ``--show`` prints a builtin's JSON --
+the starting point for writing custom scenario files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.chaos.conductor import ChaosConductor
+from repro.chaos.scenario import (
+    BUILTIN_SCENARIOS,
+    Scenario,
+    ScenarioError,
+    builtin_scenario,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="scripted chaos harness for the service/fabric control plane",
+    )
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--builtin", choices=sorted(BUILTIN_SCENARIOS),
+        help="run one builtin scenario",
+    )
+    what.add_argument(
+        "--scenario", metavar="FILE", help="run a scenario JSON file"
+    )
+    what.add_argument(
+        "--all", action="store_true", help="run every builtin scenario"
+    )
+    what.add_argument(
+        "--list", action="store_true", help="list builtin scenarios"
+    )
+    what.add_argument(
+        "--show", metavar="NAME", choices=sorted(BUILTIN_SCENARIOS),
+        help="print a builtin scenario's JSON and exit",
+    )
+    parser.add_argument(
+        "--state-dir", default=None,
+        help="scratch root (default: fresh temp dir, removed afterwards)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the conductor's metrics manifest (JSONL) here",
+    )
+    parser.add_argument(
+        "--report-out", default=None,
+        help="write the full JSON report(s) here",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, payload in sorted(BUILTIN_SCENARIOS.items()):
+            scenario = Scenario.from_dict(payload)
+            print(
+                f"{name}: {scenario.tenants} tenant(s), "
+                f"{len(scenario.steps)} step(s), "
+                f"backend {scenario.service.get('backend', 'pool')}"
+                + (f", faults '{scenario.faults}'" if scenario.faults else "")
+            )
+        return 0
+    if args.show:
+        print(json.dumps(BUILTIN_SCENARIOS[args.show], indent=2))
+        return 0
+
+    try:
+        if args.all:
+            scenarios = [builtin_scenario(name) for name in sorted(BUILTIN_SCENARIOS)]
+        elif args.builtin:
+            scenarios = [builtin_scenario(args.builtin)]
+        else:
+            scenarios = [Scenario.load(args.scenario)]
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    echo = (lambda line: None) if args.quiet else lambda line: print(line, flush=True)
+    reports: List[dict] = []
+    ok = True
+    for scenario in scenarios:
+        conductor = ChaosConductor(scenario, root=args.state_dir, echo=echo)
+        report = conductor.run()
+        reports.append(report.to_dict())
+        ok = ok and report.ok
+        for failure in report.failures:
+            print(f"[chaos] FAIL {scenario.name}: {failure}", file=sys.stderr)
+        if args.metrics_out:
+            path = args.metrics_out
+            if len(scenarios) > 1:
+                # One manifest per scenario: name-suffix the stem.
+                from pathlib import Path
+
+                base = Path(args.metrics_out)
+                path = base.with_name(f"{base.stem}-{scenario.name}{base.suffix}")
+            conductor.write_manifest(path, report)
+    if args.report_out:
+        from pathlib import Path
+
+        Path(args.report_out).write_text(json.dumps(reports, indent=2) + "\n")
+    print(
+        f"[chaos] {sum(1 for r in reports if r['ok'])}/{len(reports)} "
+        f"scenario(s) converged"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,617 @@
+"""The chaos conductor: live topology, scripted faults, convergence check.
+
+:class:`ChaosConductor` runs one :class:`~repro.chaos.scenario.Scenario`
+end to end:
+
+1. compute the **clean reference** -- a fault-free, serial, in-process
+   :func:`~repro.sim.batch.run_batch` body per tenant batch (the
+   conductor strips any ambient ``REPRO_FAULT_SPEC`` first; faults
+   apply only to the system under test);
+2. start ``python -m repro.service`` as a subprocess on a scratch state
+   dir, with the scenario's fault spec in its environment;
+3. submit every tenant's batch;
+4. execute the step list -- seeded-jittered delays, then SIGKILL /
+   SIGTERM / restart / probe actions against the live process;
+5. ensure a final incarnation is listening, wait for every job to
+   converge, and assert each served body is **byte-identical** to its
+   clean reference;
+6. evaluate the scenario's ``expect`` block against the final metrics
+   manifest (counter floors, drain exit codes, orphaned-lease gauge).
+
+Everything observed lands in a :class:`ChaosReport` plus ``chaos.*``
+counters on the conductor's own registry, so ``--metrics-out`` emits a
+manifest carrying both the chaos bookkeeping and the final service
+counters (``fabric.coordinator_restarts`` et al.).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import monotonic, sleep
+from typing import Callable, Dict, List, Optional
+
+from repro.chaos.scenario import SERVICE_FLAGS, Scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import build_manifest, write_metrics
+from repro.service.client import ServiceClient, ServiceError
+from repro.sim.batch import run_batch
+from repro.sim.config import ExperimentConfig
+from repro.sim.faults import FAULT_SPEC_ENV
+
+#: Seconds a fresh incarnation gets to answer its health probe.
+STARTUP_DEADLINE_SECONDS: float = 30.0
+
+#: Read timeout used when *sampling* an event stream (the stream of an
+#: unfinished job never closes; a short timeout turns "no more events
+#: right now" into a clean return instead of a hang).
+SAMPLE_READ_TIMEOUT_SECONDS: float = 0.4
+
+
+@dataclass
+class ChaosReport:
+    """Everything one scenario run observed, plus the verdict."""
+
+    scenario: str
+    ok: bool = False
+    failures: List[str] = field(default_factory=list)
+    jobs: List[dict] = field(default_factory=list)
+    exit_codes: List[dict] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    chaos: Dict[str, float] = field(default_factory=dict)
+    state_dir: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "jobs": list(self.jobs),
+            "exit_codes": list(self.exit_codes),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "chaos": dict(self.chaos),
+            "state_dir": self.state_dir,
+        }
+
+
+def _free_port() -> int:
+    """A currently-free TCP port (kept stable across restarts)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class ChaosConductor:
+    """Run one scenario against a live service topology."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        root: "str | Path | None" = None,
+        python: str = sys.executable,
+        registry: Optional[MetricsRegistry] = None,
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.python = python
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._echo = echo or (lambda line: None)
+        self._root = Path(root) if root is not None else None
+        self._scratch: Optional[tempfile.TemporaryDirectory] = None
+        self._process: Optional[subprocess.Popen] = None
+        self._logs: List[object] = []
+        self._generation = 0
+        self._port = 0
+        self._state_dir: Optional[Path] = None
+        self._job_ids: List[dict] = []  # {"job_id", "tenant_index"}
+        self._exit_codes: List[dict] = []
+        # Counters are per-process and die with their incarnation, so
+        # the report sums them across incarnations.  Each incarnation
+        # gets a ``--metrics-out`` file the service writes on graceful
+        # exit (exact for drains); for abrupt deaths the conductor falls
+        # back to the last snapshot it sampled over HTTP just before
+        # sending the kill.  (A kill -9 still loses whatever merged
+        # after that sample -- exactly what a real crash loses.)
+        self._dead_counters: Dict[str, float] = {}
+        self._dead_gauges: Dict[str, float] = {}
+        self._live_sample: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Public entry
+    # ------------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        """Execute the scenario; never raises for an *assertion* failure
+        (those land in the report), only for harness-level breakage."""
+        scenario = self.scenario
+        report = ChaosReport(scenario=scenario.name)
+        # The conductor's own process must stay fault-free: the clean
+        # reference below and any in-process batch work would otherwise
+        # inherit ambient faults meant for the system under test.
+        inherited_spec = os.environ.pop(FAULT_SPEC_ENV, None)
+        if self._root is None:
+            self._scratch = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+            self._root = Path(self._scratch.name)
+        self._state_dir = self._root / "state"
+        report.state_dir = str(self._state_dir)
+        self._port = _free_port()
+        deadline = monotonic() + scenario.deadline
+        try:
+            self._echo(f"[chaos] scenario {scenario.name!r} (seed {scenario.seed})")
+            references = self._clean_references()
+            self._start_incarnation()
+            self._wait_healthy(report)
+            if report.failures:
+                return self._finish(report)
+            self._submit_all(report)
+            if report.failures:
+                return self._finish(report)
+            self._execute_steps(report, deadline)
+            self._ensure_running(report)
+            if report.failures:
+                return self._finish(report)
+            self._converge(report, references, deadline)
+            self._evaluate_expectations(report)
+            return self._finish(report)
+        finally:
+            self._teardown()
+            if inherited_spec is not None:
+                os.environ[FAULT_SPEC_ENV] = inherited_spec
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def _client(self, *, read_timeout: Optional[float] = None) -> ServiceClient:
+        return ServiceClient(
+            port=self._port,
+            timeout=30.0,
+            connect_timeout=5.0,
+            read_timeout=read_timeout,
+            retries=3,
+        )
+
+    def _start_incarnation(self) -> None:
+        generation = self._generation
+        self._generation += 1
+        log_path = self._root / f"service-{generation}.log"
+        log = open(log_path, "ab")
+        self._logs.append(log)
+        command = [
+            self.python, "-m", "repro.service",
+            "--port", str(self._port),
+            "--state-dir", str(self._state_dir),
+            "--metrics-out", str(self._manifest_path(generation)),
+        ]
+        for name, flag in SERVICE_FLAGS.items():
+            if name in self.scenario.service:
+                command += [flag, str(self.scenario.service[name])]
+        env = dict(os.environ)
+        if self.scenario.faults:
+            env[FAULT_SPEC_ENV] = self.scenario.faults
+        else:
+            env.pop(FAULT_SPEC_ENV, None)
+        self._process = subprocess.Popen(
+            command, stdout=log, stderr=subprocess.STDOUT, env=env
+        )
+        self._echo(
+            f"[chaos] incarnation {generation} up "
+            f"(pid {self._process.pid}, port {self._port})"
+        )
+
+    def _wait_healthy(self, report: ChaosReport) -> None:
+        client = self._client()
+        start = monotonic()
+        while monotonic() - start < STARTUP_DEADLINE_SECONDS:
+            code = self._process.poll()
+            if code is not None:
+                report.failures.append(
+                    f"incarnation {self._generation - 1} exited {code} "
+                    f"before becoming healthy"
+                )
+                return
+            if client.healthz():
+                return
+            sleep(0.2)
+        report.failures.append(
+            f"incarnation {self._generation - 1} never became healthy"
+        )
+
+    def _manifest_path(self, generation: int) -> Path:
+        return self._root / f"manifest-{generation}.jsonl"
+
+    def _record_exit(self, cause: str) -> int:
+        code = self._process.wait()
+        generation = self._generation - 1
+        self._exit_codes.append(
+            {"generation": generation, "cause": cause, "exit_code": code}
+        )
+        # The incarnation's exit-time manifest file (exact, written on
+        # graceful shutdown) beats whatever we last sampled over HTTP.
+        counters, gauges = self._read_manifest_file(generation)
+        if counters is None:
+            counters = self._live_sample
+        for name, value in counters.items():
+            self._dead_counters[name] = self._dead_counters.get(name, 0) + value
+        if gauges:
+            self._dead_gauges.update(gauges)
+        self._live_sample = {}
+        return code
+
+    def _read_manifest_file(
+        self, generation: int
+    ) -> "tuple[Optional[Dict[str, float]], Dict[str, float]]":
+        """Parse the counters/gauges a dead incarnation left on disk."""
+        counters: Optional[Dict[str, float]] = None
+        gauges: Dict[str, float] = {}
+        try:
+            lines = self._manifest_path(generation).read_text().splitlines()
+        except OSError:
+            return None, gauges  # abrupt death: no manifest was written
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record.get("kind") == "counter":
+                if counters is None:
+                    counters = {}
+                counters[record["name"]] = record["value"]
+            elif record.get("kind") == "gauge":
+                gauges[record["name"]] = record["value"]
+        return counters, gauges
+
+    def _sample_counters(self) -> None:
+        """Best-effort snapshot of the live incarnation's counters."""
+        probe = ServiceClient(
+            port=self._port, timeout=2.0, connect_timeout=1.0, retries=0
+        )
+        try:
+            manifest = probe.metrics()
+        except (OSError, ServiceError, ValueError):
+            return
+        self._live_sample = dict(manifest.get("counters", {}))
+
+    def _ensure_running(self, report: ChaosReport) -> None:
+        """A converging topology needs *someone* listening at the end."""
+        if self._process.poll() is None:
+            return
+        self.metrics.inc("chaos.restarts")
+        self._start_incarnation()
+        self._wait_healthy(report)
+
+    def _teardown(self) -> None:
+        if self._process is not None and self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._process.kill()
+                self._process.wait()
+        for log in self._logs:
+            try:
+                log.close()
+            except OSError:
+                pass
+        if self._scratch is not None:
+            self._scratch.cleanup()
+            self._scratch = None
+
+    # ------------------------------------------------------------------
+    # Reference + submission
+    # ------------------------------------------------------------------
+
+    def _clean_references(self) -> Dict[int, str]:
+        """Fault-free serial ``run_batch`` body per distinct tenant batch."""
+        scenario = self.scenario
+        engine = str(scenario.service.get("engine", "fluid-batched"))
+        references: Dict[int, str] = {}
+        bodies: Dict[str, str] = {}
+        for index in range(scenario.tenants):
+            specs = scenario.tenant_specs(index)
+            key = json.dumps(specs, sort_keys=True)
+            if key not in bodies:
+                bodies[key] = run_batch(
+                    specs, ExperimentConfig(**scenario.config), engine=engine
+                ).to_json()
+            references[index] = bodies[key]
+        self._echo(
+            f"[chaos] clean reference computed "
+            f"({len(bodies)} distinct batch(es), {scenario.tenants} tenant(s))"
+        )
+        return references
+
+    def _submit_all(self, report: ChaosReport) -> None:
+        client = self._client()
+        for index in range(self.scenario.tenants):
+            try:
+                document = client.submit(
+                    self.scenario.tenant_specs(index),
+                    self.scenario.config,
+                    tenant=self.scenario.tenant_name(index),
+                )
+            except (OSError, ServiceError) as error:
+                report.failures.append(
+                    f"submit for tenant {index} failed: {error}"
+                )
+                return
+            self._job_ids.append(
+                {"job_id": document["job_id"], "tenant_index": index}
+            )
+            self.metrics.inc("chaos.jobs")
+        self._echo(f"[chaos] submitted {len(self._job_ids)} job(s)")
+
+    # ------------------------------------------------------------------
+    # Step execution
+    # ------------------------------------------------------------------
+
+    def _execute_steps(self, report: ChaosReport, deadline: float) -> None:
+        for index, step in enumerate(self.scenario.steps):
+            delay = self.scenario.step_delay(index)
+            if delay:
+                sleep(min(delay, max(deadline - monotonic(), 0.0)))
+            self.metrics.inc("chaos.steps")
+            self._echo(f"[chaos] step {index}: {step.action}")
+            if step.action == "sleep":
+                continue
+            if step.action == "sigkill":
+                if self._process.poll() is None:
+                    self._sample_counters()
+                    os.kill(self._process.pid, signal.SIGKILL)
+                    self.metrics.inc("chaos.kills")
+                self._record_exit("sigkill")
+            elif step.action == "sigterm":
+                if self._process.poll() is None:
+                    self._sample_counters()
+                    self._process.send_signal(signal.SIGTERM)
+                    self.metrics.inc("chaos.sigterms")
+            elif step.action == "await-exit":
+                # Keep sampling while the drain runs: work finishing
+                # during it merges counters the exit would otherwise lose.
+                stop = monotonic() + step.timeout
+                while self._process.poll() is None and monotonic() < stop:
+                    self._sample_counters()
+                    sleep(0.1)
+                if self._process.poll() is None:
+                    report.failures.append(
+                        f"step {index}: incarnation {self._generation - 1} "
+                        f"still alive {step.timeout:g}s after signal"
+                    )
+                    return
+                self._record_exit("await-exit")
+            elif step.action == "restart":
+                if self._process.poll() is None:
+                    # A restart of a live process is an implicit kill -9:
+                    # the scenario wants a fresh incarnation *now*.
+                    self._sample_counters()
+                    os.kill(self._process.pid, signal.SIGKILL)
+                    self.metrics.inc("chaos.kills")
+                    self._record_exit("restart-kill")
+                self.metrics.inc("chaos.restarts")
+                self._start_incarnation()
+                self._wait_healthy(report)
+                if report.failures:
+                    return
+            elif step.action == "await-events":
+                if not self._await_events(step.count, step.timeout, deadline):
+                    report.failures.append(
+                        f"step {index}: fewer than {step.count} result "
+                        f"event(s) after {step.timeout:g}s"
+                    )
+                    return
+            elif step.action == "submit-probe":
+                self._submit_probe()
+
+    def _await_events(
+        self, count: int, timeout: float, deadline: float
+    ) -> bool:
+        """Block until >= ``count`` per-spec ``result`` events streamed
+        across all submitted jobs (the signal that work is genuinely
+        mid-flight, mirroring the service smoke's kill trigger)."""
+        sampler = self._client(read_timeout=SAMPLE_READ_TIMEOUT_SECONDS)
+        stop = min(monotonic() + timeout, deadline)
+        while monotonic() < stop:
+            total = 0
+            for entry in self._job_ids:
+                total += self._result_events(sampler, entry["job_id"])
+                if total >= count:
+                    return True
+            sleep(0.2)
+        return False
+
+    @staticmethod
+    def _result_events(sampler: ServiceClient, job_id: str) -> int:
+        """How many ``result`` events the job has emitted so far."""
+        total = 0
+        try:
+            for event in sampler.stream_events(job_id):
+                if event.get("event") == "result":
+                    total += 1
+        except (OSError, ServiceError):
+            pass  # short read timeout / restart gap: count what we saw
+        return total
+
+    def _submit_probe(self) -> None:
+        """One extra submission whose *outcome* is the observation.
+
+        During a drain it should see 503 (+ Retry-After); against a dead
+        process, a connection error; against a healthy successor it is
+        simply admitted (and, sharing tenant 0's batch, coalesces)."""
+        probe = ServiceClient(
+            port=self._port, timeout=5.0, connect_timeout=2.0, retries=0
+        )
+        try:
+            document = probe.submit(
+                self.scenario.tenant_specs(0),
+                self.scenario.config,
+                tenant="chaos-probe",
+            )
+        except ServiceError as error:
+            if error.status == 503:
+                self.metrics.inc("chaos.probes_503")
+                self._echo(
+                    "[chaos] probe rejected 503 "
+                    f"(Retry-After {error.retry_after})"
+                )
+            else:
+                self.metrics.inc("chaos.probes_rejected")
+            return
+        except OSError:
+            self.metrics.inc("chaos.probes_refused")
+            return
+        self.metrics.inc("chaos.probes_accepted")
+        self._job_ids.append(
+            {"job_id": document["job_id"], "tenant_index": 0}
+        )
+
+    # ------------------------------------------------------------------
+    # Convergence + verdict
+    # ------------------------------------------------------------------
+
+    def _converge(
+        self,
+        report: ChaosReport,
+        references: Dict[int, str],
+        deadline: float,
+    ) -> None:
+        client = self._client()
+        for entry in self._job_ids:
+            job_id = entry["job_id"]
+            budget = max(deadline - monotonic(), 1.0)
+            try:
+                document = client.wait(job_id, timeout=budget)
+            except TimeoutError:
+                report.failures.append(f"job {job_id} never converged")
+                report.jobs.append({**entry, "status": "timeout", "match": False})
+                continue
+            except (OSError, ServiceError) as error:
+                report.failures.append(f"job {job_id} unreachable: {error}")
+                report.jobs.append({**entry, "status": "lost", "match": False})
+                continue
+            if document["status"] != "done":
+                report.failures.append(
+                    f"job {job_id} ended {document['status']}: "
+                    f"{document.get('error')}"
+                )
+                report.jobs.append(
+                    {**entry, "status": document["status"], "match": False}
+                )
+                continue
+            body = client.results(job_id)
+            match = body == references[entry["tenant_index"]]
+            report.jobs.append({**entry, "status": "done", "match": match})
+            if match:
+                self.metrics.inc("chaos.matches")
+            else:
+                self.metrics.inc("chaos.mismatches")
+                report.failures.append(
+                    f"job {job_id} body is NOT byte-identical to the "
+                    f"clean reference"
+                )
+        try:
+            manifest = client.metrics()
+            live = dict(manifest.get("counters", {}))
+            live_gauges = dict(manifest.get("gauges", {}))
+        except (OSError, ServiceError) as error:
+            live, live_gauges = dict(self._live_sample), {}
+            report.failures.append(f"final manifest unreachable: {error}")
+        # Whole-experiment counters: dead incarnations' totals plus the
+        # survivor's manifest (each incarnation counts from zero).
+        # Gauges are last-observation-wins: an idle final incarnation
+        # (everything already converged) inherits its predecessors'.
+        report.counters = dict(self._dead_counters)
+        for name, value in live.items():
+            report.counters[name] = report.counters.get(name, 0) + value
+        report.gauges = {**self._dead_gauges, **live_gauges}
+
+    def _evaluate_expectations(self, report: ChaosReport) -> None:
+        expect = self.scenario.expect
+        for name, floor in dict(expect.get("min_counters", {})).items():
+            have = report.counters.get(name, 0)
+            if have < floor:
+                report.failures.append(
+                    f"counter {name} = {have:g}, expected >= {floor:g}"
+                )
+        if expect.get("drain_exit_zero"):
+            drained = [
+                entry for entry in self._exit_codes
+                if entry["cause"] == "await-exit"
+            ]
+            if not drained:
+                report.failures.append(
+                    "expect.drain_exit_zero set but no incarnation was "
+                    "drained (no await-exit step ran)"
+                )
+            for entry in drained:
+                if entry["exit_code"] != 0:
+                    report.failures.append(
+                        f"drained incarnation {entry['generation']} exited "
+                        f"{entry['exit_code']}, expected 0"
+                    )
+        ceiling = expect.get("max_active_leases")
+        if ceiling is not None:
+            value = report.gauges.get("fabric.active_leases")
+            if value is None:
+                report.failures.append(
+                    "fabric.active_leases gauge missing from the final "
+                    "manifest (no fabric batch ran to completion?)"
+                )
+            elif value > ceiling:
+                report.failures.append(
+                    f"fabric.active_leases = {value:g} -- orphaned leases "
+                    f"survived recovery (expected <= {ceiling:g})"
+                )
+
+    def _finish(self, report: ChaosReport) -> ChaosReport:
+        report.exit_codes = list(self._exit_codes)
+        report.ok = not report.failures
+        self.metrics.inc("chaos.scenarios")
+        if not report.ok:
+            self.metrics.inc("chaos.failures", len(report.failures))
+        self.metrics.gauge("chaos.converged", 1.0 if report.ok else 0.0)
+        # Fold the final service counters into the conductor registry so
+        # a --metrics-out manifest carries chaos.* AND the control-plane
+        # story (fabric.coordinator_restarts, service.drains, ...).
+        self.metrics.merge_snapshot(
+            {"counters": report.counters, "gauges": report.gauges}
+        )
+        report.chaos = {
+            name: value
+            for name, value in self.metrics.snapshot()["counters"].items()
+            if name.startswith("chaos.")
+        }
+        self._echo(
+            f"[chaos] {report.scenario}: "
+            + ("OK" if report.ok else f"FAILED ({len(report.failures)})")
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Manifest output
+    # ------------------------------------------------------------------
+
+    def write_manifest(self, path: "str | Path", report: ChaosReport) -> Path:
+        """Emit the conductor's metrics manifest (JSONL, torn-write safe)."""
+        snapshot = self.metrics.snapshot()
+        manifest = build_manifest(
+            self.metrics,
+            command="chaos",
+            config=self.scenario.to_dict(),
+            extra={
+                "scenario": report.scenario,
+                "ok": report.ok,
+                "counters": snapshot["counters"],
+                "gauges": snapshot["gauges"],
+            },
+        )
+        return write_metrics(path, self.metrics, manifest)

@@ -1,0 +1,386 @@
+"""Declarative chaos scenarios: grammar, validation, builtin library.
+
+A scenario is a plain JSON object (loadable from a file via
+:meth:`Scenario.load`) describing one chaos experiment end to end::
+
+    {
+      "name": "coordinator-kill",
+      "seed": 101,
+      "tenants": 2,
+      "p_stride": 0.001,
+      "specs": [{"label": "s0", "attack": "bpa", "p": 0.02}, ...],
+      "config": {"regions": 2048, "lines_per_region": 16},
+      "faults": "coordinator-crash=0.35,seed=101",
+      "service": {"backend": "fabric", "jobs": 2, "dispatchers": 1},
+      "steps": [
+        {"action": "await-events", "count": 2},
+        {"action": "sigkill", "after": 0.2},
+        {"action": "restart"}
+      ],
+      "expect": {"min_counters": {"fabric.coordinator_restarts": 1}}
+    }
+
+Fields
+------
+``tenants`` / ``p_stride``
+    Each tenant ``i`` submits the ``specs`` template with every spec's
+    ``p`` shifted by ``i * p_stride`` -- a stride of 0 makes every
+    tenant submit the *same* batch (exercising dedup/coalescing under
+    chaos), a positive stride gives each tenant a distinct batch.
+``faults``
+    A :mod:`repro.sim.faults` spec string exported to the service
+    process as ``REPRO_FAULT_SPEC``.  This is how *intra-process*
+    chaos rides along: ``coordinator-crash`` / ``service-kill`` /
+    ``crash`` roll deterministically inside the service while the
+    step list drives *process-level* kills from outside.  The
+    conductor itself always computes its clean reference with faults
+    off, whatever the ambient environment says.
+``steps``
+    Executed in order; each step waits its (seeded-jittered) ``after``
+    delay first.  Actions: ``sleep``, ``sigkill``, ``sigterm``,
+    ``await-exit``, ``restart``, ``await-events`` (block until at
+    least ``count`` per-spec ``result`` events have streamed across
+    all submitted jobs), ``submit-probe`` (one extra submission whose
+    outcome -- accepted / 503 / connection refused -- is recorded,
+    never asserted fatal).
+``expect``
+    Post-convergence assertions on top of the always-on byte-identity
+    check: ``min_counters`` (manifest counter floors),
+    ``drain_exit_zero`` (every SIGTERMed incarnation must exit 0),
+    ``max_active_leases`` (ceiling on the ``fabric.active_leases``
+    gauge -- 0 means no orphaned leases survived recovery).
+
+Determinism: the only randomness is the seeded jitter on step delays
+(``sha256(seed, step index)``), so a scenario file replays the same
+schedule every run; the faults inside the service are deterministic
+per (seed, task key, attempt) by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Step actions the conductor knows how to execute.
+ACTIONS: Tuple[str, ...] = (
+    "sleep",
+    "sigkill",
+    "sigterm",
+    "await-exit",
+    "restart",
+    "await-events",
+    "submit-probe",
+)
+
+#: ``service`` keys -> ``python -m repro.service`` flags.
+SERVICE_FLAGS: Dict[str, str] = {
+    "backend": "--backend",
+    "jobs": "--jobs",
+    "dispatchers": "--dispatchers",
+    "engine": "--engine",
+    "max_queued": "--max-queued",
+    "max_concurrent": "--max-concurrent",
+    "drain_timeout": "--drain-timeout",
+}
+
+_EXPECT_KEYS = {"min_counters", "drain_exit_zero", "max_active_leases"}
+_SCENARIO_KEYS = {
+    "name", "seed", "tenants", "p_stride", "specs", "config", "faults",
+    "service", "steps", "expect", "jitter", "deadline",
+}
+_STEP_KEYS = {"action", "after", "count", "timeout"}
+
+
+class ScenarioError(ValueError):
+    """A scenario document failed validation."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One scheduled action against the live topology."""
+
+    action: str
+    after: float = 0.0
+    count: int = 0
+    timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ScenarioError(
+                f"unknown action {self.action!r}; choose from {ACTIONS}"
+            )
+        if self.after < 0:
+            raise ScenarioError(f"step 'after' must be >= 0, got {self.after}")
+        if self.timeout <= 0:
+            raise ScenarioError(f"step 'timeout' must be > 0, got {self.timeout}")
+        if self.action == "await-events" and self.count < 1:
+            raise ScenarioError("'await-events' needs a 'count' >= 1")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Step":
+        if not isinstance(payload, dict):
+            raise ScenarioError(f"step must be an object, got {payload!r}")
+        unknown = set(payload) - _STEP_KEYS
+        if unknown:
+            raise ScenarioError(f"unknown step fields {sorted(unknown)}")
+        if "action" not in payload:
+            raise ScenarioError(f"step missing 'action': {payload!r}")
+        try:
+            return cls(
+                action=str(payload["action"]),
+                after=float(payload.get("after", 0.0)),
+                count=int(payload.get("count", 0)),
+                timeout=float(payload.get("timeout", 60.0)),
+            )
+        except (TypeError, ValueError) as error:
+            if isinstance(error, ScenarioError):
+                raise
+            raise ScenarioError(f"bad step {payload!r}: {error}") from error
+
+    def to_dict(self) -> dict:
+        payload: dict = {"action": self.action}
+        if self.after:
+            payload["after"] = self.after
+        if self.count:
+            payload["count"] = self.count
+        if self.timeout != 60.0:
+            payload["timeout"] = self.timeout
+        return payload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated chaos experiment (see module docstring)."""
+
+    name: str
+    specs: Tuple[dict, ...]
+    config: Dict[str, object] = field(default_factory=dict)
+    steps: Tuple[Step, ...] = ()
+    seed: int = 0
+    tenants: int = 1
+    p_stride: float = 0.0
+    faults: str = ""
+    service: Dict[str, object] = field(default_factory=dict)
+    expect: Dict[str, object] = field(default_factory=dict)
+    jitter: float = 0.2
+    deadline: float = 180.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario needs a non-empty 'name'")
+        if not self.specs:
+            raise ScenarioError("scenario needs a non-empty 'specs' list")
+        if self.tenants < 1:
+            raise ScenarioError(f"'tenants' must be >= 1, got {self.tenants}")
+        if self.p_stride < 0:
+            raise ScenarioError(f"'p_stride' must be >= 0, got {self.p_stride}")
+        if not 0 <= self.jitter <= 1:
+            raise ScenarioError(f"'jitter' must be in [0, 1], got {self.jitter}")
+        if self.deadline <= 0:
+            raise ScenarioError(f"'deadline' must be > 0, got {self.deadline}")
+        unknown = set(self.service) - set(SERVICE_FLAGS)
+        if unknown:
+            raise ScenarioError(
+                f"unknown service fields {sorted(unknown)}; "
+                f"choose from {sorted(SERVICE_FLAGS)}"
+            )
+        unknown = set(self.expect) - _EXPECT_KEYS
+        if unknown:
+            raise ScenarioError(
+                f"unknown expect fields {sorted(unknown)}; "
+                f"choose from {sorted(_EXPECT_KEYS)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def step_delay(self, index: int) -> float:
+        """The seeded-jittered pre-delay of step ``index``.
+
+        ``after * (1 + jitter * u)`` with ``u`` drawn deterministically
+        from ``sha256(seed, index)`` -- replaying a scenario replays its
+        exact schedule, while distinct seeds explore distinct timings.
+        """
+        base = self.steps[index].after
+        if base <= 0 or self.jitter <= 0:
+            return max(base, 0.0)
+        digest = hashlib.sha256(f"{self.seed}:step:{index}".encode()).digest()
+        u = int.from_bytes(digest[:8], "little") / 2**64
+        return base * (1.0 + self.jitter * u)
+
+    def tenant_name(self, index: int) -> str:
+        return f"tenant-{index}"
+
+    def tenant_specs(self, index: int) -> List[dict]:
+        """The specs tenant ``index`` submits (``p`` shifted by stride)."""
+        shift = index * self.p_stride
+        out = []
+        for spec in self.specs:
+            spec = dict(spec)
+            if shift and "p" in spec:
+                spec["p"] = spec["p"] + shift
+            out.append(spec)
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        if not isinstance(payload, dict):
+            raise ScenarioError("scenario must be a JSON object")
+        unknown = set(payload) - _SCENARIO_KEYS
+        if unknown:
+            raise ScenarioError(f"unknown scenario fields {sorted(unknown)}")
+        raw_steps = payload.get("steps", [])
+        if not isinstance(raw_steps, list):
+            raise ScenarioError("'steps' must be a list")
+        raw_specs = payload.get("specs", [])
+        if not isinstance(raw_specs, list):
+            raise ScenarioError("'specs' must be a list")
+        try:
+            return cls(
+                name=str(payload.get("name", "")),
+                specs=tuple(dict(spec) for spec in raw_specs),
+                config=dict(payload.get("config", {})),
+                steps=tuple(Step.from_dict(step) for step in raw_steps),
+                seed=int(payload.get("seed", 0)),
+                tenants=int(payload.get("tenants", 1)),
+                p_stride=float(payload.get("p_stride", 0.0)),
+                faults=str(payload.get("faults", "")),
+                service=dict(payload.get("service", {})),
+                expect=dict(payload.get("expect", {})),
+                jitter=float(payload.get("jitter", 0.2)),
+                deadline=float(payload.get("deadline", 180.0)),
+            )
+        except (TypeError, ValueError) as error:
+            if isinstance(error, ScenarioError):
+                raise
+            raise ScenarioError(f"bad scenario: {error}") from error
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "tenants": self.tenants,
+            "p_stride": self.p_stride,
+            "specs": [dict(spec) for spec in self.specs],
+            "config": dict(self.config),
+            "faults": self.faults,
+            "service": dict(self.service),
+            "steps": [step.to_dict() for step in self.steps],
+            "expect": dict(self.expect),
+            "jitter": self.jitter,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Scenario":
+        """Parse a scenario JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ScenarioError(f"cannot load scenario {path}: {error}") from error
+        return cls.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Builtin scenario library
+# ----------------------------------------------------------------------
+
+def _sweep(count: int, start: float = 0.02, stride: float = 0.005) -> List[dict]:
+    return [
+        {"label": f"s{i}", "attack": "bpa", "sparing": "max-we", "p": start + i * stride}
+        for i in range(count)
+    ]
+
+
+#: The bounded scenario matrix CI's ``chaos-smoke`` job runs.  Keys are
+#: the ``--builtin`` names; values are plain scenario dicts (validated
+#: through :meth:`Scenario.from_dict` on access, so the library itself
+#: is covered by the grammar).
+BUILTIN_SCENARIOS: Dict[str, dict] = {
+    # Coordinator dies (simulated crash + ledger-replay restart inside
+    # the fabric backend) while two tenants' sweeps are mid-flight.
+    "coordinator-kill": {
+        "name": "coordinator-kill",
+        "seed": 101,
+        "tenants": 2,
+        "p_stride": 0.001,
+        "specs": _sweep(8),
+        "config": {"regions": 2048, "lines_per_region": 16},
+        "faults": "coordinator-crash=0.35,seed=101",
+        "service": {"backend": "fabric", "jobs": 2, "dispatchers": 1},
+        "steps": [
+            {"action": "await-events", "count": 2, "timeout": 90},
+            {"action": "sleep", "after": 0.2},
+        ],
+        "expect": {
+            "min_counters": {"fabric.coordinator_restarts": 1},
+            "max_active_leases": 0,
+        },
+    },
+    # SIGTERM mid-batch: the instance must drain (503 new work, finish
+    # or checkpoint what it started, persist records, exit 0) and a
+    # successor must finish everything it left queued.
+    "service-sigterm-drain": {
+        "name": "service-sigterm-drain",
+        "seed": 7,
+        "tenants": 2,
+        "p_stride": 0.001,
+        "specs": _sweep(8),
+        "config": {"regions": 2048, "lines_per_region": 16},
+        "service": {"backend": "pool", "jobs": 1, "dispatchers": 1},
+        "steps": [
+            {"action": "await-events", "count": 2, "timeout": 90},
+            {"action": "sigterm"},
+            {"action": "submit-probe", "after": 0.2},
+            {"action": "await-exit", "timeout": 60},
+            {"action": "restart"},
+        ],
+        "expect": {"drain_exit_zero": True},
+    },
+    # Everything at once: worker crashes + coordinator crashes riding
+    # the fault spec, a kill -9 of the whole service, a restart, then a
+    # graceful drain handing off to a final incarnation.
+    "combined": {
+        "name": "combined",
+        "seed": 202,
+        "tenants": 2,
+        "p_stride": 0.001,
+        "specs": _sweep(8),
+        "config": {"regions": 2048, "lines_per_region": 16},
+        "faults": "crash=0.05,coordinator-crash=0.3,seed=202",
+        "service": {"backend": "fabric", "jobs": 2, "dispatchers": 1},
+        "steps": [
+            {"action": "await-events", "count": 2, "timeout": 90},
+            {"action": "sigkill", "after": 0.1},
+            {"action": "restart"},
+            {"action": "await-events", "count": 2, "timeout": 90},
+            {"action": "sigterm"},
+            {"action": "await-exit", "timeout": 60},
+            {"action": "restart"},
+        ],
+        "expect": {
+            "min_counters": {"fabric.coordinator_restarts": 1},
+            "drain_exit_zero": True,
+            "max_active_leases": 0,
+        },
+    },
+}
+
+
+def builtin_scenario(name: str) -> Scenario:
+    """The validated builtin scenario called ``name``."""
+    try:
+        payload = BUILTIN_SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown builtin {name!r}; choose from {sorted(BUILTIN_SCENARIOS)}"
+        ) from None
+    return Scenario.from_dict(payload)

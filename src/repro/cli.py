@@ -351,6 +351,10 @@ def _emit_metrics(
                     "local_fallback_tasks": metrics.counter(
                         "fabric.local_fallback_tasks"
                     ),
+                    "coordinator_restarts": metrics.counter(
+                        "fabric.coordinator_restarts"
+                    ),
+                    "active_leases": metrics.gauge_value("fabric.active_leases"),
                     "degraded": bool(metrics.gauge_value("runner.degraded")),
                 }
                 if getattr(args, "backend", "pool") == "fabric"

@@ -15,7 +15,11 @@ slower and says so:
 2. every worker dies ⇒ outstanding leases are force-expired and the
    leftovers run serially in-process (``fabric.local_fallback_tasks``),
    exactly like the pool's serial path;
-3. SIGINT/SIGTERM ⇒ same clean interrupt surface as the pool: workers
+3. the *coordinator* dies (``coordinator-crash`` fault) ⇒ the
+   supervisor rebuilds it from its fsynced lease ledger on the same
+   port; reconnecting workers keep the leases they hold and the run
+   continues (``fabric.coordinator_restarts``);
+4. SIGINT/SIGTERM ⇒ same clean interrupt surface as the pool: workers
    torn down, in-flight and queued tasks recorded as ``interrupted``.
 """
 
@@ -23,12 +27,15 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
-from time import monotonic
+import tempfile
+from pathlib import Path
+from time import monotonic, sleep
 from typing import Dict, List, Optional, Sequence
 
-from repro.fabric.coordinator import Coordinator
+from repro.fabric.coordinator import Coordinator, CoordinatorLedger
 from repro.fabric.worker import worker_main
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.faults import active_injector
 from repro.sim.executor import (
     CompletionCallback,
     ExecutionSummary,
@@ -135,12 +142,26 @@ class FabricBackend(ExecutorBackend):
         #: Terminally-failed states a late commit may still heal.
         healable: Dict[int, SupervisedTask] = {}
 
+        # Control-plane ledger: fresh per execute (leases reference
+        # worker processes spawned below, so pre-run state is never
+        # meaningful), durable *across in-run coordinator restarts*.
+        scratch_dir: Optional[tempfile.TemporaryDirectory] = None
+        if checkpoint is not None:
+            ledger_path = checkpoint.path.with_name(
+                checkpoint.path.name + ".coordinator"
+            )
+        else:
+            scratch_dir = tempfile.TemporaryDirectory(prefix="repro-fabric-")
+            ledger_path = Path(scratch_dir.name) / "coordinator.jsonl"
+        ledger = CoordinatorLedger(ledger_path, resume=False)
+
         coordinator = Coordinator(
             pending,
             lease_ttl=self._lease_ttl,
             metrics=metrics,
             events=events,
             host=self._host,
+            ledger=ledger,
         )
         host, port = coordinator.address
         metrics.gauge("fabric.workers", workers)
@@ -157,6 +178,14 @@ class FabricBackend(ExecutorBackend):
                 if checkpoint is not None
                 else None
             )
+            # Fork-context children inherit the coordinator's listener
+            # fd; each worker must close its copy at startup or the port
+            # stays in LISTEN after a coordinator crash and the
+            # replacement cannot rebind.  Under spawn the child's fd
+            # table is fresh and the number would hit an unrelated fd.
+            inherited_fds: "tuple[int, ...]" = ()
+            if context.get_start_method() == "fork":
+                inherited_fds = (coordinator.listener_fileno(),)
             process = context.Process(
                 target=worker_main,
                 name=f"fabric-{worker_id}",
@@ -168,6 +197,7 @@ class FabricBackend(ExecutorBackend):
                     policy.timeout,
                     self._lease_ttl,
                     shard,
+                    inherited_fds,
                 ),
                 daemon=True,
             )
@@ -180,8 +210,11 @@ class FabricBackend(ExecutorBackend):
         lost: set = set()
         respawns = 0
         respawn_cap = RESPAWN_CAP_FACTOR * workers
+        injector = active_injector()
+        crash_pending = False
 
         def complete(state: SupervisedTask, report, granted, late: bool) -> None:
+            nonlocal crash_pending
             if state.index not in outstanding and state.index not in healable:
                 return
             if late:
@@ -208,6 +241,11 @@ class FabricBackend(ExecutorBackend):
                 metrics.merge_snapshot(report.metrics)
             on_complete(state, report.result, report.elapsed)
             outstanding.pop(state.index, None)
+            # Each task completes at most once, so a hit here schedules
+            # exactly one crash -- after the rebuild this key is done and
+            # never rolls again, guaranteeing convergence.
+            if injector is not None and injector.coordinator_crash_now(state.key):
+                crash_pending = True
 
         def charge(state: SupervisedTask, error: BaseException, kind: str) -> None:
             if state.index not in outstanding:
@@ -238,9 +276,53 @@ class FabricBackend(ExecutorBackend):
                     _, state, error, kind = item
                     charge(state, error, kind)
 
+        def restart_coordinator() -> None:
+            """Crash the coordinator and rebuild it from the ledger.
+
+            The old incarnation's outbox is fully absorbed *before* the
+            rebuild -- it lives in this (surviving) process, the way a
+            real restart would first replay the journal's committed
+            tail -- so no completion that was already committed can be
+            lost or re-dispatched.
+            """
+            nonlocal coordinator, crash_pending
+            crash_pending = False
+            crash_host, crash_port = coordinator.crash()
+            drain(block=False)
+            metrics.inc("fabric.coordinator_restarts")
+            events.record(
+                "coordinator-restarted", -1, port=crash_port,
+                outstanding=len(outstanding),
+            )
+            survivors = [state for state in pending if state.index in outstanding]
+            # The replacement must rebind the *same* port -- that is the
+            # endpoint every backing-off worker retries.  SO_REUSEADDR
+            # makes this immediate on POSIX; tolerate a briefly lingering
+            # socket anyway.
+            last_error: Optional[OSError] = None
+            for _ in range(40):
+                try:
+                    coordinator = Coordinator(
+                        survivors,
+                        lease_ttl=self._lease_ttl,
+                        metrics=metrics,
+                        events=events,
+                        host=crash_host,
+                        port=crash_port,
+                        parked=list(healable.values()),
+                        ledger=ledger,
+                    )
+                    return
+                except OSError as error:
+                    last_error = error
+                    sleep(0.05)
+            raise last_error  # type: ignore[misc]
+
         try:
             while outstanding:
                 drain(block=True)
+                if crash_pending:
+                    restart_coordinator()
                 coordinator.expire_leases()
                 for slot, process in enumerate(processes):
                     if process.is_alive() or process.pid in lost:
@@ -350,5 +432,16 @@ class FabricBackend(ExecutorBackend):
                 if process.is_alive():
                     process.kill()
                     process.join(timeout=2.0)
+            # Recovery invariant surfaced in manifests: a converged run
+            # ends with zero outstanding (orphaned) leases.
+            metrics.gauge("fabric.active_leases", coordinator.active_leases())
             coordinator.close()
+            # The control-plane ledger is scratch outside this execute:
+            # leases name worker processes that no longer exist.
+            try:
+                ledger_path.unlink()
+            except OSError:
+                pass
+            if scratch_dir is not None:
+                scratch_dir.cleanup()
         return summary

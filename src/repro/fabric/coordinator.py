@@ -30,14 +30,25 @@ Robustness model
   crash verdict (charged, retryable), mirroring the pool's
   ``BrokenProcessPool`` path.  If a sibling lease is still running the
   loss is absorbed silently -- the survivor decides the task's fate.
+* **Coordinator death.**  Every grant, commit, and lease release is
+  journaled to an append-only fsynced :class:`CoordinatorLedger` (same
+  torn-tail-tolerant idiom as the result :class:`~repro.sim.resilience.
+  Checkpoint`).  A restarted coordinator replays the ledger to rebuild
+  the done-set and every outstanding lease under its original id, so
+  workers that reconnect keep heartbeating and committing against the
+  leases they already hold; anything the ledger cannot prove was leased
+  goes back on the ready queue.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import queue
 import socket
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import monotonic
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -98,6 +109,134 @@ class _TaskSlot:
     done: bool = False
 
 
+#: Schema header value of coordinator ledger files.
+COORDINATOR_LEDGER_SCHEMA: int = 1
+
+
+@dataclass
+class LedgerSnapshot:
+    """Control-plane state recovered from a coordinator ledger replay."""
+
+    done_keys: Set[str] = field(default_factory=set)
+    #: ``lease_id -> {"key", "worker", "attempt", "stolen"}``
+    leases: Dict[int, dict] = field(default_factory=dict)
+    next_lease: int = 0
+
+
+class CoordinatorLedger:
+    """Append-only fsynced journal of coordinator control-plane events.
+
+    One JSON line per event -- ``grant`` (lease id, task key, worker,
+    attempt, stolen), ``commit`` (task key), ``release`` (lease id) --
+    after a schema header line, flushed and fsynced per append exactly
+    like the result :class:`~repro.sim.resilience.Checkpoint`.  Replay
+    stops-and-skips on torn or corrupt lines, so the ledger survives a
+    kill at any instant with at most the in-flight event lost.
+
+    The ledger holds *control-plane* state only: which tasks are proven
+    done and which leases are outstanding.  Result durability is the
+    workers' shard ledgers' job.  Appends are best-effort -- an
+    ``OSError`` (disk full, dead mount) disables the ledger rather than
+    failing the run, degrading a future restart to "requeue everything"
+    (still convergent, since commits are idempotent; just more
+    redundant re-execution).
+    """
+
+    def __init__(self, path: "str | Path", *, resume: bool = True) -> None:
+        self._path = Path(path)
+        self._header_written = False
+        self._disabled = False
+        if not resume and self._path.exists():
+            try:
+                self._path.unlink()
+            except OSError:
+                self._disabled = True
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def disabled(self) -> bool:
+        """Whether a write error degraded this ledger to a no-op."""
+        return self._disabled
+
+    def append(self, event: dict) -> None:
+        """Journal one event (flush + fsync; best effort)."""
+        if self._disabled:
+            return
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self._path, "a", encoding="utf-8") as handle:
+                if not self._header_written and handle.tell() == 0:
+                    handle.write(
+                        json.dumps({"coordinator_schema": COORDINATOR_LEDGER_SCHEMA})
+                    )
+                    handle.write("\n")
+                self._header_written = True
+                handle.write(json.dumps(event))
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            self._disabled = True
+
+    def replay(self) -> LedgerSnapshot:
+        """Rebuild the done-set and outstanding leases from the journal.
+
+        A missing file, foreign header, or torn tail degrades to an
+        empty (or truncated) snapshot -- never an exception.
+        """
+        snapshot = LedgerSnapshot()
+        if not self._path.exists():
+            return snapshot
+        try:
+            lines = self._path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return snapshot
+        if not lines:
+            return snapshot
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return snapshot
+        if not isinstance(header, dict) or (
+            header.get("coordinator_schema") != COORDINATOR_LEDGER_SCHEMA
+        ):
+            return snapshot
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+                kind = event["event"]
+            except (ValueError, KeyError, TypeError):
+                continue
+            if kind == "grant":
+                try:
+                    lease_id = int(event["lease"])
+                    snapshot.leases[lease_id] = {
+                        "key": str(event["key"]),
+                        "worker": str(event.get("worker", "?")),
+                        "attempt": int(event.get("attempt", 0)),
+                        "stolen": bool(event.get("stolen", False)),
+                    }
+                except (KeyError, TypeError, ValueError):
+                    continue
+                snapshot.next_lease = max(snapshot.next_lease, lease_id + 1)
+            elif kind == "commit":
+                key = event.get("key")
+                if isinstance(key, str):
+                    snapshot.done_keys.add(key)
+            elif kind == "release":
+                try:
+                    snapshot.leases.pop(int(event["lease"]), None)
+                except (KeyError, TypeError, ValueError):
+                    continue
+        return snapshot
+
+
 class Coordinator:
     """Socket-served task queue with leases, stealing, idempotent commits.
 
@@ -115,6 +254,8 @@ class Coordinator:
         events: EventLog,
         host: str = "127.0.0.1",
         port: int = 0,
+        parked: Sequence[SupervisedTask] = (),
+        ledger: Optional[CoordinatorLedger] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
@@ -126,19 +267,65 @@ class Coordinator:
         self._slots: Dict[str, _TaskSlot] = {
             state.key: _TaskSlot(state=state) for state in pending
         }
+        # Parked tasks (e.g. terminally failed, awaiting a possible late
+        # commit to heal them) get a slot -- so their commits still
+        # resolve -- but never enter the ready queue.
+        for state in parked:
+            self._slots.setdefault(state.key, _TaskSlot(state=state))
         self._leases: Dict[int, Lease] = {}
         self._next_lease = 0
         self._shutdown = False
+        self._ledger = ledger
         self.outbox: "queue.Queue[tuple]" = queue.Queue()
+        if ledger is not None:
+            self._restore(ledger.replay())
 
         self._listener = socket.create_server((host, port), backlog=64)
         self._listener.settimeout(0.2)
         self._closing = threading.Event()
+        self._crashed = False
+        self._conns: Set[socket.socket] = set()
         self._threads: List[threading.Thread] = []
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="fabric-accept", daemon=True
         )
         self._accept_thread.start()
+
+    def _restore(self, snapshot: LedgerSnapshot) -> None:
+        """Rebuild outstanding leases from a ledger replay (restart path).
+
+        Only leases over tasks this incarnation actually manages (and
+        that the ledger does not prove done) are restored; each keeps
+        its original lease id -- the id the worker holding it will keep
+        heartbeating and committing with -- under a fresh
+        ``last_beat``, so a lease whose worker really died simply
+        expires one TTL later and requeues innocently.
+        """
+        now = monotonic()
+        restored = 0
+        for lease_id, info in sorted(snapshot.leases.items()):
+            slot = self._slots.get(info["key"])
+            if slot is None or slot.done or info["key"] in snapshot.done_keys:
+                continue
+            lease = Lease(
+                lease_id=lease_id,
+                state=slot.state,
+                worker=info["worker"],
+                attempt=info["attempt"],
+                granted=now,
+                last_beat=now,
+                stolen=info["stolen"],
+            )
+            self._leases[lease_id] = lease
+            slot.leases.add(lease_id)
+            restored += 1
+            try:
+                self.ready.remove(slot.state)
+            except ValueError:
+                pass
+        self._next_lease = max(self._next_lease, snapshot.next_lease)
+        if restored:
+            self._metrics.inc("fabric.leases_restored", restored)
 
     # ------------------------------------------------------------------
     # Supervisor-facing surface
@@ -153,6 +340,18 @@ class Coordinator:
     @property
     def lease_ttl(self) -> float:
         return self._lease_ttl
+
+    def listener_fileno(self) -> int:
+        """Raw fd of the listening socket.
+
+        Workers forked from the supervisor inherit a copy of this fd and
+        must close it immediately: a forked copy left open keeps the
+        port in LISTEN after :meth:`crash` closes the supervisor's copy,
+        which both blocks the replacement coordinator's rebind
+        (``EADDRINUSE`` despite ``SO_REUSEADDR``) and silently swallows
+        worker reconnects into a queue nobody will ever accept from.
+        """
+        return self._listener.fileno()
 
     def request_shutdown(self) -> None:
         """Make every subsequent fetch answer ``shutdown``."""
@@ -170,9 +369,58 @@ class Coordinator:
         for thread in self._threads:
             thread.join(timeout=2.0)
 
+    def crash(self) -> Tuple[str, int]:
+        """Die abruptly, as a killed coordinator process would.
+
+        Every worker connection is torn down mid-stream (workers see
+        :class:`~repro.fabric.wire.ChannelClosed` and enter their
+        reconnect backoff), *without* charging the usual EOF-holding-a-
+        lease crash verdicts -- the workers are fine, the coordinator is
+        the casualty, and the replacement rebuilt from the ledger will
+        honor the leases they still hold.  Returns the ``(host, port)``
+        the replacement must rebind (``create_server`` sets
+        ``SO_REUSEADDR``, so the port is immediately reusable).
+
+        The in-memory ``outbox`` survives -- it lives in the supervisor
+        process, which drains it before rebuilding, exactly as a real
+        restart would first absorb the journal's committed tail.
+        """
+        host, port = self.address
+        self._crashed = True
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in list(self._conns):
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        return host, port
+
     def active_leases(self) -> int:
+        """Leases outstanding over *undecided* tasks.
+
+        A steal loser's lease over an already-committed task is excluded:
+        it is administrative residue awaiting its duplicate commit (or
+        TTL expiry), not a task anyone is still waiting on.  This is the
+        "zero orphaned leases after recovery" number the backend gauges.
+        """
         with self.lock:
-            return len(self._leases)
+            undecided = 0
+            for lease in self._leases.values():
+                slot = self._slots.get(lease.state.key)
+                if slot is None or not slot.done:
+                    undecided += 1
+            return undecided
 
     def take_ready(self) -> List[SupervisedTask]:
         """Drain the ready queue (degraded local-fallback path)."""
@@ -226,6 +474,8 @@ class Coordinator:
         lease = self._leases.pop(lease_id, None)
         if lease is None:
             return
+        if self._ledger is not None:
+            self._ledger.append({"event": "release", "lease": lease_id})
         slot = self._slots[lease.state.key]
         slot.leases.discard(lease_id)
         if slot.done or slot.leases:
@@ -257,6 +507,17 @@ class Coordinator:
         )
         self._leases[lease_id] = lease
         self._slots[state.key].leases.add(lease_id)
+        if self._ledger is not None:
+            self._ledger.append(
+                {
+                    "event": "grant",
+                    "lease": lease_id,
+                    "key": state.key,
+                    "worker": worker,
+                    "attempt": attempt,
+                    "stolen": stolen,
+                }
+            )
         self._metrics.inc("fabric.leases_granted")
         if stolen:
             self._metrics.inc("fabric.steals")
@@ -285,6 +546,7 @@ class Coordinator:
             except OSError:
                 return
             conn.settimeout(None)
+            self._conns.add(conn)
             thread = threading.Thread(
                 target=self._serve, args=(conn,), name="fabric-conn", daemon=True
             )
@@ -324,7 +586,11 @@ class Coordinator:
                 conn.close()
             except OSError:
                 pass
-            if current_lease is not None:
+            self._conns.discard(conn)
+            # A crashed coordinator charges nobody: the worker behind
+            # this EOF is alive, and its (journaled) lease survives into
+            # the rebuilt coordinator.
+            if current_lease is not None and not self._crashed:
                 self._on_connection_lost(current_lease)
 
     def _on_connection_lost(self, lease_id: int) -> None:
@@ -417,6 +683,12 @@ class Coordinator:
                 self._drop_lease(lease_id, requeue=False)
                 return {"type": "ack", "accepted": False}
             slot.done = True
+            # Journal the commit *before* the release _drop_lease writes,
+            # so a crash between the two replays as done-with-orphaned-
+            # lease (the restore path skips leases over done keys) rather
+            # than as still-pending.
+            if self._ledger is not None:
+                self._ledger.append({"event": "commit", "key": key})
             lease = self._leases.get(lease_id)
             granted = lease.granted if lease is not None else None
             # A commit whose lease already expired (partition healed,

@@ -24,14 +24,24 @@ retransmit and duplicates exercise the coordinator's idempotent path.
 Crash faults hard-exit the process (``os._exit``), exactly like a pool
 worker: the coordinator sees EOF on a live lease and charges the
 attempt as a crash.
+
+A dead coordinator socket is *not* fatal: every request retries through
+capped, jittered exponential backoff (:func:`_request_with_backoff`), so
+a worker rides out a coordinator crash-restart and then resumes against
+the rebuilt endpoint -- committing under the same lease id the ledger
+restored.  Only after ``RECONNECT_MAX_ATTEMPTS`` consecutive failures
+does the worker conclude the coordinator is gone for good and exit
+cleanly.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 import time
 from pathlib import Path
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.fabric.wire import Channel, ChannelClosed, one_shot_request
 from repro.sim.faults import active_injector, mark_worker_process
@@ -45,6 +55,47 @@ from repro.sim.resilience import (
 
 #: Poll interval while the coordinator has nothing ready to hand out.
 IDLE_POLL_SECONDS: float = 0.05
+
+#: First reconnect delay; doubles per consecutive failure.
+RECONNECT_BASE_SECONDS: float = 0.05
+
+#: Ceiling on a single reconnect delay.
+RECONNECT_CAP_SECONDS: float = 2.0
+
+#: Consecutive connection failures before a worker gives up cleanly.
+RECONNECT_MAX_ATTEMPTS: int = 12
+
+
+def _reconnect_delay(worker_id: str, attempt: int) -> float:
+    """Backoff before reconnect ``attempt``: exponential, capped, with
+    deterministic jitter in ``[0.5, 1.5) ×`` so a restarted
+    coordinator is not met by a synchronized thundering herd -- yet two
+    runs of the same campaign still sleep identically."""
+    base = min(RECONNECT_BASE_SECONDS * (2 ** attempt), RECONNECT_CAP_SECONDS)
+    digest = hashlib.sha256(f"reconnect:{worker_id}:{attempt}".encode()).digest()
+    jitter = int.from_bytes(digest[:8], "little") / 2**64
+    return base * (0.5 + jitter)
+
+
+def _request_with_backoff(
+    channel: Channel, message: dict, worker_id: str
+) -> Optional[dict]:
+    """One request/reply, riding out coordinator downtime.
+
+    Retrying is safe for every worker message: fetches are stateless,
+    commits are idempotent (first wins), and fail reports for decided
+    tasks are absorbed.  Returns ``None`` once
+    :data:`RECONNECT_MAX_ATTEMPTS` consecutive attempts failed -- the
+    worker's signal to degrade out cleanly.
+    """
+    for attempt in range(RECONNECT_MAX_ATTEMPTS + 1):
+        try:
+            return channel.request(message)
+        except ChannelClosed:
+            if attempt >= RECONNECT_MAX_ATTEMPTS:
+                break
+            time.sleep(_reconnect_delay(worker_id, attempt))
+    return None
 
 
 class _Heartbeat(threading.Thread):
@@ -105,14 +156,24 @@ def worker_main(
     timeout: Optional[float] = None,
     lease_ttl: float = 10.0,
     shard_ledger: Optional[str] = None,
+    close_fds: Sequence[int] = (),
 ) -> None:
     """Run the worker loop until the coordinator says shutdown.
 
     ``timeout`` is the resilience policy's per-attempt wall budget,
     enforced worker-side (the coordinator cannot kill a remote attempt)
     -- it is what breaks injected hangs.  ``shard_ledger`` is this
-    worker's private checkpoint journal path.
+    worker's private checkpoint journal path.  ``close_fds`` names
+    control-plane fds this (forked) process inherited and must not keep
+    alive -- above all the coordinator's listener: a worker-held copy
+    would pin the port in LISTEN across a coordinator crash, blocking
+    the replacement's rebind and black-holing sibling reconnects.
     """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass  # already closed, or a start method that didn't inherit it
     # Installs the fault injector, resets SIGTERM, ignores SIGINT --
     # identical bootstrap to a process-pool worker.
     mark_worker_process(fault_spec)
@@ -120,7 +181,11 @@ def worker_main(
 
     shard: Optional[Checkpoint] = None
     if shard_ledger:
-        shard = Checkpoint(Path(shard_ledger), resume=False)
+        # resume=True: a pre-existing shard under this id (same worker id
+        # re-spawned after a crashed run, or a coordinator restart) must
+        # *merge* with the new records, never be clobbered -- appends are
+        # idempotent per content key, so re-executed tasks land once.
+        shard = Checkpoint(Path(shard_ledger), resume=True)
     channel = Channel((host, port), name=f"worker-{worker_id}")
     injector = active_injector()
     heartbeat_interval = max(lease_ttl / 3.0, 0.01)
@@ -128,9 +193,10 @@ def worker_main(
 
     try:
         while True:
-            try:
-                reply = channel.request({"type": "fetch", "worker": worker_id})
-            except ChannelClosed:
+            reply = _request_with_backoff(
+                channel, {"type": "fetch", "worker": worker_id}, worker_id
+            )
+            if reply is None:
                 return
             kind = reply.get("type")
             if kind == "shutdown":
@@ -202,9 +268,7 @@ def worker_main(
             finally:
                 if beat is not None:
                     beat.stop()
-            try:
-                channel.request(message)
-            except ChannelClosed:
+            if _request_with_backoff(channel, message, worker_id) is None:
                 return
     finally:
         channel.close()

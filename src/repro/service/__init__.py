@@ -9,7 +9,12 @@ for the threaded core (queue, quotas, dedup store, durability) and
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.core import ServiceConfig, SimService, ValidationError
+from repro.service.core import (
+    ServiceConfig,
+    ServiceUnavailable,
+    SimService,
+    ValidationError,
+)
 from repro.service.http import ServiceServer, serve
 from repro.service.jobs import Job
 from repro.service.queue import JobQueue, QuotaExceeded, TenantQuota
@@ -24,6 +29,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "ServiceUnavailable",
     "SimService",
     "TenantQuota",
     "ValidationError",

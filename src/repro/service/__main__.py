@@ -8,17 +8,27 @@ Example::
 The state directory holds durable job records, per-job checkpoint
 ledgers, and the shared result cache; kill the process at any instant
 and a restart resumes interrupted jobs from their ledgers.
+
+SIGTERM triggers a *graceful drain*: the server keeps answering (new
+submissions get 503 + Retry-After, health reports ``draining``),
+dispatchers finish the batches they already started (their ledgers
+checkpoint continuously), every job record is persisted, and the
+process exits 0.  SIGINT stays the abrupt path (exit 130) -- the
+durable records make even that recoverable.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 
+from repro.obs.sink import write_metrics
 from repro.service.core import ServiceConfig, SimService
 from repro.service.http import ServiceServer
 from repro.service.queue import TenantQuota
+from repro.sim.faults import mark_service_process
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,11 +71,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--weight", type=int, default=1,
         help="default tenant weight in the round-robin",
     )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds a SIGTERM drain waits for in-flight batches",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the final metrics manifest (JSONL) here on exit -- "
+        "the counters a graceful shutdown would otherwise take with it",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # A dedicated service process arms the ``service-kill`` fault kind
+    # (embedded test services never do -- a hard exit there would take
+    # the test runner down).
+    mark_service_process()
     service = SimService(
         ServiceConfig(
             state_dir=args.state_dir,
@@ -81,26 +104,60 @@ def main(argv=None) -> int:
         )
     )
 
-    async def run() -> None:
+    async def run() -> int:
         service.start()
         server = ServiceServer(service, args.host, args.port)
         await server.start()
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal-handler support: no drain path
         print(
             f"repro service listening on http://{args.host}:{server.port} "
             f"(state: {args.state_dir})",
             flush=True,
         )
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        drain_task = asyncio.ensure_future(sigterm.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                (serve_task, drain_task), return_when=asyncio.FIRST_COMPLETED
+            )
+            if not sigterm.is_set():
+                return 0
+            # Graceful drain: flip to draining *while still listening*
+            # (in-flight clients keep streaming; new submissions see
+            # 503 + Retry-After), wait out the dispatchers, then stop.
+            clean = await asyncio.to_thread(service.drain, args.drain_timeout)
+            print(
+                "repro service drained"
+                + ("" if clean else " (timeout: in-flight work abandoned)"),
+                flush=True,
+            )
+            return 0
         finally:
+            for task in (serve_task, drain_task):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
             await server.close()
             service.stop()
+            if args.metrics_out:
+                try:
+                    write_metrics(
+                        args.metrics_out, service.metrics, service.manifest()
+                    )
+                except OSError:
+                    pass  # exiting anyway; the manifest is best-effort
 
     try:
-        asyncio.run(run())
+        return asyncio.run(run())
     except KeyboardInterrupt:
         return 130
-    return 0
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry
@@ -43,17 +43,38 @@ from repro.service.store import ResultStore, batch_key
 from repro.sim.batch import RunSpec, run_batch
 from repro.sim.cache import ResultCache
 from repro.sim.config import ExperimentConfig
+from repro.sim.faults import CRASH_EXIT_CODE, active_injector
 from repro.sim.resilience import ResiliencePolicy, derive_checkpoint_path
 
 #: Default service state directory (job records, ledgers, shared cache).
 DEFAULT_STATE_DIR = ".repro-service"
 
 #: Request options the service accepts beyond ``specs``/``config``.
+#: ``deadline_seconds`` is deliberately NOT an option: options feed the
+#: batch key, and a deadline is a property of the *request*, not of what
+#: the batch computes -- two tenants asking for the same batch under
+#: different deadlines must still coalesce.
 _OPTION_FIELDS = ("engine", "trials_per_task")
+
+#: ``Retry-After`` hint handed to clients rejected during a drain: the
+#: process is exiting; by then a replacement is expected to be listening.
+DRAIN_RETRY_AFTER_SECONDS: float = 5.0
 
 
 class ValidationError(ValueError):
     """A submission payload failed validation (HTTP 400)."""
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service is draining and no longer admits work (HTTP 503).
+
+    Carries the ``Retry-After`` hint so the HTTP layer and the client
+    agree on when a replacement instance should be up.
+    """
+
+    def __init__(self, message: str, retry_after: float = DRAIN_RETRY_AFTER_SECONDS):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 @dataclass(frozen=True)
@@ -87,6 +108,7 @@ class SimService:
         self._jobs_lock = threading.Lock()
         self._dispatchers: List[threading.Thread] = []
         self._stopping = threading.Event()
+        self._draining = threading.Event()
         self._started = perf_counter()
 
     # ------------------------------------------------------------------
@@ -115,6 +137,36 @@ class SimService:
             thread.join(timeout)
         self._dispatchers = []
 
+    @property
+    def draining(self) -> bool:
+        """Whether the service has stopped admitting work."""
+        return self._draining.is_set()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Enter the draining state and wind down gracefully.
+
+        From this instant :meth:`submit` answers
+        :class:`ServiceUnavailable` (503 + Retry-After) and dispatchers
+        stop *taking* new jobs; the ones mid-batch get ``timeout``
+        seconds to finish (their per-job ledgers checkpoint continuously,
+        so even an overrun loses no completed member).  Every job record
+        is then persisted so the next incarnation resumes queued and
+        interrupted work.  Returns whether all dispatchers finished in
+        time -- the caller's signal that exiting now abandons nothing.
+        """
+        self._count("service.drains")
+        self._draining.set()
+        deadline = monotonic() + max(timeout, 0.0)
+        for thread in self._dispatchers:
+            thread.join(max(deadline - monotonic(), 0.0))
+        clean = not any(thread.is_alive() for thread in self._dispatchers)
+        for job in self.list_jobs():
+            try:
+                self._persist(job)
+            except OSError:
+                pass  # best effort: the submit-time record still exists
+        return clean
+
     def __enter__(self) -> "SimService":
         self.start()
         return self
@@ -126,8 +178,8 @@ class SimService:
     # Submission
     # ------------------------------------------------------------------
 
-    def _validate(self, payload: dict) -> "tuple[list, dict, dict]":
-        """Parse a submission payload into (specs, config, options).
+    def _validate(self, payload: dict) -> "tuple[list, dict, dict, Optional[float]]":
+        """Parse a submission payload into (specs, config, options, deadline).
 
         Everything is normalized through the same constructors a direct
         ``run_batch`` uses, so a payload that validates here runs there
@@ -162,25 +214,43 @@ class SimService:
         for name in _OPTION_FIELDS:
             if payload.get(name) is not None:
                 options[name] = payload[name]
-        unknown = set(payload) - {"specs", "config", "tenant", *_OPTION_FIELDS}
+        deadline: Optional[float] = None
+        if payload.get("deadline_seconds") is not None:
+            try:
+                deadline = float(payload["deadline_seconds"])
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    "'deadline_seconds' must be a number"
+                ) from None
+            if deadline <= 0:
+                raise ValidationError(
+                    f"'deadline_seconds' must be > 0, got {deadline:g}"
+                )
+        unknown = set(payload) - {
+            "specs", "config", "tenant", "deadline_seconds", *_OPTION_FIELDS
+        }
         if unknown:
             raise ValidationError(f"unknown request fields {sorted(unknown)}")
-        return specs, config_dict, options
+        return specs, config_dict, options, deadline
 
     def submit(self, tenant: str, payload: dict) -> Job:
         """Accept a batch for ``tenant``; returns the queued job.
 
-        Raises :class:`ValidationError` on a bad payload and
-        :class:`~repro.service.queue.QuotaExceeded` over quota.  A batch
-        whose body is already published completes immediately (a dedup
-        hit) without consuming a queue slot.
+        Raises :class:`ValidationError` on a bad payload,
+        :class:`~repro.service.queue.QuotaExceeded` over quota, and
+        :class:`ServiceUnavailable` while draining.  A batch whose body
+        is already published completes immediately (a dedup hit)
+        without consuming a queue slot.
         """
         tenant = tenant or "default"
-        specs, config, options = self._validate(payload)
+        if self.draining:
+            self._count("service.drain_rejections")
+            raise ServiceUnavailable("service is draining; not admitting work")
+        specs, config, options, deadline = self._validate(payload)
         key = batch_key(config, options, specs)
         job = Job(
             tenant=tenant, specs=specs, config=config,
-            options=options, batch_key=key,
+            options=options, batch_key=key, deadline_seconds=deadline,
         )
         with self._jobs_lock:
             self._jobs[job.job_id] = job
@@ -248,11 +318,22 @@ class SimService:
     # ------------------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
-        while not self._stopping.is_set():
+        while not self._stopping.is_set() and not self._draining.is_set():
             job = self.queue.take(timeout=0.25)
             if job is None:
                 continue
             try:
+                if job.deadline_passed:
+                    # Load shedding: the deadline budget was spent while
+                    # the job sat queued (quota backlog, restart outage).
+                    # Executing it now can only delay jobs someone still
+                    # wants.
+                    job.mark_shed(
+                        before_notify=lambda: self._finalize(
+                            job, "service.shed_jobs"
+                        )
+                    )
+                    continue
                 self._execute(job)
             except Exception as error:  # noqa: BLE001 - dispatcher survival
                 # _execute isolates batch failures itself; anything that
@@ -280,6 +361,15 @@ class SimService:
         """Run one job to a terminal state via the store's claim protocol."""
         job.mark_running()
         self._persist(job)
+        injector = active_injector()
+        if injector is not None and injector.service_kill_now(
+            job.batch_key, job.dispatch_attempts - 1
+        ):
+            # Simulated kill -9 mid-dispatch.  The record (just
+            # persisted, with the bumped dispatch counter) and the job's
+            # checkpoint ledger are the recovery story; only a process
+            # marked via faults.mark_service_process ever gets here.
+            os._exit(CRASH_EXIT_CODE)
         while True:
             outcome = self.store.claim(job.batch_key)
             if outcome == ResultStore.PUBLISHED:

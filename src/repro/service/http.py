@@ -20,7 +20,10 @@ GET       ``/v1/metrics``                 metrics manifest (``service.*`` et al.
 ========  ==============================  =======================================
 
 Errors are JSON ``{"error": ...}``: 400 validation, 404 unknown, 429
-quota (clean rejection, never a hang), 500 otherwise.
+quota (clean rejection, never a hang), 503 + ``Retry-After`` while the
+service drains, 500 otherwise.  ``/healthz`` reports
+``{"status": "draining"}`` once a drain begins, so load balancers fail
+the instance out before its listener goes away.
 
 The core is synchronous/threaded; every call into it that can block
 (``submit`` dispatches nothing but ``wait_events`` does block) crosses
@@ -35,38 +38,55 @@ import json
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.service.core import SimService, ValidationError
+from repro.service.core import ServiceUnavailable, SimService, ValidationError
 from repro.service.queue import QuotaExceeded
 
 #: Largest accepted request body (a spec batch is small; this is DoS hygiene).
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Idle seconds between keepalive lines on an event stream.  Lets a
+#: client with a read timeout longer than this distinguish "the job is
+#: quiet" from "the server is dead".
+STREAM_KEEPALIVE_SECONDS = 5.0
+
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 def _response(
-    status: int, body: bytes, content_type: str = "application/json"
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[dict] = None,
 ) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
-        "\r\n"
     )
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "\r\n"
     return head.encode() + body
 
 
-def _json_response(status: int, payload: dict) -> bytes:
-    return _response(status, (json.dumps(payload) + "\n").encode())
+def _json_response(
+    status: int, payload: dict, extra_headers: Optional[dict] = None
+) -> bytes:
+    return _response(
+        status, (json.dumps(payload) + "\n").encode(), extra_headers=extra_headers
+    )
 
 
-def _error(status: int, message: str) -> bytes:
-    return _json_response(status, {"error": message})
+def _error(
+    status: int, message: str, extra_headers: Optional[dict] = None
+) -> bytes:
+    return _json_response(status, {"error": message}, extra_headers=extra_headers)
 
 
 class ServiceServer:
@@ -170,7 +190,8 @@ class ServiceServer:
         body: bytes,
     ) -> None:
         if path == "/healthz" and method == "GET":
-            writer.write(_json_response(200, {"status": "ok"}))
+            status = "draining" if self.service.draining else "ok"
+            writer.write(_json_response(200, {"status": status}))
             return
         if path == "/v1/metrics" and method == "GET":
             manifest = await asyncio.to_thread(self.service.manifest)
@@ -234,6 +255,15 @@ class ServiceServer:
         except QuotaExceeded as error:
             writer.write(_error(429, str(error)))
             return
+        except ServiceUnavailable as error:
+            writer.write(
+                _error(
+                    503,
+                    str(error),
+                    extra_headers={"Retry-After": f"{error.retry_after:g}"},
+                )
+            )
+            return
         writer.write(_json_response(202, job.describe()))
 
     async def _stream_events(
@@ -253,6 +283,7 @@ class ServiceServer:
             b"\r\n"
         )
         await writer.drain()
+        idle_since = asyncio.get_running_loop().time()
         while True:
             events, finished = await asyncio.to_thread(
                 job.wait_events, cursor, 0.5
@@ -261,6 +292,15 @@ class ServiceServer:
                 line = (json.dumps(event) + "\n").encode()
                 writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
             cursor += len(events)
+            now = asyncio.get_running_loop().time()
+            if events:
+                idle_since = now
+            elif not finished and now - idle_since >= STREAM_KEEPALIVE_SECONDS:
+                # Keepalive rides outside the event sequence (no seq, no
+                # cursor advance); clients drop it on sight.
+                line = (json.dumps({"event": "keepalive"}) + "\n").encode()
+                writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+                idle_since = now
             await writer.drain()
             if finished:
                 break

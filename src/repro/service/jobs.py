@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import uuid
 from dataclasses import dataclass, field
-from time import monotonic
+from time import monotonic, time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Legal job states.
@@ -55,6 +55,19 @@ class Job:
     batch_key:
         Content key of (config, options, specs) -- the dedup identity
         shared with the result store.
+    deadline_seconds:
+        Optional per-request deadline budget, measured from
+        ``submitted_at``.  A job still *queued* past its deadline is
+        shed at dispatch instead of executed -- the client stopped
+        caring, so burning a dispatcher on it only delays live jobs.
+    submitted_at:
+        Wall-clock submission instant (``time.time()``; wall clock
+        because the deadline must survive a service restart, which
+        resets any monotonic epoch).
+    dispatch_attempts:
+        How many times a dispatcher has started this job; durable, so a
+        restarted service re-rolls per-dispatch fault decisions (e.g.
+        ``service-kill``) under a fresh attempt number.
     """
 
     tenant: str
@@ -67,6 +80,10 @@ class Job:
     error: str = ""
     dedup_hit: bool = False
     result_text: Optional[str] = None
+    deadline_seconds: Optional[float] = None
+    submitted_at: float = field(default_factory=time)
+    dispatch_attempts: int = 0
+    shed: bool = False
 
     def __post_init__(self) -> None:
         self._condition = threading.Condition()
@@ -130,9 +147,41 @@ class Job:
         """Whether the job reached a terminal state."""
         return self.status in ("done", "failed")
 
+    @property
+    def deadline_passed(self) -> bool:
+        """Whether the job's deadline budget is already spent."""
+        if self.deadline_seconds is None:
+            return False
+        return time() > self.submitted_at + self.deadline_seconds
+
     def mark_running(self) -> None:
         self.status = "running"
-        self.add_event("started")
+        self.dispatch_attempts += 1
+        self.add_event("started", dispatch=self.dispatch_attempts)
+
+    def mark_shed(
+        self,
+        *,
+        before_notify: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Fail the job as *shed*: its deadline passed while queued.
+
+        A distinct event kind (and ``shed`` flag in the status document)
+        separates "the service gave up admitting work it could no longer
+        deliver in time" from an execution failure.
+        """
+        with self._condition:
+            self.error = (
+                f"shed: deadline of {self.deadline_seconds:g}s expired "
+                "before dispatch"
+            )
+            self.status = "failed"
+            self.shed = True
+            if before_notify is not None:
+                before_notify()
+            self._append_event_locked(
+                "shed", deadline_seconds=self.deadline_seconds
+            )
 
     def mark_done(
         self,
@@ -194,6 +243,8 @@ class Job:
             "specs": len(self.specs),
             "events": len(self._events),
             "dedup_hit": self.dedup_hit,
+            "shed": self.shed,
+            "deadline_seconds": self.deadline_seconds,
             "error": self.error,
         }
 
@@ -210,6 +261,10 @@ class Job:
             "error": self.error,
             "dedup_hit": self.dedup_hit,
             "result": self.result_text,
+            "deadline_seconds": self.deadline_seconds,
+            "submitted_at": self.submitted_at,
+            "dispatch_attempts": self.dispatch_attempts,
+            "shed": self.shed,
         }
 
     @classmethod
@@ -220,6 +275,7 @@ class Job:
         time) restarts as ``queued``; its checkpoint ledger makes the
         re-run resume rather than recompute.
         """
+        deadline = record.get("deadline_seconds")
         job = cls(
             tenant=record["tenant"],
             specs=record["specs"],
@@ -227,10 +283,14 @@ class Job:
             options=record.get("options", {}),
             batch_key=record["batch_key"],
             job_id=record["job_id"],
+            deadline_seconds=None if deadline is None else float(deadline),
+            submitted_at=float(record.get("submitted_at", time())),
+            dispatch_attempts=int(record.get("dispatch_attempts", 0)),
         )
         status = record.get("status", "queued")
         if status == "done" and record.get("result") is not None:
             job.mark_done(record["result"], dedup=bool(record.get("dedup_hit")))
         elif status == "failed":
+            job.shed = bool(record.get("shed"))
             job.mark_failed(record.get("error", "unknown failure"))
         return job

@@ -31,6 +31,10 @@ A spec is a comma-separated list of ``key=value`` pairs::
 probabilities in ``[0, 1]`` (``corrupt-state`` is rolled per engine
 round and flips live simulator state so the :mod:`repro.verify`
 invariant layer can prove it detects corruption);
+``coordinator-crash`` and ``service-kill`` target the *control plane*:
+the fabric coordinator crash-restarts from its lease ledger, and a
+dedicated service process hard-exits mid-dispatch (see
+:func:`mark_service_process`);
 ``seed`` (int) decorrelates whole campaigns; and
 ``hang-seconds`` bounds an injected hang (default 3600 s -- effectively
 forever next to any sane ``--timeout``, but the process stays killable).
@@ -73,6 +77,8 @@ _SPEC_KEYS = {
     "delay": "delay",
     "partition": "partition",
     "slow-worker": "slow_worker",
+    "coordinator-crash": "coordinator_crash",
+    "service-kill": "service_kill",
     "seed": "seed",
     "hang-seconds": "hang_seconds",
     "delay-seconds": "delay_seconds",
@@ -93,6 +99,8 @@ _PROBABILITY_FIELDS = (
     "delay",
     "partition",
     "slow_worker",
+    "coordinator_crash",
+    "service_kill",
 )
 
 #: Corruption shapes a ``corrupt-state`` injection picks from, each
@@ -137,6 +145,17 @@ class FaultSpec:
         Per-attempt probability that a worker sleeps ``slow_seconds``
         before executing, long enough for a short lease to expire and
         the task to be stolen.
+    coordinator_crash:
+        Per-completed-task probability that the fabric *coordinator*
+        crashes right after absorbing that task's completion -- the
+        supervisor rebuilds it from the durable lease ledger and workers
+        reconnect with backoff.
+    service_kill:
+        Per-dispatch probability that the job-service process hard-kills
+        itself (``os._exit``) at the top of a dispatch, simulating a
+        ``kill -9`` mid-batch; only armed in processes that called
+        :func:`mark_service_process`, so embedded test services never
+        take the test runner down.
     seed:
         Campaign seed; decorrelates otherwise-identical campaigns.
     hang_seconds / delay_seconds / partition_seconds / slow_seconds:
@@ -154,6 +173,8 @@ class FaultSpec:
     delay: float = 0.0
     partition: float = 0.0
     slow_worker: float = 0.0
+    coordinator_crash: float = 0.0
+    service_kill: float = 0.0
     seed: int = 0
     hang_seconds: float = 3600.0
     delay_seconds: float = 0.05
@@ -251,6 +272,8 @@ class FaultInjector:
             "delay": 0,
             "partition": 0,
             "slow-worker": 0,
+            "coordinator-crash": 0,
+            "service-kill": 0,
         }
 
     @property
@@ -324,6 +347,41 @@ class FaultInjector:
         self._injected["slow-worker"] += 1
         return self._spec.slow_seconds
 
+    def coordinator_crash_now(self, key: str) -> bool:
+        """Whether the coordinator should crash after absorbing the
+        completion of the task identified by ``key``.
+
+        Rolled once per task (attempt 0): a task completes exactly once,
+        so a hit schedules exactly one crash and the campaign always
+        converges -- after the rebuild that key is done and never
+        re-rolls.
+        """
+        hit = self._roll(
+            "coordinator-crash", self._spec.coordinator_crash, f"coord:{key}", 0
+        )
+        if hit:
+            self._injected["coordinator-crash"] += 1
+        return hit
+
+    def service_kill_now(self, batch_key: str, dispatch_attempt: int) -> bool:
+        """Whether the service process should hard-kill itself at the top
+        of this dispatch of ``batch_key``.
+
+        ``dispatch_attempt`` is the job's durable dispatch counter, so a
+        restarted service re-rolls with a fresh attempt number and a
+        sub-1.0 probability always lets the job through eventually.
+        Only returns ``True`` in a process marked via
+        :func:`mark_service_process`.
+        """
+        if not is_service_process():
+            return False
+        hit = self._roll(
+            "service-kill", self._spec.service_kill, f"svc:{batch_key}", dispatch_attempt
+        )
+        if hit:
+            self._injected["service-kill"] += 1
+        return hit
+
     def corrupt_cache_entry(self, key: str) -> bool:
         """Whether the cache entry being stored under ``key`` should be
         written corrupted (truncated mid-JSON)."""
@@ -357,6 +415,7 @@ _installed: Optional[FaultInjector] = None
 _env_injector: Optional[FaultInjector] = None
 _env_text: Optional[str] = None
 _is_worker = False
+_is_service = False
 _task_local = threading.local()
 
 
@@ -448,3 +507,20 @@ def mark_worker_process(fault_spec_text: str = "") -> None:
 def is_worker_process() -> bool:
     """Whether this process marked itself as a pool worker."""
     return _is_worker
+
+
+def mark_service_process() -> None:
+    """Arm ``service-kill`` injections in this process.
+
+    Called by the ``repro.service`` entry point only.  Embedded services
+    (a :class:`~repro.service.core.SimService` constructed inside a test
+    process) never mark themselves, so a ``service-kill`` spec can be
+    active fleet-wide without ever hard-exiting the test runner.
+    """
+    global _is_service
+    _is_service = True
+
+
+def is_service_process() -> bool:
+    """Whether this process marked itself as a dedicated service process."""
+    return _is_service

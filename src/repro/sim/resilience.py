@@ -648,10 +648,18 @@ def derive_checkpoint_path(
     concurrent writer owns its own ledger while a *restart* of the same
     run (same ``run_id``) still resumes it.
 
-    ``shard`` appends a per-shard discriminator (``...jsonl.shard-<id>``)
-    so concurrent shards of one sweep -- fabric workers, split grids --
-    never collide on a ledger file while still sorting next to their
-    primary journal for :meth:`Checkpoint.merge_shards`.
+    ``shard`` appends a per-shard discriminator *after* every other
+    component, so the fully-qualified form is
+    ``<name>-<digest>[-<run_id>].jsonl.shard-<id>`` -- identical to
+    ``Checkpoint(derive_checkpoint_path(name, payload, root, run_id=
+    run_id)).shard_path(shard)``.  Concurrent shards of one sweep --
+    fabric workers, split grids -- therefore never collide on a ledger
+    file while still globbing next to their primary journal for
+    :meth:`Checkpoint.merge_shards`.  Shard writers open their ledger
+    with ``resume=True``: a shard id re-used after a crash (a re-spawned
+    worker, a rebuilt coordinator) must *extend* the pre-crash shard,
+    never clobber it, so the eventual merge absorbs both generations
+    idempotently.
     """
     if root is None:
         root = os.environ.get("REPRO_CHECKPOINT_DIR", DEFAULT_CHECKPOINT_DIR)

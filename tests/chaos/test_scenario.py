@@ -1,0 +1,175 @@
+"""Grammar and determinism tests for chaos scenario documents."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    BUILTIN_SCENARIOS,
+    Scenario,
+    ScenarioError,
+    Step,
+    builtin_scenario,
+)
+from repro.chaos.scenario import ACTIONS, SERVICE_FLAGS
+
+MINIMAL = {
+    "name": "minimal",
+    "specs": [{"label": "s0", "attack": "bpa", "p": 0.02}],
+}
+
+
+class TestStepGrammar:
+    def test_defaults(self):
+        step = Step.from_dict({"action": "sleep"})
+        assert step.after == 0.0 and step.timeout == 60.0
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown action"):
+            Step.from_dict({"action": "explode"})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown step fields"):
+            Step.from_dict({"action": "sleep", "delay": 1.0})
+
+    def test_missing_action_rejected(self):
+        with pytest.raises(ScenarioError, match="missing 'action'"):
+            Step.from_dict({"after": 1.0})
+
+    def test_negative_after_and_zero_timeout_rejected(self):
+        with pytest.raises(ScenarioError, match="'after'"):
+            Step(action="sleep", after=-0.1)
+        with pytest.raises(ScenarioError, match="'timeout'"):
+            Step(action="sleep", timeout=0)
+
+    def test_await_events_needs_a_count(self):
+        with pytest.raises(ScenarioError, match="'count'"):
+            Step.from_dict({"action": "await-events"})
+
+    def test_round_trip(self):
+        for action in ACTIONS:
+            payload = {"action": action, "after": 0.5, "timeout": 30.0}
+            if action == "await-events":
+                payload["count"] = 2
+            step = Step.from_dict(payload)
+            assert Step.from_dict(step.to_dict()) == step
+
+
+class TestScenarioGrammar:
+    def test_minimal_document_validates(self):
+        scenario = Scenario.from_dict(MINIMAL)
+        assert scenario.tenants == 1
+        assert scenario.steps == ()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario fields"):
+            Scenario.from_dict(dict(MINIMAL, surprise=True))
+
+    def test_empty_specs_and_name_rejected(self):
+        with pytest.raises(ScenarioError, match="'specs'"):
+            Scenario.from_dict({"name": "x"})
+        with pytest.raises(ScenarioError, match="'name'"):
+            Scenario.from_dict({"specs": MINIMAL["specs"]})
+
+    def test_service_keys_must_map_to_flags(self):
+        with pytest.raises(ScenarioError, match="unknown service fields"):
+            Scenario.from_dict(dict(MINIMAL, service={"port": 1234}))
+        # Every documented key is accepted.
+        scenario = Scenario.from_dict(
+            dict(MINIMAL, service={key: 1 for key in SERVICE_FLAGS})
+        )
+        assert set(scenario.service) == set(SERVICE_FLAGS)
+
+    def test_expect_keys_validated(self):
+        with pytest.raises(ScenarioError, match="unknown expect fields"):
+            Scenario.from_dict(dict(MINIMAL, expect={"exactly_counters": {}}))
+
+    def test_bounds(self):
+        with pytest.raises(ScenarioError, match="'tenants'"):
+            Scenario.from_dict(dict(MINIMAL, tenants=0))
+        with pytest.raises(ScenarioError, match="'p_stride'"):
+            Scenario.from_dict(dict(MINIMAL, p_stride=-0.1))
+        with pytest.raises(ScenarioError, match="'jitter'"):
+            Scenario.from_dict(dict(MINIMAL, jitter=1.5))
+        with pytest.raises(ScenarioError, match="'deadline'"):
+            Scenario.from_dict(dict(MINIMAL, deadline=0))
+
+    def test_load_round_trips_through_json(self, tmp_path):
+        original = builtin_scenario("combined")
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(original.to_dict()))
+        assert Scenario.load(path) == original
+
+    def test_load_rejects_junk(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text("not json")
+        with pytest.raises(ScenarioError, match="cannot load"):
+            Scenario.load(path)
+        with pytest.raises(ScenarioError, match="cannot load"):
+            Scenario.load(tmp_path / "missing.json")
+
+
+class TestDeterminism:
+    def test_step_delay_is_seeded_and_bounded(self):
+        scenario = Scenario.from_dict(
+            dict(
+                MINIMAL,
+                seed=7,
+                jitter=0.2,
+                steps=[{"action": "sleep", "after": 1.0}] * 3,
+            )
+        )
+        replay = Scenario.from_dict(scenario.to_dict())
+        delays = [scenario.step_delay(i) for i in range(3)]
+        assert delays == [replay.step_delay(i) for i in range(3)]
+        # Jitter stretches, never shrinks: after <= delay <= after*(1+j).
+        assert all(1.0 <= delay <= 1.2 for delay in delays)
+        # Distinct steps draw distinct jitter.
+        assert len(set(delays)) > 1
+
+    def test_distinct_seeds_give_distinct_schedules(self):
+        base = dict(
+            MINIMAL, jitter=0.5, steps=[{"action": "sleep", "after": 1.0}]
+        )
+        a = Scenario.from_dict(dict(base, seed=1))
+        b = Scenario.from_dict(dict(base, seed=2))
+        assert a.step_delay(0) != b.step_delay(0)
+
+    def test_zero_jitter_means_verbatim_delays(self):
+        scenario = Scenario.from_dict(
+            dict(MINIMAL, jitter=0, steps=[{"action": "sleep", "after": 0.7}])
+        )
+        assert scenario.step_delay(0) == 0.7
+
+    def test_tenant_specs_stride(self):
+        scenario = Scenario.from_dict(
+            dict(MINIMAL, tenants=3, p_stride=0.001)
+        )
+        assert scenario.tenant_specs(0)[0]["p"] == 0.02
+        assert scenario.tenant_specs(2)[0]["p"] == pytest.approx(0.022)
+        # The template is never mutated in place.
+        assert scenario.specs[0]["p"] == 0.02
+        assert scenario.tenant_name(1) == "tenant-1"
+
+    def test_zero_stride_tenants_share_one_batch(self):
+        scenario = Scenario.from_dict(dict(MINIMAL, tenants=2))
+        assert scenario.tenant_specs(0) == scenario.tenant_specs(1)
+
+
+class TestBuiltins:
+    def test_every_builtin_validates(self):
+        for name in BUILTIN_SCENARIOS:
+            scenario = builtin_scenario(name)
+            assert scenario.name == name
+            assert scenario.specs and scenario.steps
+
+    def test_unknown_builtin_lists_choices(self):
+        with pytest.raises(ScenarioError, match="coordinator-kill"):
+            builtin_scenario("nope")
+
+    def test_builtin_faults_parse_under_the_fault_grammar(self):
+        from repro.sim.faults import FaultSpec
+
+        for name in BUILTIN_SCENARIOS:
+            scenario = builtin_scenario(name)
+            FaultSpec.parse(scenario.faults)  # must not raise

@@ -11,7 +11,11 @@ import numpy as np
 import pytest
 
 from repro.fabric.backend import DEFAULT_LEASE_TTL, FabricBackend
-from repro.fabric.coordinator import Coordinator, RemoteTaskError
+from repro.fabric.coordinator import (
+    Coordinator,
+    CoordinatorLedger,
+    RemoteTaskError,
+)
 from repro.fabric.wire import Channel
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.cache import ResultCache
@@ -347,3 +351,200 @@ class TestChaosAcceptance:
         assert metrics.counter("fabric.leases_expired") >= 1
         assert metrics.counter("fabric.leases_granted") > len(tasks)
         assert metrics.counter("fabric.requeues") >= 1
+
+
+class TestCoordinatorLedger:
+    """Tentpole: the coordinator journals its control plane durably."""
+
+    def test_replay_round_trips_grants_commits_releases(self, tmp_path):
+        path = tmp_path / "coord.jsonl"
+        ledger = CoordinatorLedger(path)
+        ledger.append(
+            {"event": "grant", "lease": 0, "key": "k-a", "worker": "w0",
+             "attempt": 1, "stolen": False}
+        )
+        ledger.append(
+            {"event": "grant", "lease": 1, "key": "k-b", "worker": "w1",
+             "attempt": 2, "stolen": True}
+        )
+        ledger.append({"event": "commit", "key": "k-a"})
+        ledger.append({"event": "release", "lease": 0})
+
+        snapshot = CoordinatorLedger(path).replay()
+        assert snapshot.done_keys == {"k-a"}
+        assert set(snapshot.leases) == {1}
+        assert snapshot.leases[1] == {
+            "key": "k-b", "worker": "w1", "attempt": 2, "stolen": True
+        }
+        # Lease ids must never be reused across incarnations.
+        assert snapshot.next_lease == 2
+
+    def test_torn_tail_and_junk_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "coord.jsonl"
+        ledger = CoordinatorLedger(path)
+        ledger.append(
+            {"event": "grant", "lease": 3, "key": "k", "worker": "w",
+             "attempt": 1}
+        )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"event": "commit", "key": "k')  # kill -9 mid-append
+
+        snapshot = CoordinatorLedger(path).replay()
+        assert snapshot.leases[3]["key"] == "k"
+        assert snapshot.done_keys == set()  # the torn commit never binds
+
+    def test_foreign_header_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "coord.jsonl"
+        path.write_text(
+            '{"coordinator_schema": 999}\n{"event": "commit", "key": "k"}\n'
+        )
+        assert CoordinatorLedger(path).replay().done_keys == set()
+
+    def test_resume_false_truncates(self, tmp_path):
+        path = tmp_path / "coord.jsonl"
+        CoordinatorLedger(path).append({"event": "commit", "key": "old"})
+        fresh = CoordinatorLedger(path, resume=False)
+        assert fresh.replay().done_keys == set()
+
+    def test_write_error_disables_instead_of_failing(self, tmp_path):
+        ledger = CoordinatorLedger(tmp_path)  # a directory: appends fail
+        ledger.append({"event": "commit", "key": "k"})
+        assert ledger.disabled
+        ledger.append({"event": "commit", "key": "k2"})  # silently absorbed
+
+
+class TestCoordinatorRestart:
+    """Tentpole: a rebuilt coordinator honors ledgered leases and done
+    keys, so workers that rode out the crash commit under their original
+    lease ids and no task runs twice."""
+
+    def _pending(self, tasks):
+        pending = []
+        for index, task in enumerate(tasks):
+            key, label = task_identity(task)
+            pending.append(
+                SupervisedTask(index=index, task=task, key=key, label=label)
+            )
+        return pending
+
+    def test_rebuild_restores_leases_and_accepts_the_old_commit(self, tmp_path):
+        from repro.sim.runner import _execute_supervised
+
+        tasks = make_tasks(2)
+        ledger_path = tmp_path / "coord.jsonl"
+        coordinator = Coordinator(
+            self._pending(tasks),
+            lease_ttl=30.0,
+            metrics=MetricsRegistry(),
+            events=EventLog(),
+            ledger=CoordinatorLedger(ledger_path),
+        )
+        worker = Channel(coordinator.address, name="worker-a")
+        grant = worker.request({"type": "fetch", "worker": "a"})
+        assert grant["type"] == "task"
+        coordinator.crash()
+        worker.close()
+
+        metrics = MetricsRegistry()
+        rebuilt = Coordinator(
+            self._pending(tasks),
+            lease_ttl=30.0,
+            metrics=metrics,
+            events=EventLog(),
+            ledger=CoordinatorLedger(ledger_path),
+        )
+        try:
+            assert metrics.counter("fabric.leases_restored") == 1
+            assert rebuilt.active_leases() == 1
+            # The leased task is not handed out a second time...
+            sibling = Channel(rebuilt.address, name="worker-b")
+            other = sibling.request({"type": "fetch", "worker": "b"})
+            assert other["type"] == "task"
+            assert other["key"] != grant["key"]
+            # ...and the pre-crash worker's commit, under the lease id it
+            # was granted by the DEAD incarnation, is binding.
+            report = _execute_supervised(
+                grant["task"], grant["key"], grant["attempt"]
+            )
+            reply = sibling.request({
+                "type": "commit", "worker": "a", "lease": grant["lease"],
+                "key": grant["key"], "report": report,
+            })
+            assert reply["accepted"] is True
+            assert rebuilt.outbox.get(timeout=1.0)[0] == "complete"
+            # The commit is durable: a third incarnation would see it.
+            replay = CoordinatorLedger(ledger_path).replay()
+            assert grant["key"] in replay.done_keys
+            sibling.close()
+        finally:
+            rebuilt.request_shutdown()
+            rebuilt.close()
+
+    def test_restored_lease_of_a_dead_worker_expires_and_requeues(
+        self, tmp_path
+    ):
+        """A restored lease whose worker actually died must not wedge the
+        task: it expires one TTL after the rebuild and requeues."""
+        tasks = make_tasks(1)
+        ledger_path = tmp_path / "coord.jsonl"
+        coordinator = Coordinator(
+            self._pending(tasks),
+            lease_ttl=0.2,
+            metrics=MetricsRegistry(),
+            events=EventLog(),
+            ledger=CoordinatorLedger(ledger_path),
+        )
+        worker = Channel(coordinator.address, name="worker-a")
+        grant = worker.request({"type": "fetch", "worker": "a"})
+        assert grant["type"] == "task"
+        coordinator.crash()
+        worker.close()  # the worker dies with the coordinator
+
+        metrics = MetricsRegistry()
+        rebuilt = Coordinator(
+            self._pending(tasks),
+            lease_ttl=0.2,
+            metrics=metrics,
+            events=EventLog(),
+            ledger=CoordinatorLedger(ledger_path),
+        )
+        try:
+            assert rebuilt.active_leases() == 1
+            import time as _time
+
+            _time.sleep(0.3)
+            assert rebuilt.expire_leases() == 1
+            assert rebuilt.active_leases() == 0
+            # Innocently requeued: a fresh fetch gets the task again.
+            sibling = Channel(rebuilt.address, name="worker-b")
+            again = sibling.request({"type": "fetch", "worker": "b"})
+            assert again["type"] == "task"
+            assert again["key"] == grant["key"]
+            sibling.close()
+        finally:
+            rebuilt.request_shutdown()
+            rebuilt.close()
+
+    def test_crash_mid_sweep_converges_bit_identically(self, monkeypatch):
+        """The issue's acceptance bar for the durable coordinator: kill
+        the coordinator mid-sweep (seeded), let workers ride it out via
+        reconnect backoff, and the run converges bit-identical with at
+        least one restart and zero orphaned leases."""
+        tasks = make_tasks(8)
+        serial = SimRunner().run(tasks)
+
+        monkeypatch.setenv(FAULT_SPEC_ENV, "coordinator-crash=0.35,seed=101")
+        metrics = MetricsRegistry()
+        results, stats = SimRunner(
+            backend=FabricBackend(workers=2, lease_ttl=5.0),
+            policy=ResiliencePolicy(
+                timeout=30.0, retries=6, backoff=0.01, backoff_cap=0.05
+            ),
+            metrics=metrics,
+        ).run_detailed(tasks)
+        assert lifetimes(results) == lifetimes(serial)
+        assert not stats.failures
+        assert not stats.degraded
+        assert metrics.counter("fabric.coordinator_restarts") >= 1
+        assert metrics.gauge_value("fabric.active_leases") == 0.0

@@ -1,0 +1,170 @@
+"""Satellite: concurrent tenants vs. ``kill -9``.
+
+N tenants submit distinct batches concurrently over HTTP; the service
+process is hard-killed while dispatch is genuinely mid-flight; a
+restart on the same state dir must resume EVERY tenant's job to a body
+byte-identical to a direct :func:`run_batch`, with no duplicate runner
+executions -- the killed incarnation's per-job ledgers are honored, and
+each final event stream carries exactly one ``result`` per spec.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.sim.batch import run_batch
+from repro.sim.config import ExperimentConfig
+from repro.sim.faults import FAULT_SPEC_ENV
+
+TENANTS = 2
+#: Big enough that a tenant's batch takes seconds -- the kill below must
+#: land while members are still unsimulated, or there is nothing to
+#: resume and the test proves nothing.
+CONFIG = {"regions": 32768, "lines_per_region": 32}
+
+
+def tenant_specs(tenant):
+    """Distinct batch per tenant: shifted p keeps the batch keys apart."""
+    return [
+        {
+            "label": f"t{tenant}-s{index}",
+            "attack": "bpa",
+            "sparing": "max-we",
+            "p": 0.02 + tenant * 0.001 + index * 0.005,
+        }
+        for index in range(8)
+    ]
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _start(port, state_dir):
+    env = dict(os.environ)
+    env.pop(FAULT_SPEC_ENV, None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", str(port), "--state-dir", str(state_dir),
+            "--dispatchers", str(TENANTS),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+
+
+def _wait_healthy(client, process, deadline=30.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        if process.poll() is not None:
+            output = process.stdout.read().decode() if process.stdout else ""
+            pytest.fail(f"service exited {process.returncode}:\n{output}")
+        if client.healthz():
+            return
+        time.sleep(0.1)
+    pytest.fail("service never became healthy")
+
+
+def _poll_mid_flight(client, job_ids, deadline=60.0):
+    """Block until dispatch is demonstrably mid-flight: some job has
+    produced its first ``result`` event (status documents count events:
+    queued + started + >=1 result makes three) while no job is finished.
+
+    Status polls are milliseconds, so the kill that follows lands with
+    most members still unsimulated -- streaming the events instead would
+    burn hundreds of milliseconds per sample and let small batches
+    finish under the sampler.
+    """
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        documents = [client.status(job_id) for job_id in job_ids]
+        if any(doc["status"] in ("done", "failed") for doc in documents):
+            pytest.fail(
+                "a batch finished before the kill; enlarge CONFIG so the "
+                "interruption lands mid-dispatch"
+            )
+        if any(
+            doc["status"] == "running" and doc["events"] >= 3
+            for doc in documents
+        ):
+            return
+        time.sleep(0.02)
+    pytest.fail("no result ever arrived; nothing to interrupt")
+
+
+class TestKillNineMidDispatch:
+    def test_restart_resumes_every_tenant_without_duplicate_execution(
+        self, tmp_path
+    ):
+        port = _free_port()
+        state = tmp_path / "state"
+        process = _start(port, state)
+        client = ServiceClient(port=port, timeout=60.0)
+        try:
+            _wait_healthy(client, process)
+            jobs = {}
+            for tenant in range(TENANTS):
+                document = client.submit(
+                    tenant_specs(tenant), CONFIG, tenant=f"tenant-{tenant}"
+                )
+                jobs[tenant] = document["job_id"]
+
+            _poll_mid_flight(client, list(jobs.values()))
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=10.0)
+            assert process.returncode == -signal.SIGKILL
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+
+        # Same state dir, fresh incarnation: every job must converge.
+        process = _start(port, state)
+        try:
+            _wait_healthy(client, process)
+            for tenant, job_id in jobs.items():
+                document = client.wait(job_id, timeout=120.0)
+                assert document["status"] == "done", document
+                body = client.results(job_id)
+                expected = run_batch(
+                    tenant_specs(tenant), ExperimentConfig(**CONFIG)
+                ).to_json()
+                assert body == expected  # byte-identical
+
+                # No duplicate runner executions: the resumed dispatch
+                # emits exactly one ``result`` per spec (checkpoint and
+                # cache hits included), so a member executed twice
+                # would surface as a duplicated label here.
+                events = list(client.stream_events(job_id))
+                labels = [
+                    event["label"]
+                    for event in events
+                    if event.get("event") == "result"
+                ]
+                assert sorted(labels) == sorted(
+                    spec["label"] for spec in tenant_specs(tenant)
+                )
+
+            manifest = client.metrics()
+            counters = manifest["counters"]
+            assert counters["service.resumed"] >= 1
+            # The killed incarnation's ledgers were honored: at least
+            # one member resumed instead of re-simulating.
+            assert counters.get("runner.checkpoint_hits", 0) >= 1
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10.0)

@@ -209,3 +209,98 @@ class TestDurability:
         assert record["status"] == "done"
         assert record["result"] == job.result_text
         assert record["batch_key"] == job.batch_key
+
+
+class TestDrainAndShedding:
+    """Tentpole: graceful drain (503 + Retry-After) and deadline-based
+    load shedding of jobs nobody can still use."""
+
+    def test_drain_rejects_new_work_and_persists_records(self, tmp_path):
+        from repro.service.core import ServiceUnavailable
+
+        service = SimService(
+            ServiceConfig(state_dir=tmp_path / "state", dispatchers=2)
+        )
+        service.start()
+        job = service.submit("alice", PAYLOAD)
+        assert job.wait(120.0)
+
+        assert service.drain(timeout=30.0) is True
+        assert service.draining
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            service.submit("bob", PAYLOAD)
+        # The Retry-After hint the HTTP layer forwards verbatim.
+        assert excinfo.value.retry_after > 0
+        counters = service.manifest()["counters"]
+        assert counters["service.drain_rejections"] == 1
+        # Every record persisted for the next incarnation.
+        assert (service.records_dir / f"{job.job_id}.json").exists()
+        service.stop()
+
+    def test_drained_state_resumes_in_next_incarnation(self, tmp_path):
+        state = tmp_path / "state"
+        with SimService(ServiceConfig(state_dir=state, dispatchers=1)) as before:
+            job = before.submit("alice", PAYLOAD)
+            assert job.wait(120.0)
+            before.drain(timeout=30.0)
+            body = job.result_text
+
+        with SimService(ServiceConfig(state_dir=state, dispatchers=1)) as after:
+            resumed = after.get_job(job.job_id)
+            assert resumed is not None
+            assert resumed.status == "done"
+            assert resumed.result_text == body
+
+    def test_queued_job_past_deadline_is_shed_not_executed(self, tmp_path):
+        import time
+
+        service = SimService(
+            ServiceConfig(state_dir=tmp_path / "state", dispatchers=1)
+        )
+        # Submit while no dispatcher runs, so the deadline burns in queue.
+        stale = service.submit(
+            "alice", dict(PAYLOAD, deadline_seconds=0.05)
+        )
+        fresh = service.submit(
+            "alice",
+            {
+                "specs": [{"label": "fresh", "attack": "uaa", "p": 0.07}],
+                "config": SMALL,
+            },
+        )
+        time.sleep(0.1)
+        service.start()
+        try:
+            assert stale.wait(30.0) and fresh.wait(120.0)
+            assert stale.status == "failed" and stale.shed
+            assert "shed" in stale.error
+            assert [e for e in stale.events if e["event"] == "shed"]
+            # The spec behind it was NOT starved by the dead job...
+            assert fresh.status == "done"
+            counters = service.manifest()["counters"]
+            assert counters["service.shed_jobs"] == 1
+            # ...and the shed batch was never simulated.
+            assert counters["runner.simulated"] == 1
+        finally:
+            service.stop()
+
+    def test_deadline_validation(self, service):
+        with pytest.raises(ValidationError):
+            service.submit("a", dict(PAYLOAD, deadline_seconds=0))
+        with pytest.raises(ValidationError):
+            service.submit("a", dict(PAYLOAD, deadline_seconds="soon"))
+
+    def test_jobs_without_deadline_never_shed(self, tmp_path):
+        import time
+
+        service = SimService(
+            ServiceConfig(state_dir=tmp_path / "state", dispatchers=1)
+        )
+        job = service.submit("alice", PAYLOAD)
+        time.sleep(0.05)
+        service.start()
+        try:
+            assert job.wait(120.0)
+            assert job.status == "done" and not job.shed
+        finally:
+            service.stop()

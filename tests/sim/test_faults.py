@@ -310,3 +310,53 @@ class TestTaskScope:
             release.set()
             worker.join(timeout=30)
         assert active_task_key() == ""
+
+
+class TestControlPlaneFaults:
+    """The ``coordinator-crash`` / ``service-kill`` kinds target the
+    control plane (supervisor, service dispatcher) rather than task
+    attempts."""
+
+    def test_parse_and_round_trip(self):
+        spec = FaultSpec.parse("coordinator-crash=0.3,service-kill=0.25,seed=5")
+        assert spec.coordinator_crash == 0.3
+        assert spec.service_kill == 0.25
+        assert spec.active
+        assert FaultSpec.parse(spec.to_spec()) == spec
+
+    def test_probabilities_are_validated(self):
+        with pytest.raises(FaultSpecError, match="must be in \\[0, 1\\]"):
+            FaultSpec.parse("coordinator-crash=1.5")
+        with pytest.raises(FaultSpecError):
+            FaultSpec(service_kill=-0.1)
+
+    def test_control_plane_only_spec_is_active(self):
+        assert FaultSpec.parse("coordinator-crash=0.1").active
+        assert FaultSpec.parse("service-kill=0.1").active
+
+    def test_coordinator_crash_rolls_once_per_key_deterministically(self):
+        a = FaultInjector(FaultSpec(coordinator_crash=0.5, seed=9))
+        b = FaultInjector(FaultSpec(coordinator_crash=0.5, seed=9))
+        keys = [f"key-{i}" for i in range(40)]
+        decisions = [a.coordinator_crash_now(key) for key in keys]
+        assert decisions == [b.coordinator_crash_now(key) for key in keys]
+        assert any(decisions) and not all(decisions)
+        assert a.injected["coordinator-crash"] == sum(decisions)
+
+    def test_service_kill_is_inert_outside_a_marked_service_process(self):
+        """Embedded services (inside the test runner!) must never roll a
+        hard kill; only ``python -m repro.service`` marks itself."""
+        injector = FaultInjector(FaultSpec(service_kill=1.0, seed=1))
+        assert injector.service_kill_now("batch-key", 1) is False
+        assert injector.injected["service-kill"] == 0
+
+    def test_service_kill_rerolls_per_dispatch_attempt(self, monkeypatch):
+        monkeypatch.setattr("repro.sim.faults._is_service", True)
+        injector = FaultInjector(FaultSpec(service_kill=0.5, seed=4))
+        outcomes = {
+            injector.service_kill_now("batch-key", attempt)
+            for attempt in range(1, 30)
+        }
+        # A sub-1.0 probability must eventually let the job through: the
+        # durable dispatch counter decorrelates the rolls.
+        assert outcomes == {True, False}

@@ -608,3 +608,51 @@ class TestShardLedgers:
         assert isinstance(error, RuntimeError)
         assert isinstance(error.__cause__, OSError)
         assert not is_retryable(error)
+
+
+class TestDerivedShardPaths:
+    """Satellite: ``derive_checkpoint_path(shard=...)`` must compose with
+    ``run_id`` exactly as the docs promise -- shard discriminator after
+    every other component, identical to ``Checkpoint(...).shard_path``,
+    and re-used shard ids merging idempotently across generations."""
+
+    def test_shard_composes_after_run_id(self, tmp_path):
+        payload = {"q": 50.0, "seed": 7}
+        primary = derive_checkpoint_path(
+            "sweep", payload, tmp_path, run_id="j-aaa"
+        )
+        direct = derive_checkpoint_path(
+            "sweep", payload, tmp_path, shard="w0", run_id="j-aaa"
+        )
+        # The pinned contract: the one-call form equals deriving the
+        # primary and asking the Checkpoint for its shard location.
+        assert direct == Checkpoint(primary).shard_path("w0")
+        assert direct.name == primary.name + ".shard-w0"
+        # Without run_id the shard still trails everything else.
+        bare = derive_checkpoint_path("sweep", payload, tmp_path, shard=3)
+        bare_primary = derive_checkpoint_path("sweep", payload, tmp_path)
+        assert bare == Checkpoint(bare_primary).shard_path(3)
+
+    def test_reused_shard_id_extends_and_merges_both_generations(self, tmp_path):
+        """A shard id re-used after a crash (re-spawned worker, rebuilt
+        coordinator) must extend the pre-crash shard -- resume=True --
+        so the merge absorbs both generations."""
+        payload = {"q": 50.0}
+        tasks = make_tasks(2)
+        shard_file = derive_checkpoint_path("sweep", payload, tmp_path, shard=0)
+
+        key0, label0 = task_identity(tasks[0])
+        result0, _ = tasks[0].execute()
+        Checkpoint(shard_file, resume=True).append(key0, result0, label=label0)
+
+        # Second incarnation of the same shard id: must append, not clobber.
+        key1, label1 = task_identity(tasks[1])
+        result1, _ = tasks[1].execute()
+        Checkpoint(shard_file, resume=True).append(key1, result1, label=label1)
+
+        primary = Checkpoint(
+            derive_checkpoint_path("sweep", payload, tmp_path), resume=True
+        )
+        assert primary.merge_shards() == 2
+        assert key0 in primary and key1 in primary
+        assert not shard_file.exists()  # absorbed
